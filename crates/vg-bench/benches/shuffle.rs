@@ -1,0 +1,43 @@
+//! Benchmarks for the Bayer–Groth shuffle: prover and verifier cost per
+//! batch size — the dominant term of Votegral's (and Swiss Post's) tally.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vg_crypto::elgamal::{encrypt_point, Ciphertext, ElGamalKeyPair};
+use vg_crypto::{EdwardsPoint, HmacDrbg, Rng, Scalar};
+use vg_shuffle::ShuffleContext;
+
+fn sample(n: usize, kp: &ElGamalKeyPair, rng: &mut dyn Rng) -> Vec<Ciphertext> {
+    (0..n)
+        .map(|i| {
+            let m = EdwardsPoint::mul_base(&Scalar::from_u64(i as u64 + 1));
+            encrypt_point(&kp.pk, &m, rng).0
+        })
+        .collect()
+}
+
+fn bench_group(c: &mut Criterion) {
+    let mut rng = HmacDrbg::from_u64(1);
+    let kp = ElGamalKeyPair::generate(&mut rng);
+
+    let mut group = c.benchmark_group("shuffle");
+    group.sample_size(10);
+    for n in [16usize, 64, 256] {
+        let ctx = ShuffleContext::new(n);
+        let inputs = sample(n, &kp, &mut rng);
+        group.bench_with_input(BenchmarkId::new("prove", n), &n, |b, _| {
+            b.iter(|| black_box(ctx.shuffle(&kp.pk, &inputs, &mut rng)))
+        });
+        let (outputs, proof) = ctx.shuffle(&kp.pk, &inputs, &mut rng);
+        group.bench_with_input(BenchmarkId::new("verify", n), &n, |b, _| {
+            b.iter(|| {
+                ctx.verify(&kp.pk, &inputs, &outputs, &proof)
+                    .expect("verifies")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_group);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! End-to-end tally benchmarks across the four systems at a fixed small
+//! population — the measured anchors behind the Fig 5b extrapolations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vg_baselines::{BenchSystem, Civitas, SwissPost, VoteAgain};
+use vg_crypto::HmacDrbg;
+use vg_sim::VotegralCore;
+
+const N: usize = 12;
+const OPTIONS: u32 = 3;
+
+fn votes() -> Vec<u32> {
+    (0..N).map(|i| (i % OPTIONS as usize) as u32).collect()
+}
+
+fn bench_group(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tally_12_voters");
+    group.sample_size(10);
+
+    group.bench_function("votegral", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = HmacDrbg::from_u64(1);
+                let mut sys = VotegralCore::new(N, OPTIONS, &mut rng);
+                sys.register_all(&mut rng);
+                sys.vote_all(&votes(), &mut rng);
+                (sys, rng)
+            },
+            |(mut sys, mut rng)| black_box(sys.tally(&mut rng)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("swisspost", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = HmacDrbg::from_u64(2);
+                let mut sys = SwissPost::new(N, OPTIONS, &mut rng);
+                sys.register_all(&mut rng);
+                sys.vote_all(&votes(), &mut rng);
+                (sys, rng)
+            },
+            |(mut sys, mut rng)| black_box(sys.tally(&mut rng)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("voteagain", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = HmacDrbg::from_u64(3);
+                let mut sys = VoteAgain::new(N, OPTIONS, &mut rng);
+                sys.register_all(&mut rng);
+                sys.vote_all(&votes(), &mut rng);
+                (sys, rng)
+            },
+            |(mut sys, mut rng)| black_box(sys.tally(&mut rng)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("civitas_quadratic", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = HmacDrbg::from_u64(4);
+                let mut sys = Civitas::new(N, OPTIONS, &mut rng);
+                sys.register_all(&mut rng);
+                sys.vote_all(&votes(), &mut rng);
+                (sys, rng)
+            },
+            |(mut sys, mut rng)| black_box(sys.tally(&mut rng)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_group);
+criterion_main!(benches);

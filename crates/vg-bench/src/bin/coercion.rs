@@ -1,0 +1,52 @@
+//! The empirical C-Resist experiment (§5.2, Appendix F.1): plays the
+//! coercion game and reports the optimal distinguisher's advantage against
+//! the analytic total-variation bound — the quantity the proofs reduce
+//! coercion resistance to.
+//!
+//! `cargo run -p vg-bench --release --bin coercion [--trials 20000]`
+
+use vg_bench::{arg_usize, print_table};
+use vg_sim::bench_rng;
+use vg_sim::coercion::{
+    analytic_shift_tv, credentials_structurally_indistinguishable, run_experiment,
+};
+use vg_sim::FakeCredentialDist;
+
+fn main() {
+    let trials = arg_usize("--trials", 20_000);
+    let dist = FakeCredentialDist::default();
+    let mut rng = bench_rng(0xC0E5);
+
+    println!("C-Resist game — coercer's distinguishing advantage\n");
+    println!(
+        "Structural indistinguishability of real vs fake credentials \
+         (real system): {}",
+        if credentials_structurally_indistinguishable(&mut rng) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+
+    println!("\nAdvantage vs honest-population size ({trials} trials/world):\n");
+    let mut rows = Vec::new();
+    for honest in [1usize, 5, 20, 50, 200] {
+        let exp = run_experiment(honest, 1, trials, &dist, &mut rng);
+        rows.push(vec![
+            format!("{honest}"),
+            format!("{:.4}", exp.empirical_advantage),
+            format!("{:.4}", exp.analytic_tv),
+        ]);
+    }
+    print_table(
+        &["Honest voters", "Empirical advantage", "Analytic TV bound"],
+        &rows,
+    );
+    println!(
+        "\nReading: the coercer's only signal is aggregate statistics; the\n\
+         advantage equals the TV distance induced by one extra envelope and\n\
+         vanishes as honest voters add noise — the residual uncertainty the\n\
+         ideal game of Appendix F.1 permits. Large-population advantage: {:.5}",
+        analytic_shift_tv(1000, &dist)
+    );
+}

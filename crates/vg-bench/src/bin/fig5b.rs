@@ -1,0 +1,78 @@
+//! Regenerates Fig 5b: total tally-phase latency versus voter population
+//! (log-log), for the four systems.
+//!
+//! `cargo run -p vg-bench --release --bin fig5b \
+//!     [--sizes-max 1000000] [--cap 200] [--cap-civitas 24]`
+
+use vg_bench::{arg_usize, human_time, print_table};
+use vg_sim::fig5::{run_fig5, SystemKind};
+
+fn main() {
+    let max = arg_usize("--sizes-max", 1_000_000);
+    let cap = arg_usize("--cap", 200);
+    let cap_civitas = arg_usize("--cap-civitas", 24);
+
+    let mut sizes = vec![];
+    let mut n = 100usize;
+    while n <= max {
+        sizes.push(n);
+        n *= 10;
+    }
+    eprintln!("Measuring tally latencies for sizes {sizes:?}…");
+    let rows = run_fig5(&sizes, cap, cap_civitas, 3, 0xF166);
+
+    println!();
+    println!("Figure 5b — tally-phase wall-clock latency vs population");
+    println!("('~' marks extrapolated values)\n");
+    let mut table = Vec::new();
+    for &n in &sizes {
+        let mut row = vec![format!("{n}")];
+        for kind in [
+            SystemKind::Civitas,
+            SystemKind::SwissPost,
+            SystemKind::VoteAgain,
+            SystemKind::Votegral,
+        ] {
+            let r = rows
+                .iter()
+                .find(|r| r.n_voters == n && r.system == kind)
+                .expect("row");
+            let mark = if r.extrapolated() { "~" } else { "" };
+            row.push(format!("{mark}{}", human_time(r.tally_ms)));
+        }
+        table.push(row);
+    }
+    print_table(
+        &["Voters", "Civitas", "SwissPost", "VoteAgain", "Votegral"],
+        &table,
+    );
+
+    // The crossover/ordering summary the paper reports at 10^6.
+    if let Some(&n) = sizes.last() {
+        let get = |k: SystemKind| {
+            rows.iter()
+                .find(|r| r.n_voters == n && r.system == k)
+                .expect("row")
+                .tally_ms
+        };
+        let (vg, va, sp, cv) = (
+            get(SystemKind::Votegral),
+            get(SystemKind::VoteAgain),
+            get(SystemKind::SwissPost),
+            get(SystemKind::Civitas),
+        );
+        println!("\nShape check at n = {n}:");
+        println!(
+            "  VoteAgain < Votegral: {}   (paper: 3 h vs 14 h)",
+            va < vg
+        );
+        println!(
+            "  Votegral < SwissPost: {}   (paper: 14 h vs 27 h)",
+            vg < sp
+        );
+        println!(
+            "  Civitas dwarfs everything: {}   (paper: ~1768 years, quadratic)",
+            cv > 100.0 * sp
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Evaluates the individual-verifiability bound of Theorem §5.1
+//! (Appendix F.3): the envelope-stuffing adversary's success probability
+//! as a function of booth supply n_E and the fake-credential distribution
+//! D_c, with the strong-iterative decay across targeted voters, plus a
+//! Monte-Carlo cross-check of the formula against the real selection
+//! mechanics.
+//!
+//! `cargo run -p vg-bench --release --bin ivbound [--trials 50000]`
+
+use vg_bench::{arg_usize, print_table};
+use vg_sim::bench_rng;
+use vg_sim::ivbound::{
+    adversary_bound, log2_iterative_bound, simulate_stuffing, success_probability,
+};
+use vg_sim::FakeCredentialDist;
+
+fn main() {
+    let trials = arg_usize("--trials", 50_000);
+    let mut rng = bench_rng(0x1BD);
+
+    println!("Theorem §5.1 — integrity adversary's success bound");
+    println!("p(k) = E_nc[(k/n_E) * C(n_E-k, n_c-1)/C(n_E-1, n_c-1)], maximized over k\n");
+
+    let dists = [
+        ("no fakes (worst case)", FakeCredentialDist { p: 1.0, max: 0 }),
+        ("default D_c (mean ~0.66)", FakeCredentialDist::default()),
+        ("diligent (mean ~2.0)", FakeCredentialDist { p: 0.25, max: 5 }),
+    ];
+    let mut rows = Vec::new();
+    for (label, dist) in &dists {
+        for n_e in [16usize, 64, 256, 1024] {
+            let (k, p) = adversary_bound(n_e, dist);
+            rows.push(vec![
+                label.to_string(),
+                format!("{n_e}"),
+                format!("{k}"),
+                format!("{p:.4}"),
+                format!("2^{:.1}", log2_iterative_bound(p, 50)),
+                format!("2^{:.1}", log2_iterative_bound(p, 1000)),
+            ]);
+        }
+    }
+    print_table(
+        &["D_c", "n_E", "best k", "p_max", "50 voters", "1000 voters"],
+        &rows,
+    );
+
+    println!("\nMonte-Carlo cross-check of the closed form (n_E = 24):\n");
+    let dist = FakeCredentialDist::default();
+    let mut rows = Vec::new();
+    for k in [1usize, 4, 8, 16, 24] {
+        let exact = success_probability(24, k, &dist);
+        let sim = simulate_stuffing(24, k, &dist, trials, &mut rng);
+        rows.push(vec![
+            format!("{k}"),
+            format!("{exact:.4}"),
+            format!("{sim:.4}"),
+            format!("{:.4}", (exact - sim).abs()),
+        ]);
+    }
+    print_table(&["k stuffed", "formula", "simulated", "|diff|"], &rows);
+    println!(
+        "\nReading: a single coerced-free voter who creates fakes caps the\n\
+         adversary near P(no fakes); across many voters the bound decays as\n\
+         p_max^N — the 'strong iterative IV' of Appendix F.3.6."
+    );
+}

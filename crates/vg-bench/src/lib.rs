@@ -1,0 +1,87 @@
+//! Benchmark harness utilities: plain-text table rendering for the figure
+//! binaries (`fig4`, `fig5a`, `fig5b`, `usability`, `ivbound`,
+//! `coercion`), which regenerate the rows and series of the paper's
+//! evaluation section (see `DESIGN.md` §3 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured records).
+
+/// Renders a fixed-width table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    println!("+{line}+");
+    let head: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!(" {:<width$} ", h, width = widths[i]))
+        .collect();
+    println!("|{}|", head.join("|"));
+    println!("+{line}+");
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:>width$} ", c, width = widths[i]))
+            .collect();
+        println!("|{}|", cells.join("|"));
+    }
+    println!("+{line}+");
+}
+
+/// Formats milliseconds into a human unit (ms / s / min / h / d / y).
+pub fn human_time(ms: f64) -> String {
+    if ms < 1.0 {
+        format!("{:.3} ms", ms)
+    } else if ms < 1_000.0 {
+        format!("{:.1} ms", ms)
+    } else if ms < 60_000.0 {
+        format!("{:.2} s", ms / 1e3)
+    } else if ms < 3_600_000.0 {
+        format!("{:.1} min", ms / 6e4)
+    } else if ms < 86_400_000.0 {
+        format!("{:.1} h", ms / 3.6e6)
+    } else if ms < 31_536_000_000.0 {
+        format!("{:.1} d", ms / 8.64e7)
+    } else {
+        format!("{:.1} y", ms / 3.1536e10)
+    }
+}
+
+/// Parses a `--flag value` style argument, with default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Returns `true` if `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(0.5).ends_with("ms"));
+        assert!(human_time(1500.0).ends_with("s"));
+        assert!(human_time(120_000.0).ends_with("min"));
+        assert!(human_time(7.2e6).ends_with("h"));
+        assert!(human_time(1e12).ends_with("y"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Minimal fixed-width unsigned big integers used by the scalar field.
+//!
+//! Only the operations the scalar arithmetic needs are provided: addition and
+//! subtraction with borrow, comparison, shifts, 4×4→8 limb multiplication,
+//! and a simple shift-subtract division used once at startup to derive the
+//! Barrett constant and in tests as a cross-check oracle.
+//!
+//! Limbs are little-endian `u64`s throughout.
+
+/// A 256-bit unsigned integer as four little-endian 64-bit limbs.
+pub type U256 = [u64; 4];
+
+/// A 512-bit unsigned integer as eight little-endian 64-bit limbs.
+pub type U512 = [u64; 8];
+
+/// Adds `b` into `a`, returning the final carry.
+pub fn add_assign(a: &mut [u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut carry = 0u64;
+    for (ai, bi) in a.iter_mut().zip(b.iter()) {
+        let (s1, c1) = ai.overflowing_add(*bi);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *ai = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    carry != 0
+}
+
+/// Subtracts `b` from `a` in place, returning whether a borrow occurred
+/// (i.e. `a < b`).
+pub fn sub_assign(a: &mut [u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut borrow = 0u64;
+    for (ai, bi) in a.iter_mut().zip(b.iter()) {
+        let (d1, b1) = ai.overflowing_sub(*bi);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *ai = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    borrow != 0
+}
+
+/// Compares two equal-length little-endian limb slices.
+pub fn cmp(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for (ai, bi) in a.iter().rev().zip(b.iter().rev()) {
+        match ai.cmp(bi) {
+            core::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+/// Returns `true` if all limbs are zero.
+pub fn is_zero(a: &[u64]) -> bool {
+    a.iter().all(|&x| x == 0)
+}
+
+/// Shifts `a` left by one bit in place, returning the bit shifted out.
+pub fn shl1(a: &mut [u64]) -> bool {
+    let mut carry = 0u64;
+    for limb in a.iter_mut() {
+        let next = *limb >> 63;
+        *limb = (*limb << 1) | carry;
+        carry = next;
+    }
+    carry != 0
+}
+
+/// Returns the bit at position `i` (little-endian bit order).
+pub fn bit(a: &[u64], i: usize) -> bool {
+    (a[i / 64] >> (i % 64)) & 1 == 1
+}
+
+/// Number of significant bits in `a`.
+pub fn bit_len(a: &[u64]) -> usize {
+    for (i, limb) in a.iter().enumerate().rev() {
+        if *limb != 0 {
+            return 64 * i + (64 - limb.leading_zeros() as usize);
+        }
+    }
+    0
+}
+
+/// Multiplies two 256-bit integers into a 512-bit product (schoolbook).
+pub fn mul_wide(a: &U256, b: &U256) -> U512 {
+    let mut r = [0u64; 8];
+    for i in 0..4 {
+        let mut carry = 0u128;
+        for j in 0..4 {
+            let acc = (a[i] as u128) * (b[j] as u128) + (r[i + j] as u128) + carry;
+            r[i + j] = acc as u64;
+            carry = acc >> 64;
+        }
+        r[i + 4] = carry as u64;
+    }
+    r
+}
+
+/// Divides `num` by `den`, returning `(quotient, remainder)`.
+///
+/// Simple bitwise shift-subtract long division; used only for startup
+/// constants and as a test oracle, never on hot paths.
+///
+/// # Panics
+///
+/// Panics if `den` is zero.
+pub fn div_rem(num: &[u64], den: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    assert!(!is_zero(den), "division by zero");
+    let n = num.len();
+    let mut q = vec![0u64; n];
+    let mut r = vec![0u64; den.len().max(n)];
+    for i in (0..n * 64).rev() {
+        shl1(&mut r);
+        if bit(num, i) {
+            r[0] |= 1;
+        }
+        // Compare r against den (r may be wider; the overflow limbs must be 0
+        // for den to fit, which holds because r < 2*den at loop entry).
+        let wider_zero = r[den.len()..].iter().all(|&x| x == 0);
+        if !wider_zero || cmp(&r[..den.len()], den) != core::cmp::Ordering::Less {
+            let borrow = sub_assign(&mut r[..den.len()], den);
+            if borrow {
+                // Borrow propagates into the wider limbs.
+                let mut k = den.len();
+                while k < r.len() {
+                    let (d, b) = r[k].overflowing_sub(1);
+                    r[k] = d;
+                    if !b {
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+            q[i / 64] |= 1 << (i % 64);
+        }
+    }
+    (q, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut a: U256 = [u64::MAX, 3, 0, 7];
+        let b: U256 = [5, u64::MAX, 2, 1];
+        let orig = a;
+        let carry = add_assign(&mut a, &b);
+        assert!(!carry);
+        let borrow = sub_assign(&mut a, &b);
+        assert!(!borrow);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn sub_detects_borrow() {
+        let mut a: U256 = [0, 0, 0, 0];
+        let b: U256 = [1, 0, 0, 0];
+        assert!(sub_assign(&mut a, &b));
+        assert_eq!(a, [u64::MAX; 4]);
+    }
+
+    #[test]
+    fn mul_wide_small() {
+        let a: U256 = [3, 0, 0, 0];
+        let b: U256 = [7, 0, 0, 0];
+        assert_eq!(mul_wide(&a, &b)[0], 21);
+    }
+
+    #[test]
+    fn mul_wide_carries() {
+        let a: U256 = [u64::MAX; 4];
+        let b: U256 = [u64::MAX; 4];
+        // (2^256-1)^2 = 2^512 - 2^257 + 1.
+        let r = mul_wide(&a, &b);
+        assert_eq!(r[0], 1);
+        assert_eq!(r[1], 0);
+        assert_eq!(r[3], 0);
+        assert_eq!(r[4], u64::MAX - 1);
+        assert_eq!(r[7], u64::MAX);
+    }
+
+    #[test]
+    fn div_rem_identity() {
+        // Construct num = q*den + r with known q, den, r, then check
+        // div_rem recovers them.
+        let q4: U256 = [0xdead_beef, 42, 7, 3];
+        let d4: U256 = [97, 13, 0, 0];
+        let r0: U256 = [5, 2, 0, 0]; // r < den.
+        let mut num = mul_wide(&q4, &d4);
+        let mut rr = [0u64; 8];
+        rr[..4].copy_from_slice(&r0);
+        assert!(!add_assign(&mut num, &rr));
+        let (q, r) = div_rem(&num, &d4);
+        assert_eq!(&q[..4], &q4[..]);
+        assert!(q[4..].iter().all(|&x| x == 0));
+        assert_eq!(&r[..4], &r0[..]);
+        assert_eq!(cmp(&r[..4], &d4), core::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn div_rem_by_larger_denominator() {
+        let num = [7u64, 0, 0, 0];
+        let den = [97u64, 13, 0, 0];
+        let (q, r) = div_rem(&num, &den);
+        assert!(is_zero(&q));
+        assert_eq!(&r[..4], &[7u64, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bit_len_works() {
+        assert_eq!(bit_len(&[0u64, 0, 0, 0]), 0);
+        assert_eq!(bit_len(&[1u64, 0, 0, 0]), 1);
+        assert_eq!(bit_len(&[0u64, 1, 0, 0]), 65);
+        assert_eq!(bit_len(&[0u64, 0, 0, 1 << 60]), 253);
+    }
+}

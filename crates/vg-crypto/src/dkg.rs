@@ -1,0 +1,365 @@
+//! Distributed key generation and verifiable threshold decryption for the
+//! election authority (Appendix E.1, `DKG`).
+//!
+//! The authority consists of n members; the collective ElGamal public key
+//! A_pk is generated so that no member ever learns the collective secret.
+//! Each member deals a random degree-(t−1) polynomial with Feldman
+//! commitments; members verify their received shares against the
+//! commitments, and any t members can later produce verifiable decryption
+//! shares. The paper's privacy and coercion adversaries may compromise up
+//! to n−1 members (Appendix D.2, Table 1), which this scheme tolerates with
+//! t = n; the evaluation runs four members, matching the paper's four
+//! talliers.
+//!
+//! The complaint/disqualification round of a full DKG is modelled by share
+//! verification plus tests that reject corrupted dealings; simulated members
+//! live in one process, as in the paper's prototype.
+
+use crate::chaum_pedersen::{prove_dleq, verify_dleq, DlEqProof, DlEqStatement};
+use crate::drbg::Rng;
+use crate::edwards::EdwardsPoint;
+use crate::elgamal::Ciphertext;
+use crate::scalar::Scalar;
+use crate::transcript::Transcript;
+use crate::CryptoError;
+
+/// One authority member's long-term key material after the DKG.
+#[derive(Clone)]
+pub struct AuthorityMember {
+    /// 1-based member index (the Shamir evaluation point).
+    pub index: u32,
+    /// The member's secret share x_j = Σᵢ fᵢ(j).
+    share: Scalar,
+    /// The public verification key X_j = x_j·B.
+    pub vk: EdwardsPoint,
+}
+
+/// A dealing broadcast by one DKG participant: Feldman commitments to the
+/// coefficients of its secret polynomial.
+#[derive(Clone, Debug)]
+pub struct Dealing {
+    /// F_k = coeff_k·B for k = 0 … t−1.
+    pub commitments: Vec<EdwardsPoint>,
+}
+
+impl Dealing {
+    /// Verifies that `share` is a correct evaluation for member `index`:
+    /// share·B == Σ_k index^k · F_k.
+    pub fn verify_share(&self, index: u32, share: &Scalar) -> Result<(), CryptoError> {
+        let mut expected = EdwardsPoint::IDENTITY;
+        let j = Scalar::from_u64(index as u64);
+        let mut j_pow = Scalar::ONE;
+        for f in &self.commitments {
+            expected += *f * j_pow;
+            j_pow *= j;
+        }
+        if EdwardsPoint::mul_base(share) == expected {
+            Ok(())
+        } else {
+            Err(CryptoError::BadShare)
+        }
+    }
+}
+
+/// The election authority: n members with a t-of-n threshold key.
+#[derive(Clone)]
+pub struct Authority {
+    /// Number of members.
+    pub n: usize,
+    /// Decryption threshold (any `t` members suffice).
+    pub t: usize,
+    /// The collective public key A_pk.
+    pub public_key: EdwardsPoint,
+    /// The members (each holding a secret share).
+    pub members: Vec<AuthorityMember>,
+    /// The broadcast dealings, retained for public auditability.
+    pub dealings: Vec<Dealing>,
+}
+
+impl Authority {
+    /// Runs the distributed key generation among `n` simulated members with
+    /// threshold `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is zero or exceeds `n`.
+    pub fn dkg(n: usize, t: usize, rng: &mut dyn Rng) -> Self {
+        assert!(t >= 1 && t <= n, "threshold must satisfy 1 <= t <= n");
+        // Each dealer i samples a polynomial f_i of degree t-1.
+        let polys: Vec<Vec<Scalar>> = (0..n)
+            .map(|_| (0..t).map(|_| rng.scalar()).collect())
+            .collect();
+        let dealings: Vec<Dealing> = polys
+            .iter()
+            .map(|coeffs| Dealing {
+                commitments: coeffs.iter().map(EdwardsPoint::mul_base).collect(),
+            })
+            .collect();
+        // Member j receives s_{i,j} = f_i(j) from each dealer i and verifies
+        // against the broadcast commitments.
+        let mut members = Vec::with_capacity(n);
+        for j in 1..=n as u32 {
+            let mut share = Scalar::ZERO;
+            for (i, coeffs) in polys.iter().enumerate() {
+                let s = eval_poly(coeffs, j);
+                dealings[i]
+                    .verify_share(j, &s)
+                    .expect("honest dealer share verifies");
+                share += s;
+            }
+            members.push(AuthorityMember {
+                index: j,
+                share,
+                vk: EdwardsPoint::mul_base(&share),
+            });
+        }
+        // A_pk = Σ_i F_{i,0}.
+        let public_key = dealings
+            .iter()
+            .map(|d| d.commitments[0])
+            .sum::<EdwardsPoint>();
+        Self { n, t, public_key, members, dealings }
+    }
+
+    /// Threshold-decrypts `ct` using the first `t` members, verifying every
+    /// share proof; returns the plaintext point.
+    pub fn threshold_decrypt(
+        &self,
+        ct: &Ciphertext,
+        rng: &mut dyn Rng,
+    ) -> Result<EdwardsPoint, CryptoError> {
+        let shares: Vec<DecryptionShare> = self.members[..self.t]
+            .iter()
+            .map(|m| m.decryption_share(ct, rng))
+            .collect();
+        for share in &shares {
+            let member = &self.members[(share.member_index - 1) as usize];
+            share.verify(&member.vk, ct)?;
+        }
+        combine_shares(ct, &shares, self.t)
+    }
+}
+
+impl AuthorityMember {
+    /// Produces this member's verifiable decryption share for `ct`:
+    /// D_j = x_j·C₁ with a Chaum–Pedersen proof against X_j.
+    pub fn decryption_share(&self, ct: &Ciphertext, rng: &mut dyn Rng) -> DecryptionShare {
+        let d = ct.c1 * self.share;
+        let stmt = DlEqStatement {
+            g1: EdwardsPoint::basepoint(),
+            y1: self.vk,
+            g2: ct.c1,
+            y2: d,
+        };
+        let proof = prove_dleq(
+            &mut Transcript::new(b"votegral-decryption-share"),
+            &stmt,
+            &self.share,
+            rng,
+        );
+        DecryptionShare { member_index: self.index, share: d, proof }
+    }
+
+    /// The member's secret share (exposed for the tagging protocol, which
+    /// reuses the same share as its tagging exponent would in a deployment
+    /// use an independent DKG; see `vg-votegral::tagging`).
+    pub fn secret_share(&self) -> Scalar {
+        self.share
+    }
+}
+
+/// A verifiable decryption share D_j = x_j·C₁.
+#[derive(Clone, Debug)]
+pub struct DecryptionShare {
+    /// The producing member's 1-based index.
+    pub member_index: u32,
+    /// D_j = x_j·C₁.
+    pub share: EdwardsPoint,
+    /// Proof that log_B(X_j) = log_{C₁}(D_j).
+    pub proof: DlEqProof,
+}
+
+impl DecryptionShare {
+    /// Verifies the share against the member's verification key.
+    pub fn verify(&self, vk: &EdwardsPoint, ct: &Ciphertext) -> Result<(), CryptoError> {
+        let stmt = DlEqStatement {
+            g1: EdwardsPoint::basepoint(),
+            y1: *vk,
+            g2: ct.c1,
+            y2: self.share,
+        };
+        verify_dleq(
+            &mut Transcript::new(b"votegral-decryption-share"),
+            &stmt,
+            &self.proof,
+        )
+    }
+}
+
+/// Evaluates a polynomial (coefficients low-to-high) at the point `x`.
+fn eval_poly(coeffs: &[Scalar], x: u32) -> Scalar {
+    let xs = Scalar::from_u64(x as u64);
+    let mut acc = Scalar::ZERO;
+    for c in coeffs.iter().rev() {
+        acc = acc * xs + *c;
+    }
+    acc
+}
+
+/// Lagrange coefficient λ_j at zero for the index set `indices`.
+fn lagrange_at_zero(indices: &[u32], j: u32) -> Scalar {
+    let mut num = Scalar::ONE;
+    let mut den = Scalar::ONE;
+    let js = Scalar::from_u64(j as u64);
+    for &m in indices {
+        if m == j {
+            continue;
+        }
+        let ms = Scalar::from_u64(m as u64);
+        num *= ms;
+        den *= ms - js;
+    }
+    num * den.invert()
+}
+
+/// Combines at least `t` verified decryption shares into the plaintext
+/// M = C₂ − x·C₁ using Lagrange interpolation in the exponent.
+pub fn combine_shares(
+    ct: &Ciphertext,
+    shares: &[DecryptionShare],
+    t: usize,
+) -> Result<EdwardsPoint, CryptoError> {
+    if shares.len() < t {
+        return Err(CryptoError::InsufficientShares);
+    }
+    let used = &shares[..t];
+    let indices: Vec<u32> = used.iter().map(|s| s.member_index).collect();
+    // Reject duplicate indices (would make interpolation meaningless).
+    for (a, &ia) in indices.iter().enumerate() {
+        for &ib in &indices[a + 1..] {
+            if ia == ib {
+                return Err(CryptoError::Malformed("duplicate share index"));
+            }
+        }
+    }
+    let mut x_c1 = EdwardsPoint::IDENTITY;
+    for s in used {
+        let lambda = lagrange_at_zero(&indices, s.member_index);
+        x_c1 += s.share * lambda;
+    }
+    Ok(ct.c2 - x_c1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::HmacDrbg;
+    use crate::elgamal;
+
+    #[test]
+    fn dkg_then_threshold_decrypt() {
+        let mut rng = HmacDrbg::from_u64(1);
+        let authority = Authority::dkg(4, 4, &mut rng);
+        let m = EdwardsPoint::mul_base(&Scalar::from_u64(42));
+        let (ct, _) = elgamal::encrypt_point(&authority.public_key, &m, &mut rng);
+        let pt = authority.threshold_decrypt(&ct, &mut rng).expect("decrypts");
+        assert_eq!(pt, m);
+    }
+
+    #[test]
+    fn t_of_n_with_subset() {
+        let mut rng = HmacDrbg::from_u64(2);
+        let authority = Authority::dkg(5, 3, &mut rng);
+        let m = EdwardsPoint::mul_base(&Scalar::from_u64(7));
+        let (ct, _) = elgamal::encrypt_point(&authority.public_key, &m, &mut rng);
+        // Use members 2, 4, 5 (not the first t).
+        let shares: Vec<DecryptionShare> = [1usize, 3, 4]
+            .iter()
+            .map(|&i| authority.members[i].decryption_share(&ct, &mut rng))
+            .collect();
+        for s in &shares {
+            let vk = authority.members[(s.member_index - 1) as usize].vk;
+            s.verify(&vk, &ct).expect("share verifies");
+        }
+        assert_eq!(combine_shares(&ct, &shares, 3).expect("combines"), m);
+    }
+
+    #[test]
+    fn insufficient_shares_rejected() {
+        let mut rng = HmacDrbg::from_u64(3);
+        let authority = Authority::dkg(4, 3, &mut rng);
+        let m = EdwardsPoint::basepoint();
+        let (ct, _) = elgamal::encrypt_point(&authority.public_key, &m, &mut rng);
+        let shares: Vec<DecryptionShare> = authority.members[..2]
+            .iter()
+            .map(|mem| mem.decryption_share(&ct, &mut rng))
+            .collect();
+        assert_eq!(
+            combine_shares(&ct, &shares, 3).unwrap_err(),
+            CryptoError::InsufficientShares
+        );
+    }
+
+    #[test]
+    fn corrupted_share_detected() {
+        let mut rng = HmacDrbg::from_u64(4);
+        let authority = Authority::dkg(3, 3, &mut rng);
+        let m = EdwardsPoint::basepoint();
+        let (ct, _) = elgamal::encrypt_point(&authority.public_key, &m, &mut rng);
+        let mut share = authority.members[0].decryption_share(&ct, &mut rng);
+        share.share = share.share + EdwardsPoint::basepoint();
+        let vk = authority.members[0].vk;
+        assert!(share.verify(&vk, &ct).is_err());
+    }
+
+    #[test]
+    fn bad_dealing_share_detected() {
+        let mut rng = HmacDrbg::from_u64(5);
+        let coeffs: Vec<Scalar> = (0..3).map(|_| rng.scalar()).collect();
+        let dealing = Dealing {
+            commitments: coeffs.iter().map(EdwardsPoint::mul_base).collect(),
+        };
+        let good = eval_poly(&coeffs, 2);
+        dealing.verify_share(2, &good).expect("honest share");
+        let bad = good + Scalar::ONE;
+        assert!(dealing.verify_share(2, &bad).is_err());
+    }
+
+    #[test]
+    fn lagrange_reconstructs_constant_term() {
+        let mut rng = HmacDrbg::from_u64(6);
+        let coeffs: Vec<Scalar> = (0..3).map(|_| rng.scalar()).collect();
+        let indices = [1u32, 3, 7];
+        let mut secret = Scalar::ZERO;
+        for &j in &indices {
+            secret += lagrange_at_zero(&indices, j) * eval_poly(&coeffs, j);
+        }
+        assert_eq!(secret, coeffs[0]);
+    }
+
+    #[test]
+    fn duplicate_share_indices_rejected() {
+        let mut rng = HmacDrbg::from_u64(7);
+        let authority = Authority::dkg(3, 2, &mut rng);
+        let m = EdwardsPoint::basepoint();
+        let (ct, _) = elgamal::encrypt_point(&authority.public_key, &m, &mut rng);
+        let s = authority.members[0].decryption_share(&ct, &mut rng);
+        let dup = vec![s.clone(), s];
+        assert!(matches!(
+            combine_shares(&ct, &dup, 2),
+            Err(CryptoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn public_key_is_sum_of_constant_terms() {
+        let mut rng = HmacDrbg::from_u64(8);
+        let authority = Authority::dkg(4, 2, &mut rng);
+        let sum: EdwardsPoint = authority
+            .dealings
+            .iter()
+            .map(|d| d.commitments[0])
+            .sum();
+        assert_eq!(sum, authority.public_key);
+    }
+}

@@ -1,0 +1,583 @@
+//! Arithmetic in the base field GF(2^255 − 19) of edwards25519.
+//!
+//! Elements are represented with five 51-bit limbs in radix 2^51
+//! (the standard 64-bit representation). After every public operation the
+//! limbs are weakly reduced below 2^52, which keeps all intermediate
+//! products inside `u128` without overflow.
+//!
+//! The curve constants that depend on this field (d, 2d, √−1) are *derived*
+//! at first use from their defining equations rather than transcribed, and
+//! are cross-checked by known-answer tests in [`crate::edwards`].
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+const LOW_51_BIT_MASK: u64 = (1u64 << 51) - 1;
+
+/// An element of GF(2^255 − 19).
+#[derive(Clone, Copy)]
+pub struct FieldElement(pub(crate) [u64; 5]);
+
+impl fmt::Debug for FieldElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FieldElement(0x")?;
+        for b in self.to_bytes().iter().rev() {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl PartialEq for FieldElement {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+
+impl Eq for FieldElement {}
+
+impl Default for FieldElement {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement([0, 0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0, 0]);
+
+    /// Constructs an element from a small integer.
+    pub fn from_u64(x: u64) -> FieldElement {
+        let mut fe = FieldElement::ZERO;
+        fe.0[0] = x & LOW_51_BIT_MASK;
+        fe.0[1] = x >> 51;
+        fe
+    }
+
+    /// Weakly reduces the limbs below 2^52 (value unchanged mod p).
+    fn weak_reduce(mut self) -> FieldElement {
+        let c0 = self.0[0] >> 51;
+        let c1 = self.0[1] >> 51;
+        let c2 = self.0[2] >> 51;
+        let c3 = self.0[3] >> 51;
+        let c4 = self.0[4] >> 51;
+        self.0[0] &= LOW_51_BIT_MASK;
+        self.0[1] &= LOW_51_BIT_MASK;
+        self.0[2] &= LOW_51_BIT_MASK;
+        self.0[3] &= LOW_51_BIT_MASK;
+        self.0[4] &= LOW_51_BIT_MASK;
+        self.0[0] += c4 * 19;
+        self.0[1] += c0;
+        self.0[2] += c1;
+        self.0[3] += c2;
+        self.0[4] += c3;
+        self
+    }
+
+    /// Serializes to the canonical little-endian 32-byte encoding
+    /// (fully reduced, top bit clear).
+    pub fn to_bytes(self) -> [u8; 32] {
+        // Two weak reductions bring every limb below 2^51 + 19·2^? small
+        // excess; then a final conditional subtraction of p canonicalizes.
+        let mut h = self.weak_reduce().weak_reduce();
+        // Now limbs < 2^51 + small epsilon; compute h + 19, shift out the
+        // high bit chain to decide whether h >= p.
+        let mut q = (h.0[0] + 19) >> 51;
+        q = (h.0[1] + q) >> 51;
+        q = (h.0[2] + q) >> 51;
+        q = (h.0[3] + q) >> 51;
+        q = (h.0[4] + q) >> 51;
+        // If h >= p then q = 1 and we subtract p by adding 19 and masking.
+        h.0[0] += 19 * q;
+        let mut carry = h.0[0] >> 51;
+        h.0[0] &= LOW_51_BIT_MASK;
+        h.0[1] += carry;
+        carry = h.0[1] >> 51;
+        h.0[1] &= LOW_51_BIT_MASK;
+        h.0[2] += carry;
+        carry = h.0[2] >> 51;
+        h.0[2] &= LOW_51_BIT_MASK;
+        h.0[3] += carry;
+        carry = h.0[3] >> 51;
+        h.0[3] &= LOW_51_BIT_MASK;
+        h.0[4] += carry;
+        h.0[4] &= LOW_51_BIT_MASK; // Discard the 2^255 bit (subtracting p).
+
+        let mut out = [0u8; 32];
+        let limbs = h.0;
+        out[0] = limbs[0] as u8;
+        out[1] = (limbs[0] >> 8) as u8;
+        out[2] = (limbs[0] >> 16) as u8;
+        out[3] = (limbs[0] >> 24) as u8;
+        out[4] = (limbs[0] >> 32) as u8;
+        out[5] = (limbs[0] >> 40) as u8;
+        out[6] = ((limbs[0] >> 48) | (limbs[1] << 3)) as u8;
+        out[7] = (limbs[1] >> 5) as u8;
+        out[8] = (limbs[1] >> 13) as u8;
+        out[9] = (limbs[1] >> 21) as u8;
+        out[10] = (limbs[1] >> 29) as u8;
+        out[11] = (limbs[1] >> 37) as u8;
+        out[12] = ((limbs[1] >> 45) | (limbs[2] << 6)) as u8;
+        out[13] = (limbs[2] >> 2) as u8;
+        out[14] = (limbs[2] >> 10) as u8;
+        out[15] = (limbs[2] >> 18) as u8;
+        out[16] = (limbs[2] >> 26) as u8;
+        out[17] = (limbs[2] >> 34) as u8;
+        out[18] = (limbs[2] >> 42) as u8;
+        out[19] = ((limbs[2] >> 50) | (limbs[3] << 1)) as u8;
+        out[20] = (limbs[3] >> 7) as u8;
+        out[21] = (limbs[3] >> 15) as u8;
+        out[22] = (limbs[3] >> 23) as u8;
+        out[23] = (limbs[3] >> 31) as u8;
+        out[24] = (limbs[3] >> 39) as u8;
+        out[25] = ((limbs[3] >> 47) | (limbs[4] << 4)) as u8;
+        out[26] = (limbs[4] >> 4) as u8;
+        out[27] = (limbs[4] >> 12) as u8;
+        out[28] = (limbs[4] >> 20) as u8;
+        out[29] = (limbs[4] >> 28) as u8;
+        out[30] = (limbs[4] >> 36) as u8;
+        out[31] = (limbs[4] >> 44) as u8;
+        out
+    }
+
+    /// Deserializes from a little-endian 32-byte encoding, masking the top
+    /// bit (the caller handles the sign bit of point encodings).
+    ///
+    /// Non-canonical encodings (values in [p, 2^255)) are accepted and
+    /// interpreted modulo p, matching ed25519 conventions; strict callers use
+    /// [`FieldElement::from_bytes_canonical`].
+    pub fn from_bytes(bytes: &[u8; 32]) -> FieldElement {
+        let load8 = |b: &[u8]| -> u64 {
+            u64::from_le_bytes(b[..8].try_into().expect("8-byte slice"))
+        };
+        FieldElement([
+            load8(&bytes[0..]) & LOW_51_BIT_MASK,
+            (load8(&bytes[6..]) >> 3) & LOW_51_BIT_MASK,
+            (load8(&bytes[12..]) >> 6) & LOW_51_BIT_MASK,
+            (load8(&bytes[19..]) >> 1) & LOW_51_BIT_MASK,
+            (load8(&bytes[24..]) >> 12) & LOW_51_BIT_MASK,
+        ])
+    }
+
+    /// Strict deserialization that rejects non-canonical encodings and a set
+    /// top bit.
+    pub fn from_bytes_canonical(bytes: &[u8; 32]) -> Option<FieldElement> {
+        if bytes[31] & 0x80 != 0 {
+            return None;
+        }
+        let fe = Self::from_bytes(bytes);
+        if fe.to_bytes() == *bytes {
+            Some(fe)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the element is zero.
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Returns `true` if the canonical encoding is odd (the "negative" sign
+    /// convention of RFC 8032).
+    pub fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// The square of `self`.
+    pub fn square(&self) -> FieldElement {
+        *self * *self
+    }
+
+    /// Squares `self` `k` times.
+    pub fn pow2k(&self, k: u32) -> FieldElement {
+        debug_assert!(k > 0);
+        let mut z = *self;
+        for _ in 0..k {
+            z = z.square();
+        }
+        z
+    }
+
+    /// Raises to the power 2^250 − 1 (shared prefix of the inversion and
+    /// square-root exponent chains).
+    fn pow_2_250_minus_1(&self) -> (FieldElement, FieldElement) {
+        let z = *self;
+        let z2 = z.square(); // 2
+        let z8 = z2.pow2k(2); // 8
+        let z9 = z * z8; // 9
+        let z11 = z2 * z9; // 11
+        let z22 = z11.square(); // 22
+        let z_5_0 = z9 * z22; // 2^5 - 1
+        let z_10_5 = z_5_0.pow2k(5);
+        let z_10_0 = z_10_5 * z_5_0; // 2^10 - 1
+        let z_20_10 = z_10_0.pow2k(10);
+        let z_20_0 = z_20_10 * z_10_0; // 2^20 - 1
+        let z_40_20 = z_20_0.pow2k(20);
+        let z_40_0 = z_40_20 * z_20_0; // 2^40 - 1
+        let z_50_10 = z_40_0.pow2k(10);
+        let z_50_0 = z_50_10 * z_10_0; // 2^50 - 1
+        let z_100_50 = z_50_0.pow2k(50);
+        let z_100_0 = z_100_50 * z_50_0; // 2^100 - 1
+        let z_200_100 = z_100_0.pow2k(100);
+        let z_200_0 = z_200_100 * z_100_0; // 2^200 - 1
+        let z_250_50 = z_200_0.pow2k(50);
+        let z_250_0 = z_250_50 * z_50_0; // 2^250 - 1
+        (z_250_0, z11)
+    }
+
+    /// Multiplicative inverse (z^(p−2)).
+    ///
+    /// Returns zero for the zero input (callers that must distinguish check
+    /// [`FieldElement::is_zero`] first).
+    pub fn invert(&self) -> FieldElement {
+        let (z_250_0, z11) = self.pow_2_250_minus_1();
+        let z_255_5 = z_250_0.pow2k(5);
+        z_255_5 * z11 // 2^255 - 21 = p - 2
+    }
+
+    /// Raises to the power (p−5)/8 = 2^252 − 3 (used by `sqrt_ratio_i`).
+    pub fn pow_p58(&self) -> FieldElement {
+        let (z_250_0, _) = self.pow_2_250_minus_1();
+        let z_252_2 = z_250_0.pow2k(2); // 2^252 - 4
+        z_252_2 * *self // 2^252 - 3
+    }
+
+    /// Computes `sqrt(u/v)` when it exists.
+    ///
+    /// Returns `(true, r)` with `r² = u/v` and `r` non-negative, or
+    /// `(false, r)` with `r² = i·u/v` when `u/v` is a non-square (the second
+    /// form is what Ristretto-style decodings use to reject).
+    pub fn sqrt_ratio_i(u: &FieldElement, v: &FieldElement) -> (bool, FieldElement) {
+        let v3 = v.square() * *v;
+        let v7 = v3.square() * *v;
+        let mut r = (*u * v3) * (*u * v7).pow_p58();
+        let check = *v * r.square();
+
+        let i = sqrt_m1();
+        let correct_sign = check == *u;
+        let flipped_sign = check == -*u;
+        let flipped_sign_i = check == -(*u * i);
+        if flipped_sign || flipped_sign_i {
+            r = r * i;
+        }
+        if r.is_negative() {
+            r = -r;
+        }
+        (correct_sign || flipped_sign, r)
+    }
+
+    /// Conditionally negates to the non-negative representative.
+    pub fn abs(&self) -> FieldElement {
+        if self.is_negative() {
+            -*self
+        } else {
+            *self
+        }
+    }
+}
+
+impl Add for FieldElement {
+    type Output = FieldElement;
+    fn add(self, rhs: FieldElement) -> FieldElement {
+        let mut r = self;
+        for i in 0..5 {
+            r.0[i] += rhs.0[i];
+        }
+        r.weak_reduce()
+    }
+}
+
+impl AddAssign for FieldElement {
+    fn add_assign(&mut self, rhs: FieldElement) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for FieldElement {
+    type Output = FieldElement;
+    fn sub(self, rhs: FieldElement) -> FieldElement {
+        // Add 16p (limb-wise) before subtracting to avoid underflow; valid
+        // because limbs are kept below 2^52 < 16p's limbs ≈ 2^55.
+        const P16: [u64; 5] = [
+            36028797018963664, // 16 * (2^51 - 19)
+            36028797018963952, // 16 * (2^51 - 1)
+            36028797018963952,
+            36028797018963952,
+            36028797018963952,
+        ];
+        let mut r = self;
+        for i in 0..5 {
+            r.0[i] = r.0[i] + P16[i] - rhs.0[i];
+        }
+        r.weak_reduce()
+    }
+}
+
+impl SubAssign for FieldElement {
+    fn sub_assign(&mut self, rhs: FieldElement) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for FieldElement {
+    type Output = FieldElement;
+    fn neg(self) -> FieldElement {
+        FieldElement::ZERO - self
+    }
+}
+
+impl Mul for FieldElement {
+    type Output = FieldElement;
+    fn mul(self, rhs: FieldElement) -> FieldElement {
+        let a = &self.0;
+        let b = &rhs.0;
+        // Pre-multiply the folding terms by 19.
+        let b1_19 = (b[1] as u128) * 19;
+        let b2_19 = (b[2] as u128) * 19;
+        let b3_19 = (b[3] as u128) * 19;
+        let b4_19 = (b[4] as u128) * 19;
+        let a0 = a[0] as u128;
+        let a1 = a[1] as u128;
+        let a2 = a[2] as u128;
+        let a3 = a[3] as u128;
+        let a4 = a[4] as u128;
+
+        let c0 = a0 * b[0] as u128 + a1 * b4_19 + a2 * b3_19 + a3 * b2_19 + a4 * b1_19;
+        let c1 = a0 * b[1] as u128 + a1 * b[0] as u128 + a2 * b4_19 + a3 * b3_19 + a4 * b2_19;
+        let mut c2 = a0 * b[2] as u128
+            + a1 * b[1] as u128
+            + a2 * b[0] as u128
+            + a3 * b4_19
+            + a4 * b3_19;
+        let mut c3 = a0 * b[3] as u128
+            + a1 * b[2] as u128
+            + a2 * b[1] as u128
+            + a3 * b[0] as u128
+            + a4 * b4_19;
+        let mut c4 = a0 * b[4] as u128
+            + a1 * b[3] as u128
+            + a2 * b[2] as u128
+            + a3 * b[1] as u128
+            + a4 * b[0] as u128;
+
+        // Carry chain into 51-bit limbs.
+        let mut out = [0u64; 5];
+        let c1 = c1 + (c0 >> 51);
+        out[0] = (c0 as u64) & LOW_51_BIT_MASK;
+        c2 += (c1 >> 51) as u128;
+        out[1] = (c1 as u64) & LOW_51_BIT_MASK;
+        c3 += (c2 >> 51) as u128;
+        out[2] = (c2 as u64) & LOW_51_BIT_MASK;
+        c4 += (c3 >> 51) as u128;
+        out[3] = (c3 as u64) & LOW_51_BIT_MASK;
+        let carry = (c4 >> 51) as u64;
+        out[4] = (c4 as u64) & LOW_51_BIT_MASK;
+        out[0] += carry * 19;
+        let carry = out[0] >> 51;
+        out[0] &= LOW_51_BIT_MASK;
+        out[1] += carry;
+        FieldElement(out)
+    }
+}
+
+impl MulAssign for FieldElement {
+    fn mul_assign(&mut self, rhs: FieldElement) {
+        *self = *self * rhs;
+    }
+}
+
+/// √−1 in GF(2^255−19), derived at first use as 2^((p−1)/4).
+pub fn sqrt_m1() -> FieldElement {
+    use std::sync::OnceLock;
+    static SQRT_M1: OnceLock<FieldElement> = OnceLock::new();
+    *SQRT_M1.get_or_init(|| {
+        // (p-1)/4 = 2^253 - 5: compute 2^(2^253) / 2^5 as field exponents via
+        // square-and-multiply on the byte representation of the exponent.
+        // Simpler: e = (p-1)/4 with p = 2^255-19 => e = 2^253 - 5.
+        // Binary: 0b0111...1011 (251 ones, then 011).
+        let two = FieldElement::from_u64(2);
+        // 2^(2^253 - 5) = 2^(2^253) * 2^(-5); do square-and-multiply directly.
+        // Exponent bits MSB-first: 2^253 - 5 = (2^253 - 8) + 3
+        //   = 0b0111…1 (250 ones) 011.
+        let mut acc = FieldElement::ONE;
+        // 253 bits total: bits 252..=0 of e. e = 2^253-5 means bits 252..2
+        // are 1 except bit 2 = 0; bits: e = ...: compute via subtraction in
+        // binary: 2^253 is a 1 followed by 253 zeros; minus 5 (101) gives
+        // 252 leading ones then 011.
+        let mut bits = [true; 253];
+        bits[2] = false; // bit index 2 (value 4) is 0.
+        bits[1] = true; // value 2
+        bits[0] = true; // value 1
+        for i in (0..253).rev() {
+            acc = acc.square();
+            if bits[i] {
+                acc = acc * two;
+            }
+        }
+        let r = acc;
+        debug_assert_eq!(r * r, -FieldElement::ONE);
+        r
+    })
+}
+
+/// The Edwards curve constant d = −121665/121666, derived at first use.
+pub fn edwards_d() -> FieldElement {
+    use std::sync::OnceLock;
+    static D: OnceLock<FieldElement> = OnceLock::new();
+    *D.get_or_init(|| -FieldElement::from_u64(121665) * FieldElement::from_u64(121666).invert())
+}
+
+/// 2·d, used by the extended-coordinate addition formulas.
+pub fn edwards_d2() -> FieldElement {
+    use std::sync::OnceLock;
+    static D2: OnceLock<FieldElement> = OnceLock::new();
+    *D2.get_or_init(|| {
+        let d = edwards_d();
+        d + d
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_fe() -> impl Strategy<Value = FieldElement> {
+        proptest::array::uniform32(any::<u8>()).prop_map(|mut b| {
+            b[31] &= 0x7f;
+            FieldElement::from_bytes(&b)
+        })
+    }
+
+    #[test]
+    fn one_plus_one() {
+        assert_eq!(
+            FieldElement::ONE + FieldElement::ONE,
+            FieldElement::from_u64(2)
+        );
+    }
+
+    #[test]
+    fn p_encodes_to_zero() {
+        // p = 2^255 - 19.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        let fe = FieldElement::from_bytes(&p_bytes);
+        assert!(fe.is_zero());
+        assert!(FieldElement::from_bytes_canonical(&p_bytes).is_none());
+    }
+
+    #[test]
+    fn p_minus_one_is_canonical() {
+        let mut b = [0xffu8; 32];
+        b[0] = 0xec;
+        b[31] = 0x7f;
+        let fe = FieldElement::from_bytes_canonical(&b).expect("canonical");
+        assert_eq!(fe + FieldElement::ONE, FieldElement::ZERO);
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = sqrt_m1();
+        assert_eq!(i * i, -FieldElement::ONE);
+        assert!(!i.is_zero());
+    }
+
+    #[test]
+    fn d_satisfies_definition() {
+        // d * 121666 == -121665.
+        assert_eq!(
+            edwards_d() * FieldElement::from_u64(121666),
+            -FieldElement::from_u64(121665)
+        );
+        assert_eq!(edwards_d2(), edwards_d() + edwards_d());
+    }
+
+    #[test]
+    fn invert_small_values() {
+        for x in 1u64..32 {
+            let fe = FieldElement::from_u64(x);
+            assert_eq!(fe * fe.invert(), FieldElement::ONE, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn sqrt_ratio_of_square() {
+        let u = FieldElement::from_u64(49);
+        let v = FieldElement::from_u64(4);
+        let (ok, r) = FieldElement::sqrt_ratio_i(&u, &v);
+        assert!(ok);
+        assert_eq!(r.square() * v, u);
+        assert!(!r.is_negative());
+    }
+
+    #[test]
+    fn sqrt_ratio_of_nonsquare() {
+        // 2 is a non-square mod p (p ≡ 5 mod 8 ⇒ 2 is a QNR? verify via the
+        // function itself being consistent: r² = i·u/v must hold).
+        let u = FieldElement::from_u64(2);
+        let v = FieldElement::ONE;
+        let (ok, r) = FieldElement::sqrt_ratio_i(&u, &v);
+        if !ok {
+            assert_eq!(r.square(), u * sqrt_m1());
+        } else {
+            assert_eq!(r.square(), u);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in arb_fe(), b in arb_fe()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn mul_commutes(a in arb_fe(), b in arb_fe()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn mul_associates(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn distributes(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn sub_is_add_neg(a in arb_fe(), b in arb_fe()) {
+            prop_assert_eq!(a - b, a + (-b));
+        }
+
+        #[test]
+        fn inverse_property(a in arb_fe()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a * a.invert(), FieldElement::ONE);
+        }
+
+        #[test]
+        fn bytes_roundtrip(a in arb_fe()) {
+            prop_assert_eq!(FieldElement::from_bytes(&a.to_bytes()), a);
+        }
+
+        #[test]
+        fn square_matches_mul(a in arb_fe()) {
+            prop_assert_eq!(a.square(), a * a);
+        }
+
+        #[test]
+        fn sqrt_ratio_consistent(a in arb_fe()) {
+            prop_assume!(!a.is_zero());
+            let sq = a.square();
+            let (ok, r) = FieldElement::sqrt_ratio_i(&sq, &FieldElement::ONE);
+            prop_assert!(ok);
+            prop_assert_eq!(r, a.abs());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! TRIP uses a MAC to authorize check-in tickets: the registration official
+//! and the kiosks share a secret key `s_rk`, the official tags the voter
+//! identifier, and the kiosk verifies the tag before starting a session
+//! (Appendix E.3 of the paper).
+
+use crate::sha2::Sha256;
+
+const BLOCK_LEN: usize = 64;
+
+/// Incremental HMAC-SHA-256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = crate::sha2::sha256(key);
+            k[..32].copy_from_slice(&digest);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK_LEN];
+        let mut opad = [0x5cu8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        Self { inner, outer }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        self.inner.update(data);
+        self
+    }
+
+    /// Finalizes and returns the 32-byte tag.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(&inner_digest);
+        self.outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA-256 tag of `msg` under `key`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
+    let mut h = HmacSha256::new(key);
+    h.update(msg);
+    h.finalize()
+}
+
+/// Verifies an HMAC tag. Comparison is not constant-time (research artifact;
+/// see `DESIGN.md` §7).
+pub fn hmac_verify(key: &[u8], msg: &[u8], tag: &[u8; 32]) -> bool {
+    hmac_sha256(key, msg) == *tag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_long_key() {
+        // Test with a key larger than the block size (131 bytes of 0xaa).
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"key", b"msg");
+        assert!(hmac_verify(b"key", b"msg", &tag));
+        assert!(!hmac_verify(b"key", b"msg2", &tag));
+        assert!(!hmac_verify(b"key2", b"msg", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!hmac_verify(b"key", b"msg", &bad));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = HmacSha256::new(b"k");
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), hmac_sha256(b"k", b"hello world"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Schnorr signatures with SHA-256 on edwards25519 (§6 of the paper).
+//!
+//! This is the EUF-CMA signature scheme `Sig` of Appendix E.1: key
+//! generation, signing, verification, and public-key derivation
+//! (`Sig.PubKey`). Kiosks sign credential material with it, officials sign
+//! check-out approvals, envelope printers sign challenge hashes, and ballot
+//! authentication reuses the same scheme through credential key pairs.
+//!
+//! Nonces are derived deterministically from the secret key and message
+//! (RFC 6979 style) so a faulty RNG can never leak a key through nonce
+//! reuse; an optional extra entropy input hedges against fault attacks.
+
+use crate::drbg::Rng;
+use crate::edwards::{CompressedPoint, EdwardsPoint};
+use crate::scalar::Scalar;
+use crate::sha2::{sha256, Sha512};
+use crate::CryptoError;
+
+/// A Schnorr signing key pair.
+#[derive(Clone)]
+pub struct SigningKey {
+    sk: Scalar,
+    pk: EdwardsPoint,
+}
+
+impl core::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print the secret scalar.
+        write!(f, "SigningKey(pk={:?})", self.pk.compress())
+    }
+}
+
+/// A Schnorr public key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VerifyingKey(pub EdwardsPoint);
+
+/// A Schnorr signature (R, s).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// The commitment point R = k·B.
+    pub r: CompressedPoint,
+    /// The response s = k + e·sk.
+    pub s: Scalar,
+}
+
+impl Signature {
+    /// Serializes to 64 bytes (R ‖ s).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.0);
+        out[32..].copy_from_slice(&self.s.to_bytes());
+        out
+    }
+
+    /// Deserializes from 64 bytes, validating the scalar encoding.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Result<Self, CryptoError> {
+        let mut r = [0u8; 32];
+        r.copy_from_slice(&bytes[..32]);
+        let mut s = [0u8; 32];
+        s.copy_from_slice(&bytes[32..]);
+        let s = Scalar::from_canonical_bytes(&s).ok_or(CryptoError::InvalidScalar)?;
+        Ok(Self { r: CompressedPoint(r), s })
+    }
+}
+
+impl SigningKey {
+    /// Generates a fresh key pair.
+    pub fn generate(rng: &mut dyn Rng) -> Self {
+        let sk = rng.scalar();
+        Self::from_scalar(sk)
+    }
+
+    /// Builds the key pair for a known secret scalar.
+    pub fn from_scalar(sk: Scalar) -> Self {
+        let pk = EdwardsPoint::mul_base(&sk);
+        Self { sk, pk }
+    }
+
+    /// The secret scalar (used by the credential-transfer extension C.2).
+    pub fn secret(&self) -> Scalar {
+        self.sk
+    }
+
+    /// The public verification key (`Sig.PubKey`).
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey(self.pk)
+    }
+
+    /// Signs `msg` (`Sig.Sign`), with deterministic nonce derivation.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let mut h = Sha512::new();
+        h.update(b"votegral-schnorr-nonce-v1");
+        h.update(&self.sk.to_bytes());
+        h.update(&(msg.len() as u64).to_le_bytes());
+        h.update(msg);
+        let k = Scalar::from_bytes_wide(&h.finalize());
+        self.sign_with_nonce(msg, k)
+    }
+
+    /// Signs with an extra entropy hedge mixed into the nonce.
+    pub fn sign_randomized(&self, msg: &[u8], rng: &mut dyn Rng) -> Signature {
+        let mut h = Sha512::new();
+        h.update(b"votegral-schnorr-nonce-v1");
+        h.update(&self.sk.to_bytes());
+        h.update(&rng.bytes32());
+        h.update(&(msg.len() as u64).to_le_bytes());
+        h.update(msg);
+        let k = Scalar::from_bytes_wide(&h.finalize());
+        self.sign_with_nonce(msg, k)
+    }
+
+    fn sign_with_nonce(&self, msg: &[u8], k: Scalar) -> Signature {
+        let r_point = EdwardsPoint::mul_base(&k);
+        let r = r_point.compress();
+        let e = challenge(&r, &self.pk.compress(), msg);
+        let s = k + e * self.sk;
+        Signature { r, s }
+    }
+}
+
+impl VerifyingKey {
+    /// Verifies `sig` over `msg` (`Sig.Vf`).
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), CryptoError> {
+        let r_point = sig.r.decompress().ok_or(CryptoError::InvalidPoint)?;
+        if r_point.is_small_order() {
+            return Err(CryptoError::InvalidPoint);
+        }
+        let e = challenge(&sig.r, &self.0.compress(), msg);
+        // s·B == R + e·A.
+        let lhs = EdwardsPoint::mul_base(&sig.s);
+        let rhs = r_point + self.0 * e;
+        if lhs == rhs {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+
+    /// The compressed encoding of the public key.
+    pub fn compress(&self) -> CompressedPoint {
+        self.0.compress()
+    }
+
+    /// Decodes a public key, rejecting small-order and off-curve points.
+    pub fn from_compressed(c: &CompressedPoint) -> Result<Self, CryptoError> {
+        let p = c.decompress().ok_or(CryptoError::InvalidPoint)?;
+        if p.is_small_order() {
+            return Err(CryptoError::InvalidPoint);
+        }
+        Ok(Self(p))
+    }
+}
+
+/// Batch-verifies independent (key, message, signature) triples with one
+/// multi-scalar multiplication.
+///
+/// Uses the standard random-linear-combination check: with fresh random
+/// weights zᵢ, Σ zᵢ·sᵢ·B == Σ zᵢ·Rᵢ + Σ zᵢ·eᵢ·Aᵢ holds for honest batches
+/// and fails except with negligible probability if any signature is
+/// invalid. Ballot admission verifies thousands of independent credential
+/// signatures, which is exactly this shape; Pippenger makes the batch
+/// several times cheaper than one-by-one verification.
+///
+/// Returns `Ok(())` only if *every* signature is valid (callers fall back
+/// to per-item verification to locate an offender).
+pub fn batch_verify(
+    items: &[(VerifyingKey, &[u8], Signature)],
+    rng: &mut dyn Rng,
+) -> Result<(), CryptoError> {
+    if items.is_empty() {
+        return Ok(());
+    }
+    let n = items.len();
+    let mut scalars = Vec::with_capacity(2 * n + 1);
+    let mut points = Vec::with_capacity(2 * n + 1);
+    let mut s_sum = Scalar::ZERO;
+    for (vk, msg, sig) in items {
+        let r_point = sig.r.decompress().ok_or(CryptoError::InvalidPoint)?;
+        let e = challenge(&sig.r, &vk.0.compress(), msg);
+        // 128-bit random weight is ample for soundness.
+        let mut w = [0u8; 32];
+        rng.fill_bytes(&mut w[..16]);
+        let z = Scalar::from_bytes_mod_order(&w);
+        s_sum += z * sig.s;
+        scalars.push(z);
+        points.push(r_point);
+        scalars.push(z * e);
+        points.push(vk.0);
+    }
+    scalars.push(-s_sum);
+    points.push(EdwardsPoint::basepoint());
+    if crate::edwards::multiscalar_mul(&scalars, &points).is_identity() {
+        Ok(())
+    } else {
+        Err(CryptoError::BadSignature)
+    }
+}
+
+/// Fiat–Shamir challenge e = SHA-256(R ‖ A ‖ M) reduced mod ℓ.
+fn challenge(r: &CompressedPoint, pk: &CompressedPoint, msg: &[u8]) -> Scalar {
+    let mut data = Vec::with_capacity(64 + msg.len() + 16);
+    data.extend_from_slice(b"votegral-schnorr-v1");
+    data.extend_from_slice(&r.0);
+    data.extend_from_slice(&pk.0);
+    data.extend_from_slice(msg);
+    Scalar::from_bytes_mod_order(&sha256(&data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::HmacDrbg;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = HmacDrbg::from_u64(1);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"the votes are in");
+        key.verifying_key()
+            .verify(b"the votes are in", &sig)
+            .expect("valid signature verifies");
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut rng = HmacDrbg::from_u64(2);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"msg-a");
+        assert_eq!(
+            key.verifying_key().verify(b"msg-b", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = HmacDrbg::from_u64(3);
+        let key_a = SigningKey::generate(&mut rng);
+        let key_b = SigningKey::generate(&mut rng);
+        let sig = key_a.sign(b"msg");
+        assert!(key_b.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut rng = HmacDrbg::from_u64(4);
+        let key = SigningKey::generate(&mut rng);
+        let mut sig = key.sign(b"msg");
+        sig.s = sig.s + Scalar::ONE;
+        assert!(key.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut rng = HmacDrbg::from_u64(5);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"serialize me");
+        let decoded = Signature::from_bytes(&sig.to_bytes()).expect("decodes");
+        assert_eq!(decoded, sig);
+        key.verifying_key().verify(b"serialize me", &decoded).unwrap();
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let mut rng = HmacDrbg::from_u64(6);
+        let key = SigningKey::generate(&mut rng);
+        assert_eq!(key.sign(b"m").to_bytes(), key.sign(b"m").to_bytes());
+        assert_ne!(key.sign(b"m").to_bytes(), key.sign(b"n").to_bytes());
+    }
+
+    #[test]
+    fn randomized_signing_still_verifies() {
+        let mut rng = HmacDrbg::from_u64(7);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign_randomized(b"m", &mut rng);
+        key.verifying_key().verify(b"m", &sig).unwrap();
+    }
+
+    #[test]
+    fn pubkey_decode_rejects_identity() {
+        let id = EdwardsPoint::IDENTITY.compress();
+        assert!(VerifyingKey::from_compressed(&id).is_err());
+    }
+
+    #[test]
+    fn batch_verify_accepts_honest_batch() {
+        let mut rng = HmacDrbg::from_u64(8);
+        let msgs: Vec<Vec<u8>> = (0..20).map(|i| format!("ballot-{i}").into_bytes()).collect();
+        let items: Vec<(VerifyingKey, &[u8], Signature)> = msgs
+            .iter()
+            .map(|m| {
+                let key = SigningKey::generate(&mut rng);
+                let sig = key.sign(m);
+                (key.verifying_key(), m.as_slice(), sig)
+            })
+            .collect();
+        batch_verify(&items, &mut rng).expect("honest batch verifies");
+    }
+
+    #[test]
+    fn batch_verify_rejects_single_bad_signature() {
+        let mut rng = HmacDrbg::from_u64(9);
+        let msgs: Vec<Vec<u8>> = (0..10).map(|i| format!("m{i}").into_bytes()).collect();
+        let mut items: Vec<(VerifyingKey, &[u8], Signature)> = msgs
+            .iter()
+            .map(|m| {
+                let key = SigningKey::generate(&mut rng);
+                let sig = key.sign(m);
+                (key.verifying_key(), m.as_slice(), sig)
+            })
+            .collect();
+        items[7].2.s = items[7].2.s + Scalar::ONE;
+        assert_eq!(
+            batch_verify(&items, &mut rng),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn batch_verify_matches_individual() {
+        // Agreement: the batch accepts exactly when every individual check
+        // accepts (probabilistically, over several random batches).
+        let mut rng = HmacDrbg::from_u64(10);
+        for round in 0..5u64 {
+            let corrupt = round % 2 == 0;
+            let msgs: Vec<Vec<u8>> =
+                (0..6).map(|i| format!("r{round}m{i}").into_bytes()).collect();
+            let mut items: Vec<(VerifyingKey, &[u8], Signature)> = msgs
+                .iter()
+                .map(|m| {
+                    let key = SigningKey::generate(&mut rng);
+                    let sig = key.sign(m);
+                    (key.verifying_key(), m.as_slice(), sig)
+                })
+                .collect();
+            if corrupt {
+                items[0].2.s = items[0].2.s + Scalar::ONE;
+            }
+            let individual_ok = items
+                .iter()
+                .all(|(vk, m, sig)| vk.verify(m, sig).is_ok());
+            let batch_ok = batch_verify(&items, &mut rng).is_ok();
+            assert_eq!(individual_ok, batch_ok, "round {round}");
+        }
+    }
+
+    #[test]
+    fn batch_verify_empty_is_ok() {
+        let mut rng = HmacDrbg::from_u64(11);
+        batch_verify(&[], &mut rng).expect("empty batch");
+    }
+}

@@ -1,0 +1,201 @@
+//! Shamir secret sharing over the scalar field — the substrate for social
+//! key recovery (Appendix K).
+//!
+//! A voter who loses their device can re-register in person; Appendix K
+//! sketches the softer alternative of splitting the credential secret
+//! among trustees so any t of them can restore it. This module implements
+//! t-of-n sharing of a [`Scalar`] with share verification against Feldman
+//! commitments, reusing the polynomial machinery of the DKG.
+
+use crate::drbg::Rng;
+use crate::edwards::EdwardsPoint;
+use crate::scalar::Scalar;
+use crate::CryptoError;
+
+/// One trustee's share: (index, f(index)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Share {
+    /// 1-based evaluation point.
+    pub index: u32,
+    /// The polynomial evaluation f(index).
+    pub value: Scalar,
+}
+
+/// Public commitments to the sharing polynomial (F_k = coeff_k·B),
+/// letting each trustee verify their share without trusting the dealer.
+#[derive(Clone, Debug)]
+pub struct ShareCommitments {
+    /// F_0 … F_{t−1}.
+    pub commitments: Vec<EdwardsPoint>,
+}
+
+impl ShareCommitments {
+    /// Verifies a share: value·B == Σ_k index^k·F_k.
+    pub fn verify(&self, share: &Share) -> Result<(), CryptoError> {
+        let mut expected = EdwardsPoint::IDENTITY;
+        let x = Scalar::from_u64(share.index as u64);
+        let mut x_pow = Scalar::ONE;
+        for f in &self.commitments {
+            expected += *f * x_pow;
+            x_pow *= x;
+        }
+        if EdwardsPoint::mul_base(&share.value) == expected {
+            Ok(())
+        } else {
+            Err(CryptoError::BadShare)
+        }
+    }
+
+    /// The commitment to the secret itself (secret·B), for checking a
+    /// reconstruction.
+    pub fn secret_commitment(&self) -> EdwardsPoint {
+        self.commitments[0]
+    }
+}
+
+/// Splits `secret` into `n` shares, any `threshold` of which reconstruct.
+///
+/// # Panics
+///
+/// Panics unless `1 <= threshold <= n`.
+pub fn split(
+    secret: &Scalar,
+    threshold: usize,
+    n: usize,
+    rng: &mut dyn Rng,
+) -> (Vec<Share>, ShareCommitments) {
+    assert!(threshold >= 1 && threshold <= n, "1 <= t <= n");
+    // f(0) = secret, higher coefficients random.
+    let mut coeffs = Vec::with_capacity(threshold);
+    coeffs.push(*secret);
+    for _ in 1..threshold {
+        coeffs.push(rng.scalar());
+    }
+    let shares = (1..=n as u32)
+        .map(|i| {
+            let x = Scalar::from_u64(i as u64);
+            let mut acc = Scalar::ZERO;
+            for c in coeffs.iter().rev() {
+                acc = acc * x + *c;
+            }
+            Share { index: i, value: acc }
+        })
+        .collect();
+    let commitments = ShareCommitments {
+        commitments: coeffs.iter().map(EdwardsPoint::mul_base).collect(),
+    };
+    (shares, commitments)
+}
+
+/// Reconstructs the secret from at least `threshold` shares (Lagrange at
+/// zero). Duplicate indices are rejected.
+pub fn reconstruct(shares: &[Share], threshold: usize) -> Result<Scalar, CryptoError> {
+    if shares.len() < threshold {
+        return Err(CryptoError::InsufficientShares);
+    }
+    let used = &shares[..threshold];
+    for (i, a) in used.iter().enumerate() {
+        for b in &used[i + 1..] {
+            if a.index == b.index {
+                return Err(CryptoError::Malformed("duplicate share index"));
+            }
+        }
+    }
+    let mut secret = Scalar::ZERO;
+    for a in used {
+        let mut num = Scalar::ONE;
+        let mut den = Scalar::ONE;
+        let xa = Scalar::from_u64(a.index as u64);
+        for b in used {
+            if a.index == b.index {
+                continue;
+            }
+            let xb = Scalar::from_u64(b.index as u64);
+            num *= xb;
+            den *= xb - xa;
+        }
+        secret += a.value * num * den.invert();
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::HmacDrbg;
+    use proptest::prelude::{any, ProptestConfig};
+    use proptest::{prop_assert_eq, proptest};
+
+    #[test]
+    fn split_and_reconstruct() {
+        let mut rng = HmacDrbg::from_u64(1);
+        let secret = rng.scalar();
+        let (shares, commitments) = split(&secret, 3, 5, &mut rng);
+        assert_eq!(shares.len(), 5);
+        for s in &shares {
+            commitments.verify(s).expect("share verifies");
+        }
+        // Any 3 shares reconstruct.
+        let rec = reconstruct(&shares[1..4], 3).expect("reconstructs");
+        assert_eq!(rec, secret);
+        assert_eq!(
+            EdwardsPoint::mul_base(&rec),
+            commitments.secret_commitment()
+        );
+    }
+
+    #[test]
+    fn too_few_shares_fail() {
+        let mut rng = HmacDrbg::from_u64(2);
+        let secret = rng.scalar();
+        let (shares, _) = split(&secret, 4, 6, &mut rng);
+        assert_eq!(
+            reconstruct(&shares[..3], 4).unwrap_err(),
+            CryptoError::InsufficientShares
+        );
+        // And 3 shares carry NO information (any value is consistent):
+        // reconstructing with a wrong 4th share gives a different secret,
+        // not an error.
+        let mut forged = shares[..4].to_vec();
+        forged[3].value = rng.scalar();
+        let wrong = reconstruct(&forged, 4).expect("combines");
+        assert_ne!(wrong, secret);
+    }
+
+    #[test]
+    fn corrupted_share_detected_by_commitments() {
+        let mut rng = HmacDrbg::from_u64(3);
+        let secret = rng.scalar();
+        let (shares, commitments) = split(&secret, 2, 3, &mut rng);
+        let mut bad = shares[0];
+        bad.value += Scalar::ONE;
+        assert!(commitments.verify(&bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_indices_rejected() {
+        let mut rng = HmacDrbg::from_u64(4);
+        let secret = rng.scalar();
+        let (shares, _) = split(&secret, 2, 3, &mut rng);
+        let dup = [shares[0], shares[0]];
+        assert!(matches!(
+            reconstruct(&dup, 2),
+            Err(CryptoError::Malformed(_))
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn any_threshold_subset_reconstructs(seed in any::<u64>(), t in 1usize..5, extra in 0usize..3) {
+            let n = t + extra;
+            let mut rng = HmacDrbg::from_u64(seed);
+            let secret = rng.scalar();
+            let (mut shares, _) = split(&secret, t, n, &mut rng);
+            // Rotate to pick an arbitrary subset.
+            shares.rotate_left(seed as usize % n);
+            prop_assert_eq!(reconstruct(&shares[..t], t).unwrap(), secret);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Arithmetic in GF(2^8) with the QR-code polynomial x⁸+x⁴+x³+x²+1.
+//!
+//! Exponential/logarithm tables over the generator α = 2 are built once at
+//! first use; multiplication, division and inversion are table lookups.
+//! This is the base field of the Reed–Solomon codec ([`crate::rs`]) behind
+//! the QR symbols TRIP prints on receipts and envelopes.
+
+use std::sync::OnceLock;
+
+/// The QR-standard reduction polynomial (0x11d).
+const POLY: u16 = 0x11d;
+
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        // Duplicate for overflow-free exponent addition.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Adds two field elements (XOR).
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Divides `a` by `b`.
+///
+/// # Panics
+///
+/// Panics if `b` is zero.
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let diff = t.log[a as usize] as usize + 255 - t.log[b as usize] as usize;
+    t.exp[diff]
+}
+
+/// α^k.
+pub fn exp(k: usize) -> u8 {
+    tables().exp[k % 255]
+}
+
+/// log_α(a).
+///
+/// # Panics
+///
+/// Panics if `a` is zero.
+pub fn log(a: u8) -> u8 {
+    assert!(a != 0, "log of zero in GF(256)");
+    tables().log[a as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics if `a` is zero.
+pub fn inv(a: u8) -> u8 {
+    div(1, a)
+}
+
+/// Evaluates a polynomial (coefficients highest-degree first) at `x`
+/// (Horner).
+pub fn poly_eval(poly: &[u8], x: u8) -> u8 {
+    let mut acc = 0u8;
+    for &c in poly {
+        acc = mul(acc, x) ^ c;
+    }
+    acc
+}
+
+/// Multiplies two polynomials (coefficients highest-degree first).
+pub fn poly_mul(a: &[u8], b: &[u8]) -> Vec<u8> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u8; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] ^= mul(ai, bj);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms() {
+        for a in 1u16..=255 {
+            let a = a as u8;
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn mul_commutative_associative() {
+        for a in [1u8, 2, 7, 133, 255] {
+            for b in [1u8, 3, 99, 200] {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in [5u8, 190] {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive() {
+        for a in [3u8, 29, 180] {
+            for b in [7u8, 45] {
+                for c in [11u8, 250] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // α^255 = 1 and no smaller power is 1.
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..255 {
+            assert!(seen.insert(exp(k)), "repeat at {k}");
+        }
+        assert_eq!(exp(255), exp(0));
+    }
+
+    #[test]
+    fn known_products() {
+        // In GF(256) with 0x11d: 2 * 128 = 0x1d ^ ... compute: 128<<1 = 256 → ^0x11d = 0x1d.
+        assert_eq!(mul(2, 128), 0x1d);
+        // x · x⁷ · x⁻⁸ round-trips through the reduction.
+        assert_eq!(div(mul(2, 128), 128), 2);
+        assert_eq!(poly_eval(&[0x53], 0), 0x53);
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        // p(x) = 2x² + 3x + 5 at x = 4: 2·(4²) ⊕ 3·4 ⊕ 5 in GF arithmetic.
+        let p = [2u8, 3, 5];
+        let x = 4u8;
+        let expect = mul(2, mul(x, x)) ^ mul(3, x) ^ 5;
+        assert_eq!(poly_eval(&p, x), expect);
+    }
+
+    #[test]
+    fn poly_mul_degree() {
+        let a = [1u8, 2];
+        let b = [1u8, 3];
+        // (x+2)(x+3) = x² + (2⊕3)x + 6.
+        assert_eq!(poly_mul(&a, &b), vec![1, 2 ^ 3, mul(2, 3)]);
+    }
+}

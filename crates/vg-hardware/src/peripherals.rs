@@ -1,0 +1,161 @@
+//! Simulated kiosk peripherals: receipt printer and QR scanner.
+//!
+//! The prototype drives an EPSON TM-T20III thermal printer (via CUPS, which
+//! the authors instrumented for latency capture, §7.2) and a Bluetooth
+//! barcode/QR scanner. We simulate both: a print job really encodes the
+//! payload into a QR symbol (measured as QR Read/Write compute), then
+//! charges the device's mechanical print model; a scan really decodes the
+//! symbol (compute) and charges the transfer model. Wall-clock latencies
+//! land in a [`MetricsCollector`] exactly like the paper's breakdown.
+
+use std::time::Instant;
+
+use crate::device::DeviceProfile;
+use crate::metrics::{Component, MetricsCollector, Phase};
+use crate::qr::{self, QrError, QrSymbol};
+
+/// A print job produced by the simulated printer.
+#[derive(Clone, Debug)]
+pub struct PrintedQr {
+    /// The encoded symbol (what lands on paper).
+    pub symbol: QrSymbol,
+    /// Payload size in bytes, for latency accounting.
+    pub payload_len: usize,
+}
+
+/// Simulated peripherals attached to one device profile.
+pub struct Peripherals {
+    /// The platform being simulated.
+    pub device: DeviceProfile,
+    /// Latency accounting for the current run.
+    pub metrics: MetricsCollector,
+}
+
+impl Peripherals {
+    /// Attaches peripherals to a device profile.
+    pub fn new(device: DeviceProfile) -> Self {
+        Self { device, metrics: MetricsCollector::new() }
+    }
+
+    /// Prints a QR code: encodes the payload (real compute, scaled) and
+    /// charges the mechanical print model.
+    pub fn print_qr(&mut self, phase: Phase, payload: &[u8]) -> Result<PrintedQr, QrError> {
+        let start = Instant::now();
+        let symbol = qr::encode(payload)?;
+        let host_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let codec_ms = host_ms * self.device.qr_codec_scale;
+        self.metrics
+            .record(phase, Component::QrReadWrite, codec_ms, codec_ms);
+
+        let render_cpu_ms = host_ms * self.device.print_render_scale;
+        let wall = self.device.print_wall_ms(payload.len(), host_ms);
+        self.metrics
+            .record(phase, Component::QrPrint, wall, render_cpu_ms);
+        Ok(PrintedQr { symbol, payload_len: payload.len() })
+    }
+
+    /// Encodes a payload into a symbol for later scanning *without* a
+    /// print charge — used for artifacts that arrive pre-printed (the
+    /// envelope challenge QRs from setup, or a receipt being re-scanned at
+    /// check-out). Only QR Read/Write compute is charged.
+    pub fn encode_for_scan(&mut self, phase: Phase, payload: &[u8]) -> Result<PrintedQr, QrError> {
+        let start = Instant::now();
+        let symbol = qr::encode(payload)?;
+        let host_ms = start.elapsed().as_secs_f64() * 1e3;
+        let codec_ms = host_ms * self.device.qr_codec_scale;
+        self.metrics
+            .record(phase, Component::QrReadWrite, codec_ms, codec_ms);
+        Ok(PrintedQr { symbol, payload_len: payload.len() })
+    }
+
+    /// Scans a printed QR code: charges the transfer model and decodes
+    /// (real compute, scaled). Returns the payload.
+    pub fn scan_qr(&mut self, phase: Phase, printed: &PrintedQr) -> Result<Vec<u8>, QrError> {
+        let wall = self.device.scan_wall_ms(printed.payload_len);
+        // Scanner transfer is I/O-bound; the small driver CPU share scales
+        // with the device's CPU factor like everything else.
+        let cpu = wall * 0.02 * (self.device.cpu_scale / 3.0);
+        self.metrics.record(phase, Component::QrScan, wall, cpu);
+
+        let start = Instant::now();
+        let payload = qr::decode(&printed.symbol)?;
+        let host_ms = start.elapsed().as_secs_f64() * 1e3;
+        let codec_ms = host_ms * self.device.qr_codec_scale;
+        self.metrics
+            .record(phase, Component::QrReadWrite, codec_ms, codec_ms);
+        Ok(payload)
+    }
+
+    /// Times a crypto/logic closure on the host and records it scaled to
+    /// the device.
+    pub fn crypto<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let host_ms = start.elapsed().as_secs_f64() * 1e3;
+        let ms = host_ms * self.device.cpu_scale;
+        self.metrics.record(phase, Component::CryptoLogic, ms, ms);
+        out
+    }
+
+    /// Splits accumulated CPU into (user, system) using the device's
+    /// modelled kernel share — Fig 4b's stacking.
+    pub fn cpu_split(&self, phase: Phase, component: Component) -> (f64, f64) {
+        let cpu = self.metrics.get(phase, component).cpu_ms;
+        let sys = cpu * self.device.system_cpu_fraction;
+        (cpu - sys, sys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_then_scan_roundtrip() {
+        let mut p = Peripherals::new(DeviceProfile::macbook_pro());
+        let payload = b"commit-qr-payload-with-some-length-to-it".to_vec();
+        let printed = p.print_qr(Phase::RealToken, &payload).expect("prints");
+        let scanned = p.scan_qr(Phase::RealToken, &printed).expect("scans");
+        assert_eq!(scanned, payload);
+        // All four components have accumulated time.
+        assert!(p.metrics.get(Phase::RealToken, Component::QrPrint).wall_ms > 0.0);
+        assert!(p.metrics.get(Phase::RealToken, Component::QrScan).wall_ms > 0.0);
+        assert!(p.metrics.get(Phase::RealToken, Component::QrReadWrite).wall_ms > 0.0);
+    }
+
+    #[test]
+    fn crypto_timer_records() {
+        let mut p = Peripherals::new(DeviceProfile::pos_kiosk());
+        let x = p.crypto(Phase::Authorization, || {
+            // A tiny bit of real work.
+            (0..1000u64).sum::<u64>()
+        });
+        assert_eq!(x, 499500);
+        assert!(p.metrics.get(Phase::Authorization, Component::CryptoLogic).cpu_ms >= 0.0);
+    }
+
+    #[test]
+    fn constrained_device_slower() {
+        let payload = vec![7u8; 200];
+        let mut l1 = Peripherals::new(DeviceProfile::pos_kiosk());
+        let mut h1 = Peripherals::new(DeviceProfile::macbook_pro());
+        let pl = l1.print_qr(Phase::RealToken, &payload).unwrap();
+        let ph = h1.print_qr(Phase::RealToken, &payload).unwrap();
+        let _ = l1.scan_qr(Phase::RealToken, &pl).unwrap();
+        let _ = h1.scan_qr(Phase::RealToken, &ph).unwrap();
+        assert!(l1.metrics.total_wall_ms() > h1.metrics.total_wall_ms());
+    }
+
+    #[test]
+    fn cpu_split_sums_to_total() {
+        let mut p = Peripherals::new(DeviceProfile::raspberry_pi4());
+        let payload = vec![1u8; 64];
+        let printed = p.print_qr(Phase::FakeToken, &payload).unwrap();
+        let _ = p.scan_qr(Phase::FakeToken, &printed).unwrap();
+        let (user, sys) = p.cpu_split(Phase::FakeToken, Component::QrPrint);
+        let total = p.metrics.get(Phase::FakeToken, Component::QrPrint).cpu_ms;
+        assert!((user + sys - total).abs() < 1e-9);
+        assert!(sys > 0.0);
+    }
+}

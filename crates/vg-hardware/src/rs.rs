@@ -1,0 +1,275 @@
+//! Reed–Solomon error correction over GF(2^8), as used by QR codes.
+//!
+//! Systematic encoding: the codeword is data ‖ parity, where parity is the
+//! remainder of data·x^ecc divided by the generator polynomial
+//! g(x) = Π_{i=0}^{ecc−1} (x − α^i). Decoding runs the classic chain:
+//! syndromes → Berlekamp–Massey error locator → Chien search → Forney
+//! magnitudes, correcting up to ⌊ecc/2⌋ byte errors.
+
+use crate::gf256 as gf;
+
+/// Errors from the Reed–Solomon decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsError {
+    /// More errors than the code can correct.
+    TooManyErrors,
+    /// Internal inconsistency while locating errors (also uncorrectable).
+    DecodeFailure,
+}
+
+/// Builds the generator polynomial of degree `ecc_len`.
+fn generator_poly(ecc_len: usize) -> Vec<u8> {
+    let mut g = vec![1u8];
+    for i in 0..ecc_len {
+        g = gf::poly_mul(&g, &[1, gf::exp(i)]);
+    }
+    g
+}
+
+/// Encodes `data`, returning the `ecc_len` parity bytes.
+///
+/// # Panics
+///
+/// Panics if `data.len() + ecc_len > 255` (the RS block limit).
+pub fn encode(data: &[u8], ecc_len: usize) -> Vec<u8> {
+    assert!(
+        data.len() + ecc_len <= 255,
+        "RS block exceeds 255 codewords"
+    );
+    let gen = generator_poly(ecc_len);
+    // Polynomial long division of data·x^ecc by g(x).
+    let mut rem = vec![0u8; ecc_len];
+    for &d in data {
+        let factor = d ^ rem[0];
+        rem.remove(0);
+        rem.push(0);
+        if factor != 0 {
+            for (i, &gc) in gen[1..].iter().enumerate() {
+                rem[i] ^= gf::mul(gc, factor);
+            }
+        }
+    }
+    rem
+}
+
+/// Decodes a codeword (data ‖ parity) in place, correcting up to
+/// ⌊ecc_len/2⌋ byte errors. Returns the number of corrected errors.
+pub fn decode(codeword: &mut [u8], ecc_len: usize) -> Result<usize, RsError> {
+    let n = codeword.len();
+    // Syndromes S_i = c(α^i).
+    let syndromes: Vec<u8> = (0..ecc_len).map(|i| gf::poly_eval(codeword, gf::exp(i))).collect();
+    if syndromes.iter().all(|&s| s == 0) {
+        return Ok(0);
+    }
+
+    // Berlekamp–Massey: find the error locator polynomial σ (lowest-degree
+    // first here for convenience).
+    let mut sigma = vec![1u8]; // σ(x), coefficients lowest-degree first.
+    let mut prev = vec![1u8];
+    let mut l = 0usize;
+    let mut m = 1usize;
+    let mut b = 1u8;
+    for i in 0..ecc_len {
+        // Discrepancy δ = S_i + Σ_{j=1..l} σ_j S_{i−j}.
+        let mut delta = syndromes[i];
+        for j in 1..=l.min(sigma.len() - 1) {
+            delta ^= gf::mul(sigma[j], syndromes[i - j]);
+        }
+        if delta == 0 {
+            m += 1;
+        } else if 2 * l <= i {
+            let temp = sigma.clone();
+            let coef = gf::div(delta, b);
+            // σ = σ − (δ/b)·x^m·prev.
+            let mut shifted = vec![0u8; m];
+            shifted.extend_from_slice(&prev);
+            for (k, &pc) in shifted.iter().enumerate() {
+                if k >= sigma.len() {
+                    sigma.push(0);
+                }
+                sigma[k] ^= gf::mul(coef, pc);
+            }
+            l = i + 1 - l;
+            prev = temp;
+            b = delta;
+            m = 1;
+        } else {
+            let coef = gf::div(delta, b);
+            let mut shifted = vec![0u8; m];
+            shifted.extend_from_slice(&prev);
+            for (k, &pc) in shifted.iter().enumerate() {
+                if k >= sigma.len() {
+                    sigma.push(0);
+                }
+                sigma[k] ^= gf::mul(coef, pc);
+            }
+            m += 1;
+        }
+    }
+    while sigma.last() == Some(&0) {
+        sigma.pop();
+    }
+    let n_errors = sigma.len() - 1;
+    if n_errors == 0 || 2 * n_errors > ecc_len {
+        return Err(RsError::TooManyErrors);
+    }
+
+    // Chien search: roots of σ give error positions. σ(α^{-pos_from_end})…
+    // Position convention: coefficient index i of the codeword (highest
+    // degree first) corresponds to x^{n−1−i}.
+    let mut error_positions = Vec::new();
+    for pos in 0..n {
+        // x = α^{-(n-1-pos)}; test σ(x) == 0.
+        let power = (n - 1 - pos) % 255;
+        let x_inv = gf::exp(255 - power); // α^{-power}.
+        let mut val = 0u8;
+        for (j, &c) in sigma.iter().enumerate() {
+            // σ evaluated at x_inv: Σ c_j (x_inv)^j.
+            let mut term = c;
+            for _ in 0..j {
+                term = gf::mul(term, x_inv);
+            }
+            val ^= term;
+        }
+        if val == 0 {
+            error_positions.push(pos);
+        }
+    }
+    if error_positions.len() != n_errors {
+        return Err(RsError::DecodeFailure);
+    }
+
+    // Forney: error magnitudes. Ω(x) = [S(x)·σ(x)] mod x^ecc, with
+    // S(x) = Σ S_i x^i (lowest first).
+    let mut omega = vec![0u8; ecc_len];
+    for (i, &s) in syndromes.iter().enumerate() {
+        for (j, &c) in sigma.iter().enumerate() {
+            if i + j < ecc_len {
+                omega[i + j] ^= gf::mul(s, c);
+            }
+        }
+    }
+    // σ'(x): formal derivative (odd-degree terms).
+    let mut sigma_deriv = vec![0u8; sigma.len().saturating_sub(1)];
+    for (j, &c) in sigma.iter().enumerate().skip(1) {
+        if j % 2 == 1 {
+            sigma_deriv[j - 1] = c;
+        }
+    }
+    for &pos in &error_positions {
+        let power = (n - 1 - pos) % 255;
+        let x_inv = gf::exp(255 - power); // X_k^{-1}.
+        let omega_val = eval_low_first(&omega, x_inv);
+        let deriv_val = eval_low_first(&sigma_deriv, x_inv);
+        if deriv_val == 0 {
+            return Err(RsError::DecodeFailure);
+        }
+        // e_k = X_k · Ω(X_k^{-1}) / σ'(X_k^{-1})  (for b = 0 codes,
+        // magnitude = Ω(Xinv)/σ'(Xinv) · X_k^{1-b} with b = 0 ⇒ ·X_k).
+        let x_k = gf::exp(power);
+        let magnitude = gf::mul(x_k, gf::div(omega_val, deriv_val));
+        codeword[pos] ^= magnitude;
+    }
+
+    // Confirm: recompute syndromes.
+    let check: bool = (0..ecc_len).all(|i| gf::poly_eval(codeword, gf::exp(i)) == 0);
+    if !check {
+        return Err(RsError::DecodeFailure);
+    }
+    Ok(n_errors)
+}
+
+/// Evaluates a lowest-degree-first polynomial at `x`.
+fn eval_low_first(poly: &[u8], x: u8) -> u8 {
+    let mut acc = 0u8;
+    for &c in poly.iter().rev() {
+        acc = gf::mul(acc, x) ^ c;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(data: &[u8], ecc: usize, corrupt: &[(usize, u8)]) -> Result<Vec<u8>, RsError> {
+        let parity = encode(data, ecc);
+        let mut codeword = data.to_vec();
+        codeword.extend_from_slice(&parity);
+        for &(pos, xor) in corrupt {
+            codeword[pos] ^= xor;
+        }
+        decode(&mut codeword, ecc)?;
+        Ok(codeword[..data.len()].to_vec())
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let data = b"TRIP credential QR payload";
+        let out = roundtrip(data, 10, &[]).expect("decodes");
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors() {
+        let data: Vec<u8> = (0..40u8).collect();
+        for n_err in 1..=5usize {
+            let corrupt: Vec<(usize, u8)> =
+                (0..n_err).map(|i| (i * 7 % 50, 0x5a ^ i as u8 | 1)).collect();
+            let out = roundtrip(&data, 10, &corrupt)
+                .unwrap_or_else(|e| panic!("{n_err} errors: {e:?}"));
+            assert_eq!(out, data, "{n_err} errors");
+        }
+    }
+
+    #[test]
+    fn detects_too_many_errors() {
+        let data: Vec<u8> = (0..40u8).collect();
+        // 6 errors with ecc=10 (t=5) must not silently "correct".
+        let corrupt: Vec<(usize, u8)> = (0..6).map(|i| (i * 8 % 50, 0xff)).collect();
+        let result = roundtrip(&data, 10, &corrupt);
+        if let Ok(out) = result {
+            // Miscorrection is possible in theory but must not silently
+            // return corrupted data equal to the original.
+            assert_ne!(out, data, "6 errors cannot be corrected with t=5");
+        }
+    }
+
+    #[test]
+    fn parity_positions_correctable_too() {
+        let data = b"hello world";
+        let out = roundtrip(data, 8, &[(12, 0x42), (13, 0x99)]).expect("decodes");
+        assert_eq!(out, data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_corrects_random_errors(
+            data in proptest::collection::vec(any::<u8>(), 10..100),
+            seed in any::<u64>(),
+        ) {
+            let ecc = 16usize; // t = 8.
+            let parity = encode(&data, ecc);
+            let mut codeword = data.clone();
+            codeword.extend_from_slice(&parity);
+            // Inject up to 8 random errors at distinct positions.
+            let n = codeword.len();
+            let n_err = (seed % 9) as usize;
+            let mut positions = std::collections::HashSet::new();
+            let mut s = seed;
+            while positions.len() < n_err {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                positions.insert((s >> 33) as usize % n);
+            }
+            for (k, &pos) in positions.iter().enumerate() {
+                codeword[pos] ^= (k as u8) | 0x10;
+            }
+            let corrected = decode(&mut codeword, ecc).expect("within capacity");
+            prop_assert_eq!(corrected, n_err);
+            prop_assert_eq!(&codeword[..data.len()], &data[..]);
+        }
+    }
+}

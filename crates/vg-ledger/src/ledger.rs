@@ -1,0 +1,564 @@
+//! The Votegral public bulletin board: L_R, L_E and L_V sub-ledgers.
+//!
+//! Appendix D.1 idealizes the ledger as an append-only, globally consistent
+//! structure with three sub-ledgers: the registration ledger L_R (one
+//! *active* record per voter, later registrations superseding earlier ones),
+//! the envelope-commitment ledger L_E (printer commitments H(e) at setup,
+//! revealed challenges at activation — the duplicate-envelope detector of
+//! Appendix F.3.5), and the ballot ledger L_V. Every sub-ledger is backed by
+//! a tamper-evident Merkle log ([`crate::log`]) so any mutation of history
+//! is detectable by auditors.
+
+use std::collections::HashMap;
+
+use crate::log::{Record, TamperEvidentLog, TreeHead};
+use vg_crypto::edwards::CompressedPoint;
+use vg_crypto::elgamal::Ciphertext;
+use vg_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use vg_crypto::{CryptoError, Rng, Scalar};
+
+/// A voter's unique identifier on the electoral roll.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct VoterId(pub u64);
+
+impl VoterId {
+    /// Canonical byte encoding.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+}
+
+/// Errors raised by ledger operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// The voter is not on the electoral roll.
+    NotOnRoster,
+    /// The envelope challenge hash was never committed by a printer.
+    UnknownEnvelope,
+    /// The challenge was already revealed — a duplicated envelope
+    /// (Appendix F.3.5) or a replayed activation.
+    DuplicateChallenge,
+    /// A signature or proof failed cryptographic verification.
+    Crypto(CryptoError),
+}
+
+impl core::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LedgerError::NotOnRoster => write!(f, "voter not on electoral roll"),
+            LedgerError::UnknownEnvelope => write!(f, "envelope commitment not found"),
+            LedgerError::DuplicateChallenge => write!(f, "challenge already revealed"),
+            LedgerError::Crypto(e) => write!(f, "cryptographic check failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+impl From<CryptoError> for LedgerError {
+    fn from(e: CryptoError) -> Self {
+        LedgerError::Crypto(e)
+    }
+}
+
+/// A registration-ledger record (Fig 10 line 5):
+/// L_R\[V_id\] ← (c_pc, K_pk, σ_kot, O_pk, σ_o).
+#[derive(Clone, Debug)]
+pub struct RegistrationRecord {
+    /// The registering voter.
+    pub voter_id: VoterId,
+    /// The public credential tag (ElGamal encryption of the real
+    /// credential's public key).
+    pub c_pc: Ciphertext,
+    /// Issuing kiosk's public key.
+    pub kiosk_pk: CompressedPoint,
+    /// Kiosk check-out signature σ_kot over V_id ‖ c_pc.
+    pub kiosk_sig: Signature,
+    /// Approving official's public key.
+    pub official_pk: CompressedPoint,
+    /// Official signature σ_o over V_id ‖ c_pc ‖ σ_kot.
+    pub official_sig: Signature,
+}
+
+impl RegistrationRecord {
+    /// The message the kiosk signs at check-out.
+    pub fn kiosk_message(voter_id: VoterId, c_pc: &Ciphertext) -> Vec<u8> {
+        let mut m = Vec::with_capacity(80);
+        m.extend_from_slice(b"trip-checkout-v1");
+        m.extend_from_slice(&voter_id.to_bytes());
+        m.extend_from_slice(&c_pc.to_bytes());
+        m
+    }
+
+    /// The message the official signs at check-out.
+    pub fn official_message(
+        voter_id: VoterId,
+        c_pc: &Ciphertext,
+        kiosk_sig: &Signature,
+    ) -> Vec<u8> {
+        let mut m = Self::kiosk_message(voter_id, c_pc);
+        m.extend_from_slice(b"|official|");
+        m.extend_from_slice(&kiosk_sig.to_bytes());
+        m
+    }
+}
+
+impl Record for RegistrationRecord {
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut m = Vec::with_capacity(256);
+        m.extend_from_slice(b"reg-record-v1");
+        m.extend_from_slice(&self.voter_id.to_bytes());
+        m.extend_from_slice(&self.c_pc.to_bytes());
+        m.extend_from_slice(&self.kiosk_pk.0);
+        m.extend_from_slice(&self.kiosk_sig.to_bytes());
+        m.extend_from_slice(&self.official_pk.0);
+        m.extend_from_slice(&self.official_sig.to_bytes());
+        m
+    }
+}
+
+/// The registration sub-ledger L_R with supersede semantics.
+pub struct RegistrationLedger {
+    log: TamperEvidentLog<RegistrationRecord>,
+    /// Electoral roll (populated at setup from V).
+    roster: Vec<VoterId>,
+    roster_set: HashMap<VoterId, ()>,
+    /// voter → index of the currently active record.
+    active: HashMap<VoterId, usize>,
+}
+
+impl RegistrationLedger {
+    fn new(operator: SigningKey, roster: Vec<VoterId>) -> Self {
+        let roster_set = roster.iter().map(|v| (*v, ())).collect();
+        Self {
+            log: TamperEvidentLog::new(operator),
+            roster,
+            roster_set,
+            active: HashMap::new(),
+        }
+    }
+
+    /// The electoral roll.
+    pub fn roster(&self) -> &[VoterId] {
+        &self.roster
+    }
+
+    /// Returns `true` if the voter is eligible.
+    pub fn is_eligible(&self, voter: VoterId) -> bool {
+        self.roster_set.contains_key(&voter)
+    }
+
+    /// Posts a registration record (check-out, Fig 10). Any prior record
+    /// for the same voter is superseded.
+    pub fn post(&mut self, record: RegistrationRecord) -> Result<usize, LedgerError> {
+        if !self.is_eligible(record.voter_id) {
+            return Err(LedgerError::NotOnRoster);
+        }
+        // The ledger checks the signature chain before accepting.
+        let kiosk_vk = VerifyingKey::from_compressed(&record.kiosk_pk)?;
+        kiosk_vk.verify(
+            &RegistrationRecord::kiosk_message(record.voter_id, &record.c_pc),
+            &record.kiosk_sig,
+        )?;
+        let official_vk = VerifyingKey::from_compressed(&record.official_pk)?;
+        official_vk.verify(
+            &RegistrationRecord::official_message(
+                record.voter_id,
+                &record.c_pc,
+                &record.kiosk_sig,
+            ),
+            &record.official_sig,
+        )?;
+        let voter = record.voter_id;
+        let idx = self.log.append(record);
+        self.active.insert(voter, idx);
+        Ok(idx)
+    }
+
+    /// The currently active record for `voter`, if any.
+    pub fn active_record(&self, voter: VoterId) -> Option<&RegistrationRecord> {
+        self.active.get(&voter).and_then(|&i| self.log.get(i))
+    }
+
+    /// Number of voters with an active registration — the publicly
+    /// checkable count the paper compares against census data (§4.2).
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// All records ever posted (the append-only history).
+    pub fn records(&self) -> &[RegistrationRecord] {
+        self.log.records()
+    }
+
+    /// Signed tree head for auditors.
+    pub fn tree_head(&self) -> TreeHead {
+        self.log.tree_head()
+    }
+
+    /// Operator key for head verification.
+    pub fn operator_key(&self) -> VerifyingKey {
+        self.log.operator_key()
+    }
+
+    /// Inclusion proof for the record at `index`.
+    pub fn prove_inclusion(&self, index: usize) -> Vec<crate::merkle::Hash> {
+        self.log.prove_inclusion(index)
+    }
+
+    /// Consistency proof from an earlier snapshot size to the current head.
+    pub fn prove_consistency(&self, old_size: usize) -> Vec<crate::merkle::Hash> {
+        self.log.prove_consistency(old_size)
+    }
+}
+
+/// An envelope commitment (Setup, Fig 7 line 5): (P_pk, H(e), σ_p).
+#[derive(Clone, Debug)]
+pub struct EnvelopeCommitment {
+    /// The issuing printer's public key.
+    pub printer_pk: CompressedPoint,
+    /// H(e), the hash of the envelope's challenge nonce.
+    pub challenge_hash: [u8; 32],
+    /// Printer signature over H(e).
+    pub signature: Signature,
+}
+
+impl EnvelopeCommitment {
+    /// The message the printer signs.
+    pub fn message(challenge_hash: &[u8; 32]) -> Vec<u8> {
+        let mut m = Vec::with_capacity(64);
+        m.extend_from_slice(b"trip-envelope-v1");
+        m.extend_from_slice(challenge_hash);
+        m
+    }
+}
+
+impl Record for EnvelopeCommitment {
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut m = Vec::with_capacity(128);
+        m.extend_from_slice(b"env-commit-v1");
+        m.extend_from_slice(&self.printer_pk.0);
+        m.extend_from_slice(&self.challenge_hash);
+        m.extend_from_slice(&self.signature.to_bytes());
+        m
+    }
+}
+
+/// The envelope sub-ledger L_E.
+pub struct EnvelopeLedger {
+    log: TamperEvidentLog<EnvelopeCommitment>,
+    by_hash: HashMap<[u8; 32], usize>,
+    /// Challenges revealed at activation, keyed by H(e).
+    revealed: HashMap<[u8; 32], Scalar>,
+}
+
+impl EnvelopeLedger {
+    fn new(operator: SigningKey) -> Self {
+        Self {
+            log: TamperEvidentLog::new(operator),
+            by_hash: HashMap::new(),
+            revealed: HashMap::new(),
+        }
+    }
+
+    /// Records a printer's envelope commitment at setup.
+    pub fn commit(&mut self, commitment: EnvelopeCommitment) -> Result<usize, LedgerError> {
+        let printer = VerifyingKey::from_compressed(&commitment.printer_pk)?;
+        printer.verify(
+            &EnvelopeCommitment::message(&commitment.challenge_hash),
+            &commitment.signature,
+        )?;
+        let h = commitment.challenge_hash;
+        let idx = self.log.append(commitment);
+        self.by_hash.insert(h, idx);
+        Ok(idx)
+    }
+
+    /// Returns `true` if H(e) was committed by some printer.
+    pub fn is_committed(&self, challenge_hash: &[u8; 32]) -> bool {
+        self.by_hash.contains_key(challenge_hash)
+    }
+
+    /// Reveals a challenge at activation (Fig 11 line 11):
+    /// `e ∉ L_E[H(e)]; L_E[H(e)] ← e`.
+    pub fn reveal_challenge(&mut self, e: &Scalar) -> Result<(), LedgerError> {
+        let h = challenge_hash(e);
+        if !self.by_hash.contains_key(&h) {
+            return Err(LedgerError::UnknownEnvelope);
+        }
+        if self.revealed.contains_key(&h) {
+            return Err(LedgerError::DuplicateChallenge);
+        }
+        self.revealed.insert(h, *e);
+        Ok(())
+    }
+
+    /// Number of envelopes committed at setup.
+    pub fn committed_count(&self) -> usize {
+        self.by_hash.len()
+    }
+
+    /// Number of challenges revealed — the aggregate count of activated
+    /// credentials, the only envelope information the coercion adversary
+    /// sees (Appendix F.1, Hybrid 2).
+    pub fn revealed_count(&self) -> usize {
+        self.revealed.len()
+    }
+
+    /// Signed tree head for auditors.
+    pub fn tree_head(&self) -> TreeHead {
+        self.log.tree_head()
+    }
+}
+
+/// Hashes an envelope challenge: H(e) (Fig 7 line 5).
+pub fn challenge_hash(e: &Scalar) -> [u8; 32] {
+    let mut m = Vec::with_capacity(64);
+    m.extend_from_slice(b"trip-challenge-hash-v1");
+    m.extend_from_slice(&e.to_bytes());
+    vg_crypto::sha2::sha256(&m)
+}
+
+/// A ballot-ledger record: an opaque encrypted ballot authenticated by a
+/// credential key pair (the payload format is defined by `vg-votegral`).
+#[derive(Clone, Debug)]
+pub struct BallotRecord {
+    /// The credential public key that authenticated this ballot.
+    pub credential_pk: CompressedPoint,
+    /// Serialized encrypted ballot with its proofs.
+    pub payload: Vec<u8>,
+    /// Credential signature over the payload.
+    pub signature: Signature,
+}
+
+impl BallotRecord {
+    /// The message the credential key signs.
+    pub fn message(payload: &[u8]) -> Vec<u8> {
+        let mut m = Vec::with_capacity(payload.len() + 16);
+        m.extend_from_slice(b"votegral-ballot-v1");
+        m.extend_from_slice(payload);
+        m
+    }
+}
+
+impl Record for BallotRecord {
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut m = Vec::with_capacity(self.payload.len() + 128);
+        m.extend_from_slice(b"ballot-record-v1");
+        m.extend_from_slice(&self.credential_pk.0);
+        m.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        m.extend_from_slice(&self.payload);
+        m.extend_from_slice(&self.signature.to_bytes());
+        m
+    }
+}
+
+/// The ballot sub-ledger L_V.
+pub struct BallotLedger {
+    log: TamperEvidentLog<BallotRecord>,
+}
+
+impl BallotLedger {
+    fn new(operator: SigningKey) -> Self {
+        Self { log: TamperEvidentLog::new(operator) }
+    }
+
+    /// Posts a ballot after checking its credential signature (the PBB's
+    /// syntactic admission check; semantic checks happen at tally).
+    pub fn post(&mut self, record: BallotRecord) -> Result<usize, LedgerError> {
+        let vk = VerifyingKey::from_compressed(&record.credential_pk)?;
+        vk.verify(&BallotRecord::message(&record.payload), &record.signature)?;
+        Ok(self.log.append(record))
+    }
+
+    /// All posted ballots.
+    pub fn records(&self) -> &[BallotRecord] {
+        self.log.records()
+    }
+
+    /// Number of posted ballots.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Returns `true` if no ballots were posted.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Signed tree head for auditors.
+    pub fn tree_head(&self) -> TreeHead {
+        self.log.tree_head()
+    }
+}
+
+/// The complete public bulletin board.
+pub struct Ledger {
+    /// Registration sub-ledger L_R.
+    pub registration: RegistrationLedger,
+    /// Envelope sub-ledger L_E.
+    pub envelopes: EnvelopeLedger,
+    /// Ballot sub-ledger L_V.
+    pub ballots: BallotLedger,
+}
+
+impl Ledger {
+    /// Creates the ledger for an electoral roll, generating operator keys.
+    pub fn new(roster: Vec<VoterId>, rng: &mut dyn Rng) -> Self {
+        Self {
+            registration: RegistrationLedger::new(SigningKey::generate(rng), roster),
+            envelopes: EnvelopeLedger::new(SigningKey::generate(rng)),
+            ballots: BallotLedger::new(SigningKey::generate(rng)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_crypto::elgamal;
+    use vg_crypto::{EdwardsPoint, HmacDrbg};
+
+    fn sample_record(
+        voter: VoterId,
+        kiosk: &SigningKey,
+        official: &SigningKey,
+        rng: &mut dyn Rng,
+    ) -> RegistrationRecord {
+        let pk = EdwardsPoint::mul_base(&rng.scalar());
+        let m = EdwardsPoint::mul_base(&rng.scalar());
+        let (c_pc, _) = elgamal::encrypt_point(&pk, &m, rng);
+        let kiosk_sig = kiosk.sign(&RegistrationRecord::kiosk_message(voter, &c_pc));
+        let official_sig =
+            official.sign(&RegistrationRecord::official_message(voter, &c_pc, &kiosk_sig));
+        RegistrationRecord {
+            voter_id: voter,
+            c_pc,
+            kiosk_pk: kiosk.verifying_key().compress(),
+            kiosk_sig,
+            official_pk: official.verifying_key().compress(),
+            official_sig,
+        }
+    }
+
+    #[test]
+    fn registration_supersede_semantics() {
+        let mut rng = HmacDrbg::from_u64(1);
+        let kiosk = SigningKey::generate(&mut rng);
+        let official = SigningKey::generate(&mut rng);
+        let roster = vec![VoterId(1), VoterId(2)];
+        let mut ledger = Ledger::new(roster, &mut rng);
+
+        let r1 = sample_record(VoterId(1), &kiosk, &official, &mut rng);
+        let first_tag = r1.c_pc;
+        ledger.registration.post(r1).expect("posts");
+        assert_eq!(ledger.registration.active_count(), 1);
+
+        // Re-registration supersedes.
+        let r2 = sample_record(VoterId(1), &kiosk, &official, &mut rng);
+        let second_tag = r2.c_pc;
+        ledger.registration.post(r2).expect("posts");
+        assert_eq!(ledger.registration.active_count(), 1);
+        assert_eq!(ledger.registration.records().len(), 2);
+        let active = ledger.registration.active_record(VoterId(1)).unwrap();
+        assert_ne!(first_tag, second_tag);
+        assert_eq!(active.c_pc, second_tag);
+    }
+
+    #[test]
+    fn ineligible_voter_rejected() {
+        let mut rng = HmacDrbg::from_u64(2);
+        let kiosk = SigningKey::generate(&mut rng);
+        let official = SigningKey::generate(&mut rng);
+        let mut ledger = Ledger::new(vec![VoterId(1)], &mut rng);
+        let r = sample_record(VoterId(99), &kiosk, &official, &mut rng);
+        assert_eq!(ledger.registration.post(r), Err(LedgerError::NotOnRoster));
+    }
+
+    #[test]
+    fn bad_kiosk_signature_rejected() {
+        let mut rng = HmacDrbg::from_u64(3);
+        let kiosk = SigningKey::generate(&mut rng);
+        let official = SigningKey::generate(&mut rng);
+        let mut ledger = Ledger::new(vec![VoterId(1)], &mut rng);
+        let mut r = sample_record(VoterId(1), &kiosk, &official, &mut rng);
+        // Swap in a signature over a different message.
+        r.kiosk_sig = kiosk.sign(b"unrelated");
+        assert!(matches!(
+            ledger.registration.post(r),
+            Err(LedgerError::Crypto(_))
+        ));
+    }
+
+    #[test]
+    fn envelope_commit_and_reveal() {
+        let mut rng = HmacDrbg::from_u64(4);
+        let printer = SigningKey::generate(&mut rng);
+        let mut ledger = Ledger::new(vec![], &mut rng);
+        let e = rng.scalar();
+        let h = challenge_hash(&e);
+        let c = EnvelopeCommitment {
+            printer_pk: printer.verifying_key().compress(),
+            challenge_hash: h,
+            signature: printer.sign(&EnvelopeCommitment::message(&h)),
+        };
+        ledger.envelopes.commit(c).expect("commits");
+        assert!(ledger.envelopes.is_committed(&h));
+        ledger.envelopes.reveal_challenge(&e).expect("reveals");
+        assert_eq!(ledger.envelopes.revealed_count(), 1);
+        // Second reveal of the same challenge: duplicate detection.
+        assert_eq!(
+            ledger.envelopes.reveal_challenge(&e),
+            Err(LedgerError::DuplicateChallenge)
+        );
+    }
+
+    #[test]
+    fn unknown_envelope_rejected() {
+        let mut rng = HmacDrbg::from_u64(5);
+        let mut ledger = Ledger::new(vec![], &mut rng);
+        let e = rng.scalar();
+        assert_eq!(
+            ledger.envelopes.reveal_challenge(&e),
+            Err(LedgerError::UnknownEnvelope)
+        );
+    }
+
+    #[test]
+    fn ballot_posting_checks_signature() {
+        let mut rng = HmacDrbg::from_u64(6);
+        let mut ledger = Ledger::new(vec![], &mut rng);
+        let cred = SigningKey::generate(&mut rng);
+        let payload = b"encrypted-ballot".to_vec();
+        let signature = cred.sign(&BallotRecord::message(&payload));
+        let rec = BallotRecord {
+            credential_pk: cred.verifying_key().compress(),
+            payload: payload.clone(),
+            signature,
+        };
+        ledger.ballots.post(rec).expect("posts");
+        assert_eq!(ledger.ballots.len(), 1);
+
+        // Tampered payload rejected.
+        let bad = BallotRecord {
+            credential_pk: cred.verifying_key().compress(),
+            payload: b"tampered".to_vec(),
+            signature,
+        };
+        assert!(ledger.ballots.post(bad).is_err());
+    }
+
+    #[test]
+    fn tree_heads_verify() {
+        let mut rng = HmacDrbg::from_u64(7);
+        let kiosk = SigningKey::generate(&mut rng);
+        let official = SigningKey::generate(&mut rng);
+        let mut ledger = Ledger::new(vec![VoterId(1)], &mut rng);
+        let r = sample_record(VoterId(1), &kiosk, &official, &mut rng);
+        ledger.registration.post(r).expect("posts");
+        let head = ledger.registration.tree_head();
+        head.verify(&ledger.registration.operator_key())
+            .expect("head verifies");
+        assert_eq!(head.size, 1);
+    }
+}

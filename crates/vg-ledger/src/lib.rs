@@ -1,0 +1,23 @@
+//! Tamper-evident public bulletin board for Votegral.
+//!
+//! The paper (§3.1, Appendix D.1) assumes a ledger implementing a
+//! tamper-evident log in the style of Crosby–Wallach \[32\], split into three
+//! sub-ledgers: registration (L_R), envelope commitments (L_E) and ballots
+//! (L_V). This crate provides:
+//!
+//! - [`merkle`]: the underlying append-only Merkle tree with RFC 6962-style
+//!   inclusion and consistency proofs;
+//! - [`log`]: typed tamper-evident logs with operator-signed tree heads;
+//! - [`ledger`]: the three Votegral sub-ledgers with their domain rules
+//!   (registration supersede semantics, envelope duplicate-challenge
+//!   detection, ballot admission checks).
+
+pub mod ledger;
+pub mod log;
+pub mod merkle;
+
+pub use ledger::{
+    challenge_hash, BallotLedger, BallotRecord, EnvelopeCommitment, EnvelopeLedger, Ledger,
+    LedgerError, RegistrationLedger, RegistrationRecord, VoterId,
+};
+pub use log::{verify_consistency_heads, Record, TamperEvidentLog, TreeHead};

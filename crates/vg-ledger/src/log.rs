@@ -1,0 +1,217 @@
+//! Generic tamper-evident logs with signed tree heads.
+//!
+//! A [`TamperEvidentLog`] couples a typed record store with a Merkle log
+//! over the records' canonical encodings. Appends return the entry index;
+//! auditors fetch [`TreeHead`]s and verify inclusion/consistency proofs
+//! against them. The paper idealizes the ledger as globally consistent
+//! (Appendix D.1); signed tree heads are how a deployment distributes that
+//! trust, so we model them explicitly.
+
+use crate::merkle::{self, Hash, MerkleLog};
+use vg_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use vg_crypto::CryptoError;
+
+/// A record that has a canonical (hashable, signable) byte encoding.
+pub trait Record {
+    /// Serializes the record into an injective canonical form.
+    fn canonical_bytes(&self) -> Vec<u8>;
+}
+
+/// A signed snapshot of the log: (size, root) under the operator's key.
+#[derive(Clone, Debug)]
+pub struct TreeHead {
+    /// Number of entries covered.
+    pub size: u64,
+    /// Merkle root over the first `size` entries.
+    pub root: Hash,
+    /// Operator signature over `size ‖ root`.
+    pub signature: Signature,
+}
+
+impl TreeHead {
+    fn message(size: u64, root: &Hash) -> Vec<u8> {
+        let mut m = Vec::with_capacity(48);
+        m.extend_from_slice(b"votegral-tree-head-v1");
+        m.extend_from_slice(&size.to_le_bytes());
+        m.extend_from_slice(root);
+        m
+    }
+
+    /// Verifies the operator signature.
+    pub fn verify(&self, operator: &VerifyingKey) -> Result<(), CryptoError> {
+        operator.verify(&Self::message(self.size, &self.root), &self.signature)
+    }
+}
+
+/// An append-only, tamper-evident, typed log.
+pub struct TamperEvidentLog<T: Record> {
+    records: Vec<T>,
+    merkle: MerkleLog,
+    operator: SigningKey,
+}
+
+impl<T: Record> TamperEvidentLog<T> {
+    /// Creates an empty log operated by `operator`.
+    pub fn new(operator: SigningKey) -> Self {
+        Self { records: Vec::new(), merkle: MerkleLog::new(), operator }
+    }
+
+    /// Appends a record, returning its index.
+    pub fn append(&mut self, record: T) -> usize {
+        let idx = self.merkle.append(&record.canonical_bytes());
+        self.records.push(record);
+        idx
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Immutable view of the records.
+    pub fn records(&self) -> &[T] {
+        &self.records
+    }
+
+    /// Record at `index`, if present.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.records.get(index)
+    }
+
+    /// Issues a signed tree head for the current state.
+    pub fn tree_head(&self) -> TreeHead {
+        let size = self.records.len() as u64;
+        let root = self.merkle.root();
+        let signature = self
+            .operator
+            .sign(&TreeHead::message(size, &root));
+        TreeHead { size, root, signature }
+    }
+
+    /// The operator's public key, for auditors.
+    pub fn operator_key(&self) -> VerifyingKey {
+        self.operator.verifying_key()
+    }
+
+    /// Inclusion proof for the entry at `index` against the current head.
+    pub fn prove_inclusion(&self, index: usize) -> Vec<Hash> {
+        self.merkle.inclusion_proof(index, self.records.len())
+    }
+
+    /// Consistency proof from an earlier size to the current head.
+    pub fn prove_consistency(&self, old_size: usize) -> Vec<Hash> {
+        self.merkle.consistency_proof(old_size)
+    }
+
+    /// Verifies that `record` is included at `index` under `head`.
+    pub fn verify_inclusion(
+        head: &TreeHead,
+        record: &T,
+        index: usize,
+        proof: &[Hash],
+    ) -> bool {
+        let leaf = merkle::leaf_hash(&record.canonical_bytes());
+        merkle::verify_inclusion(&head.root, &leaf, index, head.size as usize, proof)
+    }
+
+    /// Verifies append-only growth between two heads.
+    pub fn verify_consistency(old: &TreeHead, new: &TreeHead, proof: &[Hash]) -> bool {
+        verify_consistency_heads(old, new, proof)
+    }
+}
+
+/// Verifies append-only growth between two tree heads (free function for
+/// callers that don't want to name the log's record type).
+pub fn verify_consistency_heads(old: &TreeHead, new: &TreeHead, proof: &[Hash]) -> bool {
+    merkle::verify_consistency(
+        &old.root,
+        old.size as usize,
+        &new.root,
+        new.size as usize,
+        proof,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_crypto::HmacDrbg;
+
+    struct Note(String);
+
+    impl Record for Note {
+        fn canonical_bytes(&self) -> Vec<u8> {
+            self.0.as_bytes().to_vec()
+        }
+    }
+
+    fn new_log() -> TamperEvidentLog<Note> {
+        let mut rng = HmacDrbg::from_u64(1);
+        TamperEvidentLog::new(SigningKey::generate(&mut rng))
+    }
+
+    #[test]
+    fn append_and_prove() {
+        let mut log = new_log();
+        for i in 0..10 {
+            log.append(Note(format!("n{i}")));
+        }
+        let head = log.tree_head();
+        head.verify(&log.operator_key()).expect("head verifies");
+        for i in 0..10 {
+            let proof = log.prove_inclusion(i);
+            assert!(TamperEvidentLog::verify_inclusion(
+                &head,
+                &Note(format!("n{i}")),
+                i,
+                &proof
+            ));
+        }
+    }
+
+    #[test]
+    fn inclusion_fails_for_absent_record() {
+        let mut log = new_log();
+        log.append(Note("a".into()));
+        log.append(Note("b".into()));
+        let head = log.tree_head();
+        let proof = log.prove_inclusion(0);
+        assert!(!TamperEvidentLog::verify_inclusion(
+            &head,
+            &Note("z".into()),
+            0,
+            &proof
+        ));
+    }
+
+    #[test]
+    fn consistency_across_appends() {
+        let mut log = new_log();
+        log.append(Note("a".into()));
+        log.append(Note("b".into()));
+        let old = log.tree_head();
+        log.append(Note("c".into()));
+        log.append(Note("d".into()));
+        let new = log.tree_head();
+        let proof = log.prove_consistency(old.size as usize);
+        assert!(TamperEvidentLog::<Note>::verify_consistency(&old, &new, &proof));
+    }
+
+    #[test]
+    fn forged_head_rejected() {
+        let mut rng = HmacDrbg::from_u64(9);
+        let log = new_log();
+        let mut head = log.tree_head();
+        head.size += 1;
+        assert!(head.verify(&log.operator_key()).is_err());
+        // A head signed by a different operator also fails.
+        let other = SigningKey::generate(&mut rng);
+        let head2 = log.tree_head();
+        assert!(head2.verify(&other.verifying_key()).is_err());
+    }
+}

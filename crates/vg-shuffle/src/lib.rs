@@ -1,0 +1,21 @@
+//! Bayer–Groth verifiable shuffle and mix cascade for ElGamal ciphertexts.
+//!
+//! The paper's prototype uses the Bayer–Groth shuffle argument \[10\] through
+//! a C implementation \[33\]; this crate is a from-scratch Rust
+//! implementation of the single-row (m = 1) variant: proof size O(n),
+//! prover and verifier O(n) group exponentiations — the quantity the tally
+//! benchmarks (§7.4) measure.
+//!
+//! - [`svp`]: the single-value product argument (BG12 §5.3);
+//! - [`multiexp`]: the multi-exponentiation Σ-argument;
+//! - [`shuffle`]: the combined shuffle argument;
+//! - [`mixnet`]: a cascade of independent mixers \[37\] with a publicly
+//!   verifiable transcript (four mixers in the paper's evaluation).
+
+pub mod mixnet;
+pub mod multiexp;
+pub mod shuffle;
+pub mod svp;
+
+pub use mixnet::{MixCascade, MixStage, MixTranscript, PairMixStage, PairMixTranscript};
+pub use shuffle::{PairShuffleProof, ShuffleContext, ShuffleProof};

@@ -1,0 +1,140 @@
+//! TRIP-Core / Votegral as a [`BenchSystem`] (the "TRIP-Core"
+//! configuration of §7.3, which omits all QR-related tasks to isolate the
+//! cryptographic operations).
+
+use vg_baselines::BenchSystem;
+use vg_crypto::{HmacDrbg, Rng};
+use vg_ledger::VoterId;
+use vg_trip::protocol::{activate_all, register_voter};
+use vg_trip::setup::TripConfig;
+use vg_trip::vsd::ActivatedCredential;
+use vg_votegral::Election;
+
+/// The full Votegral pipeline driven through the benchmark trait.
+pub struct VotegralCore {
+    election: Election,
+    credentials: Vec<ActivatedCredential>,
+    n_voters: usize,
+}
+
+impl VotegralCore {
+    /// Sets up an election for `n_voters` and `n_options` (setup/DKG time
+    /// is excluded from the phases, as in the paper).
+    pub fn new(n_voters: usize, n_options: u32, rng: &mut dyn Rng) -> Self {
+        let mut config = TripConfig::with_voters(n_voters as u64);
+        // One envelope per voter is enough for the credential-per-voter
+        // benchmark; keep the booth floor.
+        config.envelopes_per_voter = 1;
+        Self {
+            election: Election::new(config, n_options, rng),
+            credentials: Vec::new(),
+            n_voters,
+        }
+    }
+
+    /// Access to the wrapped election (used by the figure binaries).
+    pub fn election(&self) -> &Election {
+        &self.election
+    }
+}
+
+impl BenchSystem for VotegralCore {
+    fn name(&self) -> &'static str {
+        "TRIP-Core"
+    }
+
+    /// Registration = the TRIP crypto path: check-in MAC, credential
+    /// generation, IZKP, signatures, check-out posting, activation checks.
+    fn register_all(&mut self, rng: &mut dyn Rng) {
+        for v in 1..=self.n_voters as u64 {
+            // Restock the booth when the supply runs low so every symbol
+            // stays available (printers may issue additional envelopes;
+            // paper footnote 6). Retry on a symbol stock-out.
+            let mut outcome = loop {
+                if self.election.trip.booth_envelopes.len() < 40 {
+                    let fresh = self.election.trip.printers[0]
+                        .print_batch(&mut self.election.trip.ledger.envelopes, 64, rng)
+                        .expect("printer restocks booth");
+                    self.election.trip.booth_envelopes.extend(fresh);
+                }
+                match register_voter(&mut self.election.trip, VoterId(v), 0, rng) {
+                    Ok(outcome) => break outcome,
+                    Err(vg_trip::TripError::NoMatchingEnvelope) => continue,
+                    Err(e) => panic!("registration fails: {e}"),
+                }
+            };
+            let vsd = activate_all(&mut self.election.trip, &mut outcome, rng)
+                .expect("activation succeeds");
+            self.credentials
+                .push(vsd.credentials.into_iter().next().expect("one credential"));
+        }
+    }
+
+    fn vote_all(&mut self, votes: &[u32], rng: &mut dyn Rng) {
+        assert_eq!(votes.len(), self.n_voters, "one vote per voter");
+        for (cred, &v) in self.credentials.iter().zip(votes.iter()) {
+            self.election.cast(cred, v, rng).expect("ballot accepted");
+        }
+    }
+
+    fn tally(&mut self, rng: &mut dyn Rng) -> Vec<u64> {
+        let transcript = self.election.tally(rng).expect("tally runs");
+        transcript.result.counts
+    }
+}
+
+/// Convenience: a deterministic RNG for benchmark harnesses.
+pub fn bench_rng(seed: u64) -> HmacDrbg {
+    HmacDrbg::from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::VoteDist;
+
+    #[test]
+    fn votegral_core_through_trait() {
+        let mut rng = bench_rng(1);
+        let mut sys = VotegralCore::new(3, 2, &mut rng);
+        sys.register_all(&mut rng);
+        sys.vote_all(&[1, 0, 1], &mut rng);
+        assert_eq!(sys.tally(&mut rng), vec![1, 2]);
+        assert!(!sys.quadratic_tally());
+    }
+
+    #[test]
+    fn all_four_systems_agree_on_result() {
+        // The same vote vector tallied by every system yields identical
+        // counts — the cross-system correctness check behind Fig 5.
+        let votes = {
+            let mut rng = bench_rng(2);
+            VoteDist::uniform(3).sample_many(5, &mut rng)
+        };
+        let mut expected = vec![0u64; 3];
+        for &v in &votes {
+            expected[v as usize] += 1;
+        }
+
+        let mut rng = bench_rng(3);
+        let mut votegral = VotegralCore::new(5, 3, &mut rng);
+        votegral.register_all(&mut rng);
+        votegral.vote_all(&votes, &mut rng);
+        assert_eq!(votegral.tally(&mut rng), expected, "votegral");
+
+        let mut swiss = vg_baselines::SwissPost::new(5, 3, &mut rng);
+        swiss.register_all(&mut rng);
+        swiss.vote_all(&votes, &mut rng);
+        assert_eq!(swiss.tally(&mut rng), expected, "swisspost");
+
+        let mut va = vg_baselines::VoteAgain::new(5, 3, &mut rng);
+        va.register_all(&mut rng);
+        va.vote_all(&votes, &mut rng);
+        assert_eq!(va.tally(&mut rng), expected, "voteagain");
+
+        let mut civitas = vg_baselines::Civitas::with_tellers(5, 3, 2, &mut rng);
+        civitas.register_all(&mut rng);
+        civitas.vote_all(&votes, &mut rng);
+        assert_eq!(civitas.tally(&mut rng), expected, "civitas");
+    }
+}

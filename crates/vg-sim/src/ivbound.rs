@@ -1,0 +1,193 @@
+//! The individual-verifiability bound of Theorem §5.1 (Appendix F.3).
+//!
+//! A compromised registrar's only way to forge a "real" credential that
+//! survives the voter's checks is to *guess the envelope challenge*: it
+//! stuffs k of the booth's n_E envelopes with one challenge e★ and wins if
+//! the voter picks a stuffed envelope for the real credential while none
+//! of their n_c − 1 fake credentials consumes another stuffed envelope
+//! (a duplicate reveal at activation would expose the attack,
+//! Appendix F.3.5). The success probability is
+//!
+//! ```text
+//!   max_k  E_{n_c ∼ D_c} [ (k/n_E) · C(n_E−k, n_c−1) / C(n_E−1, n_c−1) ]
+//! ```
+//!
+//! and across N independently targeted voters it decays as p_max^N
+//! (strong iterative IV, Appendix F.3.6). This module evaluates the bound
+//! exactly (log-space binomials) and cross-checks it by Monte-Carlo over
+//! the real envelope-selection mechanics.
+
+use crate::population::FakeCredentialDist;
+use vg_crypto::Rng;
+
+/// ln(n!) table-based computation.
+fn ln_factorials(n: usize) -> Vec<f64> {
+    let mut table = Vec::with_capacity(n + 1);
+    table.push(0.0);
+    for i in 1..=n {
+        table.push(table[i - 1] + (i as f64).ln());
+    }
+    table
+}
+
+/// ln C(n, k) from a ln-factorial table.
+fn ln_binom(table: &[f64], n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    table[n] - table[k] - table[n - k]
+}
+
+/// The adversary's success probability for a fixed duplicate count `k`.
+pub fn success_probability(n_e: usize, k: usize, dist: &FakeCredentialDist) -> f64 {
+    assert!(k >= 1 && k <= n_e, "k in 1..=n_E");
+    let table = ln_factorials(n_e);
+    let mut total = 0.0;
+    for fakes in 0..=dist.max {
+        let n_c = fakes + 1; // Total credentials = 1 real + fakes.
+        if n_c - 1 > n_e - k {
+            // Cannot pick the fakes without hitting another stuffed
+            // envelope: the attack is always exposed.
+            continue;
+        }
+        let ln_ratio =
+            ln_binom(&table, n_e - k, n_c - 1) - ln_binom(&table, n_e - 1, n_c - 1);
+        total += dist.pmf(fakes) * (k as f64 / n_e as f64) * ln_ratio.exp();
+    }
+    total
+}
+
+/// The theorem's bound: max over k of the success probability.
+///
+/// Returns `(best_k, p_max)`.
+pub fn adversary_bound(n_e: usize, dist: &FakeCredentialDist) -> (usize, f64) {
+    let mut best = (1usize, 0.0f64);
+    for k in 1..=n_e {
+        let p = success_probability(n_e, k, dist);
+        if p > best.1 {
+            best = (k, p);
+        }
+    }
+    best
+}
+
+/// Strong iterative IV (Appendix F.3.6): log₂ of the probability that the
+/// adversary succeeds against all of `n_voters` independent targets.
+pub fn log2_iterative_bound(p_max: f64, n_voters: u32) -> f64 {
+    n_voters as f64 * p_max.log2()
+}
+
+/// Monte-Carlo of the envelope-stuffing game over real selection
+/// mechanics: k stuffed envelopes among n_E; the voter draws one envelope
+/// for the real credential and n_c − 1 more for fakes, uniformly without
+/// replacement. The adversary wins iff the real draw is stuffed and no
+/// fake draw is.
+pub fn simulate_stuffing(
+    n_e: usize,
+    k: usize,
+    dist: &FakeCredentialDist,
+    trials: usize,
+    rng: &mut dyn Rng,
+) -> f64 {
+    let mut wins = 0usize;
+    for _ in 0..trials {
+        let n_c = dist.sample(rng) + 1;
+        // Envelopes 0..k are stuffed. Draw n_c distinct envelopes in
+        // order; the first is used for the real credential.
+        let mut drawn: Vec<usize> = Vec::with_capacity(n_c);
+        while drawn.len() < n_c.min(n_e) {
+            let e = rng.below(n_e as u64) as usize;
+            if !drawn.contains(&e) {
+                drawn.push(e);
+            }
+        }
+        let real_stuffed = drawn[0] < k;
+        let fake_hit = drawn[1..].iter().any(|&e| e < k);
+        if real_stuffed && !fake_hit {
+            wins += 1;
+        }
+    }
+    wins as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_crypto::HmacDrbg;
+
+    fn no_fakes() -> FakeCredentialDist {
+        FakeCredentialDist { p: 1.0, max: 0 }
+    }
+
+    #[test]
+    fn single_credential_closed_form() {
+        // With n_c ≡ 1 the bound is max_k k/n_E = 1 at k = n_E: if the
+        // voter creates no fakes, stuffing every envelope always wins.
+        let (k, p) = adversary_bound(16, &no_fakes());
+        assert_eq!(k, 16);
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fakes_punish_stuffing() {
+        // Stuffing every envelope (k = n_E) wins exactly when the voter
+        // creates no fakes, so p_max is pinned near P(n_c = 1): the more
+        // probable fake creation is, the lower the adversary's ceiling —
+        // the quantified version of "fake credentials protect
+        // verifiability".
+        let casual = FakeCredentialDist { p: 0.6, max: 5 }; // P(0) ≈ 0.61.
+        let diligent = FakeCredentialDist { p: 0.25, max: 5 }; // P(0) ≈ 0.30.
+        let (_, p_casual) = adversary_bound(64, &casual);
+        let (_, p_diligent) = adversary_bound(64, &diligent);
+        assert!(p_diligent < p_casual, "{p_diligent} vs {p_casual}");
+        // The bound can never drop below P(no fakes): k = n_E achieves it.
+        assert!(p_casual >= casual.pmf(0) - 1e-12);
+        assert!(p_diligent >= diligent.pmf(0) - 1e-12);
+        assert!(p_diligent < 0.45, "p = {p_diligent}");
+    }
+
+    #[test]
+    fn bound_decreases_with_more_envelopes() {
+        let dist = FakeCredentialDist::default();
+        let (_, p_small) = adversary_bound(16, &dist);
+        let (_, p_large) = adversary_bound(256, &dist);
+        assert!(
+            p_large <= p_small + 1e-9,
+            "{p_large} vs {p_small}: more envelopes cannot help the adversary"
+        );
+    }
+
+    #[test]
+    fn iterative_bound_becomes_negligible() {
+        // Strong iterative IV (Appendix F.3.6): even a p_max ≈ 0.6
+        // single-voter bound collapses across 100 independent targets,
+        // and a diligent population pushes it to cryptographic depths.
+        let dist = FakeCredentialDist::default();
+        let (_, p) = adversary_bound(64, &dist);
+        let log2_100 = log2_iterative_bound(p, 100);
+        assert!(log2_100 < -50.0, "100 voters: 2^{log2_100}");
+
+        let diligent = FakeCredentialDist { p: 0.25, max: 5 };
+        let (_, p2) = adversary_bound(64, &diligent);
+        assert!(
+            log2_iterative_bound(p2, 100) < -150.0,
+            "diligent population: 2^{}",
+            log2_iterative_bound(p2, 100)
+        );
+    }
+
+    #[test]
+    fn monte_carlo_matches_formula() {
+        let dist = FakeCredentialDist::default();
+        let n_e = 24;
+        for k in [1usize, 4, 12] {
+            let exact = success_probability(n_e, k, &dist);
+            let mut rng = HmacDrbg::from_u64(7 + k as u64);
+            let sim = simulate_stuffing(n_e, k, &dist, 30_000, &mut rng);
+            assert!(
+                (sim - exact).abs() < 0.02,
+                "k={k}: sim {sim} vs exact {exact}"
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for the TRIP registration protocol.
+
+use vg_crypto::CryptoError;
+use vg_ledger::LedgerError;
+
+/// Errors raised across the TRIP registration workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TripError {
+    /// The check-in ticket's MAC tag failed verification (Fig 8).
+    BadCheckInTicket,
+    /// The voter is not on the electoral roll.
+    NotEligible,
+    /// A kiosk was asked for a fake credential before the real one exists
+    /// (FakeCred needs the check-out ticket, Fig 9b line 1).
+    RealCredentialMissing,
+    /// The presented envelope's challenge was already consumed in this
+    /// session (E ⊖ e, Fig 6 line 6).
+    EnvelopeReused,
+    /// The presented envelope's symbol does not match the printed symbol
+    /// (the honest kiosk "gently rejects" it, §4.4).
+    WrongSymbol,
+    /// No envelope with the required symbol is available in the booth.
+    NoMatchingEnvelope,
+    /// The check-out credential was not produced by an authorized kiosk.
+    UnknownKiosk,
+    /// The envelope was not produced by an authorized printer.
+    UnknownPrinter,
+    /// Activation failed: a named check from Fig 11 did not pass.
+    Activation(ActivationCheck),
+    /// The paper credential is in the wrong physical state for the
+    /// requested operation (e.g. activating a credential still in
+    /// transport state).
+    WrongPhysicalState,
+    /// An underlying cryptographic operation failed.
+    Crypto(CryptoError),
+    /// A ledger operation failed.
+    Ledger(LedgerError),
+}
+
+/// The individual activation-time checks of Fig 11, named so that failures
+/// identify the offending actor (Fig 11's "report the offending actor").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationCheck {
+    /// Receipt integrity check 1: σ_kc over V_id ‖ c_pc ‖ Y_c (line 3).
+    CommitSignature,
+    /// Receipt integrity check 2: σ_kr over c_pk ‖ H(e ‖ r) (line 4).
+    ResponseSignature,
+    /// Envelope integrity: σ_p over H(e) (line 5).
+    EnvelopeSignature,
+    /// The Σ-protocol transcript equations (line 8).
+    ZkTranscript,
+    /// Ledger cross-check of c_pc, kiosk and voter identity (line 10).
+    LedgerMismatch,
+    /// The envelope challenge was already used (line 11; duplicate
+    /// envelope detection of Appendix F.3.5).
+    DuplicateChallenge,
+    /// No active registration record exists for the voter.
+    NoRegistrationRecord,
+}
+
+impl core::fmt::Display for TripError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TripError::BadCheckInTicket => write!(f, "check-in ticket MAC invalid"),
+            TripError::NotEligible => write!(f, "voter not on electoral roll"),
+            TripError::RealCredentialMissing => {
+                write!(f, "fake credential requested before real credential")
+            }
+            TripError::EnvelopeReused => write!(f, "envelope challenge already used"),
+            TripError::WrongSymbol => write!(f, "envelope symbol does not match"),
+            TripError::NoMatchingEnvelope => write!(f, "no envelope with matching symbol"),
+            TripError::UnknownKiosk => write!(f, "kiosk not in the authorized registry"),
+            TripError::UnknownPrinter => write!(f, "printer not in the authorized registry"),
+            TripError::Activation(check) => write!(f, "activation check failed: {check:?}"),
+            TripError::WrongPhysicalState => {
+                write!(f, "paper credential in wrong physical state")
+            }
+            TripError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+            TripError::Ledger(e) => write!(f, "ledger failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TripError {}
+
+impl From<CryptoError> for TripError {
+    fn from(e: CryptoError) -> Self {
+        TripError::Crypto(e)
+    }
+}
+
+impl From<LedgerError> for TripError {
+    fn from(e: LedgerError) -> Self {
+        TripError::Ledger(e)
+    }
+}

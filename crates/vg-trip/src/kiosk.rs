@@ -1,0 +1,633 @@
+//! The registration kiosk: real and fake credential issuance (Fig 9).
+//!
+//! The kiosk sits in a privacy booth. For a **real** credential it follows
+//! the sound Σ-protocol order — generate the credential, encrypt its public
+//! key into the tag c_pc, *print the commitment first*, accept an envelope
+//! (the challenge), then print the response. For a **fake** credential the
+//! voter hands over the envelope *first*, so the kiosk can forge a
+//! transcript for a statement it has no witness for. The only evidence of
+//! which happened is the order of steps the voter observed in the booth;
+//! the printed artifacts are indistinguishable (§4.3).
+//!
+//! [`KioskBehavior::StealsRealCredential`] models the integrity adversary
+//! of §5.1: a compromised kiosk that runs the fake-credential process while
+//! *claiming* to issue a real credential, keeping the real key for itself.
+//! The observable difference — the kiosk asks for the envelope before
+//! anything is printed — is exactly what the usability study measured
+//! voters' ability to detect (§7.5).
+
+use std::collections::HashSet;
+
+use vg_crypto::chaum_pedersen::{forge_transcript, DlEqStatement, Prover};
+use vg_crypto::drbg::Rng;
+use vg_crypto::elgamal::Ciphertext;
+use vg_crypto::schnorr::SigningKey;
+use vg_crypto::{CompressedPoint, EdwardsPoint, Scalar};
+use vg_ledger::{RegistrationRecord, VoterId};
+
+use crate::error::TripError;
+use crate::materials::{
+    commit_message, response_message, CheckInTicket, CheckOutQr, CommitQr, Envelope, Receipt,
+    ResponseQr, Symbol,
+};
+use crate::official::verify_ticket;
+
+/// Honest or compromised kiosk behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KioskBehavior {
+    /// Follows the protocol.
+    Honest,
+    /// Uses the fake-credential process for the "real" credential, keeping
+    /// the real key: the integrity adversary of §5.1.
+    StealsRealCredential,
+}
+
+/// A registration kiosk.
+pub struct Kiosk {
+    key: SigningKey,
+    mac_key: [u8; 32],
+    authority_pk: EdwardsPoint,
+    behavior: KioskBehavior,
+}
+
+/// Observable kiosk events, in booth order. The voter's mental model of
+/// the correct sequence is what detects a compromised kiosk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KioskEvent {
+    /// The session began (check-in ticket scanned).
+    SessionStarted,
+    /// The kiosk printed a symbol and the commit QR (real flow step 2).
+    PrintedSymbolAndCommit {
+        /// The symbol the voter must match.
+        symbol: Symbol,
+    },
+    /// The kiosk scanned an envelope.
+    ScannedEnvelope {
+        /// The scanned envelope's symbol.
+        symbol: Symbol,
+    },
+    /// The kiosk printed the check-out and response QRs (real flow step 4).
+    PrintedCheckoutAndResponse,
+    /// The kiosk printed an entire receipt at once (fake flow step 2).
+    PrintedFullReceipt,
+    /// The kiosk rejected an envelope whose symbol did not match.
+    RejectedEnvelope,
+}
+
+/// State of a real-credential issuance between commit and challenge.
+pub struct PendingRealCredential {
+    credential: SigningKey,
+    elgamal_secret: Scalar,
+    c_pc: Ciphertext,
+    prover: Prover,
+    commit_qr: CommitQr,
+    symbol: Symbol,
+}
+
+impl PendingRealCredential {
+    /// The symbol printed above the commit (the voter matches an envelope
+    /// against it).
+    pub fn symbol(&self) -> Symbol {
+        self.symbol
+    }
+
+    /// The printed commit QR.
+    pub fn commit_qr(&self) -> &CommitQr {
+        &self.commit_qr
+    }
+}
+
+/// A credential stolen by a compromised kiosk (test/experiment hook).
+pub struct StolenCredential {
+    /// The victim.
+    pub voter_id: VoterId,
+    /// The real credential key the kiosk retained.
+    pub key: SigningKey,
+}
+
+/// An in-booth kiosk session for one checked-in voter.
+pub struct KioskSession<'k> {
+    kiosk: &'k Kiosk,
+    voter_id: VoterId,
+    /// Set once the real credential has been issued: (c_pc, σ_kot).
+    checkout: Option<CheckOutQr>,
+    pending: Option<PendingRealCredential>,
+    used_challenges: HashSet<[u8; 32]>,
+    /// The observable event trace.
+    pub events: Vec<KioskEvent>,
+}
+
+impl Kiosk {
+    /// Creates a kiosk holding the registrar MAC key and the authority's
+    /// collective encryption key.
+    pub fn new(
+        mac_key: [u8; 32],
+        authority_pk: EdwardsPoint,
+        behavior: KioskBehavior,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        Self { key: SigningKey::generate(rng), mac_key, authority_pk, behavior }
+    }
+
+    /// The kiosk's public key (appears on receipts and the ledger).
+    pub fn public_key(&self) -> CompressedPoint {
+        self.key.verifying_key().compress()
+    }
+
+    /// The configured behaviour.
+    pub fn behavior(&self) -> KioskBehavior {
+        self.behavior
+    }
+
+    /// Issues registrar evidence for a delegation target's public key
+    /// (Appendix C.3): a σ_kr-style signature letting the party's ballots
+    /// pass the registrar-issuance admission check. The (e, r) pair is a
+    /// fresh synthetic binder — only its hash is signed, exactly as for
+    /// ordinary credentials.
+    pub fn issue_party_evidence(
+        &self,
+        party_pk: &CompressedPoint,
+        rng: &mut dyn Rng,
+    ) -> ([u8; 32], vg_crypto::schnorr::Signature, Scalar, Scalar) {
+        let e = rng.scalar();
+        let r = rng.scalar();
+        let h = crate::materials::er_hash(&e, &r);
+        let sig = self
+            .key
+            .sign(&crate::materials::response_message_from_hash(party_pk, &h));
+        (h, sig, e, r)
+    }
+
+    /// Starts a session by validating the check-in ticket (Fig 8, kiosk
+    /// side).
+    pub fn begin_session(&self, ticket: &CheckInTicket) -> Result<KioskSession<'_>, TripError> {
+        verify_ticket(&self.mac_key, ticket)?;
+        Ok(KioskSession {
+            kiosk: self,
+            voter_id: ticket.voter_id,
+            checkout: None,
+            pending: None,
+            used_challenges: HashSet::new(),
+            events: vec![KioskEvent::SessionStarted],
+        })
+    }
+
+    fn sign_checkout(&self, voter_id: VoterId, c_pc: &Ciphertext) -> CheckOutQr {
+        let kiosk_sig = self
+            .key
+            .sign(&RegistrationRecord::kiosk_message(voter_id, c_pc));
+        CheckOutQr { voter_id, c_pc: *c_pc, kiosk_pk: self.public_key(), kiosk_sig }
+    }
+}
+
+impl KioskSession<'_> {
+    /// The session's voter.
+    pub fn voter_id(&self) -> VoterId {
+        self.voter_id
+    }
+
+    /// Whether the real credential has been issued.
+    pub fn real_issued(&self) -> bool {
+        self.checkout.is_some()
+    }
+
+    /// Real credential, step 2 (Fig 9a lines 2–8): generate the credential
+    /// and the tag c_pc, compute the Σ-protocol commitment, print symbol +
+    /// commit QR.
+    ///
+    /// The voter observes [`KioskEvent::PrintedSymbolAndCommit`] *before*
+    /// being asked for an envelope — the soundness-critical ordering.
+    pub fn begin_real_credential(
+        &mut self,
+        rng: &mut dyn Rng,
+    ) -> Result<&PendingRealCredential, TripError> {
+        if self.checkout.is_some() || self.pending.is_some() {
+            return Err(TripError::WrongPhysicalState);
+        }
+        // (c_sk, c_pk) ← Sig.KGen (line 2).
+        let credential = SigningKey::generate(rng);
+        let c_pk = credential.verifying_key().0;
+        // x ←$ Z_q; X ← A_pk^x; c_pc ← (g^x, X·c_pk) (lines 3–4).
+        let x = rng.scalar();
+        let big_x = self.kiosk.authority_pk * x;
+        let c_pc = Ciphertext {
+            c1: EdwardsPoint::mul_base(&x),
+            c2: big_x + c_pk,
+        };
+        // ZKP commit (line 5): Y = (g^y, A_pk^y).
+        let stmt = DlEqStatement {
+            g1: EdwardsPoint::basepoint(),
+            y1: c_pc.c1,
+            g2: self.kiosk.authority_pk,
+            y2: big_x,
+        };
+        let prover = Prover::commit(&stmt, rng);
+        let commit = prover.commitment();
+        // σ_kc ← Sig.Sign(K_sk, V_id ‖ c_pc ‖ Y_c) (line 6).
+        let kiosk_sig = self
+            .kiosk
+            .key
+            .sign(&commit_message(self.voter_id, &c_pc, &commit));
+        let commit_qr = CommitQr { voter_id: self.voter_id, c_pc, commit, kiosk_sig };
+        let symbol = Symbol::random(rng);
+        self.events
+            .push(KioskEvent::PrintedSymbolAndCommit { symbol });
+        self.pending = Some(PendingRealCredential {
+            credential,
+            elgamal_secret: x,
+            c_pc,
+            prover,
+            commit_qr,
+            symbol,
+        });
+        Ok(self.pending.as_ref().expect("just set"))
+    }
+
+    /// Real credential, step 4 (Fig 9a lines 9–18): scan the voter's
+    /// envelope, compute the response, print the check-out and response
+    /// QRs.
+    ///
+    /// Rejects an envelope with the wrong symbol (the voter keeps their
+    /// envelope and picks a matching one, §4.4) or a challenge already
+    /// used in this session.
+    pub fn finish_real_credential(&mut self, envelope: &Envelope) -> Result<Receipt, TripError> {
+        let pending = self.pending.as_ref().ok_or(TripError::WrongPhysicalState)?;
+        if envelope.symbol != pending.symbol {
+            self.events.push(KioskEvent::RejectedEnvelope);
+            return Err(TripError::WrongSymbol);
+        }
+        if !self.used_challenges.insert(envelope.challenge.to_bytes()) {
+            self.events.push(KioskEvent::RejectedEnvelope);
+            return Err(TripError::EnvelopeReused);
+        }
+        let pending = self.pending.take().expect("checked above");
+        self.events.push(KioskEvent::ScannedEnvelope { symbol: envelope.symbol });
+
+        // r ← y − e·x (line 12).
+        let transcript = pending
+            .prover
+            .respond(&pending.elgamal_secret, &envelope.challenge);
+        let c_pk = pending.credential.verifying_key().compress();
+        // σ_kot, σ_kr (lines 13–14).
+        let checkout_qr = self.kiosk.sign_checkout(self.voter_id, &pending.c_pc);
+        let response_sig = self.kiosk.key.sign(&response_message(
+            &c_pk,
+            &envelope.challenge,
+            &transcript.response,
+        ));
+        let response_qr = ResponseQr {
+            credential_sk: pending.credential.secret(),
+            response: transcript.response,
+            kiosk_pk: self.kiosk.public_key(),
+            kiosk_sig: response_sig,
+        };
+        self.events.push(KioskEvent::PrintedCheckoutAndResponse);
+        self.checkout = Some(checkout_qr.clone());
+        Ok(Receipt {
+            symbol: pending.symbol,
+            commit_qr: pending.commit_qr,
+            checkout_qr,
+            response_qr,
+        })
+    }
+
+    /// Fake credential (Fig 9b): the envelope arrives first, the kiosk
+    /// forges an unsound transcript and prints the whole receipt at once.
+    ///
+    /// Requires the real credential to exist (the fake shares its c_pc and
+    /// check-out ticket).
+    pub fn create_fake_credential(
+        &mut self,
+        envelope: &Envelope,
+        rng: &mut dyn Rng,
+    ) -> Result<Receipt, TripError> {
+        let checkout = self
+            .checkout
+            .clone()
+            .ok_or(TripError::RealCredentialMissing)?;
+        if !self.used_challenges.insert(envelope.challenge.to_bytes()) {
+            self.events.push(KioskEvent::RejectedEnvelope);
+            return Err(TripError::EnvelopeReused);
+        }
+        self.events.push(KioskEvent::ScannedEnvelope { symbol: envelope.symbol });
+        let receipt = self.forge_receipt(&checkout, envelope, envelope.symbol, rng);
+        self.events.push(KioskEvent::PrintedFullReceipt);
+        Ok(receipt)
+    }
+
+    /// The compromised-kiosk "real" credential (integrity adversary): runs
+    /// the fake-credential process while the screen claims a real
+    /// credential is being created, and keeps the real key.
+    ///
+    /// Returns the receipt handed to the voter and the stolen credential.
+    /// The event trace shows [`KioskEvent::ScannedEnvelope`] *before* any
+    /// printing — the tell a trained voter can notice (§7.5).
+    pub fn malicious_real_credential(
+        &mut self,
+        envelope: &Envelope,
+        rng: &mut dyn Rng,
+    ) -> Result<(Receipt, StolenCredential), TripError> {
+        if self.kiosk.behavior != KioskBehavior::StealsRealCredential {
+            return Err(TripError::WrongPhysicalState);
+        }
+        if self.checkout.is_some() {
+            return Err(TripError::WrongPhysicalState);
+        }
+        if !self.used_challenges.insert(envelope.challenge.to_bytes()) {
+            self.events.push(KioskEvent::RejectedEnvelope);
+            return Err(TripError::EnvelopeReused);
+        }
+        self.events.push(KioskEvent::ScannedEnvelope { symbol: envelope.symbol });
+
+        // The kiosk generates the REAL credential and keeps it.
+        let real = SigningKey::generate(rng);
+        let x = rng.scalar();
+        let c_pc = Ciphertext {
+            c1: EdwardsPoint::mul_base(&x),
+            c2: self.kiosk.authority_pk * x + real.verifying_key().0,
+        };
+        let checkout = self.kiosk.sign_checkout(self.voter_id, &c_pc);
+        self.checkout = Some(checkout.clone());
+        // The voter receives a forged (fake) credential presented as real.
+        let receipt = self.forge_receipt(&checkout, envelope, envelope.symbol, rng);
+        self.events.push(KioskEvent::PrintedFullReceipt);
+        Ok((
+            receipt,
+            StolenCredential { voter_id: self.voter_id, key: real },
+        ))
+    }
+
+    /// Extreme-coercion delegation (Appendix C.3): instead of a real
+    /// credential, the voter delegates their voting rights to a well-known
+    /// entity (e.g. a political party) whose public key the kiosk encrypts
+    /// as this voter's credential tag. The voter then creates only fake
+    /// credentials and leaves the booth holding nothing a coercer could
+    /// find — at the cost of trusting the kiosk, which is unavoidable in
+    /// this scenario.
+    ///
+    /// The kiosk never needs the party's private key (it encrypts the
+    /// public key), so the party's credential is never exposed to the
+    /// registrar.
+    pub fn delegate_to_party(
+        &mut self,
+        party_pk: &EdwardsPoint,
+        rng: &mut dyn Rng,
+    ) -> Result<CheckOutQr, TripError> {
+        if self.checkout.is_some() || self.pending.is_some() {
+            return Err(TripError::WrongPhysicalState);
+        }
+        let x = rng.scalar();
+        let c_pc = Ciphertext {
+            c1: EdwardsPoint::mul_base(&x),
+            c2: self.kiosk.authority_pk * x + *party_pk,
+        };
+        let checkout = self.kiosk.sign_checkout(self.voter_id, &c_pc);
+        self.checkout = Some(checkout.clone());
+        self.events.push(KioskEvent::PrintedCheckoutAndResponse);
+        Ok(checkout)
+    }
+
+    /// Forges a receipt whose transcript "proves" that `checkout.c_pc`
+    /// encrypts a freshly generated key (Fig 9b lines 2–14).
+    fn forge_receipt(
+        &self,
+        checkout: &CheckOutQr,
+        envelope: &Envelope,
+        symbol: Symbol,
+        rng: &mut dyn Rng,
+    ) -> Receipt {
+        // (c̃_sk, c̃_pk) ← Sig.KGen (line 2).
+        let fake = SigningKey::generate(rng);
+        let fake_pk = fake.verifying_key().0;
+        // X̃ ← C₂ − c̃_pk (line 4): no witness exists for this statement.
+        let x_tilde = checkout.c_pc.c2 - fake_pk;
+        let stmt = DlEqStatement {
+            g1: EdwardsPoint::basepoint(),
+            y1: checkout.c_pc.c1,
+            g2: self.kiosk.authority_pk,
+            y2: x_tilde,
+        };
+        // Forge with the known challenge (lines 8–10).
+        let transcript = forge_transcript(&stmt, &envelope.challenge, rng);
+        // σ_kc, σ_kr (lines 11–12).
+        let kiosk_sig = self.kiosk.key.sign(&commit_message(
+            checkout.voter_id,
+            &checkout.c_pc,
+            &transcript.commit,
+        ));
+        let response_sig = self.kiosk.key.sign(&response_message(
+            &fake.verifying_key().compress(),
+            &envelope.challenge,
+            &transcript.response,
+        ));
+        Receipt {
+            symbol,
+            commit_qr: CommitQr {
+                voter_id: checkout.voter_id,
+                c_pc: checkout.c_pc,
+                commit: transcript.commit,
+                kiosk_sig,
+            },
+            checkout_qr: checkout.clone(),
+            response_qr: ResponseQr {
+                credential_sk: fake.secret(),
+                response: transcript.response,
+                kiosk_pk: self.kiosk.public_key(),
+                kiosk_sig: response_sig,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materials::checkin_message;
+    use vg_crypto::hmac::hmac_sha256;
+    use vg_crypto::HmacDrbg;
+
+    fn ticket(mac_key: &[u8; 32], voter: VoterId) -> CheckInTicket {
+        CheckInTicket { voter_id: voter, tag: hmac_sha256(mac_key, &checkin_message(voter)) }
+    }
+
+    fn envelope(symbol: Symbol, rng: &mut dyn Rng) -> Envelope {
+        let printer = SigningKey::generate(rng);
+        Envelope {
+            printer_pk: printer.verifying_key().compress(),
+            challenge: rng.scalar(),
+            signature: printer.sign(b"x"),
+            symbol,
+        }
+    }
+
+    #[test]
+    fn session_requires_valid_ticket() {
+        let mut rng = HmacDrbg::from_u64(1);
+        let mac = [9u8; 32];
+        let kiosk = Kiosk::new(
+            mac,
+            EdwardsPoint::mul_base(&rng.scalar()),
+            KioskBehavior::Honest,
+            &mut rng,
+        );
+        assert!(kiosk.begin_session(&ticket(&mac, VoterId(1))).is_ok());
+        assert!(kiosk.begin_session(&ticket(&[0u8; 32], VoterId(1))).is_err());
+    }
+
+    #[test]
+    fn real_flow_event_order() {
+        let mut rng = HmacDrbg::from_u64(2);
+        let mac = [9u8; 32];
+        let kiosk = Kiosk::new(
+            mac,
+            EdwardsPoint::mul_base(&rng.scalar()),
+            KioskBehavior::Honest,
+            &mut rng,
+        );
+        let mut session = kiosk.begin_session(&ticket(&mac, VoterId(1))).unwrap();
+        let symbol = session.begin_real_credential(&mut rng).unwrap().symbol();
+        let env = envelope(symbol, &mut rng);
+        let receipt = session.finish_real_credential(&env).unwrap();
+        assert_eq!(receipt.symbol, symbol);
+        // Commit printed BEFORE envelope scanned.
+        assert_eq!(
+            session.events,
+            vec![
+                KioskEvent::SessionStarted,
+                KioskEvent::PrintedSymbolAndCommit { symbol },
+                KioskEvent::ScannedEnvelope { symbol },
+                KioskEvent::PrintedCheckoutAndResponse,
+            ]
+        );
+    }
+
+    #[test]
+    fn wrong_symbol_gently_rejected() {
+        let mut rng = HmacDrbg::from_u64(3);
+        let mac = [9u8; 32];
+        let kiosk = Kiosk::new(
+            mac,
+            EdwardsPoint::mul_base(&rng.scalar()),
+            KioskBehavior::Honest,
+            &mut rng,
+        );
+        let mut session = kiosk.begin_session(&ticket(&mac, VoterId(1))).unwrap();
+        let symbol = session.begin_real_credential(&mut rng).unwrap().symbol();
+        let wrong = Symbol::ALL.iter().copied().find(|s| *s != symbol).unwrap();
+        let env = envelope(wrong, &mut rng);
+        assert_eq!(
+            session.finish_real_credential(&env).unwrap_err(),
+            TripError::WrongSymbol
+        );
+        // The session is still pending; a matching envelope succeeds.
+        let env = envelope(symbol, &mut rng);
+        assert!(session.finish_real_credential(&env).is_ok());
+    }
+
+    #[test]
+    fn fake_requires_real_first() {
+        let mut rng = HmacDrbg::from_u64(4);
+        let mac = [9u8; 32];
+        let kiosk = Kiosk::new(
+            mac,
+            EdwardsPoint::mul_base(&rng.scalar()),
+            KioskBehavior::Honest,
+            &mut rng,
+        );
+        let mut session = kiosk.begin_session(&ticket(&mac, VoterId(1))).unwrap();
+        let env = envelope(Symbol::Star, &mut rng);
+        assert_eq!(
+            session.create_fake_credential(&env, &mut rng).unwrap_err(),
+            TripError::RealCredentialMissing
+        );
+    }
+
+    #[test]
+    fn envelope_reuse_rejected() {
+        let mut rng = HmacDrbg::from_u64(5);
+        let mac = [9u8; 32];
+        let kiosk = Kiosk::new(
+            mac,
+            EdwardsPoint::mul_base(&rng.scalar()),
+            KioskBehavior::Honest,
+            &mut rng,
+        );
+        let mut session = kiosk.begin_session(&ticket(&mac, VoterId(1))).unwrap();
+        let symbol = session.begin_real_credential(&mut rng).unwrap().symbol();
+        let env = envelope(symbol, &mut rng);
+        session.finish_real_credential(&env).unwrap();
+        // Reusing the same envelope for a fake is rejected.
+        assert_eq!(
+            session.create_fake_credential(&env, &mut rng).unwrap_err(),
+            TripError::EnvelopeReused
+        );
+    }
+
+    #[test]
+    fn fake_shares_checkout_with_real() {
+        let mut rng = HmacDrbg::from_u64(6);
+        let mac = [9u8; 32];
+        let kiosk = Kiosk::new(
+            mac,
+            EdwardsPoint::mul_base(&rng.scalar()),
+            KioskBehavior::Honest,
+            &mut rng,
+        );
+        let mut session = kiosk.begin_session(&ticket(&mac, VoterId(1))).unwrap();
+        let symbol = session.begin_real_credential(&mut rng).unwrap().symbol();
+        let real = session
+            .finish_real_credential(&envelope(symbol, &mut rng))
+            .unwrap();
+        let fake = session
+            .create_fake_credential(&envelope(Symbol::Circle, &mut rng), &mut rng)
+            .unwrap();
+        // "t_ot is identical (both in content and visually)" (Fig 9b):
+        // same tag, same kiosk, byte-identical signature.
+        assert_eq!(real.checkout_qr, fake.checkout_qr);
+        // But the credential keys differ.
+        assert_ne!(
+            real.response_qr.credential_sk,
+            fake.response_qr.credential_sk
+        );
+    }
+
+    #[test]
+    fn malicious_kiosk_event_order_differs() {
+        let mut rng = HmacDrbg::from_u64(7);
+        let mac = [9u8; 32];
+        let kiosk = Kiosk::new(
+            mac,
+            EdwardsPoint::mul_base(&rng.scalar()),
+            KioskBehavior::StealsRealCredential,
+            &mut rng,
+        );
+        let mut session = kiosk.begin_session(&ticket(&mac, VoterId(1))).unwrap();
+        let env = envelope(Symbol::Star, &mut rng);
+        let (_receipt, stolen) = session.malicious_real_credential(&env, &mut rng).unwrap();
+        assert_eq!(stolen.voter_id, VoterId(1));
+        // The tell: envelope scanned first, no commit printed beforehand.
+        assert_eq!(
+            session.events,
+            vec![
+                KioskEvent::SessionStarted,
+                KioskEvent::ScannedEnvelope { symbol: Symbol::Star },
+                KioskEvent::PrintedFullReceipt,
+            ]
+        );
+    }
+
+    #[test]
+    fn honest_kiosk_refuses_malicious_flow() {
+        let mut rng = HmacDrbg::from_u64(8);
+        let mac = [9u8; 32];
+        let kiosk = Kiosk::new(
+            mac,
+            EdwardsPoint::mul_base(&rng.scalar()),
+            KioskBehavior::Honest,
+            &mut rng,
+        );
+        let mut session = kiosk.begin_session(&ticket(&mac, VoterId(1))).unwrap();
+        let env = envelope(Symbol::Star, &mut rng);
+        assert!(session.malicious_real_credential(&env, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! TRIP: coercion-resistant in-person registration with paper credentials —
+//! the paper's core contribution (§4, Appendix E).
+//!
+//! TRIP issues voters *real* and *fake* voting credentials on paper in a
+//! privacy booth. A real credential embeds a **sound** interactive
+//! zero-knowledge proof transcript (commit printed before the voter chooses
+//! an envelope/challenge); a fake credential embeds a **forged** transcript
+//! (challenge before commit). The voter observes the difference in printing
+//! order; the printed artifacts are indistinguishable afterwards, so the
+//! voter can verify their real credential but cannot prove anything to a
+//! coercer.
+//!
+//! # Module map
+//!
+//! - [`materials`]: envelopes, receipts, tickets, and the physical state
+//!   machine of an assembled credential (Fig 2);
+//! - [`official`]: check-in and check-out (Figs 8, 10);
+//! - [`printer`]: envelope issuance with ledger commitments (Fig 7), plus
+//!   the adversarial duplicate-envelope attack;
+//! - [`kiosk`]: real/fake credential issuance (Fig 9) with honest and
+//!   credential-stealing behaviours;
+//! - [`vsd`]: credential activation with every check of Fig 11;
+//! - [`setup`], [`protocol`]: system setup (Fig 7) and the end-to-end
+//!   registration workflow (Fig 6).
+//!
+//! # Example
+//!
+//! ```
+//! use vg_crypto::HmacDrbg;
+//! use vg_ledger::VoterId;
+//! use vg_trip::{protocol, setup::{TripConfig, TripSystem}};
+//!
+//! let mut rng = HmacDrbg::from_u64(7);
+//! let mut system = TripSystem::setup(TripConfig::with_voters(2), &mut rng);
+//! let mut outcome = protocol::register_voter(&mut system, VoterId(1), 1, &mut rng).unwrap();
+//! let vsd = protocol::activate_all(&mut system, &mut outcome, &mut rng).unwrap();
+//! assert_eq!(vsd.credentials.len(), 2); // one real + one fake
+//! ```
+
+pub mod error;
+pub mod kiosk;
+pub mod materials;
+pub mod official;
+pub mod printer;
+pub mod protocol;
+pub mod setup;
+pub mod vsd;
+
+pub use error::{ActivationCheck, TripError};
+pub use kiosk::{Kiosk, KioskBehavior, KioskEvent, KioskSession};
+pub use materials::{
+    CheckInTicket, CheckOutQr, CommitQr, CredentialState, Envelope, PaperCredential, Receipt,
+    ResponseQr, Symbol,
+};
+pub use official::Official;
+pub use printer::EnvelopePrinter;
+pub use protocol::{activate_all, register_voter, register_with_delegation, DelegationOutcome, RegistrationOutcome};
+pub use setup::{TripConfig, TripSystem};
+pub use vsd::{ActivatedCredential, Vsd};

@@ -1,0 +1,187 @@
+//! The voter-supporting device (VSD): credential activation (Fig 11).
+//!
+//! The voter lifts the receipt to the activate position and scans three QR
+//! codes. The VSD then performs every check of Fig 11: the two kiosk
+//! signatures, the printer signature, the structural validity of the
+//! Σ-protocol transcript, the cross-check against the voter's active
+//! registration record, and the envelope-challenge uniqueness check that
+//! detects duplicated envelopes (Appendix F.3.5). Real and fake credentials
+//! pass **identical** checks — the VSD cannot tell them apart, by design.
+
+use vg_crypto::chaum_pedersen::{verify_transcript, DlEqStatement, IzkpTranscript};
+use vg_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use vg_crypto::{CompressedPoint, EdwardsPoint, Scalar};
+use vg_ledger::{challenge_hash, EnvelopeCommitment, Ledger, VoterId};
+use vg_crypto::elgamal::Ciphertext;
+
+use crate::error::{ActivationCheck, TripError};
+use crate::materials::{commit_message, response_message, ActivateView, PaperCredential};
+
+/// A credential activated on a device, ready to cast ballots.
+#[derive(Clone, Debug)]
+pub struct ActivatedCredential {
+    /// The voter this credential registers.
+    pub voter_id: VoterId,
+    /// The credential signing key pair (reconstructed from c_sk).
+    pub key: SigningKey,
+    /// The public credential tag shared by all of this voter's credentials.
+    pub c_pc: Ciphertext,
+    /// The issuing kiosk.
+    pub kiosk_pk: CompressedPoint,
+    /// σ_kr — proves the credential was registrar-issued; ballots carry it
+    /// to defeat board flooding (Appendix M, \[82\]).
+    pub issuance_sig: Signature,
+    /// The IZKP response r (needed to reconstruct the issuance message).
+    pub response: Scalar,
+    /// The envelope challenge e (needed to reconstruct the issuance
+    /// message).
+    pub challenge: Scalar,
+}
+
+impl ActivatedCredential {
+    /// The credential public key.
+    pub fn public_key(&self) -> CompressedPoint {
+        self.key.verifying_key().compress()
+    }
+}
+
+/// A voter's device: holds activated credentials and registration
+/// notifications.
+#[derive(Default, Debug)]
+pub struct Vsd {
+    /// Credentials activated on this device.
+    pub credentials: Vec<ActivatedCredential>,
+    /// Registration events this device was notified about (Appendix J).
+    pub notifications: Vec<VoterId>,
+}
+
+impl Vsd {
+    /// Creates an empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Activates a paper credential (must be in the activate position) and
+    /// stores it. See [`activate`].
+    pub fn activate(
+        &mut self,
+        credential: &PaperCredential,
+        ledger: &mut Ledger,
+        authority_pk: &EdwardsPoint,
+        printer_registry: &[CompressedPoint],
+    ) -> Result<&ActivatedCredential, TripError> {
+        let view = credential.activate_view()?;
+        let activated = activate(&view, ledger, authority_pk, printer_registry)?;
+        self.credentials.push(activated);
+        Ok(self.credentials.last().expect("just pushed"))
+    }
+
+    /// Records a registration notification (check-out, Fig 10 line 6).
+    pub fn notify_registration(&mut self, voter: VoterId) {
+        self.notifications.push(voter);
+    }
+
+    /// Returns `true` if the device saw a registration event for `voter`
+    /// that the voter did not initiate — the impersonation alarm of §5.1.
+    pub fn unexpected_registrations(&self, initiated: &[VoterId]) -> Vec<VoterId> {
+        self.notifications
+            .iter()
+            .filter(|v| !initiated.contains(v))
+            .copied()
+            .collect()
+    }
+}
+
+/// Performs the activation checks of Fig 11 and, on success, returns the
+/// activated credential and reveals the envelope challenge on L_E.
+pub fn activate(
+    view: &ActivateView<'_>,
+    ledger: &mut Ledger,
+    authority_pk: &EdwardsPoint,
+    printer_registry: &[CompressedPoint],
+) -> Result<ActivatedCredential, TripError> {
+    let commit_qr = view.commit;
+    let response_qr = view.response;
+    let envelope = view.envelope;
+
+    // Line 2: c_pk ← Sig.PubKey(c_sk).
+    let key = SigningKey::from_scalar(response_qr.credential_sk);
+    let c_pk = key.verifying_key();
+
+    // Line 3: receipt integrity check 1 — σ_kc over V_id ‖ c_pc ‖ Y_c.
+    let kiosk_vk = VerifyingKey::from_compressed(&response_qr.kiosk_pk)
+        .map_err(|_| TripError::Activation(ActivationCheck::CommitSignature))?;
+    kiosk_vk
+        .verify(
+            &commit_message(commit_qr.voter_id, &commit_qr.c_pc, &commit_qr.commit),
+            &commit_qr.kiosk_sig,
+        )
+        .map_err(|_| TripError::Activation(ActivationCheck::CommitSignature))?;
+
+    // Line 4: receipt integrity check 2 — σ_kr over c_pk ‖ H(e ‖ r).
+    kiosk_vk
+        .verify(
+            &response_message(&c_pk.compress(), &envelope.challenge, &response_qr.response),
+            &response_qr.kiosk_sig,
+        )
+        .map_err(|_| TripError::Activation(ActivationCheck::ResponseSignature))?;
+
+    // Line 5: envelope integrity — σ_p over H(e), printer authorized.
+    if !printer_registry.contains(&envelope.printer_pk) {
+        return Err(TripError::Activation(ActivationCheck::EnvelopeSignature));
+    }
+    let printer_vk = VerifyingKey::from_compressed(&envelope.printer_pk)
+        .map_err(|_| TripError::Activation(ActivationCheck::EnvelopeSignature))?;
+    printer_vk
+        .verify(
+            &EnvelopeCommitment::message(&challenge_hash(&envelope.challenge)),
+            &envelope.signature,
+        )
+        .map_err(|_| TripError::Activation(ActivationCheck::EnvelopeSignature))?;
+
+    // Lines 6–8: derive X = C₂ − c_pk and verify the Σ-transcript:
+    // Y₁ == g^r·C₁^e and Y₂ == A_pk^r·X^e.
+    let big_x = commit_qr.c_pc.c2 - c_pk.0;
+    let stmt = DlEqStatement {
+        g1: EdwardsPoint::basepoint(),
+        y1: commit_qr.c_pc.c1,
+        g2: *authority_pk,
+        y2: big_x,
+    };
+    let transcript = IzkpTranscript {
+        commit: commit_qr.commit,
+        challenge: envelope.challenge,
+        response: response_qr.response,
+    };
+    if !verify_transcript(&stmt, &transcript) {
+        return Err(TripError::Activation(ActivationCheck::ZkTranscript));
+    }
+
+    // Lines 9–10: cross-check against the voter's registration record.
+    let record = ledger
+        .registration
+        .active_record(commit_qr.voter_id)
+        .ok_or(TripError::Activation(ActivationCheck::NoRegistrationRecord))?;
+    if record.c_pc != commit_qr.c_pc
+        || record.kiosk_pk != response_qr.kiosk_pk
+        || record.voter_id != commit_qr.voter_id
+    {
+        return Err(TripError::Activation(ActivationCheck::LedgerMismatch));
+    }
+
+    // Line 11: challenge unused; reveal it (duplicate-envelope detector).
+    ledger
+        .envelopes
+        .reveal_challenge(&envelope.challenge)
+        .map_err(|_| TripError::Activation(ActivationCheck::DuplicateChallenge))?;
+
+    Ok(ActivatedCredential {
+        voter_id: commit_qr.voter_id,
+        key,
+        c_pc: commit_qr.c_pc,
+        kiosk_pk: response_qr.kiosk_pk,
+        issuance_sig: response_qr.kiosk_sig,
+        response: response_qr.response,
+        challenge: envelope.challenge,
+    })
+}

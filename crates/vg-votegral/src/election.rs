@@ -1,0 +1,210 @@
+//! High-level election orchestration: the full Votegral lifecycle.
+//!
+//! [`Election`] bundles a TRIP registration system with a vote
+//! configuration and exposes the four phases of Fig 3: register (via
+//! `vg-trip`), activate, vote, and tally — plus independent verification.
+//! This is the facade the examples, integration tests and benchmarks use.
+
+use vg_crypto::drbg::Rng;
+use vg_ledger::VoterId;
+use vg_trip::protocol::{activate_all, register_voter, RegistrationOutcome};
+use vg_trip::setup::{TripConfig, TripSystem};
+use vg_trip::vsd::{ActivatedCredential, Vsd};
+use vg_trip::TripError;
+
+use crate::ballot::{cast_ballot, VoteConfig};
+use crate::error::VotegralError;
+use crate::tally::{tally, ElectionResult, TallyTranscript};
+use crate::verifier::{verify_tally, PublicAuthority};
+
+/// A complete Votegral election.
+pub struct Election {
+    /// The TRIP registration system (kiosks, officials, ledger, …).
+    pub trip: TripSystem,
+    /// The ballot option configuration.
+    pub vote_config: VoteConfig,
+    /// Number of mixers in the tally cascades (the paper uses 4).
+    pub mixers: usize,
+}
+
+impl Election {
+    /// Sets up an election with `n_options` ballot choices.
+    pub fn new(trip_config: TripConfig, n_options: u32, rng: &mut dyn Rng) -> Self {
+        Self {
+            trip: TripSystem::setup(trip_config, rng),
+            vote_config: VoteConfig::new(n_options),
+            mixers: vg_shuffle::MixCascade::DEFAULT_MIXERS,
+        }
+    }
+
+    /// Registers a voter (one real credential plus `n_fakes` fakes) and
+    /// activates every credential on a fresh device.
+    pub fn register_and_activate(
+        &mut self,
+        voter: VoterId,
+        n_fakes: usize,
+        rng: &mut dyn Rng,
+    ) -> Result<(RegistrationOutcome, Vsd), TripError> {
+        let mut outcome = register_voter(&mut self.trip, voter, n_fakes, rng)?;
+        let vsd = activate_all(&mut self.trip, &mut outcome, rng)?;
+        Ok((outcome, vsd))
+    }
+
+    /// Casts a ballot with any activated credential (real or fake).
+    pub fn cast(
+        &mut self,
+        credential: &ActivatedCredential,
+        vote: u32,
+        rng: &mut dyn Rng,
+    ) -> Result<usize, VotegralError> {
+        let apk = self.trip.authority.public_key;
+        cast_ballot(
+            credential,
+            vote,
+            self.vote_config,
+            &apk,
+            &mut self.trip.ledger,
+            rng,
+        )
+    }
+
+    /// Runs the tally, producing the publicly verifiable transcript.
+    pub fn tally(&self, rng: &mut dyn Rng) -> Result<TallyTranscript, VotegralError> {
+        tally(
+            &self.trip.authority,
+            &self.trip.ledger,
+            self.vote_config,
+            &self.trip.kiosk_registry,
+            self.mixers,
+            rng,
+        )
+    }
+
+    /// Independently verifies a tally transcript (no secrets used).
+    pub fn verify(&self, transcript: &TallyTranscript) -> Result<ElectionResult, VotegralError> {
+        verify_tally(
+            transcript,
+            &self.trip.ledger,
+            &PublicAuthority::of(&self.trip.authority),
+            &self.trip.kiosk_registry,
+            self.mixers,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_crypto::HmacDrbg;
+
+    fn small_election(seed: u64, n_voters: u64) -> (Election, HmacDrbg) {
+        let mut rng = HmacDrbg::from_u64(seed);
+        let election = Election::new(TripConfig::with_voters(n_voters), 3, &mut rng);
+        (election, rng)
+    }
+
+    #[test]
+    fn real_votes_count_fake_votes_do_not() {
+        let (mut election, mut rng) = small_election(1, 3);
+        // Voter 1: registers with 1 fake; real vote for option 2, fake
+        // vote (under coercion) for option 0.
+        let (_, vsd1) = election
+            .register_and_activate(VoterId(1), 1, &mut rng)
+            .unwrap();
+        election.cast(&vsd1.credentials[0], 2, &mut rng).unwrap(); // real
+        election.cast(&vsd1.credentials[1], 0, &mut rng).unwrap(); // fake
+        // Voter 2: no fakes, votes option 1.
+        let (_, vsd2) = election
+            .register_and_activate(VoterId(2), 0, &mut rng)
+            .unwrap();
+        election.cast(&vsd2.credentials[0], 1, &mut rng).unwrap();
+
+        let transcript = election.tally(&mut rng).expect("tally runs");
+        assert_eq!(transcript.result.counts, vec![0, 1, 1]);
+        assert_eq!(transcript.result.counted, 2);
+        // One fake ballot went unmatched (dummies: none, 3 ballots ≥ 2).
+        assert_eq!(transcript.result.unmatched, 1);
+
+        // Universal verifiability: an independent verifier agrees.
+        let verified = election.verify(&transcript).expect("verifies");
+        assert_eq!(verified, transcript.result);
+    }
+
+    #[test]
+    fn revote_with_same_credential_keeps_last() {
+        let (mut election, mut rng) = small_election(2, 2);
+        let (_, vsd) = election
+            .register_and_activate(VoterId(1), 0, &mut rng)
+            .unwrap();
+        election.cast(&vsd.credentials[0], 0, &mut rng).unwrap();
+        election.cast(&vsd.credentials[0], 2, &mut rng).unwrap();
+        let transcript = election.tally(&mut rng).unwrap();
+        assert_eq!(transcript.result.counts, vec![0, 0, 1]);
+        assert_eq!(transcript.superseded, 1);
+        election.verify(&transcript).expect("verifies");
+    }
+
+    #[test]
+    fn unregistered_credential_cannot_vote() {
+        // A self-made key pair signs a syntactically plausible ballot but
+        // has no kiosk issuance signature — admission rejects it.
+        let (mut election, mut rng) = small_election(3, 2);
+        let (_, vsd) = election
+            .register_and_activate(VoterId(1), 0, &mut rng)
+            .unwrap();
+        election.cast(&vsd.credentials[0], 1, &mut rng).unwrap();
+
+        // Forge: reuse a real credential's issuance data with a new key.
+        let mut forged = vsd.credentials[0].clone();
+        forged.key = vg_crypto::schnorr::SigningKey::generate(&mut rng);
+        let err = election.cast(&forged, 1, &mut rng);
+        // The cast succeeds syntactically (ledger accepts the signature)…
+        assert!(err.is_ok());
+        // …but the tally rejects it: σ_kr does not cover the forged key.
+        let transcript = election.tally(&mut rng).unwrap();
+        assert_eq!(transcript.rejected, 1);
+        assert_eq!(transcript.result.counted, 1);
+        election.verify(&transcript).expect("verifies");
+    }
+
+    #[test]
+    fn empty_election_tallies_to_zero() {
+        let (election, mut rng) = small_election(4, 2);
+        let transcript = election.tally(&mut rng).unwrap();
+        assert_eq!(transcript.result.counts, vec![0, 0, 0]);
+        assert_eq!(transcript.n_ballot_dummies, 2);
+        election.verify(&transcript).expect("verifies");
+    }
+
+    #[test]
+    fn tampered_transcript_detected() {
+        let (mut election, mut rng) = small_election(5, 2);
+        let (_, vsd) = election
+            .register_and_activate(VoterId(1), 0, &mut rng)
+            .unwrap();
+        election.cast(&vsd.credentials[0], 0, &mut rng).unwrap();
+        let mut transcript = election.tally(&mut rng).unwrap();
+        // Claim a different count.
+        transcript.result.counts[0] = 0;
+        transcript.result.counts[1] = 1;
+        assert!(election.verify(&transcript).is_err());
+    }
+
+    #[test]
+    fn stolen_tag_dummy_injection_detected() {
+        // A malicious tally that pads with a non-canonical "dummy"
+        // (e.g. an encryption of a victim's credential) is caught.
+        let (mut election, mut rng) = small_election(6, 2);
+        let (_, vsd) = election
+            .register_and_activate(VoterId(1), 0, &mut rng)
+            .unwrap();
+        election.cast(&vsd.credentials[0], 0, &mut rng).unwrap();
+        let mut transcript = election.tally(&mut rng).unwrap();
+        // Tamper with a padding dummy on the ballot side (there is one,
+        // because a single ballot is padded to two).
+        assert_eq!(transcript.n_ballot_dummies, 1);
+        let last = transcript.ballot_pair_inputs.len() - 1;
+        transcript.ballot_pair_inputs[last].1 = transcript.ballot_pair_inputs[0].1;
+        assert!(election.verify(&transcript).is_err());
+    }
+}

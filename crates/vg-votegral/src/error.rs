@@ -1,0 +1,74 @@
+//! Error types for the voting and tallying pipeline.
+
+use vg_crypto::CryptoError;
+use vg_ledger::LedgerError;
+
+/// Errors raised by ballot casting, tallying and verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VotegralError {
+    /// The vote index is outside the configured option range.
+    VoteOutOfRange,
+    /// The ballot's issuing kiosk is not in the authorized registry.
+    UnknownKiosk,
+    /// A cryptographic check failed.
+    Crypto(CryptoError),
+    /// A ledger operation failed.
+    Ledger(LedgerError),
+    /// The tally transcript failed verification at a named stage.
+    Verification(VerifyStage),
+    /// The tally had nothing to count.
+    EmptyElection,
+}
+
+/// The named stages of tally-transcript verification, so auditors can
+/// report exactly which step of the pipeline was inconsistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyStage {
+    /// Re-derivation of the accepted ballot set from L_V differed.
+    BallotAdmission,
+    /// Registration-tag inputs don't match the active records on L_R.
+    RegistrationInputs,
+    /// Dummy padding entries were not the canonical trivial encryptions.
+    DummyPadding,
+    /// The ballot pair-mix cascade failed verification.
+    BallotMix,
+    /// The registration-tag mix cascade failed verification.
+    RegistrationMix,
+    /// A deterministic-tagging round failed verification.
+    Tagging,
+    /// A threshold-decryption share failed verification.
+    Decryption,
+    /// The tag-matching step was inconsistent with the opened values.
+    Matching,
+    /// The final counts don't match the opened votes.
+    Counting,
+}
+
+impl core::fmt::Display for VotegralError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VotegralError::VoteOutOfRange => write!(f, "vote out of range"),
+            VotegralError::UnknownKiosk => write!(f, "kiosk not authorized"),
+            VotegralError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+            VotegralError::Ledger(e) => write!(f, "ledger failure: {e}"),
+            VotegralError::Verification(stage) => {
+                write!(f, "tally verification failed at stage {stage:?}")
+            }
+            VotegralError::EmptyElection => write!(f, "no ballots or registrations to tally"),
+        }
+    }
+}
+
+impl std::error::Error for VotegralError {}
+
+impl From<CryptoError> for VotegralError {
+    fn from(e: CryptoError) -> Self {
+        VotegralError::Crypto(e)
+    }
+}
+
+impl From<LedgerError> for VotegralError {
+    fn from(e: LedgerError) -> Self {
+        VotegralError::Ledger(e)
+    }
+}

@@ -1,0 +1,32 @@
+//! Votegral voting and verifiable linear-time tallying on TRIP credentials.
+//!
+//! This crate implements the voting and tally stages of Fig 3 and
+//! Appendix M: ballot construction with validity proofs and
+//! registrar-issuance evidence ([`ballot`]), distributed deterministic
+//! tagging ([`tagging`]), the six-stage tally pipeline with a fully
+//! verifiable transcript ([`mod@tally`]), the secret-free universal verifier
+//! ([`verifier`]), and the high-level [`election::Election`] facade.
+//!
+//! The tally's defining property versus the Civitas/JCJ baseline is
+//! **linear-time filtering**: ballots are matched to registrations by
+//! comparing blinded deterministic tags in a hash map, instead of quadratic
+//! pairwise plaintext-equivalence tests (§7.4).
+
+pub mod ballot;
+pub mod codec;
+pub mod election;
+pub mod error;
+pub mod history;
+pub mod par;
+pub mod tagging;
+pub mod tally;
+pub mod transfer;
+pub mod verifier;
+
+pub use ballot::{cast_ballot, Ballot, IssuanceTag, VoteConfig, VoteProof};
+pub use history::{prove_ownership, recover_votes, VotingHistory};
+pub use transfer::{transfer_credential, TransferCertificate, TransferredCredential};
+pub use election::Election;
+pub use error::{VerifyStage, VotegralError};
+pub use tally::{tally, AcceptedBallot, ElectionResult, TallyTranscript, VectorOpening};
+pub use verifier::{verify_tally, PublicAuthority};

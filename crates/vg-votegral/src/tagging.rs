@@ -1,0 +1,234 @@
+//! Distributed deterministic tagging (\[153\], §5.1, Appendix M).
+//!
+//! After mixing, the tally must match each ballot's (encrypted) credential
+//! key against the (encrypted) real-credential tags from the registration
+//! ledger — without decrypting either to its raw value. Each authority
+//! member applies a secret per-election exponent sᵢ to every ciphertext,
+//! with a Chaum–Pedersen proof per component against a public commitment
+//! Sᵢ = sᵢ·B. After all members have passed, threshold decryption yields
+//! the *blinded* value (Πsᵢ)·P: equal plaintexts produce equal blinded
+//! tags (enabling hash-map matching in linear time), while the blinding
+//! hides the actual keys.
+
+use vg_crypto::chaum_pedersen::{prove_dleq, verify_dleq, DlEqProof, DlEqStatement};
+use vg_crypto::drbg::Rng;
+use vg_crypto::elgamal::Ciphertext;
+use vg_crypto::{CryptoError, EdwardsPoint, Scalar, Transcript};
+
+/// One member's secret tagging exponent for one election.
+pub struct TaggingKey {
+    secret: Scalar,
+    /// Public commitment Sᵢ = sᵢ·B.
+    pub commitment: EdwardsPoint,
+}
+
+impl TaggingKey {
+    /// Samples a fresh tagging exponent.
+    pub fn generate(rng: &mut dyn Rng) -> Self {
+        let secret = rng.scalar();
+        Self { secret, commitment: EdwardsPoint::mul_base(&secret) }
+    }
+
+    /// Applies the exponent to every ciphertext, producing a verifiable
+    /// round.
+    pub fn apply(&self, inputs: &[Ciphertext], rng: &mut dyn Rng) -> TaggingRound {
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut proofs = Vec::with_capacity(inputs.len());
+        for (idx, input) in inputs.iter().enumerate() {
+            let out = input.scale(&self.secret);
+            let p1 = prove_dleq(
+                &mut proof_transcript(idx, 0),
+                &component_statement(&self.commitment, &input.c1, &out.c1),
+                &self.secret,
+                rng,
+            );
+            let p2 = prove_dleq(
+                &mut proof_transcript(idx, 1),
+                &component_statement(&self.commitment, &input.c2, &out.c2),
+                &self.secret,
+                rng,
+            );
+            outputs.push(out);
+            proofs.push([p1, p2]);
+        }
+        TaggingRound { commitment: self.commitment, outputs, proofs }
+    }
+}
+
+fn component_statement(
+    commitment: &EdwardsPoint,
+    input: &EdwardsPoint,
+    output: &EdwardsPoint,
+) -> DlEqStatement {
+    DlEqStatement {
+        g1: EdwardsPoint::basepoint(),
+        y1: *commitment,
+        g2: *input,
+        y2: *output,
+    }
+}
+
+fn proof_transcript(index: usize, component: u8) -> Transcript {
+    let mut t = Transcript::new(b"votegral-tagging");
+    t.append_u64(b"tag-idx", index as u64);
+    t.append_u64(b"tag-comp", component as u64);
+    t
+}
+
+/// One member's verifiable pass over a ciphertext vector.
+#[derive(Clone, Debug)]
+pub struct TaggingRound {
+    /// The member's public commitment Sᵢ.
+    pub commitment: EdwardsPoint,
+    /// sᵢ-scaled ciphertexts.
+    pub outputs: Vec<Ciphertext>,
+    /// Per-ciphertext proofs for both components.
+    pub proofs: Vec<[DlEqProof; 2]>,
+}
+
+impl TaggingRound {
+    /// Verifies the round against its inputs.
+    pub fn verify(&self, inputs: &[Ciphertext]) -> Result<(), CryptoError> {
+        if self.outputs.len() != inputs.len() || self.proofs.len() != inputs.len() {
+            return Err(CryptoError::Malformed("tagging round lengths"));
+        }
+        for (idx, ((input, output), proof)) in inputs
+            .iter()
+            .zip(self.outputs.iter())
+            .zip(self.proofs.iter())
+            .enumerate()
+        {
+            verify_dleq(
+                &mut proof_transcript(idx, 0),
+                &component_statement(&self.commitment, &input.c1, &output.c1),
+                &proof[0],
+            )?;
+            verify_dleq(
+                &mut proof_transcript(idx, 1),
+                &component_statement(&self.commitment, &input.c2, &output.c2),
+                &proof[1],
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Applies a full tagging cascade (every member in order) to `inputs`.
+pub fn apply_cascade(
+    keys: &[TaggingKey],
+    inputs: &[Ciphertext],
+    rng: &mut dyn Rng,
+) -> Vec<TaggingRound> {
+    let mut rounds = Vec::with_capacity(keys.len());
+    let mut current = inputs.to_vec();
+    for key in keys {
+        let round = key.apply(&current, rng);
+        current = round.outputs.clone();
+        rounds.push(round);
+    }
+    rounds
+}
+
+/// Verifies a tagging cascade and returns the final ciphertexts.
+///
+/// `expected_commitments` pins the member commitments so that the ballot
+/// and registration cascades provably used the *same* exponents.
+pub fn verify_cascade<'a>(
+    inputs: &'a [Ciphertext],
+    rounds: &'a [TaggingRound],
+    expected_commitments: &[EdwardsPoint],
+) -> Result<&'a [Ciphertext], CryptoError> {
+    if rounds.len() != expected_commitments.len() {
+        return Err(CryptoError::Malformed("tagging cascade length"));
+    }
+    let mut current: &[Ciphertext] = inputs;
+    for (round, expected) in rounds.iter().zip(expected_commitments.iter()) {
+        if round.commitment != *expected {
+            return Err(CryptoError::BadProof);
+        }
+        round.verify(current)?;
+        current = &round.outputs;
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_crypto::elgamal::{decrypt, encrypt_point, ElGamalKeyPair};
+    use vg_crypto::HmacDrbg;
+
+    #[test]
+    fn cascade_blinds_consistently() {
+        let mut rng = HmacDrbg::from_u64(1);
+        let kp = ElGamalKeyPair::generate(&mut rng);
+        // Two encryptions of the SAME point and one of a different point.
+        let p = EdwardsPoint::mul_base(&Scalar::from_u64(5));
+        let q = EdwardsPoint::mul_base(&Scalar::from_u64(6));
+        let cts = vec![
+            encrypt_point(&kp.pk, &p, &mut rng).0,
+            encrypt_point(&kp.pk, &p, &mut rng).0,
+            encrypt_point(&kp.pk, &q, &mut rng).0,
+        ];
+        let keys: Vec<TaggingKey> = (0..4).map(|_| TaggingKey::generate(&mut rng)).collect();
+        let rounds = apply_cascade(&keys, &cts, &mut rng);
+        let commitments: Vec<EdwardsPoint> = keys.iter().map(|k| k.commitment).collect();
+        let finals = verify_cascade(&cts, &rounds, &commitments).expect("verifies");
+
+        // Decrypt the blinded values: equal plaintexts → equal tags,
+        // different plaintexts → different tags, and no tag reveals the
+        // original point.
+        let tags: Vec<EdwardsPoint> = finals.iter().map(|c| decrypt(&kp.sk, c)).collect();
+        assert_eq!(tags[0], tags[1]);
+        assert_ne!(tags[0], tags[2]);
+        assert_ne!(tags[0], p);
+        assert_ne!(tags[2], q);
+    }
+
+    #[test]
+    fn tampered_round_detected() {
+        let mut rng = HmacDrbg::from_u64(2);
+        let kp = ElGamalKeyPair::generate(&mut rng);
+        let cts = vec![
+            encrypt_point(&kp.pk, &EdwardsPoint::basepoint(), &mut rng).0,
+            encrypt_point(&kp.pk, &EdwardsPoint::basepoint(), &mut rng).0,
+        ];
+        let key = TaggingKey::generate(&mut rng);
+        let mut round = key.apply(&cts, &mut rng);
+        round.outputs[0].c1 = round.outputs[0].c1 + EdwardsPoint::basepoint();
+        assert!(round.verify(&cts).is_err());
+    }
+
+    #[test]
+    fn commitment_substitution_detected() {
+        // A member trying to use a different exponent for the ballot side
+        // than the registration side is caught by the pinned commitments.
+        let mut rng = HmacDrbg::from_u64(3);
+        let kp = ElGamalKeyPair::generate(&mut rng);
+        let cts = vec![
+            encrypt_point(&kp.pk, &EdwardsPoint::basepoint(), &mut rng).0,
+            encrypt_point(&kp.pk, &EdwardsPoint::basepoint(), &mut rng).0,
+        ];
+        let key_a = TaggingKey::generate(&mut rng);
+        let key_b = TaggingKey::generate(&mut rng);
+        let rounds = apply_cascade(&[key_a], &cts, &mut rng);
+        assert!(verify_cascade(&cts, &rounds, &[key_b.commitment]).is_err());
+    }
+
+    #[test]
+    fn wrong_input_vector_detected() {
+        let mut rng = HmacDrbg::from_u64(4);
+        let kp = ElGamalKeyPair::generate(&mut rng);
+        let cts = vec![
+            encrypt_point(&kp.pk, &EdwardsPoint::basepoint(), &mut rng).0,
+            encrypt_point(&kp.pk, &EdwardsPoint::basepoint(), &mut rng).0,
+        ];
+        let other = vec![
+            encrypt_point(&kp.pk, &EdwardsPoint::basepoint(), &mut rng).0,
+            encrypt_point(&kp.pk, &EdwardsPoint::basepoint(), &mut rng).0,
+        ];
+        let key = TaggingKey::generate(&mut rng);
+        let round = key.apply(&cts, &mut rng);
+        assert!(round.verify(&other).is_err());
+    }
+}

@@ -1,0 +1,383 @@
+//! The Votegral tally pipeline (Fig 3 "Tally", Appendix M).
+//!
+//! Stages, each leaving publicly verifiable evidence in the
+//! [`TallyTranscript`]:
+//!
+//! 1. **Admission**: decode each ballot from L_V, check its credential
+//!    signature, vote-validity proof and registrar-issuance signature;
+//!    deduplicate by credential key (keep-last).
+//! 2. **Mixing**: shuffle the (vote, credential-key) pairs and, in
+//!    parallel, the registration tags c_pc through verifiable mix
+//!    cascades (four mixers by default, as in the paper's evaluation).
+//! 3. **Deterministic tagging**: every authority member exponentiates both
+//!    mixed sets by a secret sᵢ with per-component proofs.
+//! 4. **Opening**: threshold-decrypt the tagged sets, yielding *blinded*
+//!    credential keys and *blinded* real-credential tags.
+//! 5. **Matching**: a ballot counts iff its blinded key equals some unused
+//!    blinded tag — linear time via a hash map, the key difference from
+//!    Civitas' quadratic pairwise PETs (§7.4).
+//! 6. **Counting**: threshold-decrypt only the matched votes and tally.
+
+use std::collections::HashMap;
+
+use vg_crypto::dkg::{combine_shares, Authority, DecryptionShare};
+use vg_crypto::drbg::Rng;
+use vg_crypto::elgamal::{discrete_log_small, Ciphertext};
+use vg_crypto::schnorr::VerifyingKey;
+use vg_crypto::{CompressedPoint, EdwardsPoint};
+use vg_ledger::{BallotRecord, Ledger};
+use vg_shuffle::{MixCascade, MixTranscript, PairMixTranscript};
+
+use crate::ballot::{verify_vote_proof, Ballot, VoteConfig};
+use crate::error::VotegralError;
+use crate::tagging::{apply_cascade, TaggingKey, TaggingRound};
+
+/// A ballot that passed admission, paired with its credential key.
+#[derive(Clone, Debug)]
+pub struct AcceptedBallot {
+    /// The authenticating credential public key.
+    pub credential_pk: CompressedPoint,
+    /// The decoded ballot.
+    pub ballot: Ballot,
+}
+
+/// A verifiable threshold decryption of a ciphertext vector.
+#[derive(Clone, Debug)]
+pub struct VectorOpening {
+    /// shares\[item\]\[member\].
+    pub shares: Vec<Vec<DecryptionShare>>,
+    /// The combined plaintexts.
+    pub plaintexts: Vec<EdwardsPoint>,
+}
+
+/// The published election outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElectionResult {
+    /// counts\[v\] = number of valid real votes for option v.
+    pub counts: Vec<u64>,
+    /// Ballots that matched a registration tag and decrypted to a valid
+    /// option.
+    pub counted: usize,
+    /// Matched ballots whose vote decrypted outside the option range.
+    pub invalid: usize,
+    /// Mixed pairs with no matching tag — fake-credential ballots plus the
+    /// padding dummies (their count is public in the transcript).
+    pub unmatched: usize,
+}
+
+/// The complete public evidence of one tally run.
+pub struct TallyTranscript {
+    /// The election's option count.
+    pub config: VoteConfig,
+    /// Ballots accepted at admission, in canonical (last-post) order.
+    pub accepted: Vec<AcceptedBallot>,
+    /// Ballot records rejected at admission.
+    pub rejected: usize,
+    /// Ballots superseded by a later ballot from the same credential.
+    pub superseded: usize,
+    /// Registration tags (active records in roster order).
+    pub reg_inputs: Vec<Ciphertext>,
+    /// The (vote, trivially-encrypted credential key) pairs fed to the mix.
+    pub ballot_pair_inputs: Vec<(Ciphertext, Ciphertext)>,
+    /// Number of padding dummies appended to the ballot pairs.
+    pub n_ballot_dummies: usize,
+    /// Number of padding dummies appended to the registration tags.
+    pub n_reg_dummies: usize,
+    /// Verifiable ballot mix.
+    pub ballot_mix: PairMixTranscript,
+    /// Verifiable registration-tag mix.
+    pub reg_mix: MixTranscript,
+    /// Tagging commitments Sᵢ, one per authority member, shared by both
+    /// tagging cascades.
+    pub tag_commitments: Vec<EdwardsPoint>,
+    /// Tagging cascade over the mixed registration tags.
+    pub reg_tagging: Vec<TaggingRound>,
+    /// Tagging cascade over the mixed ballot credential keys.
+    pub ballot_tagging: Vec<TaggingRound>,
+    /// Opening of the tagged registration tags (blinded tags).
+    pub reg_opening: VectorOpening,
+    /// Opening of the tagged ballot keys (blinded keys).
+    pub key_opening: VectorOpening,
+    /// Indices (into the mixed pairs) of ballots that matched a tag.
+    pub matched_indices: Vec<usize>,
+    /// Opening of the matched ballots' vote ciphertexts, in
+    /// `matched_indices` order.
+    pub vote_opening: VectorOpening,
+    /// The claimed result.
+    pub result: ElectionResult,
+}
+
+/// The trivial ciphertext used for padding (Enc(identity; 0)); verifiers
+/// check padding entries against this exact value.
+pub fn dummy_ciphertext() -> Ciphertext {
+    Ciphertext::identity()
+}
+
+/// Admission: deterministically derives the accepted ballot list from the
+/// ledger. Used identically by the tally and by independent verifiers.
+pub fn admit_ballots(
+    ledger: &Ledger,
+    config: VoteConfig,
+    authority_pk: &EdwardsPoint,
+    kiosk_registry: &[CompressedPoint],
+) -> (Vec<AcceptedBallot>, usize, usize) {
+    let mut rejected = 0usize;
+    let mut candidates: Vec<AcceptedBallot> = Vec::new();
+    for record in ledger.ballots.records() {
+        match admit_one(record, config, authority_pk, kiosk_registry) {
+            Some(ab) => candidates.push(ab),
+            None => rejected += 1,
+        }
+    }
+    // Deduplicate by credential key, keeping the last ballot (re-voting
+    // with the same credential replaces the earlier ballot).
+    let mut last: HashMap<CompressedPoint, usize> = HashMap::new();
+    for (i, ab) in candidates.iter().enumerate() {
+        last.insert(ab.credential_pk, i);
+    }
+    let superseded = candidates.len() - last.len();
+    let mut keep: Vec<usize> = last.into_values().collect();
+    keep.sort_unstable();
+    let accepted = keep.into_iter().map(|i| candidates[i].clone()).collect();
+    (accepted, rejected, superseded)
+}
+
+fn admit_one(
+    record: &BallotRecord,
+    config: VoteConfig,
+    authority_pk: &EdwardsPoint,
+    kiosk_registry: &[CompressedPoint],
+) -> Option<AcceptedBallot> {
+    let vk = VerifyingKey::from_compressed(&record.credential_pk).ok()?;
+    vk.verify(&BallotRecord::message(&record.payload), &record.signature)
+        .ok()?;
+    let ballot = Ballot::from_bytes(&record.payload).ok()?;
+    verify_vote_proof(
+        authority_pk,
+        &ballot.vote_ct,
+        config,
+        &record.credential_pk,
+        &ballot.vote_proof,
+    )
+    .ok()?;
+    ballot
+        .verify_issuance(&record.credential_pk, kiosk_registry)
+        .ok()?;
+    Some(AcceptedBallot { credential_pk: record.credential_pk, ballot })
+}
+
+/// Derives the registration-tag inputs: active records in roster order.
+pub fn registration_inputs(ledger: &Ledger) -> Vec<Ciphertext> {
+    ledger
+        .registration
+        .roster()
+        .iter()
+        .filter_map(|v| ledger.registration.active_record(*v))
+        .map(|r| r.c_pc)
+        .collect()
+}
+
+/// Threshold-decrypts a ciphertext vector with verifiable shares from the
+/// first t members.
+fn open_vector(
+    authority: &Authority,
+    cts: &[Ciphertext],
+    rng: &mut dyn Rng,
+) -> Result<VectorOpening, VotegralError> {
+    let mut shares = Vec::with_capacity(cts.len());
+    let mut plaintexts = Vec::with_capacity(cts.len());
+    for ct in cts {
+        let item_shares: Vec<DecryptionShare> = authority.members[..authority.t]
+            .iter()
+            .map(|m| m.decryption_share(ct, rng))
+            .collect();
+        let plain = combine_shares(ct, &item_shares, authority.t)
+            .map_err(VotegralError::Crypto)?;
+        shares.push(item_shares);
+        plaintexts.push(plain);
+    }
+    Ok(VectorOpening { shares, plaintexts })
+}
+
+/// Runs the complete tally, producing the transcript.
+pub fn tally(
+    authority: &Authority,
+    ledger: &Ledger,
+    config: VoteConfig,
+    kiosk_registry: &[CompressedPoint],
+    mixers: usize,
+    rng: &mut dyn Rng,
+) -> Result<TallyTranscript, VotegralError> {
+    let apk = authority.public_key;
+
+    // Stage 1: admission + dedup.
+    let (accepted, rejected, superseded) = admit_ballots(ledger, config, &apk, kiosk_registry);
+
+    // Stage 2 inputs. Credential keys ride along as trivial encryptions.
+    let mut ballot_pair_inputs: Vec<(Ciphertext, Ciphertext)> = accepted
+        .iter()
+        .map(|ab| {
+            let pk_point = ab
+                .credential_pk
+                .decompress()
+                .expect("admitted keys decompress");
+            (
+                ab.ballot.vote_ct,
+                Ciphertext { c1: EdwardsPoint::IDENTITY, c2: pk_point },
+            )
+        })
+        .collect();
+    let mut reg_inputs = registration_inputs(ledger);
+
+    // Pad both sides to the mixnet minimum with canonical dummies.
+    let mut n_ballot_dummies = 0;
+    while ballot_pair_inputs.len() < 2 {
+        ballot_pair_inputs.push((dummy_ciphertext(), dummy_ciphertext()));
+        n_ballot_dummies += 1;
+    }
+    let mut n_reg_dummies = 0;
+    while reg_inputs.len() < 2 {
+        reg_inputs.push(dummy_ciphertext());
+        n_reg_dummies += 1;
+    }
+
+    // Stage 2: verifiable mixes.
+    let max_n = ballot_pair_inputs.len().max(reg_inputs.len());
+    let cascade = MixCascade::new(max_n, mixers);
+    let ballot_mix = cascade.mix_pairs(&apk, &ballot_pair_inputs, rng);
+    let reg_mix = cascade.mix(&apk, &reg_inputs, rng);
+
+    // Stage 3: deterministic tagging with per-member exponents.
+    let tagging_keys: Vec<TaggingKey> = (0..authority.n)
+        .map(|_| TaggingKey::generate(rng))
+        .collect();
+    let tag_commitments: Vec<EdwardsPoint> =
+        tagging_keys.iter().map(|k| k.commitment).collect();
+    let mixed_keys: Vec<Ciphertext> = ballot_mix.outputs().iter().map(|p| p.1).collect();
+    let reg_tagging = apply_cascade(&tagging_keys, reg_mix.outputs(), rng);
+    let ballot_tagging = apply_cascade(&tagging_keys, &mixed_keys, rng);
+
+    // Stage 4: open both tagged sets.
+    let tagged_regs = reg_tagging
+        .last()
+        .map(|r| r.outputs.clone())
+        .unwrap_or_else(|| reg_mix.outputs().to_vec());
+    let tagged_keys = ballot_tagging
+        .last()
+        .map(|r| r.outputs.clone())
+        .unwrap_or(mixed_keys);
+    let reg_opening = open_vector(authority, &tagged_regs, rng)?;
+    let key_opening = open_vector(authority, &tagged_keys, rng)?;
+
+    // Stage 5: linear-time matching, consuming each tag at most once.
+    let matched_indices = match_tags(&reg_opening.plaintexts, &key_opening.plaintexts);
+
+    // Stage 6: decrypt matched votes only, and count.
+    let matched_votes: Vec<Ciphertext> = matched_indices
+        .iter()
+        .map(|&i| ballot_mix.outputs()[i].0)
+        .collect();
+    let vote_opening = open_vector(authority, &matched_votes, rng)?;
+    let result = count_votes(
+        config,
+        &vote_opening.plaintexts,
+        ballot_mix.outputs().len(),
+        matched_indices.len(),
+    );
+
+    Ok(TallyTranscript {
+        config,
+        accepted,
+        rejected,
+        superseded,
+        reg_inputs,
+        ballot_pair_inputs,
+        n_ballot_dummies,
+        n_reg_dummies,
+        ballot_mix,
+        reg_mix,
+        tag_commitments,
+        reg_tagging,
+        ballot_tagging,
+        reg_opening,
+        key_opening,
+        matched_indices,
+        vote_opening,
+        result,
+    })
+}
+
+/// Matches blinded ballot keys against blinded registration tags; each tag
+/// is consumed at most once (at most one counted ballot per registration).
+///
+/// A ballot whose key matches *several* tags is listed once per matched
+/// tag: an ordinary credential anchors exactly one active registration, so
+/// multiplicity above one arises only when several voters delegated their
+/// voting rights to the same well-known entity (extension C.3) — whose
+/// single ballot then counts once per delegating voter, as Appendix C.3
+/// specifies.
+///
+/// The identity element never matches: padding dummies on both sides blind
+/// to the identity (s·0 = 0), while genuine credential keys cannot be the
+/// identity because small-order keys are rejected at ballot admission.
+pub fn match_tags(
+    blinded_tags: &[EdwardsPoint],
+    blinded_keys: &[EdwardsPoint],
+) -> Vec<usize> {
+    let identity = EdwardsPoint::IDENTITY.compress();
+    let mut available: HashMap<CompressedPoint, u32> = HashMap::new();
+    for t in blinded_tags {
+        let c = t.compress();
+        if c != identity {
+            *available.entry(c).or_insert(0) += 1;
+        }
+    }
+    let mut matched = Vec::new();
+    for (i, k) in blinded_keys.iter().enumerate() {
+        let c = k.compress();
+        if c == identity {
+            continue;
+        }
+        if let Some(count) = available.get_mut(&c) {
+            // Consume every tag this key anchors (multiplicity = number of
+            // voters who delegated to this key; 1 for ordinary ballots).
+            for _ in 0..*count {
+                matched.push(i);
+            }
+            *count = 0;
+        }
+    }
+    matched
+}
+
+/// Counts decrypted votes (g^v points) into per-option totals.
+pub fn count_votes(
+    config: VoteConfig,
+    opened_votes: &[EdwardsPoint],
+    total_mixed: usize,
+    total_matched: usize,
+) -> ElectionResult {
+    let mut counts = vec![0u64; config.n_options as usize];
+    let mut counted = 0usize;
+    let mut invalid = 0usize;
+    for point in opened_votes {
+        match discrete_log_small(point, config.n_options as u64) {
+            Some(v) => {
+                counts[v as usize] += 1;
+                counted += 1;
+            }
+            None => invalid += 1,
+        }
+    }
+    ElectionResult {
+        counts,
+        counted,
+        invalid,
+        // Saturating: with delegation multiplicity (extension C.3) the
+        // match count can exceed the mixed-ballot count.
+        unmatched: total_mixed.saturating_sub(total_matched),
+    }
+}
+
+// The tally's verifier lives in `crate::verifier`; tests for the full
+// pipeline are in `crate::election` and the workspace integration tests.

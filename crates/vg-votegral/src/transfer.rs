@@ -1,0 +1,186 @@
+//! Credential key transfer — extension C.2 (§4.5, Appendix C.2).
+//!
+//! The kiosk-issued credential key pair is exposed twice: on the printed
+//! receipt during transport, and inside the kiosk that generated it. To
+//! shrink this window, the voter's device generates a fresh key pair
+//! (ĉ_sk, ĉ_pk) and signs ĉ_pk with the kiosk-issued key, publicly
+//! transferring the voting rights: only ballots cast with ĉ_pk are
+//! tallied for that credential thereafter. The same mechanism ports
+//! credentials to new devices — transferring again invalidates the old
+//! device's key.
+//!
+//! A transfer certificate chains: kiosk σ_kr → original credential pk →
+//! device key pk. Ballot admission accepts a ballot signed by the device
+//! key when it carries a valid chain, and the tally matches on the
+//! *original* pk (whose encryption is the registration tag).
+
+use vg_crypto::drbg::Rng;
+use vg_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use vg_crypto::{CompressedPoint, CryptoError};
+use vg_trip::vsd::ActivatedCredential;
+
+/// A certificate transferring voting rights from the kiosk-issued key to
+/// a device-generated key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransferCertificate {
+    /// The kiosk-issued credential public key (the tag anchor).
+    pub original_pk: CompressedPoint,
+    /// The new (device-generated) public key.
+    pub new_pk: CompressedPoint,
+    /// Monotone generation counter; a later transfer supersedes earlier
+    /// ones for the same original key.
+    pub generation: u32,
+    /// Signature by the *original* credential key over new_pk ‖ generation.
+    pub signature: Signature,
+}
+
+impl TransferCertificate {
+    fn message(original: &CompressedPoint, new_pk: &CompressedPoint, generation: u32) -> Vec<u8> {
+        let mut m = Vec::with_capacity(96);
+        m.extend_from_slice(b"votegral-transfer-v1");
+        m.extend_from_slice(&original.0);
+        m.extend_from_slice(&new_pk.0);
+        m.extend_from_slice(&generation.to_le_bytes());
+        m
+    }
+
+    /// Verifies the certificate chain link.
+    pub fn verify(&self) -> Result<(), CryptoError> {
+        let vk = VerifyingKey::from_compressed(&self.original_pk)?;
+        vk.verify(
+            &Self::message(&self.original_pk, &self.new_pk, self.generation),
+            &self.signature,
+        )
+    }
+}
+
+/// A credential whose signing rights live on a device key.
+pub struct TransferredCredential {
+    /// The device-generated signing key.
+    pub device_key: SigningKey,
+    /// The public transfer certificate.
+    pub certificate: TransferCertificate,
+    /// The original activated credential's public data (for the ballot's
+    /// issuance evidence, which still covers the original key).
+    pub original: ActivatedCredential,
+}
+
+/// Transfers an activated credential's voting rights to a fresh device
+/// key (Appendix C.2). Works identically for real and fake credentials —
+/// "both approaches apply to fake credentials since they are also just
+/// signing key pairs".
+pub fn transfer_credential(
+    credential: &ActivatedCredential,
+    generation: u32,
+    rng: &mut dyn Rng,
+) -> TransferredCredential {
+    let device_key = SigningKey::generate(rng);
+    let original_pk = credential.public_key();
+    let new_pk = device_key.verifying_key().compress();
+    let signature = credential.key.sign(&TransferCertificate::message(
+        &original_pk,
+        &new_pk,
+        generation,
+    ));
+    TransferredCredential {
+        device_key,
+        certificate: TransferCertificate { original_pk, new_pk, generation, signature },
+        original: credential.clone(),
+    }
+}
+
+/// Resolves the effective signing key for a set of certificates anchored
+/// at one original credential: the valid certificate with the highest
+/// generation wins (later transfers supersede earlier ones).
+pub fn effective_key(
+    original_pk: &CompressedPoint,
+    certificates: &[TransferCertificate],
+) -> Result<CompressedPoint, CryptoError> {
+    let mut best: Option<&TransferCertificate> = None;
+    for cert in certificates {
+        if cert.original_pk != *original_pk {
+            continue;
+        }
+        cert.verify()?;
+        if best.is_none_or(|b| cert.generation > b.generation) {
+            best = Some(cert);
+        }
+    }
+    Ok(best.map(|c| c.new_pk).unwrap_or(*original_pk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_crypto::HmacDrbg;
+    use vg_ledger::VoterId;
+    use vg_trip::setup::TripConfig;
+
+    fn credential() -> (ActivatedCredential, HmacDrbg) {
+        let mut rng = HmacDrbg::from_u64(1);
+        let mut election =
+            crate::election::Election::new(TripConfig::with_voters(1), 2, &mut rng);
+        let (_, vsd) = election
+            .register_and_activate(VoterId(1), 0, &mut rng)
+            .unwrap();
+        (vsd.credentials[0].clone(), rng)
+    }
+
+    #[test]
+    fn transfer_chain_verifies() {
+        let (cred, mut rng) = credential();
+        let transferred = transfer_credential(&cred, 1, &mut rng);
+        transferred.certificate.verify().expect("chain verifies");
+        assert_eq!(transferred.certificate.original_pk, cred.public_key());
+    }
+
+    #[test]
+    fn forged_certificate_rejected() {
+        let (cred, mut rng) = credential();
+        let transferred = transfer_credential(&cred, 1, &mut rng);
+        let mut forged = transferred.certificate.clone();
+        // An attacker substitutes their own key without the original
+        // credential's signature.
+        forged.new_pk = SigningKey::generate(&mut rng).verifying_key().compress();
+        assert!(forged.verify().is_err());
+    }
+
+    #[test]
+    fn later_generation_supersedes() {
+        let (cred, mut rng) = credential();
+        let gen1 = transfer_credential(&cred, 1, &mut rng);
+        let gen2 = transfer_credential(&cred, 2, &mut rng);
+        let original = cred.public_key();
+        let effective = effective_key(
+            &original,
+            &[gen1.certificate.clone(), gen2.certificate.clone()],
+        )
+        .expect("resolves");
+        assert_eq!(effective, gen2.certificate.new_pk);
+        // Porting to a new device rendered the old device key inert.
+        assert_ne!(effective, gen1.certificate.new_pk);
+    }
+
+    #[test]
+    fn no_transfer_means_original_key() {
+        let (cred, _rng) = credential();
+        let original = cred.public_key();
+        assert_eq!(effective_key(&original, &[]).unwrap(), original);
+    }
+
+    #[test]
+    fn unrelated_certificates_ignored() {
+        let (cred, mut rng) = credential();
+        let other = SigningKey::generate(&mut rng);
+        let cert = TransferCertificate {
+            original_pk: other.verifying_key().compress(),
+            new_pk: SigningKey::generate(&mut rng).verifying_key().compress(),
+            generation: 9,
+            signature: other.sign(b"whatever"),
+        };
+        let original = cred.public_key();
+        // The foreign cert doesn't anchor at our credential: ignored, and
+        // its (invalid) signature is never even consulted.
+        assert_eq!(effective_key(&original, &[cert]).unwrap(), original);
+    }
+}

@@ -1,0 +1,79 @@
+//! A fuller election: a population of voters with realistic behaviour
+//! (fake-credential and vote distributions), re-voting, a coercion
+//! attempt, and complete universal verification.
+//!
+//! Run with: `cargo run --example full_election --release [n_voters]`
+
+use votegral::crypto::HmacDrbg;
+use votegral::ledger::VoterId;
+use votegral::sim::{FakeCredentialDist, VoteDist};
+use votegral::trip::TripConfig;
+use votegral::votegral::Election;
+
+fn main() {
+    let n_voters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let n_options = 3u32;
+    let mut rng = HmacDrbg::from_u64(99);
+
+    println!("== Full election: {n_voters} voters, {n_options} options ==");
+    let mut election = Election::new(TripConfig::with_voters(n_voters), n_options, &mut rng);
+    let d_c = FakeCredentialDist::default();
+    let d_v = VoteDist::weighted(&[3.0, 2.0, 1.0]);
+
+    let mut expected = vec![0u64; n_options as usize];
+    let mut fakes_created = 0usize;
+    for v in 1..=n_voters {
+        let n_fakes = d_c.sample(&mut rng);
+        fakes_created += n_fakes;
+        let (_, vsd) = election
+            .register_and_activate(VoterId(v), n_fakes, &mut rng)
+            .expect("registration");
+        // Real vote.
+        let vote = d_v.sample(&mut rng);
+        expected[vote as usize] += 1;
+        election.cast(&vsd.credentials[0], vote, &mut rng).unwrap();
+        // Every fake credential casts a decoy ballot.
+        for fake in &vsd.credentials[1..] {
+            let decoy = d_v.sample(&mut rng);
+            election.cast(fake, decoy, &mut rng).unwrap();
+        }
+        // Some voters change their mind and re-vote with the same real
+        // credential (only the last counts).
+        if v % 4 == 0 {
+            let new_vote = d_v.sample(&mut rng);
+            expected[vote as usize] -= 1;
+            expected[new_vote as usize] += 1;
+            election.cast(&vsd.credentials[0], new_vote, &mut rng).unwrap();
+        }
+    }
+
+    println!(
+        "Registered {n_voters} voters ({} fake credentials among them).",
+        fakes_created
+    );
+    println!("Ballots on the ledger: {}", election.trip.ledger.ballots.len());
+
+    let t0 = std::time::Instant::now();
+    let transcript = election.tally(&mut rng).expect("tally");
+    println!(
+        "Tally finished in {:.2}s: counts {:?}",
+        t0.elapsed().as_secs_f64(),
+        transcript.result.counts
+    );
+    println!(
+        "  counted {} · superseded {} · unmatched(fakes) {}",
+        transcript.result.counted, transcript.superseded, transcript.result.unmatched
+    );
+
+    let t0 = std::time::Instant::now();
+    let verified = election.verify(&transcript).expect("verifies");
+    println!(
+        "Universal verification finished in {:.2}s and agrees.",
+        t0.elapsed().as_secs_f64()
+    );
+    assert_eq!(verified.counts, expected, "tally matches ground truth");
+    println!("Ground truth matches: {expected:?}");
+}

@@ -1,0 +1,54 @@
+//! Votegral: coercion-resistant e-voting with TRIP paper-credential
+//! registration — a from-scratch Rust reproduction of the SOSP 2025 paper
+//! *"TRIP: Coercion-resistant Registration for E-Voting with Verifiability
+//! and Usability in Votegral"*.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`crypto`]: the cryptographic substrate (edwards25519, SHA-2, Schnorr,
+//!   ElGamal, Chaum–Pedersen IZKPs, DKG, Pedersen commitments, PETs);
+//! - [`ledger`]: the tamper-evident public bulletin board (L_R, L_E, L_V);
+//! - [`shuffle`]: the Bayer–Groth verifiable shuffle and mix cascade;
+//! - [`trip`]: the TRIP registration protocol — the paper's contribution;
+//! - [`votegral`]: ballot casting and the verifiable linear-time tally;
+//! - [`baselines`]: Civitas, Swiss Post and VoteAgain crypto-path
+//!   simulators;
+//! - [`hardware`]: simulated kiosk peripherals (QR codec with
+//!   Reed–Solomon, device profiles, printer/scanner models);
+//! - [`sim`]: workloads, the usability/verifiability/coercion analyses and
+//!   the figure runners.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use votegral::crypto::HmacDrbg;
+//! use votegral::ledger::VoterId;
+//! use votegral::trip::{TripConfig};
+//! use votegral::votegral::Election;
+//!
+//! let mut rng = HmacDrbg::from_u64(42);
+//! let mut election = Election::new(TripConfig::with_voters(2), 2, &mut rng);
+//!
+//! // Register with one fake credential; activate both on a device.
+//! let (_, vsd) = election
+//!     .register_and_activate(VoterId(1), 1, &mut rng)
+//!     .unwrap();
+//!
+//! // Real vote for option 1; coerced (fake) vote for option 0.
+//! election.cast(&vsd.credentials[0], 1, &mut rng).unwrap();
+//! election.cast(&vsd.credentials[1], 0, &mut rng).unwrap();
+//!
+//! // Only the real vote counts, and anyone can verify the transcript.
+//! let transcript = election.tally(&mut rng).unwrap();
+//! assert_eq!(transcript.result.counts, vec![0, 1]);
+//! election.verify(&transcript).unwrap();
+//! ```
+
+pub use vg_baselines as baselines;
+pub use vg_crypto as crypto;
+pub use vg_hardware as hardware;
+pub use vg_ledger as ledger;
+pub use vg_shuffle as shuffle;
+pub use vg_sim as sim;
+pub use vg_trip as trip;
+pub use vg_votegral as votegral;

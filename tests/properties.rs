@@ -1,0 +1,112 @@
+//! Workspace-level property-based tests: protocol invariants under random
+//! configurations, decoder totality on adversarial bytes, and determinism.
+
+use proptest::prelude::*;
+use votegral::crypto::{CompressedPoint, HmacDrbg, Scalar};
+use votegral::ledger::VoterId;
+use votegral::trip::TripConfig;
+use votegral::votegral::{Ballot, Election};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whatever the population shape, every real vote is counted exactly
+    /// once, every fake ballot is discarded, and the transcript verifies.
+    #[test]
+    fn election_correct_under_random_population(
+        seed in any::<u64>(),
+        n_voters in 1u64..4,
+        n_options in 2u32..4,
+        fake_counts in proptest::collection::vec(0usize..3, 3),
+        votes in proptest::collection::vec(0u32..4, 3),
+    ) {
+        let mut rng = HmacDrbg::from_u64(seed);
+        let mut election = Election::new(TripConfig::with_voters(n_voters), n_options, &mut rng);
+        let mut expected = vec![0u64; n_options as usize];
+        let mut fake_ballots = 0usize;
+        for v in 1..=n_voters {
+            let n_fakes = fake_counts[(v - 1) as usize];
+            let (_, vsd) = election
+                .register_and_activate(VoterId(v), n_fakes, &mut rng)
+                .expect("registration");
+            let vote = votes[(v - 1) as usize] % n_options;
+            expected[vote as usize] += 1;
+            election.cast(&vsd.credentials[0], vote, &mut rng).expect("real cast");
+            for fake in &vsd.credentials[1..] {
+                election.cast(fake, (vote + 1) % n_options, &mut rng).expect("fake cast");
+                fake_ballots += 1;
+            }
+        }
+        let transcript = election.tally(&mut rng).expect("tally");
+        prop_assert_eq!(&transcript.result.counts, &expected);
+        prop_assert_eq!(transcript.result.counted as u64, n_voters);
+        // Unmatched = fake ballots (+ dummies when fewer than 2 pairs).
+        prop_assert!(transcript.result.unmatched >= fake_ballots);
+        let verified = election.verify(&transcript).expect("verifies");
+        prop_assert_eq!(verified, transcript.result);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The ballot decoder is total: arbitrary bytes never panic, and
+    /// anything it accepts re-encodes canonically.
+    #[test]
+    fn ballot_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        if let Ok(ballot) = Ballot::from_bytes(&bytes) {
+            // Canonical re-encoding round-trips.
+            let re = Ballot::from_bytes(&ballot.to_bytes()).expect("canonical");
+            prop_assert_eq!(re, ballot);
+        }
+    }
+
+    /// Point decompression is total and involutive on its accepted set.
+    #[test]
+    fn decompression_total(bytes in proptest::array::uniform32(any::<u8>())) {
+        if let Some(p) = CompressedPoint(bytes).decompress() {
+            prop_assert!(p.is_on_curve());
+            // Canonical encodings round-trip exactly.
+            prop_assert_eq!(p.compress().decompress(), Some(p));
+        }
+    }
+
+    /// Scalar decoding accepts exactly the canonical range.
+    #[test]
+    fn scalar_canonical_total(bytes in proptest::array::uniform32(any::<u8>())) {
+        if let Some(s) = Scalar::from_canonical_bytes(&bytes) {
+            prop_assert_eq!(s.to_bytes(), bytes);
+        }
+    }
+}
+
+/// The whole pipeline is deterministic from its seed: two elections run
+/// with the same seed produce byte-identical ledger heads and results.
+#[test]
+fn deterministic_from_seed() {
+    let run = |seed: u64| {
+        let mut rng = HmacDrbg::from_u64(seed);
+        let mut election = Election::new(TripConfig::with_voters(2), 2, &mut rng);
+        for v in 1..=2u64 {
+            let (_, vsd) = election
+                .register_and_activate(VoterId(v), 1, &mut rng)
+                .unwrap();
+            election
+                .cast(&vsd.credentials[0], (v % 2) as u32, &mut rng)
+                .unwrap();
+        }
+        let transcript = election.tally(&mut rng).unwrap();
+        (
+            election.trip.ledger.registration.tree_head().root,
+            election.trip.ledger.ballots.tree_head().root,
+            transcript.result,
+        )
+    };
+    let a = run(777);
+    let b = run(777);
+    assert_eq!(a.0, b.0, "registration heads identical");
+    assert_eq!(a.1, b.1, "ballot heads identical");
+    assert_eq!(a.2, b.2, "results identical");
+    let c = run(778);
+    assert_ne!(a.0, c.0, "different seeds diverge");
+}
