@@ -99,7 +99,10 @@ impl Civitas {
             credential += s_i;
             roster_entry = roster_entry + share_ct;
         }
-        self.voters.push(CivitasVoter { credential, roster_entry });
+        self.voters.push(CivitasVoter {
+            credential,
+            roster_entry,
+        });
     }
 
     /// Casts one ballot for voter `idx`.
@@ -121,7 +124,12 @@ impl Civitas {
             g2: pk,
             y2: enc_credential.c2 - g_s,
         };
-        let p1 = prove_dleq(&mut Transcript::new(b"civitas-ballot-c"), &stmt_c, &r_c, rng);
+        let p1 = prove_dleq(
+            &mut Transcript::new(b"civitas-ballot-c"),
+            &stmt_c,
+            &r_c,
+            rng,
+        );
         verify_dleq(&mut Transcript::new(b"civitas-ballot-c"), &stmt_c, &p1)
             .expect("ballot proof verifies");
         for m in 0..self.n_options {
@@ -133,7 +141,12 @@ impl Civitas {
                 y2: enc_vote.c2 - m_pt,
             };
             if m == vote {
-                let p = prove_dleq(&mut Transcript::new(b"civitas-ballot-v"), &stmt_v, &r_v, rng);
+                let p = prove_dleq(
+                    &mut Transcript::new(b"civitas-ballot-v"),
+                    &stmt_v,
+                    &r_v,
+                    rng,
+                );
                 verify_dleq(&mut Transcript::new(b"civitas-ballot-v"), &stmt_v, &p)
                     .expect("vote branch verifies");
             } else {
@@ -142,7 +155,10 @@ impl Civitas {
                 let _ = vg_crypto::chaum_pedersen::forge_transcript(&stmt_v, &e, rng);
             }
         }
-        self.ballots.push(CivitasBallot { enc_credential, enc_vote });
+        self.ballots.push(CivitasBallot {
+            enc_credential,
+            enc_vote,
+        });
     }
 }
 
@@ -216,8 +232,7 @@ impl BenchSystem for Civitas {
                 if roster_used[vi] {
                     continue;
                 }
-                let t = pet(&self.authority, cred_ct, &voter.roster_entry, rng)
-                    .expect("pet runs");
+                let t = pet(&self.authority, cred_ct, &voter.roster_entry, rng).expect("pet runs");
                 if t.plaintexts_equal() {
                     roster_used[vi] = true;
                     matched = true;

@@ -74,7 +74,10 @@ impl SwissPost {
                 choice_codes.push(ct);
             }
         }
-        self.voters.push(SwissPostVoter { vc_secret, choice_codes });
+        self.voters.push(SwissPostVoter {
+            vc_secret,
+            choice_codes,
+        });
     }
 
     fn vote_one(&mut self, idx: usize, vote: u32, rng: &mut dyn Rng) {
@@ -92,8 +95,7 @@ impl SwissPost {
                 y2: ct.c2 - m_pt,
             };
             if m == vote {
-                let proof =
-                    prove_dleq(&mut Transcript::new(b"swisspost-vote"), &stmt, &r, rng);
+                let proof = prove_dleq(&mut Transcript::new(b"swisspost-vote"), &stmt, &r, rng);
                 // Every control component verifies the client proof and
                 // derives a return code from the partial choice codes.
                 let vc = self.voters[idx].vc_secret;
@@ -180,8 +182,8 @@ impl BenchSystem for SwissPost {
                     share.verify(&vk, ct).expect("share verifies");
                 }
             }
-            let plain = vg_crypto::dkg::combine_shares(ct, &shares, self.authority.t)
-                .expect("combines");
+            let plain =
+                vg_crypto::dkg::combine_shares(ct, &shares, self.authority.t).expect("combines");
             if let Some(v) = discrete_log_small(&plain, self.n_options as u64) {
                 if !(plain == EdwardsPoint::IDENTITY && self.ballots.is_empty()) {
                     counts[v as usize] += 1;

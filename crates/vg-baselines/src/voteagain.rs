@@ -83,7 +83,11 @@ impl VoteAgain {
             }
         }
         let _signature = self.voters[idx].key.sign(&ct.to_bytes());
-        self.ballots.push(VoteAgainBallot { voter: idx, ct, seq: self.seq });
+        self.ballots.push(VoteAgainBallot {
+            voter: idx,
+            ct,
+            seq: self.seq,
+        });
         self.seq += 1;
     }
 
@@ -102,7 +106,9 @@ impl BenchSystem for VoteAgain {
     /// column of Fig 5a.
     fn register_all(&mut self, rng: &mut dyn Rng) {
         for _ in 0..self.n_voters {
-            self.voters.push(VoteAgainVoter { key: SigningKey::generate(rng) });
+            self.voters.push(VoteAgainVoter {
+                key: SigningKey::generate(rng),
+            });
         }
     }
 
@@ -165,10 +171,7 @@ impl BenchSystem for VoteAgain {
         let mut counts = vec![0u64; self.n_options as usize];
         let mut identity_seen = 0usize;
         for ct in transcript.outputs() {
-            let plain = self
-                .authority
-                .threshold_decrypt(ct, rng)
-                .expect("decrypts");
+            let plain = self.authority.threshold_decrypt(ct, rng).expect("decrypts");
             if plain == EdwardsPoint::IDENTITY {
                 identity_seen += 1;
                 continue;

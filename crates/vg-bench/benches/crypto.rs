@@ -55,7 +55,10 @@ fn bench_group(c: &mut Criterion) {
         let key = SigningKey::generate(&mut rng);
         let sig = key.sign(b"benchmark message");
         let vk = key.verifying_key();
-        b.iter(|| vk.verify(b"benchmark message", black_box(&sig)).expect("ok"))
+        b.iter(|| {
+            vk.verify(b"benchmark message", black_box(&sig))
+                .expect("ok")
+        })
     });
 
     c.bench_function("elgamal/encrypt", |b| {

@@ -57,7 +57,11 @@ fn mixer_count() {
             format!("{mixers}"),
             format!("{mix_ms:.1}"),
             format!("{verify_ms:.1}"),
-            if mixers == 4 { "paper's choice".into() } else { String::new() },
+            if mixers == 4 {
+                "paper's choice".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     print_table(&["Mixers", "Mix ms", "Verify ms", ""], &rows);
@@ -77,11 +81,7 @@ fn msm() {
         let fast = multiscalar_mul(&scalars, &points);
         let pip_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t0 = Instant::now();
-        let naive: EdwardsPoint = scalars
-            .iter()
-            .zip(points.iter())
-            .map(|(s, p)| *p * s)
-            .sum();
+        let naive: EdwardsPoint = scalars.iter().zip(points.iter()).map(|(s, p)| *p * s).sum();
         let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
         assert_eq!(fast, naive, "implementations agree");
         rows.push(vec![

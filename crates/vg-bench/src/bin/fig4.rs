@@ -69,7 +69,10 @@ fn main() {
             run.device.name.to_string(),
             format!("{:.1} s", total / 1e3),
             format!("{:.1}%", run.metrics.qr_io_fraction() * 100.0),
-            format!("{:.0} ms", run.metrics.component_wall_ms(Component::QrScan) / 7.0),
+            format!(
+                "{:.0} ms",
+                run.metrics.component_wall_ms(Component::QrScan) / 7.0
+            ),
         ]);
     }
     print_table(

@@ -23,9 +23,7 @@ fn main() {
         sizes.push(n);
         n *= 10;
     }
-    eprintln!(
-        "Measuring sizes {sizes:?} (direct up to {cap}, Civitas up to {cap_civitas})…"
-    );
+    eprintln!("Measuring sizes {sizes:?} (direct up to {cap}, Civitas up to {cap_civitas})…");
     let rows = run_fig5(&sizes, cap, cap_civitas, n_options, 0xF165);
 
     println!();
@@ -49,7 +47,13 @@ fn main() {
         }
     }
     print_table(
-        &["Voters", "System", "Reg ms/voter", "Vote ms/voter", "Tally ms/voter"],
+        &[
+            "Voters",
+            "System",
+            "Reg ms/voter",
+            "Vote ms/voter",
+            "Tally ms/voter",
+        ],
         &table,
     );
     println!(

@@ -62,10 +62,7 @@ fn main() {
             get(SystemKind::Civitas),
         );
         println!("\nShape check at n = {n}:");
-        println!(
-            "  VoteAgain < Votegral: {}   (paper: 3 h vs 14 h)",
-            va < vg
-        );
+        println!("  VoteAgain < Votegral: {}   (paper: 3 h vs 14 h)", va < vg);
         println!(
             "  Votegral < SwissPost: {}   (paper: 14 h vs 27 h)",
             vg < sp

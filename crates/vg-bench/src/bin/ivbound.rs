@@ -22,9 +22,15 @@ fn main() {
     println!("p(k) = E_nc[(k/n_E) * C(n_E-k, n_c-1)/C(n_E-1, n_c-1)], maximized over k\n");
 
     let dists = [
-        ("no fakes (worst case)", FakeCredentialDist { p: 1.0, max: 0 }),
+        (
+            "no fakes (worst case)",
+            FakeCredentialDist { p: 1.0, max: 0 },
+        ),
         ("default D_c (mean ~0.66)", FakeCredentialDist::default()),
-        ("diligent (mean ~2.0)", FakeCredentialDist { p: 0.25, max: 5 }),
+        (
+            "diligent (mean ~2.0)",
+            FakeCredentialDist { p: 0.25, max: 5 },
+        ),
     ];
     let mut rows = Vec::new();
     for (label, dist) in &dists {

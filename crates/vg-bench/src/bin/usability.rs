@@ -44,8 +44,7 @@ fn main() {
                 "Kiosk detection (no educ.)".into(),
                 format!(
                     "{:.0}%",
-                    100.0 * out.detections_uneducated as f64
-                        / out.exposed_uneducated.max(1) as f64
+                    100.0 * out.detections_uneducated as f64 / out.exposed_uneducated.max(1) as f64
                 ),
                 "10%".into(),
             ],

@@ -116,7 +116,11 @@ pub fn forge_transcript(
         a1: stmt.g1 * y + stmt.y1 * *challenge,
         a2: stmt.g2 * y + stmt.y2 * *challenge,
     };
-    IzkpTranscript { commit, challenge: *challenge, response: y }
+    IzkpTranscript {
+        commit,
+        challenge: *challenge,
+        response: y,
+    }
 }
 
 /// Verifies a Σ-protocol transcript:
@@ -152,7 +156,10 @@ pub fn prove_dleq(
     transcript.append_point(b"cp-a2", &prover.commit.a2);
     let e = transcript.challenge_scalar(b"cp-e");
     let t = prover.respond(x, &e);
-    DlEqProof { commit: t.commit, response: t.response }
+    DlEqProof {
+        commit: t.commit,
+        response: t.response,
+    }
 }
 
 /// Verifies a NIZK discrete-log-equality proof bound to `transcript`.
@@ -165,7 +172,11 @@ pub fn verify_dleq(
     transcript.append_point(b"cp-a1", &proof.commit.a1);
     transcript.append_point(b"cp-a2", &proof.commit.a2);
     let e = transcript.challenge_scalar(b"cp-e");
-    let t = IzkpTranscript { commit: proof.commit, challenge: e, response: proof.response };
+    let t = IzkpTranscript {
+        commit: proof.commit,
+        challenge: e,
+        response: proof.response,
+    };
     if verify_transcript(stmt, &t) {
         Ok(())
     } else {
@@ -203,7 +214,10 @@ pub fn prove_dlog(
     transcript.append_point(b"dlog-y", y);
     transcript.append_point(b"dlog-a", &commit);
     let e = transcript.challenge_scalar(b"dlog-e");
-    DlogProof { commit, response: k + e * *x }
+    DlogProof {
+        commit,
+        response: k + e * *x,
+    }
 }
 
 /// Verifies a proof of knowledge of the discrete log of `y` base `g`.
@@ -234,7 +248,12 @@ mod tests {
         let x = rng.scalar();
         let g1 = EdwardsPoint::basepoint();
         let g2 = EdwardsPoint::mul_base(&rng.scalar());
-        let stmt = DlEqStatement { g1, y1: g1 * x, g2, y2: g2 * x };
+        let stmt = DlEqStatement {
+            g1,
+            y1: g1 * x,
+            g2,
+            y2: g2 * x,
+        };
         (stmt, x)
     }
 
@@ -303,7 +322,7 @@ mod tests {
         let prover = Prover::commit(&stmt, &mut rng);
         let e = rng.scalar();
         let mut t = prover.respond(&x, &e);
-        t.challenge = t.challenge + Scalar::ONE;
+        t.challenge += Scalar::ONE;
         assert!(!verify_transcript(&stmt, &t));
     }
 
@@ -329,7 +348,7 @@ mod tests {
         let (stmt, x) = stmt_with_witness(&mut rng);
         let proof = prove_dleq(&mut Transcript::new(b"t"), &stmt, &x, &mut rng);
         let mut bad = stmt;
-        bad.y1 = bad.y1 + EdwardsPoint::basepoint();
+        bad.y1 += EdwardsPoint::basepoint();
         assert!(verify_dleq(&mut Transcript::new(b"t"), &bad, &proof).is_err());
     }
 

@@ -118,7 +118,13 @@ impl Authority {
             .iter()
             .map(|d| d.commitments[0])
             .sum::<EdwardsPoint>();
-        Self { n, t, public_key, members, dealings }
+        Self {
+            n,
+            t,
+            public_key,
+            members,
+            dealings,
+        }
     }
 
     /// Threshold-decrypts `ct` using the first `t` members, verifying every
@@ -157,7 +163,11 @@ impl AuthorityMember {
             &self.share,
             rng,
         );
-        DecryptionShare { member_index: self.index, share: d, proof }
+        DecryptionShare {
+            member_index: self.index,
+            share: d,
+            proof,
+        }
     }
 
     /// The member's secret share (exposed for the tagging protocol, which
@@ -262,7 +272,9 @@ mod tests {
         let authority = Authority::dkg(4, 4, &mut rng);
         let m = EdwardsPoint::mul_base(&Scalar::from_u64(42));
         let (ct, _) = elgamal::encrypt_point(&authority.public_key, &m, &mut rng);
-        let pt = authority.threshold_decrypt(&ct, &mut rng).expect("decrypts");
+        let pt = authority
+            .threshold_decrypt(&ct, &mut rng)
+            .expect("decrypts");
         assert_eq!(pt, m);
     }
 
@@ -307,7 +319,7 @@ mod tests {
         let m = EdwardsPoint::basepoint();
         let (ct, _) = elgamal::encrypt_point(&authority.public_key, &m, &mut rng);
         let mut share = authority.members[0].decryption_share(&ct, &mut rng);
-        share.share = share.share + EdwardsPoint::basepoint();
+        share.share += EdwardsPoint::basepoint();
         let vk = authority.members[0].vk;
         assert!(share.verify(&vk, &ct).is_err());
     }
@@ -355,11 +367,7 @@ mod tests {
     fn public_key_is_sum_of_constant_terms() {
         let mut rng = HmacDrbg::from_u64(8);
         let authority = Authority::dkg(4, 2, &mut rng);
-        let sum: EdwardsPoint = authority
-            .dealings
-            .iter()
-            .map(|d| d.commitments[0])
-            .sum();
+        let sum: EdwardsPoint = authority.dealings.iter().map(|d| d.commitments[0]).sum();
         assert_eq!(sum, authority.public_key);
     }
 }

@@ -88,7 +88,11 @@ impl HmacDrbg {
     /// Instantiates the DRBG from seed material (entropy ‖ nonce ‖
     /// personalization, concatenated by the caller).
     pub fn new(seed: &[u8]) -> Self {
-        let mut drbg = Self { k: [0u8; 32], v: [1u8; 32], reseed_counter: 1 };
+        let mut drbg = Self {
+            k: [0u8; 32],
+            v: [1u8; 32],
+            reseed_counter: 1,
+        };
         drbg.drbg_update(Some(seed));
         drbg
     }
@@ -151,10 +155,12 @@ impl OsRng {
     pub fn new() -> Self {
         use std::io::Read;
         let mut seed = [0u8; 48];
-        let mut f = std::fs::File::open("/dev/urandom")
-            .expect("open /dev/urandom for system entropy");
+        let mut f =
+            std::fs::File::open("/dev/urandom").expect("open /dev/urandom for system entropy");
         f.read_exact(&mut seed).expect("read system entropy");
-        Self { inner: HmacDrbg::new(&seed) }
+        Self {
+            inner: HmacDrbg::new(&seed),
+        }
     }
 }
 
@@ -204,7 +210,7 @@ mod tests {
     fn permutation_is_permutation() {
         let mut rng = HmacDrbg::from_u64(9);
         let p = rng.permutation(100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

@@ -26,7 +26,10 @@ impl ElGamalKeyPair {
     /// Generates a fresh key pair (`EG.KGen`).
     pub fn generate(rng: &mut dyn Rng) -> Self {
         let sk = rng.scalar();
-        Self { sk, pk: EdwardsPoint::mul_base(&sk) }
+        Self {
+            sk,
+            pk: EdwardsPoint::mul_base(&sk),
+        }
     }
 }
 
@@ -43,13 +46,19 @@ impl Ciphertext {
     /// The encryption of the identity with zero randomness (the
     /// homomorphic unit).
     pub const fn identity() -> Self {
-        Self { c1: EdwardsPoint::IDENTITY, c2: EdwardsPoint::IDENTITY }
+        Self {
+            c1: EdwardsPoint::IDENTITY,
+            c2: EdwardsPoint::IDENTITY,
+        }
     }
 
     /// Scales both components by `s` (used by deterministic tagging and
     /// plaintext-equivalence tests).
     pub fn scale(&self, s: &Scalar) -> Self {
-        Self { c1: self.c1 * s, c2: self.c2 * s }
+        Self {
+            c1: self.c1 * s,
+            c2: self.c2 * s,
+        }
     }
 
     /// Serializes to 64 bytes (compressed C₁ ‖ C₂).
@@ -66,8 +75,12 @@ impl Ciphertext {
         a.copy_from_slice(&bytes[..32]);
         let mut b = [0u8; 32];
         b.copy_from_slice(&bytes[32..]);
-        let c1 = CompressedPoint(a).decompress().ok_or(CryptoError::InvalidPoint)?;
-        let c2 = CompressedPoint(b).decompress().ok_or(CryptoError::InvalidPoint)?;
+        let c1 = CompressedPoint(a)
+            .decompress()
+            .ok_or(CryptoError::InvalidPoint)?;
+        let c2 = CompressedPoint(b)
+            .decompress()
+            .ok_or(CryptoError::InvalidPoint)?;
         Ok(Self { c1, c2 })
     }
 }
@@ -76,7 +89,10 @@ impl Add for Ciphertext {
     type Output = Ciphertext;
     /// Homomorphic addition: Enc(M₁)·Enc(M₂) = Enc(M₁+M₂).
     fn add(self, rhs: Ciphertext) -> Ciphertext {
-        Ciphertext { c1: self.c1 + rhs.c1, c2: self.c2 + rhs.c2 }
+        Ciphertext {
+            c1: self.c1 + rhs.c1,
+            c2: self.c2 + rhs.c2,
+        }
     }
 }
 
@@ -84,14 +100,21 @@ impl Sub for Ciphertext {
     type Output = Ciphertext;
     /// Homomorphic subtraction (used by PETs).
     fn sub(self, rhs: Ciphertext) -> Ciphertext {
-        Ciphertext { c1: self.c1 - rhs.c1, c2: self.c2 - rhs.c2 }
+        Ciphertext {
+            c1: self.c1 - rhs.c1,
+            c2: self.c2 - rhs.c2,
+        }
     }
 }
 
 /// Encrypts the group element `m` under `pk` with fresh randomness,
 /// returning the ciphertext and the randomness used (callers that prove
 /// statements about the encryption need `r`).
-pub fn encrypt_point(pk: &EdwardsPoint, m: &EdwardsPoint, rng: &mut dyn Rng) -> (Ciphertext, Scalar) {
+pub fn encrypt_point(
+    pk: &EdwardsPoint,
+    m: &EdwardsPoint,
+    rng: &mut dyn Rng,
+) -> (Ciphertext, Scalar) {
     let r = rng.scalar();
     (encrypt_point_with(pk, m, &r), r)
 }

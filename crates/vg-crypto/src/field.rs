@@ -149,9 +149,8 @@ impl FieldElement {
     /// interpreted modulo p, matching ed25519 conventions; strict callers use
     /// [`FieldElement::from_bytes_canonical`].
     pub fn from_bytes(bytes: &[u8; 32]) -> FieldElement {
-        let load8 = |b: &[u8]| -> u64 {
-            u64::from_le_bytes(b[..8].try_into().expect("8-byte slice"))
-        };
+        let load8 =
+            |b: &[u8]| -> u64 { u64::from_le_bytes(b[..8].try_into().expect("8-byte slice")) };
         FieldElement([
             load8(&bytes[0..]) & LOW_51_BIT_MASK,
             (load8(&bytes[6..]) >> 3) & LOW_51_BIT_MASK,
@@ -261,7 +260,7 @@ impl FieldElement {
         let flipped_sign = check == -*u;
         let flipped_sign_i = check == -(*u * i);
         if flipped_sign || flipped_sign_i {
-            r = r * i;
+            r *= i;
         }
         if r.is_negative() {
             r = -r;
@@ -309,6 +308,7 @@ impl Sub for FieldElement {
             36028797018963952,
         ];
         let mut r = self;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..5 {
             r.0[i] = r.0[i] + P16[i] - rhs.0[i];
         }
@@ -347,11 +347,8 @@ impl Mul for FieldElement {
 
         let c0 = a0 * b[0] as u128 + a1 * b4_19 + a2 * b3_19 + a3 * b2_19 + a4 * b1_19;
         let c1 = a0 * b[1] as u128 + a1 * b[0] as u128 + a2 * b4_19 + a3 * b3_19 + a4 * b2_19;
-        let mut c2 = a0 * b[2] as u128
-            + a1 * b[1] as u128
-            + a2 * b[0] as u128
-            + a3 * b4_19
-            + a4 * b3_19;
+        let mut c2 =
+            a0 * b[2] as u128 + a1 * b[1] as u128 + a2 * b[0] as u128 + a3 * b4_19 + a4 * b3_19;
         let mut c3 = a0 * b[3] as u128
             + a1 * b[2] as u128
             + a2 * b[1] as u128
@@ -367,11 +364,11 @@ impl Mul for FieldElement {
         let mut out = [0u64; 5];
         let c1 = c1 + (c0 >> 51);
         out[0] = (c0 as u64) & LOW_51_BIT_MASK;
-        c2 += (c1 >> 51) as u128;
+        c2 += c1 >> 51;
         out[1] = (c1 as u64) & LOW_51_BIT_MASK;
-        c3 += (c2 >> 51) as u128;
+        c3 += c2 >> 51;
         out[2] = (c2 as u64) & LOW_51_BIT_MASK;
-        c4 += (c3 >> 51) as u128;
+        c4 += c3 >> 51;
         out[3] = (c3 as u64) & LOW_51_BIT_MASK;
         let carry = (c4 >> 51) as u64;
         out[4] = (c4 as u64) & LOW_51_BIT_MASK;
@@ -414,7 +411,7 @@ pub fn sqrt_m1() -> FieldElement {
         for i in (0..253).rev() {
             acc = acc.square();
             if bits[i] {
-                acc = acc * two;
+                acc *= two;
             }
         }
         let r = acc;

@@ -38,12 +38,13 @@ pub mod edwards;
 pub mod elgamal;
 pub mod field;
 pub mod hmac;
+pub mod par;
 pub mod pedersen;
 pub mod pet;
 pub mod scalar;
 pub mod schnorr;
-pub mod shamir;
 pub mod sha2;
+pub mod shamir;
 pub mod transcript;
 
 pub use drbg::{HmacDrbg, OsRng, Rng};

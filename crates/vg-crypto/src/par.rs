@@ -1,0 +1,84 @@
+//! Order-preserving parallel map over std scoped threads.
+//!
+//! The paper's end-to-end evaluation ran on a 128-core Deterlab node
+//! (§7.1); tally verification and ledger leaf hashing are embarrassingly
+//! parallel across records. This helper fans a slice out over a bounded
+//! number of worker threads with no dependencies beyond `std`, preserving
+//! input order in the output. It sits in `vg-crypto` (the workspace's
+//! root crate) so both the ledger's batch-append fast path and the
+//! verifier can share it.
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Falls back to a sequential map for small inputs where thread spawn
+/// overhead dominates. `f` must be `Sync` (called from multiple threads).
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 || n < 16 {
+        return items.iter().map(&f).collect();
+    }
+
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            scope.spawn(|| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk.iter()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every slot filled by its worker"))
+        .collect()
+}
+
+/// A reasonable worker count for this host.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = par_map(&items, 8, |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_inputs_sequential() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map(&items, 8, |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: [u8; 0] = [];
+        assert!(par_map(&items, 4, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn single_thread_matches_multi() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = par_map(&items, 1, |x| x * x + 1);
+        let par = par_map(&items, 7, |x| x * x + 1);
+        assert_eq!(seq, par);
+    }
+}

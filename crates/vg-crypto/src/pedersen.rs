@@ -154,7 +154,12 @@ mod tests {
         let r = Scalar::from_u64(5);
         let c_short = key.commit(&[Scalar::from_u64(9)], &r);
         let c_padded = key.commit(
-            &[Scalar::from_u64(9), Scalar::ZERO, Scalar::ZERO, Scalar::ZERO],
+            &[
+                Scalar::from_u64(9),
+                Scalar::ZERO,
+                Scalar::ZERO,
+                Scalar::ZERO,
+            ],
             &r,
         );
         assert_eq!(c_short, c_padded);

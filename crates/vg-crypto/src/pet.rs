@@ -51,7 +51,12 @@ impl PetContribution {
         t.append_point(b"d2", &d.c2);
         t.append_point(b"zd2", &blinded.c2);
         let proof = prove_dleq(&mut t, &stmt, &z, rng);
-        Self { member_index, blinded, z_commit, proof }
+        Self {
+            member_index,
+            blinded,
+            z_commit,
+            proof,
+        }
     }
 
     /// Verifies the contribution against the quotient `d`.
@@ -115,7 +120,11 @@ pub fn pet(
         .iter()
         .fold(Ciphertext::identity(), |acc, c| acc + c.blinded);
     let opened = authority.threshold_decrypt(&blinded_sum, rng)?;
-    Ok(PetTranscript { quotient: d, contributions, opened })
+    Ok(PetTranscript {
+        quotient: d,
+        contributions,
+        opened,
+    })
 }
 
 #[cfg(test)]
@@ -173,7 +182,7 @@ mod tests {
         let (ct2, _) = elgamal::encrypt_point(&authority.public_key, &m, &mut rng);
         let d = ct1 - ct2;
         let mut c = PetContribution::create(1, &d, &mut rng);
-        c.blinded.c1 = c.blinded.c1 + EdwardsPoint::basepoint();
+        c.blinded.c1 += EdwardsPoint::basepoint();
         assert!(c.verify(&d).is_err());
     }
 }

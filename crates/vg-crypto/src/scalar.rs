@@ -359,7 +359,10 @@ mod tests {
     #[test]
     fn one_times_one() {
         assert_eq!(Scalar::ONE * Scalar::ONE, Scalar::ONE);
-        assert_eq!(Scalar::from_u64(6) * Scalar::from_u64(7), Scalar::from_u64(42));
+        assert_eq!(
+            Scalar::from_u64(6) * Scalar::from_u64(7),
+            Scalar::from_u64(42)
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl Signature {
         let mut s = [0u8; 32];
         s.copy_from_slice(&bytes[32..]);
         let s = Scalar::from_canonical_bytes(&s).ok_or(CryptoError::InvalidScalar)?;
-        Ok(Self { r: CompressedPoint(r), s })
+        Ok(Self {
+            r: CompressedPoint(r),
+            s,
+        })
     }
 }
 
@@ -246,7 +249,7 @@ mod tests {
         let mut rng = HmacDrbg::from_u64(4);
         let key = SigningKey::generate(&mut rng);
         let mut sig = key.sign(b"msg");
-        sig.s = sig.s + Scalar::ONE;
+        sig.s += Scalar::ONE;
         assert!(key.verifying_key().verify(b"msg", &sig).is_err());
     }
 
@@ -257,7 +260,9 @@ mod tests {
         let sig = key.sign(b"serialize me");
         let decoded = Signature::from_bytes(&sig.to_bytes()).expect("decodes");
         assert_eq!(decoded, sig);
-        key.verifying_key().verify(b"serialize me", &decoded).unwrap();
+        key.verifying_key()
+            .verify(b"serialize me", &decoded)
+            .unwrap();
     }
 
     #[test]
@@ -285,7 +290,9 @@ mod tests {
     #[test]
     fn batch_verify_accepts_honest_batch() {
         let mut rng = HmacDrbg::from_u64(8);
-        let msgs: Vec<Vec<u8>> = (0..20).map(|i| format!("ballot-{i}").into_bytes()).collect();
+        let msgs: Vec<Vec<u8>> = (0..20)
+            .map(|i| format!("ballot-{i}").into_bytes())
+            .collect();
         let items: Vec<(VerifyingKey, &[u8], Signature)> = msgs
             .iter()
             .map(|m| {
@@ -309,7 +316,7 @@ mod tests {
                 (key.verifying_key(), m.as_slice(), sig)
             })
             .collect();
-        items[7].2.s = items[7].2.s + Scalar::ONE;
+        items[7].2.s += Scalar::ONE;
         assert_eq!(
             batch_verify(&items, &mut rng),
             Err(CryptoError::BadSignature)
@@ -323,8 +330,9 @@ mod tests {
         let mut rng = HmacDrbg::from_u64(10);
         for round in 0..5u64 {
             let corrupt = round % 2 == 0;
-            let msgs: Vec<Vec<u8>> =
-                (0..6).map(|i| format!("r{round}m{i}").into_bytes()).collect();
+            let msgs: Vec<Vec<u8>> = (0..6)
+                .map(|i| format!("r{round}m{i}").into_bytes())
+                .collect();
             let mut items: Vec<(VerifyingKey, &[u8], Signature)> = msgs
                 .iter()
                 .map(|m| {
@@ -334,11 +342,9 @@ mod tests {
                 })
                 .collect();
             if corrupt {
-                items[0].2.s = items[0].2.s + Scalar::ONE;
+                items[0].2.s += Scalar::ONE;
             }
-            let individual_ok = items
-                .iter()
-                .all(|(vk, m, sig)| vk.verify(m, sig).is_ok());
+            let individual_ok = items.iter().all(|(vk, m, sig)| vk.verify(m, sig).is_ok());
             let batch_ok = batch_verify(&items, &mut rng).is_ok();
             assert_eq!(individual_ok, batch_ok, "round {round}");
         }

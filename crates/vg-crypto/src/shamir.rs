@@ -78,7 +78,10 @@ pub fn split(
             for c in coeffs.iter().rev() {
                 acc = acc * x + *c;
             }
-            Share { index: i, value: acc }
+            Share {
+                index: i,
+                value: acc,
+            }
         })
         .collect();
     let commitments = ShareCommitments {

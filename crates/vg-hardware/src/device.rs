@@ -167,7 +167,10 @@ mod tests {
         assert!(ratio > 2.0 && ratio < 5.0, "ratio {ratio}");
         // Print rendering ≈ 380% slower.
         let print_ratio = l1.print_render_scale / h1.print_render_scale;
-        assert!(print_ratio > 3.0 && print_ratio < 6.0, "print {print_ratio}");
+        assert!(
+            print_ratio > 3.0 && print_ratio < 6.0,
+            "print {print_ratio}"
+        );
     }
 
     #[test]

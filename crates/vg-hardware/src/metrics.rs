@@ -113,7 +113,10 @@ impl MetricsCollector {
 
     /// The accumulated sample for a cell.
     pub fn get(&self, phase: Phase, component: Component) -> Sample {
-        self.cells.get(&(phase, component)).copied().unwrap_or_default()
+        self.cells
+            .get(&(phase, component))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Total wall-clock milliseconds across all cells.
@@ -145,8 +148,8 @@ impl MetricsCollector {
     /// Fraction of total wall time spent in QR scan + print (the ≥69.5%
     /// headline of §7.2).
     pub fn qr_io_fraction(&self) -> f64 {
-        let io = self.component_wall_ms(Component::QrScan)
-            + self.component_wall_ms(Component::QrPrint);
+        let io =
+            self.component_wall_ms(Component::QrScan) + self.component_wall_ms(Component::QrPrint);
         let total = self.total_wall_ms();
         if total == 0.0 {
             0.0

@@ -34,7 +34,10 @@ pub struct Peripherals {
 impl Peripherals {
     /// Attaches peripherals to a device profile.
     pub fn new(device: DeviceProfile) -> Self {
-        Self { device, metrics: MetricsCollector::new() }
+        Self {
+            device,
+            metrics: MetricsCollector::new(),
+        }
     }
 
     /// Prints a QR code: encodes the payload (real compute, scaled) and
@@ -52,7 +55,10 @@ impl Peripherals {
         let wall = self.device.print_wall_ms(payload.len(), host_ms);
         self.metrics
             .record(phase, Component::QrPrint, wall, render_cpu_ms);
-        Ok(PrintedQr { symbol, payload_len: payload.len() })
+        Ok(PrintedQr {
+            symbol,
+            payload_len: payload.len(),
+        })
     }
 
     /// Encodes a payload into a symbol for later scanning *without* a
@@ -66,7 +72,10 @@ impl Peripherals {
         let codec_ms = host_ms * self.device.qr_codec_scale;
         self.metrics
             .record(phase, Component::QrReadWrite, codec_ms, codec_ms);
-        Ok(PrintedQr { symbol, payload_len: payload.len() })
+        Ok(PrintedQr {
+            symbol,
+            payload_len: payload.len(),
+        })
     }
 
     /// Scans a printed QR code: charges the transfer model and decodes
@@ -121,7 +130,12 @@ mod tests {
         // All four components have accumulated time.
         assert!(p.metrics.get(Phase::RealToken, Component::QrPrint).wall_ms > 0.0);
         assert!(p.metrics.get(Phase::RealToken, Component::QrScan).wall_ms > 0.0);
-        assert!(p.metrics.get(Phase::RealToken, Component::QrReadWrite).wall_ms > 0.0);
+        assert!(
+            p.metrics
+                .get(Phase::RealToken, Component::QrReadWrite)
+                .wall_ms
+                > 0.0
+        );
     }
 
     #[test]
@@ -132,7 +146,12 @@ mod tests {
             (0..1000u64).sum::<u64>()
         });
         assert_eq!(x, 499500);
-        assert!(p.metrics.get(Phase::Authorization, Component::CryptoLogic).cpu_ms >= 0.0);
+        assert!(
+            p.metrics
+                .get(Phase::Authorization, Component::CryptoLogic)
+                .cpu_ms
+                >= 0.0
+        );
     }
 
     #[test]

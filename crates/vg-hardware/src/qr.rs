@@ -143,7 +143,11 @@ pub fn encode(payload: &[u8]) -> Result<QrSymbol, QrError> {
     }
 
     let modules = paint(version, &codewords);
-    Ok(QrSymbol { version, codewords, modules })
+    Ok(QrSymbol {
+        version,
+        codewords,
+        modules,
+    })
 }
 
 /// Lays the codeword bits into the module bitmap (finder patterns in three
@@ -269,8 +273,7 @@ pub fn decode_from_modules(version: u8, modules: &[bool]) -> Result<Vec<u8>, QrE
     // De-interleave into blocks.
     let blocks = block_sizes(n_data, n_parity);
     let mut data_blocks: Vec<Vec<u8>> = blocks.iter().map(|b| Vec::with_capacity(b.0)).collect();
-    let mut parity_blocks: Vec<Vec<u8>> =
-        blocks.iter().map(|b| Vec::with_capacity(b.1)).collect();
+    let mut parity_blocks: Vec<Vec<u8>> = blocks.iter().map(|b| Vec::with_capacity(b.1)).collect();
     let mut it = codewords.iter().copied();
     let max_d = blocks.iter().map(|b| b.0).max().unwrap_or(0);
     for col in 0..max_d {

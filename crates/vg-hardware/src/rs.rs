@@ -57,7 +57,9 @@ pub fn encode(data: &[u8], ecc_len: usize) -> Vec<u8> {
 pub fn decode(codeword: &mut [u8], ecc_len: usize) -> Result<usize, RsError> {
     let n = codeword.len();
     // Syndromes S_i = c(α^i).
-    let syndromes: Vec<u8> = (0..ecc_len).map(|i| gf::poly_eval(codeword, gf::exp(i))).collect();
+    let syndromes: Vec<u8> = (0..ecc_len)
+        .map(|i| gf::poly_eval(codeword, gf::exp(i)))
+        .collect();
     if syndromes.iter().all(|&s| s == 0) {
         return Ok(0);
     }
@@ -215,10 +217,11 @@ mod tests {
     fn corrects_up_to_t_errors() {
         let data: Vec<u8> = (0..40u8).collect();
         for n_err in 1..=5usize {
-            let corrupt: Vec<(usize, u8)> =
-                (0..n_err).map(|i| (i * 7 % 50, 0x5a ^ i as u8 | 1)).collect();
-            let out = roundtrip(&data, 10, &corrupt)
-                .unwrap_or_else(|e| panic!("{n_err} errors: {e:?}"));
+            let corrupt: Vec<(usize, u8)> = (0..n_err)
+                .map(|i| (i * 7 % 50, 0x5a ^ i as u8 | 1))
+                .collect();
+            let out =
+                roundtrip(&data, 10, &corrupt).unwrap_or_else(|e| panic!("{n_err} errors: {e:?}"));
             assert_eq!(out, data, "{n_err} errors");
         }
     }

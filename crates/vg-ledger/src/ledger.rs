@@ -12,8 +12,10 @@
 use std::collections::HashMap;
 
 use crate::log::{Record, TamperEvidentLog, TreeHead};
+use crate::store::LedgerBackend;
 use vg_crypto::edwards::CompressedPoint;
 use vg_crypto::elgamal::Ciphertext;
+use vg_crypto::par::par_map;
 use vg_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
 use vg_crypto::{CryptoError, Rng, Scalar};
 
@@ -115,6 +117,12 @@ impl Record for RegistrationRecord {
         m.extend_from_slice(&self.official_sig.to_bytes());
         m
     }
+
+    fn shard_key(&self) -> Vec<u8> {
+        // Partition by voter so every (re-)registration of a voter lands
+        // on one shard.
+        self.voter_id.to_bytes().to_vec()
+    }
 }
 
 /// The registration sub-ledger L_R with supersede semantics.
@@ -128,14 +136,30 @@ pub struct RegistrationLedger {
 }
 
 impl RegistrationLedger {
-    fn new(operator: SigningKey, roster: Vec<VoterId>) -> Self {
+    fn new(operator: SigningKey, roster: Vec<VoterId>, backend: LedgerBackend) -> Self {
         let roster_set = roster.iter().map(|v| (*v, ())).collect();
         Self {
-            log: TamperEvidentLog::new(operator),
+            log: TamperEvidentLog::with_backend(operator, backend),
             roster,
             roster_set,
             active: HashMap::new(),
         }
+    }
+
+    /// Checks the signature chain of one record (Fig 10's ledger-side
+    /// admission rule), without mutating anything.
+    fn check_record(record: &RegistrationRecord) -> Result<(), LedgerError> {
+        let kiosk_vk = VerifyingKey::from_compressed(&record.kiosk_pk)?;
+        kiosk_vk.verify(
+            &RegistrationRecord::kiosk_message(record.voter_id, &record.c_pc),
+            &record.kiosk_sig,
+        )?;
+        let official_vk = VerifyingKey::from_compressed(&record.official_pk)?;
+        official_vk.verify(
+            &RegistrationRecord::official_message(record.voter_id, &record.c_pc, &record.kiosk_sig),
+            &record.official_sig,
+        )?;
+        Ok(())
     }
 
     /// The electoral roll.
@@ -155,24 +179,38 @@ impl RegistrationLedger {
             return Err(LedgerError::NotOnRoster);
         }
         // The ledger checks the signature chain before accepting.
-        let kiosk_vk = VerifyingKey::from_compressed(&record.kiosk_pk)?;
-        kiosk_vk.verify(
-            &RegistrationRecord::kiosk_message(record.voter_id, &record.c_pc),
-            &record.kiosk_sig,
-        )?;
-        let official_vk = VerifyingKey::from_compressed(&record.official_pk)?;
-        official_vk.verify(
-            &RegistrationRecord::official_message(
-                record.voter_id,
-                &record.c_pc,
-                &record.kiosk_sig,
-            ),
-            &record.official_sig,
-        )?;
+        Self::check_record(&record)?;
         let voter = record.voter_id;
         let idx = self.log.append(record);
         self.active.insert(voter, idx);
         Ok(idx)
+    }
+
+    /// Posts a batch of registration records, verifying signature chains
+    /// with up to `threads` workers and appending through the backend's
+    /// batch fast path. All-or-nothing: any invalid record rejects the
+    /// whole batch before the ledger is touched. Supersede semantics
+    /// apply in input order.
+    pub fn post_batch(
+        &mut self,
+        records: Vec<RegistrationRecord>,
+        threads: usize,
+    ) -> Result<std::ops::Range<usize>, LedgerError> {
+        for record in &records {
+            if !self.is_eligible(record.voter_id) {
+                return Err(LedgerError::NotOnRoster);
+            }
+        }
+        let checks = par_map(&records, threads, Self::check_record);
+        for check in checks {
+            check?;
+        }
+        let voters: Vec<VoterId> = records.iter().map(|r| r.voter_id).collect();
+        let range = self.log.append_batch(records, threads);
+        for (voter, idx) in voters.into_iter().zip(range.clone()) {
+            self.active.insert(voter, idx);
+        }
+        Ok(range)
     }
 
     /// The currently active record for `voter`, if any.
@@ -202,13 +240,18 @@ impl RegistrationLedger {
     }
 
     /// Inclusion proof for the record at `index`.
-    pub fn prove_inclusion(&self, index: usize) -> Vec<crate::merkle::Hash> {
+    pub fn prove_inclusion(&self, index: usize) -> crate::store::InclusionProof {
         self.log.prove_inclusion(index)
     }
 
     /// Consistency proof from an earlier snapshot size to the current head.
-    pub fn prove_consistency(&self, old_size: usize) -> Vec<crate::merkle::Hash> {
+    pub fn prove_consistency(&self, old_size: usize) -> crate::store::ConsistencyProof {
         self.log.prove_consistency(old_size)
+    }
+
+    /// The storage backend this sub-ledger runs on.
+    pub fn backend(&self) -> LedgerBackend {
+        self.log.backend()
     }
 }
 
@@ -242,6 +285,12 @@ impl Record for EnvelopeCommitment {
         m.extend_from_slice(&self.signature.to_bytes());
         m
     }
+
+    fn shard_key(&self) -> Vec<u8> {
+        // Partition by challenge hash: activation looks envelopes up by
+        // H(e).
+        self.challenge_hash.to_vec()
+    }
 }
 
 /// The envelope sub-ledger L_E.
@@ -253,25 +302,51 @@ pub struct EnvelopeLedger {
 }
 
 impl EnvelopeLedger {
-    fn new(operator: SigningKey) -> Self {
+    fn new(operator: SigningKey, backend: LedgerBackend) -> Self {
         Self {
-            log: TamperEvidentLog::new(operator),
+            log: TamperEvidentLog::with_backend(operator, backend),
             by_hash: HashMap::new(),
             revealed: HashMap::new(),
         }
     }
 
-    /// Records a printer's envelope commitment at setup.
-    pub fn commit(&mut self, commitment: EnvelopeCommitment) -> Result<usize, LedgerError> {
+    /// Checks one commitment's printer signature.
+    fn check_commitment(commitment: &EnvelopeCommitment) -> Result<(), LedgerError> {
         let printer = VerifyingKey::from_compressed(&commitment.printer_pk)?;
         printer.verify(
             &EnvelopeCommitment::message(&commitment.challenge_hash),
             &commitment.signature,
         )?;
+        Ok(())
+    }
+
+    /// Records a printer's envelope commitment at setup.
+    pub fn commit(&mut self, commitment: EnvelopeCommitment) -> Result<usize, LedgerError> {
+        Self::check_commitment(&commitment)?;
         let h = commitment.challenge_hash;
         let idx = self.log.append(commitment);
         self.by_hash.insert(h, idx);
         Ok(idx)
+    }
+
+    /// Records a batch of commitments (setup stocks hundreds of
+    /// thousands of envelopes at once; Fig 7 line 5). All-or-nothing on
+    /// signature failure.
+    pub fn commit_batch(
+        &mut self,
+        commitments: Vec<EnvelopeCommitment>,
+        threads: usize,
+    ) -> Result<std::ops::Range<usize>, LedgerError> {
+        let checks = par_map(&commitments, threads, Self::check_commitment);
+        for check in checks {
+            check?;
+        }
+        let hashes: Vec<[u8; 32]> = commitments.iter().map(|c| c.challenge_hash).collect();
+        let range = self.log.append_batch(commitments, threads);
+        for (h, idx) in hashes.into_iter().zip(range.clone()) {
+            self.by_hash.insert(h, idx);
+        }
+        Ok(range)
     }
 
     /// Returns `true` if H(e) was committed by some printer.
@@ -351,6 +426,12 @@ impl Record for BallotRecord {
         m.extend_from_slice(&self.signature.to_bytes());
         m
     }
+
+    fn shard_key(&self) -> Vec<u8> {
+        // Partition by casting credential: a credential's revotes stay on
+        // one shard.
+        self.credential_pk.0.to_vec()
+    }
 }
 
 /// The ballot sub-ledger L_V.
@@ -359,16 +440,40 @@ pub struct BallotLedger {
 }
 
 impl BallotLedger {
-    fn new(operator: SigningKey) -> Self {
-        Self { log: TamperEvidentLog::new(operator) }
+    fn new(operator: SigningKey, backend: LedgerBackend) -> Self {
+        Self {
+            log: TamperEvidentLog::with_backend(operator, backend),
+        }
+    }
+
+    /// Checks one ballot's credential signature.
+    fn check_record(record: &BallotRecord) -> Result<(), LedgerError> {
+        let vk = VerifyingKey::from_compressed(&record.credential_pk)?;
+        vk.verify(&BallotRecord::message(&record.payload), &record.signature)?;
+        Ok(())
     }
 
     /// Posts a ballot after checking its credential signature (the PBB's
     /// syntactic admission check; semantic checks happen at tally).
     pub fn post(&mut self, record: BallotRecord) -> Result<usize, LedgerError> {
-        let vk = VerifyingKey::from_compressed(&record.credential_pk)?;
-        vk.verify(&BallotRecord::message(&record.payload), &record.signature)?;
+        Self::check_record(&record)?;
         Ok(self.log.append(record))
+    }
+
+    /// Posts a batch of ballots: signatures verified with up to
+    /// `threads` workers, Merkle leaves hashed in parallel, one head
+    /// re-publication for the whole batch. This is the election-day
+    /// ingestion fast path. All-or-nothing on signature failure.
+    pub fn post_batch(
+        &mut self,
+        records: Vec<BallotRecord>,
+        threads: usize,
+    ) -> Result<std::ops::Range<usize>, LedgerError> {
+        let checks = par_map(&records, threads, Self::check_record);
+        for check in checks {
+            check?;
+        }
+        Ok(self.log.append_batch(records, threads))
     }
 
     /// All posted ballots.
@@ -403,13 +508,25 @@ pub struct Ledger {
 }
 
 impl Ledger {
-    /// Creates the ledger for an electoral roll, generating operator keys.
+    /// Creates the ledger for an electoral roll on the in-memory
+    /// backend, generating operator keys.
     pub fn new(roster: Vec<VoterId>, rng: &mut dyn Rng) -> Self {
+        Self::with_backend(roster, LedgerBackend::InMemory, rng)
+    }
+
+    /// Creates the ledger on the chosen storage backend. All three
+    /// sub-ledgers share the backend choice.
+    pub fn with_backend(roster: Vec<VoterId>, backend: LedgerBackend, rng: &mut dyn Rng) -> Self {
         Self {
-            registration: RegistrationLedger::new(SigningKey::generate(rng), roster),
-            envelopes: EnvelopeLedger::new(SigningKey::generate(rng)),
-            ballots: BallotLedger::new(SigningKey::generate(rng)),
+            registration: RegistrationLedger::new(SigningKey::generate(rng), roster, backend),
+            envelopes: EnvelopeLedger::new(SigningKey::generate(rng), backend),
+            ballots: BallotLedger::new(SigningKey::generate(rng), backend),
         }
+    }
+
+    /// The storage backend this ledger runs on.
+    pub fn backend(&self) -> LedgerBackend {
+        self.registration.backend()
     }
 }
 
@@ -429,8 +546,9 @@ mod tests {
         let m = EdwardsPoint::mul_base(&rng.scalar());
         let (c_pc, _) = elgamal::encrypt_point(&pk, &m, rng);
         let kiosk_sig = kiosk.sign(&RegistrationRecord::kiosk_message(voter, &c_pc));
-        let official_sig =
-            official.sign(&RegistrationRecord::official_message(voter, &c_pc, &kiosk_sig));
+        let official_sig = official.sign(&RegistrationRecord::official_message(
+            voter, &c_pc, &kiosk_sig,
+        ));
         RegistrationRecord {
             voter_id: voter,
             c_pc,

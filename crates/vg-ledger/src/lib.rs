@@ -6,18 +6,27 @@
 //! (L_V). This crate provides:
 //!
 //! - [`merkle`]: the underlying append-only Merkle tree with RFC 6962-style
-//!   inclusion and consistency proofs;
-//! - [`log`]: typed tamper-evident logs with operator-signed tree heads;
+//!   inclusion and consistency proofs and an O(log n) incremental root;
+//! - [`store`]: pluggable storage backends — the flat [`store::InMemoryStore`]
+//!   and the key-hash partitioned [`store::ShardedStore`] with a rolled-up
+//!   head — behind the [`store::LedgerStore`] trait, plus backend-tagged
+//!   proof objects;
+//! - [`log`]: typed tamper-evident logs with operator-signed tree heads
+//!   and a parallel batch-append fast path;
 //! - [`ledger`]: the three Votegral sub-ledgers with their domain rules
 //!   (registration supersede semantics, envelope duplicate-challenge
-//!   detection, ballot admission checks).
+//!   detection, ballot admission checks) and batch posting.
 
 pub mod ledger;
 pub mod log;
 pub mod merkle;
+pub mod store;
 
 pub use ledger::{
     challenge_hash, BallotLedger, BallotRecord, EnvelopeCommitment, EnvelopeLedger, Ledger,
     LedgerError, RegistrationLedger, RegistrationRecord, VoterId,
 };
 pub use log::{verify_consistency_heads, Record, TamperEvidentLog, TreeHead};
+pub use store::{
+    ConsistencyProof, InMemoryStore, InclusionProof, LedgerBackend, LedgerStore, ShardedStore,
+};

@@ -1,13 +1,15 @@
 //! Generic tamper-evident logs with signed tree heads.
 //!
-//! A [`TamperEvidentLog`] couples a typed record store with a Merkle log
-//! over the records' canonical encodings. Appends return the entry index;
-//! auditors fetch [`TreeHead`]s and verify inclusion/consistency proofs
-//! against them. The paper idealizes the ledger as globally consistent
-//! (Appendix D.1); signed tree heads are how a deployment distributes that
-//! trust, so we model them explicitly.
+//! A [`TamperEvidentLog`] couples a typed record store (any
+//! [`crate::store::LedgerStore`] backend) with operator-signed tree
+//! heads. Appends return the entry index; auditors fetch [`TreeHead`]s
+//! and verify backend-tagged inclusion/consistency proofs against them.
+//! The paper idealizes the ledger as globally consistent (Appendix D.1);
+//! signed tree heads are how a deployment distributes that trust, so we
+//! model them explicitly.
 
-use crate::merkle::{self, Hash, MerkleLog};
+use crate::merkle::Hash;
+use crate::store::{ConsistencyProof, InclusionProof, LedgerBackend, LedgerStore};
 use vg_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
 use vg_crypto::CryptoError;
 
@@ -15,6 +17,14 @@ use vg_crypto::CryptoError;
 pub trait Record {
     /// Serializes the record into an injective canonical form.
     fn canonical_bytes(&self) -> Vec<u8>;
+
+    /// The partition key a sharded backend hashes to place this record.
+    /// Defaults to the full canonical encoding; records with a natural
+    /// key (voter id, credential key, challenge hash) override this so
+    /// related records co-locate.
+    fn shard_key(&self) -> Vec<u8> {
+        self.canonical_bytes()
+    }
 }
 
 /// A signed snapshot of the log: (size, root) under the operator's key.
@@ -22,7 +32,8 @@ pub trait Record {
 pub struct TreeHead {
     /// Number of entries covered.
     pub size: u64,
-    /// Merkle root over the first `size` entries.
+    /// Authenticated root over the first `size` entries (flat Merkle
+    /// root or sharded rollup, per the log's backend).
     pub root: Hash,
     /// Operator signature over `size ‖ root`.
     pub signature: Signature,
@@ -43,54 +54,74 @@ impl TreeHead {
     }
 }
 
-/// An append-only, tamper-evident, typed log.
+/// An append-only, tamper-evident, typed log over a pluggable backend.
 pub struct TamperEvidentLog<T: Record> {
-    records: Vec<T>,
-    merkle: MerkleLog,
+    store: Box<dyn LedgerStore<T>>,
     operator: SigningKey,
 }
 
-impl<T: Record> TamperEvidentLog<T> {
-    /// Creates an empty log operated by `operator`.
+impl<T: Record + Sync + 'static> TamperEvidentLog<T> {
+    /// Creates an empty in-memory log operated by `operator`.
     pub fn new(operator: SigningKey) -> Self {
-        Self { records: Vec::new(), merkle: MerkleLog::new(), operator }
+        Self::with_backend(operator, LedgerBackend::InMemory)
     }
 
+    /// Creates an empty log on the chosen backend.
+    pub fn with_backend(operator: SigningKey, backend: LedgerBackend) -> Self {
+        Self {
+            store: backend.make_store(),
+            operator,
+        }
+    }
+}
+
+impl<T: Record> TamperEvidentLog<T> {
     /// Appends a record, returning its index.
     pub fn append(&mut self, record: T) -> usize {
-        let idx = self.merkle.append(&record.canonical_bytes());
-        self.records.push(record);
-        idx
+        self.store.append(record)
+    }
+
+    /// Appends a batch of records, hashing Merkle leaves with up to
+    /// `threads` workers. Returns the index range of the batch.
+    pub fn append_batch(&mut self, records: Vec<T>, threads: usize) -> std::ops::Range<usize> {
+        self.store.append_batch(records, threads)
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.store.len()
     }
 
     /// Returns `true` if the log is empty.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.store.is_empty()
     }
 
     /// Immutable view of the records.
     pub fn records(&self) -> &[T] {
-        &self.records
+        self.store.records()
     }
 
     /// Record at `index`, if present.
     pub fn get(&self, index: usize) -> Option<&T> {
-        self.records.get(index)
+        self.store.get(index)
+    }
+
+    /// The backend this log runs on.
+    pub fn backend(&self) -> LedgerBackend {
+        self.store.backend()
     }
 
     /// Issues a signed tree head for the current state.
     pub fn tree_head(&self) -> TreeHead {
-        let size = self.records.len() as u64;
-        let root = self.merkle.root();
-        let signature = self
-            .operator
-            .sign(&TreeHead::message(size, &root));
-        TreeHead { size, root, signature }
+        let size = self.store.len() as u64;
+        let root = self.store.root();
+        let signature = self.operator.sign(&TreeHead::message(size, &root));
+        TreeHead {
+            size,
+            root,
+            signature,
+        }
     }
 
     /// The operator's public key, for auditors.
@@ -99,13 +130,13 @@ impl<T: Record> TamperEvidentLog<T> {
     }
 
     /// Inclusion proof for the entry at `index` against the current head.
-    pub fn prove_inclusion(&self, index: usize) -> Vec<Hash> {
-        self.merkle.inclusion_proof(index, self.records.len())
+    pub fn prove_inclusion(&self, index: usize) -> InclusionProof {
+        self.store.prove_inclusion(index)
     }
 
     /// Consistency proof from an earlier size to the current head.
-    pub fn prove_consistency(&self, old_size: usize) -> Vec<Hash> {
-        self.merkle.consistency_proof(old_size)
+    pub fn prove_consistency(&self, old_size: usize) -> ConsistencyProof {
+        self.store.prove_consistency(old_size)
     }
 
     /// Verifies that `record` is included at `index` under `head`.
@@ -113,28 +144,21 @@ impl<T: Record> TamperEvidentLog<T> {
         head: &TreeHead,
         record: &T,
         index: usize,
-        proof: &[Hash],
+        proof: &InclusionProof,
     ) -> bool {
-        let leaf = merkle::leaf_hash(&record.canonical_bytes());
-        merkle::verify_inclusion(&head.root, &leaf, index, head.size as usize, proof)
+        proof.verify(&head.root, head.size, record, index)
     }
 
     /// Verifies append-only growth between two heads.
-    pub fn verify_consistency(old: &TreeHead, new: &TreeHead, proof: &[Hash]) -> bool {
+    pub fn verify_consistency(old: &TreeHead, new: &TreeHead, proof: &ConsistencyProof) -> bool {
         verify_consistency_heads(old, new, proof)
     }
 }
 
 /// Verifies append-only growth between two tree heads (free function for
 /// callers that don't want to name the log's record type).
-pub fn verify_consistency_heads(old: &TreeHead, new: &TreeHead, proof: &[Hash]) -> bool {
-    merkle::verify_consistency(
-        &old.root,
-        old.size as usize,
-        &new.root,
-        new.size as usize,
-        proof,
-    )
+pub fn verify_consistency_heads(old: &TreeHead, new: &TreeHead, proof: &ConsistencyProof) -> bool {
+    proof.verify(&old.root, old.size, &new.root, new.size)
 }
 
 #[cfg(test)]
@@ -150,27 +174,44 @@ mod tests {
         }
     }
 
-    fn new_log() -> TamperEvidentLog<Note> {
+    fn new_log_on(backend: LedgerBackend) -> TamperEvidentLog<Note> {
         let mut rng = HmacDrbg::from_u64(1);
-        TamperEvidentLog::new(SigningKey::generate(&mut rng))
+        TamperEvidentLog::with_backend(SigningKey::generate(&mut rng), backend)
+    }
+
+    fn new_log() -> TamperEvidentLog<Note> {
+        new_log_on(LedgerBackend::InMemory)
     }
 
     #[test]
-    fn append_and_prove() {
-        let mut log = new_log();
-        for i in 0..10 {
-            log.append(Note(format!("n{i}")));
+    fn append_and_prove_on_both_backends() {
+        for backend in [LedgerBackend::InMemory, LedgerBackend::sharded(4)] {
+            let mut log = new_log_on(backend);
+            for i in 0..10 {
+                log.append(Note(format!("n{i}")));
+            }
+            let head = log.tree_head();
+            head.verify(&log.operator_key()).expect("head verifies");
+            for i in 0..10 {
+                let proof = log.prove_inclusion(i);
+                assert!(
+                    TamperEvidentLog::verify_inclusion(&head, &Note(format!("n{i}")), i, &proof),
+                    "{backend:?} index {i}"
+                );
+            }
         }
-        let head = log.tree_head();
-        head.verify(&log.operator_key()).expect("head verifies");
-        for i in 0..10 {
-            let proof = log.prove_inclusion(i);
-            assert!(TamperEvidentLog::verify_inclusion(
-                &head,
-                &Note(format!("n{i}")),
-                i,
-                &proof
-            ));
+    }
+
+    #[test]
+    fn batch_append_head_matches_sequential() {
+        for backend in [LedgerBackend::InMemory, LedgerBackend::sharded(4)] {
+            let mut one = new_log_on(backend);
+            let mut many = new_log_on(backend);
+            for i in 0..33 {
+                one.append(Note(format!("n{i}")));
+            }
+            many.append_batch((0..33).map(|i| Note(format!("n{i}"))).collect(), 4);
+            assert_eq!(one.tree_head().root, many.tree_head().root, "{backend:?}");
         }
     }
 
@@ -190,16 +231,21 @@ mod tests {
     }
 
     #[test]
-    fn consistency_across_appends() {
-        let mut log = new_log();
-        log.append(Note("a".into()));
-        log.append(Note("b".into()));
-        let old = log.tree_head();
-        log.append(Note("c".into()));
-        log.append(Note("d".into()));
-        let new = log.tree_head();
-        let proof = log.prove_consistency(old.size as usize);
-        assert!(TamperEvidentLog::<Note>::verify_consistency(&old, &new, &proof));
+    fn consistency_across_appends_on_both_backends() {
+        for backend in [LedgerBackend::InMemory, LedgerBackend::sharded(3)] {
+            let mut log = new_log_on(backend);
+            log.append(Note("a".into()));
+            log.append(Note("b".into()));
+            let old = log.tree_head();
+            log.append(Note("c".into()));
+            log.append(Note("d".into()));
+            let new = log.tree_head();
+            let proof = log.prove_consistency(old.size as usize);
+            assert!(
+                TamperEvidentLog::<Note>::verify_consistency(&old, &new, &proof),
+                "{backend:?}"
+            );
+        }
     }
 
     #[test]

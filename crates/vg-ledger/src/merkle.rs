@@ -45,15 +45,30 @@ fn split_point(n: usize) -> usize {
 }
 
 /// An append-only Merkle log over pre-hashed leaves.
+///
+/// Alongside the full leaf vector (needed for historical roots and
+/// proofs), the log maintains the RFC 6962 "peak" decomposition of the
+/// current tree — the roots of the maximal perfect subtrees given by the
+/// binary representation of the leaf count. Appends update the peaks like
+/// a binary counter (amortized O(1)), so [`MerkleLog::root`] costs
+/// O(log n) hashes instead of recomputing the whole tree. This is what
+/// makes per-append signed tree heads affordable on a live bulletin
+/// board.
 #[derive(Clone, Default)]
 pub struct MerkleLog {
     leaves: Vec<Hash>,
+    /// Roots of the maximal perfect subtrees, leftmost (largest) first,
+    /// paired with their height (a peak of height h covers 2^h leaves).
+    peaks: Vec<(u32, Hash)>,
 }
 
 impl MerkleLog {
     /// Creates an empty log.
     pub fn new() -> Self {
-        Self { leaves: Vec::new() }
+        Self {
+            leaves: Vec::new(),
+            peaks: Vec::new(),
+        }
     }
 
     /// Number of leaves.
@@ -68,13 +83,53 @@ impl MerkleLog {
 
     /// Appends an entry, returning its index.
     pub fn append(&mut self, data: &[u8]) -> usize {
-        self.leaves.push(leaf_hash(data));
+        self.append_leaf(leaf_hash(data))
+    }
+
+    /// Appends a pre-hashed leaf, returning its index. The hash must be a
+    /// domain-separated [`leaf_hash`] (batch pipelines compute these in
+    /// parallel before appending).
+    pub fn append_leaf(&mut self, leaf: Hash) -> usize {
+        self.leaves.push(leaf);
+        // Binary-counter carry: merge equal-height peaks.
+        let mut height = 0u32;
+        let mut acc = leaf;
+        while let Some(&(top_height, top)) = self.peaks.last() {
+            if top_height != height {
+                break;
+            }
+            self.peaks.pop();
+            acc = node_hash(&top, &acc);
+            height += 1;
+        }
+        self.peaks.push((height, acc));
         self.leaves.len() - 1
     }
 
-    /// The current tree head.
+    /// Appends a batch of pre-hashed leaves, returning the index range.
+    pub fn append_leaves(&mut self, leaves: &[Hash]) -> std::ops::Range<usize> {
+        let start = self.leaves.len();
+        for leaf in leaves {
+            self.append_leaf(*leaf);
+        }
+        start..self.leaves.len()
+    }
+
+    /// The current tree head (O(log n) via the peak decomposition).
     pub fn root(&self) -> Hash {
-        self.root_of(self.leaves.len())
+        match self.peaks.split_last() {
+            None => empty_root(),
+            Some(((_, last), rest)) => {
+                // Fold right-to-left: the RFC 6962 root of a non-perfect
+                // tree hangs each smaller peak under its larger left
+                // sibling's parent.
+                let mut acc = *last;
+                for (_, peak) in rest.iter().rev() {
+                    acc = node_hash(peak, &acc);
+                }
+                acc
+            }
+        }
     }
 
     /// The tree head after the first `size` entries.
@@ -287,10 +342,7 @@ mod tests {
             for i in 0..n {
                 let proof = log.inclusion_proof(i, n);
                 let leaf = leaf_hash(format!("entry-{i}").as_bytes());
-                assert!(
-                    verify_inclusion(&root, &leaf, i, n, &proof),
-                    "n={n} i={i}"
-                );
+                assert!(verify_inclusion(&root, &leaf, i, n, &proof), "n={n} i={i}");
             }
         }
     }
@@ -361,19 +413,37 @@ mod tests {
             forged.append(data.as_bytes());
         }
         let proof = forged.consistency_proof(4);
-        assert!(!verify_consistency(
-            &old_root,
-            4,
-            &forged.root(),
-            6,
-            &proof
-        ));
+        assert!(!verify_consistency(&old_root, 4, &forged.root(), 6, &proof));
     }
 
     #[test]
     fn consistency_from_empty() {
         let log = build(5);
         assert!(verify_consistency(&empty_root(), 0, &log.root(), 5, &[]));
+    }
+
+    #[test]
+    fn incremental_root_matches_recursive() {
+        // The O(log n) peak-fold root must equal the recursive RFC 6962
+        // root at every size, including across many carry patterns.
+        let mut log = MerkleLog::new();
+        for i in 0..130 {
+            log.append(format!("e{i}").as_bytes());
+            assert_eq!(log.root(), log.root_of(log.len()), "size {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn batch_append_matches_sequential() {
+        let hashes: Vec<Hash> = (0..37u32).map(|i| leaf_hash(&i.to_le_bytes())).collect();
+        let mut seq = MerkleLog::new();
+        for h in &hashes {
+            seq.append_leaf(*h);
+        }
+        let mut batched = MerkleLog::new();
+        let range = batched.append_leaves(&hashes);
+        assert_eq!(range, 0..37);
+        assert_eq!(seq.root(), batched.root());
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl MixCascade {
     /// ciphertexts.
     pub fn new(max_n: usize, mixers: usize) -> Self {
         assert!(mixers >= 1, "cascade needs at least one mixer");
-        Self { ctx: ShuffleContext::new(max_n), mixers }
+        Self {
+            ctx: ShuffleContext::new(max_n),
+            mixers,
+        }
     }
 
     /// Number of mixers in the cascade.
@@ -84,7 +87,10 @@ impl MixCascade {
             current = outputs.clone();
             stages.push(MixStage { outputs, proof });
         }
-        MixTranscript { inputs: inputs.to_vec(), stages }
+        MixTranscript {
+            inputs: inputs.to_vec(),
+            stages,
+        }
     }
 
     /// Verifies every stage of a cascade transcript, returning the final
@@ -150,7 +156,10 @@ impl MixCascade {
             current = outputs.clone();
             stages.push(PairMixStage { outputs, proof });
         }
-        PairMixTranscript { inputs: inputs.to_vec(), stages }
+        PairMixTranscript {
+            inputs: inputs.to_vec(),
+            stages,
+        }
     }
 
     /// Verifies every stage of a pair-cascade transcript.

@@ -58,6 +58,7 @@ pub fn linear_combination(
 }
 
 /// Proves E = Enc_pk(0; ρ) + Σ bᵢ·C′ᵢ for the vector committed in `c_b`.
+#[allow(clippy::too_many_arguments)] // the Σ-protocol statement simply has this many parts
 pub fn prove_multiexp(
     transcript: &mut Transcript,
     ck: &CommitKey,
@@ -186,7 +187,17 @@ mod tests {
         let rho = rng.scalar();
         let c_b = ck.commit(&b, &s);
         let target = linear_combination(&kp.pk, &bases, &b, &rho);
-        Setup { ck, pk: kp.pk, bases, b, s, rho, c_b, target, rng }
+        Setup {
+            ck,
+            pk: kp.pk,
+            bases,
+            b,
+            s,
+            rho,
+            c_b,
+            target,
+            rng,
+        }
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub struct ShuffleContext {
 impl ShuffleContext {
     /// Creates a context supporting shuffles of up to `max_n` ciphertexts.
     pub fn new(max_n: usize) -> Self {
-        Self { ck: CommitKey::new(b"votegral-shuffle-v1", max_n.max(2)) }
+        Self {
+            ck: CommitKey::new(b"votegral-shuffle-v1", max_n.max(2)),
+        }
     }
 
     /// The underlying commitment key.
@@ -101,7 +103,10 @@ impl ShuffleContext {
         absorb_statement(&mut transcript, pk, inputs, outputs);
 
         // Step 1: commit to the 1-indexed permutation values.
-        let a: Vec<Scalar> = perm.iter().map(|&p| Scalar::from_u64(p as u64 + 1)).collect();
+        let a: Vec<Scalar> = perm
+            .iter()
+            .map(|&p| Scalar::from_u64(p as u64 + 1))
+            .collect();
         let r = rng.scalar();
         let c_a = self.ck.commit(&a, &r);
         transcript.append_point(b"shuf-ca", &c_a);
@@ -140,7 +145,12 @@ impl ShuffleContext {
             rng,
         );
 
-        ShuffleProof { c_a, c_b, svp: svp_proof, mexp: mexp_proof }
+        ShuffleProof {
+            c_a,
+            c_b,
+            svp: svp_proof,
+            mexp: mexp_proof,
+        }
     }
 
     /// Verifies a shuffle proof.
@@ -250,7 +260,10 @@ impl ShuffleContext {
         let mut transcript = Transcript::new(b"votegral-pair-shuffle");
         absorb_pair_statement(&mut transcript, pk, inputs, outputs);
 
-        let a: Vec<Scalar> = perm.iter().map(|&p| Scalar::from_u64(p as u64 + 1)).collect();
+        let a: Vec<Scalar> = perm
+            .iter()
+            .map(|&p| Scalar::from_u64(p as u64 + 1))
+            .collect();
         let r = rng.scalar();
         let c_a = self.ck.commit(&a, &r);
         transcript.append_point(b"shuf-ca", &c_a);
@@ -275,8 +288,7 @@ impl ShuffleContext {
         let col_a_out: Vec<Ciphertext> = outputs.iter().map(|p| p.0).collect();
         let col_b_out: Vec<Ciphertext> = outputs.iter().map(|p| p.1).collect();
 
-        let target_a =
-            multiexp::linear_combination(pk, &col_a_in, &x_powers[1..=n], &Scalar::ZERO);
+        let target_a = multiexp::linear_combination(pk, &col_a_in, &x_powers[1..=n], &Scalar::ZERO);
         let rho_hat_a = -(0..n).fold(Scalar::ZERO, |acc, j| acc + rho_a[j] * b[j]);
         let mexp_a = multiexp::prove_multiexp(
             &mut transcript,
@@ -290,8 +302,7 @@ impl ShuffleContext {
             &rho_hat_a,
             rng,
         );
-        let target_b =
-            multiexp::linear_combination(pk, &col_b_in, &x_powers[1..=n], &Scalar::ZERO);
+        let target_b = multiexp::linear_combination(pk, &col_b_in, &x_powers[1..=n], &Scalar::ZERO);
         let rho_hat_b = -(0..n).fold(Scalar::ZERO, |acc, j| acc + rho_b[j] * b[j]);
         let mexp_b = multiexp::prove_multiexp(
             &mut transcript,
@@ -306,7 +317,13 @@ impl ShuffleContext {
             rng,
         );
 
-        PairShuffleProof { c_a, c_b, svp: svp_proof, mexp_a, mexp_b }
+        PairShuffleProof {
+            c_a,
+            c_b,
+            svp: svp_proof,
+            mexp_a,
+            mexp_b,
+        }
     }
 
     /// Verifies a pair-shuffle proof.
@@ -339,8 +356,7 @@ impl ShuffleContext {
         let col_a_out: Vec<Ciphertext> = outputs.iter().map(|p| p.0).collect();
         let col_b_out: Vec<Ciphertext> = outputs.iter().map(|p| p.1).collect();
 
-        let target_a =
-            multiexp::linear_combination(pk, &col_a_in, &x_powers[1..=n], &Scalar::ZERO);
+        let target_a = multiexp::linear_combination(pk, &col_a_in, &x_powers[1..=n], &Scalar::ZERO);
         multiexp::verify_multiexp(
             &mut transcript,
             &self.ck,
@@ -350,8 +366,7 @@ impl ShuffleContext {
             &proof.c_b,
             &proof.mexp_a,
         )?;
-        let target_b =
-            multiexp::linear_combination(pk, &col_b_in, &x_powers[1..=n], &Scalar::ZERO);
+        let target_b = multiexp::linear_combination(pk, &col_b_in, &x_powers[1..=n], &Scalar::ZERO);
         multiexp::verify_multiexp(
             &mut transcript,
             &self.ck,
@@ -383,6 +398,7 @@ fn absorb_pair_statement(
 }
 
 /// Π_{i=1..n} (y·i + xⁱ − z), the public side of the product argument.
+#[allow(clippy::needless_range_loop)] // x_powers is 1-indexed by construction
 fn claimed_product(x_powers: &[Scalar], y: Scalar, z: Scalar, n: usize) -> Scalar {
     let mut acc = Scalar::ONE;
     for i in 1..=n {
@@ -470,7 +486,7 @@ mod tests {
         let (_, inputs) = sample_ciphertexts(5, &kp, &mut rng);
         let ctx = ShuffleContext::new(5);
         let (mut outputs, proof) = ctx.shuffle(&kp.pk, &inputs, &mut rng);
-        outputs[2].c2 = outputs[2].c2 + EdwardsPoint::basepoint();
+        outputs[2].c2 += EdwardsPoint::basepoint();
         assert!(ctx.verify(&kp.pk, &inputs, &outputs, &proof).is_err());
     }
 
@@ -487,7 +503,9 @@ mod tests {
         let mut forged_inputs = inputs.clone();
         let injected = encrypt_point(&kp.pk, &EdwardsPoint::basepoint(), &mut rng).0;
         forged_inputs[0] = injected;
-        assert!(ctx.verify(&kp.pk, &forged_inputs, &outputs, &proof).is_err());
+        assert!(ctx
+            .verify(&kp.pk, &forged_inputs, &outputs, &proof)
+            .is_err());
     }
 
     #[test]
@@ -497,9 +515,7 @@ mod tests {
         let (_, inputs) = sample_ciphertexts(4, &kp, &mut rng);
         let ctx = ShuffleContext::new(4);
         let (outputs, proof) = ctx.shuffle(&kp.pk, &inputs, &mut rng);
-        assert!(ctx
-            .verify(&kp.pk, &inputs, &outputs[..3], &proof)
-            .is_err());
+        assert!(ctx.verify(&kp.pk, &inputs, &outputs[..3], &proof).is_err());
     }
 
     #[test]

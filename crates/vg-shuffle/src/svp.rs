@@ -99,7 +99,15 @@ pub fn prove_svp(
     let r_tilde = x * *r + r_d;
     let s_tilde = x * s_x + s_1;
 
-    SvpProof { c_d, c_delta, c_big_delta, a_tilde, b_tilde, r_tilde, s_tilde }
+    SvpProof {
+        c_d,
+        c_delta,
+        c_big_delta,
+        a_tilde,
+        b_tilde,
+        r_tilde,
+        s_tilde,
+    }
 }
 
 /// Verifies a single-value product argument for commitment `c_a` and
@@ -214,7 +222,15 @@ mod tests {
         let (ck, a, r, mut rng) = setup(3, 45);
         let c_a = ck.commit(&a, &r);
         let b = Scalar::product(&a);
-        let proof = prove_svp(&mut Transcript::new(b"ctx-1"), &ck, &c_a, &b, &a, &r, &mut rng);
+        let proof = prove_svp(
+            &mut Transcript::new(b"ctx-1"),
+            &ck,
+            &c_a,
+            &b,
+            &a,
+            &r,
+            &mut rng,
+        );
         assert!(verify_svp(&mut Transcript::new(b"ctx-2"), &ck, &c_a, &b, &proof).is_err());
     }
 

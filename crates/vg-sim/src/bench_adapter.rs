@@ -4,15 +4,21 @@
 
 use vg_baselines::BenchSystem;
 use vg_crypto::{HmacDrbg, Rng};
-use vg_ledger::VoterId;
+use vg_ledger::{LedgerBackend, VoterId};
 use vg_trip::protocol::{activate_all, register_voter};
 use vg_trip::setup::TripConfig;
 use vg_trip::vsd::ActivatedCredential;
-use vg_votegral::Election;
+use vg_votegral::{Election, ElectionBuilder, Voting};
 
 /// The full Votegral pipeline driven through the benchmark trait.
+///
+/// The wrapped session is held in the `Voting` phase: the `BenchSystem`
+/// trait interleaves registration and casting freely, and the TRIP layer
+/// (`register_voter`/`activate_all`) is phase-agnostic, so registrations
+/// go through the protocol functions directly while casts use the
+/// session.
 pub struct VotegralCore {
-    election: Election,
+    election: Election<Voting>,
     credentials: Vec<ActivatedCredential>,
     n_voters: usize,
 }
@@ -21,20 +27,54 @@ impl VotegralCore {
     /// Sets up an election for `n_voters` and `n_options` (setup/DKG time
     /// is excluded from the phases, as in the paper).
     pub fn new(n_voters: usize, n_options: u32, rng: &mut dyn Rng) -> Self {
+        Self::with_backend(n_voters, n_options, LedgerBackend::InMemory, 1, rng)
+    }
+
+    /// Like [`VotegralCore::new`] with an explicit ledger backend and
+    /// batch thread count (the scaling-experiment entry point).
+    pub fn with_backend(
+        n_voters: usize,
+        n_options: u32,
+        backend: LedgerBackend,
+        threads: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
         let mut config = TripConfig::with_voters(n_voters as u64);
         // One envelope per voter is enough for the credential-per-voter
         // benchmark; keep the booth floor.
         config.envelopes_per_voter = 1;
+        config.backend = backend;
         Self {
-            election: Election::new(config, n_options, rng),
+            election: ElectionBuilder::new()
+                .trip_config(config)
+                .options(n_options)
+                .threads(threads)
+                .build(rng)
+                .open_voting(),
             credentials: Vec::new(),
             n_voters,
         }
     }
 
     /// Access to the wrapped election (used by the figure binaries).
-    pub fn election(&self) -> &Election {
+    pub fn election(&self) -> &Election<Voting> {
         &self.election
+    }
+
+    /// Casts every vote through the batch fast path instead of one by
+    /// one (identical ledger contents, amortized admission).
+    pub fn vote_all_batched(&mut self, votes: &[u32], rng: &mut dyn Rng) {
+        assert_eq!(votes.len(), self.n_voters, "one vote per voter");
+        assert_eq!(
+            self.credentials.len(),
+            votes.len(),
+            "register_all must run before voting"
+        );
+        let pairs: Vec<(&ActivatedCredential, u32)> =
+            self.credentials.iter().zip(votes.iter().copied()).collect();
+        self.election
+            .cast_batch(&pairs, rng)
+            .expect("batch accepted");
     }
 }
 
@@ -78,7 +118,17 @@ impl BenchSystem for VotegralCore {
     }
 
     fn tally(&mut self, rng: &mut dyn Rng) -> Vec<u64> {
-        let transcript = self.election.tally(rng).expect("tally runs");
+        // The trait interleaves phases, so tally through the free
+        // function rather than consuming the session into `Tallying`.
+        let transcript = vg_votegral::tally(
+            &self.election.trip.authority,
+            &self.election.trip.ledger,
+            self.election.vote_config,
+            &self.election.trip.kiosk_registry,
+            self.election.mixers,
+            rng,
+        )
+        .expect("tally runs");
         transcript.result.counts
     }
 }
@@ -101,6 +151,25 @@ mod tests {
         sys.vote_all(&[1, 0, 1], &mut rng);
         assert_eq!(sys.tally(&mut rng), vec![1, 2]);
         assert!(!sys.quadratic_tally());
+    }
+
+    #[test]
+    fn sharded_batched_core_matches_sequential() {
+        // The scaling-experiment entry point (sharded ledger + batched
+        // casting) counts exactly like the sequential in-memory path.
+        let votes = [1u32, 0, 1, 2];
+        let mut rng = bench_rng(4);
+        let mut seq = VotegralCore::new(4, 3, &mut rng);
+        seq.register_all(&mut rng);
+        seq.vote_all(&votes, &mut rng);
+        let expected = seq.tally(&mut rng);
+
+        let mut rng = bench_rng(4);
+        let mut batched = VotegralCore::with_backend(4, 3, LedgerBackend::sharded(4), 2, &mut rng);
+        batched.register_all(&mut rng);
+        batched.vote_all_batched(&votes, &mut rng);
+        assert_eq!(batched.tally(&mut rng), expected);
+        assert_eq!(expected, vec![1, 2, 1]);
     }
 
     #[test]

@@ -60,7 +60,9 @@ fn play_once(
         revealed += 1 + dist.sample(rng);
     }
     revealed += demanded_fakes + 1 + usize::from(evade);
-    GameView { revealed_envelopes: revealed }
+    GameView {
+        revealed_envelopes: revealed,
+    }
 }
 
 /// Runs the experiment: estimates the best count-based distinguisher's
@@ -128,7 +130,11 @@ pub fn analytic_shift_tv(honest: usize, dist: &FakeCredentialDist) -> f64 {
     let mut tv = 0.0;
     for i in 0..=sum.len() {
         let p = if i < sum.len() { sum[i] } else { 0.0 };
-        let q = if i >= 1 && i - 1 < sum.len() { sum[i - 1] } else { 0.0 };
+        let q = if i >= 1 && i - 1 < sum.len() {
+            sum[i - 1]
+        } else {
+            0.0
+        };
         tv += (p - q).abs();
     }
     tv / 2.0

@@ -56,12 +56,15 @@ mod payload {
 pub fn run_device(device: DeviceProfile, runs: usize, rng: &mut dyn Rng) -> DeviceRun {
     let mut total = MetricsCollector::new();
     for run in 0..runs {
-        let metrics = one_registration(device.clone(), rng)
-            .unwrap_or_else(|e| panic!("run {run}: {e}"));
+        let metrics =
+            one_registration(device.clone(), rng).unwrap_or_else(|e| panic!("run {run}: {e}"));
         total.merge(&metrics);
     }
     total.scale(1.0 / runs as f64);
-    DeviceRun { device, metrics: total }
+    DeviceRun {
+        device,
+        metrics: total,
+    }
 }
 
 /// Runs Fig 4 across all four platforms.
@@ -109,7 +112,9 @@ fn one_registration(
     let env_qr = p
         .encode_for_scan(Phase::RealToken, &vec![0x22; payload::envelope(&envelope)])
         .expect("envelope symbol encodes");
-    let _ = p.scan_qr(Phase::RealToken, &env_qr).expect("envelope scans");
+    let _ = p
+        .scan_qr(Phase::RealToken, &env_qr)
+        .expect("envelope scans");
     let receipt = p.crypto(Phase::RealToken, || {
         session.finish_real_credential(&envelope)
     })?;
@@ -133,7 +138,9 @@ fn one_registration(
     let env_qr = p
         .encode_for_scan(Phase::FakeToken, &vec![0x55; payload::envelope(&envelope)])
         .expect("envelope encodes");
-    let _ = p.scan_qr(Phase::FakeToken, &env_qr).expect("envelope scans");
+    let _ = p
+        .scan_qr(Phase::FakeToken, &env_qr)
+        .expect("envelope scans");
     let receipt = p.crypto(Phase::FakeToken, || {
         session.create_fake_credential(&envelope, rng)
     })?;
@@ -173,7 +180,10 @@ fn one_registration(
     for (pattern, len) in [
         (0x88u8, payload::commit(&real_credential.receipt.commit_qr)),
         (0x99, payload::envelope(&real_credential.envelope)),
-        (0xaa, payload::response(&real_credential.receipt.response_qr)),
+        (
+            0xaa,
+            payload::response(&real_credential.receipt.response_qr),
+        ),
     ] {
         let qr = p
             .encode_for_scan(Phase::Activation, &vec![pattern; len])

@@ -88,7 +88,12 @@ impl PhaseTiming {
     }
 }
 
-fn instantiate(kind: SystemKind, n: usize, n_options: u32, rng: &mut HmacDrbg) -> Box<dyn BenchSystem> {
+fn instantiate(
+    kind: SystemKind,
+    n: usize,
+    n_options: u32,
+    rng: &mut HmacDrbg,
+) -> Box<dyn BenchSystem> {
     match kind {
         SystemKind::Votegral => Box::new(VotegralCore::new(n, n_options, rng)),
         SystemKind::SwissPost => Box::new(SwissPost::new(n, n_options, rng)),

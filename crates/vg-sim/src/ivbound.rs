@@ -50,8 +50,7 @@ pub fn success_probability(n_e: usize, k: usize, dist: &FakeCredentialDist) -> f
             // envelope: the attack is always exposed.
             continue;
         }
-        let ln_ratio =
-            ln_binom(&table, n_e - k, n_c - 1) - ln_binom(&table, n_e - 1, n_c - 1);
+        let ln_ratio = ln_binom(&table, n_e - k, n_c - 1) - ln_binom(&table, n_e - 1, n_c - 1);
         total += dist.pmf(fakes) * (k as f64 / n_e as f64) * ln_ratio.exp();
     }
     total

@@ -66,7 +66,9 @@ pub struct VoteDist {
 impl VoteDist {
     /// A uniform distribution over `n` options.
     pub fn uniform(n: u32) -> Self {
-        Self { weights: vec![1.0 / n as f64; n as usize] }
+        Self {
+            weights: vec![1.0 / n as f64; n as usize],
+        }
     }
 
     /// A distribution with explicit weights (normalized internally).
@@ -78,7 +80,9 @@ impl VoteDist {
         assert!(!weights.is_empty(), "need at least one option");
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weights must sum to a positive value");
-        Self { weights: weights.iter().map(|w| w / total).collect() }
+        Self {
+            weights: weights.iter().map(|w| w / total).collect(),
+        }
     }
 
     /// Number of options.
@@ -133,7 +137,11 @@ mod tests {
         let n = 20_000;
         let total: usize = (0..n).map(|_| d.sample(&mut rng)).sum();
         let empirical = total as f64 / n as f64;
-        assert!((empirical - d.mean()).abs() < 0.05, "{empirical} vs {}", d.mean());
+        assert!(
+            (empirical - d.mean()).abs() < 0.05,
+            "{empirical} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

@@ -115,8 +115,8 @@ pub fn simulate_study(
             KioskBehavior::StealsRealCredential,
             rng,
         );
-        let reg = register_voter(&mut system, VoterId(1), 0, rng)
-            .expect("malicious session completes");
+        let reg =
+            register_voter(&mut system, VoterId(1), 0, rng).expect("malicious session completes");
         let anomalous = !trace_shows_honest_real_flow(&reg.events);
         debug_assert!(anomalous, "the stealing kiosk's trace is anomalous");
 
@@ -145,12 +145,7 @@ pub fn simulate_study(
 
 /// Monte-Carlo estimate of the evasion probability using real malicious
 /// kiosk sessions: the kiosk survives if *no* voter reports it.
-pub fn simulate_evasion(
-    p_detect: f64,
-    n_voters: u32,
-    trials: usize,
-    rng: &mut dyn Rng,
-) -> f64 {
+pub fn simulate_evasion(p_detect: f64, n_voters: u32, trials: usize, rng: &mut dyn Rng) -> f64 {
     let mut evaded = 0usize;
     for _ in 0..trials {
         let mut caught = false;
@@ -185,10 +180,7 @@ mod tests {
     fn paper_claim_thousand_voters_negligible() {
         // §7.5: "for 1000 voters, that drops to ... 1/2^152".
         let log2 = log2_evasion_probability(0.10, 1000);
-        assert!(
-            (-153.0..=-151.0).contains(&log2),
-            "log2 evasion = {log2}"
-        );
+        assert!((-153.0..=-151.0).contains(&log2), "log2 evasion = {log2}");
     }
 
     #[test]
@@ -202,8 +194,15 @@ mod tests {
         let det_ed = out.detections_educated as f64 / out.exposed_educated as f64;
         assert!((det_ed - 0.47).abs() < 0.12, "educated detection {det_ed}");
         let det_un = out.detections_uneducated as f64 / out.exposed_uneducated as f64;
-        assert!((det_un - 0.10).abs() < 0.08, "uneducated detection {det_un}");
-        assert!(out.sus_mean > 60.0 && out.sus_mean < 80.0, "{}", out.sus_mean);
+        assert!(
+            (det_un - 0.10).abs() < 0.08,
+            "uneducated detection {det_un}"
+        );
+        assert!(
+            out.sus_mean > 60.0 && out.sus_mean < 80.0,
+            "{}",
+            out.sus_mean
+        );
     }
 
     #[test]

@@ -126,7 +126,12 @@ impl Kiosk {
         behavior: KioskBehavior,
         rng: &mut dyn Rng,
     ) -> Self {
-        Self { key: SigningKey::generate(rng), mac_key, authority_pk, behavior }
+        Self {
+            key: SigningKey::generate(rng),
+            mac_key,
+            authority_pk,
+            behavior,
+        }
     }
 
     /// The kiosk's public key (appears on receipts and the ledger).
@@ -176,7 +181,12 @@ impl Kiosk {
         let kiosk_sig = self
             .key
             .sign(&RegistrationRecord::kiosk_message(voter_id, c_pc));
-        CheckOutQr { voter_id, c_pc: *c_pc, kiosk_pk: self.public_key(), kiosk_sig }
+        CheckOutQr {
+            voter_id,
+            c_pc: *c_pc,
+            kiosk_pk: self.public_key(),
+            kiosk_sig,
+        }
     }
 }
 
@@ -228,7 +238,12 @@ impl KioskSession<'_> {
             .kiosk
             .key
             .sign(&commit_message(self.voter_id, &c_pc, &commit));
-        let commit_qr = CommitQr { voter_id: self.voter_id, c_pc, commit, kiosk_sig };
+        let commit_qr = CommitQr {
+            voter_id: self.voter_id,
+            c_pc,
+            commit,
+            kiosk_sig,
+        };
         let symbol = Symbol::random(rng);
         self.events
             .push(KioskEvent::PrintedSymbolAndCommit { symbol });
@@ -261,7 +276,9 @@ impl KioskSession<'_> {
             return Err(TripError::EnvelopeReused);
         }
         let pending = self.pending.take().expect("checked above");
-        self.events.push(KioskEvent::ScannedEnvelope { symbol: envelope.symbol });
+        self.events.push(KioskEvent::ScannedEnvelope {
+            symbol: envelope.symbol,
+        });
 
         // r ← y − e·x (line 12).
         let transcript = pending
@@ -309,7 +326,9 @@ impl KioskSession<'_> {
             self.events.push(KioskEvent::RejectedEnvelope);
             return Err(TripError::EnvelopeReused);
         }
-        self.events.push(KioskEvent::ScannedEnvelope { symbol: envelope.symbol });
+        self.events.push(KioskEvent::ScannedEnvelope {
+            symbol: envelope.symbol,
+        });
         let receipt = self.forge_receipt(&checkout, envelope, envelope.symbol, rng);
         self.events.push(KioskEvent::PrintedFullReceipt);
         Ok(receipt)
@@ -337,7 +356,9 @@ impl KioskSession<'_> {
             self.events.push(KioskEvent::RejectedEnvelope);
             return Err(TripError::EnvelopeReused);
         }
-        self.events.push(KioskEvent::ScannedEnvelope { symbol: envelope.symbol });
+        self.events.push(KioskEvent::ScannedEnvelope {
+            symbol: envelope.symbol,
+        });
 
         // The kiosk generates the REAL credential and keeps it.
         let real = SigningKey::generate(rng);
@@ -353,7 +374,10 @@ impl KioskSession<'_> {
         self.events.push(KioskEvent::PrintedFullReceipt);
         Ok((
             receipt,
-            StolenCredential { voter_id: self.voter_id, key: real },
+            StolenCredential {
+                voter_id: self.voter_id,
+                key: real,
+            },
         ))
     }
 
@@ -447,7 +471,10 @@ mod tests {
     use vg_crypto::HmacDrbg;
 
     fn ticket(mac_key: &[u8; 32], voter: VoterId) -> CheckInTicket {
-        CheckInTicket { voter_id: voter, tag: hmac_sha256(mac_key, &checkin_message(voter)) }
+        CheckInTicket {
+            voter_id: voter,
+            tag: hmac_sha256(mac_key, &checkin_message(voter)),
+        }
     }
 
     fn envelope(symbol: Symbol, rng: &mut dyn Rng) -> Envelope {
@@ -471,7 +498,9 @@ mod tests {
             &mut rng,
         );
         assert!(kiosk.begin_session(&ticket(&mac, VoterId(1))).is_ok());
-        assert!(kiosk.begin_session(&ticket(&[0u8; 32], VoterId(1))).is_err());
+        assert!(kiosk
+            .begin_session(&ticket(&[0u8; 32], VoterId(1)))
+            .is_err());
     }
 
     #[test]
@@ -610,7 +639,9 @@ mod tests {
             session.events,
             vec![
                 KioskEvent::SessionStarted,
-                KioskEvent::ScannedEnvelope { symbol: Symbol::Star },
+                KioskEvent::ScannedEnvelope {
+                    symbol: Symbol::Star
+                },
                 KioskEvent::PrintedFullReceipt,
             ]
         );

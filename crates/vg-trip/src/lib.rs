@@ -54,6 +54,8 @@ pub use materials::{
 };
 pub use official::Official;
 pub use printer::EnvelopePrinter;
-pub use protocol::{activate_all, register_voter, register_with_delegation, DelegationOutcome, RegistrationOutcome};
+pub use protocol::{
+    activate_all, register_voter, register_with_delegation, DelegationOutcome, RegistrationOutcome,
+};
 pub use setup::{TripConfig, TripSystem};
 pub use vsd::{ActivatedCredential, Vsd};

@@ -196,7 +196,12 @@ pub struct PaperCredential {
 impl PaperCredential {
     /// Assembles a credential in transport state (Fig 2c).
     pub fn assemble(receipt: Receipt, envelope: Envelope) -> Self {
-        Self { receipt, envelope, state: CredentialState::Transport, marking: None }
+        Self {
+            receipt,
+            envelope,
+            state: CredentialState::Transport,
+            marking: None,
+        }
     }
 
     /// The voter marks the credential with their private convention.
@@ -219,7 +224,9 @@ impl PaperCredential {
         if self.state != CredentialState::Transport {
             return Err(TripError::WrongPhysicalState);
         }
-        Ok(TransportView { checkout: &self.receipt.checkout_qr })
+        Ok(TransportView {
+            checkout: &self.receipt.checkout_qr,
+        })
     }
 
     /// What a scanner sees in activate state.
@@ -402,9 +409,6 @@ mod tests {
 
         let pk = EdwardsPoint::mul_base(&rng.scalar()).compress();
         let (e, r) = (rng.scalar(), rng.scalar());
-        assert_ne!(
-            response_message(&pk, &e, &r),
-            response_message(&pk, &r, &e)
-        );
+        assert_ne!(response_message(&pk, &e, &r), response_message(&pk, &r, &e));
     }
 }

@@ -23,7 +23,10 @@ pub struct Official {
 impl Official {
     /// Creates an official holding the registrar-shared MAC key `s_rk`.
     pub fn new(mac_key: [u8; 32], rng: &mut dyn Rng) -> Self {
-        Self { key: SigningKey::generate(rng), mac_key }
+        Self {
+            key: SigningKey::generate(rng),
+            mac_key,
+        }
     }
 
     /// The official's public key (appears in check-out records).
@@ -33,11 +36,7 @@ impl Official {
 
     /// Check-in (Fig 8): verifies eligibility against the roster and issues
     /// a ticket authorizing one kiosk session.
-    pub fn check_in(
-        &self,
-        ledger: &Ledger,
-        voter_id: VoterId,
-    ) -> Result<CheckInTicket, TripError> {
+    pub fn check_in(&self, ledger: &Ledger, voter_id: VoterId) -> Result<CheckInTicket, TripError> {
         if !ledger.registration.is_eligible(voter_id) {
             return Err(TripError::NotEligible);
         }
@@ -128,7 +127,10 @@ mod tests {
             TripError::BadCheckInTicket
         );
         // A forged ticket for a different voter fails.
-        let forged = CheckInTicket { voter_id: VoterId(2), tag: ticket.tag };
+        let forged = CheckInTicket {
+            voter_id: VoterId(2),
+            tag: ticket.tag,
+        };
         assert!(verify_ticket(&[7u8; 32], &forged).is_err());
     }
 }

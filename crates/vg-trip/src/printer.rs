@@ -26,7 +26,9 @@ pub struct EnvelopePrinter {
 impl EnvelopePrinter {
     /// Creates a printer with a fresh signing key.
     pub fn new(rng: &mut dyn Rng) -> Self {
-        Self { key: SigningKey::generate(rng) }
+        Self {
+            key: SigningKey::generate(rng),
+        }
     }
 
     /// The printer's public key.

@@ -125,7 +125,11 @@ pub fn register_voter(
     let view = believed_real.transport_view()?;
     system.officials[0].check_out(&mut system.ledger, view.checkout, &system.kiosk_registry)?;
 
-    Ok(RegistrationOutcome { believed_real, fakes, events: session.events })
+    Ok(RegistrationOutcome {
+        believed_real,
+        fakes,
+        events: session.events,
+    })
 }
 
 /// Activates every credential from an outcome on a fresh device,
@@ -179,7 +183,10 @@ pub fn register_with_delegation(
     n_fakes: usize,
     rng: &mut dyn Rng,
 ) -> Result<DelegationOutcome, TripError> {
-    assert!(n_fakes >= 1, "delegation needs at least one fake for check-out");
+    assert!(
+        n_fakes >= 1,
+        "delegation needs at least one fake for check-out"
+    );
     let ticket = system.officials[0].check_in(&system.ledger, voter_id)?;
     let kiosk = &system.kiosks[0];
     let mut session = kiosk.begin_session(&ticket)?;
@@ -196,7 +203,10 @@ pub fn register_with_delegation(
     }
     let view = fakes[0].transport_view()?;
     system.officials[0].check_out(&mut system.ledger, view.checkout, &system.kiosk_registry)?;
-    Ok(DelegationOutcome { fakes, events: session.events })
+    Ok(DelegationOutcome {
+        fakes,
+        events: session.events,
+    })
 }
 
 /// Returns `true` if the event trace shows the honest real-credential
@@ -225,8 +235,7 @@ mod tests {
     fn full_registration_and_activation() {
         let mut rng = HmacDrbg::from_u64(1);
         let mut system = TripSystem::setup(TripConfig::with_voters(3), &mut rng);
-        let mut outcome =
-            register_voter(&mut system, VoterId(1), 2, &mut rng).expect("registers");
+        let mut outcome = register_voter(&mut system, VoterId(1), 2, &mut rng).expect("registers");
         assert_eq!(outcome.fakes.len(), 2);
         assert!(trace_shows_honest_real_flow(&outcome.events));
         assert_eq!(system.ledger.registration.active_count(), 1);
@@ -237,11 +246,8 @@ mod tests {
         let tag = vsd.credentials[0].c_pc;
         assert!(vsd.credentials.iter().all(|c| c.c_pc == tag));
         // But have distinct key pairs.
-        let pks: std::collections::HashSet<_> = vsd
-            .credentials
-            .iter()
-            .map(|c| c.public_key())
-            .collect();
+        let pks: std::collections::HashSet<_> =
+            vsd.credentials.iter().map(|c| c.public_key()).collect();
         assert_eq!(pks.len(), 3);
         // Three challenges were revealed on L_E.
         assert_eq!(system.ledger.envelopes.revealed_count(), 3);

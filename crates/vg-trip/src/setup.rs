@@ -10,7 +10,7 @@
 use vg_crypto::dkg::Authority;
 use vg_crypto::drbg::Rng;
 use vg_crypto::CompressedPoint;
-use vg_ledger::{Ledger, VoterId};
+use vg_ledger::{Ledger, LedgerBackend, VoterId};
 
 use crate::kiosk::{Kiosk, KioskBehavior, StolenCredential};
 use crate::materials::Envelope;
@@ -36,6 +36,8 @@ pub struct TripConfig {
     pub envelopes_per_voter: usize,
     /// Minimum envelopes per booth (the security parameter λ_E).
     pub lambda_e: usize,
+    /// Storage backend for the public bulletin board.
+    pub backend: LedgerBackend,
 }
 
 impl Default for TripConfig {
@@ -49,6 +51,7 @@ impl Default for TripConfig {
             threshold: 4,
             envelopes_per_voter: 2,
             lambda_e: 16,
+            backend: LedgerBackend::InMemory,
         }
     }
 }
@@ -56,7 +59,10 @@ impl Default for TripConfig {
 impl TripConfig {
     /// A minimal configuration for `n` voters.
     pub fn with_voters(n: u64) -> Self {
-        Self { n_voters: n, ..Self::default() }
+        Self {
+            n_voters: n,
+            ..Self::default()
+        }
     }
 
     /// The envelope supply n_E > c·|V| + λ_E·|K| (Fig 7 line 5).
@@ -105,7 +111,7 @@ impl TripSystem {
     ) -> Self {
         // Electoral roll V = {1 … n} and empty sub-ledgers.
         let roster: Vec<VoterId> = (1..=config.n_voters).map(VoterId).collect();
-        let mut ledger = Ledger::new(roster, rng);
+        let mut ledger = Ledger::with_backend(roster, config.backend, rng);
 
         // DKG for the authority's collective key (Fig 7 line 2).
         let authority = Authority::dkg(config.n_authority, config.threshold, rng);
@@ -119,8 +125,9 @@ impl TripSystem {
         let kiosks: Vec<Kiosk> = (0..config.n_kiosks)
             .map(|_| Kiosk::new(mac_key, authority.public_key, behavior, rng))
             .collect();
-        let printers: Vec<EnvelopePrinter> =
-            (0..config.n_printers).map(|_| EnvelopePrinter::new(rng)).collect();
+        let printers: Vec<EnvelopePrinter> = (0..config.n_printers)
+            .map(|_| EnvelopePrinter::new(rng))
+            .collect();
 
         // Envelope issuance (Fig 7 line 5), round-robin across printers.
         let supply = config.envelope_supply();

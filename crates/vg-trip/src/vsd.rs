@@ -9,10 +9,10 @@
 //! pass **identical** checks — the VSD cannot tell them apart, by design.
 
 use vg_crypto::chaum_pedersen::{verify_transcript, DlEqStatement, IzkpTranscript};
+use vg_crypto::elgamal::Ciphertext;
 use vg_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
 use vg_crypto::{CompressedPoint, EdwardsPoint, Scalar};
 use vg_ledger::{challenge_hash, EnvelopeCommitment, Ledger, VoterId};
-use vg_crypto::elgamal::Ciphertext;
 
 use crate::error::{ActivationCheck, TripError};
 use crate::materials::{commit_message, response_message, ActivateView, PaperCredential};

@@ -75,11 +75,7 @@ pub struct Ballot {
 }
 
 /// The per-branch statement: "c₂ − m·B = r·A_pk and c₁ = r·B".
-fn branch_statement(
-    authority_pk: &EdwardsPoint,
-    ct: &Ciphertext,
-    option: u32,
-) -> DlEqStatement {
+fn branch_statement(authority_pk: &EdwardsPoint, ct: &Ciphertext, option: u32) -> DlEqStatement {
     let m_point = EdwardsPoint::mul_base(&Scalar::from_u64(option as u64));
     DlEqStatement {
         g1: EdwardsPoint::basepoint(),
@@ -182,7 +178,11 @@ pub fn verify_vote_proof(
     }
     for (opt, (commit, e_m, z_m)) in proof.branches.iter().enumerate() {
         let stmt = branch_statement(authority_pk, ct, opt as u32);
-        let t = IzkpTranscript { commit: *commit, challenge: *e_m, response: *z_m };
+        let t = IzkpTranscript {
+            commit: *commit,
+            challenge: *e_m,
+            response: *z_m,
+        };
         if !verify_transcript(&stmt, &t) {
             return Err(CryptoError::BadProof);
         }
@@ -232,7 +232,11 @@ impl Ballot {
         Ok(Ballot {
             vote_ct,
             vote_proof: VoteProof { branches },
-            issuance: IssuanceTag { kiosk_pk, er_hash, signature },
+            issuance: IssuanceTag {
+                kiosk_pk,
+                er_hash,
+                signature,
+            },
         })
     }
 
@@ -272,6 +276,19 @@ pub fn cast_ballot(
     ledger: &mut Ledger,
     rng: &mut dyn Rng,
 ) -> Result<usize, VotegralError> {
+    let record = build_ballot_record(credential, vote, config, authority_pk, rng)?;
+    ledger.ballots.post(record).map_err(VotegralError::Ledger)
+}
+
+/// Constructs a signed, provable ballot record without posting it —
+/// the per-ballot half of the batch casting pipeline.
+pub fn build_ballot_record(
+    credential: &ActivatedCredential,
+    vote: u32,
+    config: VoteConfig,
+    authority_pk: &EdwardsPoint,
+    rng: &mut dyn Rng,
+) -> Result<BallotRecord, VotegralError> {
     if vote >= config.n_options {
         return Err(VotegralError::VoteOutOfRange);
     }
@@ -300,8 +317,42 @@ pub fn cast_ballot(
     };
     let payload = ballot.to_bytes();
     let signature = credential.key.sign(&BallotRecord::message(&payload));
-    let record = BallotRecord { credential_pk, payload, signature };
-    ledger.ballots.post(record).map_err(VotegralError::Ledger)
+    Ok(BallotRecord {
+        credential_pk,
+        payload,
+        signature,
+    })
+}
+
+/// Casts a batch of ballots: records are built sequentially (consuming
+/// the RNG in exactly the order a loop of [`cast_ballot`] calls would,
+/// so the two paths are bit-for-bit interchangeable), then admitted
+/// through the ledger's batch fast path — parallel signature checks,
+/// parallel leaf hashing, one head re-publication. Returns the posted
+/// indices in input order.
+pub fn cast_ballots(
+    votes: &[(&ActivatedCredential, u32)],
+    config: VoteConfig,
+    authority_pk: &EdwardsPoint,
+    ledger: &mut Ledger,
+    threads: usize,
+    rng: &mut dyn Rng,
+) -> Result<Vec<usize>, VotegralError> {
+    let mut records = Vec::with_capacity(votes.len());
+    for (credential, vote) in votes {
+        records.push(build_ballot_record(
+            credential,
+            *vote,
+            config,
+            authority_pk,
+            rng,
+        )?);
+    }
+    let range = ledger
+        .ballots
+        .post_batch(records, threads)
+        .map_err(VotegralError::Ledger)?;
+    Ok(range.collect())
 }
 
 #[cfg(test)]
@@ -310,11 +361,7 @@ mod tests {
     use vg_crypto::elgamal::encrypt_point_with;
     use vg_crypto::HmacDrbg;
 
-    fn enc_vote(
-        authority_pk: &EdwardsPoint,
-        vote: u32,
-        rng: &mut dyn Rng,
-    ) -> (Ciphertext, Scalar) {
+    fn enc_vote(authority_pk: &EdwardsPoint, vote: u32, rng: &mut dyn Rng) -> (Ciphertext, Scalar) {
         let r = rng.scalar();
         let g_v = EdwardsPoint::mul_base(&Scalar::from_u64(vote as u64));
         (encrypt_point_with(authority_pk, &g_v, &r), r)

@@ -5,8 +5,8 @@
 //! [`crate::ballot`]. The format is versioned and strictly validated on
 //! decode (all points decompressed, all scalars canonical).
 
-use vg_crypto::{CompressedPoint, CryptoError, EdwardsPoint, Scalar};
 use vg_crypto::elgamal::Ciphertext;
+use vg_crypto::{CompressedPoint, CryptoError, EdwardsPoint, Scalar};
 
 /// A cursor over an untrusted byte buffer.
 pub struct Reader<'a> {
@@ -56,7 +56,10 @@ impl<'a> Reader<'a> {
 
     /// Reads a ciphertext (two points).
     pub fn ciphertext(&mut self) -> Result<Ciphertext, CryptoError> {
-        Ok(Ciphertext { c1: self.point()?, c2: self.point()? })
+        Ok(Ciphertext {
+            c1: self.point()?,
+            c2: self.point()?,
+        })
     }
 
     /// Requires that the whole buffer was consumed.

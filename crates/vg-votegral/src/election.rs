@@ -1,40 +1,267 @@
-//! High-level election orchestration: the full Votegral lifecycle.
+//! High-level election orchestration: the full Votegral lifecycle as a
+//! phase-typed session.
 //!
-//! [`Election`] bundles a TRIP registration system with a vote
-//! configuration and exposes the four phases of Fig 3: register (via
-//! `vg-trip`), activate, vote, and tally — plus independent verification.
-//! This is the facade the examples, integration tests and benchmarks use.
+//! An election moves through the phases of Fig 3 — register, vote,
+//! tally — and the type system enforces that order. [`ElectionBuilder`]
+//! produces an [`Election<Registration>`]; consuming transitions move the
+//! session forward:
+//!
+//! ```text
+//! ElectionBuilder::new() … .build(rng)        -> Election<Registration>
+//! Election<Registration>::open_voting()       -> Election<Voting>
+//! Election<Voting>::close()                   -> Election<Tallying>
+//! Election<Tallying>::reopen_voting()         -> Election<Voting>   (next round)
+//! ```
+//!
+//! Out-of-phase operations are compile errors, not latent runtime bugs:
+//!
+//! ```compile_fail
+//! use vg_crypto::HmacDrbg;
+//! use vg_votegral::election::ElectionBuilder;
+//!
+//! let mut rng = HmacDrbg::from_u64(1);
+//! let mut election = ElectionBuilder::new().voters(1).options(2).build(&mut rng);
+//! // ERROR: no `cast` before `.open_voting()` — still in Registration.
+//! let _ = election.cast(unimplemented!(), 0, &mut rng);
+//! ```
+//!
+//! ```compile_fail
+//! use vg_crypto::HmacDrbg;
+//! use vg_votegral::election::ElectionBuilder;
+//!
+//! let mut rng = HmacDrbg::from_u64(1);
+//! let election = ElectionBuilder::new().voters(1).options(2).build(&mut rng);
+//! let mut voting = election.open_voting();
+//! // ERROR: no `register_batch` after `.open_voting()` — registration is closed.
+//! let _ = voting.register_batch(&[], &mut rng);
+//! ```
+//!
+//! ```compile_fail
+//! use vg_crypto::HmacDrbg;
+//! use vg_votegral::election::ElectionBuilder;
+//!
+//! let mut rng = HmacDrbg::from_u64(1);
+//! let election = ElectionBuilder::new().voters(1).options(2).build(&mut rng);
+//! // ERROR: no `tally` before `.open_voting()` and `.close()`.
+//! let _ = election.tally(&mut rng);
+//! ```
+
+use std::marker::PhantomData;
 
 use vg_crypto::drbg::Rng;
-use vg_ledger::VoterId;
+use vg_ledger::{Ledger, LedgerBackend, VoterId};
 use vg_trip::protocol::{activate_all, register_voter, RegistrationOutcome};
 use vg_trip::setup::{TripConfig, TripSystem};
 use vg_trip::vsd::{ActivatedCredential, Vsd};
-use vg_trip::TripError;
 
-use crate::ballot::{cast_ballot, VoteConfig};
+use crate::ballot::{cast_ballot, cast_ballots, VoteConfig};
 use crate::error::VotegralError;
 use crate::tally::{tally, ElectionResult, TallyTranscript};
 use crate::verifier::{verify_tally, PublicAuthority};
 
-/// A complete Votegral election.
-pub struct Election {
+/// Phase marker: voters register and activate credentials.
+pub struct Registration(());
+
+/// Phase marker: ballots are cast.
+pub struct Voting(());
+
+/// Phase marker: tallying and verification.
+pub struct Tallying(());
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::Registration {}
+    impl Sealed for super::Voting {}
+    impl Sealed for super::Tallying {}
+}
+
+/// The lifecycle phases an [`Election`] session can be in.
+pub trait ElectionPhase: sealed::Sealed {}
+
+impl ElectionPhase for Registration {}
+impl ElectionPhase for Voting {}
+impl ElectionPhase for Tallying {}
+
+/// How many fake credentials `register_batch` requests per voter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FakesPolicy {
+    /// Every voter gets the same number of fakes.
+    Fixed(usize),
+    /// Voter `v` gets `v mod m` fakes — a cheap deterministic spread for
+    /// experiments (`m` must be at least 1).
+    Cycling(usize),
+}
+
+impl Default for FakesPolicy {
+    fn default() -> Self {
+        FakesPolicy::Fixed(1)
+    }
+}
+
+impl FakesPolicy {
+    /// Number of fakes for `voter` under this policy.
+    pub fn fakes_for(&self, voter: VoterId) -> usize {
+        match *self {
+            FakesPolicy::Fixed(n) => n,
+            FakesPolicy::Cycling(m) => (voter.0 % m.max(1) as u64) as usize,
+        }
+    }
+}
+
+/// Configures and constructs a phase-typed election session.
+///
+/// ```
+/// use vg_crypto::HmacDrbg;
+/// use vg_ledger::{LedgerBackend, VoterId};
+/// use vg_votegral::election::ElectionBuilder;
+///
+/// let mut rng = HmacDrbg::from_u64(7);
+/// let election = ElectionBuilder::new()
+///     .voters(2)
+///     .options(3)
+///     .backend(LedgerBackend::sharded(4))
+///     .threads(2)
+///     .build(&mut rng);
+/// let sessions = election.trip.config.n_voters;
+/// assert_eq!(sessions, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ElectionBuilder {
+    trip_config: TripConfig,
+    options: u32,
+    mixers: usize,
+    threads: usize,
+    fakes: FakesPolicy,
+}
+
+impl Default for ElectionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ElectionBuilder {
+    /// Starts from the paper's defaults: 8 voters, 2 options, 4 mixers,
+    /// in-memory ledger, single-threaded, one fake per voter.
+    pub fn new() -> Self {
+        Self {
+            trip_config: TripConfig::default(),
+            options: 2,
+            mixers: vg_shuffle::MixCascade::DEFAULT_MIXERS,
+            threads: 1,
+            fakes: FakesPolicy::default(),
+        }
+    }
+
+    /// Number of eligible voters (roster is `1..=n`).
+    pub fn voters(mut self, n: u64) -> Self {
+        self.trip_config.n_voters = n;
+        self
+    }
+
+    /// Number of ballot options.
+    pub fn options(mut self, n: u32) -> Self {
+        self.options = n;
+        self
+    }
+
+    /// Number of mixers in the tally cascades (the paper uses 4).
+    pub fn mixers(mut self, n: usize) -> Self {
+        self.mixers = n.max(1);
+        self
+    }
+
+    /// Ledger storage backend.
+    pub fn backend(mut self, backend: LedgerBackend) -> Self {
+        self.trip_config.backend = backend;
+        self
+    }
+
+    /// Worker threads for batch registration/casting fast paths.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Fake-credential policy for `register_batch`.
+    pub fn fakes(mut self, policy: FakesPolicy) -> Self {
+        self.fakes = policy;
+        self
+    }
+
+    /// Replaces the whole TRIP deployment configuration (keeps any
+    /// voters/backend already set on it).
+    pub fn trip_config(mut self, config: TripConfig) -> Self {
+        self.trip_config = config;
+        self
+    }
+
+    /// Runs TRIP setup (Fig 7) and opens the registration phase.
+    pub fn build(self, rng: &mut dyn Rng) -> Election<Registration> {
+        Election {
+            trip: TripSystem::setup(self.trip_config, rng),
+            vote_config: VoteConfig::new(self.options),
+            mixers: self.mixers,
+            threads: self.threads,
+            fakes: self.fakes,
+            _phase: PhantomData,
+        }
+    }
+
+    /// Like [`ElectionBuilder::build`], but wraps an existing TRIP system
+    /// (for adversarial setups with non-default kiosk behaviour).
+    pub fn build_with_system(self, trip: TripSystem) -> Election<Registration> {
+        Election {
+            trip,
+            vote_config: VoteConfig::new(self.options),
+            mixers: self.mixers,
+            threads: self.threads,
+            fakes: self.fakes,
+            _phase: PhantomData,
+        }
+    }
+}
+
+/// A complete Votegral election in phase `P`.
+///
+/// See the [module docs](self) for the phase diagram. Construct with
+/// [`ElectionBuilder`].
+pub struct Election<P: ElectionPhase = Registration> {
     /// The TRIP registration system (kiosks, officials, ledger, …).
     pub trip: TripSystem,
     /// The ballot option configuration.
     pub vote_config: VoteConfig,
     /// Number of mixers in the tally cascades (the paper uses 4).
     pub mixers: usize,
+    /// Worker threads for batch fast paths.
+    pub threads: usize,
+    /// Fake-credential policy for batch registration.
+    pub fakes: FakesPolicy,
+    _phase: PhantomData<P>,
 }
 
-impl Election {
-    /// Sets up an election with `n_options` ballot choices.
-    pub fn new(trip_config: TripConfig, n_options: u32, rng: &mut dyn Rng) -> Self {
-        Self {
-            trip: TripSystem::setup(trip_config, rng),
-            vote_config: VoteConfig::new(n_options),
-            mixers: vg_shuffle::MixCascade::DEFAULT_MIXERS,
+impl<P: ElectionPhase> Election<P> {
+    /// The public bulletin board.
+    pub fn ledger(&self) -> &Ledger {
+        &self.trip.ledger
+    }
+
+    fn into_phase<Q: ElectionPhase>(self) -> Election<Q> {
+        Election {
+            trip: self.trip,
+            vote_config: self.vote_config,
+            mixers: self.mixers,
+            threads: self.threads,
+            fakes: self.fakes,
+            _phase: PhantomData,
         }
+    }
+}
+
+impl Election<Registration> {
+    /// A builder with the paper's defaults.
+    pub fn builder() -> ElectionBuilder {
+        ElectionBuilder::new()
     }
 
     /// Registers a voter (one real credential plus `n_fakes` fakes) and
@@ -44,12 +271,41 @@ impl Election {
         voter: VoterId,
         n_fakes: usize,
         rng: &mut dyn Rng,
-    ) -> Result<(RegistrationOutcome, Vsd), TripError> {
+    ) -> Result<(RegistrationOutcome, Vsd), VotegralError> {
         let mut outcome = register_voter(&mut self.trip, voter, n_fakes, rng)?;
         let vsd = activate_all(&mut self.trip, &mut outcome, rng)?;
         Ok((outcome, vsd))
     }
 
+    /// Registers and activates a batch of voters, applying the builder's
+    /// fakes policy. Results come back in input order.
+    ///
+    /// Registration is inherently per-person (each voter walks through
+    /// the booth of Fig 1), so the batch is a sequential pipeline over
+    /// the same kiosk pool; the win over calling
+    /// [`Election::register_and_activate`] in a loop is one booth
+    /// restock amortized across the batch and a single call site for
+    /// later async ingestion.
+    pub fn register_batch(
+        &mut self,
+        voters: &[VoterId],
+        rng: &mut dyn Rng,
+    ) -> Result<Vec<(RegistrationOutcome, Vsd)>, VotegralError> {
+        let mut out = Vec::with_capacity(voters.len());
+        for &voter in voters {
+            let n_fakes = self.fakes.fakes_for(voter);
+            out.push(self.register_and_activate(voter, n_fakes, rng)?);
+        }
+        Ok(out)
+    }
+
+    /// Closes registration and opens the voting phase.
+    pub fn open_voting(self) -> Election<Voting> {
+        self.into_phase()
+    }
+}
+
+impl Election<Voting> {
     /// Casts a ballot with any activated credential (real or fake).
     pub fn cast(
         &mut self,
@@ -68,6 +324,34 @@ impl Election {
         )
     }
 
+    /// Casts a batch of ballots through the ledger's batch fast path
+    /// (parallel admission checks and leaf hashing, one signed head for
+    /// the batch). Consumes the RNG exactly as the equivalent sequence
+    /// of [`Election::cast`] calls would, so both paths produce
+    /// bit-identical ledgers.
+    pub fn cast_batch(
+        &mut self,
+        votes: &[(&ActivatedCredential, u32)],
+        rng: &mut dyn Rng,
+    ) -> Result<Vec<usize>, VotegralError> {
+        let apk = self.trip.authority.public_key;
+        cast_ballots(
+            votes,
+            self.vote_config,
+            &apk,
+            &mut self.trip.ledger,
+            self.threads,
+            rng,
+        )
+    }
+
+    /// Closes voting and opens the tally phase.
+    pub fn close(self) -> Election<Tallying> {
+        self.into_phase()
+    }
+}
+
+impl Election<Tallying> {
     /// Runs the tally, producing the publicly verifiable transcript.
     pub fn tally(&self, rng: &mut dyn Rng) -> Result<TallyTranscript, VotegralError> {
         tally(
@@ -90,6 +374,91 @@ impl Election {
             self.mixers,
         )
     }
+
+    /// Opens the next voting round over the same registrations (§3.1:
+    /// credentials are reusable across successive elections).
+    pub fn reopen_voting(self) -> Election<Voting> {
+        self.into_phase()
+    }
+}
+
+/// The seed's phase-free election facade, kept as a thin migration shim.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ElectionBuilder and the phase-typed Election sessions"
+)]
+pub struct LegacyElection {
+    /// The TRIP registration system.
+    pub trip: TripSystem,
+    /// The ballot option configuration.
+    pub vote_config: VoteConfig,
+    /// Number of mixers in the tally cascades.
+    pub mixers: usize,
+}
+
+#[allow(deprecated)]
+impl LegacyElection {
+    /// Sets up an election with `n_options` ballot choices.
+    pub fn new(trip_config: TripConfig, n_options: u32, rng: &mut dyn Rng) -> Self {
+        Self {
+            trip: TripSystem::setup(trip_config, rng),
+            vote_config: VoteConfig::new(n_options),
+            mixers: vg_shuffle::MixCascade::DEFAULT_MIXERS,
+        }
+    }
+
+    /// Registers a voter and activates every credential.
+    pub fn register_and_activate(
+        &mut self,
+        voter: VoterId,
+        n_fakes: usize,
+        rng: &mut dyn Rng,
+    ) -> Result<(RegistrationOutcome, Vsd), VotegralError> {
+        let mut outcome = register_voter(&mut self.trip, voter, n_fakes, rng)?;
+        let vsd = activate_all(&mut self.trip, &mut outcome, rng)?;
+        Ok((outcome, vsd))
+    }
+
+    /// Casts a ballot with any activated credential.
+    pub fn cast(
+        &mut self,
+        credential: &ActivatedCredential,
+        vote: u32,
+        rng: &mut dyn Rng,
+    ) -> Result<usize, VotegralError> {
+        let apk = self.trip.authority.public_key;
+        cast_ballot(
+            credential,
+            vote,
+            self.vote_config,
+            &apk,
+            &mut self.trip.ledger,
+            rng,
+        )
+    }
+
+    /// Runs the tally.
+    pub fn tally(&self, rng: &mut dyn Rng) -> Result<TallyTranscript, VotegralError> {
+        tally(
+            &self.trip.authority,
+            &self.trip.ledger,
+            self.vote_config,
+            &self.trip.kiosk_registry,
+            self.mixers,
+            rng,
+        )
+    }
+
+    /// Independently verifies a tally transcript.
+    pub fn verify(&self, transcript: &TallyTranscript) -> Result<ElectionResult, VotegralError> {
+        verify_tally(
+            transcript,
+            &self.trip.ledger,
+            &PublicAuthority::of(&self.trip.authority),
+            &self.trip.kiosk_registry,
+            self.mixers,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -97,9 +466,12 @@ mod tests {
     use super::*;
     use vg_crypto::HmacDrbg;
 
-    fn small_election(seed: u64, n_voters: u64) -> (Election, HmacDrbg) {
+    fn small_election(seed: u64, n_voters: u64) -> (Election<Registration>, HmacDrbg) {
         let mut rng = HmacDrbg::from_u64(seed);
-        let election = Election::new(TripConfig::with_voters(n_voters), 3, &mut rng);
+        let election = ElectionBuilder::new()
+            .voters(n_voters)
+            .options(3)
+            .build(&mut rng);
         (election, rng)
     }
 
@@ -111,23 +483,107 @@ mod tests {
         let (_, vsd1) = election
             .register_and_activate(VoterId(1), 1, &mut rng)
             .unwrap();
-        election.cast(&vsd1.credentials[0], 2, &mut rng).unwrap(); // real
-        election.cast(&vsd1.credentials[1], 0, &mut rng).unwrap(); // fake
         // Voter 2: no fakes, votes option 1.
         let (_, vsd2) = election
             .register_and_activate(VoterId(2), 0, &mut rng)
             .unwrap();
-        election.cast(&vsd2.credentials[0], 1, &mut rng).unwrap();
 
-        let transcript = election.tally(&mut rng).expect("tally runs");
+        let mut voting = election.open_voting();
+        voting.cast(&vsd1.credentials[0], 2, &mut rng).unwrap(); // real
+        voting.cast(&vsd1.credentials[1], 0, &mut rng).unwrap(); // fake
+        voting.cast(&vsd2.credentials[0], 1, &mut rng).unwrap();
+
+        let tallying = voting.close();
+        let transcript = tallying.tally(&mut rng).expect("tally runs");
         assert_eq!(transcript.result.counts, vec![0, 1, 1]);
         assert_eq!(transcript.result.counted, 2);
         // One fake ballot went unmatched (dummies: none, 3 ballots ≥ 2).
         assert_eq!(transcript.result.unmatched, 1);
 
         // Universal verifiability: an independent verifier agrees.
-        let verified = election.verify(&transcript).expect("verifies");
+        let verified = tallying.verify(&transcript).expect("verifies");
         assert_eq!(verified, transcript.result);
+    }
+
+    #[test]
+    fn register_batch_applies_fakes_policy() {
+        let mut rng = HmacDrbg::from_u64(11);
+        let mut election = ElectionBuilder::new()
+            .voters(3)
+            .options(2)
+            .fakes(FakesPolicy::Cycling(2))
+            .build(&mut rng);
+        let sessions = election
+            .register_batch(&[VoterId(1), VoterId(2), VoterId(3)], &mut rng)
+            .expect("registers");
+        // v mod 2 fakes: voter 1 → 1, voter 2 → 0, voter 3 → 1.
+        assert_eq!(sessions[0].1.credentials.len(), 2);
+        assert_eq!(sessions[1].1.credentials.len(), 1);
+        assert_eq!(sessions[2].1.credentials.len(), 2);
+        assert_eq!(election.trip.ledger.registration.active_count(), 3);
+    }
+
+    #[test]
+    fn cast_batch_matches_sequential_cast() {
+        // The same seeded RNG driven through cast_batch and through a
+        // loop of cast calls yields bit-identical ballot ledgers.
+        let run = |batch: bool| {
+            let (mut election, mut rng) = small_election(21, 2);
+            let sessions = election
+                .register_batch(&[VoterId(1), VoterId(2)], &mut rng)
+                .unwrap();
+            let creds: Vec<&ActivatedCredential> = sessions
+                .iter()
+                .map(|(_, vsd)| &vsd.credentials[0])
+                .collect();
+            let mut voting = election.open_voting();
+            if batch {
+                voting
+                    .cast_batch(&[(creds[0], 2), (creds[1], 1)], &mut rng)
+                    .unwrap();
+            } else {
+                voting.cast(creds[0], 2, &mut rng).unwrap();
+                voting.cast(creds[1], 1, &mut rng).unwrap();
+            }
+            let tallying = voting.close();
+            let transcript = tallying.tally(&mut rng).unwrap();
+            (
+                tallying.ledger().ballots.tree_head().root,
+                transcript.result,
+            )
+        };
+        let (head_seq, result_seq) = run(false);
+        let (head_batch, result_batch) = run(true);
+        assert_eq!(head_seq, head_batch, "identical ballot ledger heads");
+        assert_eq!(result_seq, result_batch, "identical results");
+    }
+
+    #[test]
+    fn sharded_backend_runs_the_full_lifecycle() {
+        let mut rng = HmacDrbg::from_u64(31);
+        let mut election = ElectionBuilder::new()
+            .voters(2)
+            .options(2)
+            .backend(LedgerBackend::sharded(4))
+            .threads(2)
+            .build(&mut rng);
+        assert_eq!(
+            election.ledger().backend(),
+            LedgerBackend::Sharded { shards: 4 }
+        );
+        let sessions = election
+            .register_batch(&[VoterId(1), VoterId(2)], &mut rng)
+            .unwrap();
+        let mut voting = election.open_voting();
+        let votes: Vec<(&ActivatedCredential, u32)> = sessions
+            .iter()
+            .map(|(_, vsd)| (&vsd.credentials[0], 1u32))
+            .collect();
+        voting.cast_batch(&votes, &mut rng).unwrap();
+        let tallying = voting.close();
+        let transcript = tallying.tally(&mut rng).unwrap();
+        assert_eq!(transcript.result.counts, vec![0, 2]);
+        tallying.verify(&transcript).expect("verifies");
     }
 
     #[test]
@@ -136,12 +592,14 @@ mod tests {
         let (_, vsd) = election
             .register_and_activate(VoterId(1), 0, &mut rng)
             .unwrap();
-        election.cast(&vsd.credentials[0], 0, &mut rng).unwrap();
-        election.cast(&vsd.credentials[0], 2, &mut rng).unwrap();
-        let transcript = election.tally(&mut rng).unwrap();
+        let mut voting = election.open_voting();
+        voting.cast(&vsd.credentials[0], 0, &mut rng).unwrap();
+        voting.cast(&vsd.credentials[0], 2, &mut rng).unwrap();
+        let tallying = voting.close();
+        let transcript = tallying.tally(&mut rng).unwrap();
         assert_eq!(transcript.result.counts, vec![0, 0, 1]);
         assert_eq!(transcript.superseded, 1);
-        election.verify(&transcript).expect("verifies");
+        tallying.verify(&transcript).expect("verifies");
     }
 
     #[test]
@@ -152,28 +610,31 @@ mod tests {
         let (_, vsd) = election
             .register_and_activate(VoterId(1), 0, &mut rng)
             .unwrap();
-        election.cast(&vsd.credentials[0], 1, &mut rng).unwrap();
+        let mut voting = election.open_voting();
+        voting.cast(&vsd.credentials[0], 1, &mut rng).unwrap();
 
         // Forge: reuse a real credential's issuance data with a new key.
         let mut forged = vsd.credentials[0].clone();
         forged.key = vg_crypto::schnorr::SigningKey::generate(&mut rng);
-        let err = election.cast(&forged, 1, &mut rng);
+        let err = voting.cast(&forged, 1, &mut rng);
         // The cast succeeds syntactically (ledger accepts the signature)…
         assert!(err.is_ok());
         // …but the tally rejects it: σ_kr does not cover the forged key.
-        let transcript = election.tally(&mut rng).unwrap();
+        let tallying = voting.close();
+        let transcript = tallying.tally(&mut rng).unwrap();
         assert_eq!(transcript.rejected, 1);
         assert_eq!(transcript.result.counted, 1);
-        election.verify(&transcript).expect("verifies");
+        tallying.verify(&transcript).expect("verifies");
     }
 
     #[test]
     fn empty_election_tallies_to_zero() {
         let (election, mut rng) = small_election(4, 2);
-        let transcript = election.tally(&mut rng).unwrap();
+        let tallying = election.open_voting().close();
+        let transcript = tallying.tally(&mut rng).unwrap();
         assert_eq!(transcript.result.counts, vec![0, 0, 0]);
         assert_eq!(transcript.n_ballot_dummies, 2);
-        election.verify(&transcript).expect("verifies");
+        tallying.verify(&transcript).expect("verifies");
     }
 
     #[test]
@@ -182,12 +643,14 @@ mod tests {
         let (_, vsd) = election
             .register_and_activate(VoterId(1), 0, &mut rng)
             .unwrap();
-        election.cast(&vsd.credentials[0], 0, &mut rng).unwrap();
-        let mut transcript = election.tally(&mut rng).unwrap();
+        let mut voting = election.open_voting();
+        voting.cast(&vsd.credentials[0], 0, &mut rng).unwrap();
+        let tallying = voting.close();
+        let mut transcript = tallying.tally(&mut rng).unwrap();
         // Claim a different count.
         transcript.result.counts[0] = 0;
         transcript.result.counts[1] = 1;
-        assert!(election.verify(&transcript).is_err());
+        assert!(tallying.verify(&transcript).is_err());
     }
 
     #[test]
@@ -198,13 +661,29 @@ mod tests {
         let (_, vsd) = election
             .register_and_activate(VoterId(1), 0, &mut rng)
             .unwrap();
-        election.cast(&vsd.credentials[0], 0, &mut rng).unwrap();
-        let mut transcript = election.tally(&mut rng).unwrap();
+        let mut voting = election.open_voting();
+        voting.cast(&vsd.credentials[0], 0, &mut rng).unwrap();
+        let tallying = voting.close();
+        let mut transcript = tallying.tally(&mut rng).unwrap();
         // Tamper with a padding dummy on the ballot side (there is one,
         // because a single ballot is padded to two).
         assert_eq!(transcript.n_ballot_dummies, 1);
         let last = transcript.ballot_pair_inputs.len() - 1;
         transcript.ballot_pair_inputs[last].1 = transcript.ballot_pair_inputs[0].1;
-        assert!(election.verify(&transcript).is_err());
+        assert!(tallying.verify(&transcript).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_still_runs_end_to_end() {
+        let mut rng = HmacDrbg::from_u64(42);
+        let mut election = LegacyElection::new(TripConfig::with_voters(2), 2, &mut rng);
+        let (_, vsd) = election
+            .register_and_activate(VoterId(1), 0, &mut rng)
+            .unwrap();
+        election.cast(&vsd.credentials[0], 1, &mut rng).unwrap();
+        let transcript = election.tally(&mut rng).unwrap();
+        assert_eq!(transcript.result.counts, vec![0, 1]);
+        election.verify(&transcript).expect("verifies");
     }
 }

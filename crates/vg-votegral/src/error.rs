@@ -2,6 +2,7 @@
 
 use vg_crypto::CryptoError;
 use vg_ledger::LedgerError;
+use vg_trip::TripError;
 
 /// Errors raised by ballot casting, tallying and verification.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,6 +15,8 @@ pub enum VotegralError {
     Crypto(CryptoError),
     /// A ledger operation failed.
     Ledger(LedgerError),
+    /// A TRIP registration-protocol step failed.
+    Trip(TripError),
     /// The tally transcript failed verification at a named stage.
     Verification(VerifyStage),
     /// The tally had nothing to count.
@@ -51,6 +54,7 @@ impl core::fmt::Display for VotegralError {
             VotegralError::UnknownKiosk => write!(f, "kiosk not authorized"),
             VotegralError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
             VotegralError::Ledger(e) => write!(f, "ledger failure: {e}"),
+            VotegralError::Trip(e) => write!(f, "registration failure: {e}"),
             VotegralError::Verification(stage) => {
                 write!(f, "tally verification failed at stage {stage:?}")
             }
@@ -70,5 +74,11 @@ impl From<CryptoError> for VotegralError {
 impl From<LedgerError> for VotegralError {
     fn from(e: LedgerError) -> Self {
         VotegralError::Ledger(e)
+    }
+}
+
+impl From<TripError> for VotegralError {
+    fn from(e: TripError) -> Self {
+        VotegralError::Trip(e)
     }
 }

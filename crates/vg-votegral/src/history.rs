@@ -91,10 +91,7 @@ pub struct OwnershipProof {
 /// Proves ownership of a credential to the authority (Appendix C.1:
 /// "the voter's device proves ownership of the credential to each
 /// election authority member").
-pub fn prove_ownership(
-    credential: &ActivatedCredential,
-    rng: &mut dyn Rng,
-) -> OwnershipProof {
+pub fn prove_ownership(credential: &ActivatedCredential, rng: &mut dyn Rng) -> OwnershipProof {
     let pk = credential.public_key();
     let pk_point = pk.decompress().expect("own key decompresses");
     let proof = prove_dlog(
@@ -104,7 +101,10 @@ pub fn prove_ownership(
         &credential.key.secret(),
         rng,
     );
-    OwnershipProof { credential_pk: pk, proof }
+    OwnershipProof {
+        credential_pk: pk,
+        proof,
+    }
 }
 
 /// Authority-side check of an ownership proof.
@@ -162,8 +162,10 @@ mod tests {
 
     fn setup() -> (crate::election::Election, ActivatedCredential, HmacDrbg) {
         let mut rng = HmacDrbg::from_u64(1);
-        let mut election =
-            crate::election::Election::new(TripConfig::with_voters(2), 3, &mut rng);
+        let mut election = crate::election::ElectionBuilder::new()
+            .trip_config(TripConfig::with_voters(2))
+            .options(3)
+            .build(&mut rng);
         let (_, vsd) = election
             .register_and_activate(VoterId(1), 0, &mut rng)
             .unwrap();
@@ -227,7 +229,11 @@ mod tests {
             .iter()
             .map(|&v| {
                 let r = rng.scalar();
-                encrypt_point_with(&apk, &EdwardsPoint::mul_base(&Scalar::from_u64(v as u64)), &r)
+                encrypt_point_with(
+                    &apk,
+                    &EdwardsPoint::mul_base(&Scalar::from_u64(v as u64)),
+                    &r,
+                )
             })
             .collect();
         let ownership = prove_ownership(&cred, &mut rng);

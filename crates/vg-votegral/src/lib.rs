@@ -23,10 +23,14 @@ pub mod tally;
 pub mod transfer;
 pub mod verifier;
 
-pub use ballot::{cast_ballot, Ballot, IssuanceTag, VoteConfig, VoteProof};
-pub use history::{prove_ownership, recover_votes, VotingHistory};
-pub use transfer::{transfer_credential, TransferCertificate, TransferredCredential};
-pub use election::Election;
+pub use ballot::{
+    build_ballot_record, cast_ballot, cast_ballots, Ballot, IssuanceTag, VoteConfig, VoteProof,
+};
+pub use election::{
+    Election, ElectionBuilder, ElectionPhase, FakesPolicy, Registration, Tallying, Voting,
+};
 pub use error::{VerifyStage, VotegralError};
+pub use history::{prove_ownership, recover_votes, VotingHistory};
 pub use tally::{tally, AcceptedBallot, ElectionResult, TallyTranscript, VectorOpening};
+pub use transfer::{transfer_credential, TransferCertificate, TransferredCredential};
 pub use verifier::{verify_tally, PublicAuthority};

@@ -26,7 +26,10 @@ impl TaggingKey {
     /// Samples a fresh tagging exponent.
     pub fn generate(rng: &mut dyn Rng) -> Self {
         let secret = rng.scalar();
-        Self { secret, commitment: EdwardsPoint::mul_base(&secret) }
+        Self {
+            secret,
+            commitment: EdwardsPoint::mul_base(&secret),
+        }
     }
 
     /// Applies the exponent to every ciphertext, producing a verifiable
@@ -51,7 +54,11 @@ impl TaggingKey {
             outputs.push(out);
             proofs.push([p1, p2]);
         }
-        TaggingRound { commitment: self.commitment, outputs, proofs }
+        TaggingRound {
+            commitment: self.commitment,
+            outputs,
+            proofs,
+        }
     }
 }
 
@@ -195,7 +202,7 @@ mod tests {
         ];
         let key = TaggingKey::generate(&mut rng);
         let mut round = key.apply(&cts, &mut rng);
-        round.outputs[0].c1 = round.outputs[0].c1 + EdwardsPoint::basepoint();
+        round.outputs[0].c1 += EdwardsPoint::basepoint();
         assert!(round.verify(&cts).is_err());
     }
 

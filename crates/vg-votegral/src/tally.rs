@@ -163,7 +163,10 @@ fn admit_one(
     ballot
         .verify_issuance(&record.credential_pk, kiosk_registry)
         .ok()?;
-    Some(AcceptedBallot { credential_pk: record.credential_pk, ballot })
+    Some(AcceptedBallot {
+        credential_pk: record.credential_pk,
+        ballot,
+    })
 }
 
 /// Derives the registration-tag inputs: active records in roster order.
@@ -191,8 +194,7 @@ fn open_vector(
             .iter()
             .map(|m| m.decryption_share(ct, rng))
             .collect();
-        let plain = combine_shares(ct, &item_shares, authority.t)
-            .map_err(VotegralError::Crypto)?;
+        let plain = combine_shares(ct, &item_shares, authority.t).map_err(VotegralError::Crypto)?;
         shares.push(item_shares);
         plaintexts.push(plain);
     }
@@ -223,7 +225,10 @@ pub fn tally(
                 .expect("admitted keys decompress");
             (
                 ab.ballot.vote_ct,
-                Ciphertext { c1: EdwardsPoint::IDENTITY, c2: pk_point },
+                Ciphertext {
+                    c1: EdwardsPoint::IDENTITY,
+                    c2: pk_point,
+                },
             )
         })
         .collect();
@@ -251,8 +256,7 @@ pub fn tally(
     let tagging_keys: Vec<TaggingKey> = (0..authority.n)
         .map(|_| TaggingKey::generate(rng))
         .collect();
-    let tag_commitments: Vec<EdwardsPoint> =
-        tagging_keys.iter().map(|k| k.commitment).collect();
+    let tag_commitments: Vec<EdwardsPoint> = tagging_keys.iter().map(|k| k.commitment).collect();
     let mixed_keys: Vec<Ciphertext> = ballot_mix.outputs().iter().map(|p| p.1).collect();
     let reg_tagging = apply_cascade(&tagging_keys, reg_mix.outputs(), rng);
     let ballot_tagging = apply_cascade(&tagging_keys, &mixed_keys, rng);
@@ -320,10 +324,7 @@ pub fn tally(
 /// The identity element never matches: padding dummies on both sides blind
 /// to the identity (s·0 = 0), while genuine credential keys cannot be the
 /// identity because small-order keys are rejected at ballot admission.
-pub fn match_tags(
-    blinded_tags: &[EdwardsPoint],
-    blinded_keys: &[EdwardsPoint],
-) -> Vec<usize> {
+pub fn match_tags(blinded_tags: &[EdwardsPoint], blinded_keys: &[EdwardsPoint]) -> Vec<usize> {
     let identity = EdwardsPoint::IDENTITY.compress();
     let mut available: HashMap<CompressedPoint, u32> = HashMap::new();
     for t in blinded_tags {

@@ -84,7 +84,12 @@ pub fn transfer_credential(
     ));
     TransferredCredential {
         device_key,
-        certificate: TransferCertificate { original_pk, new_pk, generation, signature },
+        certificate: TransferCertificate {
+            original_pk,
+            new_pk,
+            generation,
+            signature,
+        },
         original: credential.clone(),
     }
 }
@@ -118,8 +123,10 @@ mod tests {
 
     fn credential() -> (ActivatedCredential, HmacDrbg) {
         let mut rng = HmacDrbg::from_u64(1);
-        let mut election =
-            crate::election::Election::new(TripConfig::with_voters(1), 2, &mut rng);
+        let mut election = crate::election::ElectionBuilder::new()
+            .trip_config(TripConfig::with_voters(1))
+            .options(2)
+            .build(&mut rng);
         let (_, vsd) = election
             .register_and_activate(VoterId(1), 0, &mut rng)
             .unwrap();

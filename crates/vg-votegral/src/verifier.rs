@@ -16,8 +16,8 @@ use vg_shuffle::MixCascade;
 use crate::error::{VerifyStage, VotegralError};
 use crate::tagging::verify_cascade;
 use crate::tally::{
-    admit_ballots, count_votes, dummy_ciphertext, match_tags, registration_inputs,
-    ElectionResult, TallyTranscript, VectorOpening,
+    admit_ballots, count_votes, dummy_ciphertext, match_tags, registration_inputs, ElectionResult,
+    TallyTranscript, VectorOpening,
 };
 
 /// The authority's public material, sufficient for verification.
@@ -123,8 +123,12 @@ pub fn verify_tally(
     }
 
     // Stage 3: tagging cascades share the same member commitments.
-    let mixed_keys: Vec<Ciphertext> =
-        transcript.ballot_mix.outputs().iter().map(|p| p.1).collect();
+    let mixed_keys: Vec<Ciphertext> = transcript
+        .ballot_mix
+        .outputs()
+        .iter()
+        .map(|p| p.1)
+        .collect();
     let tagged_regs = verify_cascade(
         transcript.reg_mix.outputs(),
         &transcript.reg_tagging,

@@ -8,14 +8,13 @@ use votegral::crypto::HmacDrbg;
 use votegral::ledger::VoterId;
 use votegral::sim::coercion;
 use votegral::sim::FakeCredentialDist;
-use votegral::trip::TripConfig;
-use votegral::votegral::Election;
+use votegral::votegral::ElectionBuilder;
 
 fn main() {
     let mut rng = HmacDrbg::from_u64(7);
 
     println!("== Coerced voter scenario ==");
-    let mut election = Election::new(TripConfig::with_voters(4), 2, &mut rng);
+    let mut election = ElectionBuilder::new().voters(4).options(2).build(&mut rng);
 
     // Alice is coerced: the coercer demands "your credential" and orders a
     // vote for option 0. Alice creates an extra fake in the booth.
@@ -26,6 +25,15 @@ fn main() {
     let real = &alice.credentials[0];
     let fake = &alice.credentials[1];
 
+    // Honest bystanders register too (statistical noise, D_c / D_v).
+    let mut bystanders = Vec::new();
+    for v in 2..=4u64 {
+        let (_, vsd) = election
+            .register_and_activate(VoterId(v), 1, &mut rng)
+            .expect("registers");
+        bystanders.push((v, vsd));
+    }
+
     // The coercer inspects the handed-over credential: every check a
     // device can run passes — it activated like any credential.
     println!("Coercer inspects the fake credential:");
@@ -35,25 +43,26 @@ fn main() {
         coercion::credentials_structurally_indistinguishable(&mut rng)
     );
 
+    // Registration closes; voting opens.
+    let mut voting = election.open_voting();
+
     // The coercer casts the demanded vote with the fake credential.
     println!("Coercer casts the demanded vote (option 0) with the fake…");
-    election.cast(fake, 0, &mut rng).unwrap();
+    voting.cast(fake, 0, &mut rng).unwrap();
 
     // Alice secretly casts her real vote for option 1.
     println!("Alice secretly casts her real vote (option 1)…");
-    election.cast(real, 1, &mut rng).unwrap();
+    voting.cast(real, 1, &mut rng).unwrap();
 
-    // Honest bystanders add statistical noise (the distributions D_c, D_v).
-    for v in 2..=4u64 {
-        let (_, vsd) = election
-            .register_and_activate(VoterId(v), 1, &mut rng)
-            .expect("registers");
+    // The bystanders vote.
+    for (v, vsd) in &bystanders {
         let choice = (v % 2) as u32;
-        election.cast(&vsd.credentials[0], choice, &mut rng).unwrap();
+        voting.cast(&vsd.credentials[0], choice, &mut rng).unwrap();
     }
 
-    let transcript = election.tally(&mut rng).expect("tally");
-    election.verify(&transcript).expect("verifies");
+    let tallying = voting.close();
+    let transcript = tallying.tally(&mut rng).expect("tally");
+    tallying.verify(&transcript).expect("verifies");
     println!("Final counts: {:?}", transcript.result.counts);
     println!(
         "Fake-credential ballots silently discarded: {}",

@@ -24,8 +24,8 @@ fn main() {
     );
 
     for v in 1..=3u64 {
-        let outcome = register_voter(&mut system, VoterId(v), 1, &mut rng)
-            .expect("session completes");
+        let outcome =
+            register_voter(&mut system, VoterId(v), 1, &mut rng).expect("session completes");
         let honest_order = trace_shows_honest_real_flow(&outcome.events);
         println!("Voter {v} booth event trace:");
         for e in &outcome.events {
@@ -33,11 +33,18 @@ fn main() {
         }
         println!(
             "  trained-voter check (commit printed before envelope?): {}",
-            if honest_order { "OK" } else { "VIOLATION — reportable" }
+            if honest_order {
+                "OK"
+            } else {
+                "VIOLATION — reportable"
+            }
         );
     }
 
-    println!("\nCredentials stolen by the kiosk: {}", system.adversary_loot.len());
+    println!(
+        "\nCredentials stolen by the kiosk: {}",
+        system.adversary_loot.len()
+    );
     println!("(Each is a real credential whose votes would count — if undetected.)\n");
 
     println!("Detection economics (§7.5):");

@@ -1,11 +1,11 @@
-//! Quickstart: a two-voter election end to end.
+//! Quickstart: a two-voter election end to end through the phase-typed
+//! session API.
 //!
 //! Run with: `cargo run --example quickstart --release`
 
 use votegral::crypto::{HmacDrbg, OsRng, Rng};
 use votegral::ledger::VoterId;
-use votegral::trip::TripConfig;
-use votegral::votegral::Election;
+use votegral::votegral::ElectionBuilder;
 
 fn main() {
     // Deterministic RNG for a reproducible demo; swap for OsRng in
@@ -19,7 +19,7 @@ fn main() {
 
     println!("== Votegral quickstart ==");
     println!("Setting up an election: 2 voters, 3 ballot options…");
-    let mut election = Election::new(TripConfig::with_voters(2), 3, rng);
+    let mut election = ElectionBuilder::new().voters(2).options(3).build(rng);
 
     // Voter 1 registers in person, creating one real + one fake credential.
     println!("Voter 1 registers (1 real + 1 fake credential)…");
@@ -28,7 +28,11 @@ fn main() {
         .expect("registration succeeds");
     println!(
         "  booth events: {:?}",
-        outcome.events.iter().map(|e| format!("{e:?}")).collect::<Vec<_>>()
+        outcome
+            .events
+            .iter()
+            .map(|e| format!("{e:?}"))
+            .collect::<Vec<_>>()
     );
     println!("  activated credentials: {}", vsd1.credentials.len());
 
@@ -38,23 +42,31 @@ fn main() {
         .register_and_activate(VoterId(2), 0, rng)
         .expect("registration succeeds");
 
+    // Registration closes; the session moves to the voting phase (from
+    // here on, `register_and_activate` is a compile error).
+    let mut voting = election.open_voting();
+
     // Votes: voter 1 really wants option 2 but is coerced toward 0;
     // they cast the real vote secretly and hand the coercer a fake.
     println!("Voter 1 casts real vote for option 2, fake (coerced) vote for option 0.");
-    election.cast(&vsd1.credentials[0], 2, rng).unwrap();
-    election.cast(&vsd1.credentials[1], 0, rng).unwrap();
+    voting.cast(&vsd1.credentials[0], 2, rng).unwrap();
+    voting.cast(&vsd1.credentials[1], 0, rng).unwrap();
     println!("Voter 2 casts vote for option 1.");
-    election.cast(&vsd2.credentials[0], 1, rng).unwrap();
+    voting.cast(&vsd2.credentials[0], 1, rng).unwrap();
 
-    // Tally and verify.
+    // Voting closes; the session moves to the tally phase.
+    let tallying = voting.close();
     println!("Tallying (4-mixer cascades, deterministic tagging, threshold decryption)…");
-    let transcript = election.tally(rng).expect("tally runs");
+    let transcript = tallying.tally(rng).expect("tally runs");
     println!("  counts: {:?}", transcript.result.counts);
     println!("  counted: {}", transcript.result.counted);
-    println!("  unmatched (fake-credential ballots): {}", transcript.result.unmatched);
+    println!(
+        "  unmatched (fake-credential ballots): {}",
+        transcript.result.unmatched
+    );
 
     print!("Independent verification of the full transcript… ");
-    election.verify(&transcript).expect("verifies");
+    tallying.verify(&transcript).expect("verifies");
     println!("OK");
 
     assert_eq!(transcript.result.counts, vec![0, 1, 1]);

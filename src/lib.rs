@@ -20,28 +20,41 @@
 //!
 //! # Quickstart
 //!
+//! An election is a *phase-typed session*: [`votegral::ElectionBuilder`]
+//! opens the registration phase, and consuming transitions
+//! (`open_voting`, `close`) move it through voting into tallying.
+//! Calling a phase's methods out of order is a compile error, not a
+//! runtime bug.
+//!
 //! ```
 //! use votegral::crypto::HmacDrbg;
-//! use votegral::ledger::VoterId;
-//! use votegral::trip::{TripConfig};
-//! use votegral::votegral::Election;
+//! use votegral::ledger::{LedgerBackend, VoterId};
+//! use votegral::votegral::ElectionBuilder;
 //!
 //! let mut rng = HmacDrbg::from_u64(42);
-//! let mut election = Election::new(TripConfig::with_voters(2), 2, &mut rng);
+//! let mut election = ElectionBuilder::new()
+//!     .voters(2)
+//!     .options(2)
+//!     .backend(LedgerBackend::sharded(4)) // or LedgerBackend::InMemory
+//!     .build(&mut rng);
 //!
-//! // Register with one fake credential; activate both on a device.
+//! // Registration phase: one fake credential; activate both on a device.
 //! let (_, vsd) = election
 //!     .register_and_activate(VoterId(1), 1, &mut rng)
 //!     .unwrap();
 //!
-//! // Real vote for option 1; coerced (fake) vote for option 0.
-//! election.cast(&vsd.credentials[0], 1, &mut rng).unwrap();
-//! election.cast(&vsd.credentials[1], 0, &mut rng).unwrap();
+//! // Voting phase: real vote for option 1; coerced (fake) vote for 0.
+//! // Batches go through the ledger's parallel admission fast path.
+//! let mut voting = election.open_voting();
+//! voting
+//!     .cast_batch(&[(&vsd.credentials[0], 1), (&vsd.credentials[1], 0)], &mut rng)
+//!     .unwrap();
 //!
-//! // Only the real vote counts, and anyone can verify the transcript.
-//! let transcript = election.tally(&mut rng).unwrap();
+//! // Tally phase: only the real vote counts, and anyone can verify.
+//! let tallying = voting.close();
+//! let transcript = tallying.tally(&mut rng).unwrap();
 //! assert_eq!(transcript.result.counts, vec![0, 1]);
-//! election.verify(&transcript).unwrap();
+//! tallying.verify(&transcript).unwrap();
 //! ```
 
 pub use vg_baselines as baselines;

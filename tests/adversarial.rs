@@ -3,12 +3,12 @@
 //! impersonation, and coercion-resistance structure.
 
 use votegral::crypto::chaum_pedersen::{verify_transcript, DlEqStatement, IzkpTranscript};
-use votegral::crypto::{EdwardsPoint, HmacDrbg, Rng};
+use votegral::crypto::{EdwardsPoint, HmacDrbg};
 use votegral::ledger::VoterId;
 use votegral::sim::coercion::credentials_structurally_indistinguishable;
 use votegral::trip::protocol::{activate_all, register_voter, trace_shows_honest_real_flow};
 use votegral::trip::{ActivationCheck, KioskBehavior, TripConfig, TripError, TripSystem};
-use votegral::votegral::Election;
+use votegral::votegral::ElectionBuilder;
 
 #[test]
 fn stolen_credential_lets_adversary_vote_as_victim() {
@@ -23,28 +23,28 @@ fn stolen_credential_lets_adversary_vote_as_victim() {
             KioskBehavior::StealsRealCredential,
             &mut rng,
         );
-        let mut e = Election::new(TripConfig::with_voters(2), 2, &mut rng);
-        e.trip = trip;
-        e
+        ElectionBuilder::new().options(2).build_with_system(trip)
     };
 
     let mut outcome = register_voter(&mut election.trip, VoterId(1), 0, &mut rng).unwrap();
     assert!(!trace_shows_honest_real_flow(&outcome.events));
     let victim_vsd = activate_all(&mut election.trip, &mut outcome, &mut rng).unwrap();
 
+    let mut voting = election.open_voting();
     // The victim votes with what they believe is real.
-    election
+    voting
         .cast(&victim_vsd.credentials[0], 0, &mut rng)
         .unwrap();
 
     // The adversary votes with the stolen real credential. It has no σ_kr
     // receipt (that went to the victim's fake), so the adversary forges a
     // ballot the same way an outsider would — and admission rejects it…
-    let stolen = election.trip.adversary_loot[0].key.clone();
+    let stolen = voting.trip.adversary_loot[0].key.clone();
     let mut forged = victim_vsd.credentials[0].clone();
     forged.key = stolen;
-    election.cast(&forged, 1, &mut rng).unwrap();
+    voting.cast(&forged, 1, &mut rng).unwrap();
 
+    let election = voting.close();
     let transcript = election.tally(&mut rng).unwrap();
     // …so neither ballot counts: the victim's is fake (unmatched), the
     // adversary's lacks issuance evidence (rejected). The attack silences

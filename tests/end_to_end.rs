@@ -1,11 +1,11 @@
 //! End-to-end integration tests spanning every crate: full elections with
-//! coercion scenarios, adversarial tampering, and universal verification.
+//! coercion scenarios, adversarial tampering, and universal verification,
+//! all driven through the phase-typed session API.
 
-use votegral::crypto::{HmacDrbg, Rng};
+use votegral::crypto::HmacDrbg;
 use votegral::ledger::VoterId;
 use votegral::sim::{FakeCredentialDist, VoteDist};
-use votegral::trip::TripConfig;
-use votegral::votegral::{Election, VotegralError};
+use votegral::votegral::{ElectionBuilder, VotegralError};
 
 #[test]
 fn population_election_matches_ground_truth() {
@@ -15,31 +15,43 @@ fn population_election_matches_ground_truth() {
     let mut rng = HmacDrbg::from_u64(100);
     let n_voters = 8u64;
     let n_options = 3u32;
-    let mut election = Election::new(TripConfig::with_voters(n_voters), n_options, &mut rng);
+    let mut election = ElectionBuilder::new()
+        .voters(n_voters)
+        .options(n_options)
+        .build(&mut rng);
     let d_c = FakeCredentialDist::default();
     let d_v = VoteDist::uniform(n_options);
 
-    let mut expected = vec![0u64; n_options as usize];
-    let mut fake_ballots = 0usize;
+    // Registration phase: every voter registers with sampled fakes.
+    let mut devices = Vec::new();
     for v in 1..=n_voters {
         let n_fakes = d_c.sample(&mut rng);
         let (_, vsd) = election
             .register_and_activate(VoterId(v), n_fakes, &mut rng)
             .expect("registration");
+        devices.push(vsd);
+    }
+
+    // Voting phase: one real vote each plus a decoy per fake credential.
+    let mut voting = election.open_voting();
+    let mut expected = vec![0u64; n_options as usize];
+    let mut fake_ballots = 0usize;
+    for vsd in &devices {
         let vote = d_v.sample(&mut rng);
         expected[vote as usize] += 1;
-        election.cast(&vsd.credentials[0], vote, &mut rng).unwrap();
+        voting.cast(&vsd.credentials[0], vote, &mut rng).unwrap();
         for fake in &vsd.credentials[1..] {
-            election.cast(fake, d_v.sample(&mut rng), &mut rng).unwrap();
+            voting.cast(fake, d_v.sample(&mut rng), &mut rng).unwrap();
             fake_ballots += 1;
         }
     }
 
-    let transcript = election.tally(&mut rng).expect("tally");
+    let tallying = voting.close();
+    let transcript = tallying.tally(&mut rng).expect("tally");
     assert_eq!(transcript.result.counts, expected);
     assert_eq!(transcript.result.counted as u64, n_voters);
     assert_eq!(transcript.result.unmatched, fake_ballots);
-    let verified = election.verify(&transcript).expect("verifies");
+    let verified = tallying.verify(&transcript).expect("verifies");
     assert_eq!(verified, transcript.result);
 }
 
@@ -48,18 +60,20 @@ fn coerced_voter_outcome_preserved() {
     // The canonical coercion story: the coercer votes with Alice's fake
     // credential; Alice's secret real vote is the one that counts.
     let mut rng = HmacDrbg::from_u64(101);
-    let mut election = Election::new(TripConfig::with_voters(2), 2, &mut rng);
+    let mut election = ElectionBuilder::new().voters(2).options(2).build(&mut rng);
     let (_, alice) = election
         .register_and_activate(VoterId(1), 1, &mut rng)
         .unwrap();
+    let mut voting = election.open_voting();
     // Coercer's demanded vote (option 0) with the fake.
-    election.cast(&alice.credentials[1], 0, &mut rng).unwrap();
+    voting.cast(&alice.credentials[1], 0, &mut rng).unwrap();
     // Alice's secret real vote (option 1).
-    election.cast(&alice.credentials[0], 1, &mut rng).unwrap();
+    voting.cast(&alice.credentials[0], 1, &mut rng).unwrap();
 
-    let transcript = election.tally(&mut rng).unwrap();
+    let tallying = voting.close();
+    let transcript = tallying.tally(&mut rng).unwrap();
     assert_eq!(transcript.result.counts, vec![0, 1]);
-    election.verify(&transcript).unwrap();
+    tallying.verify(&transcript).unwrap();
 }
 
 #[test]
@@ -68,16 +82,18 @@ fn abstention_under_coercion() {
     // coercer cannot tell whether the voter voted (the paper's coercion
     // goal covers forced abstention).
     let mut rng = HmacDrbg::from_u64(102);
-    let mut election = Election::new(TripConfig::with_voters(2), 2, &mut rng);
+    let mut election = ElectionBuilder::new().voters(2).options(2).build(&mut rng);
     let (_, alice) = election
         .register_and_activate(VoterId(1), 1, &mut rng)
         .unwrap();
     // Alice claims to abstain (hands over the fake, casts nothing with it)
     // but secretly votes.
-    election.cast(&alice.credentials[0], 1, &mut rng).unwrap();
-    let transcript = election.tally(&mut rng).unwrap();
+    let mut voting = election.open_voting();
+    voting.cast(&alice.credentials[0], 1, &mut rng).unwrap();
+    let tallying = voting.close();
+    let transcript = tallying.tally(&mut rng).unwrap();
     assert_eq!(transcript.result.counts, vec![0, 1]);
-    election.verify(&transcript).unwrap();
+    tallying.verify(&transcript).unwrap();
 }
 
 #[test]
@@ -86,32 +102,40 @@ fn ballot_stuffing_by_outsider_rejected() {
     // kiosk) cannot get a ballot counted: the issuance signature check
     // rejects it at admission, so it never reaches the mix.
     let mut rng = HmacDrbg::from_u64(103);
-    let mut election = Election::new(TripConfig::with_voters(2), 2, &mut rng);
+    let mut election = ElectionBuilder::new().voters(2).options(2).build(&mut rng);
     let (_, alice) = election
         .register_and_activate(VoterId(1), 0, &mut rng)
         .unwrap();
-    election.cast(&alice.credentials[0], 0, &mut rng).unwrap();
+    let mut voting = election.open_voting();
+    voting.cast(&alice.credentials[0], 0, &mut rng).unwrap();
 
     // The outsider clones Alice's credential struct but swaps the key.
     let mut forged = alice.credentials[0].clone();
     forged.key = votegral::crypto::schnorr::SigningKey::generate(&mut rng);
-    election.cast(&forged, 1, &mut rng).expect("ledger admits syntactically");
+    voting
+        .cast(&forged, 1, &mut rng)
+        .expect("ledger admits syntactically");
 
-    let transcript = election.tally(&mut rng).unwrap();
-    assert_eq!(transcript.rejected, 1, "forged ballot rejected at admission");
+    let tallying = voting.close();
+    let transcript = tallying.tally(&mut rng).unwrap();
+    assert_eq!(
+        transcript.rejected, 1,
+        "forged ballot rejected at admission"
+    );
     assert_eq!(transcript.result.counts, vec![1, 0]);
-    election.verify(&transcript).unwrap();
+    tallying.verify(&transcript).unwrap();
 }
 
 #[test]
 fn vote_out_of_range_rejected_at_cast() {
     let mut rng = HmacDrbg::from_u64(104);
-    let mut election = Election::new(TripConfig::with_voters(2), 2, &mut rng);
+    let mut election = ElectionBuilder::new().voters(2).options(2).build(&mut rng);
     let (_, vsd) = election
         .register_and_activate(VoterId(1), 0, &mut rng)
         .unwrap();
+    let mut voting = election.open_voting();
     assert_eq!(
-        election.cast(&vsd.credentials[0], 5, &mut rng),
+        voting.cast(&vsd.credentials[0], 5, &mut rng),
         Err(VotegralError::VoteOutOfRange)
     );
 }
@@ -121,56 +145,63 @@ fn every_tamper_point_is_caught() {
     // Mutate each major transcript section and confirm the verifier
     // pinpoints a failure (universal verifiability end to end).
     let mut rng = HmacDrbg::from_u64(105);
-    let mut election = Election::new(TripConfig::with_voters(3), 2, &mut rng);
+    let mut election = ElectionBuilder::new().voters(3).options(2).build(&mut rng);
+    let mut devices = Vec::new();
     for v in 1..=3u64 {
         let (_, vsd) = election
             .register_and_activate(VoterId(v), 0, &mut rng)
             .unwrap();
-        election
-            .cast(&vsd.credentials[0], (v % 2) as u32, &mut rng)
+        devices.push(vsd);
+    }
+    let mut voting = election.open_voting();
+    for (i, vsd) in devices.iter().enumerate() {
+        voting
+            .cast(&vsd.credentials[0], ((i + 1) % 2) as u32, &mut rng)
             .unwrap();
     }
-    let clean = election.tally(&mut rng).unwrap();
-    election.verify(&clean).expect("clean transcript verifies");
+    let tallying = voting.close();
+    let clean = tallying.tally(&mut rng).unwrap();
+    tallying.verify(&clean).expect("clean transcript verifies");
 
     // (1) Claimed counts.
-    let mut t = election.tally(&mut rng).unwrap();
+    let mut t = tallying.tally(&mut rng).unwrap();
     t.result.counts.swap(0, 1);
-    assert!(election.verify(&t).is_err(), "count tampering");
+    assert!(tallying.verify(&t).is_err(), "count tampering");
 
     // (2) Dropped accepted ballot.
-    let mut t = election.tally(&mut rng).unwrap();
+    let mut t = tallying.tally(&mut rng).unwrap();
     t.accepted.pop();
-    assert!(election.verify(&t).is_err(), "ballot suppression");
+    assert!(tallying.verify(&t).is_err(), "ballot suppression");
 
     // (3) Mixed-output substitution.
-    let mut t = election.tally(&mut rng).unwrap();
+    let mut t = tallying.tally(&mut rng).unwrap();
     let last = t.ballot_mix.stages.len() - 1;
     t.ballot_mix.stages[last].outputs.swap(0, 1);
-    assert!(election.verify(&t).is_err(), "mix tampering");
+    assert!(tallying.verify(&t).is_err(), "mix tampering");
 
     // (4) Tagging-round substitution.
-    let mut t = election.tally(&mut rng).unwrap();
+    let mut t = tallying.tally(&mut rng).unwrap();
     t.reg_tagging[0].outputs.swap(0, 1);
-    assert!(election.verify(&t).is_err(), "tagging tampering");
+    assert!(tallying.verify(&t).is_err(), "tagging tampering");
 
     // (5) Forged opening plaintext.
-    let mut t = election.tally(&mut rng).unwrap();
+    let mut t = tallying.tally(&mut rng).unwrap();
     t.key_opening.plaintexts[0] = votegral::crypto::EdwardsPoint::basepoint();
-    assert!(election.verify(&t).is_err(), "opening tampering");
+    assert!(tallying.verify(&t).is_err(), "opening tampering");
 
     // (6) Matching manipulation.
-    let mut t = election.tally(&mut rng).unwrap();
+    let mut t = tallying.tally(&mut rng).unwrap();
     t.matched_indices.pop();
-    assert!(election.verify(&t).is_err(), "match suppression");
+    assert!(tallying.verify(&t).is_err(), "match suppression");
 }
 
 #[test]
 fn multi_election_credential_reuse() {
     // §3.1: credentials are reusable across successive elections — run two
-    // elections over the same registration, with different votes.
+    // rounds over the same registration via `reopen_voting`, with
+    // different votes.
     let mut rng = HmacDrbg::from_u64(106);
-    let mut election = Election::new(TripConfig::with_voters(2), 2, &mut rng);
+    let mut election = ElectionBuilder::new().voters(2).options(2).build(&mut rng);
     let (_, alice) = election
         .register_and_activate(VoterId(1), 1, &mut rng)
         .unwrap();
@@ -179,18 +210,22 @@ fn multi_election_credential_reuse() {
         .unwrap();
 
     // Election 1.
-    election.cast(&alice.credentials[0], 0, &mut rng).unwrap();
-    election.cast(&bob.credentials[0], 1, &mut rng).unwrap();
-    let t1 = election.tally(&mut rng).unwrap();
+    let mut voting = election.open_voting();
+    voting.cast(&alice.credentials[0], 0, &mut rng).unwrap();
+    voting.cast(&bob.credentials[0], 1, &mut rng).unwrap();
+    let tallying = voting.close();
+    let t1 = tallying.tally(&mut rng).unwrap();
     assert_eq!(t1.result.counts, vec![1, 1]);
-    election.verify(&t1).unwrap();
+    tallying.verify(&t1).unwrap();
 
     // Election 2 (same credentials, new ballots; in this model the ballot
     // ledger accumulates, so the tally sees the latest ballots per
     // credential — the "revote" across elections).
-    election.cast(&alice.credentials[0], 1, &mut rng).unwrap();
-    election.cast(&bob.credentials[0], 1, &mut rng).unwrap();
-    let t2 = election.tally(&mut rng).unwrap();
+    let mut voting = tallying.reopen_voting();
+    voting.cast(&alice.credentials[0], 1, &mut rng).unwrap();
+    voting.cast(&bob.credentials[0], 1, &mut rng).unwrap();
+    let tallying = voting.close();
+    let t2 = tallying.tally(&mut rng).unwrap();
     assert_eq!(t2.result.counts, vec![0, 2]);
-    election.verify(&t2).unwrap();
+    tallying.verify(&t2).unwrap();
 }

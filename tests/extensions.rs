@@ -11,7 +11,7 @@ use votegral::trip::vsd::ActivatedCredential;
 use votegral::trip::TripConfig;
 use votegral::votegral::history::{prove_ownership, recover_votes, HistoryEntry, VotingHistory};
 use votegral::votegral::transfer::transfer_credential;
-use votegral::votegral::{Election, VoteConfig};
+use votegral::votegral::{ElectionBuilder, VoteConfig};
 
 #[test]
 fn delegation_end_to_end() {
@@ -19,7 +19,10 @@ fn delegation_end_to_end() {
     // party's single ballot counts once per delegating voter, and the
     // voters leave the booth with only fakes.
     let mut rng = HmacDrbg::from_u64(1);
-    let mut election = Election::new(TripConfig::with_voters(3), 2, &mut rng);
+    let mut election = ElectionBuilder::new()
+        .trip_config(TripConfig::with_voters(3))
+        .options(2)
+        .build(&mut rng);
 
     // The party's key pair and registrar evidence.
     let party_key = SigningKey::generate(&mut rng);
@@ -56,24 +59,26 @@ fn delegation_end_to_end() {
     let (_, vsd3) = election
         .register_and_activate(VoterId(3), 0, &mut rng)
         .expect("registers");
-    election.cast(&vsd3.credentials[0], 0, &mut rng).unwrap();
+    let mut voting = election.open_voting();
+    voting.cast(&vsd3.credentials[0], 0, &mut rng).unwrap();
 
     // The party casts ONE ballot for option 1 on behalf of its delegators.
     let party_credential = ActivatedCredential {
         voter_id: VoterId(0),
         key: party_key,
         c_pc: votegral::crypto::elgamal::Ciphertext::identity(),
-        kiosk_pk: election.trip.kiosks[0].public_key(),
+        kiosk_pk: voting.trip.kiosks[0].public_key(),
         issuance_sig,
         response: r,
         challenge: e,
     };
-    election.cast(&party_credential, 1, &mut rng).unwrap();
+    voting.cast(&party_credential, 1, &mut rng).unwrap();
 
-    let transcript = election.tally(&mut rng).expect("tally");
+    let tallying = voting.close();
+    let transcript = tallying.tally(&mut rng).expect("tally");
     // Option 1 gets two counted votes (both delegators), option 0 one.
     assert_eq!(transcript.result.counts, vec![1, 2]);
-    election.verify(&transcript).expect("verifies");
+    tallying.verify(&transcript).expect("verifies");
 }
 
 #[test]
@@ -83,7 +88,10 @@ fn transfer_then_vote_with_device_key() {
     // integration matches on the original key, which remains the tag
     // anchor; the chain lets verifiers attribute device signatures.)
     let mut rng = HmacDrbg::from_u64(2);
-    let mut election = Election::new(TripConfig::with_voters(1), 2, &mut rng);
+    let mut election = ElectionBuilder::new()
+        .trip_config(TripConfig::with_voters(1))
+        .options(2)
+        .build(&mut rng);
     let (_, vsd) = election
         .register_and_activate(VoterId(1), 0, &mut rng)
         .unwrap();
@@ -94,11 +102,12 @@ fn transfer_then_vote_with_device_key() {
     // to the kiosk-issued credential.
     let msg = b"device-signed material";
     let sig = transferred.device_key.sign(msg);
-    let device_vk = votegral::crypto::schnorr::VerifyingKey::from_compressed(
-        &transferred.certificate.new_pk,
-    )
-    .unwrap();
-    device_vk.verify(msg, &sig).expect("device signature verifies");
+    let device_vk =
+        votegral::crypto::schnorr::VerifyingKey::from_compressed(&transferred.certificate.new_pk)
+            .unwrap();
+    device_vk
+        .verify(msg, &sig)
+        .expect("device signature verifies");
     assert_eq!(
         transferred.certificate.original_pk,
         vsd.credentials[0].public_key()
@@ -111,7 +120,10 @@ fn voting_history_round_trip_with_recovery() {
     // then recover the same votes through authority decryption shares
     // without revealing them to any single member.
     let mut rng = HmacDrbg::from_u64(3);
-    let mut election = Election::new(TripConfig::with_voters(1), 3, &mut rng);
+    let mut election = ElectionBuilder::new()
+        .trip_config(TripConfig::with_voters(1))
+        .options(3)
+        .build(&mut rng);
     let (_, vsd) = election
         .register_and_activate(VoterId(1), 1, &mut rng)
         .unwrap();

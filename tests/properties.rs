@@ -1,11 +1,12 @@
 //! Workspace-level property-based tests: protocol invariants under random
-//! configurations, decoder totality on adversarial bytes, and determinism.
+//! configurations, decoder totality on adversarial bytes, determinism,
+//! and backend equivalence.
 
 use proptest::prelude::*;
 use votegral::crypto::{CompressedPoint, HmacDrbg, Scalar};
-use votegral::ledger::VoterId;
-use votegral::trip::TripConfig;
-use votegral::votegral::{Ballot, Election};
+use votegral::ledger::{LedgerBackend, VoterId};
+use votegral::trip::vsd::ActivatedCredential;
+use votegral::votegral::{Ballot, ElectionBuilder};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
@@ -21,29 +22,89 @@ proptest! {
         votes in proptest::collection::vec(0u32..4, 3),
     ) {
         let mut rng = HmacDrbg::from_u64(seed);
-        let mut election = Election::new(TripConfig::with_voters(n_voters), n_options, &mut rng);
-        let mut expected = vec![0u64; n_options as usize];
-        let mut fake_ballots = 0usize;
+        let mut election = ElectionBuilder::new()
+            .voters(n_voters)
+            .options(n_options)
+            .build(&mut rng);
+        let mut devices = Vec::new();
         for v in 1..=n_voters {
             let n_fakes = fake_counts[(v - 1) as usize];
             let (_, vsd) = election
                 .register_and_activate(VoterId(v), n_fakes, &mut rng)
                 .expect("registration");
-            let vote = votes[(v - 1) as usize] % n_options;
+            devices.push(vsd);
+        }
+        let mut voting = election.open_voting();
+        let mut expected = vec![0u64; n_options as usize];
+        let mut fake_ballots = 0usize;
+        for (i, vsd) in devices.iter().enumerate() {
+            let vote = votes[i] % n_options;
             expected[vote as usize] += 1;
-            election.cast(&vsd.credentials[0], vote, &mut rng).expect("real cast");
+            voting.cast(&vsd.credentials[0], vote, &mut rng).expect("real cast");
             for fake in &vsd.credentials[1..] {
-                election.cast(fake, (vote + 1) % n_options, &mut rng).expect("fake cast");
+                voting.cast(fake, (vote + 1) % n_options, &mut rng).expect("fake cast");
                 fake_ballots += 1;
             }
         }
-        let transcript = election.tally(&mut rng).expect("tally");
+        let tallying = voting.close();
+        let transcript = tallying.tally(&mut rng).expect("tally");
         prop_assert_eq!(&transcript.result.counts, &expected);
         prop_assert_eq!(transcript.result.counted as u64, n_voters);
         // Unmatched = fake ballots (+ dummies when fewer than 2 pairs).
         prop_assert!(transcript.result.unmatched >= fake_ballots);
-        let verified = election.verify(&transcript).expect("verifies");
+        let verified = tallying.verify(&transcript).expect("verifies");
         prop_assert_eq!(verified, transcript.result);
+    }
+
+    /// The sharded and in-memory backends are interchangeable: the same
+    /// seeded election produces identical counts and transcript verdicts
+    /// on both, and `cast_batch` on either matches sequential `cast`.
+    #[test]
+    fn backends_and_batching_equivalent(
+        seed in any::<u64>(),
+        n_voters in 1u64..4,
+        shards in 1usize..6,
+    ) {
+        let run = |backend: LedgerBackend, batch: bool| {
+            let mut rng = HmacDrbg::from_u64(seed);
+            let mut election = ElectionBuilder::new()
+                .voters(n_voters)
+                .options(2)
+                .backend(backend)
+                .threads(2)
+                .build(&mut rng);
+            let voters: Vec<VoterId> = (1..=n_voters).map(VoterId).collect();
+            let sessions = election.register_batch(&voters, &mut rng).expect("registers");
+            let mut voting = election.open_voting();
+            let pairs: Vec<(&ActivatedCredential, u32)> = sessions
+                .iter()
+                .enumerate()
+                .map(|(i, (_, vsd))| (&vsd.credentials[0], (i % 2) as u32))
+                .collect();
+            if batch {
+                voting.cast_batch(&pairs, &mut rng).expect("batch cast");
+            } else {
+                for (cred, vote) in &pairs {
+                    voting.cast(cred, *vote, &mut rng).expect("cast");
+                }
+            }
+            let tallying = voting.close();
+            let ballot_head = tallying.ledger().ballots.tree_head().root;
+            let transcript = tallying.tally(&mut rng).expect("tally");
+            tallying.verify(&transcript).expect("verifies");
+            (ballot_head, transcript.result)
+        };
+        let (head_mem_seq, result_mem_seq) = run(LedgerBackend::InMemory, false);
+        let (head_mem_batch, result_mem_batch) = run(LedgerBackend::InMemory, true);
+        let (head_sh_batch, result_sh_batch) = run(LedgerBackend::sharded(shards), true);
+        // cast_batch ≡ sequential cast: bit-identical ledger heads.
+        prop_assert_eq!(head_mem_seq, head_mem_batch);
+        prop_assert_eq!(&result_mem_seq, &result_mem_batch);
+        // Backends commit differently but count identically.
+        prop_assert_eq!(&result_mem_seq.counts, &result_sh_batch.counts);
+        prop_assert_eq!(result_mem_seq.counted, result_sh_batch.counted);
+        prop_assert_eq!(result_mem_seq.unmatched, result_sh_batch.unmatched);
+        let _ = head_sh_batch;
     }
 }
 
@@ -86,19 +147,25 @@ proptest! {
 fn deterministic_from_seed() {
     let run = |seed: u64| {
         let mut rng = HmacDrbg::from_u64(seed);
-        let mut election = Election::new(TripConfig::with_voters(2), 2, &mut rng);
+        let mut election = ElectionBuilder::new().voters(2).options(2).build(&mut rng);
+        let mut devices = Vec::new();
         for v in 1..=2u64 {
             let (_, vsd) = election
                 .register_and_activate(VoterId(v), 1, &mut rng)
                 .unwrap();
-            election
-                .cast(&vsd.credentials[0], (v % 2) as u32, &mut rng)
+            devices.push(vsd);
+        }
+        let mut voting = election.open_voting();
+        for (v, vsd) in devices.iter().enumerate() {
+            voting
+                .cast(&vsd.credentials[0], ((v + 1) % 2) as u32, &mut rng)
                 .unwrap();
         }
-        let transcript = election.tally(&mut rng).unwrap();
+        let tallying = voting.close();
+        let transcript = tallying.tally(&mut rng).unwrap();
         (
-            election.trip.ledger.registration.tree_head().root,
-            election.trip.ledger.ballots.tree_head().root,
+            tallying.ledger().registration.tree_head().root,
+            tallying.ledger().ballots.tree_head().root,
             transcript.result,
         )
     };
