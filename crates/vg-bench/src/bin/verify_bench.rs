@@ -1,0 +1,136 @@
+//! Mixnet proof verification throughput: sequential vs batched.
+//!
+//! Tallying is the throughput ceiling on the path to millions of voters:
+//! every mixer in the cascade emits a Bayer–Groth shuffle proof, and the
+//! verifier has to check all of them. This bench mixes n ciphertexts
+//! through an M-mixer cascade once, then times
+//! [`MixCascade::verify`] (per-stage, the reference path) against
+//! [`MixCascade::verify_batch`] (all stages folded into one
+//! random-linear-combination multi-scalar check).
+//!
+//! Run with:
+//! `cargo run --release -p vg-bench --bin verify_bench -- [--quick|--full] [--threads N]`
+//!
+//! - default: n ∈ {1 000, 10 000} × mixers ∈ {1, 3} — includes the
+//!   n = 10 000 / 3-mixer point the ≥ 2x acceptance target is judged on;
+//! - `--quick`: n = 200, mixers ∈ {1, 3} (CI smoke);
+//! - `--full`:  n ∈ {1 000, 10 000, 100 000} × mixers 1..=7 (long).
+
+use std::time::Instant;
+
+use vg_bench::{arg_flag, arg_usize, human_time, print_table};
+use vg_crypto::elgamal::{encrypt_point, Ciphertext, ElGamalKeyPair};
+use vg_crypto::par::default_threads;
+use vg_crypto::{EdwardsPoint, HmacDrbg, Rng, Scalar};
+use vg_shuffle::MixCascade;
+
+fn sample_ciphertexts(n: usize, pk: &EdwardsPoint, rng: &mut dyn Rng) -> Vec<Ciphertext> {
+    (0..n)
+        .map(|i| {
+            let m = EdwardsPoint::mul_base(&Scalar::from_u64(i as u64 + 1));
+            encrypt_point(pk, &m, rng).0
+        })
+        .collect()
+}
+
+struct Row {
+    n: usize,
+    mixers: usize,
+    prove_ms: f64,
+    seq_ms: f64,
+    batch_ms: f64,
+}
+
+fn run_case(n: usize, mixers: usize, threads: usize, rng: &mut HmacDrbg) -> Row {
+    let kp = ElGamalKeyPair::generate(rng);
+    let inputs = sample_ciphertexts(n, &kp.pk, rng);
+    let cascade = MixCascade::new(n, mixers);
+
+    let t0 = Instant::now();
+    let transcript = cascade.mix(&kp.pk, &inputs, rng);
+    let prove_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    cascade
+        .verify(&kp.pk, &transcript)
+        .expect("sequential verify");
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    cascade
+        .verify_batch(&kp.pk, &transcript, threads)
+        .expect("batched verify");
+    let batch_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    Row {
+        n,
+        mixers,
+        prove_ms,
+        seq_ms,
+        batch_ms,
+    }
+}
+
+fn main() {
+    let threads = arg_usize("--threads", default_threads());
+    let quick = arg_flag("--quick");
+    let full = arg_flag("--full");
+
+    let cases: Vec<(usize, usize)> = if quick {
+        vec![(200, 1), (200, 3)]
+    } else if full {
+        let mut v = Vec::new();
+        for &n in &[1_000usize, 10_000, 100_000] {
+            for m in 1..=7usize {
+                v.push((n, m));
+            }
+        }
+        v
+    } else {
+        vec![(1_000, 1), (1_000, 3), (10_000, 1), (10_000, 3)]
+    };
+
+    println!("Mixnet shuffle-proof verification, {threads} thread(s): sequential per-stage checks");
+    println!("vs one folded random-linear-combination multiscalar check per cascade.\n");
+
+    let mut rng = HmacDrbg::from_u64(1);
+    let mut rows = Vec::new();
+    let mut target_speedup: Option<f64> = None;
+    for (n, mixers) in cases {
+        let row = run_case(n, mixers, threads, &mut rng);
+        let speedup = row.seq_ms / row.batch_ms;
+        if row.n == 10_000 && row.mixers == 3 {
+            target_speedup = Some(speedup);
+        }
+        rows.push(vec![
+            row.n.to_string(),
+            row.mixers.to_string(),
+            human_time(row.prove_ms),
+            human_time(row.seq_ms),
+            human_time(row.batch_ms),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    print_table(
+        &[
+            "n",
+            "mixers",
+            "prove",
+            "verify seq",
+            "verify batch",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    if let Some(speedup) = target_speedup {
+        println!(
+            "\nbatched speedup at n=10k, 3 mixers: {speedup:.2}x {}",
+            if speedup >= 2.0 {
+                "(>= 2x target met)"
+            } else {
+                "(below 2x target)"
+            }
+        );
+    }
+}

@@ -30,6 +30,7 @@
 //! reproduction of the paper's cryptographic path, not a hardened
 //! production signer.
 
+pub mod batch;
 pub mod bigint;
 pub mod chaum_pedersen;
 pub mod dkg;
@@ -47,8 +48,9 @@ pub mod sha2;
 pub mod shamir;
 pub mod transcript;
 
+pub use batch::BatchVerifier;
 pub use drbg::{HmacDrbg, OsRng, Rng};
-pub use edwards::{basemul, multiscalar_mul, CompressedPoint, EdwardsPoint};
+pub use edwards::{basemul, multiscalar_mul, multiscalar_mul_par, CompressedPoint, EdwardsPoint};
 pub use scalar::Scalar;
 pub use transcript::Transcript;
 

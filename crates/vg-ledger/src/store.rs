@@ -562,6 +562,123 @@ mod tests {
     }
 
     #[test]
+    fn single_shard_store_full_proof_cycle() {
+        // The degenerate 1-shard configuration must still produce valid
+        // backend-tagged proofs (it is sharded-by-structure even though
+        // every record lands in shard 0).
+        let mut store = ShardedStore::new(1);
+        assert_eq!(store.backend(), LedgerBackend::Sharded { shards: 1 });
+        let old_root = store.root();
+        store.append_batch(notes(11), 2);
+        let root = store.root();
+        for i in 0..11usize {
+            let proof = store.prove_inclusion(i);
+            assert!(proof.verify(&root, 11, &Note(i as u64), i), "index {i}");
+            if let InclusionProof::Sharded { shard, .. } = &proof {
+                assert_eq!(*shard, 0);
+            } else {
+                panic!("sharded store must emit sharded proofs");
+            }
+        }
+        let consistency = store.prove_consistency(0);
+        assert!(consistency.verify(&old_root, 0, &root, 11));
+    }
+
+    #[test]
+    fn empty_append_batch_is_a_noop() {
+        for backend in [LedgerBackend::InMemory, LedgerBackend::sharded(4)] {
+            let mut store: Box<dyn LedgerStore<Note>> = backend.make_store();
+            store.append_batch(notes(7), 2);
+            let root_before = store.root();
+            let range = store.append_batch(Vec::new(), 4);
+            assert_eq!(range, 7..7, "{backend:?}");
+            assert_eq!(store.len(), 7);
+            assert_eq!(store.root(), root_before, "{backend:?}: root must not move");
+            // The store remains fully provable afterwards.
+            let proof = store.prove_inclusion(6);
+            assert!(proof.verify(&store.root(), 7, &Note(6), 6));
+        }
+    }
+
+    #[test]
+    fn proof_index_at_exact_head_boundary() {
+        let mut store = ShardedStore::new(4);
+        store.append_batch(notes(16), 1);
+        let root = store.root();
+        // The last record (index head_size − 1) verifies…
+        let proof = store.prove_inclusion(15);
+        assert!(proof.verify(&root, 16, &Note(15), 15));
+        // …but the same proof claiming index == head_size (one past the
+        // boundary) is rejected even though the in-shard path is valid.
+        assert!(!proof.verify(&root, 16, &Note(15), 16));
+        // A head one record short also rejects: the shard heads no longer
+        // add up to the claimed size.
+        assert!(!proof.verify(&root, 15, &Note(15), 15));
+
+        // Same boundary discipline on the flat backend.
+        let mut flat = InMemoryStore::new();
+        for r in notes(16) {
+            flat.append(r);
+        }
+        let root = flat.root();
+        let proof = flat.prove_inclusion(15);
+        assert!(proof.verify(&root, 16, &Note(15), 15));
+        assert!(!proof.verify(&root, 16, &Note(15), 16));
+    }
+
+    #[test]
+    fn cross_backend_proofs_rejected() {
+        // The same 12 records committed under both backends.
+        let mut flat = InMemoryStore::new();
+        let mut sharded = ShardedStore::new(4);
+        for r in notes(12) {
+            flat.append(r);
+        }
+        for r in notes(12) {
+            sharded.append(r);
+        }
+        for i in 0..12usize {
+            // A flat proof never verifies against the sharded rollup root…
+            let flat_proof = flat.prove_inclusion(i);
+            assert!(flat_proof.verify(&flat.root(), 12, &Note(i as u64), i));
+            assert!(
+                !flat_proof.verify(&sharded.root(), 12, &Note(i as u64), i),
+                "flat proof {i} accepted by sharded root"
+            );
+            // …and a sharded proof never verifies against the flat root.
+            let sharded_proof = sharded.prove_inclusion(i);
+            assert!(sharded_proof.verify(&sharded.root(), 12, &Note(i as u64), i));
+            assert!(
+                !sharded_proof.verify(&flat.root(), 12, &Note(i as u64), i),
+                "sharded proof {i} accepted by flat root"
+            );
+        }
+        // Consistency proofs are backend-bound the same way.
+        let mut flat2 = InMemoryStore::new();
+        let mut sharded2 = ShardedStore::new(4);
+        for r in notes(5) {
+            flat2.append(r);
+        }
+        for r in notes(5) {
+            sharded2.append(r);
+        }
+        let flat_old = flat2.root();
+        let sharded_old = sharded2.root();
+        for r in (5..12u64).map(Note) {
+            flat2.append(r);
+        }
+        for r in (5..12u64).map(Note) {
+            sharded2.append(r);
+        }
+        let flat_proof = flat2.prove_consistency(5);
+        let sharded_proof = sharded2.prove_consistency(5);
+        assert!(flat_proof.verify(&flat_old, 5, &flat2.root(), 12));
+        assert!(sharded_proof.verify(&sharded_old, 5, &sharded2.root(), 12));
+        assert!(!flat_proof.verify(&sharded_old, 5, &sharded2.root(), 12));
+        assert!(!sharded_proof.verify(&flat_old, 5, &flat2.root(), 12));
+    }
+
+    #[test]
     fn flat_and_sharded_roots_differ_but_both_commit() {
         let mut flat = InMemoryStore::new();
         let mut sharded = ShardedStore::new(4);

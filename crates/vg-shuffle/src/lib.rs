@@ -12,10 +12,13 @@
 //! - [`mixnet`]: a cascade of independent mixers \[37\] with a publicly
 //!   verifiable transcript (four mixers in the paper's evaluation).
 
+pub mod batch;
 pub mod mixnet;
 pub mod multiexp;
 pub mod shuffle;
 pub mod svp;
 
-pub use mixnet::{MixCascade, MixStage, MixTranscript, PairMixStage, PairMixTranscript};
+pub use mixnet::{
+    MixCascade, MixStage, MixTranscript, PairMixStage, PairMixTranscript, VerifyMode,
+};
 pub use shuffle::{PairShuffleProof, ShuffleContext, ShuffleProof};

@@ -12,7 +12,43 @@ use vg_crypto::edwards::EdwardsPoint;
 use vg_crypto::elgamal::Ciphertext;
 use vg_crypto::CryptoError;
 
+use crate::batch::{verify_cascade_batch, verify_pair_cascade_batch};
 use crate::shuffle::{ShuffleContext, ShuffleProof};
+
+/// How a cascade transcript is verified.
+///
+/// Both modes accept exactly the same transcripts; [`VerifyMode::Batched`]
+/// is the production default and `Sequential` remains available as the
+/// reference implementation (and for pinpointing *which* stage of a
+/// rejected cascade failed).
+///
+/// # Soundness of the batched mode
+///
+/// Batched verification folds every stage's Σ-protocol equations
+/// Eⱼ = 𝒪 into the single check Σⱼ wⱼ·Eⱼ = 𝒪 with independent random
+/// 128-bit weights wⱼ (a *small-exponent random linear combination*).
+/// All points lie in the prime-order subgroup, so each error Eⱼ is
+/// eⱼ·B for a unique exponent eⱼ mod ℓ; if any eⱼ ≠ 0, a uniformly
+/// random wⱼ satisfies the folded congruence with probability at most
+/// 2⁻¹²⁷. Each stage's weights are derived from that stage's own
+/// Fiat–Shamir transcript hash after additionally absorbing the proof's
+/// response scalars, so they commit to the stage's complete statement
+/// and proof: a cheating mixer cannot choose its stage proof after
+/// learning the weights that will scale its equations — any change to
+/// the proof re-randomizes them, and grinding proofs against the hash
+/// buys only 2⁻¹²⁷ per attempt. Small (128-bit rather than 253-bit)
+/// weights keep that bound while halving the weighting cost, the
+/// classical Bellare–Garay–Rabin trade-off. See [`vg_crypto::batch`]
+/// for the primitive.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Check every stage's proof on its own, in cascade order.
+    Sequential,
+    /// Fold all stages' proof equations into one random-linear-combination
+    /// multi-scalar check (parallelized across mixers).
+    #[default]
+    Batched,
+}
 
 /// One mixer's contribution to the cascade.
 #[derive(Clone, Debug)]
@@ -110,6 +146,44 @@ impl MixCascade {
         }
         Ok(current)
     }
+
+    /// Verifies a cascade transcript by folding every stage's proof
+    /// equations into one batched multi-scalar check, with the equation
+    /// collection parallelized over up to `threads` workers. Accepts
+    /// exactly the same transcripts as [`MixCascade::verify`]; see
+    /// [`VerifyMode`] for the soundness argument.
+    pub fn verify_batch<'a>(
+        &self,
+        pk: &EdwardsPoint,
+        transcript: &'a MixTranscript,
+        threads: usize,
+    ) -> Result<&'a [Ciphertext], CryptoError> {
+        if transcript.stages.len() != self.mixers {
+            return Err(CryptoError::Malformed("wrong number of mix stages"));
+        }
+        let mut stages = Vec::with_capacity(self.mixers);
+        let mut current: &[Ciphertext] = &transcript.inputs;
+        for stage in &transcript.stages {
+            stages.push((current, stage.outputs.as_slice(), &stage.proof));
+            current = &stage.outputs;
+        }
+        verify_cascade_batch(&self.ctx, pk, &transcript.inputs, &stages, threads)?;
+        Ok(current)
+    }
+
+    /// Verifies with the given [`VerifyMode`].
+    pub fn verify_with<'a>(
+        &self,
+        pk: &EdwardsPoint,
+        transcript: &'a MixTranscript,
+        mode: VerifyMode,
+        threads: usize,
+    ) -> Result<&'a [Ciphertext], CryptoError> {
+        match mode {
+            VerifyMode::Sequential => self.verify(pk, transcript),
+            VerifyMode::Batched => self.verify_batch(pk, transcript, threads),
+        }
+    }
 }
 
 /// One mixer's contribution to a pair cascade.
@@ -178,6 +252,41 @@ impl MixCascade {
             current = &stage.outputs;
         }
         Ok(current)
+    }
+
+    /// Batched pair-cascade verification; the pair analogue of
+    /// [`MixCascade::verify_batch`].
+    pub fn verify_pairs_batch<'a>(
+        &self,
+        pk: &EdwardsPoint,
+        transcript: &'a PairMixTranscript,
+        threads: usize,
+    ) -> Result<&'a [(Ciphertext, Ciphertext)], CryptoError> {
+        if transcript.stages.len() != self.mixers {
+            return Err(CryptoError::Malformed("wrong number of mix stages"));
+        }
+        let mut stages = Vec::with_capacity(self.mixers);
+        let mut current: &[(Ciphertext, Ciphertext)] = &transcript.inputs;
+        for stage in &transcript.stages {
+            stages.push((current, stage.outputs.as_slice(), &stage.proof));
+            current = &stage.outputs;
+        }
+        verify_pair_cascade_batch(&self.ctx, pk, &transcript.inputs, &stages, threads)?;
+        Ok(current)
+    }
+
+    /// Verifies a pair cascade with the given [`VerifyMode`].
+    pub fn verify_pairs_with<'a>(
+        &self,
+        pk: &EdwardsPoint,
+        transcript: &'a PairMixTranscript,
+        mode: VerifyMode,
+        threads: usize,
+    ) -> Result<&'a [(Ciphertext, Ciphertext)], CryptoError> {
+        match mode {
+            VerifyMode::Sequential => self.verify_pairs(pk, transcript),
+            VerifyMode::Batched => self.verify_pairs_batch(pk, transcript, threads),
+        }
     }
 }
 
@@ -287,6 +396,116 @@ mod tests {
         transcript.stages[last].outputs[0].1 = transcript.stages[last].outputs[1].1;
         transcript.stages[last].outputs[1].1 = tmp;
         assert!(cascade.verify_pairs(&kp.pk, &transcript).is_err());
+    }
+
+    #[test]
+    fn batched_verify_matches_sequential() {
+        let mut rng = HmacDrbg::from_u64(20);
+        let kp = ElGamalKeyPair::generate(&mut rng);
+        let inputs: Vec<Ciphertext> = (1..=8u64)
+            .map(|i| {
+                encrypt_point(
+                    &kp.pk,
+                    &EdwardsPoint::mul_base(&Scalar::from_u64(i)),
+                    &mut rng,
+                )
+                .0
+            })
+            .collect();
+        for mixers in [1usize, 2, 4] {
+            let cascade = MixCascade::new(8, mixers);
+            let transcript = cascade.mix(&kp.pk, &inputs, &mut rng);
+            let seq = cascade.verify(&kp.pk, &transcript).expect("sequential");
+            let bat = cascade
+                .verify_batch(&kp.pk, &transcript, 2)
+                .expect("batched");
+            assert_eq!(seq, bat, "mixers={mixers}");
+            assert!(cascade
+                .verify_with(&kp.pk, &transcript, VerifyMode::Batched, 1)
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn batched_verify_rejects_what_sequential_rejects() {
+        let mut rng = HmacDrbg::from_u64(21);
+        let kp = ElGamalKeyPair::generate(&mut rng);
+        let inputs: Vec<Ciphertext> = (1..=5u64)
+            .map(|i| {
+                encrypt_point(
+                    &kp.pk,
+                    &EdwardsPoint::mul_base(&Scalar::from_u64(i)),
+                    &mut rng,
+                )
+                .0
+            })
+            .collect();
+        let cascade = MixCascade::new(5, 3);
+        let good = cascade.mix(&kp.pk, &inputs, &mut rng);
+
+        // Tampered middle-stage output.
+        let mut bad = good.clone();
+        bad.stages[1].outputs[2].c1 += EdwardsPoint::basepoint();
+        assert!(cascade.verify(&kp.pk, &bad).is_err());
+        assert!(cascade.verify_batch(&kp.pk, &bad, 2).is_err());
+
+        // Tampered proof commitment.
+        let mut bad = good.clone();
+        bad.stages[2].proof.c_b += EdwardsPoint::basepoint();
+        assert!(cascade.verify(&kp.pk, &bad).is_err());
+        assert!(cascade.verify_batch(&kp.pk, &bad, 2).is_err());
+
+        // Tampered opening scalar.
+        let mut bad = good.clone();
+        bad.stages[0].proof.mexp.rho_tilde += Scalar::ONE;
+        assert!(cascade.verify(&kp.pk, &bad).is_err());
+        assert!(cascade.verify_batch(&kp.pk, &bad, 2).is_err());
+
+        // Missing stage.
+        let mut bad = good.clone();
+        bad.stages.pop();
+        assert!(cascade.verify(&kp.pk, &bad).is_err());
+        assert!(cascade.verify_batch(&kp.pk, &bad, 2).is_err());
+    }
+
+    #[test]
+    fn batched_pair_verify_matches_sequential() {
+        let mut rng = HmacDrbg::from_u64(22);
+        let kp = ElGamalKeyPair::generate(&mut rng);
+        let inputs: Vec<(Ciphertext, Ciphertext)> = (1..=6u64)
+            .map(|i| {
+                let a = EdwardsPoint::mul_base(&Scalar::from_u64(i));
+                let b = EdwardsPoint::mul_base(&Scalar::from_u64(50 + i));
+                (
+                    encrypt_point(&kp.pk, &a, &mut rng).0,
+                    encrypt_point(&kp.pk, &b, &mut rng).0,
+                )
+            })
+            .collect();
+        let cascade = MixCascade::new(6, 3);
+        let good = cascade.mix_pairs(&kp.pk, &inputs, &mut rng);
+        let seq = cascade.verify_pairs(&kp.pk, &good).expect("sequential");
+        let bat = cascade
+            .verify_pairs_batch(&kp.pk, &good, 2)
+            .expect("batched");
+        assert_eq!(seq, bat);
+        assert!(cascade
+            .verify_pairs_with(&kp.pk, &good, VerifyMode::Sequential, 1)
+            .is_ok());
+
+        // Column swap is caught by both modes.
+        let mut bad = good.clone();
+        let tmp = bad.stages[2].outputs[0].1;
+        bad.stages[2].outputs[0].1 = bad.stages[2].outputs[1].1;
+        bad.stages[2].outputs[1].1 = tmp;
+        assert!(cascade.verify_pairs(&kp.pk, &bad).is_err());
+        assert!(cascade.verify_pairs_batch(&kp.pk, &bad, 2).is_err());
+
+        // Tampered second-column multi-exp opening.
+        let mut bad = good.clone();
+        bad.stages[0].proof.mexp_b.b_tilde[1] += Scalar::ONE;
+        assert!(cascade.verify_pairs(&kp.pk, &bad).is_err());
+        assert!(cascade.verify_pairs_batch(&kp.pk, &bad, 2).is_err());
     }
 
     #[test]

@@ -80,13 +80,43 @@ pub fn prove_multiexp(
         "witness must satisfy the statement"
     );
 
+    absorb(transcript, pk, bases, target, c_b);
+    prove_multiexp_core(transcript, ck, pk, bases, target, c_b, b, s, rho, rng)
+}
+
+/// [`prove_multiexp`] without statement absorption: for callers (the
+/// shuffle argument) whose transcript already binds `pk`, `bases` and
+/// `c_b` directly and `target` as a deterministic function of absorbed
+/// data — which lets a batched verifier fold the target's defining
+/// multi-scalar sum into its combined check instead of materializing it.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn prove_multiexp_core(
+    transcript: &mut Transcript,
+    ck: &CommitKey,
+    pk: &EdwardsPoint,
+    bases: &[Ciphertext],
+    target: &Ciphertext,
+    c_b: &EdwardsPoint,
+    b: &[Scalar],
+    s: &Scalar,
+    rho: &Scalar,
+    rng: &mut dyn Rng,
+) -> MultiExpProof {
+    let n = bases.len();
+    assert_eq!(b.len(), n, "exponent length mismatch");
+    debug_assert_eq!(ck.commit(b, s), *c_b, "opening must match commitment");
+    debug_assert_eq!(
+        linear_combination(pk, bases, b, rho),
+        *target,
+        "witness must satisfy the statement"
+    );
+
     let d: Vec<Scalar> = (0..n).map(|_| rng.scalar()).collect();
     let r_d = rng.scalar();
     let rho_d = rng.scalar();
     let c_d = ck.commit(&d, &r_d);
     let e_d = linear_combination(pk, bases, &d, &rho_d);
 
-    absorb(transcript, pk, bases, target, c_b);
     transcript.append_point(b"mexp-cd", &c_d);
     transcript.append_point(b"mexp-ed1", &e_d.c1);
     transcript.append_point(b"mexp-ed2", &e_d.c2);
@@ -112,11 +142,25 @@ pub fn verify_multiexp(
     c_b: &EdwardsPoint,
     proof: &MultiExpProof,
 ) -> Result<(), CryptoError> {
+    absorb(transcript, pk, bases, target, c_b);
+    verify_multiexp_core(transcript, ck, pk, bases, target, c_b, proof)
+}
+
+/// [`verify_multiexp`] without statement absorption; see
+/// [`prove_multiexp_core`].
+pub(crate) fn verify_multiexp_core(
+    transcript: &mut Transcript,
+    ck: &CommitKey,
+    pk: &EdwardsPoint,
+    bases: &[Ciphertext],
+    target: &Ciphertext,
+    c_b: &EdwardsPoint,
+    proof: &MultiExpProof,
+) -> Result<(), CryptoError> {
     let n = bases.len();
     if proof.b_tilde.len() != n || n > ck.len() {
         return Err(CryptoError::Malformed("multiexp opening length"));
     }
-    absorb(transcript, pk, bases, target, c_b);
     transcript.append_point(b"mexp-cd", &proof.c_d);
     transcript.append_point(b"mexp-ed1", &proof.e_d.c1);
     transcript.append_point(b"mexp-ed2", &proof.e_d.c2);
@@ -136,6 +180,25 @@ pub fn verify_multiexp(
         return Err(CryptoError::BadProof);
     }
     Ok(())
+}
+
+/// Batch-path replay: runs the structural checks of
+/// [`verify_multiexp_core`] and advances the transcript to the challenge,
+/// leaving the point equations to the caller's batched multi-scalar
+/// check. Returns the challenge x.
+pub(crate) fn replay_multiexp(
+    transcript: &mut Transcript,
+    ck: &CommitKey,
+    n: usize,
+    proof: &MultiExpProof,
+) -> Result<Scalar, CryptoError> {
+    if proof.b_tilde.len() != n || n > ck.len() {
+        return Err(CryptoError::Malformed("multiexp opening length"));
+    }
+    transcript.append_point(b"mexp-cd", &proof.c_d);
+    transcript.append_point(b"mexp-ed1", &proof.e_d.c1);
+    transcript.append_point(b"mexp-ed2", &proof.e_d.c2);
+    Ok(transcript.challenge_scalar(b"mexp-x"))
 }
 
 fn absorb(

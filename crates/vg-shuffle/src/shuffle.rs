@@ -44,7 +44,7 @@ pub struct ShuffleProof {
 
 /// Context holding the commitment key for shuffles up to a fixed size.
 pub struct ShuffleContext {
-    ck: CommitKey,
+    pub(crate) ck: CommitKey,
 }
 
 impl ShuffleContext {
@@ -126,13 +126,14 @@ impl ShuffleContext {
         let r_d = y * r + s;
         let c_d = c_a * y + c_b - self.ck.commit_constant(&z, n);
         let product = claimed_product(&x_powers, y, z, n);
-        let svp_proof = svp::prove_svp(&mut transcript, &self.ck, &c_d, &product, &d, &r_d, rng);
+        let svp_proof =
+            svp::prove_svp_core(&mut transcript, &self.ck, &c_d, &product, &d, &r_d, rng);
 
         // Step 4: multi-exponentiation argument.
         // E = Σ_{i=1..n} x^i·C_{i−1};  ρ̂ = −Σ_j ρ_j·b_j.
         let target = multiexp::linear_combination(pk, inputs, &x_powers[1..=n], &Scalar::ZERO);
         let rho_hat = -(0..n).fold(Scalar::ZERO, |acc, j| acc + rho[j] * b[j]);
-        let mexp_proof = multiexp::prove_multiexp(
+        let mexp_proof = multiexp::prove_multiexp_core(
             &mut transcript,
             &self.ck,
             pk,
@@ -176,10 +177,10 @@ impl ShuffleContext {
         let x_powers = Scalar::powers(x, n + 1);
         let c_d = proof.c_a * y + proof.c_b - self.ck.commit_constant(&z, n);
         let product = claimed_product(&x_powers, y, z, n);
-        svp::verify_svp(&mut transcript, &self.ck, &c_d, &product, &proof.svp)?;
+        svp::verify_svp_core(&mut transcript, &self.ck, &c_d, &product, &proof.svp)?;
 
         let target = multiexp::linear_combination(pk, inputs, &x_powers[1..=n], &Scalar::ZERO);
-        multiexp::verify_multiexp(
+        multiexp::verify_multiexp_core(
             &mut transcript,
             &self.ck,
             pk,
@@ -281,7 +282,8 @@ impl ShuffleContext {
         let r_d = y * r + s;
         let c_d = c_a * y + c_b - self.ck.commit_constant(&z, n);
         let product = claimed_product(&x_powers, y, z, n);
-        let svp_proof = svp::prove_svp(&mut transcript, &self.ck, &c_d, &product, &d, &r_d, rng);
+        let svp_proof =
+            svp::prove_svp_core(&mut transcript, &self.ck, &c_d, &product, &d, &r_d, rng);
 
         let col_a_in: Vec<Ciphertext> = inputs.iter().map(|p| p.0).collect();
         let col_b_in: Vec<Ciphertext> = inputs.iter().map(|p| p.1).collect();
@@ -290,7 +292,7 @@ impl ShuffleContext {
 
         let target_a = multiexp::linear_combination(pk, &col_a_in, &x_powers[1..=n], &Scalar::ZERO);
         let rho_hat_a = -(0..n).fold(Scalar::ZERO, |acc, j| acc + rho_a[j] * b[j]);
-        let mexp_a = multiexp::prove_multiexp(
+        let mexp_a = multiexp::prove_multiexp_core(
             &mut transcript,
             &self.ck,
             pk,
@@ -304,7 +306,7 @@ impl ShuffleContext {
         );
         let target_b = multiexp::linear_combination(pk, &col_b_in, &x_powers[1..=n], &Scalar::ZERO);
         let rho_hat_b = -(0..n).fold(Scalar::ZERO, |acc, j| acc + rho_b[j] * b[j]);
-        let mexp_b = multiexp::prove_multiexp(
+        let mexp_b = multiexp::prove_multiexp_core(
             &mut transcript,
             &self.ck,
             pk,
@@ -349,7 +351,7 @@ impl ShuffleContext {
         let x_powers = Scalar::powers(x, n + 1);
         let c_d = proof.c_a * y + proof.c_b - self.ck.commit_constant(&z, n);
         let product = claimed_product(&x_powers, y, z, n);
-        svp::verify_svp(&mut transcript, &self.ck, &c_d, &product, &proof.svp)?;
+        svp::verify_svp_core(&mut transcript, &self.ck, &c_d, &product, &proof.svp)?;
 
         let col_a_in: Vec<Ciphertext> = inputs.iter().map(|p| p.0).collect();
         let col_b_in: Vec<Ciphertext> = inputs.iter().map(|p| p.1).collect();
@@ -357,7 +359,7 @@ impl ShuffleContext {
         let col_b_out: Vec<Ciphertext> = outputs.iter().map(|p| p.1).collect();
 
         let target_a = multiexp::linear_combination(pk, &col_a_in, &x_powers[1..=n], &Scalar::ZERO);
-        multiexp::verify_multiexp(
+        multiexp::verify_multiexp_core(
             &mut transcript,
             &self.ck,
             pk,
@@ -367,7 +369,7 @@ impl ShuffleContext {
             &proof.mexp_a,
         )?;
         let target_b = multiexp::linear_combination(pk, &col_b_in, &x_powers[1..=n], &Scalar::ZERO);
-        multiexp::verify_multiexp(
+        multiexp::verify_multiexp_core(
             &mut transcript,
             &self.ck,
             pk,
@@ -379,7 +381,28 @@ impl ShuffleContext {
     }
 }
 
-fn absorb_pair_statement(
+/// Compresses a ciphertext slice's components with one shared inversion,
+/// returning each ciphertext's 64-byte wire encoding (identical to
+/// [`Ciphertext::to_bytes`], but inversion costs are amortized — the
+/// statement hash over large vectors is otherwise inversion-bound).
+fn batch_ct_bytes(cts: &[Ciphertext]) -> Vec<[u8; 64]> {
+    let mut pts = Vec::with_capacity(2 * cts.len());
+    for c in cts {
+        pts.push(c.c1);
+        pts.push(c.c2);
+    }
+    let comp = EdwardsPoint::batch_compress(&pts);
+    comp.chunks_exact(2)
+        .map(|pair| {
+            let mut out = [0u8; 64];
+            out[..32].copy_from_slice(&pair[0].0);
+            out[32..].copy_from_slice(&pair[1].0);
+            out
+        })
+        .collect()
+}
+
+pub(crate) fn absorb_pair_statement(
     transcript: &mut Transcript,
     pk: &EdwardsPoint,
     inputs: &[(Ciphertext, Ciphertext)],
@@ -387,19 +410,29 @@ fn absorb_pair_statement(
 ) {
     transcript.append_point(b"shuf-pk", pk);
     transcript.append_u64(b"shuf-n", inputs.len() as u64);
-    for (a, b) in inputs {
-        transcript.append_bytes(b"shuf-in-a", &a.to_bytes());
-        transcript.append_bytes(b"shuf-in-b", &b.to_bytes());
+    let col_a: Vec<Ciphertext> = inputs.iter().map(|p| p.0).collect();
+    let col_b: Vec<Ciphertext> = inputs.iter().map(|p| p.1).collect();
+    for (a, b) in batch_ct_bytes(&col_a)
+        .iter()
+        .zip(batch_ct_bytes(&col_b).iter())
+    {
+        transcript.append_bytes(b"shuf-in-a", a);
+        transcript.append_bytes(b"shuf-in-b", b);
     }
-    for (a, b) in outputs {
-        transcript.append_bytes(b"shuf-out-a", &a.to_bytes());
-        transcript.append_bytes(b"shuf-out-b", &b.to_bytes());
+    let col_a: Vec<Ciphertext> = outputs.iter().map(|p| p.0).collect();
+    let col_b: Vec<Ciphertext> = outputs.iter().map(|p| p.1).collect();
+    for (a, b) in batch_ct_bytes(&col_a)
+        .iter()
+        .zip(batch_ct_bytes(&col_b).iter())
+    {
+        transcript.append_bytes(b"shuf-out-a", a);
+        transcript.append_bytes(b"shuf-out-b", b);
     }
 }
 
 /// Π_{i=1..n} (y·i + xⁱ − z), the public side of the product argument.
 #[allow(clippy::needless_range_loop)] // x_powers is 1-indexed by construction
-fn claimed_product(x_powers: &[Scalar], y: Scalar, z: Scalar, n: usize) -> Scalar {
+pub(crate) fn claimed_product(x_powers: &[Scalar], y: Scalar, z: Scalar, n: usize) -> Scalar {
     let mut acc = Scalar::ONE;
     for i in 1..=n {
         acc *= y * Scalar::from_u64(i as u64) + x_powers[i] - z;
@@ -407,7 +440,7 @@ fn claimed_product(x_powers: &[Scalar], y: Scalar, z: Scalar, n: usize) -> Scala
     acc
 }
 
-fn absorb_statement(
+pub(crate) fn absorb_statement(
     transcript: &mut Transcript,
     pk: &EdwardsPoint,
     inputs: &[Ciphertext],
@@ -415,11 +448,11 @@ fn absorb_statement(
 ) {
     transcript.append_point(b"shuf-pk", pk);
     transcript.append_u64(b"shuf-n", inputs.len() as u64);
-    for c in inputs {
-        transcript.append_bytes(b"shuf-in", &c.to_bytes());
+    for bytes in batch_ct_bytes(inputs) {
+        transcript.append_bytes(b"shuf-in", &bytes);
     }
-    for c in outputs {
-        transcript.append_bytes(b"shuf-out", &c.to_bytes());
+    for bytes in batch_ct_bytes(outputs) {
+        transcript.append_bytes(b"shuf-out", &bytes);
     }
 }
 

@@ -38,6 +38,12 @@ pub struct SvpProof {
     pub s_tilde: Scalar,
 }
 
+/// Absorbs the standalone statement `(c_a, b)` into the transcript.
+fn absorb_statement(transcript: &mut Transcript, c_a: &EdwardsPoint, b: &Scalar) {
+    transcript.append_point(b"svp-ca", c_a);
+    transcript.append_scalar(b"svp-b", b);
+}
+
 /// Proves that the vector committed in `c_a` (opening `a`, blinding `r`)
 /// has product `b`.
 ///
@@ -46,6 +52,22 @@ pub struct SvpProof {
 /// Panics if `a` has fewer than two elements (the shuffle layer pads
 /// degenerate sizes) or exceeds the commitment key.
 pub fn prove_svp(
+    transcript: &mut Transcript,
+    ck: &CommitKey,
+    c_a: &EdwardsPoint,
+    b: &Scalar,
+    a: &[Scalar],
+    r: &Scalar,
+    rng: &mut dyn Rng,
+) -> SvpProof {
+    absorb_statement(transcript, c_a, b);
+    prove_svp_core(transcript, ck, c_a, b, a, r, rng)
+}
+
+/// [`prove_svp`] without statement absorption: for callers (the shuffle
+/// argument) whose transcript already binds `c_a` and `b` — directly or as
+/// a deterministic function of absorbed data.
+pub(crate) fn prove_svp_core(
     transcript: &mut Transcript,
     ck: &CommitKey,
     c_a: &EdwardsPoint,
@@ -87,8 +109,6 @@ pub fn prove_svp(
         .collect();
     let c_big_delta = ck.commit(&delta_hi, &s_x);
 
-    transcript.append_point(b"svp-ca", c_a);
-    transcript.append_scalar(b"svp-b", b);
     transcript.append_point(b"svp-cd", &c_d);
     transcript.append_point(b"svp-cdelta", &c_delta);
     transcript.append_point(b"svp-cbigdelta", &c_big_delta);
@@ -119,13 +139,23 @@ pub fn verify_svp(
     b: &Scalar,
     proof: &SvpProof,
 ) -> Result<(), CryptoError> {
+    absorb_statement(transcript, c_a, b);
+    verify_svp_core(transcript, ck, c_a, b, proof)
+}
+
+/// [`verify_svp`] without statement absorption; see [`prove_svp_core`].
+pub(crate) fn verify_svp_core(
+    transcript: &mut Transcript,
+    ck: &CommitKey,
+    c_a: &EdwardsPoint,
+    b: &Scalar,
+    proof: &SvpProof,
+) -> Result<(), CryptoError> {
     let n = proof.a_tilde.len();
     if n < 2 || proof.b_tilde.len() != n || n > ck.len() {
         return Err(CryptoError::Malformed("svp opening lengths"));
     }
 
-    transcript.append_point(b"svp-ca", c_a);
-    transcript.append_scalar(b"svp-b", b);
     transcript.append_point(b"svp-cd", &proof.c_d);
     transcript.append_point(b"svp-cdelta", &proof.c_delta);
     transcript.append_point(b"svp-cbigdelta", &proof.c_big_delta);
@@ -150,6 +180,33 @@ pub fn verify_svp(
         return Err(CryptoError::BadProof);
     }
     Ok(())
+}
+
+/// Batch-path replay: runs the structural and scalar-only checks of
+/// [`verify_svp_core`] and advances the transcript to the challenge, but
+/// leaves the two point equations to the caller (who folds them into a
+/// batched multi-scalar check). Returns the challenge x.
+pub(crate) fn replay_svp(
+    transcript: &mut Transcript,
+    ck: &CommitKey,
+    b: &Scalar,
+    proof: &SvpProof,
+) -> Result<Scalar, CryptoError> {
+    let n = proof.a_tilde.len();
+    if n < 2 || proof.b_tilde.len() != n || n > ck.len() {
+        return Err(CryptoError::Malformed("svp opening lengths"));
+    }
+    transcript.append_point(b"svp-cd", &proof.c_d);
+    transcript.append_point(b"svp-cdelta", &proof.c_delta);
+    transcript.append_point(b"svp-cbigdelta", &proof.c_big_delta);
+    let x = transcript.challenge_scalar(b"svp-x");
+    if proof.b_tilde[0] != proof.a_tilde[0] {
+        return Err(CryptoError::BadProof);
+    }
+    if proof.b_tilde[n - 1] != x * *b {
+        return Err(CryptoError::BadProof);
+    }
+    Ok(x)
 }
 
 #[cfg(test)]

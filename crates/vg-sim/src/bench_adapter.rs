@@ -61,6 +61,46 @@ impl VotegralCore {
         &self.election
     }
 
+    /// Runs the tally and then an independent (secret-free) verification
+    /// of its transcript under the given mix-proof [`VerifyMode`],
+    /// returning the counts with the two phase latencies in milliseconds.
+    /// This is the universal-verifiability cost the Fig 5 tally workloads
+    /// leave unmeasured; `VerifyMode::Batched` is what a production
+    /// auditor would run.
+    pub fn tally_and_verify(
+        &mut self,
+        mode: vg_votegral::VerifyMode,
+        rng: &mut dyn Rng,
+    ) -> (Vec<u64>, f64, f64) {
+        use std::time::Instant;
+        let t0 = Instant::now();
+        let transcript = vg_votegral::tally(
+            &self.election.trip.authority,
+            &self.election.trip.ledger,
+            self.election.vote_config,
+            &self.election.trip.kiosk_registry,
+            self.election.mixers,
+            rng,
+        )
+        .expect("tally runs");
+        let tally_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = Instant::now();
+        let verified = vg_votegral::verify_tally_with(
+            &transcript,
+            &self.election.trip.ledger,
+            &vg_votegral::verifier::PublicAuthority::of(&self.election.trip.authority),
+            &self.election.trip.kiosk_registry,
+            self.election.mixers,
+            mode,
+            self.election.threads,
+        )
+        .expect("transcript verifies");
+        let verify_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(verified, transcript.result, "verifier re-derives result");
+        (transcript.result.counts, tally_ms, verify_ms)
+    }
+
     /// Casts every vote through the batch fast path instead of one by
     /// one (identical ledger contents, amortized admission).
     pub fn vote_all_batched(&mut self, votes: &[u32], rng: &mut dyn Rng) {
@@ -151,6 +191,24 @@ mod tests {
         sys.vote_all(&[1, 0, 1], &mut rng);
         assert_eq!(sys.tally(&mut rng), vec![1, 2]);
         assert!(!sys.quadratic_tally());
+    }
+
+    #[test]
+    fn tally_and_verify_agrees_across_modes() {
+        // The same election verified under both modes yields the same
+        // counts; the DRBG is re-seeded per run so the transcripts match.
+        let run = |mode| {
+            let mut rng = bench_rng(7);
+            let mut sys = VotegralCore::new(3, 2, &mut rng);
+            sys.register_all(&mut rng);
+            sys.vote_all(&[1, 1, 0], &mut rng);
+            let (counts, _, _) = sys.tally_and_verify(mode, &mut rng);
+            counts
+        };
+        let seq = run(vg_votegral::VerifyMode::Sequential);
+        let bat = run(vg_votegral::VerifyMode::Batched);
+        assert_eq!(seq, bat);
+        assert_eq!(seq, vec![1, 2]);
     }
 
     #[test]

@@ -365,6 +365,9 @@ impl Election<Tallying> {
     }
 
     /// Independently verifies a tally transcript (no secrets used).
+    ///
+    /// Mix proofs go through the batched verification path; see
+    /// [`Election::verify_with_mode`] for the explicit knob.
     pub fn verify(&self, transcript: &TallyTranscript) -> Result<ElectionResult, VotegralError> {
         verify_tally(
             transcript,
@@ -372,6 +375,24 @@ impl Election<Tallying> {
             &PublicAuthority::of(&self.trip.authority),
             &self.trip.kiosk_registry,
             self.mixers,
+        )
+    }
+
+    /// Verifies a tally transcript with an explicit mix-proof
+    /// [`vg_shuffle::VerifyMode`], using the session's thread budget.
+    pub fn verify_with_mode(
+        &self,
+        transcript: &TallyTranscript,
+        mode: vg_shuffle::VerifyMode,
+    ) -> Result<ElectionResult, VotegralError> {
+        crate::verifier::verify_tally_with(
+            transcript,
+            &self.trip.ledger,
+            &PublicAuthority::of(&self.trip.authority),
+            &self.trip.kiosk_registry,
+            self.mixers,
+            mode,
+            self.threads,
         )
     }
 

@@ -66,6 +66,11 @@ pub struct ElectionResult {
 }
 
 /// The complete public evidence of one tally run.
+///
+/// `Debug` renders every component in canonical compressed form, so two
+/// transcripts format identically iff they are bit-identical — which the
+/// deterministic-replay tests rely on.
+#[derive(Debug)]
 pub struct TallyTranscript {
     /// The election's option count.
     pub config: VoteConfig,

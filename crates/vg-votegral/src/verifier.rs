@@ -11,7 +11,7 @@ use vg_crypto::dkg::{combine_shares, Authority};
 use vg_crypto::elgamal::Ciphertext;
 use vg_crypto::{CompressedPoint, EdwardsPoint};
 use vg_ledger::Ledger;
-use vg_shuffle::MixCascade;
+use vg_shuffle::{MixCascade, VerifyMode};
 
 use crate::error::{VerifyStage, VotegralError};
 use crate::tagging::verify_cascade;
@@ -44,13 +44,39 @@ impl PublicAuthority {
 
 /// Verifies a complete tally transcript against the public ledger.
 ///
-/// Returns the (re-derived) election result on success.
+/// Returns the (re-derived) election result on success. Mix-cascade
+/// proofs are checked through the batched random-linear-combination path
+/// ([`VerifyMode::Batched`]); use [`verify_tally_with`] to select the
+/// sequential reference path instead.
 pub fn verify_tally(
     transcript: &TallyTranscript,
     ledger: &Ledger,
     authority: &PublicAuthority,
     kiosk_registry: &[CompressedPoint],
     mixers: usize,
+) -> Result<ElectionResult, VotegralError> {
+    verify_tally_with(
+        transcript,
+        ledger,
+        authority,
+        kiosk_registry,
+        mixers,
+        VerifyMode::Batched,
+        crate::par::default_threads(),
+    )
+}
+
+/// [`verify_tally`] with an explicit mix-proof [`VerifyMode`] and worker
+/// thread count — the knob the equivalence property tests and the
+/// `verify_bench` comparison turn.
+pub fn verify_tally_with(
+    transcript: &TallyTranscript,
+    ledger: &Ledger,
+    authority: &PublicAuthority,
+    kiosk_registry: &[CompressedPoint],
+    mixers: usize,
+    mode: VerifyMode,
+    threads: usize,
 ) -> Result<ElectionResult, VotegralError> {
     let apk = authority.public_key;
 
@@ -112,12 +138,16 @@ pub fn verify_tally(
         .max(transcript.reg_inputs.len());
     let cascade = MixCascade::new(max_n, mixers);
     if transcript.ballot_mix.inputs != transcript.ballot_pair_inputs
-        || cascade.verify_pairs(&apk, &transcript.ballot_mix).is_err()
+        || cascade
+            .verify_pairs_with(&apk, &transcript.ballot_mix, mode, threads)
+            .is_err()
     {
         return Err(VotegralError::Verification(VerifyStage::BallotMix));
     }
     if transcript.reg_mix.inputs != transcript.reg_inputs
-        || cascade.verify(&apk, &transcript.reg_mix).is_err()
+        || cascade
+            .verify_with(&apk, &transcript.reg_mix, mode, threads)
+            .is_err()
     {
         return Err(VotegralError::Verification(VerifyStage::RegistrationMix));
     }

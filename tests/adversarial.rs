@@ -3,8 +3,11 @@
 //! impersonation, and coercion-resistance structure.
 
 use votegral::crypto::chaum_pedersen::{verify_transcript, DlEqStatement, IzkpTranscript};
-use votegral::crypto::{EdwardsPoint, HmacDrbg};
+use votegral::crypto::drbg::Rng;
+use votegral::crypto::elgamal::{encrypt_point, Ciphertext};
+use votegral::crypto::{EdwardsPoint, HmacDrbg, Scalar};
 use votegral::ledger::VoterId;
+use votegral::shuffle::{MixCascade, VerifyMode};
 use votegral::sim::coercion::credentials_structurally_indistinguishable;
 use votegral::trip::protocol::{activate_all, register_voter, trace_shows_honest_real_flow};
 use votegral::trip::{ActivationCheck, KioskBehavior, TripConfig, TripError, TripSystem};
@@ -165,6 +168,64 @@ fn printed_transcripts_carry_no_realness_bit() {
         );
     }
     assert!(credentials_structurally_indistinguishable(&mut rng));
+}
+
+#[test]
+fn malicious_mixer_in_cascade_caught_by_both_verify_modes() {
+    // A single malicious mixer in an M-mixer cascade substitutes a
+    // non-permutation — dropping a ballot, duplicating one, or flipping
+    // one for a ciphertext of its choosing. Whatever the stage and
+    // whatever the substitution, both the sequential per-stage verifier
+    // and the batched random-linear-combination verifier reject the
+    // cascade transcript: a mixer cannot hide behind the folding.
+    let mut rng = HmacDrbg::from_u64(77);
+    let kp = votegral::crypto::elgamal::ElGamalKeyPair::generate(&mut rng);
+    let n = 6usize;
+    let mixers = 4usize;
+    let inputs: Vec<Ciphertext> = (1..=n as u64)
+        .map(|i| {
+            let m = EdwardsPoint::mul_base(&Scalar::from_u64(i));
+            encrypt_point(&kp.pk, &m, &mut rng).0
+        })
+        .collect();
+    let cascade = MixCascade::new(n, mixers);
+    let honest = cascade.mix(&kp.pk, &inputs, &mut rng);
+    assert!(cascade.verify(&kp.pk, &honest).is_ok());
+    assert!(cascade.verify_batch(&kp.pk, &honest, 2).is_ok());
+
+    let reject_both = |label: &str, bad: &votegral::shuffle::MixTranscript| {
+        assert!(
+            cascade.verify(&kp.pk, bad).is_err(),
+            "{label}: sequential verifier accepted a non-permutation"
+        );
+        assert!(
+            cascade
+                .verify_with(&kp.pk, bad, VerifyMode::Batched, 2)
+                .is_err(),
+            "{label}: batched verifier accepted a non-permutation"
+        );
+    };
+
+    for malicious_stage in 0..mixers {
+        // Drop: the mixer loses ballot 0 and pads with a fresh dummy so
+        // the count still matches.
+        let mut bad = honest.clone();
+        let pad = encrypt_point(&kp.pk, &EdwardsPoint::IDENTITY, &mut rng).0;
+        bad.stages[malicious_stage].outputs[0] = pad;
+        reject_both(&format!("drop@{malicious_stage}"), &bad);
+
+        // Duplicate: ballot 1 is emitted twice, displacing ballot 0.
+        let mut bad = honest.clone();
+        bad.stages[malicious_stage].outputs[0] = bad.stages[malicious_stage].outputs[1];
+        reject_both(&format!("duplicate@{malicious_stage}"), &bad);
+
+        // Flip: ballot 2 is replaced by an encryption of the mixer's
+        // chosen vote.
+        let mut bad = honest.clone();
+        let forged = encrypt_point(&kp.pk, &EdwardsPoint::mul_base(&rng.scalar()), &mut rng).0;
+        bad.stages[malicious_stage].outputs[2] = forged;
+        reject_both(&format!("flip@{malicious_stage}"), &bad);
+    }
 }
 
 #[test]

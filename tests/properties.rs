@@ -5,8 +5,143 @@
 use proptest::prelude::*;
 use votegral::crypto::{CompressedPoint, HmacDrbg, Scalar};
 use votegral::ledger::{LedgerBackend, VoterId};
+use votegral::shuffle::VerifyMode;
 use votegral::trip::vsd::ActivatedCredential;
 use votegral::votegral::{Ballot, ElectionBuilder};
+
+/// Shared honest mix-cascade fixtures for the batch-verification soak:
+/// proving is the expensive part, so each `(n, mixers)` combination is
+/// mixed once and every soak case clones and tampers it.
+mod mix_fixtures {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    use votegral::crypto::drbg::Rng;
+    use votegral::crypto::elgamal::{encrypt_point, Ciphertext, ElGamalKeyPair};
+    use votegral::crypto::{EdwardsPoint, HmacDrbg, Scalar};
+    use votegral::shuffle::{MixCascade, MixTranscript, PairMixTranscript};
+
+    pub struct Fixture {
+        pub pk: EdwardsPoint,
+        pub cascade: MixCascade,
+        pub single: MixTranscript,
+        pub pair: PairMixTranscript,
+    }
+
+    type Cache = Mutex<HashMap<(usize, usize), Arc<Fixture>>>;
+
+    pub fn get(n: usize, mixers: usize) -> Arc<Fixture> {
+        static CACHE: OnceLock<Cache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().unwrap();
+        map.entry((n, mixers))
+            .or_insert_with(|| {
+                let mut rng = HmacDrbg::from_u64((n * 101 + mixers) as u64);
+                let kp = ElGamalKeyPair::generate(&mut rng);
+                let inputs: Vec<Ciphertext> = (1..=n as u64)
+                    .map(|i| {
+                        let m = EdwardsPoint::mul_base(&Scalar::from_u64(i));
+                        encrypt_point(&kp.pk, &m, &mut rng).0
+                    })
+                    .collect();
+                let pair_inputs: Vec<(Ciphertext, Ciphertext)> = (1..=n as u64)
+                    .map(|i| {
+                        let a = EdwardsPoint::mul_base(&Scalar::from_u64(i));
+                        let b = EdwardsPoint::mul_base(&Scalar::from_u64(1000 + i));
+                        (
+                            encrypt_point(&kp.pk, &a, &mut rng).0,
+                            encrypt_point(&kp.pk, &b, &mut rng).0,
+                        )
+                    })
+                    .collect();
+                let cascade = MixCascade::new(n, mixers);
+                let single = cascade.mix(&kp.pk, &inputs, &mut rng);
+                let pair = cascade.mix_pairs(&kp.pk, &pair_inputs, &mut rng);
+                Arc::new(Fixture {
+                    pk: kp.pk,
+                    cascade,
+                    single,
+                    pair,
+                })
+            })
+            .clone()
+    }
+
+    fn bump_point(p: &mut EdwardsPoint) {
+        *p += EdwardsPoint::basepoint();
+    }
+
+    fn bump_ct(c: &mut Ciphertext, second: bool) {
+        if second {
+            bump_point(&mut c.c2);
+        } else {
+            bump_point(&mut c.c1);
+        }
+    }
+
+    /// Tampers one uniformly chosen field of one uniformly chosen stage
+    /// proof (or stage output) of a single cascade.
+    pub fn tamper_single(t: &mut MixTranscript, rng: &mut dyn Rng) {
+        let k = rng.below(t.stages.len() as u64) as usize;
+        let stage = &mut t.stages[k];
+        let n = stage.outputs.len();
+        let j = rng.below(n as u64) as usize;
+        let p = &mut stage.proof;
+        match rng.below(17) {
+            0 => bump_ct(&mut stage.outputs[j], false),
+            1 => bump_ct(&mut stage.outputs[j], true),
+            2 => bump_point(&mut p.c_a),
+            3 => bump_point(&mut p.c_b),
+            4 => bump_point(&mut p.svp.c_d),
+            5 => bump_point(&mut p.svp.c_delta),
+            6 => bump_point(&mut p.svp.c_big_delta),
+            7 => p.svp.a_tilde[j] += Scalar::ONE,
+            8 => p.svp.b_tilde[j] += Scalar::ONE,
+            9 => p.svp.r_tilde += Scalar::ONE,
+            10 => p.svp.s_tilde += Scalar::ONE,
+            11 => bump_point(&mut p.mexp.c_d),
+            12 => bump_point(&mut p.mexp.e_d.c1),
+            13 => bump_point(&mut p.mexp.e_d.c2),
+            14 => p.mexp.b_tilde[j] += Scalar::ONE,
+            15 => p.mexp.s_tilde += Scalar::ONE,
+            _ => p.mexp.rho_tilde += Scalar::ONE,
+        }
+    }
+
+    /// Tampers one uniformly chosen field of one pair-cascade stage.
+    pub fn tamper_pair(t: &mut PairMixTranscript, rng: &mut dyn Rng) {
+        let k = rng.below(t.stages.len() as u64) as usize;
+        let stage = &mut t.stages[k];
+        let n = stage.outputs.len();
+        let j = rng.below(n as u64) as usize;
+        let p = &mut stage.proof;
+        match rng.below(23) {
+            0 => bump_ct(&mut stage.outputs[j].0, false),
+            1 => bump_ct(&mut stage.outputs[j].0, true),
+            2 => bump_ct(&mut stage.outputs[j].1, false),
+            3 => bump_ct(&mut stage.outputs[j].1, true),
+            4 => bump_point(&mut p.c_a),
+            5 => bump_point(&mut p.c_b),
+            6 => bump_point(&mut p.svp.c_d),
+            7 => bump_point(&mut p.svp.c_delta),
+            8 => bump_point(&mut p.svp.c_big_delta),
+            9 => p.svp.a_tilde[j] += Scalar::ONE,
+            10 => p.svp.b_tilde[j] += Scalar::ONE,
+            11 => p.svp.r_tilde += Scalar::ONE,
+            12 => p.svp.s_tilde += Scalar::ONE,
+            13 => bump_point(&mut p.mexp_a.c_d),
+            14 => bump_point(&mut p.mexp_a.e_d.c1),
+            15 => bump_point(&mut p.mexp_a.e_d.c2),
+            16 => p.mexp_a.b_tilde[j] += Scalar::ONE,
+            17 => p.mexp_a.s_tilde += Scalar::ONE,
+            18 => p.mexp_a.rho_tilde += Scalar::ONE,
+            19 => bump_point(&mut p.mexp_b.c_d),
+            20 => bump_point(&mut p.mexp_b.e_d.c2),
+            21 => p.mexp_b.b_tilde[j] += Scalar::ONE,
+            _ => p.mexp_b.rho_tilde += Scalar::ONE,
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
@@ -139,6 +274,102 @@ proptest! {
             prop_assert_eq!(s.to_bytes(), bytes);
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Batched cascade verification accepts **iff** per-stage sequential
+    /// verification accepts: honest transcripts (random sizes, random
+    /// mixer counts, single and pair cascades) pass both ways, and a soak
+    /// of single-field tampers — one random field of one random stage's
+    /// proof or outputs — is rejected by both; no tamper survives the
+    /// random-linear-combination folding.
+    #[test]
+    fn batch_verification_equivalent_and_tamper_sound(
+        n in 2usize..6,
+        mixers in 1usize..5,
+        use_pair in any::<bool>(),
+        tamper_seed in any::<u64>(),
+    ) {
+        let fx = mix_fixtures::get(n, mixers);
+        let mut rng = HmacDrbg::from_u64(tamper_seed);
+        // A slice of cases re-checks honest acceptance under both modes;
+        // the rest soak tampered-proof rejection.
+        let check_honest = tamper_seed.is_multiple_of(8);
+        if use_pair {
+            if check_honest {
+                prop_assert!(fx.cascade.verify_pairs(&fx.pk, &fx.pair).is_ok());
+                prop_assert!(fx.cascade.verify_pairs_batch(&fx.pk, &fx.pair, 2).is_ok());
+            } else {
+                let mut bad = fx.pair.clone();
+                mix_fixtures::tamper_pair(&mut bad, &mut rng);
+                prop_assert!(fx.cascade.verify_pairs(&fx.pk, &bad).is_err());
+                prop_assert!(fx.cascade.verify_pairs_batch(&fx.pk, &bad, 2).is_err());
+            }
+        } else if check_honest {
+            prop_assert!(fx.cascade.verify(&fx.pk, &fx.single).is_ok());
+            prop_assert!(fx.cascade.verify_batch(&fx.pk, &fx.single, 2).is_ok());
+        } else {
+            let mut bad = fx.single.clone();
+            mix_fixtures::tamper_single(&mut bad, &mut rng);
+            prop_assert!(fx.cascade.verify(&fx.pk, &bad).is_err());
+            prop_assert!(fx.cascade.verify_batch(&fx.pk, &bad, 2).is_err());
+        }
+    }
+}
+
+/// Deterministic replay across the batch paths: `cast_batch` + batched
+/// tally verification produces a bit-identical `TallyTranscript` (and
+/// identical ledger heads) to sequential `cast` + sequential verification
+/// under the same DRBG seed — batching changes performance, never bytes.
+#[test]
+fn batched_pipeline_replays_bit_identically() {
+    use votegral::crypto::sha2::Sha256;
+
+    let run = |batch: bool, mode: VerifyMode| {
+        let mut rng = HmacDrbg::from_u64(4242);
+        let mut election = ElectionBuilder::new().voters(3).options(3).build(&mut rng);
+        let voters: Vec<VoterId> = (1..=3).map(VoterId).collect();
+        let sessions = election
+            .register_batch(&voters, &mut rng)
+            .expect("registers");
+        let mut voting = election.open_voting();
+        let pairs: Vec<(&ActivatedCredential, u32)> = sessions
+            .iter()
+            .enumerate()
+            .map(|(i, (_, vsd))| (&vsd.credentials[0], (i % 3) as u32))
+            .collect();
+        if batch {
+            voting.cast_batch(&pairs, &mut rng).expect("batch cast");
+        } else {
+            for (cred, vote) in &pairs {
+                voting.cast(cred, *vote, &mut rng).expect("cast");
+            }
+        }
+        let tallying = voting.close();
+        let transcript = tallying.tally(&mut rng).expect("tally");
+        let verified = tallying
+            .verify_with_mode(&transcript, mode)
+            .expect("verifies");
+        assert_eq!(verified, transcript.result);
+        // `TallyTranscript`'s Debug rendering is canonical (compressed
+        // points, canonical scalars), so equal digests ⇔ bit-identical
+        // transcripts.
+        let mut h = Sha256::new();
+        h.update(format!("{transcript:?}").as_bytes());
+        (
+            tallying.ledger().ballots.tree_head().root,
+            h.finalize(),
+            transcript.result,
+        )
+    };
+
+    let sequential = run(false, VerifyMode::Sequential);
+    let batched = run(true, VerifyMode::Batched);
+    assert_eq!(sequential.0, batched.0, "identical ballot ledger heads");
+    assert_eq!(sequential.1, batched.1, "bit-identical tally transcripts");
+    assert_eq!(sequential.2, batched.2, "identical results");
 }
 
 /// The whole pipeline is deterministic from its seed: two elections run
