@@ -164,7 +164,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// The size argument of [`vec`]: a fixed size or a half-open range.
+    /// The size argument of [`vec()`]: a fixed size or a half-open range.
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -183,7 +183,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,

@@ -10,11 +10,11 @@
 //! amortization; on a multi-core host parallel leaf hashing adds on top.
 //!
 //! Run with:
-//! `cargo run --release -p vg-bench --bin ledger_bench -- [--records 10000] [--threads N] [--shards 8]`
+//! `cargo run --release -p vg-bench --bin ledger_bench -- [--records 10000] [--threads N] [--shards 8] [--json path]`
 
 use std::time::Instant;
 
-use vg_bench::{arg_usize, print_table};
+use vg_bench::{arg_str, arg_usize, print_table, BenchReport};
 use vg_crypto::par::default_threads;
 use vg_crypto::schnorr::SigningKey;
 use vg_crypto::{HmacDrbg, Rng};
@@ -125,4 +125,20 @@ fn main() {
             "(below 2x target)"
         }
     );
+
+    if let Some(path) = arg_str("--json") {
+        let mut report = BenchReport::new("ledger");
+        report
+            .meta("records", n)
+            .meta("threads", threads)
+            .meta("shards", shards);
+        report
+            .metric("per_record_per_sec", per_record)
+            .metric("batch_inmemory_per_sec", batch_flat)
+            .metric("batch_sharded_per_sec", batch_sharded)
+            .metric("headline_batch_inmemory_speedup", batch_flat / per_record)
+            .metric("headline_batch_sharded_speedup", speedup);
+        report.write(&path).expect("write bench json");
+        println!("telemetry written to {path}");
+    }
 }

@@ -1,0 +1,114 @@
+//! CI perf guard: compares fresh bench telemetry against the committed
+//! baselines and fails on regression.
+//!
+//! Only `headline_*` metrics are guarded, and by convention those are
+//! dimensionless speedup ratios (batched-vs-sequential, fleet-vs-booth),
+//! which are far more stable across runner hardware than absolute
+//! throughput. A headline that drops more than the tolerance (default
+//! 25%) below its committed baseline fails the job; improvements print a
+//! hint to refresh the baseline but never fail.
+//!
+//! Run with:
+//! `cargo run --release -p vg-bench --bin perf_guard -- \
+//!     --baseline bench/baselines/BENCH_ledger.json --fresh BENCH_ledger.json \
+//!     [--tolerance 0.25]`
+//!
+//! Intentional regressions: apply the `perf-regression-ok` label to the
+//! pull request (the CI workflow skips this step when the label is
+//! present) and refresh the files under `bench/baselines/` in the same
+//! change.
+
+use vg_bench::{arg_str, BenchReport};
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_guard: cannot read {path}: {e}"));
+    BenchReport::parse(&text).unwrap_or_else(|e| panic!("perf_guard: cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let baseline_path = arg_str("--baseline").expect("--baseline <path> required");
+    let fresh_path = arg_str("--fresh").expect("--fresh <path> required");
+    let tolerance: f64 = arg_str("--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a fraction, e.g. 0.25"))
+        .unwrap_or(0.25);
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+    if baseline.name != fresh.name {
+        panic!(
+            "perf_guard: bench family mismatch: baseline {:?} vs fresh {:?}",
+            baseline.name, fresh.name
+        );
+    }
+
+    let mut failures = Vec::new();
+    // Ratios are only comparable when measured on the same workload: the
+    // meta map records grid/flags for exactly this purpose, so any drift
+    // (e.g. ci.yml flags changed without refreshing the baseline) fails.
+    if baseline.meta != fresh.meta {
+        failures.push(format!(
+            "workload meta mismatch (baseline {:?} vs fresh {:?}) — refresh bench/baselines/ \
+             with the new flags",
+            baseline.meta, fresh.meta
+        ));
+    }
+    let mut checked = 0;
+    for (key, base) in baseline.headlines() {
+        let Some(&now) = fresh.metrics.get(key) else {
+            failures.push(format!(
+                "{key}: present in baseline ({base:.3}) but missing from the fresh run"
+            ));
+            continue;
+        };
+        checked += 1;
+        if !base.is_finite() || !now.is_finite() {
+            // A degenerate measurement (zero-duration window, serialized
+            // as null) must never read as "ok".
+            failures.push(format!(
+                "{key}: non-finite value (baseline {base}, fresh {now}) — degenerate measurement"
+            ));
+            continue;
+        }
+        let floor = base * (1.0 - tolerance);
+        let delta = 100.0 * (now - base) / base;
+        if now < floor {
+            failures.push(format!(
+                "{key}: {now:.3} is {:.1}% below baseline {base:.3} (floor {floor:.3})",
+                -delta
+            ));
+        } else if now > base * (1.0 + tolerance) {
+            println!(
+                "perf_guard: {key} improved {delta:+.1}% ({base:.3} -> {now:.3}); \
+                 consider refreshing bench/baselines/"
+            );
+        } else {
+            println!("perf_guard: {key} ok ({base:.3} -> {now:.3}, {delta:+.1}%)");
+        }
+    }
+    for (key, _) in fresh.headlines() {
+        if !baseline.metrics.contains_key(key) {
+            println!(
+                "perf_guard: new headline {key} has no baseline yet; add it to {baseline_path}"
+            );
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!(
+            "perf_guard: {} headline metric(s) regressed by more than {:.0}% vs {}:",
+            failures.len(),
+            tolerance * 100.0,
+            baseline_path
+        );
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        eprintln!(
+            "If this regression is intentional, label the PR `perf-regression-ok` and \
+             refresh the baseline files."
+        );
+        std::process::exit(1);
+    }
+    println!("perf_guard: {checked} headline metric(s) within tolerance of {baseline_path}");
+}

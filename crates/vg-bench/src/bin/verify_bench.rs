@@ -13,12 +13,12 @@
 //!
 //! - default: n ∈ {1 000, 10 000} × mixers ∈ {1, 3} — includes the
 //!   n = 10 000 / 3-mixer point the ≥ 2x acceptance target is judged on;
-//! - `--quick`: n = 200, mixers ∈ {1, 3} (CI smoke);
+//! - `--quick`: n = 500, mixers ∈ {1, 3} (CI smoke / telemetry);
 //! - `--full`:  n ∈ {1 000, 10 000, 100 000} × mixers 1..=7 (long).
 
 use std::time::Instant;
 
-use vg_bench::{arg_flag, arg_usize, human_time, print_table};
+use vg_bench::{arg_flag, arg_str, arg_usize, human_time, print_table, BenchReport};
 use vg_crypto::elgamal::{encrypt_point, Ciphertext, ElGamalKeyPair};
 use vg_crypto::par::default_threads;
 use vg_crypto::{EdwardsPoint, HmacDrbg, Rng, Scalar};
@@ -77,7 +77,9 @@ fn main() {
     let full = arg_flag("--full");
 
     let cases: Vec<(usize, usize)> = if quick {
-        vec![(200, 1), (200, 3)]
+        // Big enough for second-scale timed segments: the CI perf guard
+        // tracks these ratios, and sub-100ms windows are noise-bound.
+        vec![(500, 1), (500, 3)]
     } else if full {
         let mut v = Vec::new();
         for &n in &[1_000usize, 10_000, 100_000] {
@@ -95,13 +97,32 @@ fn main() {
 
     let mut rng = HmacDrbg::from_u64(1);
     let mut rows = Vec::new();
+    let mut report = BenchReport::new("verify");
+    report.meta("threads", threads).meta(
+        "mode",
+        if quick {
+            "quick"
+        } else if full {
+            "full"
+        } else {
+            "default"
+        },
+    );
     let mut target_speedup: Option<f64> = None;
+    let mut last_speedup = 1.0;
     for (n, mixers) in cases {
         let row = run_case(n, mixers, threads, &mut rng);
         let speedup = row.seq_ms / row.batch_ms;
         if row.n == 10_000 && row.mixers == 3 {
             target_speedup = Some(speedup);
         }
+        let prefix = format!("n{n}_m{mixers}");
+        report
+            .metric(&format!("{prefix}_prove_ms"), row.prove_ms)
+            .metric(&format!("{prefix}_verify_seq_ms"), row.seq_ms)
+            .metric(&format!("{prefix}_verify_batch_ms"), row.batch_ms)
+            .metric(&format!("{prefix}_batch_speedup"), speedup);
+        last_speedup = speedup;
         rows.push(vec![
             row.n.to_string(),
             row.mixers.to_string(),
@@ -132,5 +153,15 @@ fn main() {
                 "(below 2x target)"
             }
         );
+        report.metric("headline_batch_speedup_10k_3m", speedup);
+    } else {
+        // Smaller grids (e.g. --quick in CI) track their deepest cascade
+        // point instead.
+        report.metric("headline_batch_speedup", last_speedup);
+    }
+
+    if let Some(path) = arg_str("--json") {
+        report.write(&path).expect("write bench json");
+        println!("telemetry written to {path}");
     }
 }

@@ -1,0 +1,316 @@
+//! Machine-readable bench telemetry: a tiny dependency-free JSON emitter
+//! and the matching flat parser the perf guard uses.
+//!
+//! Every bench binary accepts `--json <path>` and writes one
+//! [`BenchReport`]: a name, string metadata (grid shape, thread count,
+//! …), and a flat map of named numeric metrics. Metrics whose name starts
+//! with `headline_` are the ones the CI perf guard tracks against the
+//! committed baselines in `bench/baselines/` — by convention they are
+//! dimensionless speedup ratios, which transfer across runner hardware
+//! far better than absolute throughput does.
+
+use std::collections::BTreeMap;
+
+/// One bench run's machine-readable result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// The bench family (e.g. `"registration"`).
+    pub name: String,
+    /// Free-form string metadata (grid, threads, flags).
+    pub meta: BTreeMap<String, String>,
+    /// Named numeric metrics; `headline_*` entries are guard-tracked.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for `name`.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a metadata entry.
+    pub fn meta(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.meta.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Adds a numeric metric.
+    pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
+        self.metrics.insert(key.to_string(), value);
+        self
+    }
+
+    /// The guard-tracked (`headline_*`) metrics.
+    pub fn headlines(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.metrics
+            .iter()
+            .filter(|(k, _)| k.starts_with("headline_"))
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Serializes to a stable, human-diffable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": {},\n", quote(&self.name)));
+        out.push_str("  \"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", quote(k), quote(v)));
+        }
+        out.push_str(if self.meta.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", quote(k), format_number(*v)));
+        }
+        out.push_str(if self.metrics.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Parses a report previously produced by [`BenchReport::to_json`]
+    /// (flat two-level structure; not a general JSON parser).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut report = BenchReport::default();
+        let mut lexer = Lexer::new(text);
+        lexer.expect('{')?;
+        loop {
+            let key = match lexer.peek_value()? {
+                Token::Str(s) => s,
+                Token::Close => break,
+                t => return Err(format!("expected object key, got {t:?}")),
+            };
+            lexer.expect(':')?;
+            match key.as_str() {
+                "name" => match lexer.peek_value()? {
+                    Token::Str(s) => report.name = s,
+                    t => return Err(format!("name must be a string, got {t:?}")),
+                },
+                "meta" | "metrics" => {
+                    lexer.expect('{')?;
+                    loop {
+                        let k = match lexer.peek_value()? {
+                            Token::Str(s) => s,
+                            Token::Close => break,
+                            t => return Err(format!("expected key in {key}, got {t:?}")),
+                        };
+                        lexer.expect(':')?;
+                        match (key.as_str(), lexer.peek_value()?) {
+                            ("meta", Token::Str(v)) => {
+                                report.meta.insert(k, v);
+                            }
+                            ("metrics", Token::Num(v)) => {
+                                report.metrics.insert(k, v);
+                            }
+                            (_, t) => return Err(format!("bad value in {key}: {t:?}")),
+                        }
+                        if !lexer.comma_or_close()? {
+                            break;
+                        }
+                    }
+                }
+                other => return Err(format!("unknown key {other:?}")),
+            }
+            if !lexer.comma_or_close()? {
+                break;
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn format_number(v: f64) -> String {
+    if v.is_finite() {
+        // Round-trippable and diff-friendly.
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[derive(Debug)]
+enum Token {
+    Str(String),
+    Num(f64),
+    Close,
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            chars: text.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected {want:?}, got {other:?}")),
+        }
+    }
+
+    /// Reads the next string, number, or closing brace.
+    fn peek_value(&mut self) -> Result<Token, String> {
+        self.skip_ws();
+        match self.chars.peek().copied() {
+            Some('}') => {
+                self.chars.next();
+                Ok(Token::Close)
+            }
+            Some('"') => {
+                self.chars.next();
+                let mut s = String::new();
+                while let Some(c) = self.chars.next() {
+                    match c {
+                        '"' => return Ok(Token::Str(s)),
+                        '\\' => match self.chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some('u') => {
+                                let hex: String =
+                                    (0..4).filter_map(|_| self.chars.next()).collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                                s.push(
+                                    char::from_u32(code)
+                                        .ok_or(format!("bad \\u codepoint {code:#x}"))?,
+                                );
+                            }
+                            Some(e) => s.push(e),
+                            None => return Err("dangling escape".into()),
+                        },
+                        c => s.push(c),
+                    }
+                }
+                Err("unterminated string".into())
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() || c == 'n' => {
+                let mut s = String::new();
+                while let Some(&c) = self.chars.peek() {
+                    if c == ',' || c == '}' || c.is_whitespace() {
+                        break;
+                    }
+                    s.push(c);
+                    self.chars.next();
+                }
+                if s == "null" {
+                    return Ok(Token::Num(f64::NAN));
+                }
+                s.parse::<f64>()
+                    .map(Token::Num)
+                    .map_err(|e| format!("bad number {s:?}: {e}"))
+            }
+            other => Err(format!("unexpected character {other:?}")),
+        }
+    }
+
+    /// Consumes a separator; `true` if a comma (more entries follow),
+    /// `false` if the object closed.
+    fn comma_or_close(&mut self) -> Result<bool, String> {
+        self.skip_ws();
+        match self.chars.next() {
+            Some(',') => Ok(true),
+            Some('}') => Ok(false),
+            other => Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("registration");
+        r.meta("grid", "10000x8").meta("threads", 1);
+        r.metric("headline_speedup_8kiosk", 4.25)
+            .metric("fleet_warm_regs_per_sec", 1234.5)
+            .metric("sequential_regs_per_sec", 290.0);
+        r
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let parsed = BenchReport::parse(&r.to_json()).expect("parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn headlines_filtered() {
+        let r = sample();
+        let heads: Vec<_> = r.headlines().collect();
+        assert_eq!(heads, vec![("headline_speedup_8kiosk", 4.25)]);
+    }
+
+    #[test]
+    fn empty_report_roundtrip() {
+        let r = BenchReport::new("x");
+        assert_eq!(BenchReport::parse(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn escaped_strings_roundtrip() {
+        let mut r = BenchReport::new("we\"ird\nname");
+        r.meta("k\\ey", "v\"al");
+        r.meta("control", "tab\there\u{1}");
+        assert_eq!(BenchReport::parse(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse("{\"name\": 3}").is_err());
+    }
+}

@@ -2,7 +2,13 @@
 //! binaries (`fig4`, `fig5a`, `fig5b`, `usability`, `ivbound`,
 //! `coercion`), which regenerate the rows and series of the paper's
 //! evaluation section (see `DESIGN.md` §3 for the experiment index and
-//! `EXPERIMENTS.md` for paper-vs-measured records).
+//! `EXPERIMENTS.md` for paper-vs-measured records), plus the shared
+//! machine-readable telemetry layer ([`json`]) behind every bench bin's
+//! `--json <path>` flag and the CI perf guard.
+
+pub mod json;
+
+pub use json::BenchReport;
 
 /// Renders a fixed-width table to stdout.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
@@ -70,6 +76,15 @@ pub fn arg_usize(name: &str, default: usize) -> usize {
 /// Returns `true` if `--flag` is present.
 pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
+}
+
+/// Parses a `--flag value` style string argument.
+pub fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 #[cfg(test)]

@@ -84,6 +84,18 @@ impl Prover {
         Self { nonce, commit }
     }
 
+    /// Rebuilds prover state from a nonce and its commitment computed
+    /// ahead of time (the ceremony-pool precomputation path: the two
+    /// commitment multiplications are the expensive half of the kiosk's
+    /// real-credential step and depend only on the bases, never on the
+    /// voter).
+    ///
+    /// The caller is responsible for `commit == (y·g₁, y·g₂)`; a mismatch
+    /// yields transcripts that fail verification, never an unsound accept.
+    pub fn from_parts(nonce: Scalar, commit: Commitment) -> Self {
+        Self { nonce, commit }
+    }
+
     /// The commitment to print before receiving the challenge.
     pub fn commitment(&self) -> Commitment {
         self.commit

@@ -17,10 +17,15 @@ use crate::sha2::{sha256, Sha512};
 use crate::CryptoError;
 
 /// A Schnorr signing key pair.
+///
+/// The compressed public key is cached at construction: every signature's
+/// challenge hash includes it, and compression costs a field inversion —
+/// measurable when a kiosk signs for hundreds of thousands of ceremonies.
 #[derive(Clone)]
 pub struct SigningKey {
     sk: Scalar,
     pk: EdwardsPoint,
+    pk_compressed: CompressedPoint,
 }
 
 impl core::fmt::Debug for SigningKey {
@@ -76,7 +81,11 @@ impl SigningKey {
     /// Builds the key pair for a known secret scalar.
     pub fn from_scalar(sk: Scalar) -> Self {
         let pk = EdwardsPoint::mul_base(&sk);
-        Self { sk, pk }
+        Self {
+            sk,
+            pk,
+            pk_compressed: pk.compress(),
+        }
     }
 
     /// The secret scalar (used by the credential-transfer extension C.2).
@@ -87,6 +96,13 @@ impl SigningKey {
     /// The public verification key (`Sig.PubKey`).
     pub fn verifying_key(&self) -> VerifyingKey {
         VerifyingKey(self.pk)
+    }
+
+    /// The compressed public key, from the construction-time cache (no
+    /// field inversion — use this on hot paths instead of
+    /// `verifying_key().compress()`).
+    pub fn public_key_compressed(&self) -> CompressedPoint {
+        self.pk_compressed
     }
 
     /// Signs `msg` (`Sig.Sign`), with deterministic nonce derivation.
@@ -115,9 +131,107 @@ impl SigningKey {
     fn sign_with_nonce(&self, msg: &[u8], k: Scalar) -> Signature {
         let r_point = EdwardsPoint::mul_base(&k);
         let r = r_point.compress();
-        let e = challenge(&r, &self.pk.compress(), msg);
+        let e = challenge(&r, &self.pk_compressed, msg);
         let s = k + e * self.sk;
         Signature { r, s }
+    }
+}
+
+/// A precomputed signing nonce: the pair (k, R = k·B) with R already
+/// compressed.
+///
+/// Generating R is the only scalar multiplication in Schnorr signing, so a
+/// batch of coupons prepared ahead of time turns signing into pure hashing
+/// and scalar arithmetic — the kiosk-side precomputation TRIP's deployment
+/// story depends on (registration booths prepare material before a voter
+/// arrives). A coupon is **single-use**: signing two different messages
+/// with one nonce reveals the secret key, which is why the type is neither
+/// `Clone` nor `Copy` and [`SigningKey::sign_with_coupon`] consumes it.
+///
+/// Coupons are key-independent (they involve only the basepoint), so one
+/// pool can serve any signer.
+pub struct NonceCoupon {
+    k: Scalar,
+    r: CompressedPoint,
+}
+
+impl core::fmt::Debug for NonceCoupon {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print the nonce scalar.
+        write!(f, "NonceCoupon(r={:?})", self.r)
+    }
+}
+
+impl NonceCoupon {
+    /// Draws one coupon.
+    pub fn generate(rng: &mut dyn Rng) -> Self {
+        let k = rng.scalar();
+        Self {
+            k,
+            r: EdwardsPoint::mul_base(&k).compress(),
+        }
+    }
+
+    /// Draws `n` coupons, amortizing the point compressions through one
+    /// shared field inversion ([`EdwardsPoint::batch_compress`]).
+    pub fn batch(n: usize, rng: &mut dyn Rng) -> Vec<NonceCoupon> {
+        let ks: Vec<Scalar> = (0..n).map(|_| rng.scalar()).collect();
+        let rs: Vec<EdwardsPoint> = ks.iter().map(EdwardsPoint::mul_base).collect();
+        let compressed = EdwardsPoint::batch_compress(&rs);
+        ks.into_iter()
+            .zip(compressed)
+            .map(|(k, r)| NonceCoupon { k, r })
+            .collect()
+    }
+
+    /// The commitment point R this coupon will place in a signature.
+    pub fn commitment(&self) -> CompressedPoint {
+        self.r
+    }
+}
+
+impl SigningKey {
+    /// Signs `msg` using a precomputed [`NonceCoupon`]: no scalar
+    /// multiplication happens on this path, only hashing and scalar
+    /// arithmetic.
+    ///
+    /// Produces a valid signature for any coupon, but — unlike
+    /// [`SigningKey::sign`] — a *different* one per coupon, so replaying a
+    /// ceremony bit-identically requires replaying the coupon stream too
+    /// (the ceremony pool derives both from one seed).
+    pub fn sign_with_coupon(&self, msg: &[u8], coupon: NonceCoupon) -> Signature {
+        let e = challenge(&coupon.r, &self.pk_compressed, msg);
+        Signature {
+            r: coupon.r,
+            s: coupon.k + e * self.sk,
+        }
+    }
+}
+
+/// A decompression memo for admission sweeps.
+///
+/// Batched ledger admission, check-out and activation see the *same* few
+/// registrar keys (kiosks, officials, printers) tens of thousands of
+/// times, and every [`VerifyingKey::from_compressed`] costs a field
+/// square root. The cache decodes each distinct encoding once, with the
+/// same small-order rejection.
+#[derive(Default)]
+pub struct VerifyingKeyCache {
+    memo: std::collections::HashMap<[u8; 32], Result<VerifyingKey, CryptoError>>,
+}
+
+impl VerifyingKeyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`VerifyingKey::from_compressed`], memoized.
+    pub fn get(&mut self, c: &CompressedPoint) -> Result<VerifyingKey, CryptoError> {
+        *self
+            .memo
+            .entry(c.0)
+            .or_insert_with(|| VerifyingKey::from_compressed(c))
     }
 }
 
@@ -170,6 +284,17 @@ pub fn batch_verify(
     items: &[(VerifyingKey, &[u8], Signature)],
     rng: &mut dyn Rng,
 ) -> Result<(), CryptoError> {
+    batch_verify_par(items, 1, rng)
+}
+
+/// [`batch_verify`] with the folded multi-scalar multiplication spread
+/// over up to `threads` workers (large registration and admission batches
+/// are Pippenger-bound; the fold parallelizes cleanly).
+pub fn batch_verify_par(
+    items: &[(VerifyingKey, &[u8], Signature)],
+    threads: usize,
+    rng: &mut dyn Rng,
+) -> Result<(), CryptoError> {
     if items.is_empty() {
         return Ok(());
     }
@@ -177,9 +302,14 @@ pub fn batch_verify(
     let mut scalars = Vec::with_capacity(2 * n + 1);
     let mut points = Vec::with_capacity(2 * n + 1);
     let mut s_sum = Scalar::ZERO;
-    for (vk, msg, sig) in items {
+    // One shared inversion for all the public-key encodings the challenge
+    // hashes need (admission sweeps repeat a handful of keys thousands of
+    // times; compressing them one by one is inversion-bound).
+    let vk_points: Vec<EdwardsPoint> = items.iter().map(|(vk, _, _)| vk.0).collect();
+    let vk_compressed = EdwardsPoint::batch_compress(&vk_points);
+    for ((vk, msg, sig), vk_c) in items.iter().zip(vk_compressed.iter()) {
         let r_point = sig.r.decompress().ok_or(CryptoError::InvalidPoint)?;
-        let e = challenge(&sig.r, &vk.0.compress(), msg);
+        let e = challenge(&sig.r, vk_c, msg);
         // 128-bit random weight is ample for soundness.
         let mut w = [0u8; 32];
         rng.fill_bytes(&mut w[..16]);
@@ -192,7 +322,7 @@ pub fn batch_verify(
     }
     scalars.push(-s_sum);
     points.push(EdwardsPoint::basepoint());
-    if crate::edwards::multiscalar_mul(&scalars, &points).is_identity() {
+    if crate::edwards::multiscalar_mul_par(&scalars, &points, threads).is_identity() {
         Ok(())
     } else {
         Err(CryptoError::BadSignature)
@@ -213,6 +343,47 @@ fn challenge(r: &CompressedPoint, pk: &CompressedPoint, msg: &[u8]) -> Scalar {
 mod tests {
     use super::*;
     use crate::drbg::HmacDrbg;
+
+    #[test]
+    fn coupon_signature_verifies() {
+        let mut rng = HmacDrbg::from_u64(40);
+        let key = SigningKey::generate(&mut rng);
+        let coupon = NonceCoupon::generate(&mut rng);
+        let sig = key.sign_with_coupon(b"precomputed", coupon);
+        key.verifying_key()
+            .verify(b"precomputed", &sig)
+            .expect("coupon signature verifies");
+    }
+
+    #[test]
+    fn coupon_batch_matches_one_by_one() {
+        // The batch constructor and the one-by-one constructor driven by
+        // the same DRBG produce identical coupons (batch_compress is
+        // encoding-exact).
+        let mut rng_a = HmacDrbg::from_u64(41);
+        let mut rng_b = HmacDrbg::from_u64(41);
+        let batch = NonceCoupon::batch(5, &mut rng_a);
+        for coupon in batch {
+            let single = NonceCoupon::generate(&mut rng_b);
+            assert_eq!(coupon.k, single.k);
+            assert_eq!(coupon.r, single.r);
+        }
+    }
+
+    #[test]
+    fn coupon_signatures_differ_from_deterministic_signs() {
+        // Coupons draw their nonce from the pool stream, not from the
+        // RFC 6979-style derivation, so the signatures differ even on the
+        // same message — both remain valid.
+        let mut rng = HmacDrbg::from_u64(42);
+        let key = SigningKey::generate(&mut rng);
+        let coupon = NonceCoupon::generate(&mut rng);
+        let a = key.sign(b"msg");
+        let b = key.sign_with_coupon(b"msg", coupon);
+        assert_ne!(a.to_bytes(), b.to_bytes());
+        key.verifying_key().verify(b"msg", &a).unwrap();
+        key.verifying_key().verify(b"msg", &b).unwrap();
+    }
 
     #[test]
     fn sign_verify_roundtrip() {

@@ -63,6 +63,45 @@ impl From<CryptoError> for LedgerError {
     }
 }
 
+/// Batch-admission weight source: an HMAC-DRBG seeded from a hash that
+/// commits to every record in the batch. Per the soundness analysis of
+/// [`vg_crypto::batch`], weights derived from a commitment over all
+/// statements *and* proofs leave a cheating submitter a ≤ 2⁻¹²⁷ success
+/// chance per grinding attempt, while keeping batched admission
+/// deterministic (bit-identical replays of a registration day re-derive
+/// the same weights).
+fn admission_rng<R: Record>(domain: &[u8], records: &[R]) -> vg_crypto::HmacDrbg {
+    let mut acc = Vec::with_capacity(64 + records.len() * 8);
+    acc.extend_from_slice(domain);
+    for r in records {
+        acc.extend_from_slice(&vg_crypto::sha2::sha256(&r.canonical_bytes()));
+    }
+    vg_crypto::HmacDrbg::new(&vg_crypto::sha2::sha256(&acc))
+}
+
+/// Runs one RLC-batched signature sweep, falling back to the per-item
+/// checker to locate the offender (and surface its precise error) when
+/// the fold rejects.
+fn batched_signature_sweep<R: Record + Sync>(
+    domain: &[u8],
+    records: &[R],
+    items: &[(VerifyingKey, &[u8], Signature)],
+    threads: usize,
+    per_item: impl Fn(&R) -> Result<(), LedgerError> + Sync,
+) -> Result<(), LedgerError> {
+    let mut rng = admission_rng(domain, records);
+    if vg_crypto::schnorr::batch_verify_par(items, threads, &mut rng).is_ok() {
+        return Ok(());
+    }
+    for check in par_map(records, threads, &per_item) {
+        check?;
+    }
+    // The fold rejected but every item passes individually: a negligible-
+    // probability RLC false negative, or (far more likely) a torsioned
+    // but verifying R component. Per-item acceptance is authoritative.
+    Ok(())
+}
+
 /// A registration-ledger record (Fig 10 line 5):
 /// L_R\[V_id\] ← (c_pc, K_pk, σ_kot, O_pk, σ_o).
 #[derive(Clone, Debug)]
@@ -187,10 +226,18 @@ impl RegistrationLedger {
     }
 
     /// Posts a batch of registration records, verifying signature chains
-    /// with up to `threads` workers and appending through the backend's
-    /// batch fast path. All-or-nothing: any invalid record rejects the
-    /// whole batch before the ledger is touched. Supersede semantics
-    /// apply in input order.
+    /// through one random-linear-combination fold ([`vg_crypto::schnorr::
+    /// batch_verify_par`]; 2 records and up) and appending through the
+    /// backend's batch fast path. All-or-nothing: any invalid record
+    /// rejects the whole batch before the ledger is touched, with the
+    /// per-record checker re-run to surface the offender's precise error.
+    /// Supersede semantics apply in input order.
+    ///
+    /// The fold's weights are derived from a hash committing to the whole
+    /// batch, so replays are bit-identical; a submitter grinding records
+    /// against the fold is the classical RLC residual risk, and auditors
+    /// (and the per-record [`RegistrationLedger::post`] path) always
+    /// re-verify individually.
     pub fn post_batch(
         &mut self,
         records: Vec<RegistrationRecord>,
@@ -201,9 +248,39 @@ impl RegistrationLedger {
                 return Err(LedgerError::NotOnRoster);
             }
         }
-        let checks = par_map(&records, threads, Self::check_record);
-        for check in checks {
-            check?;
+        if records.len() < 2 {
+            for check in par_map(&records, threads, Self::check_record) {
+                check?;
+            }
+        } else {
+            let mut vk_cache = vg_crypto::schnorr::VerifyingKeyCache::new();
+            let mut keys = Vec::with_capacity(records.len() * 2);
+            let mut msgs = Vec::with_capacity(records.len() * 2);
+            for record in &records {
+                keys.push((vk_cache.get(&record.kiosk_pk)?, record.kiosk_sig));
+                msgs.push(RegistrationRecord::kiosk_message(
+                    record.voter_id,
+                    &record.c_pc,
+                ));
+                keys.push((vk_cache.get(&record.official_pk)?, record.official_sig));
+                msgs.push(RegistrationRecord::official_message(
+                    record.voter_id,
+                    &record.c_pc,
+                    &record.kiosk_sig,
+                ));
+            }
+            let items: Vec<(VerifyingKey, &[u8], Signature)> = keys
+                .iter()
+                .zip(msgs.iter())
+                .map(|(&(vk, sig), msg)| (vk, msg.as_slice(), sig))
+                .collect();
+            batched_signature_sweep(
+                b"ledger-reg-admission-v1",
+                &records,
+                &items,
+                threads,
+                Self::check_record,
+            )?;
         }
         let voters: Vec<VoterId> = records.iter().map(|r| r.voter_id).collect();
         let range = self.log.append_batch(records, threads);
@@ -330,16 +407,40 @@ impl EnvelopeLedger {
     }
 
     /// Records a batch of commitments (setup stocks hundreds of
-    /// thousands of envelopes at once; Fig 7 line 5). All-or-nothing on
-    /// signature failure.
+    /// thousands of envelopes at once; Fig 7 line 5, and the ceremony
+    /// pool's batched refills). All-or-nothing on signature failure;
+    /// printer signatures are checked through one RLC fold with the same
+    /// weight derivation and fallback as
+    /// [`RegistrationLedger::post_batch`].
     pub fn commit_batch(
         &mut self,
         commitments: Vec<EnvelopeCommitment>,
         threads: usize,
     ) -> Result<std::ops::Range<usize>, LedgerError> {
-        let checks = par_map(&commitments, threads, Self::check_commitment);
-        for check in checks {
-            check?;
+        if commitments.len() < 2 {
+            for check in par_map(&commitments, threads, Self::check_commitment) {
+                check?;
+            }
+        } else {
+            let mut vk_cache = vg_crypto::schnorr::VerifyingKeyCache::new();
+            let mut keys = Vec::with_capacity(commitments.len());
+            let mut msgs = Vec::with_capacity(commitments.len());
+            for c in &commitments {
+                keys.push((vk_cache.get(&c.printer_pk)?, c.signature));
+                msgs.push(EnvelopeCommitment::message(&c.challenge_hash));
+            }
+            let items: Vec<(VerifyingKey, &[u8], Signature)> = keys
+                .iter()
+                .zip(msgs.iter())
+                .map(|(&(vk, sig), msg)| (vk, msg.as_slice(), sig))
+                .collect();
+            batched_signature_sweep(
+                b"ledger-env-admission-v1",
+                &commitments,
+                &items,
+                threads,
+                Self::check_commitment,
+            )?;
         }
         let hashes: Vec<[u8; 32]> = commitments.iter().map(|c| c.challenge_hash).collect();
         let range = self.log.append_batch(commitments, threads);

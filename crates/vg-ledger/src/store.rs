@@ -15,8 +15,9 @@
 //!   along (each shard maps to a storage node).
 //!
 //! Proof objects ([`InclusionProof`], [`ConsistencyProof`]) carry enough
-//! backend-specific context to verify against a signed [`TreeHead`]
-//! without access to the store, so auditors stay backend-agnostic.
+//! backend-specific context to verify against a signed
+//! [`TreeHead`](crate::TreeHead) without access to the store, so auditors
+//! stay backend-agnostic.
 
 use std::ops::Range;
 

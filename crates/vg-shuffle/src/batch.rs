@@ -26,7 +26,7 @@
 //! Weights are derived per stage from the stage's own verification
 //! transcript *after* absorbing the proof's response scalars, so they
 //! commit to the full statement and proof; see
-//! [`vg_crypto::batch`](vg_crypto::batch) for the small-exponent RLC
+//! [`vg_crypto::batch`] for the small-exponent RLC
 //! soundness argument.
 
 use vg_crypto::batch::{small_weight, BatchVerifier};

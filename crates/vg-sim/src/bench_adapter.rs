@@ -62,7 +62,8 @@ impl VotegralCore {
     }
 
     /// Runs the tally and then an independent (secret-free) verification
-    /// of its transcript under the given mix-proof [`VerifyMode`],
+    /// of its transcript under the given mix-proof
+    /// [`VerifyMode`](vg_votegral::VerifyMode),
     /// returning the counts with the two phase latencies in milliseconds.
     /// This is the universal-verifiability cost the Fig 5 tally workloads
     /// leave unmeasured; `VerifyMode::Batched` is what a production

@@ -31,6 +31,10 @@ pub enum TripError {
     /// requested operation (e.g. activating a credential still in
     /// transport state).
     WrongPhysicalState,
+    /// A ceremony-pool refill failed its batched self-check: some
+    /// precomputed commitment or tag does not match its claimed scalar
+    /// (corrupted precompute memory on a kiosk appliance).
+    PoolIntegrity,
     /// An underlying cryptographic operation failed.
     Crypto(CryptoError),
     /// A ledger operation failed.
@@ -74,6 +78,9 @@ impl core::fmt::Display for TripError {
             TripError::Activation(check) => write!(f, "activation check failed: {check:?}"),
             TripError::WrongPhysicalState => {
                 write!(f, "paper credential in wrong physical state")
+            }
+            TripError::PoolIntegrity => {
+                write!(f, "ceremony pool failed its precompute self-check")
             }
             TripError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
             TripError::Ledger(e) => write!(f, "ledger failure: {e}"),

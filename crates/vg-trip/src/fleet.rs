@@ -1,0 +1,625 @@
+//! The kiosk fleet: N concurrent kiosks draining one check-in queue, fed
+//! by a [`CeremonyPool`].
+//!
+//! This is the registration-day engine the paper's throughput story needs
+//! (§7.3): the expensive per-session material is precomputed by the pool
+//! (ahead of voter arrival, in parallel), every signature the booth emits
+//! is coupon-backed (hash-only), and ledger admission — envelope
+//! commitments, check-out records, activation checks — is folded into
+//! batched random-linear-combination sweeps. Session `i` of the queue is
+//! served by kiosk `i mod N`, each kiosk's sessions run strictly
+//! sequentially (a booth holds one voter), and all ledger writes happen on
+//! the coordinator in queue order.
+//!
+//! # Determinism
+//!
+//! A fleet run is a pure function of `(seed, queue, kiosk count)`: session
+//! materials derive from `(seed, queue position, voter)`, coupons are part
+//! of that derivation, and ledger ordering is fixed by the queue — so any
+//! `(pool batch, thread count)` choice replays bit-identically, and the
+//! whole run equals a sequential loop of
+//! [`crate::protocol::register_voter_seeded`] record-for-record. The
+//! equivalence is enforced by `tests/fleet.rs` at the workspace root.
+
+use std::sync::Mutex;
+
+use vg_crypto::schnorr::NonceCoupon;
+use vg_ledger::EnvelopeCommitment;
+
+use crate::ceremony::SessionMaterials;
+use crate::error::TripError;
+use crate::kiosk::{Kiosk, KioskBehavior, KioskEvent, StolenCredential};
+use crate::materials::{CheckInTicket, CheckOutQr, PaperCredential};
+use crate::pool::{CeremonyPool, SessionPlan};
+use crate::protocol::RegistrationOutcome;
+use crate::setup::TripSystem;
+use crate::vsd::Vsd;
+use vg_ledger::VoterId;
+
+/// Fleet tuning knobs. The seed fixes every credential, envelope and
+/// signature of the run; batch and thread counts only change scheduling.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Sessions precomputed per pool refill.
+    pub pool_batch: usize,
+    /// Worker threads for precompute, ceremonies and batched admission.
+    pub threads: usize,
+    /// Derivation seed for the whole registration day.
+    pub seed: [u8; 32],
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            pool_batch: 256,
+            threads: 1,
+            seed: [0u8; 32],
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A config with the given seed and defaults otherwise.
+    pub fn seeded(seed: [u8; 32]) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything one ceremony produces before the coordinator touches the
+/// ledger.
+pub(crate) struct CeremonyOutput {
+    pub(crate) believed_real: PaperCredential,
+    pub(crate) fakes: Vec<PaperCredential>,
+    pub(crate) events: Vec<KioskEvent>,
+    pub(crate) checkout: CheckOutQr,
+    pub(crate) commitments: Vec<EnvelopeCommitment>,
+    pub(crate) official_coupon: NonceCoupon,
+    pub(crate) stolen: Option<StolenCredential>,
+}
+
+/// Runs one voter's in-booth ceremony from precomputed materials. Shared
+/// by the fleet workers and the sequential reference path
+/// ([`crate::protocol::register_voter_seeded`]), which is what makes the
+/// two bit-identical.
+pub(crate) fn run_session(
+    kiosk: &Kiosk,
+    ticket: &CheckInTicket,
+    materials: SessionMaterials,
+) -> Result<CeremonyOutput, TripError> {
+    let SessionMaterials {
+        real,
+        fakes,
+        malicious_spare,
+        envelopes,
+        commitments,
+        official_coupon,
+        ..
+    } = materials;
+    let mut session = kiosk.begin_session(ticket)?;
+    let mut env_iter = envelopes.into_iter();
+    let mut stolen = None;
+
+    let mut believed_real = match kiosk.behavior() {
+        KioskBehavior::Honest => {
+            // Real credential, 4-step process (§3.2): commit printed, then
+            // the voter presents the matching envelope.
+            session.begin_real_from(real)?;
+            let envelope = env_iter.next().expect("pool packs the real envelope");
+            let receipt = session.finish_real_credential(&envelope)?;
+            PaperCredential::assemble(receipt, envelope)
+        }
+        KioskBehavior::StealsRealCredential => {
+            // The compromised kiosk asks for an envelope up front.
+            let spare = malicious_spare.ok_or(TripError::WrongPhysicalState)?;
+            let envelope = env_iter.next().expect("pool packs the real envelope");
+            let (receipt, loot) = session.malicious_real_from(real, spare, &envelope)?;
+            stolen = Some(loot);
+            PaperCredential::assemble(receipt, envelope)
+        }
+    };
+
+    let mut fake_creds = Vec::with_capacity(fakes.len());
+    for pre in fakes {
+        let envelope = env_iter.next().expect("pool packs one envelope per fake");
+        let receipt = session.create_fake_from(pre, &envelope)?;
+        fake_creds.push(PaperCredential::assemble(receipt, envelope));
+    }
+
+    // The voter privately marks the credentials (§3.2).
+    believed_real.mark("R");
+    for (i, fake) in fake_creds.iter_mut().enumerate() {
+        fake.mark(&format!("F{i}"));
+    }
+
+    let checkout = believed_real.transport_view()?.checkout.clone();
+    Ok(CeremonyOutput {
+        believed_real,
+        fakes: fake_creds,
+        events: session.finish(),
+        checkout,
+        commitments,
+        official_coupon,
+        stolen,
+    })
+}
+
+/// N concurrent kiosks over a shared check-in queue, pool-fed.
+pub struct KioskFleet {
+    config: FleetConfig,
+}
+
+impl KioskFleet {
+    /// Creates a fleet with the given tuning.
+    pub fn new(config: FleetConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Builds the [`CeremonyPool`] for a queue over this system's kiosks,
+    /// without deriving anything yet. Pre-warm it ([`CeremonyPool::warm`])
+    /// to model the booth-idle precompute the paper's deployment assumes,
+    /// then drain it through [`KioskFleet::register_with_pool`].
+    pub fn prepare_pool(&self, system: &TripSystem, plan: &[(VoterId, usize)]) -> CeremonyPool {
+        let n_kiosks = system.kiosks.len().max(1);
+        let session_plans: Vec<SessionPlan> = plan
+            .iter()
+            .enumerate()
+            .map(|(i, &(voter, n_fakes))| SessionPlan {
+                voter,
+                n_fakes,
+                malicious: system.kiosks[i % n_kiosks].behavior()
+                    == KioskBehavior::StealsRealCredential,
+            })
+            .collect();
+        CeremonyPool::new(
+            self.config.seed,
+            system.authority.public_key,
+            session_plans,
+            self.config.pool_batch,
+            self.config.threads,
+        )
+    }
+
+    /// Registers the whole queue: `plan` lists `(voter, fakes)` in
+    /// check-in order. Returns one [`RegistrationOutcome`] per session, in
+    /// queue order.
+    ///
+    /// Work proceeds in pool-batch windows: precompute (parallel) →
+    /// ceremonies (parallel across kiosks, sequential per kiosk) →
+    /// coordinator ledger phase (batched envelope commitments, batched
+    /// check-out admission, loot collection) — so memory stays bounded by
+    /// the pool batch while the ledgers fill in queue order.
+    pub fn register(
+        &self,
+        system: &mut TripSystem,
+        plan: &[(VoterId, usize)],
+    ) -> Result<Vec<RegistrationOutcome>, TripError> {
+        let mut pool = self.prepare_pool(system, plan);
+        self.register_with_pool(system, plan, &mut pool)
+    }
+
+    /// [`KioskFleet::register`] drawing from a caller-managed pool —
+    /// typically one pre-warmed while the booths were idle. The pool must
+    /// have been built by [`KioskFleet::prepare_pool`] for the same
+    /// `(system, plan)`; whatever it has not derived yet is refilled on
+    /// demand.
+    pub fn register_with_pool(
+        &self,
+        system: &mut TripSystem,
+        plan: &[(VoterId, usize)],
+        pool: &mut CeremonyPool,
+    ) -> Result<Vec<RegistrationOutcome>, TripError> {
+        let mut outcomes = Vec::with_capacity(plan.len());
+        self.register_each_with_pool(system, plan, pool, |outcome| outcomes.push(outcome))?;
+        Ok(outcomes)
+    }
+
+    /// Streaming core: like [`KioskFleet::register_with_pool`] but hands
+    /// each [`RegistrationOutcome`] to `sink` (queue order) instead of
+    /// accumulating them, so the dominant per-session state (credential
+    /// materials, receipts, envelopes) stays O(pool batch). Light
+    /// bookkeeping remains O(queue): the check-in tickets, the ledger
+    /// records themselves, and each kiosk's sealed event journal.
+    pub fn register_each_with_pool(
+        &self,
+        system: &mut TripSystem,
+        plan: &[(VoterId, usize)],
+        pool: &mut CeremonyPool,
+        mut sink: impl FnMut(RegistrationOutcome),
+    ) -> Result<(), TripError> {
+        // Check-in for the whole queue (Fig 8; MAC-only, sequential).
+        let tickets: Vec<CheckInTicket> = plan
+            .iter()
+            .map(|&(voter, _)| system.officials[0].check_in(&system.ledger, voter))
+            .collect::<Result<_, _>>()?;
+        loop {
+            if pool.prepared() == 0 && pool.refill(&system.printers[0])? == 0 {
+                break;
+            }
+            // Drain at most one pool batch per window so a fully warmed
+            // pool still flows through bounded coordinator batches.
+            let take = pool.prepared().min(self.config.pool_batch.max(1));
+            let window: Vec<SessionMaterials> = (0..take)
+                .map(|_| pool.take_ready().expect("prepared sessions"))
+                .collect();
+            self.process_window(system, &tickets, window, &mut sink)?;
+        }
+        Ok(())
+    }
+
+    /// [`KioskFleet::register`] followed by batched activation of every
+    /// credential on a fresh per-voter device (Fig 11 through
+    /// [`crate::vsd::activate_batch`]).
+    ///
+    /// If the same voter appears twice in one queue, only the *last*
+    /// registration's credentials activate (earlier ones are superseded on
+    /// L_R before activation begins — re-registration semantics, §3.2).
+    pub fn register_and_activate(
+        &self,
+        system: &mut TripSystem,
+        plan: &[(VoterId, usize)],
+    ) -> Result<Vec<(RegistrationOutcome, Vsd)>, TripError> {
+        let outcomes = self.register(system, plan)?;
+        self.activate_outcomes(system, outcomes)
+    }
+
+    /// [`KioskFleet::register_and_activate`] drawing from a caller-managed
+    /// (typically pre-warmed) pool.
+    pub fn register_and_activate_with_pool(
+        &self,
+        system: &mut TripSystem,
+        plan: &[(VoterId, usize)],
+        pool: &mut CeremonyPool,
+    ) -> Result<Vec<(RegistrationOutcome, Vsd)>, TripError> {
+        let outcomes = self.register_with_pool(system, plan, pool)?;
+        self.activate_outcomes(system, outcomes)
+    }
+
+    fn activate_outcomes(
+        &self,
+        system: &mut TripSystem,
+        mut outcomes: Vec<RegistrationOutcome>,
+    ) -> Result<Vec<(RegistrationOutcome, Vsd)>, TripError> {
+        for outcome in &mut outcomes {
+            outcome.believed_real.lift_to_activate();
+            for fake in &mut outcome.fakes {
+                fake.lift_to_activate();
+            }
+        }
+        // A session superseded within this same queue (the voter
+        // re-registered later on) is skipped: its credentials no longer
+        // match the active L_R record, exactly as if the voter had
+        // re-registered before ever activating (§3.2). Its device comes
+        // back empty.
+        let still_active: Vec<bool> = outcomes
+            .iter()
+            .map(|o| {
+                let checkout = &o.believed_real.receipt.checkout_qr;
+                system
+                    .ledger
+                    .registration
+                    .active_record(checkout.voter_id)
+                    .is_some_and(|record| record.c_pc == checkout.c_pc)
+            })
+            .collect();
+        let credential_refs: Vec<&PaperCredential> = outcomes
+            .iter()
+            .zip(still_active.iter())
+            .filter(|(_, &active)| active)
+            .flat_map(|(o, _)| std::iter::once(&o.believed_real).chain(o.fakes.iter()))
+            .collect();
+        let activated = crate::vsd::activate_batch(
+            &credential_refs,
+            &mut system.ledger,
+            &system.authority.public_key,
+            &system.printer_registry,
+            self.config.threads,
+        )?;
+        let mut activated = activated.into_iter();
+        Ok(outcomes
+            .into_iter()
+            .zip(still_active)
+            .map(|(outcome, active)| {
+                let mut vsd = Vsd::new();
+                if active {
+                    for _ in 0..=outcome.fakes.len() {
+                        vsd.credentials
+                            .push(activated.next().expect("one activation per credential"));
+                    }
+                }
+                (outcome, vsd)
+            })
+            .collect())
+    }
+
+    fn process_window(
+        &self,
+        system: &mut TripSystem,
+        tickets: &[CheckInTicket],
+        window: Vec<SessionMaterials>,
+        sink: &mut impl FnMut(RegistrationOutcome),
+    ) -> Result<(), TripError> {
+        let n_kiosks = system.kiosks.len().max(1);
+        let threads = self.config.threads.max(1);
+
+        // One lane per kiosk, queue order within a lane; lanes spread
+        // round-robin over the worker threads.
+        let mut lanes: Vec<Vec<SessionMaterials>> = (0..n_kiosks).map(|_| Vec::new()).collect();
+        for materials in window {
+            lanes[materials.session_index % n_kiosks].push(materials);
+        }
+        let worker_count = threads.min(n_kiosks);
+        let mut worker_lanes: Vec<Vec<(usize, Vec<SessionMaterials>)>> =
+            (0..worker_count).map(|_| Vec::new()).collect();
+        for (k, lane) in lanes.into_iter().enumerate() {
+            if !lane.is_empty() {
+                worker_lanes[k % worker_count].push((k, lane));
+            }
+        }
+
+        let kiosks = &system.kiosks;
+        let results: Mutex<Vec<(usize, Result<CeremonyOutput, TripError>)>> =
+            Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for assigned in worker_lanes {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    for (k, lane) in assigned {
+                        let kiosk = &kiosks[k];
+                        for materials in lane {
+                            let idx = materials.session_index;
+                            local.push((idx, run_session(kiosk, &tickets[idx], materials)));
+                        }
+                    }
+                    results.lock().expect("fleet results lock").extend(local);
+                });
+            }
+        });
+        let mut results = results.into_inner().expect("fleet results lock");
+        results.sort_by_key(|(idx, _)| *idx);
+
+        // Propagate the earliest failure in queue order (deterministic
+        // regardless of which worker hit it first).
+        let mut window_outputs = Vec::with_capacity(results.len());
+        for (_, result) in results {
+            window_outputs.push(result?);
+        }
+
+        // Coordinator ledger phase, queue order throughout.
+        let mut commitments = Vec::new();
+        let mut checkouts = Vec::with_capacity(window_outputs.len());
+        let mut finals = Vec::with_capacity(window_outputs.len());
+        for output in window_outputs {
+            let CeremonyOutput {
+                believed_real,
+                fakes,
+                events,
+                checkout,
+                commitments: batch,
+                official_coupon,
+                stolen,
+            } = output;
+            commitments.extend(batch);
+            checkouts.push((checkout, official_coupon));
+            finals.push((believed_real, fakes, events, stolen));
+        }
+        system
+            .ledger
+            .envelopes
+            .commit_batch(commitments, threads)
+            .map_err(TripError::Ledger)?;
+        system.officials[0].check_out_batch(
+            &mut system.ledger,
+            checkouts,
+            &system.kiosk_registry,
+            threads,
+        )?;
+        for (believed_real, fakes, events, stolen) in finals {
+            if let Some(loot) = stolen {
+                system.adversary_loot.push(loot);
+            }
+            sink(RegistrationOutcome {
+                believed_real,
+                fakes,
+                events,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{register_voter_seeded, trace_shows_honest_real_flow};
+    use crate::setup::TripConfig;
+    use vg_crypto::HmacDrbg;
+
+    fn config(n_voters: u64, n_kiosks: usize) -> TripConfig {
+        TripConfig {
+            n_voters,
+            n_kiosks,
+            ..TripConfig::default()
+        }
+    }
+
+    fn plan(n: u64) -> Vec<(VoterId, usize)> {
+        (1..=n).map(|v| (VoterId(v), (v % 3) as usize)).collect()
+    }
+
+    /// Ledger heads plus per-credential identifying bytes of a run.
+    fn fingerprint(
+        system: &TripSystem,
+        outcomes: &[RegistrationOutcome],
+    ) -> (Vec<u8>, Vec<u8>, Vec<Vec<u8>>) {
+        let creds = outcomes
+            .iter()
+            .flat_map(|o| o.all_credentials())
+            .map(|c| {
+                let mut bytes = c.receipt.checkout_qr.kiosk_sig.to_bytes().to_vec();
+                bytes.extend_from_slice(&c.receipt.response_qr.credential_sk.to_bytes());
+                bytes.extend_from_slice(&c.envelope.challenge.to_bytes());
+                bytes
+            })
+            .collect();
+        (
+            system.ledger.registration.tree_head().root.to_vec(),
+            system.ledger.envelopes.tree_head().root.to_vec(),
+            creds,
+        )
+    }
+
+    #[test]
+    fn fleet_matches_sequential_seeded_reference() {
+        let seed = [5u8; 32];
+        let queue = plan(5);
+
+        let mut rng = HmacDrbg::from_u64(1);
+        let mut seq_system = TripSystem::setup(config(5, 2), &mut rng);
+        let mut seq_outcomes = Vec::new();
+        for (i, &(voter, fakes)) in queue.iter().enumerate() {
+            seq_outcomes
+                .push(register_voter_seeded(&mut seq_system, voter, fakes, &seed, i).unwrap());
+        }
+
+        // The same deterministic setup, drained through the fleet with a
+        // small pool window and several workers.
+        let mut rng = HmacDrbg::from_u64(1);
+        let mut fleet_system = TripSystem::setup(config(5, 2), &mut rng);
+        let fleet = KioskFleet::new(FleetConfig {
+            pool_batch: 2,
+            threads: 3,
+            seed,
+        });
+        let fleet_outcomes = fleet.register(&mut fleet_system, &queue).unwrap();
+
+        assert_eq!(
+            fingerprint(&seq_system, &seq_outcomes),
+            fingerprint(&fleet_system, &fleet_outcomes),
+        );
+        for outcome in &fleet_outcomes {
+            assert!(trace_shows_honest_real_flow(&outcome.events));
+        }
+    }
+
+    #[test]
+    fn fleet_activation_matches_sequential_activation() {
+        let seed = [8u8; 32];
+        let queue = plan(4);
+
+        let mut rng = HmacDrbg::from_u64(2);
+        let mut seq_system = TripSystem::setup(config(4, 2), &mut rng);
+        let mut seq_creds = Vec::new();
+        for (i, &(voter, fakes)) in queue.iter().enumerate() {
+            let mut outcome =
+                register_voter_seeded(&mut seq_system, voter, fakes, &seed, i).unwrap();
+            let vsd =
+                crate::protocol::activate_all(&mut seq_system, &mut outcome, &mut rng).unwrap();
+            seq_creds.extend(vsd.credentials.into_iter().map(|c| c.key.secret()));
+        }
+
+        let mut rng = HmacDrbg::from_u64(2);
+        let mut fleet_system = TripSystem::setup(config(4, 2), &mut rng);
+        let fleet = KioskFleet::new(FleetConfig {
+            pool_batch: 3,
+            threads: 2,
+            seed,
+        });
+        let sessions = fleet
+            .register_and_activate(&mut fleet_system, &queue)
+            .unwrap();
+        let fleet_creds: Vec<_> = sessions
+            .iter()
+            .flat_map(|(_, vsd)| vsd.credentials.iter().map(|c| c.key.secret()))
+            .collect();
+        assert_eq!(seq_creds, fleet_creds);
+        assert_eq!(
+            seq_system.ledger.envelopes.revealed_count(),
+            fleet_system.ledger.envelopes.revealed_count()
+        );
+        assert_eq!(fleet_system.ledger.registration.active_count(), 4);
+    }
+
+    #[test]
+    fn kiosk_journals_stay_per_session_ordered() {
+        let mut rng = HmacDrbg::from_u64(3);
+        let mut system = TripSystem::setup(config(9, 3), &mut rng);
+        let fleet = KioskFleet::new(FleetConfig {
+            pool_batch: 4,
+            threads: 3,
+            seed: [1u8; 32],
+        });
+        fleet.register(&mut system, &plan(9)).unwrap();
+        // Kiosk k served sessions k, k+3, k+6 — in that order, each trace
+        // contiguous and honest.
+        for (k, kiosk) in system.kiosks.iter().enumerate() {
+            let journal = kiosk.journal();
+            let voters: Vec<u64> = journal.iter().map(|t| t.voter_id.0).collect();
+            assert_eq!(
+                voters,
+                vec![k as u64 + 1, k as u64 + 4, k as u64 + 7],
+                "kiosk {k} journal order"
+            );
+            for trace in &journal {
+                assert_eq!(trace.events[0], KioskEvent::SessionStarted);
+                assert!(trace_shows_honest_real_flow(&trace.events));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_voter_in_queue_activates_only_last_registration() {
+        let mut rng = HmacDrbg::from_u64(5);
+        let mut system = TripSystem::setup(config(3, 2), &mut rng);
+        let fleet = KioskFleet::new(FleetConfig::seeded([7u8; 32]));
+        // Voter 1 re-registers at the end of the same queue.
+        let queue = vec![
+            (VoterId(1), 1),
+            (VoterId(2), 0),
+            (VoterId(3), 0),
+            (VoterId(1), 0),
+        ];
+        let sessions = fleet.register_and_activate(&mut system, &queue).unwrap();
+        assert_eq!(system.ledger.registration.active_count(), 3);
+        // The superseded first session comes back with an empty device;
+        // the re-registration's credentials activate.
+        assert!(sessions[0].1.credentials.is_empty());
+        assert_eq!(sessions[1].1.credentials.len(), 1);
+        assert_eq!(sessions[2].1.credentials.len(), 1);
+        assert_eq!(sessions[3].1.credentials.len(), 1);
+        assert_eq!(
+            sessions[3].0.believed_real.receipt.checkout_qr.voter_id,
+            VoterId(1)
+        );
+    }
+
+    #[test]
+    fn malicious_kiosk_inside_fleet_still_caught() {
+        let mut rng = HmacDrbg::from_u64(4);
+        let mut system = TripSystem::setup_with_behavior(
+            config(4, 2),
+            KioskBehavior::StealsRealCredential,
+            &mut rng,
+        );
+        let fleet = KioskFleet::new(FleetConfig::seeded([6u8; 32]));
+        let queue = plan(4);
+        let sessions = fleet.register_and_activate(&mut system, &queue).unwrap();
+        // Every stolen key was collected, in queue order.
+        assert_eq!(system.adversary_loot.len(), 4);
+        let looted: Vec<u64> = system.adversary_loot.iter().map(|s| s.voter_id.0).collect();
+        assert_eq!(looted, vec![1, 2, 3, 4]);
+        for (outcome, vsd) in &sessions {
+            // The forged "real" credential still activates (Fig 11 cannot
+            // tell) — only the booth ordering betrays the kiosk.
+            assert!(!vsd.credentials.is_empty());
+            assert!(!trace_shows_honest_real_flow(&outcome.events));
+        }
+    }
+}

@@ -15,16 +15,38 @@
 //! The observable difference — the kiosk asks for the envelope before
 //! anything is printed — is exactly what the usability study measured
 //! voters' ability to detect (§7.5).
+//!
+//! # Concurrency audit (kiosk-fleet hardening)
+//!
+//! [`Kiosk::begin_session`] hands out a [`KioskSession`] that borrows the
+//! kiosk for the whole ceremony, and under a [`crate::fleet::KioskFleet`]
+//! many sessions of *different* kiosks run on worker threads at once. The
+//! invariants that keep this sound:
+//!
+//! - every per-ceremony mutable value (pending credential, used-challenge
+//!   set, event trace) lives in the [`KioskSession`], never in the
+//!   [`Kiosk`], so concurrent sessions cannot observe each other;
+//! - the only shared mutable state a session touches is the kiosk's event
+//!   **journal**, and it is appended exactly once, atomically, when the
+//!   session is sealed by [`KioskSession::finish`] — traces from two
+//!   sessions can therefore never interleave, and
+//!   [`crate::protocol::trace_shows_honest_real_flow`] always judges a
+//!   contiguous per-session trace;
+//! - the fleet schedules each *individual* kiosk's sessions strictly
+//!   sequentially (a booth serves one voter at a time), so a kiosk's
+//!   journal order is its queue order, independent of thread scheduling.
 
 use std::collections::HashSet;
+use std::sync::Mutex;
 
 use vg_crypto::chaum_pedersen::{forge_transcript, DlEqStatement, Prover};
 use vg_crypto::drbg::Rng;
 use vg_crypto::elgamal::Ciphertext;
-use vg_crypto::schnorr::SigningKey;
+use vg_crypto::schnorr::{NonceCoupon, SigningKey};
 use vg_crypto::{CompressedPoint, EdwardsPoint, Scalar};
 use vg_ledger::{RegistrationRecord, VoterId};
 
+use crate::ceremony::{FakePrecursor, RealPrecursor};
 use crate::error::TripError;
 use crate::materials::{
     commit_message, response_message, CheckInTicket, CheckOutQr, CommitQr, Envelope, Receipt,
@@ -48,6 +70,18 @@ pub struct Kiosk {
     mac_key: [u8; 32],
     authority_pk: EdwardsPoint,
     behavior: KioskBehavior,
+    /// Sealed per-session event traces, in the order sessions finished on
+    /// this kiosk (see the module-level concurrency audit).
+    journal: Mutex<Vec<SessionTrace>>,
+}
+
+/// One sealed session's observable trace, as recorded in a kiosk journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionTrace {
+    /// The session's voter.
+    pub voter_id: VoterId,
+    /// The booth events, in order.
+    pub events: Vec<KioskEvent>,
 }
 
 /// Observable kiosk events, in booth order. The voter's mental model of
@@ -82,6 +116,10 @@ pub struct PendingRealCredential {
     prover: Prover,
     commit_qr: CommitQr,
     symbol: Symbol,
+    /// Precomputed signing coupons for (σ_kot, σ_kr) when the session was
+    /// started from ceremony-pool material; `None` on the classic
+    /// rng-driven path, which signs deterministically.
+    coupons: Option<(NonceCoupon, NonceCoupon)>,
 }
 
 impl PendingRealCredential {
@@ -131,12 +169,18 @@ impl Kiosk {
             mac_key,
             authority_pk,
             behavior,
+            journal: Mutex::new(Vec::new()),
         }
+    }
+
+    /// A snapshot of the sealed session traces recorded on this kiosk.
+    pub fn journal(&self) -> Vec<SessionTrace> {
+        self.journal.lock().expect("kiosk journal lock").clone()
     }
 
     /// The kiosk's public key (appears on receipts and the ledger).
     pub fn public_key(&self) -> CompressedPoint {
-        self.key.verifying_key().compress()
+        self.key.public_key_compressed()
     }
 
     /// The configured behaviour.
@@ -254,8 +298,58 @@ impl KioskSession<'_> {
             prover,
             commit_qr,
             symbol,
+            coupons: None,
         });
         Ok(self.pending.as_ref().expect("just set"))
+    }
+
+    /// Real credential, step 2, from precomputed ceremony-pool material:
+    /// identical protocol flow and event trace as
+    /// [`KioskSession::begin_real_credential`], but all scalar
+    /// multiplications (credential key, tag, Σ-commitment) happened before
+    /// the voter arrived, and the printing step only signs — via a
+    /// precomputed coupon, so it is hash-only.
+    ///
+    /// The soundness-critical ordering is preserved: the precursor was
+    /// derived without reference to any envelope challenge, and the commit
+    /// is printed before an envelope is accepted.
+    pub fn begin_real_from(&mut self, pre: RealPrecursor) -> Result<Symbol, TripError> {
+        if self.checkout.is_some() || self.pending.is_some() {
+            return Err(TripError::WrongPhysicalState);
+        }
+        let RealPrecursor {
+            credential,
+            elgamal_secret,
+            c_pc,
+            nonce,
+            commit,
+            symbol,
+            commit_coupon,
+            checkout_coupon,
+            response_coupon,
+        } = pre;
+        let kiosk_sig = self.kiosk.key.sign_with_coupon(
+            &commit_message(self.voter_id, &c_pc, &commit),
+            commit_coupon,
+        );
+        let commit_qr = CommitQr {
+            voter_id: self.voter_id,
+            c_pc,
+            commit,
+            kiosk_sig,
+        };
+        self.events
+            .push(KioskEvent::PrintedSymbolAndCommit { symbol });
+        self.pending = Some(PendingRealCredential {
+            credential,
+            elgamal_secret,
+            c_pc,
+            prover: Prover::from_parts(nonce, commit),
+            commit_qr,
+            symbol,
+            coupons: Some((checkout_coupon, response_coupon)),
+        });
+        Ok(symbol)
     }
 
     /// Real credential, step 4 (Fig 9a lines 9–18): scan the voter's
@@ -284,14 +378,36 @@ impl KioskSession<'_> {
         let transcript = pending
             .prover
             .respond(&pending.elgamal_secret, &envelope.challenge);
-        let c_pk = pending.credential.verifying_key().compress();
-        // σ_kot, σ_kr (lines 13–14).
-        let checkout_qr = self.kiosk.sign_checkout(self.voter_id, &pending.c_pc);
-        let response_sig = self.kiosk.key.sign(&response_message(
-            &c_pk,
-            &envelope.challenge,
-            &transcript.response,
-        ));
+        let c_pk = pending.credential.public_key_compressed();
+        // σ_kot, σ_kr (lines 13–14) — hash-only when the session started
+        // from pool material, deterministic signing otherwise.
+        let (checkout_qr, response_sig) = match pending.coupons {
+            Some((checkout_coupon, response_coupon)) => {
+                let kiosk_sig = self.kiosk.key.sign_with_coupon(
+                    &RegistrationRecord::kiosk_message(self.voter_id, &pending.c_pc),
+                    checkout_coupon,
+                );
+                let checkout_qr = CheckOutQr {
+                    voter_id: self.voter_id,
+                    c_pc: pending.c_pc,
+                    kiosk_pk: self.kiosk.public_key(),
+                    kiosk_sig,
+                };
+                let response_sig = self.kiosk.key.sign_with_coupon(
+                    &response_message(&c_pk, &envelope.challenge, &transcript.response),
+                    response_coupon,
+                );
+                (checkout_qr, response_sig)
+            }
+            None => (
+                self.kiosk.sign_checkout(self.voter_id, &pending.c_pc),
+                self.kiosk.key.sign(&response_message(
+                    &c_pk,
+                    &envelope.challenge,
+                    &transcript.response,
+                )),
+            ),
+        };
         let response_qr = ResponseQr {
             credential_sk: pending.credential.secret(),
             response: transcript.response,
@@ -332,6 +448,87 @@ impl KioskSession<'_> {
         let receipt = self.forge_receipt(&checkout, envelope, envelope.symbol, rng);
         self.events.push(KioskEvent::PrintedFullReceipt);
         Ok(receipt)
+    }
+
+    /// Fake credential from precomputed material: the same flow and event
+    /// trace as [`KioskSession::create_fake_credential`], but the fake key
+    /// pair and the challenge-independent halves y·g₁, y·g₂ of the forged
+    /// commitment come from the pool, leaving two scalar multiplications
+    /// (the challenge-dependent halves) plus hash-only coupon signing for
+    /// the in-booth step.
+    pub fn create_fake_from(
+        &mut self,
+        pre: FakePrecursor,
+        envelope: &Envelope,
+    ) -> Result<Receipt, TripError> {
+        let checkout = self
+            .checkout
+            .clone()
+            .ok_or(TripError::RealCredentialMissing)?;
+        if !self.used_challenges.insert(envelope.challenge.to_bytes()) {
+            self.events.push(KioskEvent::RejectedEnvelope);
+            return Err(TripError::EnvelopeReused);
+        }
+        self.events.push(KioskEvent::ScannedEnvelope {
+            symbol: envelope.symbol,
+        });
+        let receipt = self.forge_receipt_from(&checkout, envelope, envelope.symbol, pre);
+        self.events.push(KioskEvent::PrintedFullReceipt);
+        Ok(receipt)
+    }
+
+    /// The compromised-kiosk "real" credential from pool material: the
+    /// precomputing adversary of the fleet setting. Event trace and
+    /// artifacts match [`KioskSession::malicious_real_credential`]; the
+    /// stolen key is the precursor's real credential.
+    pub fn malicious_real_from(
+        &mut self,
+        real: RealPrecursor,
+        spare: FakePrecursor,
+        envelope: &Envelope,
+    ) -> Result<(Receipt, StolenCredential), TripError> {
+        if self.kiosk.behavior != KioskBehavior::StealsRealCredential {
+            return Err(TripError::WrongPhysicalState);
+        }
+        if self.checkout.is_some() {
+            return Err(TripError::WrongPhysicalState);
+        }
+        if !self.used_challenges.insert(envelope.challenge.to_bytes()) {
+            self.events.push(KioskEvent::RejectedEnvelope);
+            return Err(TripError::EnvelopeReused);
+        }
+        self.events.push(KioskEvent::ScannedEnvelope {
+            symbol: envelope.symbol,
+        });
+
+        // The kiosk keeps the precomputed REAL credential for itself.
+        let RealPrecursor {
+            credential,
+            c_pc,
+            checkout_coupon,
+            ..
+        } = real;
+        let kiosk_sig = self.kiosk.key.sign_with_coupon(
+            &RegistrationRecord::kiosk_message(self.voter_id, &c_pc),
+            checkout_coupon,
+        );
+        let checkout = CheckOutQr {
+            voter_id: self.voter_id,
+            c_pc,
+            kiosk_pk: self.kiosk.public_key(),
+            kiosk_sig,
+        };
+        self.checkout = Some(checkout.clone());
+        // The voter receives a forged (fake) credential presented as real.
+        let receipt = self.forge_receipt_from(&checkout, envelope, envelope.symbol, spare);
+        self.events.push(KioskEvent::PrintedFullReceipt);
+        Ok((
+            receipt,
+            StolenCredential {
+                voter_id: self.voter_id,
+                key: credential,
+            },
+        ))
     }
 
     /// The compromised-kiosk "real" credential (integrity adversary): runs
@@ -411,6 +608,77 @@ impl KioskSession<'_> {
         Ok(checkout)
     }
 
+    /// Seals the session: the full event trace is appended to the kiosk's
+    /// journal in one atomic step (so traces from concurrent sessions on
+    /// other threads can never interleave with it) and returned to the
+    /// caller.
+    pub fn finish(self) -> Vec<KioskEvent> {
+        self.kiosk
+            .journal
+            .lock()
+            .expect("kiosk journal lock")
+            .push(SessionTrace {
+                voter_id: self.voter_id,
+                events: self.events.clone(),
+            });
+        self.events
+    }
+
+    /// [`forge_receipt`](Self::forge_receipt) from a precomputed forge
+    /// precursor: Y = (y·g₁ + e·C₁, y·g₂ + e·X̃) with the y-halves already
+    /// evaluated, and coupon-backed signatures.
+    fn forge_receipt_from(
+        &self,
+        checkout: &CheckOutQr,
+        envelope: &Envelope,
+        symbol: Symbol,
+        pre: FakePrecursor,
+    ) -> Receipt {
+        let FakePrecursor {
+            credential: fake,
+            forge_nonce,
+            g1y,
+            g2y,
+            commit_coupon,
+            response_coupon,
+        } = pre;
+        let fake_pk = fake.verifying_key().0;
+        // X̃ ← C₂ − c̃_pk: no witness exists for this statement.
+        let x_tilde = checkout.c_pc.c2 - fake_pk;
+        let commit = vg_crypto::chaum_pedersen::Commitment {
+            a1: g1y + checkout.c_pc.c1 * envelope.challenge,
+            a2: g2y + x_tilde * envelope.challenge,
+        };
+        let kiosk_sig = self.kiosk.key.sign_with_coupon(
+            &commit_message(checkout.voter_id, &checkout.c_pc, &commit),
+            commit_coupon,
+        );
+        let response_sig = self.kiosk.key.sign_with_coupon(
+            &response_message(
+                &fake.public_key_compressed(),
+                &envelope.challenge,
+                &forge_nonce,
+            ),
+            response_coupon,
+        );
+        Receipt {
+            symbol,
+            commit_qr: CommitQr {
+                voter_id: checkout.voter_id,
+                c_pc: checkout.c_pc,
+                commit,
+                kiosk_sig,
+            },
+            checkout_qr: checkout.clone(),
+            response_qr: ResponseQr {
+                credential_sk: fake.secret(),
+                response: forge_nonce,
+                kiosk_pk: self.kiosk.public_key(),
+                kiosk_sig: response_sig,
+            },
+        }
+    }
+
     /// Forges a receipt whose transcript "proves" that `checkout.c_pc`
     /// encrypts a freshly generated key (Fig 9b lines 2–14).
     fn forge_receipt(
@@ -440,7 +708,7 @@ impl KioskSession<'_> {
             &transcript.commit,
         ));
         let response_sig = self.kiosk.key.sign(&response_message(
-            &fake.verifying_key().compress(),
+            &fake.public_key_compressed(),
             &envelope.challenge,
             &transcript.response,
         ));

@@ -37,25 +37,32 @@
 //! assert_eq!(vsd.credentials.len(), 2); // one real + one fake
 //! ```
 
+pub mod ceremony;
 pub mod error;
+pub mod fleet;
 pub mod kiosk;
 pub mod materials;
 pub mod official;
+pub mod pool;
 pub mod printer;
 pub mod protocol;
 pub mod setup;
 pub mod vsd;
 
+pub use ceremony::SessionMaterials;
 pub use error::{ActivationCheck, TripError};
-pub use kiosk::{Kiosk, KioskBehavior, KioskEvent, KioskSession};
+pub use fleet::{FleetConfig, KioskFleet};
+pub use kiosk::{Kiosk, KioskBehavior, KioskEvent, KioskSession, SessionTrace};
 pub use materials::{
     CheckInTicket, CheckOutQr, CommitQr, CredentialState, Envelope, PaperCredential, Receipt,
     ResponseQr, Symbol,
 };
 pub use official::Official;
+pub use pool::{CeremonyPool, SessionPlan};
 pub use printer::EnvelopePrinter;
 pub use protocol::{
-    activate_all, register_voter, register_with_delegation, DelegationOutcome, RegistrationOutcome,
+    activate_all, register_voter, register_voter_seeded, register_with_delegation,
+    DelegationOutcome, RegistrationOutcome,
 };
 pub use setup::{TripConfig, TripSystem};
-pub use vsd::{ActivatedCredential, Vsd};
+pub use vsd::{activate_batch, ActivatedCredential, Vsd};

@@ -7,7 +7,7 @@
 
 use vg_crypto::drbg::Rng;
 use vg_crypto::hmac::{hmac_sha256, hmac_verify};
-use vg_crypto::schnorr::{SigningKey, VerifyingKey};
+use vg_crypto::schnorr::{NonceCoupon, SigningKey, VerifyingKey};
 use vg_crypto::CompressedPoint;
 use vg_ledger::{Ledger, RegistrationRecord, VoterId};
 
@@ -31,7 +31,7 @@ impl Official {
 
     /// The official's public key (appears in check-out records).
     pub fn public_key(&self) -> CompressedPoint {
-        self.key.verifying_key().compress()
+        self.key.public_key_compressed()
     }
 
     /// Check-in (Fig 8): verifies eligibility against the roster and issues
@@ -79,6 +79,112 @@ impl Official {
             official_sig,
         })?;
         Ok(())
+    }
+
+    /// [`Official::check_out`] with the countersignature drawn from a
+    /// precomputed [`NonceCoupon`] (the ceremony pool provides one per
+    /// session), making the check-out desk hash-only. Record bytes match
+    /// the batched path exactly, which is the fleet's replay contract.
+    pub fn check_out_with_coupon(
+        &self,
+        ledger: &mut Ledger,
+        checkout: &CheckOutQr,
+        coupon: NonceCoupon,
+        kiosk_registry: &[CompressedPoint],
+    ) -> Result<(), TripError> {
+        if !kiosk_registry.contains(&checkout.kiosk_pk) {
+            return Err(TripError::UnknownKiosk);
+        }
+        let kiosk_vk = VerifyingKey::from_compressed(&checkout.kiosk_pk)?;
+        kiosk_vk.verify(
+            &RegistrationRecord::kiosk_message(checkout.voter_id, &checkout.c_pc),
+            &checkout.kiosk_sig,
+        )?;
+        let record = self.countersign(checkout, coupon);
+        ledger.registration.post(record)?;
+        Ok(())
+    }
+
+    /// Batched check-out (Fig 10 over a whole fleet window): registry
+    /// membership is checked per ticket in queue order, the kiosk
+    /// signatures are verified through one random-linear-combination fold
+    /// (with a per-item fallback to surface the offender), every record is
+    /// countersigned from its session's coupon, and the batch is posted
+    /// through the registration ledger's batched admission path.
+    pub fn check_out_batch(
+        &self,
+        ledger: &mut Ledger,
+        checkouts: Vec<(CheckOutQr, NonceCoupon)>,
+        kiosk_registry: &[CompressedPoint],
+        threads: usize,
+    ) -> Result<(), TripError> {
+        if checkouts.is_empty() {
+            return Ok(());
+        }
+        for (checkout, _) in &checkouts {
+            if !kiosk_registry.contains(&checkout.kiosk_pk) {
+                return Err(TripError::UnknownKiosk);
+            }
+        }
+        // σ_kot sweep (Fig 10 line 3): one fold over the window.
+        let mut vk_cache = vg_crypto::schnorr::VerifyingKeyCache::new();
+        let mut keys = Vec::with_capacity(checkouts.len());
+        let mut msgs = Vec::with_capacity(checkouts.len());
+        let mut weight_label = Vec::with_capacity(32 + checkouts.len() * 8);
+        weight_label.extend_from_slice(b"trip-checkout-sweep-v1");
+        for (checkout, _) in &checkouts {
+            keys.push((vk_cache.get(&checkout.kiosk_pk)?, checkout.kiosk_sig));
+            msgs.push(RegistrationRecord::kiosk_message(
+                checkout.voter_id,
+                &checkout.c_pc,
+            ));
+            // Commit the weights to the whole statement (key, message,
+            // signature), not just the signature bytes.
+            weight_label.extend_from_slice(&checkout.kiosk_pk.0);
+            weight_label.extend_from_slice(&checkout.voter_id.to_bytes());
+            weight_label.extend_from_slice(&checkout.c_pc.to_bytes());
+            weight_label.extend_from_slice(&checkout.kiosk_sig.to_bytes());
+        }
+        let items: Vec<(VerifyingKey, &[u8], vg_crypto::schnorr::Signature)> = keys
+            .iter()
+            .zip(msgs.iter())
+            .map(|(&(vk, sig), msg)| (vk, msg.as_slice(), sig))
+            .collect();
+        let mut rng = vg_crypto::HmacDrbg::new(&vg_crypto::sha2::sha256(&weight_label));
+        if vg_crypto::schnorr::batch_verify_par(&items, threads, &mut rng).is_err() {
+            // Locate the offender (earliest in queue order); if every
+            // ticket passes individually, per-item acceptance rules.
+            for ((vk, sig), msg) in keys.iter().zip(msgs.iter()) {
+                vk.verify(msg, sig)?;
+            }
+        }
+        let records: Vec<RegistrationRecord> = checkouts
+            .into_iter()
+            .map(|(checkout, coupon)| self.countersign(&checkout, coupon))
+            .collect();
+        ledger.registration.post_batch(records, threads)?;
+        Ok(())
+    }
+
+    /// Builds the countersigned registration record for a verified
+    /// check-out ticket (Fig 10 lines 4–5).
+    fn countersign(&self, checkout: &CheckOutQr, coupon: NonceCoupon) -> RegistrationRecord {
+        let official_sig = self.key.sign_with_coupon(
+            &RegistrationRecord::official_message(
+                checkout.voter_id,
+                &checkout.c_pc,
+                &checkout.kiosk_sig,
+            ),
+            coupon,
+        );
+        RegistrationRecord {
+            voter_id: checkout.voter_id,
+            c_pc: checkout.c_pc,
+            kiosk_pk: checkout.kiosk_pk,
+            kiosk_sig: checkout.kiosk_sig,
+            official_pk: self.public_key(),
+            official_sig,
+        }
     }
 
     /// The shared MAC key (used by [`crate::kiosk::Kiosk`] construction in

@@ -1,0 +1,290 @@
+//! The ceremony pool: batched, parallel precomputation of registration
+//! session material ahead of voter arrival.
+//!
+//! A [`CeremonyPool`] owns the planned check-in queue and derives
+//! [`SessionMaterials`] bundles for it in configurable refill batches,
+//! fanning the scalar-multiplication-heavy derivation over worker threads
+//! ([`vg_crypto::par::par_map`]). Because every bundle is a pure function
+//! of `(seed, session index, voter)`, the pool's batch size and thread
+//! count change *when* material is ready, never *what* it is — which is
+//! what lets a kiosk fleet replay bit-identically.
+//!
+//! Each refill ends with a batched **self-check**: one random-linear-
+//! combination multi-scalar multiplication ([`vg_crypto::multiscalar_mul_par`])
+//! over all freshly derived commitments verifies that every precomputed
+//! point matches its claimed scalar. A kiosk appliance whose precompute
+//! store bit-rots (or is tampered with between idle-time precompute and
+//! the ceremony) is caught before any voter consumes the material.
+//! Signing coupons are deliberately *not* covered — checking R = k·B
+//! would require handling the nonce outside its single-use cell — and a
+//! corrupted coupon only yields an invalid signature that ledger
+//! admission rejects.
+
+use std::collections::VecDeque;
+
+use vg_crypto::par::par_map;
+use vg_crypto::{multiscalar_mul_par, EdwardsPoint, HmacDrbg, Scalar};
+use vg_ledger::VoterId;
+
+use crate::ceremony::SessionMaterials;
+use crate::error::TripError;
+use crate::printer::EnvelopePrinter;
+
+/// One planned registration session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionPlan {
+    /// The voter expected at this queue position.
+    pub voter: VoterId,
+    /// Fake credentials the voter intends to create.
+    pub n_fakes: usize,
+    /// Whether the serving kiosk is the credential-stealing adversary
+    /// (decides if a spare forge precursor is derived).
+    pub malicious: bool,
+}
+
+/// Precomputes [`SessionMaterials`] for a planned queue, in refill batches
+/// over worker threads, with a batched integrity self-check per refill.
+pub struct CeremonyPool {
+    seed: [u8; 32],
+    authority_pk: EdwardsPoint,
+    plan: Vec<SessionPlan>,
+    ready: VecDeque<SessionMaterials>,
+    next: usize,
+    batch: usize,
+    threads: usize,
+    refills: u64,
+}
+
+impl CeremonyPool {
+    /// Creates a pool for `plan`, refilling `batch` sessions at a time
+    /// with up to `threads` derivation workers.
+    pub fn new(
+        seed: [u8; 32],
+        authority_pk: EdwardsPoint,
+        plan: Vec<SessionPlan>,
+        batch: usize,
+        threads: usize,
+    ) -> Self {
+        Self {
+            seed,
+            authority_pk,
+            plan,
+            ready: VecDeque::new(),
+            next: 0,
+            batch: batch.max(1),
+            threads: threads.max(1),
+            refills: 0,
+        }
+    }
+
+    /// Sessions derived and waiting to be consumed.
+    pub fn prepared(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Sessions not yet derived.
+    pub fn pending(&self) -> usize {
+        self.plan.len() - self.next
+    }
+
+    /// Derives the next refill batch (up to the configured batch size) and
+    /// self-checks it. Returns how many sessions became ready.
+    pub fn refill(&mut self, printer: &EnvelopePrinter) -> Result<usize, TripError> {
+        let end = (self.next + self.batch).min(self.plan.len());
+        if self.next == end {
+            return Ok(0);
+        }
+        let jobs: Vec<(usize, SessionPlan)> = (self.next..end).map(|i| (i, self.plan[i])).collect();
+        let seed = &self.seed;
+        let authority_pk = &self.authority_pk;
+        let fresh = par_map(&jobs, self.threads, |&(index, plan)| {
+            SessionMaterials::derive(
+                seed,
+                index,
+                plan.voter,
+                plan.n_fakes,
+                authority_pk,
+                printer,
+                plan.malicious,
+            )
+        });
+        // Advance the cursor only once the batch passes its self-check:
+        // a caller that treats `PoolIntegrity` as transient and retries
+        // re-derives the same sessions instead of silently skipping them.
+        self.self_check(&fresh)?;
+        self.next = end;
+        self.refills += 1;
+        let n = fresh.len();
+        self.ready.extend(fresh);
+        Ok(n)
+    }
+
+    /// Derives everything still pending (the "booth is idle overnight"
+    /// case the paper's deployment assumes).
+    pub fn warm(&mut self, printer: &EnvelopePrinter) -> Result<(), TripError> {
+        while self.pending() > 0 {
+            self.refill(printer)?;
+        }
+        Ok(())
+    }
+
+    /// Takes the next session's materials, refilling if the pool ran dry.
+    /// Returns `None` once the whole plan has been consumed.
+    pub fn take(
+        &mut self,
+        printer: &EnvelopePrinter,
+    ) -> Result<Option<SessionMaterials>, TripError> {
+        if self.ready.is_empty() {
+            self.refill(printer)?;
+        }
+        Ok(self.ready.pop_front())
+    }
+
+    /// Takes the next already-derived session's materials without
+    /// refilling (the fleet drains exactly one refill window at a time).
+    pub fn take_ready(&mut self) -> Option<SessionMaterials> {
+        self.ready.pop_front()
+    }
+
+    /// One folded multi-scalar check over the refill: for random 128-bit
+    /// weights w, Σ w·(claimed scalar · base − precomputed point) must be
+    /// the identity across every real-credential commitment half, tag
+    /// component and forge-precursor half in the batch.
+    fn self_check(&self, fresh: &[SessionMaterials]) -> Result<(), TripError> {
+        let mut label = Vec::with_capacity(48);
+        label.extend_from_slice(b"trip-pool-selfcheck-v1");
+        label.extend_from_slice(&self.seed);
+        label.extend_from_slice(&self.refills.to_le_bytes());
+        let mut rng = HmacDrbg::new(&label);
+        let mut weight = || vg_crypto::batch::small_weight(&mut rng);
+
+        // Accumulate basepoint and authority-key coefficients; everything
+        // else is a dynamic term.
+        let mut base_coeff = Scalar::ZERO;
+        let mut auth_coeff = Scalar::ZERO;
+        let mut scalars = Vec::new();
+        let mut points = Vec::new();
+        let mut push = |w: Scalar, claimed: &Scalar, point: &EdwardsPoint, auth: bool| {
+            scalars.push(-w);
+            points.push(*point);
+            if auth {
+                auth_coeff += w * *claimed;
+            } else {
+                base_coeff += w * *claimed;
+            }
+        };
+        for m in fresh {
+            let r = &m.real;
+            // c₁ = x·B and X = c₂ − c_pk = x·A.
+            push(weight(), &r.elgamal_secret, &r.c_pc.c1, false);
+            let big_x = r.c_pc.c2 - r.credential.verifying_key().0;
+            push(weight(), &r.elgamal_secret, &big_x, true);
+            // Y₁ = y·B, Y₂ = y·A.
+            push(weight(), &r.nonce, &r.commit.a1, false);
+            push(weight(), &r.nonce, &r.commit.a2, true);
+            for f in m.fakes.iter().chain(m.malicious_spare.iter()) {
+                push(weight(), &f.forge_nonce, &f.g1y, false);
+                push(weight(), &f.forge_nonce, &f.g2y, true);
+            }
+        }
+        scalars.push(base_coeff);
+        points.push(EdwardsPoint::basepoint());
+        scalars.push(auth_coeff);
+        points.push(self.authority_pk);
+        if multiscalar_mul_par(&scalars, &points, self.threads).is_identity() {
+            Ok(())
+        } else {
+            Err(TripError::PoolIntegrity)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_crypto::Rng;
+
+    fn plan(n: usize) -> Vec<SessionPlan> {
+        (0..n)
+            .map(|i| SessionPlan {
+                voter: VoterId(i as u64 + 1),
+                n_fakes: i % 3,
+                malicious: false,
+            })
+            .collect()
+    }
+
+    fn fixtures() -> (EdwardsPoint, EnvelopePrinter) {
+        let mut rng = HmacDrbg::from_u64(5);
+        (
+            EdwardsPoint::mul_base(&rng.scalar()),
+            EnvelopePrinter::new(&mut rng),
+        )
+    }
+
+    #[test]
+    fn refill_batches_cover_the_plan() {
+        let (apk, printer) = fixtures();
+        let mut pool = CeremonyPool::new([3u8; 32], apk, plan(10), 4, 2);
+        assert_eq!(pool.pending(), 10);
+        assert_eq!(pool.refill(&printer).unwrap(), 4);
+        assert_eq!(pool.prepared(), 4);
+        pool.warm(&printer).unwrap();
+        assert_eq!(pool.prepared(), 10);
+        assert_eq!(pool.pending(), 0);
+        assert_eq!(pool.refill(&printer).unwrap(), 0);
+    }
+
+    #[test]
+    fn take_drains_in_queue_order_independent_of_batch_size() {
+        let (apk, printer) = fixtures();
+        for batch in [1usize, 3, 64] {
+            let mut pool = CeremonyPool::new([9u8; 32], apk, plan(7), batch, 1);
+            let mut voters = Vec::new();
+            while let Some(m) = pool.take(&printer).unwrap() {
+                voters.push((m.session_index, m.voter_id));
+            }
+            let expected: Vec<(usize, VoterId)> =
+                (0..7).map(|i| (i, VoterId(i as u64 + 1))).collect();
+            assert_eq!(voters, expected, "batch size {batch}");
+        }
+    }
+
+    #[test]
+    fn materials_identical_across_thread_counts() {
+        let (apk, printer) = fixtures();
+        let drain = |threads: usize| {
+            let mut pool = CeremonyPool::new([1u8; 32], apk, plan(5), 2, threads);
+            let mut tags = Vec::new();
+            while let Some(m) = pool.take(&printer).unwrap() {
+                tags.push(m.real.c_pc);
+            }
+            tags
+        };
+        assert_eq!(drain(1), drain(4));
+    }
+
+    #[test]
+    fn self_check_catches_corrupted_commitment() {
+        let (apk, printer) = fixtures();
+        let pool = CeremonyPool::new([2u8; 32], apk, plan(3), 8, 1);
+        let mut fresh: Vec<SessionMaterials> = (0..3)
+            .map(|i| {
+                SessionMaterials::derive(
+                    &[2u8; 32],
+                    i,
+                    VoterId(i as u64 + 1),
+                    1,
+                    &apk,
+                    &printer,
+                    false,
+                )
+            })
+            .collect();
+        assert!(pool.self_check(&fresh).is_ok());
+        // Flip one precomputed commitment half: a single bit-rotted point
+        // in a 3-session refill must sink the whole fold.
+        fresh[1].real.commit.a1 += EdwardsPoint::basepoint();
+        assert_eq!(pool.self_check(&fresh), Err(TripError::PoolIntegrity));
+    }
+}

@@ -33,7 +33,7 @@ impl EnvelopePrinter {
 
     /// The printer's public key.
     pub fn public_key(&self) -> CompressedPoint {
-        self.key.verifying_key().compress()
+        self.key.public_key_compressed()
     }
 
     /// Prints one envelope with challenge `e`, committing H(e) to the
@@ -57,6 +57,35 @@ impl EnvelopePrinter {
             signature,
             symbol,
         })
+    }
+
+    /// Prepares one envelope *without* touching the ledger, returning the
+    /// physical envelope together with the commitment that still has to be
+    /// posted to L_E.
+    ///
+    /// This is the ceremony pool's precompute hook: worker threads prepare
+    /// envelopes (the signature is the expensive part) ahead of voter
+    /// arrival, and the fleet coordinator posts the commitments in
+    /// check-in-queue order so the resulting L_E is bit-identical to a
+    /// sequential registration day. An envelope whose commitment never
+    /// reaches L_E fails activation (Fig 11 line 11), so a crashed pool
+    /// leaks nothing usable.
+    pub fn print_detached(&self, e: Scalar, symbol: Symbol) -> (Envelope, EnvelopeCommitment) {
+        let h = challenge_hash(&e);
+        let signature = self.key.sign(&EnvelopeCommitment::message(&h));
+        (
+            Envelope {
+                printer_pk: self.public_key(),
+                challenge: e,
+                signature,
+                symbol,
+            },
+            EnvelopeCommitment {
+                printer_pk: self.public_key(),
+                challenge_hash: h,
+                signature,
+            },
+        )
     }
 
     /// Prints a batch of `n` honest envelopes with fresh random challenges

@@ -128,7 +128,59 @@ pub fn register_voter(
     Ok(RegistrationOutcome {
         believed_real,
         fakes,
-        events: session.events,
+        events: session.finish(),
+    })
+}
+
+/// The sequential reference for the kiosk-fleet engine: registers one
+/// voter from ceremony-pool material derived for `(seed, session_index)`,
+/// serving them on kiosk `session_index mod |K|` and posting to the
+/// ledgers immediately.
+///
+/// A loop of this function over a check-in queue produces ledgers,
+/// credentials and event traces **bit-identical** to a
+/// [`crate::fleet::KioskFleet`] run over the same `(seed, queue)` with any
+/// kiosk count equal to `|K|`, any pool batch size and any thread count —
+/// the replay/equivalence contract the fleet's property tests pin down.
+/// Unlike [`register_voter`] it does not consume the booth envelope
+/// supply: the pool prints per-session envelopes (footnote 6) whose
+/// commitments are posted here in queue order.
+pub fn register_voter_seeded(
+    system: &mut TripSystem,
+    voter_id: VoterId,
+    n_fakes: usize,
+    seed: &[u8; 32],
+    session_index: usize,
+) -> Result<RegistrationOutcome, TripError> {
+    let kiosk_idx = session_index % system.kiosks.len().max(1);
+    let malicious = system.kiosks[kiosk_idx].behavior() == KioskBehavior::StealsRealCredential;
+    let materials = crate::ceremony::SessionMaterials::derive(
+        seed,
+        session_index,
+        voter_id,
+        n_fakes,
+        &system.authority.public_key,
+        &system.printers[0],
+        malicious,
+    );
+    let ticket = system.officials[0].check_in(&system.ledger, voter_id)?;
+    let output = crate::fleet::run_session(&system.kiosks[kiosk_idx], &ticket, materials)?;
+    for commitment in output.commitments.iter().cloned() {
+        system.ledger.envelopes.commit(commitment)?;
+    }
+    system.officials[0].check_out_with_coupon(
+        &mut system.ledger,
+        &output.checkout,
+        output.official_coupon,
+        &system.kiosk_registry,
+    )?;
+    if let Some(loot) = output.stolen {
+        system.adversary_loot.push(loot);
+    }
+    Ok(RegistrationOutcome {
+        believed_real: output.believed_real,
+        fakes: output.fakes,
+        events: output.events,
     })
 }
 
@@ -205,7 +257,7 @@ pub fn register_with_delegation(
     system.officials[0].check_out(&mut system.ledger, view.checkout, &system.kiosk_registry)?;
     Ok(DelegationOutcome {
         fakes,
-        events: session.events,
+        events: session.finish(),
     })
 }
 

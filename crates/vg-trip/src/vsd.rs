@@ -8,10 +8,13 @@
 //! detects duplicated envelopes (Appendix F.3.5). Real and fake credentials
 //! pass **identical** checks — the VSD cannot tell them apart, by design.
 
+use vg_crypto::batch::{small_weight, BatchVerifier};
 use vg_crypto::chaum_pedersen::{verify_transcript, DlEqStatement, IzkpTranscript};
 use vg_crypto::elgamal::Ciphertext;
-use vg_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
-use vg_crypto::{CompressedPoint, EdwardsPoint, Scalar};
+use vg_crypto::par::par_map;
+use vg_crypto::schnorr::{batch_verify_par, Signature, SigningKey, VerifyingKey};
+use vg_crypto::sha2::sha256;
+use vg_crypto::{CompressedPoint, EdwardsPoint, HmacDrbg, Scalar};
 use vg_ledger::{challenge_hash, EnvelopeCommitment, Ledger, VoterId};
 
 use crate::error::{ActivationCheck, TripError};
@@ -184,4 +187,186 @@ pub fn activate(
         response: response_qr.response,
         challenge: envelope.challenge,
     })
+}
+
+/// Activates a whole batch of paper credentials (the fleet's check-out
+/// aisle of VSDs), with every per-credential check of Fig 11 preserved but
+/// amortized:
+///
+/// - the three signature checks per credential (σ_kc, σ_kr, σ_p) fold
+///   into one random-linear-combination sweep
+///   ([`vg_crypto::schnorr::batch_verify_par`]);
+/// - the two Σ-transcript equations per credential fold into one
+///   [`BatchVerifier`] multi-scalar check over the shared bases (B, A_pk);
+/// - key reconstruction (`Sig.PubKey`, the one unavoidable scalar
+///   multiplication per credential) fans out over `threads` workers.
+///
+/// The ledger phase — registration cross-check and challenge reveal —
+/// runs per credential in input order, exactly as a sequential loop of
+/// [`activate`] would, so accepted batches mutate L_E identically. If any
+/// folded check rejects, the whole batch falls back to the sequential
+/// loop, reproducing its precise first error and partial-reveal
+/// behaviour.
+pub fn activate_batch(
+    credentials: &[&PaperCredential],
+    ledger: &mut Ledger,
+    authority_pk: &EdwardsPoint,
+    printer_registry: &[CompressedPoint],
+    threads: usize,
+) -> Result<Vec<ActivatedCredential>, TripError> {
+    if credentials.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Optimistic, non-mutating folded checks; bail to the sequential
+    // reference on any failure so error semantics (including which
+    // credentials got their challenge revealed before the error) match a
+    // plain [`activate`] loop exactly. Ledger-phase errors below are
+    // already the sequential-faithful ones and propagate directly.
+    let (views, keys) =
+        match activate_batch_checks(credentials, authority_pk, printer_registry, threads) {
+            Ok(checked) => checked,
+            Err(_) => {
+                let mut out = Vec::with_capacity(credentials.len());
+                for credential in credentials {
+                    let view = credential.activate_view()?;
+                    out.push(activate(&view, ledger, authority_pk, printer_registry)?);
+                }
+                return Ok(out);
+            }
+        };
+
+    // Lines 9–11 per credential, in input order (identical L_E mutations
+    // to the sequential loop).
+    let mut out = Vec::with_capacity(views.len());
+    for (view, key) in views.iter().zip(keys.iter()) {
+        let record = ledger
+            .registration
+            .active_record(view.commit.voter_id)
+            .ok_or(TripError::Activation(ActivationCheck::NoRegistrationRecord))?;
+        if record.c_pc != view.commit.c_pc
+            || record.kiosk_pk != view.response.kiosk_pk
+            || record.voter_id != view.commit.voter_id
+        {
+            return Err(TripError::Activation(ActivationCheck::LedgerMismatch));
+        }
+        ledger
+            .envelopes
+            .reveal_challenge(&view.envelope.challenge)
+            .map_err(|_| TripError::Activation(ActivationCheck::DuplicateChallenge))?;
+        out.push(ActivatedCredential {
+            voter_id: view.commit.voter_id,
+            key: key.clone(),
+            c_pc: view.commit.c_pc,
+            kiosk_pk: view.response.kiosk_pk,
+            issuance_sig: view.response.kiosk_sig,
+            response: view.response.response,
+            challenge: view.envelope.challenge,
+        });
+    }
+    Ok(out)
+}
+
+/// The non-mutating folded checks behind [`activate_batch`] (Fig 11
+/// lines 2–8 over the whole batch).
+#[allow(clippy::type_complexity)]
+fn activate_batch_checks<'a>(
+    credentials: &[&'a PaperCredential],
+    authority_pk: &EdwardsPoint,
+    printer_registry: &[CompressedPoint],
+    threads: usize,
+) -> Result<(Vec<ActivateView<'a>>, Vec<SigningKey>), TripError> {
+    let views: Vec<ActivateView<'a>> = credentials
+        .iter()
+        .map(|c| c.activate_view())
+        .collect::<Result<_, _>>()?;
+
+    // Line 2 fan-out: c_pk ← Sig.PubKey(c_sk).
+    let secrets: Vec<Scalar> = views.iter().map(|v| v.response.credential_sk).collect();
+    let keys: Vec<SigningKey> = par_map(&secrets, threads, |sk| SigningKey::from_scalar(*sk));
+
+    // Lines 3–5 folded: every signature in the batch in one sweep.
+    let mut vk_cache = vg_crypto::schnorr::VerifyingKeyCache::new();
+    let mut sig_keys = Vec::with_capacity(views.len() * 3);
+    let mut sig_msgs = Vec::with_capacity(views.len() * 3);
+    let mut weight_label = Vec::new();
+    weight_label.extend_from_slice(b"trip-activate-sweep-v1");
+    for (view, key) in views.iter().zip(keys.iter()) {
+        if !printer_registry.contains(&view.envelope.printer_pk) {
+            return Err(TripError::Activation(ActivationCheck::EnvelopeSignature));
+        }
+        let kiosk_vk = vk_cache
+            .get(&view.response.kiosk_pk)
+            .map_err(|_| TripError::Activation(ActivationCheck::CommitSignature))?;
+        let printer_vk = vk_cache
+            .get(&view.envelope.printer_pk)
+            .map_err(|_| TripError::Activation(ActivationCheck::EnvelopeSignature))?;
+        sig_keys.push((kiosk_vk, view.commit.kiosk_sig));
+        sig_msgs.push(commit_message(
+            view.commit.voter_id,
+            &view.commit.c_pc,
+            &view.commit.commit,
+        ));
+        sig_keys.push((kiosk_vk, view.response.kiosk_sig));
+        sig_msgs.push(response_message(
+            &key.public_key_compressed(),
+            &view.envelope.challenge,
+            &view.response.response,
+        ));
+        sig_keys.push((printer_vk, view.envelope.signature));
+        sig_msgs.push(EnvelopeCommitment::message(&challenge_hash(
+            &view.envelope.challenge,
+        )));
+        weight_label.extend_from_slice(&view.response.kiosk_pk.0);
+        weight_label.extend_from_slice(&view.envelope.printer_pk.0);
+        weight_label.extend_from_slice(&view.commit.kiosk_sig.to_bytes());
+        weight_label.extend_from_slice(&view.response.kiosk_sig.to_bytes());
+        weight_label.extend_from_slice(&view.envelope.signature.to_bytes());
+    }
+    // The weight derivation must commit to *every* statement and proof
+    // the folds check — signatures and keys (above) plus the three
+    // messages per credential, which already bind voter id, c_pc, the
+    // Σ-commitment halves, c_pk, H(e ‖ r) and H(e), i.e. every term of
+    // both the signature sweep and the transcript fold below. An
+    // uncommitted component would let a forger grind it against known
+    // weights.
+    for msg in &sig_msgs {
+        weight_label.extend_from_slice(msg);
+    }
+    let items: Vec<(VerifyingKey, &[u8], Signature)> = sig_keys
+        .iter()
+        .zip(sig_msgs.iter())
+        .map(|(&(vk, sig), msg)| (vk, msg.as_slice(), sig))
+        .collect();
+    let mut rng = HmacDrbg::new(&sha256(&weight_label));
+    batch_verify_par(&items, threads, &mut rng)
+        .map_err(|_| TripError::Activation(ActivationCheck::CommitSignature))?;
+
+    // Lines 6–8 folded: both transcript equations of every credential in
+    // one multi-scalar check over the shared bases (B, A_pk).
+    let mut transcripts = BatchVerifier::new(&[EdwardsPoint::basepoint(), *authority_pk]);
+    for (view, key) in views.iter().zip(keys.iter()) {
+        let e = view.envelope.challenge;
+        let r = view.response.response;
+        let big_x = view.commit.c_pc.c2 - key.verifying_key().0;
+        // Y₁ = r·B + e·C₁ and Y₂ = r·A + e·X.
+        let w1 = small_weight(&mut rng);
+        transcripts.queue(
+            &w1,
+            &[(0, r)],
+            &[
+                (e, view.commit.c_pc.c1),
+                (-Scalar::ONE, view.commit.commit.a1),
+            ],
+        );
+        let w2 = small_weight(&mut rng);
+        transcripts.queue(
+            &w2,
+            &[(1, r)],
+            &[(e, big_x), (-Scalar::ONE, view.commit.commit.a2)],
+        );
+    }
+    if !transcripts.verify(threads) {
+        return Err(TripError::Activation(ActivationCheck::ZkTranscript));
+    }
+    Ok((views, keys))
 }

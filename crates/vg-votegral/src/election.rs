@@ -50,6 +50,7 @@ use std::marker::PhantomData;
 
 use vg_crypto::drbg::Rng;
 use vg_ledger::{Ledger, LedgerBackend, VoterId};
+use vg_trip::fleet::{FleetConfig, KioskFleet};
 use vg_trip::protocol::{activate_all, register_voter, RegistrationOutcome};
 use vg_trip::setup::{TripConfig, TripSystem};
 use vg_trip::vsd::{ActivatedCredential, Vsd};
@@ -165,6 +166,13 @@ impl ElectionBuilder {
         self
     }
 
+    /// Number of registration kiosks |K| (the fleet runs one concurrent
+    /// lane per kiosk).
+    pub fn kiosks(mut self, n: usize) -> Self {
+        self.trip_config.n_kiosks = n.max(1);
+        self
+    }
+
     /// Number of mixers in the tally cascades (the paper uses 4).
     pub fn mixers(mut self, n: usize) -> Self {
         self.mixers = n.max(1);
@@ -264,39 +272,58 @@ impl Election<Registration> {
         ElectionBuilder::new()
     }
 
+    /// The registration engine for this session: a [`KioskFleet`] over
+    /// the deployment's kiosks, seeded from the caller's RNG (so a seeded
+    /// run replays bit-identically) and using the session's thread
+    /// budget for precompute, ceremonies and batched admission.
+    fn fleet(&self, rng: &mut dyn Rng) -> KioskFleet {
+        KioskFleet::new(FleetConfig {
+            pool_batch: 256,
+            threads: self.threads,
+            seed: rng.bytes32(),
+        })
+    }
+
     /// Registers a voter (one real credential plus `n_fakes` fakes) and
     /// activates every credential on a fresh device.
+    ///
+    /// Routed through the kiosk-fleet engine: the session's expensive
+    /// material comes from a precomputed ceremony pool and every check is
+    /// batched, so a loop of this call and one [`Election::register_batch`]
+    /// differ only in amortization, never in outcome shape.
     pub fn register_and_activate(
         &mut self,
         voter: VoterId,
         n_fakes: usize,
         rng: &mut dyn Rng,
     ) -> Result<(RegistrationOutcome, Vsd), VotegralError> {
-        let mut outcome = register_voter(&mut self.trip, voter, n_fakes, rng)?;
-        let vsd = activate_all(&mut self.trip, &mut outcome, rng)?;
-        Ok((outcome, vsd))
+        let fleet = self.fleet(rng);
+        let mut sessions = fleet.register_and_activate(&mut self.trip, &[(voter, n_fakes)])?;
+        Ok(sessions.pop().expect("one session planned"))
     }
 
     /// Registers and activates a batch of voters, applying the builder's
     /// fakes policy. Results come back in input order.
     ///
-    /// Registration is inherently per-person (each voter walks through
-    /// the booth of Fig 1), so the batch is a sequential pipeline over
-    /// the same kiosk pool; the win over calling
-    /// [`Election::register_and_activate`] in a loop is one booth
-    /// restock amortized across the batch and a single call site for
-    /// later async ingestion.
+    /// The batch is one [`KioskFleet`] run: per-session material is
+    /// precomputed pool-batch-wise on worker threads ahead of each
+    /// ceremony window, sessions fan out across the deployment's kiosks
+    /// (session `i` on kiosk `i mod |K|`), and envelope commitments,
+    /// check-out records and activation checks all go through batched
+    /// random-linear-combination admission. If a voter appears twice,
+    /// only the last registration's credentials activate
+    /// (re-registration semantics, §3.2).
     pub fn register_batch(
         &mut self,
         voters: &[VoterId],
         rng: &mut dyn Rng,
     ) -> Result<Vec<(RegistrationOutcome, Vsd)>, VotegralError> {
-        let mut out = Vec::with_capacity(voters.len());
-        for &voter in voters {
-            let n_fakes = self.fakes.fakes_for(voter);
-            out.push(self.register_and_activate(voter, n_fakes, rng)?);
-        }
-        Ok(out)
+        let plan: Vec<(VoterId, usize)> = voters
+            .iter()
+            .map(|&voter| (voter, self.fakes.fakes_for(voter)))
+            .collect();
+        let fleet = self.fleet(rng);
+        Ok(fleet.register_and_activate(&mut self.trip, &plan)?)
     }
 
     /// Closes registration and opens the voting phase.
@@ -542,6 +569,37 @@ mod tests {
         assert_eq!(sessions[1].1.credentials.len(), 1);
         assert_eq!(sessions[2].1.credentials.len(), 2);
         assert_eq!(election.trip.ledger.registration.active_count(), 3);
+    }
+
+    #[test]
+    fn multi_kiosk_fleet_registration_runs_the_full_lifecycle() {
+        let mut rng = HmacDrbg::from_u64(17);
+        let mut election = ElectionBuilder::new()
+            .voters(6)
+            .options(2)
+            .kiosks(3)
+            .threads(2)
+            .fakes(FakesPolicy::Fixed(1))
+            .build(&mut rng);
+        assert_eq!(election.trip.kiosks.len(), 3);
+        let voters: Vec<VoterId> = (1..=6).map(VoterId).collect();
+        let sessions = election.register_batch(&voters, &mut rng).unwrap();
+        assert_eq!(election.trip.ledger.registration.active_count(), 6);
+        // Sessions were spread over the fleet: every kiosk issued some
+        // check-outs.
+        let kiosk_pks: std::collections::HashSet<_> = sessions
+            .iter()
+            .map(|(o, _)| o.believed_real.receipt.checkout_qr.kiosk_pk)
+            .collect();
+        assert_eq!(kiosk_pks.len(), 3);
+        let mut voting = election.open_voting();
+        for (_, vsd) in &sessions {
+            voting.cast(&vsd.credentials[0], 1, &mut rng).unwrap();
+        }
+        let tallying = voting.close();
+        let transcript = tallying.tally(&mut rng).unwrap();
+        assert_eq!(transcript.result.counts, vec![0, 6]);
+        tallying.verify(&transcript).expect("verifies");
     }
 
     #[test]
