@@ -1,0 +1,152 @@
+//! Bench-trajectory collector: turns a directory of per-commit
+//! `BENCH_*.json` artifacts into a markdown trend table.
+//!
+//! CI uploads one `bench-telemetry-<sha>` artifact per commit; the
+//! trajectory step downloads the most recent runs into a directory tree
+//! (one subdirectory per run, any naming) plus the fresh files from the
+//! current run, and this bin renders, per bench family, a
+//! run × headline-metric markdown table (newest run last, so regressions
+//! read bottom-up) suitable for `$GITHUB_STEP_SUMMARY`.
+//!
+//! Run with:
+//! `cargo run --release -p vg-bench --bin bench_trajectory --
+//!  --dir prior-telemetry [--fresh .] [--limit 12]`
+//!
+//! Subdirectory names order the runs (CI names them by run number);
+//! `--fresh` files are always listed last as `(this run)`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use vg_bench::{arg_str, arg_usize, BenchReport};
+
+/// One discovered report: (run label, file stem, parsed report).
+struct Entry {
+    run: String,
+    report: BenchReport,
+}
+
+fn collect_dir(
+    dir: &Path,
+    run_label: &dyn Fn(&Path) -> String,
+    recurse: bool,
+    out: &mut Vec<Entry>,
+) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            if recurse {
+                collect_dir(&path, run_label, recurse, out);
+            }
+        } else if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        {
+            match std::fs::read_to_string(&path).map_err(|e| e.to_string()) {
+                Ok(text) => match BenchReport::parse(&text) {
+                    Ok(report) => out.push(Entry {
+                        run: run_label(&path),
+                        report,
+                    }),
+                    Err(e) => eprintln!("bench_trajectory: skipping {}: {e}", path.display()),
+                },
+                Err(e) => eprintln!("bench_trajectory: skipping {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+fn main() {
+    let dir = arg_str("--dir").expect("--dir <prior-telemetry-dir> required");
+    let fresh = arg_str("--fresh");
+    let limit = arg_usize("--limit", 12);
+
+    let mut entries = Vec::new();
+    let base = PathBuf::from(&dir);
+    collect_dir(&base, &|p| run_of(&base, p), true, &mut entries);
+    if let Some(fresh) = fresh {
+        // Only the fresh directory's own files (no recursion into the
+        // prior-telemetry tree when `--fresh .`).
+        let fresh_base = PathBuf::from(&fresh);
+        collect_dir(
+            &fresh_base,
+            &|_| "(this run)".to_string(),
+            false,
+            &mut entries,
+        );
+    }
+    if entries.is_empty() {
+        println!("_No bench telemetry found under `{dir}`._");
+        return;
+    }
+
+    // Group by bench family, keep run order (directory-sorted = run
+    // number order; fresh last).
+    let mut families: BTreeMap<String, Vec<&Entry>> = BTreeMap::new();
+    for entry in &entries {
+        families
+            .entry(entry.report.name.clone())
+            .or_default()
+            .push(entry);
+    }
+
+    println!("## Bench trajectory");
+    for (family, mut runs) in families {
+        if runs.len() > limit {
+            runs.drain(..runs.len() - limit);
+        }
+        // Union of headline metrics across the runs, stable order.
+        let mut metrics: Vec<String> = Vec::new();
+        for run in &runs {
+            for (key, _) in run.report.headlines() {
+                if !metrics.iter().any(|m| m == key) {
+                    metrics.push(key.to_string());
+                }
+            }
+        }
+        if metrics.is_empty() {
+            continue;
+        }
+        println!("\n### `{family}`\n");
+        println!(
+            "| run | {} |",
+            metrics
+                .iter()
+                .map(|m| m.trim_start_matches("headline_").replace('_', " "))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+        println!("|---|{}", "---:|".repeat(metrics.len()));
+        for run in &runs {
+            let cells: Vec<String> = metrics
+                .iter()
+                .map(|m| {
+                    run.report
+                        .metrics
+                        .get(m)
+                        .map_or("–".to_string(), |v| format!("{v:.3}"))
+                })
+                .collect();
+            println!("| {} | {} |", run.run, cells.join(" | "));
+        }
+    }
+    println!(
+        "\n_{} report file(s); ratios are dimensionless (see bench/baselines/)._",
+        entries.len()
+    );
+}
+
+/// The run label of a report path: its first directory component under
+/// the prior-telemetry root, or the file stem at top level.
+fn run_of(base: &Path, path: &Path) -> String {
+    path.strip_prefix(base)
+        .ok()
+        .and_then(|rel| rel.components().next())
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}

@@ -1,0 +1,207 @@
+//! Service-layer overhead: what the typed RPC boundary costs per
+//! registration ceremony.
+//!
+//! Runs the same seeded registration day three ways and compares
+//! sessions/sec:
+//!
+//! - **local**: the fleet on the in-process [`vg_trip::LocalBoundary`]
+//!   (synchronous per-window ledger admission — the pre-service-layer
+//!   behavior);
+//! - **svc-inproc**: the fleet over the service layer's in-process
+//!   transport (typed messages, zero-copy dispatch, **asynchronous
+//!   coalesced** ledger ingestion);
+//! - **svc-tcp**: the same services behind a length-prefixed loopback
+//!   TCP socket — every request round-trips the full versioned codec.
+//!
+//! All three produce bit-identical ledgers (the equivalence proptests pin
+//! it); the bench quantifies the framing + socket tax and the async
+//! ingestion win. The guarded headline is `tcp / inprocess` throughput —
+//! a dimensionless ratio that catches codec or transport regressions
+//! without tracking absolute host speed.
+//!
+//! Run with:
+//! `cargo run --release -p vg-bench --bin service_bench --
+//!  [--quick] [--voters N --kiosks K] [--threads N] [--pool N]
+//!  [--activate] [--json path]`
+
+use std::time::Instant;
+
+use vg_bench::{arg_flag, arg_str, arg_usize, print_table, BenchReport};
+use vg_crypto::HmacDrbg;
+use vg_service::{register_and_activate_day, register_day, Transport};
+use vg_sim::population::{FakeCredentialDist, RegistrationPlan};
+use vg_trip::fleet::{FleetConfig, KioskFleet};
+use vg_trip::setup::{TripConfig, TripSystem};
+
+fn config(n_voters: u64, n_kiosks: usize) -> TripConfig {
+    TripConfig {
+        n_voters,
+        n_kiosks,
+        // The fleet prints per-session envelopes; the setup-time booth
+        // supply would only distort the measurement.
+        envelopes_per_voter: 0,
+        ..TripConfig::default()
+    }
+}
+
+/// One timed registration day. Returns sessions/sec.
+fn run_day(
+    plan: &RegistrationPlan,
+    kiosks: usize,
+    fleet_config: FleetConfig,
+    transport: Option<Transport>,
+    activate: bool,
+) -> f64 {
+    let n = plan.len();
+    let mut rng = HmacDrbg::from_u64(0x5E41);
+    let mut system = TripSystem::setup(config(n as u64, kiosks), &mut rng);
+    let fleet = KioskFleet::new(fleet_config);
+    let mut done = 0usize;
+    let t0 = Instant::now();
+    match (transport, activate) {
+        (None, false) => {
+            let mut pool = fleet.prepare_pool(&system, plan.sessions());
+            fleet
+                .register_each_with_pool(&mut system, plan.sessions(), &mut pool, |_| done += 1)
+                .expect("local fleet registers");
+        }
+        (None, true) => {
+            let mut pool = fleet.prepare_pool(&system, plan.sessions());
+            fleet
+                .register_and_activate_each_with_pool(
+                    &mut system,
+                    plan.sessions(),
+                    &mut pool,
+                    |_, _| done += 1,
+                )
+                .expect("local fleet registers+activates");
+        }
+        (Some(t), false) => {
+            register_day(&fleet, &mut system, plan.sessions(), t, |_| done += 1)
+                .expect("service day registers");
+        }
+        (Some(t), true) => {
+            register_and_activate_day(&fleet, &mut system, plan.sessions(), t, |_, _| done += 1)
+                .expect("service day registers+activates");
+        }
+    }
+    assert_eq!(done, n);
+    n as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let threads = arg_usize("--threads", 1);
+    let pool = arg_usize("--pool", 256);
+    let quick = arg_flag("--quick");
+    let activate = arg_flag("--activate");
+    let json_path = arg_str("--json");
+
+    let cases: Vec<(usize, usize)> = if let Some(v) = arg_str("--voters") {
+        vec![(v.parse().expect("--voters N"), arg_usize("--kiosks", 4))]
+    } else if quick {
+        vec![(600, 2)]
+    } else {
+        vec![(2_000, 1), (2_000, 4)]
+    };
+
+    println!("Service-layer overhead, {threads} thread(s), pool batch {pool}:");
+    println!("local = in-process boundary (synchronous admission),");
+    println!("svc-inproc = typed services + async coalesced ingestion,");
+    println!("svc-tcp = same services over a framed loopback socket.");
+    println!(
+        "Rates are sessions/sec ({}).\n",
+        if activate {
+            "register + activate"
+        } else {
+            "register only"
+        }
+    );
+
+    let mut report = BenchReport::new("service");
+    report
+        .meta("threads", threads)
+        .meta("pool_batch", pool)
+        .meta("activate", activate)
+        .meta(
+            "grid",
+            cases
+                .iter()
+                .map(|(n, k)| format!("{n}x{k}"))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+
+    let mut rows = Vec::new();
+    let mut headline: Option<f64> = None;
+    for &(n, kiosks) in &cases {
+        let plan = {
+            let mut rng = HmacDrbg::from_u64(0xD_C);
+            RegistrationPlan::sample(n as u64, &FakeCredentialDist::default(), &mut rng)
+        };
+        let fleet_config = FleetConfig {
+            pool_batch: pool,
+            threads,
+            seed: [0x5Eu8; 32],
+        };
+        let local = run_day(&plan, kiosks, fleet_config, None, activate);
+        let inproc = run_day(
+            &plan,
+            kiosks,
+            fleet_config,
+            Some(Transport::InProcess),
+            activate,
+        );
+        let tcp = run_day(&plan, kiosks, fleet_config, Some(Transport::Tcp), activate);
+        let tcp_ratio = tcp / inproc;
+        let async_gain = inproc / local;
+        // Per-ceremony cost of the socket + codec, in microseconds.
+        let overhead_us = (1.0 / tcp - 1.0 / inproc) * 1e6;
+        headline = Some(headline.map_or(tcp_ratio, |h: f64| h.min(tcp_ratio)));
+        rows.push(vec![
+            n.to_string(),
+            kiosks.to_string(),
+            format!("{local:.0}"),
+            format!("{inproc:.0}"),
+            format!("{tcp:.0}"),
+            format!("{:.1}", overhead_us),
+            format!("{tcp_ratio:.3}"),
+            format!("{async_gain:.3}"),
+        ]);
+        let prefix = format!("n{n}_k{kiosks}");
+        report.metric(&format!("{prefix}_local_per_sec"), local);
+        report.metric(&format!("{prefix}_svc_inproc_per_sec"), inproc);
+        report.metric(&format!("{prefix}_svc_tcp_per_sec"), tcp);
+        report.metric(
+            &format!("{prefix}_tcp_overhead_us_per_ceremony"),
+            overhead_us,
+        );
+        report.metric(&format!("{prefix}_tcp_over_inproc"), tcp_ratio);
+        report.metric(&format!("{prefix}_async_ingest_gain"), async_gain);
+    }
+    print_table(
+        &[
+            "voters",
+            "kiosks",
+            "local/s",
+            "svc-inproc/s",
+            "svc-tcp/s",
+            "tcp us/ceremony",
+            "tcp/inproc",
+            "async gain",
+        ],
+        &rows,
+    );
+
+    if let Some(h) = headline {
+        report.metric("headline_tcp_over_inproc", h);
+        println!(
+            "\nworst tcp/in-process throughput ratio: {h:.3} \
+             (1.0 = free transport; the guard flags codec/socket regressions)"
+        );
+    }
+
+    if let Some(path) = json_path {
+        report.write(&path).expect("write bench json");
+        println!("telemetry written to {path}");
+    }
+}

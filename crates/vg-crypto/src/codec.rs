@@ -1,0 +1,233 @@
+//! Canonical binary codec primitives for signed, hashed and
+//! wire-transported structures.
+//!
+//! Every structure that crosses a trust or machine boundary — ballot
+//! payloads, service-layer RPC messages, ledger records — needs an
+//! injective byte encoding that is strictly validated on decode. This
+//! module provides the shared length-checked reader/writer pair those
+//! codecs build on: all points are decompressed (and therefore on-curve),
+//! all scalars canonical, all lengths bounded, and trailing bytes are an
+//! error. Higher layers (`vg-votegral`'s ballot codec, `vg-service`'s wire
+//! messages) add their own framing and versioning on top of these
+//! primitives; the conventions — version tags first, little-endian
+//! integers, length-prefixed variable data, [`Reader::finish`] at the end —
+//! are shared.
+
+use crate::elgamal::Ciphertext;
+use crate::{CompressedPoint, CryptoError, EdwardsPoint, Scalar};
+
+/// Ceiling on any single length-prefixed field or collection read through
+/// [`Reader::len_prefix`]. Keeps a hostile 4-byte prefix from provoking a
+/// multi-gigabyte allocation before validation has seen a single element.
+pub const MAX_LEN_PREFIX: usize = 1 << 24;
+
+/// A cursor over an untrusted byte buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CryptoError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CryptoError::Malformed("truncated payload"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8, CryptoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, CryptoError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes(b.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, CryptoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, CryptoError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a u32 length prefix, bounded by [`MAX_LEN_PREFIX`] and by the
+    /// bytes actually remaining (an element needs at least one byte, so a
+    /// count larger than `remaining` can never be honest).
+    pub fn len_prefix(&mut self) -> Result<usize, CryptoError> {
+        let n = self.u32()? as usize;
+        if n > MAX_LEN_PREFIX || n > self.remaining() {
+            return Err(CryptoError::Malformed("implausible length prefix"));
+        }
+        Ok(n)
+    }
+
+    /// Reads a 32-byte array.
+    pub fn bytes32(&mut self) -> Result<[u8; 32], CryptoError> {
+        let b = self.take(32)?;
+        Ok(b.try_into().expect("32 bytes"))
+    }
+
+    /// Reads a 64-byte array.
+    pub fn bytes64(&mut self) -> Result<[u8; 64], CryptoError> {
+        let b = self.take(64)?;
+        Ok(b.try_into().expect("64 bytes"))
+    }
+
+    /// Reads and validates a compressed point.
+    pub fn point(&mut self) -> Result<EdwardsPoint, CryptoError> {
+        CompressedPoint(self.bytes32()?)
+            .decompress()
+            .ok_or(CryptoError::InvalidPoint)
+    }
+
+    /// Reads a compressed point encoding *without* decompressing it.
+    ///
+    /// For fields that are transported and compared as opaque 32-byte
+    /// identities (registry keys); anything used in group arithmetic must
+    /// go through [`Reader::point`] instead.
+    pub fn compressed_point(&mut self) -> Result<CompressedPoint, CryptoError> {
+        Ok(CompressedPoint(self.bytes32()?))
+    }
+
+    /// Reads and validates a canonical scalar.
+    pub fn scalar(&mut self) -> Result<Scalar, CryptoError> {
+        Scalar::from_canonical_bytes(&self.bytes32()?).ok_or(CryptoError::InvalidScalar)
+    }
+
+    /// Reads a ciphertext (two points).
+    pub fn ciphertext(&mut self) -> Result<Ciphertext, CryptoError> {
+        Ok(Ciphertext {
+            c1: self.point()?,
+            c2: self.point()?,
+        })
+    }
+
+    /// Requires that the whole buffer was consumed.
+    pub fn finish(self) -> Result<(), CryptoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CryptoError::Malformed("trailing bytes in payload"))
+        }
+    }
+}
+
+/// Appends a point to a buffer.
+pub fn put_point(buf: &mut Vec<u8>, p: &EdwardsPoint) {
+    buf.extend_from_slice(&p.compress().0);
+}
+
+/// Appends a scalar to a buffer.
+pub fn put_scalar(buf: &mut Vec<u8>, s: &Scalar) {
+    buf.extend_from_slice(&s.to_bytes());
+}
+
+/// Appends a ciphertext to a buffer.
+pub fn put_ciphertext(buf: &mut Vec<u8>, c: &Ciphertext) {
+    put_point(buf, &c.c1);
+    put_point(buf, &c.c2);
+}
+
+/// Appends a little-endian u32.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian u64.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a u32 length prefix for a collection about to be written.
+pub fn put_len(buf: &mut Vec<u8>, n: usize) {
+    put_u32(buf, u32::try_from(n).expect("collection fits a u32 length"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HmacDrbg, Rng};
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = HmacDrbg::from_u64(1);
+        let p = EdwardsPoint::mul_base(&rng.scalar());
+        let s = rng.scalar();
+        let mut buf = Vec::new();
+        put_point(&mut buf, &p);
+        put_scalar(&mut buf, &s);
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 3);
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.point().unwrap(), p);
+        assert_eq!(r.scalar().unwrap(), s);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut r = Reader::new(&[0u8; 16]);
+        assert!(r.point().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let buf = [0u8; 4];
+        let r = Reader::new(&buf);
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn invalid_point_rejected() {
+        let buf = [0xffu8; 32];
+        let mut r = Reader::new(&buf);
+        assert!(r.point().is_err());
+    }
+
+    #[test]
+    fn noncanonical_scalar_rejected() {
+        let buf = [0xffu8; 32];
+        let mut r = Reader::new(&buf);
+        assert!(r.scalar().is_err());
+    }
+
+    #[test]
+    fn implausible_length_prefix_rejected() {
+        // A 4 GiB count with 4 bytes of payload behind it.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        buf.extend_from_slice(&[0u8; 4]);
+        let mut r = Reader::new(&buf);
+        assert!(r.len_prefix().is_err());
+        // A plausible count within the remaining bytes is fine.
+        let mut buf = Vec::new();
+        put_len(&mut buf, 3);
+        buf.extend_from_slice(&[1, 2, 3]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.len_prefix().unwrap(), 3);
+    }
+}

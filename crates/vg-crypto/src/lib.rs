@@ -33,6 +33,7 @@
 pub mod batch;
 pub mod bigint;
 pub mod chaum_pedersen;
+pub mod codec;
 pub mod dkg;
 pub mod drbg;
 pub mod edwards;

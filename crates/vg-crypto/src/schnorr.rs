@@ -188,6 +188,30 @@ impl NonceCoupon {
     pub fn commitment(&self) -> CompressedPoint {
         self.r
     }
+
+    /// Splits the coupon into its `(nonce, R)` pair for wire transport,
+    /// consuming it (the single-use discipline survives serialization: the
+    /// local copy is gone once the bytes leave).
+    ///
+    /// A deployment ships coupons only between mutually trusting halves of
+    /// one signer (a kiosk appliance's precompute store and its booth
+    /// process, or — in this reproduction — the seeded ceremony pool and
+    /// the registrar service), over a channel as protected as the signing
+    /// key itself: whoever reads `k` and later sees the signature can
+    /// recover the secret key.
+    pub fn into_parts(self) -> (Scalar, CompressedPoint) {
+        (self.k, self.r)
+    }
+
+    /// Rebuilds a coupon from its wire parts.
+    ///
+    /// The pair is *not* checked against R = k·B (that would spend the
+    /// scalar multiplication the coupon exists to avoid); a mismatched
+    /// pair only ever yields an invalid signature, which ledger admission
+    /// rejects.
+    pub fn from_parts(k: Scalar, r: CompressedPoint) -> Self {
+        Self { k, r }
+    }
 }
 
 impl SigningKey {
@@ -329,6 +353,108 @@ pub fn batch_verify_par(
     }
 }
 
+/// A random-linear-combination signature sweep whose weights commit to
+/// **everything the fold checks** — the single source of the
+/// "everything-committed" soundness rule every batched admission path in
+/// the workspace relies on.
+///
+/// Per the analysis in [`crate::batch`], RLC weights must be unpredictable
+/// to whoever formed the proofs. Deterministic replays (a registration day
+/// re-run bit-identically) rule out fresh entropy, so the weights are
+/// drawn from an HMAC-DRBG seeded with a hash that commits to a domain
+/// label plus, for every queued item, its public key, its full message and
+/// its signature bytes. Grinding any component of any statement against
+/// the weights then leaves a cheating submitter the classical ≤ 2⁻¹²⁷
+/// success chance per attempt. [`SignatureSweep::push`] folds each item
+/// into the commitment automatically, so a call site *cannot* forget to
+/// commit a component the sweep checks; extra statement material covered
+/// by an accompanying fold (e.g. Σ-transcript terms sharing the DRBG) goes
+/// in via [`SignatureSweep::commit`].
+///
+/// Used by `vg-ledger`'s batched record admission, `vg-trip`'s batched
+/// check-out, and `vg-trip`'s batched activation checks.
+pub struct SignatureSweep {
+    label: Vec<u8>,
+    keys: Vec<(VerifyingKey, Signature)>,
+    msgs: Vec<Vec<u8>>,
+}
+
+impl SignatureSweep {
+    /// Starts an empty sweep under `domain` (a versioned, per-call-site
+    /// separation label).
+    pub fn new(domain: &[u8]) -> Self {
+        let mut label = Vec::with_capacity(64 + domain.len());
+        label.extend_from_slice(b"votegral-committed-sweep-v1");
+        label.extend_from_slice(&(domain.len() as u64).to_le_bytes());
+        label.extend_from_slice(domain);
+        Self {
+            label,
+            keys: Vec::new(),
+            msgs: Vec::new(),
+        }
+    }
+
+    /// Folds extra statement material into the weight commitment (for
+    /// callers that continue the returned DRBG into a second fold over
+    /// statements this sweep's items do not already bind).
+    pub fn commit(&mut self, bytes: &[u8]) {
+        self.label
+            .extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        self.label.extend_from_slice(bytes);
+    }
+
+    /// Queues one `(key, message, signature)` triple, committing all three
+    /// to the weight derivation (the key encodings are folded in at
+    /// [`SignatureSweep::verify`] time through one shared-inversion batch
+    /// compression).
+    pub fn push(&mut self, vk: VerifyingKey, msg: Vec<u8>, sig: Signature) {
+        self.label
+            .extend_from_slice(&(msg.len() as u64).to_le_bytes());
+        self.label.extend_from_slice(&msg);
+        self.label.extend_from_slice(&sig.to_bytes());
+        self.keys.push((vk, sig));
+        self.msgs.push(msg);
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` if nothing was queued.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Runs the single folded check over up to `threads` workers.
+    ///
+    /// On success returns the post-sweep DRBG so follow-on folds (e.g. a
+    /// [`crate::batch::BatchVerifier`] over Σ-transcripts checked in the
+    /// same admission decision) can keep drawing weights from the same
+    /// committed stream. Callers that need per-item error attribution run
+    /// their own fallback on `Err` — the fold itself cannot name an
+    /// offender.
+    pub fn verify(&self, threads: usize) -> Result<crate::HmacDrbg, CryptoError> {
+        // Fold the key encodings in last (order inside the commitment is
+        // immaterial; completeness is what soundness needs), sharing one
+        // inversion across the whole batch.
+        let vk_points: Vec<EdwardsPoint> = self.keys.iter().map(|(vk, _)| vk.0).collect();
+        let mut label = self.label.clone();
+        for c in EdwardsPoint::batch_compress(&vk_points) {
+            label.extend_from_slice(&c.0);
+        }
+        let mut rng = crate::HmacDrbg::new(&sha256(&label));
+        let items: Vec<(VerifyingKey, &[u8], Signature)> = self
+            .keys
+            .iter()
+            .zip(self.msgs.iter())
+            .map(|(&(vk, sig), msg)| (vk, msg.as_slice(), sig))
+            .collect();
+        batch_verify_par(&items, threads, &mut rng)?;
+        Ok(rng)
+    }
+}
+
 /// Fiat–Shamir challenge e = SHA-256(R ‖ A ‖ M) reduced mod ℓ.
 fn challenge(r: &CompressedPoint, pk: &CompressedPoint, msg: &[u8]) -> Scalar {
     let mut data = Vec::with_capacity(64 + msg.len() + 16);
@@ -434,6 +560,78 @@ mod tests {
         key.verifying_key()
             .verify(b"serialize me", &decoded)
             .unwrap();
+    }
+
+    #[test]
+    fn coupon_parts_roundtrip() {
+        let mut rng = HmacDrbg::from_u64(50);
+        let key = SigningKey::generate(&mut rng);
+        let (k, r) = NonceCoupon::generate(&mut rng).into_parts();
+        let sig = key.sign_with_coupon(b"over the wire", NonceCoupon::from_parts(k, r));
+        key.verifying_key().verify(b"over the wire", &sig).unwrap();
+        assert_eq!(sig.r, r);
+    }
+
+    #[test]
+    fn committed_sweep_accepts_valid_batches() {
+        let mut rng = HmacDrbg::from_u64(51);
+        let mut sweep = SignatureSweep::new(b"test-sweep-v1");
+        for i in 0..6u8 {
+            let key = SigningKey::generate(&mut rng);
+            let msg = vec![i; 9];
+            let sig = key.sign(&msg);
+            sweep.push(key.verifying_key(), msg, sig);
+        }
+        assert_eq!(sweep.len(), 6);
+        sweep.verify(2).expect("honest batch folds clean");
+    }
+
+    #[test]
+    fn committed_sweep_rejects_any_tampered_item() {
+        let mut rng = HmacDrbg::from_u64(52);
+        let keys: Vec<SigningKey> = (0..4).map(|_| SigningKey::generate(&mut rng)).collect();
+        for bad in 0..4usize {
+            let mut sweep = SignatureSweep::new(b"test-sweep-v1");
+            for (i, key) in keys.iter().enumerate() {
+                let msg = vec![i as u8; 5];
+                let mut sig = key.sign(&msg);
+                if i == bad {
+                    sig.s += Scalar::ONE;
+                }
+                sweep.push(key.verifying_key(), msg, sig);
+            }
+            assert!(sweep.verify(1).is_err(), "tampered item {bad} survived");
+        }
+    }
+
+    #[test]
+    fn committed_sweep_weights_depend_on_every_component() {
+        // Changing any committed component — domain, extra material, a
+        // message — shifts the whole weight stream.
+        let mut rng = HmacDrbg::from_u64(53);
+        let key = SigningKey::generate(&mut rng);
+        let sig = key.sign(b"m");
+        let stream = |domain: &[u8], extra: Option<&[u8]>, msg: &[u8]| {
+            let mut sweep = SignatureSweep::new(domain);
+            if let Some(e) = extra {
+                sweep.commit(e);
+            }
+            sweep.push(key.verifying_key(), msg.to_vec(), sig);
+            sweep
+        };
+        let mut a = stream(b"d1", None, b"m").verify(1).expect("valid");
+        let mut b = stream(b"d2", None, b"m").verify(1).expect("valid");
+        assert_ne!(a.scalar(), b.scalar(), "domain not committed");
+        let mut c = stream(b"d1", Some(b"x"), b"m").verify(1).expect("valid");
+        let mut d = stream(b"d1", Some(b"y"), b"m").verify(1).expect("valid");
+        assert_ne!(c.scalar(), d.scalar(), "extra material not committed");
+    }
+
+    #[test]
+    fn empty_sweep_accepts() {
+        let sweep = SignatureSweep::new(b"empty");
+        assert!(sweep.is_empty());
+        sweep.verify(4).expect("vacuous batch accepts");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::store::LedgerBackend;
 use vg_crypto::edwards::CompressedPoint;
 use vg_crypto::elgamal::Ciphertext;
 use vg_crypto::par::par_map;
-use vg_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use vg_crypto::schnorr::{Signature, SignatureSweep, SigningKey, VerifyingKey};
 use vg_crypto::{CryptoError, Rng, Scalar};
 
 /// A voter's unique identifier on the electoral roll.
@@ -63,34 +63,19 @@ impl From<CryptoError> for LedgerError {
     }
 }
 
-/// Batch-admission weight source: an HMAC-DRBG seeded from a hash that
-/// commits to every record in the batch. Per the soundness analysis of
-/// [`vg_crypto::batch`], weights derived from a commitment over all
-/// statements *and* proofs leave a cheating submitter a ≤ 2⁻¹²⁷ success
-/// chance per grinding attempt, while keeping batched admission
-/// deterministic (bit-identical replays of a registration day re-derive
-/// the same weights).
-fn admission_rng<R: Record>(domain: &[u8], records: &[R]) -> vg_crypto::HmacDrbg {
-    let mut acc = Vec::with_capacity(64 + records.len() * 8);
-    acc.extend_from_slice(domain);
-    for r in records {
-        acc.extend_from_slice(&vg_crypto::sha2::sha256(&r.canonical_bytes()));
-    }
-    vg_crypto::HmacDrbg::new(&vg_crypto::sha2::sha256(&acc))
-}
-
-/// Runs one RLC-batched signature sweep, falling back to the per-item
+/// Runs one committed RLC signature sweep
+/// ([`vg_crypto::schnorr::SignatureSweep`] — the weights commit to every
+/// key, message and signature the fold checks, keeping batched admission
+/// deterministic and grind-resistant), falling back to the per-item
 /// checker to locate the offender (and surface its precise error) when
 /// the fold rejects.
 fn batched_signature_sweep<R: Record + Sync>(
-    domain: &[u8],
+    sweep: &SignatureSweep,
     records: &[R],
-    items: &[(VerifyingKey, &[u8], Signature)],
     threads: usize,
     per_item: impl Fn(&R) -> Result<(), LedgerError> + Sync,
 ) -> Result<(), LedgerError> {
-    let mut rng = admission_rng(domain, records);
-    if vg_crypto::schnorr::batch_verify_par(items, threads, &mut rng).is_ok() {
+    if sweep.verify(threads).is_ok() {
         return Ok(());
     }
     for check in par_map(records, threads, &per_item) {
@@ -254,33 +239,24 @@ impl RegistrationLedger {
             }
         } else {
             let mut vk_cache = vg_crypto::schnorr::VerifyingKeyCache::new();
-            let mut keys = Vec::with_capacity(records.len() * 2);
-            let mut msgs = Vec::with_capacity(records.len() * 2);
+            let mut sweep = SignatureSweep::new(b"ledger-reg-admission-v1");
             for record in &records {
-                keys.push((vk_cache.get(&record.kiosk_pk)?, record.kiosk_sig));
-                msgs.push(RegistrationRecord::kiosk_message(
-                    record.voter_id,
-                    &record.c_pc,
-                ));
-                keys.push((vk_cache.get(&record.official_pk)?, record.official_sig));
-                msgs.push(RegistrationRecord::official_message(
-                    record.voter_id,
-                    &record.c_pc,
-                    &record.kiosk_sig,
-                ));
+                sweep.push(
+                    vk_cache.get(&record.kiosk_pk)?,
+                    RegistrationRecord::kiosk_message(record.voter_id, &record.c_pc),
+                    record.kiosk_sig,
+                );
+                sweep.push(
+                    vk_cache.get(&record.official_pk)?,
+                    RegistrationRecord::official_message(
+                        record.voter_id,
+                        &record.c_pc,
+                        &record.kiosk_sig,
+                    ),
+                    record.official_sig,
+                );
             }
-            let items: Vec<(VerifyingKey, &[u8], Signature)> = keys
-                .iter()
-                .zip(msgs.iter())
-                .map(|(&(vk, sig), msg)| (vk, msg.as_slice(), sig))
-                .collect();
-            batched_signature_sweep(
-                b"ledger-reg-admission-v1",
-                &records,
-                &items,
-                threads,
-                Self::check_record,
-            )?;
+            batched_signature_sweep(&sweep, &records, threads, Self::check_record)?;
         }
         let voters: Vec<VoterId> = records.iter().map(|r| r.voter_id).collect();
         let range = self.log.append_batch(records, threads);
@@ -423,24 +399,15 @@ impl EnvelopeLedger {
             }
         } else {
             let mut vk_cache = vg_crypto::schnorr::VerifyingKeyCache::new();
-            let mut keys = Vec::with_capacity(commitments.len());
-            let mut msgs = Vec::with_capacity(commitments.len());
+            let mut sweep = SignatureSweep::new(b"ledger-env-admission-v1");
             for c in &commitments {
-                keys.push((vk_cache.get(&c.printer_pk)?, c.signature));
-                msgs.push(EnvelopeCommitment::message(&c.challenge_hash));
+                sweep.push(
+                    vk_cache.get(&c.printer_pk)?,
+                    EnvelopeCommitment::message(&c.challenge_hash),
+                    c.signature,
+                );
             }
-            let items: Vec<(VerifyingKey, &[u8], Signature)> = keys
-                .iter()
-                .zip(msgs.iter())
-                .map(|(&(vk, sig), msg)| (vk, msg.as_slice(), sig))
-                .collect();
-            batched_signature_sweep(
-                b"ledger-env-admission-v1",
-                &commitments,
-                &items,
-                threads,
-                Self::check_commitment,
-            )?;
+            batched_signature_sweep(&sweep, &commitments, threads, Self::check_commitment)?;
         }
         let hashes: Vec<[u8; 32]> = commitments.iter().map(|c| c.challenge_hash).collect();
         let range = self.log.append_batch(commitments, threads);

@@ -56,11 +56,11 @@ impl TreeHead {
 
 /// An append-only, tamper-evident, typed log over a pluggable backend.
 pub struct TamperEvidentLog<T: Record> {
-    store: Box<dyn LedgerStore<T>>,
+    store: Box<dyn LedgerStore<T> + Send + Sync>,
     operator: SigningKey,
 }
 
-impl<T: Record + Sync + 'static> TamperEvidentLog<T> {
+impl<T: Record + Send + Sync + 'static> TamperEvidentLog<T> {
     /// Creates an empty in-memory log operated by `operator`.
     pub fn new(operator: SigningKey) -> Self {
         Self::with_backend(operator, LedgerBackend::InMemory)

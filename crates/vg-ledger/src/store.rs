@@ -48,8 +48,12 @@ impl LedgerBackend {
         }
     }
 
-    /// Instantiates an empty store of this backend.
-    pub fn make_store<T: Record + Sync + 'static>(&self) -> Box<dyn LedgerStore<T>> {
+    /// Instantiates an empty store of this backend. The trait object is
+    /// `Send + Sync` so a whole [`crate::Ledger`] can move behind a
+    /// service boundary (the registrar server thread owns it).
+    pub fn make_store<T: Record + Send + Sync + 'static>(
+        &self,
+    ) -> Box<dyn LedgerStore<T> + Send + Sync> {
         match *self {
             LedgerBackend::InMemory => Box::new(InMemoryStore::new()),
             LedgerBackend::Sharded { shards } => Box::new(ShardedStore::new(shards)),
@@ -518,8 +522,8 @@ mod tests {
     #[test]
     fn batch_equals_sequential_per_backend() {
         for backend in [LedgerBackend::InMemory, LedgerBackend::sharded(3)] {
-            let mut one: Box<dyn LedgerStore<Note>> = backend.make_store();
-            let mut many: Box<dyn LedgerStore<Note>> = backend.make_store();
+            let mut one: Box<dyn LedgerStore<Note> + Send + Sync> = backend.make_store();
+            let mut many: Box<dyn LedgerStore<Note> + Send + Sync> = backend.make_store();
             for r in notes(25) {
                 one.append(r);
             }
@@ -588,7 +592,7 @@ mod tests {
     #[test]
     fn empty_append_batch_is_a_noop() {
         for backend in [LedgerBackend::InMemory, LedgerBackend::sharded(4)] {
-            let mut store: Box<dyn LedgerStore<Note>> = backend.make_store();
+            let mut store: Box<dyn LedgerStore<Note> + Send + Sync> = backend.make_store();
             store.append_batch(notes(7), 2);
             let root_before = store.root();
             let range = store.append_batch(Vec::new(), 4);

@@ -1,0 +1,238 @@
+//! Service-layer errors with a typed wire encoding.
+//!
+//! Domain errors ([`vg_trip::TripError`] and everything nested inside it)
+//! round-trip the wire as tagged variants, so a fleet run over TCP
+//! observes the *same* typed error a local run would — the
+//! cross-transport equivalence tests rely on this. The one lossy corner
+//! is [`vg_crypto::CryptoError::Malformed`]'s static message, which
+//! cannot be reconstituted from untrusted bytes and decodes to a fixed
+//! placeholder.
+
+use vg_crypto::codec::{put_u32, Reader};
+use vg_crypto::CryptoError;
+use vg_ledger::LedgerError;
+use vg_trip::{ActivationCheck, TripError};
+
+/// Errors raised by the service layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A registrar-side domain error (typed; survives the wire).
+    Trip(TripError),
+    /// A transport failure: socket, framing, codec or protocol violation.
+    Transport(String),
+}
+
+impl core::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServiceError::Trip(e) => write!(f, "service error: {e}"),
+            ServiceError::Transport(what) => write!(f, "transport error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<TripError> for ServiceError {
+    fn from(e: TripError) -> Self {
+        ServiceError::Trip(e)
+    }
+}
+
+impl From<LedgerError> for ServiceError {
+    fn from(e: LedgerError) -> Self {
+        ServiceError::Trip(TripError::Ledger(e))
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Transport(format!("io: {e}"))
+    }
+}
+
+impl ServiceError {
+    /// A framing/codec failure.
+    pub fn codec(e: CryptoError) -> Self {
+        ServiceError::Transport(format!("codec: {e}"))
+    }
+
+    /// Maps into the fleet coordinator's error type: domain errors keep
+    /// their variant, transport failures become
+    /// [`TripError::Boundary`].
+    pub fn into_trip(self) -> TripError {
+        match self {
+            ServiceError::Trip(e) => e,
+            ServiceError::Transport(what) => TripError::Boundary(what),
+        }
+    }
+}
+
+fn crypto_code(e: &CryptoError) -> u32 {
+    match e {
+        CryptoError::InvalidPoint => 0,
+        CryptoError::InvalidScalar => 1,
+        CryptoError::BadSignature => 2,
+        CryptoError::BadProof => 3,
+        CryptoError::BadMac => 4,
+        CryptoError::Malformed(_) => 5,
+        CryptoError::InsufficientShares => 6,
+        CryptoError::BadShare => 7,
+    }
+}
+
+fn crypto_from_code(code: u32) -> Result<CryptoError, CryptoError> {
+    Ok(match code {
+        0 => CryptoError::InvalidPoint,
+        1 => CryptoError::InvalidScalar,
+        2 => CryptoError::BadSignature,
+        3 => CryptoError::BadProof,
+        4 => CryptoError::BadMac,
+        5 => CryptoError::Malformed("remote"),
+        6 => CryptoError::InsufficientShares,
+        7 => CryptoError::BadShare,
+        _ => return Err(CryptoError::Malformed("unknown crypto error code")),
+    })
+}
+
+fn ledger_code(e: &LedgerError) -> (u32, u32) {
+    match e {
+        LedgerError::NotOnRoster => (0, 0),
+        LedgerError::UnknownEnvelope => (1, 0),
+        LedgerError::DuplicateChallenge => (2, 0),
+        LedgerError::Crypto(c) => (3, crypto_code(c)),
+    }
+}
+
+fn ledger_from_code(code: u32, sub: u32) -> Result<LedgerError, CryptoError> {
+    Ok(match code {
+        0 => LedgerError::NotOnRoster,
+        1 => LedgerError::UnknownEnvelope,
+        2 => LedgerError::DuplicateChallenge,
+        3 => LedgerError::Crypto(crypto_from_code(sub)?),
+        _ => return Err(CryptoError::Malformed("unknown ledger error code")),
+    })
+}
+
+fn activation_code(c: &ActivationCheck) -> u32 {
+    match c {
+        ActivationCheck::CommitSignature => 0,
+        ActivationCheck::ResponseSignature => 1,
+        ActivationCheck::EnvelopeSignature => 2,
+        ActivationCheck::ZkTranscript => 3,
+        ActivationCheck::LedgerMismatch => 4,
+        ActivationCheck::DuplicateChallenge => 5,
+        ActivationCheck::NoRegistrationRecord => 6,
+    }
+}
+
+fn activation_from_code(code: u32) -> Result<ActivationCheck, CryptoError> {
+    Ok(match code {
+        0 => ActivationCheck::CommitSignature,
+        1 => ActivationCheck::ResponseSignature,
+        2 => ActivationCheck::EnvelopeSignature,
+        3 => ActivationCheck::ZkTranscript,
+        4 => ActivationCheck::LedgerMismatch,
+        5 => ActivationCheck::DuplicateChallenge,
+        6 => ActivationCheck::NoRegistrationRecord,
+        _ => return Err(CryptoError::Malformed("unknown activation check code")),
+    })
+}
+
+/// Encodes a service error as `(tag, sub, sub2, text)`.
+pub(crate) fn encode_error(buf: &mut Vec<u8>, e: &ServiceError) {
+    let (tag, sub, sub2, text): (u32, u32, u32, &str) = match e {
+        ServiceError::Trip(t) => match t {
+            TripError::BadCheckInTicket => (0, 0, 0, ""),
+            TripError::NotEligible => (1, 0, 0, ""),
+            TripError::RealCredentialMissing => (2, 0, 0, ""),
+            TripError::EnvelopeReused => (3, 0, 0, ""),
+            TripError::WrongSymbol => (4, 0, 0, ""),
+            TripError::NoMatchingEnvelope => (5, 0, 0, ""),
+            TripError::UnknownKiosk => (6, 0, 0, ""),
+            TripError::UnknownPrinter => (7, 0, 0, ""),
+            TripError::Activation(c) => (8, activation_code(c), 0, ""),
+            TripError::WrongPhysicalState => (9, 0, 0, ""),
+            TripError::PoolIntegrity => (10, 0, 0, ""),
+            TripError::Crypto(c) => (11, crypto_code(c), 0, ""),
+            TripError::Ledger(l) => {
+                let (a, b) = ledger_code(l);
+                (12, a, b, "")
+            }
+            TripError::Boundary(s) => (13, 0, 0, s.as_str()),
+        },
+        ServiceError::Transport(s) => (14, 0, 0, s.as_str()),
+    };
+    put_u32(buf, tag);
+    put_u32(buf, sub);
+    put_u32(buf, sub2);
+    put_u32(buf, text.len() as u32);
+    buf.extend_from_slice(text.as_bytes());
+}
+
+/// Decodes a service error encoded by [`encode_error`].
+pub(crate) fn decode_error(r: &mut Reader<'_>) -> Result<ServiceError, CryptoError> {
+    let tag = r.u32()?;
+    let sub = r.u32()?;
+    let sub2 = r.u32()?;
+    let n = r.len_prefix()?;
+    let text = String::from_utf8(r.take(n)?.to_vec())
+        .map_err(|_| CryptoError::Malformed("error text not utf-8"))?;
+    Ok(match tag {
+        0 => ServiceError::Trip(TripError::BadCheckInTicket),
+        1 => ServiceError::Trip(TripError::NotEligible),
+        2 => ServiceError::Trip(TripError::RealCredentialMissing),
+        3 => ServiceError::Trip(TripError::EnvelopeReused),
+        4 => ServiceError::Trip(TripError::WrongSymbol),
+        5 => ServiceError::Trip(TripError::NoMatchingEnvelope),
+        6 => ServiceError::Trip(TripError::UnknownKiosk),
+        7 => ServiceError::Trip(TripError::UnknownPrinter),
+        8 => ServiceError::Trip(TripError::Activation(activation_from_code(sub)?)),
+        9 => ServiceError::Trip(TripError::WrongPhysicalState),
+        10 => ServiceError::Trip(TripError::PoolIntegrity),
+        11 => ServiceError::Trip(TripError::Crypto(crypto_from_code(sub)?)),
+        12 => ServiceError::Trip(TripError::Ledger(ledger_from_code(sub, sub2)?)),
+        13 => ServiceError::Trip(TripError::Boundary(text)),
+        14 => ServiceError::Transport(text),
+        _ => return Err(CryptoError::Malformed("unknown error tag")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_errors_roundtrip() {
+        let cases = vec![
+            ServiceError::Trip(TripError::NotEligible),
+            ServiceError::Trip(TripError::UnknownKiosk),
+            ServiceError::Trip(TripError::Activation(ActivationCheck::LedgerMismatch)),
+            ServiceError::Trip(TripError::Crypto(CryptoError::BadSignature)),
+            ServiceError::Trip(TripError::Ledger(LedgerError::DuplicateChallenge)),
+            ServiceError::Trip(TripError::Ledger(LedgerError::Crypto(
+                CryptoError::InvalidPoint,
+            ))),
+            ServiceError::Trip(TripError::Boundary("lost".into())),
+            ServiceError::Transport("socket reset".into()),
+        ];
+        for e in cases {
+            let mut buf = Vec::new();
+            encode_error(&mut buf, &e);
+            let mut r = Reader::new(&buf);
+            let back = decode_error(&mut r).expect("decodes");
+            r.finish().unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn garbage_error_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 99);
+        put_u32(&mut buf, 0);
+        put_u32(&mut buf, 0);
+        put_u32(&mut buf, 0);
+        assert!(decode_error(&mut Reader::new(&buf)).is_err());
+    }
+}

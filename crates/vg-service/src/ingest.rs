@@ -1,0 +1,168 @@
+//! The asynchronous ledger ingestion queue.
+//!
+//! Ledger admission is the coordinator-side cost the service layer can
+//! hide: instead of posting every fleet window synchronously, submissions
+//! enter a FIFO queue and are driven to admission at the next barrier —
+//! coalescing however many windows are in flight into **one**
+//! RLC-folded admission sweep (one weight derivation, one Pippenger
+//! multi-scalar multiplication, one signed-head refresh instead of one
+//! per window).
+//!
+//! # Equivalence
+//!
+//! Coalescing is invisible to auditors: a Merkle root depends only on the
+//! record sequence, and both sub-ledgers' batch admission appends in
+//! submission order, so `flush(post)` over `[A, B]` and `post(A);
+//! post(B)` produce identical tree heads. Error semantics are preserved
+//! by the fallback: if the coalesced sweep rejects, every submission is
+//! re-posted individually in order, so the earliest offending submission
+//! surfaces with its precise error and earlier submissions still land —
+//! exactly as the synchronous reference would have behaved.
+
+use std::ops::Range;
+
+use vg_ledger::LedgerError;
+
+/// A FIFO of pending record batches awaiting one coalesced admission.
+pub struct IngestQueue<R> {
+    pending: Vec<(u64, Vec<R>)>,
+    next_ticket: u64,
+    /// Count of individually-admitted batches (telemetry).
+    flushed_batches: u64,
+    /// Count of flush calls that did real work (telemetry: the coalescing
+    /// ratio is `flushed_batches / sweeps`).
+    sweeps: u64,
+}
+
+impl<R> Default for IngestQueue<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R> IngestQueue<R> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            pending: Vec::new(),
+            next_ticket: 0,
+            flushed_batches: 0,
+            sweeps: 0,
+        }
+    }
+}
+
+impl<R: Clone> IngestQueue<R> {
+    /// Queues a batch, returning its ticket. Tickets resolve in order at
+    /// the next [`IngestQueue::flush`].
+    pub fn submit(&mut self, records: Vec<R>) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        if !records.is_empty() {
+            self.pending.push((ticket, records));
+        }
+        ticket
+    }
+
+    /// Records queued but not yet admitted.
+    pub fn pending_records(&self) -> usize {
+        self.pending.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// `(batches admitted, admission sweeps run)` so far — the coalescing
+    /// win is the ratio between them.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.flushed_batches, self.sweeps)
+    }
+
+    /// Drives everything pending to admission through `post` (the
+    /// ledger's batched admission entry point). One coalesced call on the
+    /// happy path; ordered per-submission fallback on rejection (see the
+    /// module docs).
+    pub fn flush(
+        &mut self,
+        mut post: impl FnMut(Vec<R>) -> Result<Range<usize>, LedgerError>,
+    ) -> Result<(), LedgerError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut self.pending);
+        self.sweeps += 1;
+        if pending.len() == 1 {
+            let (_, records) = pending.into_iter().next().expect("one pending batch");
+            post(records)?;
+            self.flushed_batches += 1;
+            return Ok(());
+        }
+        let coalesced: Vec<R> = pending
+            .iter()
+            .flat_map(|(_, records)| records.iter().cloned())
+            .collect();
+        let batches = pending.len() as u64;
+        if post(coalesced).is_ok() {
+            self.flushed_batches += batches;
+            return Ok(());
+        }
+        // The coalesced sweep rejected: re-post per submission, in order,
+        // to attribute the failure and keep earlier submissions admitted.
+        for (_, records) in pending {
+            post(records)?;
+            self.flushed_batches += 1;
+        }
+        // Every submission passed individually — a negligible-probability
+        // RLC artifact; per-batch acceptance is authoritative.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_coalesces_in_order() {
+        let mut q: IngestQueue<u32> = IngestQueue::new();
+        assert_eq!(q.submit(vec![1, 2]), 0);
+        assert_eq!(q.submit(vec![]), 1);
+        assert_eq!(q.submit(vec![3]), 2);
+        assert_eq!(q.pending_records(), 3);
+        let mut seen = Vec::new();
+        q.flush(|records| {
+            let start = seen.len();
+            seen.extend(records);
+            Ok(start..seen.len())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(q.pending_records(), 0);
+        // Two non-empty batches in one sweep.
+        assert_eq!(q.stats(), (2, 1));
+    }
+
+    #[test]
+    fn failed_coalesce_falls_back_per_submission() {
+        let mut q: IngestQueue<u32> = IngestQueue::new();
+        q.submit(vec![1]);
+        q.submit(vec![13]); // poison
+        q.submit(vec![3]);
+        let mut admitted = Vec::new();
+        let err = q.flush(|records| {
+            if records.contains(&13) {
+                return Err(LedgerError::NotOnRoster);
+            }
+            let start = admitted.len();
+            admitted.extend(records);
+            Ok(start..admitted.len())
+        });
+        assert_eq!(err, Err(LedgerError::NotOnRoster));
+        // The submission before the poison still landed, in order.
+        assert_eq!(admitted, vec![1]);
+    }
+
+    #[test]
+    fn empty_flush_is_a_no_op() {
+        let mut q: IngestQueue<u32> = IngestQueue::new();
+        q.flush(|_| unreachable!("nothing pending")).unwrap();
+        assert_eq!(q.stats(), (0, 0));
+    }
+}

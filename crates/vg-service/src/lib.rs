@@ -1,0 +1,58 @@
+//! Transport-agnostic service layer for the TRIP registration system.
+//!
+//! The paper's deployment (§6, SOSP 2025) is distributed: kiosks in
+//! privacy booths, officials' desks, envelope printers, the public
+//! bulletin board and voters' devices are separate machines. This crate
+//! makes those boundaries explicit:
+//!
+//! ```text
+//!  fleet side (booths)                │ registrar side (services)
+//!  ──────────────────────────────────┼────────────────────────────────
+//!  KioskFleet ── RegistrarBoundary ──┤ RegistrarService    (officials)
+//!    │   (vg-trip seam)              │ PrintService        (printers)
+//!    │                               │ LedgerIngestService (bulletin board)
+//!    └─ VSD client checks            │ ActivationService   (ledger phase)
+//! ```
+//!
+//! - [`traits`]: the four service traits, one per paper role, each with
+//!   its trust assumptions documented;
+//! - [`messages`]: versioned, canonical wire messages built from the
+//!   protocol's natural units (tickets, check-out QRs, envelope
+//!   commitments, print jobs, activation claims, signed tree heads);
+//! - [`wire`]: the strict codec envelope and length-prefixed framing;
+//! - [`ingest`]: the asynchronous ledger ingestion queue — in-flight
+//!   submissions coalesce into single RLC-folded admission sweeps;
+//! - [`registrar`]: the host serving all four services over deployment
+//!   state;
+//! - [`transport`]: [`Transport::InProcess`] (zero-copy) and
+//!   [`Transport::Tcp`] (framed loopback socket), the fleet-facing
+//!   [`ServiceBoundary`] adapter, and whole-registration-day runners.
+//!
+//! # Equivalence contract
+//!
+//! A registration day over any transport is **bit-identical** — same
+//! ledger tree heads, same credentials, same event traces — to the
+//! in-process sequential reference, for any `(seed, queue, kiosks, pool
+//! batch, threads)`. The workspace's `tests/service.rs` pins this with
+//! cross-transport proptests; `vg-bench`'s `service_bench` measures what
+//! the framing and the asynchronous ingestion cost per ceremony.
+
+pub mod error;
+pub mod ingest;
+pub mod messages;
+pub mod registrar;
+pub mod traits;
+pub mod transport;
+pub mod wire;
+
+pub use error::ServiceError;
+pub use ingest::IngestQueue;
+pub use registrar::RegistrarHost;
+pub use traits::{
+    ActivationService, LedgerIngestService, PrintService, RegistrarEndpoint, RegistrarService,
+};
+pub use transport::{
+    ledger_heads_over, register_and_activate_day, register_day, serve_connection, ServiceBoundary,
+    TcpClient, Transport,
+};
+pub use wire::Wire;

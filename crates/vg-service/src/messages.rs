@@ -1,0 +1,454 @@
+//! Typed request/response messages for the four registrar services, with
+//! canonical [`Wire`] encodings.
+//!
+//! Every message is built from the protocol's natural units — check-in
+//! tickets, check-out QRs, envelope commitments, print jobs, activation
+//! claims, signed tree heads — encoded under the strict
+//! `vg_crypto::codec` rules: points validated on decode, scalars
+//! canonical, collection lengths bounded, trailing bytes rejected. The
+//! round-trip property tests at the workspace root
+//! (`tests/service.rs`) cover every type here, plus truncation and
+//! garbage-frame fuzzing.
+
+use vg_crypto::codec::{put_ciphertext, put_scalar, put_u64, Reader};
+use vg_crypto::elgamal::Ciphertext;
+use vg_crypto::schnorr::{NonceCoupon, Signature};
+use vg_crypto::{CompressedPoint, CryptoError, Scalar};
+use vg_ledger::{EnvelopeCommitment, TreeHead, VoterId};
+use vg_trip::materials::{CheckInTicket, CheckOutQr, Envelope, Symbol};
+use vg_trip::vsd::ActivationClaim;
+use vg_trip::PrintJob;
+
+use crate::wire::Wire;
+
+impl Wire for VoterId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Ok(VoterId(r.u64()?))
+    }
+}
+
+impl Wire for Scalar {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_scalar(buf, self);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        r.scalar()
+    }
+}
+
+/// Transported as the raw 32-byte encoding: registry membership and
+/// record cross-checks compare encodings; any arithmetic use goes through
+/// `VerifyingKey::from_compressed`, which re-validates.
+impl Wire for CompressedPoint {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        r.compressed_point()
+    }
+}
+
+impl Wire for Ciphertext {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_ciphertext(buf, self);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        r.ciphertext()
+    }
+}
+
+impl Wire for Signature {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Signature::from_bytes(&r.bytes64()?)
+    }
+}
+
+impl Wire for Symbol {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(self.tag());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        let tag = r.u8()?;
+        Symbol::ALL
+            .into_iter()
+            .find(|s| s.tag() == tag)
+            .ok_or(CryptoError::Malformed("unknown symbol tag"))
+    }
+}
+
+impl Wire for CheckInTicket {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.voter_id.encode(buf);
+        buf.extend_from_slice(&self.tag);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Ok(CheckInTicket {
+            voter_id: VoterId::decode(r)?,
+            tag: r.bytes32()?,
+        })
+    }
+}
+
+impl Wire for CheckOutQr {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.voter_id.encode(buf);
+        self.c_pc.encode(buf);
+        self.kiosk_pk.encode(buf);
+        self.kiosk_sig.encode(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Ok(CheckOutQr {
+            voter_id: VoterId::decode(r)?,
+            c_pc: Ciphertext::decode(r)?,
+            kiosk_pk: CompressedPoint::decode(r)?,
+            kiosk_sig: Signature::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Envelope {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.printer_pk.encode(buf);
+        put_scalar(buf, &self.challenge);
+        self.signature.encode(buf);
+        self.symbol.encode(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Ok(Envelope {
+            printer_pk: CompressedPoint::decode(r)?,
+            challenge: r.scalar()?,
+            signature: Signature::decode(r)?,
+            symbol: Symbol::decode(r)?,
+        })
+    }
+}
+
+impl Wire for EnvelopeCommitment {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.printer_pk.encode(buf);
+        buf.extend_from_slice(&self.challenge_hash);
+        self.signature.encode(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Ok(EnvelopeCommitment {
+            printer_pk: CompressedPoint::decode(r)?,
+            challenge_hash: r.bytes32()?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+impl Wire for PrintJob {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_scalar(buf, &self.challenge);
+        self.symbol.encode(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Ok(PrintJob {
+            challenge: r.scalar()?,
+            symbol: Symbol::decode(r)?,
+        })
+    }
+}
+
+impl Wire for ActivationClaim {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.voter_id.encode(buf);
+        self.c_pc.encode(buf);
+        self.kiosk_pk.encode(buf);
+        put_scalar(buf, &self.challenge);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Ok(ActivationClaim {
+            voter_id: VoterId::decode(r)?,
+            c_pc: Ciphertext::decode(r)?,
+            kiosk_pk: CompressedPoint::decode(r)?,
+            challenge: r.scalar()?,
+        })
+    }
+}
+
+impl Wire for TreeHead {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.size);
+        buf.extend_from_slice(&self.root);
+        self.signature.encode(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Ok(TreeHead {
+            size: r.u64()?,
+            root: r.bytes32()?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+/// A signing-nonce coupon in transit between the ceremony pool and the
+/// registrar's check-out desk. See [`NonceCoupon::into_parts`] for the
+/// trust caveat: this crosses the boundary **only** because pool and
+/// official are two halves of the registrar; it is key-grade material.
+#[derive(PartialEq, Eq)]
+pub struct WireCoupon {
+    /// The nonce scalar k.
+    pub k: Scalar,
+    /// The precomputed commitment R = k·B.
+    pub r: CompressedPoint,
+}
+
+impl core::fmt::Debug for WireCoupon {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print the nonce scalar (same hygiene as `NonceCoupon`:
+        // k plus the published signature recovers the signing key), even
+        // through derived Debug on the enclosing request types.
+        write!(f, "WireCoupon(r={:?})", self.r)
+    }
+}
+
+impl From<NonceCoupon> for WireCoupon {
+    fn from(c: NonceCoupon) -> Self {
+        let (k, r) = c.into_parts();
+        Self { k, r }
+    }
+}
+
+impl From<WireCoupon> for NonceCoupon {
+    fn from(w: WireCoupon) -> Self {
+        NonceCoupon::from_parts(w.k, w.r)
+    }
+}
+
+impl Wire for WireCoupon {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_scalar(buf, &self.k);
+        self.r.encode(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Ok(WireCoupon {
+            k: r.scalar()?,
+            r: CompressedPoint::decode(r)?,
+        })
+    }
+}
+
+macro_rules! wire_struct {
+    ($(#[$doc:meta])* $name:ident { $($(#[$fdoc:meta])* $field:ident : $ty:ty),* $(,)? }) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            $($(#[$fdoc])* pub $field: $ty,)*
+        }
+
+        impl Wire for $name {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $(self.$field.encode(buf);)*
+            }
+
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+                Ok(Self { $($field: <$ty>::decode(r)?,)* })
+            }
+        }
+    };
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, *self);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        r.u64()
+    }
+}
+
+wire_struct! {
+    /// Check-in (Fig 8): authenticate a voter, get a session ticket.
+    CheckInRequest { voter: VoterId }
+}
+
+wire_struct! {
+    /// The issued kiosk-session ticket.
+    CheckInResponse { ticket: CheckInTicket }
+}
+
+wire_struct! {
+    /// A window's check-out tickets with the officials' signing coupons.
+    CheckOutBatchRequest { checkouts: Vec<(CheckOutQr, WireCoupon)> }
+}
+
+wire_struct! {
+    /// Acknowledgement of an accepted (possibly still pending) check-out
+    /// submission.
+    CheckOutBatchResponse { ticket: u64 }
+}
+
+wire_struct! {
+    /// Envelope print fulfilment for a pool refill.
+    PrintRequest { jobs: Vec<PrintJob> }
+}
+
+wire_struct! {
+    /// The printed envelopes with their not-yet-posted ledger commitments,
+    /// in job order.
+    PrintResponse { envelopes: Vec<(Envelope, EnvelopeCommitment)> }
+}
+
+wire_struct! {
+    /// A window's envelope commitments for L_E admission.
+    EnvelopeSubmitRequest { commitments: Vec<EnvelopeCommitment> }
+}
+
+wire_struct! {
+    /// Acknowledgement of a queued ledger submission.
+    IngestReceipt { ticket: u64 }
+}
+
+wire_struct! {
+    /// Signed tree heads of both registrar ledgers (implies a sync).
+    LedgerHeads { registration: TreeHead, envelopes: TreeHead }
+}
+
+wire_struct! {
+    /// Activation ledger-phase claims (Fig 11 lines 9–11), in order.
+    ActivationSweepRequest { claims: Vec<ActivationClaim> }
+}
+
+/// A client request, tagged for dispatch.
+#[derive(Debug)]
+pub enum Request {
+    /// [`crate::traits::RegistrarService::check_in`].
+    CheckIn(CheckInRequest),
+    /// [`crate::traits::RegistrarService::check_out_batch`].
+    CheckOutBatch(CheckOutBatchRequest),
+    /// [`crate::traits::PrintService::print_envelopes`].
+    Print(PrintRequest),
+    /// [`crate::traits::LedgerIngestService::submit_envelopes`].
+    SubmitEnvelopes(EnvelopeSubmitRequest),
+    /// [`crate::traits::LedgerIngestService::sync`].
+    Sync,
+    /// [`crate::traits::LedgerIngestService::ledger_heads`].
+    LedgerHeads,
+    /// [`crate::traits::ActivationService::activation_sweep`].
+    ActivationSweep(ActivationSweepRequest),
+    /// Ends the connection; the server loop exits cleanly.
+    Shutdown,
+}
+
+/// A server response. Tag values mirror [`Request`] (15 is the error
+/// response).
+#[derive(Debug)]
+pub enum Response {
+    /// Check-in succeeded.
+    CheckIn(CheckInResponse),
+    /// Check-out batch accepted.
+    CheckOutBatch(CheckOutBatchResponse),
+    /// Envelopes printed.
+    Print(PrintResponse),
+    /// Envelope submission queued.
+    SubmitEnvelopes(IngestReceipt),
+    /// All submissions admitted.
+    Sync,
+    /// The current tree heads.
+    LedgerHeads(LedgerHeads),
+    /// All claims admitted.
+    ActivationSweep,
+    /// Shutdown acknowledged.
+    Shutdown,
+    /// The request failed.
+    Err(crate::error::ServiceError),
+}
+
+impl Request {
+    /// Encodes as a sealed wire message.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let (tag, body) = match self {
+            Request::CheckIn(m) => (0u16, m.to_bytes()),
+            Request::CheckOutBatch(m) => (1, m.to_bytes()),
+            Request::Print(m) => (2, m.to_bytes()),
+            Request::SubmitEnvelopes(m) => (3, m.to_bytes()),
+            Request::Sync => (4, Vec::new()),
+            Request::LedgerHeads => (5, Vec::new()),
+            Request::ActivationSweep(m) => (6, m.to_bytes()),
+            Request::Shutdown => (7, Vec::new()),
+        };
+        crate::wire::seal(tag, &body)
+    }
+
+    /// Decodes a sealed wire message.
+    pub fn from_wire(msg: &[u8]) -> Result<Self, CryptoError> {
+        let (tag, mut r) = crate::wire::unseal(msg)?;
+        let req = match tag {
+            0 => Request::CheckIn(CheckInRequest::decode(&mut r)?),
+            1 => Request::CheckOutBatch(CheckOutBatchRequest::decode(&mut r)?),
+            2 => Request::Print(PrintRequest::decode(&mut r)?),
+            3 => Request::SubmitEnvelopes(EnvelopeSubmitRequest::decode(&mut r)?),
+            4 => Request::Sync,
+            5 => Request::LedgerHeads,
+            6 => Request::ActivationSweep(ActivationSweepRequest::decode(&mut r)?),
+            7 => Request::Shutdown,
+            _ => return Err(CryptoError::Malformed("unknown request tag")),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes as a sealed wire message.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let (tag, body) = match self {
+            Response::CheckIn(m) => (0u16, m.to_bytes()),
+            Response::CheckOutBatch(m) => (1, m.to_bytes()),
+            Response::Print(m) => (2, m.to_bytes()),
+            Response::SubmitEnvelopes(m) => (3, m.to_bytes()),
+            Response::Sync => (4, Vec::new()),
+            Response::LedgerHeads(m) => (5, m.to_bytes()),
+            Response::ActivationSweep => (6, Vec::new()),
+            Response::Shutdown => (7, Vec::new()),
+            Response::Err(e) => {
+                let mut body = Vec::new();
+                crate::error::encode_error(&mut body, e);
+                (15, body)
+            }
+        };
+        crate::wire::seal(tag, &body)
+    }
+
+    /// Decodes a sealed wire message.
+    pub fn from_wire(msg: &[u8]) -> Result<Self, CryptoError> {
+        let (tag, mut r) = crate::wire::unseal(msg)?;
+        let resp = match tag {
+            0 => Response::CheckIn(CheckInResponse::decode(&mut r)?),
+            1 => Response::CheckOutBatch(CheckOutBatchResponse::decode(&mut r)?),
+            2 => Response::Print(PrintResponse::decode(&mut r)?),
+            3 => Response::SubmitEnvelopes(IngestReceipt::decode(&mut r)?),
+            4 => Response::Sync,
+            5 => Response::LedgerHeads(LedgerHeads::decode(&mut r)?),
+            6 => Response::ActivationSweep,
+            7 => Response::Shutdown,
+            15 => Response::Err(crate::error::decode_error(&mut r)?),
+            _ => return Err(CryptoError::Malformed("unknown response tag")),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}

@@ -1,0 +1,180 @@
+//! The registrar host: one process serving all four registrar services
+//! over borrowed deployment state.
+//!
+//! A deployment would shard these across machines (the traits are the
+//! seams); the reproduction runs them in one host so the in-process and
+//! socket transports serve byte-identical state. Check-out verification
+//! happens synchronously at the desk (Fig 10 lines 2–3 — the voter is
+//! standing there), but the resulting records and all envelope
+//! commitments flow through per-ledger [`IngestQueue`]s: admission is
+//! deferred to the next barrier and coalesced into one RLC-folded sweep
+//! per ledger, which is where the service layer's throughput win lives.
+
+use vg_crypto::par::par_map;
+use vg_crypto::CompressedPoint;
+use vg_ledger::{EnvelopeCommitment, Ledger, RegistrationRecord};
+use vg_trip::official::Official;
+use vg_trip::printer::EnvelopePrinter;
+use vg_trip::vsd::activation_ledger_phase;
+
+use crate::error::ServiceError;
+use crate::ingest::IngestQueue;
+use crate::messages::{
+    ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
+    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, LedgerHeads, PrintRequest,
+    PrintResponse,
+};
+use crate::traits::{ActivationService, LedgerIngestService, PrintService, RegistrarService};
+
+/// Serves [`RegistrarService`], [`LedgerIngestService`], [`PrintService`]
+/// and [`ActivationService`] over the registrar parts of a deployment.
+pub struct RegistrarHost<'a> {
+    official: &'a Official,
+    printer: &'a EnvelopePrinter,
+    ledger: &'a mut Ledger,
+    kiosk_registry: &'a [CompressedPoint],
+    threads: usize,
+    env_queue: IngestQueue<EnvelopeCommitment>,
+    reg_queue: IngestQueue<RegistrationRecord>,
+    /// One boundary-wide ticket sequence across both queues, so tickets
+    /// are monotonic per connection exactly as [`vg_trip::IngestTicket`]
+    /// documents (the queues' internal counters are per-queue).
+    next_ticket: u64,
+}
+
+/// Per-queue ceiling on deferred records. Coalescing submissions into one
+/// folded admission sweep is the throughput win, but an unbounded queue
+/// would buffer a whole million-voter day (plus the flush-time clone)
+/// server-side and delay admission errors to end-of-day; past this many
+/// pending records the host flushes eagerly, keeping memory and error
+/// latency O(cap) while still coalescing many small windows.
+const MAX_PENDING_RECORDS: usize = 16_384;
+
+impl<'a> RegistrarHost<'a> {
+    /// Wraps the registrar state. `threads` bounds the worker fan-out of
+    /// printing and of the coalesced admission sweeps.
+    pub fn new(
+        official: &'a Official,
+        printer: &'a EnvelopePrinter,
+        ledger: &'a mut Ledger,
+        kiosk_registry: &'a [CompressedPoint],
+        threads: usize,
+    ) -> Self {
+        Self {
+            official,
+            printer,
+            ledger,
+            kiosk_registry,
+            threads: threads.max(1),
+            env_queue: IngestQueue::new(),
+            reg_queue: IngestQueue::new(),
+            next_ticket: 0,
+        }
+    }
+
+    fn ticket(&mut self) -> u64 {
+        let t = self.next_ticket;
+        self.next_ticket += 1;
+        t
+    }
+
+    /// `(batches, sweeps)` admitted per queue so far —
+    /// `(envelopes, registrations)`. The coalescing ratio
+    /// `batches / sweeps` is the async-ingestion win `service_bench`
+    /// reports.
+    pub fn ingest_stats(&self) -> ((u64, u64), (u64, u64)) {
+        (self.env_queue.stats(), self.reg_queue.stats())
+    }
+
+    fn flush_queues(&mut self) -> Result<(), ServiceError> {
+        let ledger = &mut *self.ledger;
+        let threads = self.threads;
+        self.env_queue
+            .flush(|commitments| ledger.envelopes.commit_batch(commitments, threads))?;
+        self.reg_queue
+            .flush(|records| ledger.registration.post_batch(records, threads))?;
+        Ok(())
+    }
+}
+
+impl RegistrarService for RegistrarHost<'_> {
+    fn check_in(&mut self, req: CheckInRequest) -> Result<CheckInResponse, ServiceError> {
+        let ticket = self.official.check_in(self.ledger, req.voter)?;
+        Ok(CheckInResponse { ticket })
+    }
+
+    fn check_out_batch(
+        &mut self,
+        req: CheckOutBatchRequest,
+    ) -> Result<CheckOutBatchResponse, ServiceError> {
+        let checkouts: Vec<_> = req
+            .checkouts
+            .into_iter()
+            .map(|(qr, coupon)| (qr, coupon.into()))
+            .collect();
+        // Desk-side verification is synchronous (the voter is present);
+        // only ledger admission is deferred.
+        self.official
+            .verify_checkouts(&checkouts, self.kiosk_registry, self.threads)?;
+        let records = self.official.countersign_checkouts(checkouts);
+        self.reg_queue.submit(records);
+        let ticket = self.ticket();
+        if self.reg_queue.pending_records() >= MAX_PENDING_RECORDS {
+            let ledger = &mut *self.ledger;
+            let threads = self.threads;
+            self.reg_queue
+                .flush(|records| ledger.registration.post_batch(records, threads))?;
+        }
+        Ok(CheckOutBatchResponse { ticket })
+    }
+}
+
+impl PrintService for RegistrarHost<'_> {
+    fn print_envelopes(&mut self, req: PrintRequest) -> Result<PrintResponse, ServiceError> {
+        let envelopes = par_map(&req.jobs, self.threads, |job| {
+            self.printer.print_detached(job.challenge, job.symbol)
+        });
+        Ok(PrintResponse { envelopes })
+    }
+}
+
+impl LedgerIngestService for RegistrarHost<'_> {
+    fn submit_envelopes(
+        &mut self,
+        req: EnvelopeSubmitRequest,
+    ) -> Result<IngestReceipt, ServiceError> {
+        self.env_queue.submit(req.commitments);
+        let ticket = self.ticket();
+        if self.env_queue.pending_records() >= MAX_PENDING_RECORDS {
+            let ledger = &mut *self.ledger;
+            let threads = self.threads;
+            self.env_queue
+                .flush(|commitments| ledger.envelopes.commit_batch(commitments, threads))?;
+        }
+        Ok(IngestReceipt { ticket })
+    }
+
+    fn sync(&mut self) -> Result<(), ServiceError> {
+        self.flush_queues()
+    }
+
+    fn ledger_heads(&mut self) -> Result<LedgerHeads, ServiceError> {
+        self.flush_queues()?;
+        Ok(LedgerHeads {
+            registration: self.ledger.registration.tree_head(),
+            envelopes: self.ledger.envelopes.tree_head(),
+        })
+    }
+}
+
+impl ActivationService for RegistrarHost<'_> {
+    fn activation_sweep(&mut self, req: ActivationSweepRequest) -> Result<(), ServiceError> {
+        // Claims cross-check L_R and reveal on L_E: everything pending
+        // must be admitted first.
+        self.flush_queues()?;
+        for claim in &req.claims {
+            activation_ledger_phase(self.ledger, claim).map_err(ServiceError::Trip)?;
+        }
+        Ok(())
+    }
+}

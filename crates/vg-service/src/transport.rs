@@ -1,0 +1,436 @@
+//! The transports: in-process dispatch and a framed TCP socket, behind
+//! one [`Transport`] knob, plus the fleet-facing [`ServiceBoundary`]
+//! adapter and whole-registration-day runners.
+//!
+//! Both transports serve the *same* [`RegistrarHost`] logic, so a fleet
+//! run is bit-identical across them (pinned by the workspace's
+//! cross-transport equivalence proptests):
+//!
+//! - [`Transport::InProcess`]: the endpoint **is** the host — direct
+//!   method calls, zero copies, no serialization. Today's behavior.
+//! - [`Transport::Tcp`]: a loopback socket with length-prefixed frames;
+//!   the host runs a worker-thread server loop, the fleet drives a
+//!   [`TcpClient`]. Every request round-trips the full versioned codec.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+
+use vg_crypto::schnorr::NonceCoupon;
+use vg_ledger::{EnvelopeCommitment, TreeHead, VoterId};
+use vg_trip::boundary::{IngestTicket, RegistrarBoundary};
+use vg_trip::fleet::KioskFleet;
+use vg_trip::materials::{CheckInTicket, CheckOutQr, Envelope};
+use vg_trip::protocol::RegistrationOutcome;
+use vg_trip::setup::TripSystem;
+use vg_trip::vsd::{ActivationClaim, Vsd};
+use vg_trip::{PrintJob, TripError};
+
+use crate::error::ServiceError;
+use crate::messages::{
+    ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
+    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, LedgerHeads, PrintRequest,
+    PrintResponse, Request, Response,
+};
+use crate::registrar::RegistrarHost;
+use crate::traits::{
+    ActivationService, LedgerIngestService, PrintService, RegistrarEndpoint, RegistrarService,
+};
+use crate::wire::{read_frame, write_frame};
+
+/// Which transport a registration day runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Direct in-process dispatch (zero-copy; the reference).
+    #[default]
+    InProcess,
+    /// Length-prefixed frames over a loopback TCP socket, served by a
+    /// worker thread.
+    Tcp,
+}
+
+/// Adapts any [`RegistrarEndpoint`] into the fleet's
+/// [`RegistrarBoundary`], mapping message types at the seam.
+pub struct ServiceBoundary<E> {
+    /// The underlying endpoint (a [`RegistrarHost`] or a [`TcpClient`]).
+    pub endpoint: E,
+}
+
+impl<E: RegistrarEndpoint> ServiceBoundary<E> {
+    /// Wraps an endpoint.
+    pub fn new(endpoint: E) -> Self {
+        Self { endpoint }
+    }
+}
+
+impl<E: RegistrarEndpoint> RegistrarBoundary for ServiceBoundary<E> {
+    fn check_in(&mut self, voter: VoterId) -> Result<CheckInTicket, TripError> {
+        self.endpoint
+            .check_in(CheckInRequest { voter })
+            .map(|r| r.ticket)
+            .map_err(ServiceError::into_trip)
+    }
+
+    fn print_envelopes(
+        &mut self,
+        jobs: &[PrintJob],
+    ) -> Result<Vec<(Envelope, EnvelopeCommitment)>, TripError> {
+        self.endpoint
+            .print_envelopes(PrintRequest {
+                jobs: jobs.to_vec(),
+            })
+            .map(|r| r.envelopes)
+            .map_err(ServiceError::into_trip)
+    }
+
+    fn submit_envelopes(
+        &mut self,
+        commitments: Vec<EnvelopeCommitment>,
+    ) -> Result<IngestTicket, TripError> {
+        self.endpoint
+            .submit_envelopes(EnvelopeSubmitRequest { commitments })
+            .map(|r| IngestTicket(r.ticket))
+            .map_err(ServiceError::into_trip)
+    }
+
+    fn submit_checkouts(
+        &mut self,
+        checkouts: Vec<(CheckOutQr, NonceCoupon)>,
+    ) -> Result<IngestTicket, TripError> {
+        let checkouts = checkouts
+            .into_iter()
+            .map(|(qr, coupon)| (qr, coupon.into()))
+            .collect();
+        self.endpoint
+            .check_out_batch(CheckOutBatchRequest { checkouts })
+            .map(|r| IngestTicket(r.ticket))
+            .map_err(ServiceError::into_trip)
+    }
+
+    fn sync(&mut self) -> Result<(), TripError> {
+        self.endpoint.sync().map_err(ServiceError::into_trip)
+    }
+
+    fn activation_sweep(&mut self, claims: &[ActivationClaim]) -> Result<(), TripError> {
+        self.endpoint
+            .activation_sweep(ActivationSweepRequest {
+                claims: claims.to_vec(),
+            })
+            .map_err(ServiceError::into_trip)
+    }
+
+    fn registration_head(&mut self) -> Result<TreeHead, TripError> {
+        self.endpoint
+            .ledger_heads()
+            .map(|h| h.registration)
+            .map_err(ServiceError::into_trip)
+    }
+
+    fn envelope_head(&mut self) -> Result<TreeHead, TripError> {
+        self.endpoint
+            .ledger_heads()
+            .map(|h| h.envelopes)
+            .map_err(ServiceError::into_trip)
+    }
+}
+
+/// A client for all four services over one framed TCP connection.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpClient {
+    /// Connects to a serving [`RegistrarHost`].
+    pub fn connect(addr: std::net::SocketAddr) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ServiceError> {
+        write_frame(&mut self.writer, &req.to_wire())?;
+        let frame = read_frame(&mut self.reader)?;
+        Response::from_wire(&frame).map_err(ServiceError::codec)
+    }
+
+    /// Asks the server loop to exit (flushing its ingestion queues first).
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Shutdown => Ok(()),
+            Response::Err(e) => Err(e),
+            _ => Err(ServiceError::Transport("mismatched shutdown reply".into())),
+        }
+    }
+}
+
+macro_rules! tcp_call {
+    ($self:ident, $req:expr, $variant:ident) => {
+        match $self.call(&$req)? {
+            Response::$variant(m) => Ok(m),
+            Response::Err(e) => Err(e),
+            _ => Err(ServiceError::Transport("mismatched response tag".into())),
+        }
+    };
+    ($self:ident, $req:expr, $variant:ident, unit) => {
+        match $self.call(&$req)? {
+            Response::$variant => Ok(()),
+            Response::Err(e) => Err(e),
+            _ => Err(ServiceError::Transport("mismatched response tag".into())),
+        }
+    };
+}
+
+impl RegistrarService for TcpClient {
+    fn check_in(&mut self, req: CheckInRequest) -> Result<CheckInResponse, ServiceError> {
+        tcp_call!(self, Request::CheckIn(req), CheckIn)
+    }
+
+    fn check_out_batch(
+        &mut self,
+        req: CheckOutBatchRequest,
+    ) -> Result<CheckOutBatchResponse, ServiceError> {
+        tcp_call!(self, Request::CheckOutBatch(req), CheckOutBatch)
+    }
+}
+
+impl PrintService for TcpClient {
+    fn print_envelopes(&mut self, req: PrintRequest) -> Result<PrintResponse, ServiceError> {
+        tcp_call!(self, Request::Print(req), Print)
+    }
+}
+
+impl LedgerIngestService for TcpClient {
+    fn submit_envelopes(
+        &mut self,
+        req: EnvelopeSubmitRequest,
+    ) -> Result<IngestReceipt, ServiceError> {
+        tcp_call!(self, Request::SubmitEnvelopes(req), SubmitEnvelopes)
+    }
+
+    fn sync(&mut self) -> Result<(), ServiceError> {
+        tcp_call!(self, Request::Sync, Sync, unit)
+    }
+
+    fn ledger_heads(&mut self) -> Result<LedgerHeads, ServiceError> {
+        tcp_call!(self, Request::LedgerHeads, LedgerHeads)
+    }
+}
+
+impl ActivationService for TcpClient {
+    fn activation_sweep(&mut self, req: ActivationSweepRequest) -> Result<(), ServiceError> {
+        tcp_call!(self, Request::ActivationSweep(req), ActivationSweep, unit)
+    }
+}
+
+fn dispatch(host: &mut RegistrarHost<'_>, req: Request) -> (Response, bool) {
+    match req {
+        Request::CheckIn(m) => (
+            host.check_in(m)
+                .map(Response::CheckIn)
+                .unwrap_or_else(Response::Err),
+            false,
+        ),
+        Request::CheckOutBatch(m) => (
+            host.check_out_batch(m)
+                .map(Response::CheckOutBatch)
+                .unwrap_or_else(Response::Err),
+            false,
+        ),
+        Request::Print(m) => (
+            host.print_envelopes(m)
+                .map(Response::Print)
+                .unwrap_or_else(Response::Err),
+            false,
+        ),
+        Request::SubmitEnvelopes(m) => (
+            host.submit_envelopes(m)
+                .map(Response::SubmitEnvelopes)
+                .unwrap_or_else(Response::Err),
+            false,
+        ),
+        Request::Sync => (
+            host.sync()
+                .map(|()| Response::Sync)
+                .unwrap_or_else(Response::Err),
+            false,
+        ),
+        Request::LedgerHeads => (
+            host.ledger_heads()
+                .map(Response::LedgerHeads)
+                .unwrap_or_else(Response::Err),
+            false,
+        ),
+        Request::ActivationSweep(m) => (
+            host.activation_sweep(m)
+                .map(|()| Response::ActivationSweep)
+                .unwrap_or_else(Response::Err),
+            false,
+        ),
+        // Flush before acknowledging so the ledger is complete when the
+        // server loop returns.
+        Request::Shutdown => match host.sync() {
+            Ok(()) => (Response::Shutdown, true),
+            Err(e) => (Response::Err(e), true),
+        },
+    }
+}
+
+/// Serves one client connection until a `Shutdown` request or a transport
+/// failure. Malformed requests are answered with a typed error and the
+/// connection continues (one bad frame must not take the registrar down).
+pub fn serve_connection(
+    stream: TcpStream,
+    host: &mut RegistrarHost<'_>,
+) -> Result<(), ServiceError> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let frame = read_frame(&mut reader)?;
+        let (response, done) = match Request::from_wire(&frame) {
+            Ok(req) => dispatch(host, req),
+            Err(e) => (
+                Response::Err(ServiceError::Transport(format!("bad request: {e}"))),
+                false,
+            ),
+        };
+        write_frame(&mut writer, &response.to_wire())?;
+        if done {
+            return Ok(());
+        }
+    }
+}
+
+/// Runs `client_run` against the registrar parts of `system` served over
+/// `transport`, while the kiosks (and adversary-loot bookkeeping) stay on
+/// the caller's side of the boundary. This is the borrow seam: the
+/// registrar state moves behind the boundary for the duration of the run.
+fn with_boundary<R>(
+    system: &mut TripSystem,
+    transport: Transport,
+    threads: usize,
+    client_run: impl FnOnce(
+        &mut dyn RegistrarBoundary,
+        &[vg_trip::kiosk::Kiosk],
+        &mut Vec<vg_trip::kiosk::StolenCredential>,
+    ) -> Result<R, TripError>,
+) -> Result<R, TripError> {
+    let TripSystem {
+        officials,
+        printers,
+        ledger,
+        kiosks,
+        kiosk_registry,
+        adversary_loot,
+        ..
+    } = system;
+    let official = &officials[0];
+    let printer = &printers[0];
+    match transport {
+        Transport::InProcess => {
+            let host = RegistrarHost::new(official, printer, ledger, kiosk_registry, threads);
+            let mut boundary = ServiceBoundary::new(host);
+            client_run(&mut boundary, kiosks, adversary_loot)
+        }
+        Transport::Tcp => {
+            let listener = TcpListener::bind(("127.0.0.1", 0))
+                .map_err(|e| TripError::Boundary(format!("bind: {e}")))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| TripError::Boundary(format!("local_addr: {e}")))?;
+            // Connect BEFORE spawning the server: the bound listener's
+            // backlog holds the connection, and a failed connect returns
+            // here with no accept() ever blocking — otherwise a connect
+            // failure would leave the server thread parked in accept()
+            // and the scope join would hang the whole registration day.
+            let client =
+                TcpClient::connect(addr).map_err(|e| TripError::Boundary(e.to_string()))?;
+            std::thread::scope(|scope| {
+                let server = scope.spawn(move || -> Result<(), ServiceError> {
+                    let (stream, _) = listener.accept()?;
+                    let mut host =
+                        RegistrarHost::new(official, printer, ledger, kiosk_registry, threads);
+                    serve_connection(stream, &mut host)
+                });
+                let run = |client: TcpClient| -> Result<R, TripError> {
+                    let mut boundary = ServiceBoundary::new(client);
+                    let out = client_run(&mut boundary, kiosks, adversary_loot);
+                    // Always attempt shutdown so the server thread exits
+                    // even when the client run failed.
+                    let down = boundary.endpoint.shutdown();
+                    let out = out?;
+                    down.map_err(|e| TripError::Boundary(e.to_string()))?;
+                    Ok(out)
+                };
+                let result = run(client);
+                match server.join() {
+                    Ok(Ok(())) => result,
+                    Ok(Err(server_err)) => {
+                        result.and(Err(TripError::Boundary(server_err.to_string())))
+                    }
+                    Err(_) => result.and(Err(TripError::Boundary("server panicked".into()))),
+                }
+            })
+        }
+    }
+}
+
+/// Runs a whole fleet registration day over `transport`, streaming
+/// outcomes to `sink` in queue order. Bit-identical ledgers and outcomes
+/// across transports for any `(seed, queue, kiosks, pool, threads)`.
+pub fn register_day(
+    fleet: &KioskFleet,
+    system: &mut TripSystem,
+    plan: &[(VoterId, usize)],
+    transport: Transport,
+    mut sink: impl FnMut(RegistrationOutcome),
+) -> Result<(), TripError> {
+    let mut pool = fleet.prepare_pool(system, plan);
+    let threads = fleet.config().threads;
+    with_boundary(system, transport, threads, move |boundary, kiosks, loot| {
+        fleet.register_each_over(kiosks, boundary, plan, &mut pool, loot, &mut sink)
+    })
+}
+
+/// [`register_day`] plus per-window credential activation on fresh
+/// devices, streaming `(outcome, device)` pairs in queue order.
+pub fn register_and_activate_day(
+    fleet: &KioskFleet,
+    system: &mut TripSystem,
+    plan: &[(VoterId, usize)],
+    transport: Transport,
+    mut sink: impl FnMut(RegistrationOutcome, Vsd),
+) -> Result<(), TripError> {
+    let mut pool = fleet.prepare_pool(system, plan);
+    let threads = fleet.config().threads;
+    let authority_pk = system.authority.public_key;
+    let printer_registry = system.printer_registry.clone();
+    with_boundary(system, transport, threads, move |boundary, kiosks, loot| {
+        fleet.register_and_activate_each_over(
+            kiosks,
+            boundary,
+            plan,
+            &mut pool,
+            &authority_pk,
+            &printer_registry,
+            loot,
+            &mut sink,
+        )
+    })
+}
+
+/// Fetches both registrar ledger heads over `transport` (sanity hook for
+/// examples and benches; implies a full ingest flush).
+pub fn ledger_heads_over(
+    system: &mut TripSystem,
+    transport: Transport,
+    threads: usize,
+) -> Result<(TreeHead, TreeHead), TripError> {
+    with_boundary(system, transport, threads, |boundary, _, _| {
+        Ok((boundary.registration_head()?, boundary.envelope_head()?))
+    })
+}

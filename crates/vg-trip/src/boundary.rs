@@ -1,0 +1,196 @@
+//! The registrar boundary: everything the fleet coordinator asks of the
+//! registrar side of a deployment, as one narrow trait.
+//!
+//! In the paper's deployment (§6) the kiosks, the registration officials'
+//! desks, the envelope printers and the public ledgers are **separate
+//! machines**. [`RegistrarBoundary`] is the seam along which this
+//! reproduction splits them: the fleet (kiosks plus their coordinator)
+//! drives the voter-facing ceremonies and talks to the registrar only
+//! through these calls — check-in tickets, envelope print fulfilment,
+//! batched ledger submissions and the activation ledger phase.
+//!
+//! Two implementations exist:
+//!
+//! - [`LocalBoundary`] (here): direct, zero-copy calls into the
+//!   in-process registrar state — today's behavior, and the reference a
+//!   remote run must equal bit-identically.
+//! - `vg-service`'s `ServiceBoundary`: the same calls encoded as typed,
+//!   versioned wire messages over a transport (in-process dispatch or a
+//!   length-prefixed TCP socket), with ledger submissions coalesced by an
+//!   asynchronous ingestion queue.
+//!
+//! # Submission semantics
+//!
+//! [`RegistrarBoundary::submit_envelopes`] and
+//! [`RegistrarBoundary::submit_checkouts`] are **ordered, asynchronous
+//! submissions**: the boundary promises that batches are admitted to each
+//! ledger in submission order, but may defer admission (coalescing several
+//! windows into one RLC-folded sweep) until [`RegistrarBoundary::sync`].
+//! An admission failure therefore surfaces either at the submitting call
+//! or at the next `sync` — callers that need errors attributed before
+//! proceeding (the fleet does, before activating a window) place a `sync`
+//! barrier. [`LocalBoundary`] admits synchronously, so its tickets resolve
+//! immediately; the fleet's replay contract (ledger heads bit-identical to
+//! the sequential reference) holds for any conforming implementation
+//! because Merkle roots depend only on record order, not on batching.
+
+use vg_crypto::schnorr::NonceCoupon;
+use vg_crypto::CompressedPoint;
+use vg_ledger::{EnvelopeCommitment, Ledger, TreeHead, VoterId};
+
+use crate::ceremony::PrintJob;
+use crate::error::TripError;
+use crate::materials::{CheckInTicket, CheckOutQr, Envelope};
+use crate::official::Official;
+use crate::printer::EnvelopePrinter;
+use crate::vsd::{activation_ledger_phase, ActivationClaim};
+
+/// An opaque receipt for an asynchronous ledger submission. Monotonically
+/// increasing per boundary; resolved (admitted or failed) no later than
+/// the next [`RegistrarBoundary::sync`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct IngestTicket(pub u64);
+
+/// The registrar-side operations a fleet run needs, in coordinator call
+/// order. See the [module docs](self) for the deployment picture and the
+/// submission semantics.
+pub trait RegistrarBoundary {
+    /// Check-in (Fig 8): the official authenticates `voter` against the
+    /// roster and issues a kiosk-session ticket.
+    fn check_in(&mut self, voter: VoterId) -> Result<CheckInTicket, TripError>;
+
+    /// Envelope print fulfilment: signs (and prepares ledger commitments
+    /// for) one envelope per job, in job order. The commitments are *not*
+    /// posted here — the coordinator submits them in queue order via
+    /// [`RegistrarBoundary::submit_envelopes`].
+    fn print_envelopes(
+        &mut self,
+        jobs: &[PrintJob],
+    ) -> Result<Vec<(Envelope, EnvelopeCommitment)>, TripError>;
+
+    /// Submits a window's envelope commitments for admission to L_E
+    /// (ordered, possibly deferred; see the module docs).
+    fn submit_envelopes(
+        &mut self,
+        commitments: Vec<EnvelopeCommitment>,
+    ) -> Result<IngestTicket, TripError>;
+
+    /// Submits a window's check-out tickets (Fig 10): the official
+    /// verifies the kiosk signatures, countersigns from the sessions'
+    /// coupons, and the records are admitted to L_R (ordered, possibly
+    /// deferred).
+    fn submit_checkouts(
+        &mut self,
+        checkouts: Vec<(CheckOutQr, NonceCoupon)>,
+    ) -> Result<IngestTicket, TripError>;
+
+    /// Barrier: drives every outstanding submission to admission and
+    /// surfaces the earliest failure. After `Ok(())`, the ledgers reflect
+    /// all prior submissions.
+    fn sync(&mut self) -> Result<(), TripError>;
+
+    /// The activation ledger phase (Fig 11 lines 9–11) for a batch of
+    /// claims, in order: L_R cross-check and L_E challenge reveal per
+    /// claim, stopping at the first failure exactly as a sequential loop
+    /// of [`crate::vsd::activate`] would.
+    fn activation_sweep(&mut self, claims: &[ActivationClaim]) -> Result<(), TripError>;
+
+    /// The registration ledger's signed tree head (implies a `sync`).
+    fn registration_head(&mut self) -> Result<TreeHead, TripError>;
+
+    /// The envelope ledger's signed tree head (implies a `sync`).
+    fn envelope_head(&mut self) -> Result<TreeHead, TripError>;
+}
+
+/// The in-process registrar: direct calls into borrowed registrar state,
+/// admitting every submission synchronously. This is the zero-copy
+/// reference implementation of [`RegistrarBoundary`].
+pub struct LocalBoundary<'a> {
+    official: &'a Official,
+    printer: &'a EnvelopePrinter,
+    ledger: &'a mut Ledger,
+    kiosk_registry: &'a [CompressedPoint],
+    threads: usize,
+    next_ticket: u64,
+}
+
+impl<'a> LocalBoundary<'a> {
+    /// Wraps the registrar parts of a deployment.
+    pub fn new(
+        official: &'a Official,
+        printer: &'a EnvelopePrinter,
+        ledger: &'a mut Ledger,
+        kiosk_registry: &'a [CompressedPoint],
+        threads: usize,
+    ) -> Self {
+        Self {
+            official,
+            printer,
+            ledger,
+            kiosk_registry,
+            threads: threads.max(1),
+            next_ticket: 0,
+        }
+    }
+
+    fn ticket(&mut self) -> IngestTicket {
+        let t = IngestTicket(self.next_ticket);
+        self.next_ticket += 1;
+        t
+    }
+}
+
+impl RegistrarBoundary for LocalBoundary<'_> {
+    fn check_in(&mut self, voter: VoterId) -> Result<CheckInTicket, TripError> {
+        self.official.check_in(self.ledger, voter)
+    }
+
+    fn print_envelopes(
+        &mut self,
+        jobs: &[PrintJob],
+    ) -> Result<Vec<(Envelope, EnvelopeCommitment)>, TripError> {
+        Ok(vg_crypto::par::par_map(jobs, self.threads, |job| {
+            self.printer.print_detached(job.challenge, job.symbol)
+        }))
+    }
+
+    fn submit_envelopes(
+        &mut self,
+        commitments: Vec<EnvelopeCommitment>,
+    ) -> Result<IngestTicket, TripError> {
+        self.ledger
+            .envelopes
+            .commit_batch(commitments, self.threads)
+            .map_err(TripError::Ledger)?;
+        Ok(self.ticket())
+    }
+
+    fn submit_checkouts(
+        &mut self,
+        checkouts: Vec<(CheckOutQr, NonceCoupon)>,
+    ) -> Result<IngestTicket, TripError> {
+        self.official
+            .check_out_batch(self.ledger, checkouts, self.kiosk_registry, self.threads)?;
+        Ok(self.ticket())
+    }
+
+    fn sync(&mut self) -> Result<(), TripError> {
+        // Everything was admitted at submission time.
+        Ok(())
+    }
+
+    fn activation_sweep(&mut self, claims: &[ActivationClaim]) -> Result<(), TripError> {
+        for claim in claims {
+            activation_ledger_phase(self.ledger, claim)?;
+        }
+        Ok(())
+    }
+
+    fn registration_head(&mut self) -> Result<TreeHead, TripError> {
+        Ok(self.ledger.registration.tree_head())
+    }
+
+    fn envelope_head(&mut self) -> Result<TreeHead, TripError> {
+        Ok(self.ledger.envelopes.tree_head())
+    }
+}

@@ -95,6 +95,56 @@ pub struct SessionMaterials {
     pub(crate) official_coupon: NonceCoupon,
 }
 
+/// A pending envelope print: the challenge and symbol one envelope of a
+/// session will carry. The challenges are part of the seeded session
+/// derivation; only the *signing* (and ledger commitment) belongs to the
+/// printer, so a batch of jobs can cross a service boundary to a print
+/// service and come back as finished envelopes without perturbing the
+/// replay contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrintJob {
+    /// The envelope's challenge nonce e.
+    pub challenge: Scalar,
+    /// The pre-printed symbol.
+    pub symbol: Symbol,
+}
+
+/// A derived session bundle still waiting for its envelopes: everything in
+/// [`SessionMaterials`] except the printed envelopes, plus the
+/// [`PrintJob`]s that produce them.
+pub struct UnprintedSession {
+    materials: SessionMaterials,
+    jobs: Vec<PrintJob>,
+}
+
+impl UnprintedSession {
+    /// The envelopes this session still needs, in attachment order
+    /// (`jobs()[0]` is the real credential's symbol-matched envelope).
+    pub fn jobs(&self) -> &[PrintJob] {
+        &self.jobs
+    }
+
+    /// Attaches the printed envelopes (one per [`UnprintedSession::jobs`]
+    /// entry, same order) and completes the bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count differs from the job count — a print-service
+    /// protocol violation, not a recoverable voter-facing error.
+    pub fn attach(mut self, printed: Vec<(Envelope, EnvelopeCommitment)>) -> SessionMaterials {
+        assert_eq!(
+            printed.len(),
+            self.jobs.len(),
+            "print response must cover every job of the session"
+        );
+        for (env, com) in printed {
+            self.materials.envelopes.push(env);
+            self.materials.commitments.push(com);
+        }
+        self.materials
+    }
+}
+
 impl SessionMaterials {
     /// Derives the full bundle for session `session_index` serving
     /// `voter_id`, deterministically from `seed`.
@@ -114,6 +164,37 @@ impl SessionMaterials {
         printer: &EnvelopePrinter,
         malicious: bool,
     ) -> SessionMaterials {
+        let unprinted = Self::derive_unprinted(
+            seed,
+            session_index,
+            voter_id,
+            n_fakes,
+            authority_pk,
+            malicious,
+        );
+        let printed = unprinted
+            .jobs()
+            .iter()
+            .map(|job| printer.print_detached(job.challenge, job.symbol))
+            .collect();
+        unprinted.attach(printed)
+    }
+
+    /// [`SessionMaterials::derive`] without a printer in reach: derives
+    /// everything session-local (keys, tag, Σ-state, coupons, envelope
+    /// challenges and symbols) and returns the bundle together with the
+    /// [`PrintJob`]s some envelope printer — local or behind an RPC
+    /// boundary — must fulfil before the session can run. Printing does
+    /// not consume the session's derivation stream, so both paths yield
+    /// bit-identical bundles.
+    pub fn derive_unprinted(
+        seed: &[u8; 32],
+        session_index: usize,
+        voter_id: VoterId,
+        n_fakes: usize,
+        authority_pk: &EdwardsPoint,
+        malicious: bool,
+    ) -> UnprintedSession {
         let mut label = Vec::with_capacity(64);
         label.extend_from_slice(b"trip-pool-session-v1");
         label.extend_from_slice(seed);
@@ -154,32 +235,36 @@ impl SessionMaterials {
         // The voter picks a matching envelope; in simulation the printer
         // simply prepares one with the right symbol (footnote 6 lets
         // printers issue envelopes at any time).
-        let mut envelopes = Vec::with_capacity(1 + n_fakes);
-        let mut commitments = Vec::with_capacity(1 + n_fakes);
-        let (env, com) = printer.print_detached(rng.scalar(), symbol);
-        envelopes.push(env);
-        commitments.push(com);
+        let mut jobs = Vec::with_capacity(1 + n_fakes);
+        jobs.push(PrintJob {
+            challenge: rng.scalar(),
+            symbol,
+        });
 
         let mut fakes = Vec::with_capacity(n_fakes);
         for _ in 0..n_fakes {
             fakes.push(Self::derive_forge(authority_pk, &mut rng));
-            let (env, com) = printer.print_detached(rng.scalar(), Symbol::random(&mut rng));
-            envelopes.push(env);
-            commitments.push(com);
+            jobs.push(PrintJob {
+                challenge: rng.scalar(),
+                symbol: Symbol::random(&mut rng),
+            });
         }
 
         let official_coupon = NonceCoupon::generate(&mut rng);
         let malicious_spare = malicious.then(|| Self::derive_forge(authority_pk, &mut rng));
 
-        SessionMaterials {
-            session_index,
-            voter_id,
-            real,
-            fakes,
-            malicious_spare,
-            envelopes,
-            commitments,
-            official_coupon,
+        UnprintedSession {
+            materials: SessionMaterials {
+                session_index,
+                voter_id,
+                real,
+                fakes,
+                malicious_spare,
+                envelopes: Vec::with_capacity(jobs.len()),
+                commitments: Vec::with_capacity(jobs.len()),
+                official_coupon,
+            },
+            jobs,
         }
     }
 
@@ -271,6 +356,28 @@ mod tests {
             assert_eq!(m.envelopes[0].symbol, m.real.symbol());
             assert_eq!(m.envelope_count(), 2);
         }
+    }
+
+    #[test]
+    fn unprinted_derivation_matches_printed() {
+        // The print-deferred path (service-layer pool refills) yields the
+        // same bundle as the direct path, envelope for envelope.
+        let apk = EdwardsPoint::mul_base(&Scalar::from_u64(11));
+        let p = printer();
+        let direct = SessionMaterials::derive(&[4u8; 32], 2, VoterId(9), 2, &apk, &p, false);
+        let unprinted =
+            SessionMaterials::derive_unprinted(&[4u8; 32], 2, VoterId(9), 2, &apk, false);
+        assert_eq!(unprinted.jobs().len(), 3);
+        let printed = unprinted
+            .jobs()
+            .iter()
+            .map(|job| p.print_detached(job.challenge, job.symbol))
+            .collect();
+        let attached = unprinted.attach(printed);
+        assert_eq!(direct.envelopes, attached.envelopes);
+        assert_eq!(direct.real.c_pc, attached.real.c_pc);
+        assert_eq!(direct.real.commit, attached.real.commit);
+        assert_eq!(direct.commitments.len(), attached.commitments.len(),);
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub enum TripError {
     Crypto(CryptoError),
     /// A ledger operation failed.
     Ledger(LedgerError),
+    /// A registrar-boundary (service transport) failure: framing, socket
+    /// or protocol error between the fleet coordinator and a registrar
+    /// service. Domain errors keep their typed variants across the wire;
+    /// this variant is strictly for the transport itself misbehaving.
+    Boundary(String),
 }
 
 /// The individual activation-time checks of Fig 11, named so that failures
@@ -84,6 +89,7 @@ impl core::fmt::Display for TripError {
             }
             TripError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
             TripError::Ledger(e) => write!(f, "ledger failure: {e}"),
+            TripError::Boundary(what) => write!(f, "registrar boundary failure: {what}"),
         }
     }
 }

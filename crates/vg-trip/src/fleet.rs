@@ -21,11 +21,14 @@
 //! [`crate::protocol::register_voter_seeded`] record-for-record. The
 //! equivalence is enforced by `tests/fleet.rs` at the workspace root.
 
+use std::collections::HashMap;
 use std::sync::Mutex;
 
 use vg_crypto::schnorr::NonceCoupon;
+use vg_crypto::EdwardsPoint;
 use vg_ledger::EnvelopeCommitment;
 
+use crate::boundary::{LocalBoundary, RegistrarBoundary};
 use crate::ceremony::SessionMaterials;
 use crate::error::TripError;
 use crate::kiosk::{Kiosk, KioskBehavior, KioskEvent, StolenCredential};
@@ -33,7 +36,8 @@ use crate::materials::{CheckInTicket, CheckOutQr, PaperCredential};
 use crate::pool::{CeremonyPool, SessionPlan};
 use crate::protocol::RegistrationOutcome;
 use crate::setup::TripSystem;
-use crate::vsd::Vsd;
+use crate::vsd::{activate_batch_over, Vsd};
+use vg_crypto::CompressedPoint;
 use vg_ledger::VoterId;
 
 /// Fleet tuning knobs. The seed fixes every credential, envelope and
@@ -232,42 +236,67 @@ impl KioskFleet {
         system: &mut TripSystem,
         plan: &[(VoterId, usize)],
         pool: &mut CeremonyPool,
+        sink: impl FnMut(RegistrationOutcome),
+    ) -> Result<(), TripError> {
+        let TripSystem {
+            officials,
+            printers,
+            ledger,
+            kiosks,
+            kiosk_registry,
+            adversary_loot,
+            ..
+        } = system;
+        let mut boundary = LocalBoundary::new(
+            &officials[0],
+            &printers[0],
+            ledger,
+            kiosk_registry,
+            self.config.threads,
+        );
+        self.register_each_over(kiosks, &mut boundary, plan, pool, adversary_loot, sink)
+    }
+
+    /// [`KioskFleet::register_each_with_pool`] with the registrar behind
+    /// an explicit [`RegistrarBoundary`] — the fleet's deployment seam.
+    /// The kiosks stay on this side (they are the booth machines the
+    /// coordinator drives); check-in, printing, ledger admission and
+    /// activation cross the boundary. With [`LocalBoundary`] this is
+    /// exactly [`KioskFleet::register_each_with_pool`]; with a service
+    /// transport it is the same registration day over RPC, bit-identical
+    /// by the replay contract.
+    pub fn register_each_over(
+        &self,
+        kiosks: &[Kiosk],
+        boundary: &mut dyn RegistrarBoundary,
+        plan: &[(VoterId, usize)],
+        pool: &mut CeremonyPool,
+        loot: &mut Vec<StolenCredential>,
         mut sink: impl FnMut(RegistrationOutcome),
     ) -> Result<(), TripError> {
-        // Check-in for the whole queue (Fig 8; MAC-only, sequential).
-        let tickets: Vec<CheckInTicket> = plan
-            .iter()
-            .map(|&(voter, _)| system.officials[0].check_in(&system.ledger, voter))
-            .collect::<Result<_, _>>()?;
-        loop {
-            if pool.prepared() == 0 && pool.refill(&system.printers[0])? == 0 {
-                break;
+        self.run_windows(kiosks, boundary, plan, pool, loot, |_, outcomes| {
+            for outcome in outcomes {
+                sink(outcome);
             }
-            // Drain at most one pool batch per window so a fully warmed
-            // pool still flows through bounded coordinator batches.
-            let take = pool.prepared().min(self.config.pool_batch.max(1));
-            let window: Vec<SessionMaterials> = (0..take)
-                .map(|_| pool.take_ready().expect("prepared sessions"))
-                .collect();
-            self.process_window(system, &tickets, window, &mut sink)?;
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// [`KioskFleet::register`] followed by batched activation of every
-    /// credential on a fresh per-voter device (Fig 11 through
-    /// [`crate::vsd::activate_batch`]).
+    /// credential on a fresh per-voter device (Fig 11 through the batched
+    /// activation sweep), window by window.
     ///
     /// If the same voter appears twice in one queue, only the *last*
     /// registration's credentials activate (earlier ones are superseded on
-    /// L_R before activation begins — re-registration semantics, §3.2).
+    /// L_R — re-registration semantics, §3.2); the superseded session's
+    /// device comes back empty.
     pub fn register_and_activate(
         &self,
         system: &mut TripSystem,
         plan: &[(VoterId, usize)],
     ) -> Result<Vec<(RegistrationOutcome, Vsd)>, TripError> {
-        let outcomes = self.register(system, plan)?;
-        self.activate_outcomes(system, outcomes)
+        let mut pool = self.prepare_pool(system, plan);
+        self.register_and_activate_with_pool(system, plan, &mut pool)
     }
 
     /// [`KioskFleet::register_and_activate`] drawing from a caller-managed
@@ -278,55 +307,114 @@ impl KioskFleet {
         plan: &[(VoterId, usize)],
         pool: &mut CeremonyPool,
     ) -> Result<Vec<(RegistrationOutcome, Vsd)>, TripError> {
-        let outcomes = self.register_with_pool(system, plan, pool)?;
-        self.activate_outcomes(system, outcomes)
+        let mut out = Vec::with_capacity(plan.len());
+        self.register_and_activate_each_with_pool(system, plan, pool, |outcome, vsd| {
+            out.push((outcome, vsd))
+        })?;
+        Ok(out)
     }
 
-    fn activate_outcomes(
+    /// Streaming register-and-activate: every window is registered *and*
+    /// activated before the next window's ceremonies run, so peak memory
+    /// stays O(pool batch) even for million-voter queues — no run-length
+    /// credential accumulation before the activation sweep.
+    pub fn register_and_activate_each_with_pool(
         &self,
         system: &mut TripSystem,
-        mut outcomes: Vec<RegistrationOutcome>,
-    ) -> Result<Vec<(RegistrationOutcome, Vsd)>, TripError> {
-        for outcome in &mut outcomes {
-            outcome.believed_real.lift_to_activate();
-            for fake in &mut outcome.fakes {
-                fake.lift_to_activate();
-            }
-        }
-        // A session superseded within this same queue (the voter
-        // re-registered later on) is skipped: its credentials no longer
-        // match the active L_R record, exactly as if the voter had
-        // re-registered before ever activating (§3.2). Its device comes
-        // back empty.
-        let still_active: Vec<bool> = outcomes
-            .iter()
-            .map(|o| {
-                let checkout = &o.believed_real.receipt.checkout_qr;
-                system
-                    .ledger
-                    .registration
-                    .active_record(checkout.voter_id)
-                    .is_some_and(|record| record.c_pc == checkout.c_pc)
-            })
-            .collect();
-        let credential_refs: Vec<&PaperCredential> = outcomes
-            .iter()
-            .zip(still_active.iter())
-            .filter(|(_, &active)| active)
-            .flat_map(|(o, _)| std::iter::once(&o.believed_real).chain(o.fakes.iter()))
-            .collect();
-        let activated = crate::vsd::activate_batch(
-            &credential_refs,
-            &mut system.ledger,
-            &system.authority.public_key,
-            &system.printer_registry,
+        plan: &[(VoterId, usize)],
+        pool: &mut CeremonyPool,
+        sink: impl FnMut(RegistrationOutcome, Vsd),
+    ) -> Result<(), TripError> {
+        let authority_pk = system.authority.public_key;
+        let printer_registry = system.printer_registry.clone();
+        let TripSystem {
+            officials,
+            printers,
+            ledger,
+            kiosks,
+            kiosk_registry,
+            adversary_loot,
+            ..
+        } = system;
+        let mut boundary = LocalBoundary::new(
+            &officials[0],
+            &printers[0],
+            ledger,
+            kiosk_registry,
             self.config.threads,
-        )?;
-        let mut activated = activated.into_iter();
-        Ok(outcomes
-            .into_iter()
-            .zip(still_active)
-            .map(|(outcome, active)| {
+        );
+        self.register_and_activate_each_over(
+            kiosks,
+            &mut boundary,
+            plan,
+            pool,
+            &authority_pk,
+            &printer_registry,
+            adversary_loot,
+            sink,
+        )
+    }
+
+    /// [`KioskFleet::register_and_activate_each_with_pool`] over an
+    /// explicit [`RegistrarBoundary`]: the device-side activation checks
+    /// (Fig 11 lines 2–8, folded) run on this side, only the ledger-phase
+    /// claims cross the boundary.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_and_activate_each_over(
+        &self,
+        kiosks: &[Kiosk],
+        boundary: &mut dyn RegistrarBoundary,
+        plan: &[(VoterId, usize)],
+        pool: &mut CeremonyPool,
+        authority_pk: &EdwardsPoint,
+        printer_registry: &[CompressedPoint],
+        loot: &mut Vec<StolenCredential>,
+        mut sink: impl FnMut(RegistrationOutcome, Vsd),
+    ) -> Result<(), TripError> {
+        // A session superseded within this same queue (the voter
+        // re-registers later on) is skipped at activation: its credentials
+        // no longer match the (eventual) active L_R record, exactly as if
+        // the voter had re-registered before ever activating (§3.2). The
+        // plan is known upfront, so "last occurrence" is decidable per
+        // window without waiting for the whole queue.
+        let mut last_occurrence: HashMap<VoterId, usize> = HashMap::new();
+        for (i, &(voter, _)) in plan.iter().enumerate() {
+            last_occurrence.insert(voter, i);
+        }
+        let threads = self.config.threads.max(1);
+        let mut cursor = 0usize;
+        self.run_windows(kiosks, boundary, plan, pool, loot, |boundary, outcomes| {
+            // The window's records must be admitted before its activations
+            // cross-check them (a no-op locally; a flush barrier over an
+            // asynchronous ingestion queue).
+            boundary.sync()?;
+            let start = cursor;
+            cursor += outcomes.len();
+            let mut outcomes = outcomes;
+            for outcome in &mut outcomes {
+                outcome.believed_real.lift_to_activate();
+                for fake in &mut outcome.fakes {
+                    fake.lift_to_activate();
+                }
+            }
+            let active: Vec<bool> = (0..outcomes.len())
+                .map(|i| last_occurrence[&plan[start + i].0] == start + i)
+                .collect();
+            let credential_refs: Vec<&PaperCredential> = outcomes
+                .iter()
+                .zip(active.iter())
+                .filter(|(_, &active)| active)
+                .flat_map(|(o, _)| std::iter::once(&o.believed_real).chain(o.fakes.iter()))
+                .collect();
+            let activated = activate_batch_over(
+                boundary,
+                &credential_refs,
+                authority_pk,
+                printer_registry,
+                threads,
+            )?;
+            let mut activated = activated.into_iter();
+            for (outcome, active) in outcomes.into_iter().zip(active) {
                 let mut vsd = Vsd::new();
                 if active {
                     for _ in 0..=outcome.fakes.len() {
@@ -334,19 +422,68 @@ impl KioskFleet {
                             .push(activated.next().expect("one activation per credential"));
                     }
                 }
-                (outcome, vsd)
-            })
-            .collect())
+                sink(outcome, vsd);
+            }
+            Ok(())
+        })
+    }
+
+    /// Drives the whole queue window by window: refill the pool (printing
+    /// via the boundary), run the window's ceremonies on the kiosks, hand
+    /// the coordinator's ledger submissions to the boundary, collect
+    /// adversary loot, and pass each completed window to `window_sink` in
+    /// queue order. Ends with a [`RegistrarBoundary::sync`] barrier so
+    /// every submission is admitted before this returns.
+    fn run_windows(
+        &self,
+        kiosks: &[Kiosk],
+        boundary: &mut dyn RegistrarBoundary,
+        plan: &[(VoterId, usize)],
+        pool: &mut CeremonyPool,
+        loot: &mut Vec<StolenCredential>,
+        mut window_sink: impl FnMut(
+            &mut dyn RegistrarBoundary,
+            Vec<RegistrationOutcome>,
+        ) -> Result<(), TripError>,
+    ) -> Result<(), TripError> {
+        // Check-in for the whole queue (Fig 8; MAC-only, sequential).
+        let tickets: Vec<CheckInTicket> = plan
+            .iter()
+            .map(|&(voter, _)| boundary.check_in(voter))
+            .collect::<Result<_, _>>()?;
+        loop {
+            if pool.prepared() == 0
+                && pool.refill_via(&mut |jobs| boundary.print_envelopes(jobs))? == 0
+            {
+                break;
+            }
+            // Drain at most one pool batch per window so a fully warmed
+            // pool still flows through bounded coordinator batches.
+            let take = pool.prepared().min(self.config.pool_batch.max(1));
+            let window: Vec<SessionMaterials> = (0..take)
+                .map(|_| pool.take_ready().expect("prepared sessions"))
+                .collect();
+            let results = self.process_window(kiosks, boundary, &tickets, window)?;
+            let mut outcomes = Vec::with_capacity(results.len());
+            for (outcome, stolen) in results {
+                if let Some(looted) = stolen {
+                    loot.push(looted);
+                }
+                outcomes.push(outcome);
+            }
+            window_sink(&mut *boundary, outcomes)?;
+        }
+        boundary.sync()
     }
 
     fn process_window(
         &self,
-        system: &mut TripSystem,
+        kiosks: &[Kiosk],
+        boundary: &mut dyn RegistrarBoundary,
         tickets: &[CheckInTicket],
         window: Vec<SessionMaterials>,
-        sink: &mut impl FnMut(RegistrationOutcome),
-    ) -> Result<(), TripError> {
-        let n_kiosks = system.kiosks.len().max(1);
+    ) -> Result<Vec<(RegistrationOutcome, Option<StolenCredential>)>, TripError> {
+        let n_kiosks = kiosks.len().max(1);
         let threads = self.config.threads.max(1);
 
         // One lane per kiosk, queue order within a lane; lanes spread
@@ -364,7 +501,6 @@ impl KioskFleet {
             }
         }
 
-        let kiosks = &system.kiosks;
         let results: Mutex<Vec<(usize, Result<CeremonyOutput, TripError>)>> =
             Mutex::new(Vec::new());
         std::thread::scope(|scope| {
@@ -410,28 +546,21 @@ impl KioskFleet {
             checkouts.push((checkout, official_coupon));
             finals.push((believed_real, fakes, events, stolen));
         }
-        system
-            .ledger
-            .envelopes
-            .commit_batch(commitments, threads)
-            .map_err(TripError::Ledger)?;
-        system.officials[0].check_out_batch(
-            &mut system.ledger,
-            checkouts,
-            &system.kiosk_registry,
-            threads,
-        )?;
-        for (believed_real, fakes, events, stolen) in finals {
-            if let Some(loot) = stolen {
-                system.adversary_loot.push(loot);
-            }
-            sink(RegistrationOutcome {
-                believed_real,
-                fakes,
-                events,
-            });
-        }
-        Ok(())
+        boundary.submit_envelopes(commitments)?;
+        boundary.submit_checkouts(checkouts)?;
+        Ok(finals
+            .into_iter()
+            .map(|(believed_real, fakes, events, stolen)| {
+                (
+                    RegistrationOutcome {
+                        believed_real,
+                        fakes,
+                        events,
+                    },
+                    stolen,
+                )
+            })
+            .collect())
     }
 }
 

@@ -37,6 +37,7 @@
 //! assert_eq!(vsd.credentials.len(), 2); // one real + one fake
 //! ```
 
+pub mod boundary;
 pub mod ceremony;
 pub mod error;
 pub mod fleet;
@@ -49,7 +50,8 @@ pub mod protocol;
 pub mod setup;
 pub mod vsd;
 
-pub use ceremony::SessionMaterials;
+pub use boundary::{IngestTicket, LocalBoundary, RegistrarBoundary};
+pub use ceremony::{PrintJob, SessionMaterials, UnprintedSession};
 pub use error::{ActivationCheck, TripError};
 pub use fleet::{FleetConfig, KioskFleet};
 pub use kiosk::{Kiosk, KioskBehavior, KioskEvent, KioskSession, SessionTrace};
@@ -65,4 +67,7 @@ pub use protocol::{
     DelegationOutcome, RegistrationOutcome,
 };
 pub use setup::{TripConfig, TripSystem};
-pub use vsd::{activate_batch, ActivatedCredential, Vsd};
+pub use vsd::{
+    activate_batch, activate_batch_over, activation_ledger_phase, ActivatedCredential,
+    ActivationClaim, Vsd,
+};

@@ -7,7 +7,7 @@
 
 use vg_crypto::drbg::Rng;
 use vg_crypto::hmac::{hmac_sha256, hmac_verify};
-use vg_crypto::schnorr::{NonceCoupon, SigningKey, VerifyingKey};
+use vg_crypto::schnorr::{NonceCoupon, SignatureSweep, SigningKey, VerifyingKey};
 use vg_crypto::CompressedPoint;
 use vg_ledger::{Ledger, RegistrationRecord, VoterId};
 
@@ -121,49 +121,66 @@ impl Official {
         if checkouts.is_empty() {
             return Ok(());
         }
-        for (checkout, _) in &checkouts {
+        self.verify_checkouts(&checkouts, kiosk_registry, threads)?;
+        let records = self.countersign_checkouts(checkouts);
+        ledger.registration.post_batch(records, threads)?;
+        Ok(())
+    }
+
+    /// The verification half of [`Official::check_out_batch`] (Fig 10
+    /// lines 2–3 over a window, no ledger access): registry membership per
+    /// ticket in queue order, then every σ_kot in one committed
+    /// random-linear-combination fold
+    /// ([`vg_crypto::schnorr::SignatureSweep`]) with a per-item fallback
+    /// that surfaces the earliest offender.
+    pub fn verify_checkouts(
+        &self,
+        checkouts: &[(CheckOutQr, NonceCoupon)],
+        kiosk_registry: &[CompressedPoint],
+        threads: usize,
+    ) -> Result<(), TripError> {
+        for (checkout, _) in checkouts {
             if !kiosk_registry.contains(&checkout.kiosk_pk) {
                 return Err(TripError::UnknownKiosk);
             }
         }
         // σ_kot sweep (Fig 10 line 3): one fold over the window.
         let mut vk_cache = vg_crypto::schnorr::VerifyingKeyCache::new();
-        let mut keys = Vec::with_capacity(checkouts.len());
-        let mut msgs = Vec::with_capacity(checkouts.len());
-        let mut weight_label = Vec::with_capacity(32 + checkouts.len() * 8);
-        weight_label.extend_from_slice(b"trip-checkout-sweep-v1");
-        for (checkout, _) in &checkouts {
-            keys.push((vk_cache.get(&checkout.kiosk_pk)?, checkout.kiosk_sig));
-            msgs.push(RegistrationRecord::kiosk_message(
-                checkout.voter_id,
-                &checkout.c_pc,
-            ));
-            // Commit the weights to the whole statement (key, message,
-            // signature), not just the signature bytes.
-            weight_label.extend_from_slice(&checkout.kiosk_pk.0);
-            weight_label.extend_from_slice(&checkout.voter_id.to_bytes());
-            weight_label.extend_from_slice(&checkout.c_pc.to_bytes());
-            weight_label.extend_from_slice(&checkout.kiosk_sig.to_bytes());
+        let mut sweep = SignatureSweep::new(b"trip-checkout-sweep-v1");
+        for (checkout, _) in checkouts {
+            sweep.push(
+                vk_cache.get(&checkout.kiosk_pk)?,
+                RegistrationRecord::kiosk_message(checkout.voter_id, &checkout.c_pc),
+                checkout.kiosk_sig,
+            );
         }
-        let items: Vec<(VerifyingKey, &[u8], vg_crypto::schnorr::Signature)> = keys
-            .iter()
-            .zip(msgs.iter())
-            .map(|(&(vk, sig), msg)| (vk, msg.as_slice(), sig))
-            .collect();
-        let mut rng = vg_crypto::HmacDrbg::new(&vg_crypto::sha2::sha256(&weight_label));
-        if vg_crypto::schnorr::batch_verify_par(&items, threads, &mut rng).is_err() {
+        if sweep.verify(threads).is_err() {
             // Locate the offender (earliest in queue order); if every
             // ticket passes individually, per-item acceptance rules.
-            for ((vk, sig), msg) in keys.iter().zip(msgs.iter()) {
-                vk.verify(msg, sig)?;
+            for (checkout, _) in checkouts {
+                let vk = vk_cache.get(&checkout.kiosk_pk)?;
+                vk.verify(
+                    &RegistrationRecord::kiosk_message(checkout.voter_id, &checkout.c_pc),
+                    &checkout.kiosk_sig,
+                )?;
             }
         }
-        let records: Vec<RegistrationRecord> = checkouts
+        Ok(())
+    }
+
+    /// The record-construction half of [`Official::check_out_batch`]
+    /// (Fig 10 lines 4–5): countersigns each *already verified* ticket
+    /// from its session's coupon. Callers that split verification from
+    /// posting (the service layer's asynchronous ledger ingestion) combine
+    /// this with [`Official::verify_checkouts`].
+    pub fn countersign_checkouts(
+        &self,
+        checkouts: Vec<(CheckOutQr, NonceCoupon)>,
+    ) -> Vec<RegistrationRecord> {
+        checkouts
             .into_iter()
             .map(|(checkout, coupon)| self.countersign(&checkout, coupon))
-            .collect();
-        ledger.registration.post_batch(records, threads)?;
-        Ok(())
+            .collect()
     }
 
     /// Builds the countersigned registration record for a verified

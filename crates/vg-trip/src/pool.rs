@@ -28,7 +28,9 @@ use vg_ledger::VoterId;
 
 use crate::ceremony::SessionMaterials;
 use crate::error::TripError;
+use crate::materials::Envelope;
 use crate::printer::EnvelopePrinter;
+use vg_ledger::EnvelopeCommitment;
 
 /// One planned registration session.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,6 +43,12 @@ pub struct SessionPlan {
     /// (decides if a spare forge precursor is derived).
     pub malicious: bool,
 }
+
+/// An envelope print fulfilment hook: [`crate::ceremony::PrintJob`]s in,
+/// printed envelopes with their (not yet posted) ledger commitments out,
+/// one per job in job order.
+pub type PrintFulfil<'a> = dyn FnMut(&[crate::ceremony::PrintJob]) -> Result<Vec<(Envelope, EnvelopeCommitment)>, TripError>
+    + 'a;
 
 /// Precomputes [`SessionMaterials`] for a planned queue, in refill batches
 /// over worker threads, with a batched integrity self-check per refill.
@@ -90,6 +98,24 @@ impl CeremonyPool {
     /// Derives the next refill batch (up to the configured batch size) and
     /// self-checks it. Returns how many sessions became ready.
     pub fn refill(&mut self, printer: &EnvelopePrinter) -> Result<usize, TripError> {
+        let threads = self.threads;
+        self.refill_via(&mut |jobs| {
+            Ok(par_map(jobs, threads, |job| {
+                printer.print_detached(job.challenge, job.symbol)
+            }))
+        })
+    }
+
+    /// [`CeremonyPool::refill`] with envelope printing routed through a
+    /// caller-supplied fulfilment hook — the service layer's
+    /// `PrintService` boundary. The batch's session material is derived
+    /// locally (in parallel), every session's
+    /// [`PrintJob`](crate::ceremony::PrintJob)s are gathered
+    /// into **one** `print` call (batch order = session order, jobs
+    /// contiguous per session), and the returned envelopes are attached
+    /// back. Printing is a pure function of each job under an honest
+    /// printer key, so both fulfilment paths yield bit-identical pools.
+    pub fn refill_via(&mut self, print: &mut PrintFulfil<'_>) -> Result<usize, TripError> {
         let end = (self.next + self.batch).min(self.plan.len());
         if self.next == end {
             return Ok(0);
@@ -97,17 +123,34 @@ impl CeremonyPool {
         let jobs: Vec<(usize, SessionPlan)> = (self.next..end).map(|i| (i, self.plan[i])).collect();
         let seed = &self.seed;
         let authority_pk = &self.authority_pk;
-        let fresh = par_map(&jobs, self.threads, |&(index, plan)| {
-            SessionMaterials::derive(
+        let unprinted = par_map(&jobs, self.threads, |&(index, plan)| {
+            SessionMaterials::derive_unprinted(
                 seed,
                 index,
                 plan.voter,
                 plan.n_fakes,
                 authority_pk,
-                printer,
                 plan.malicious,
             )
         });
+        let print_jobs: Vec<crate::ceremony::PrintJob> = unprinted
+            .iter()
+            .flat_map(|u| u.jobs().iter().copied())
+            .collect();
+        let mut printed = print(&print_jobs)?;
+        if printed.len() != print_jobs.len() {
+            return Err(TripError::Crypto(vg_crypto::CryptoError::Malformed(
+                "print fulfilment returned a wrong envelope count",
+            )));
+        }
+        let mut fresh = Vec::with_capacity(unprinted.len());
+        for u in unprinted.into_iter().rev() {
+            let take = u.jobs().len();
+            let batch: Vec<(Envelope, EnvelopeCommitment)> =
+                printed.drain(printed.len() - take..).collect();
+            fresh.push(u.attach(batch));
+        }
+        fresh.reverse();
         // Advance the cursor only once the batch passes its self-check:
         // a caller that treats `PoolIntegrity` as transient and retries
         // re-derives the same sessions instead of silently skipping them.

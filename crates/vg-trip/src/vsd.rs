@@ -12,9 +12,8 @@ use vg_crypto::batch::{small_weight, BatchVerifier};
 use vg_crypto::chaum_pedersen::{verify_transcript, DlEqStatement, IzkpTranscript};
 use vg_crypto::elgamal::Ciphertext;
 use vg_crypto::par::par_map;
-use vg_crypto::schnorr::{batch_verify_par, Signature, SigningKey, VerifyingKey};
-use vg_crypto::sha2::sha256;
-use vg_crypto::{CompressedPoint, EdwardsPoint, HmacDrbg, Scalar};
+use vg_crypto::schnorr::{Signature, SignatureSweep, SigningKey, VerifyingKey};
+use vg_crypto::{CompressedPoint, EdwardsPoint, Scalar};
 use vg_ledger::{challenge_hash, EnvelopeCommitment, Ledger, VoterId};
 
 use crate::error::{ActivationCheck, TripError};
@@ -95,14 +94,43 @@ impl Vsd {
     }
 }
 
-/// Performs the activation checks of Fig 11 and, on success, returns the
-/// activated credential and reveals the envelope challenge on L_E.
-pub fn activate(
+/// The ledger-phase claim of Fig 11 lines 9–11: everything the registrar
+/// side needs to cross-check a credential against L_R and reveal its
+/// envelope challenge on L_E. This is the activation protocol's natural
+/// wire unit — the device-side checks (lines 2–8) involve the credential
+/// *secret* and never leave the VSD.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActivationClaim {
+    /// The voter whose active record is cross-checked.
+    pub voter_id: VoterId,
+    /// The credential tag the record must carry.
+    pub c_pc: Ciphertext,
+    /// The issuing kiosk the record must name.
+    pub kiosk_pk: CompressedPoint,
+    /// The envelope challenge to reveal (line 11).
+    pub challenge: Scalar,
+}
+
+impl ActivationClaim {
+    /// The claim a verified activate-state view asserts.
+    pub fn of(view: &ActivateView<'_>) -> Self {
+        Self {
+            voter_id: view.commit.voter_id,
+            c_pc: view.commit.c_pc,
+            kiosk_pk: view.response.kiosk_pk,
+            challenge: view.envelope.challenge,
+        }
+    }
+}
+
+/// The device-side checks of Fig 11 lines 2–8 (no ledger access): receipt
+/// signatures, envelope signature and printer authorization, and the
+/// Σ-transcript equations. Returns the reconstructed credential key.
+pub fn activate_client_checks(
     view: &ActivateView<'_>,
-    ledger: &mut Ledger,
     authority_pk: &EdwardsPoint,
     printer_registry: &[CompressedPoint],
-) -> Result<ActivatedCredential, TripError> {
+) -> Result<SigningKey, TripError> {
     let commit_qr = view.commit;
     let response_qr = view.response;
     let envelope = view.envelope;
@@ -159,15 +187,24 @@ pub fn activate(
     if !verify_transcript(&stmt, &transcript) {
         return Err(TripError::Activation(ActivationCheck::ZkTranscript));
     }
+    Ok(key)
+}
 
+/// The ledger phase of Fig 11 (lines 9–11), registrar-side: cross-checks
+/// the claim against the voter's active registration record and reveals
+/// the envelope challenge (the duplicate-envelope detector).
+pub fn activation_ledger_phase(
+    ledger: &mut Ledger,
+    claim: &ActivationClaim,
+) -> Result<(), TripError> {
     // Lines 9–10: cross-check against the voter's registration record.
     let record = ledger
         .registration
-        .active_record(commit_qr.voter_id)
+        .active_record(claim.voter_id)
         .ok_or(TripError::Activation(ActivationCheck::NoRegistrationRecord))?;
-    if record.c_pc != commit_qr.c_pc
-        || record.kiosk_pk != response_qr.kiosk_pk
-        || record.voter_id != commit_qr.voter_id
+    if record.c_pc != claim.c_pc
+        || record.kiosk_pk != claim.kiosk_pk
+        || record.voter_id != claim.voter_id
     {
         return Err(TripError::Activation(ActivationCheck::LedgerMismatch));
     }
@@ -175,17 +212,29 @@ pub fn activate(
     // Line 11: challenge unused; reveal it (duplicate-envelope detector).
     ledger
         .envelopes
-        .reveal_challenge(&envelope.challenge)
+        .reveal_challenge(&claim.challenge)
         .map_err(|_| TripError::Activation(ActivationCheck::DuplicateChallenge))?;
+    Ok(())
+}
 
+/// Performs the activation checks of Fig 11 and, on success, returns the
+/// activated credential and reveals the envelope challenge on L_E.
+pub fn activate(
+    view: &ActivateView<'_>,
+    ledger: &mut Ledger,
+    authority_pk: &EdwardsPoint,
+    printer_registry: &[CompressedPoint],
+) -> Result<ActivatedCredential, TripError> {
+    let key = activate_client_checks(view, authority_pk, printer_registry)?;
+    activation_ledger_phase(ledger, &ActivationClaim::of(view))?;
     Ok(ActivatedCredential {
-        voter_id: commit_qr.voter_id,
+        voter_id: view.commit.voter_id,
         key,
-        c_pc: commit_qr.c_pc,
-        kiosk_pk: response_qr.kiosk_pk,
-        issuance_sig: response_qr.kiosk_sig,
-        response: response_qr.response,
-        challenge: envelope.challenge,
+        c_pc: view.commit.c_pc,
+        kiosk_pk: view.response.kiosk_pk,
+        issuance_sig: view.response.kiosk_sig,
+        response: view.response.response,
+        challenge: view.envelope.challenge,
     })
 }
 
@@ -239,20 +288,7 @@ pub fn activate_batch(
     // to the sequential loop).
     let mut out = Vec::with_capacity(views.len());
     for (view, key) in views.iter().zip(keys.iter()) {
-        let record = ledger
-            .registration
-            .active_record(view.commit.voter_id)
-            .ok_or(TripError::Activation(ActivationCheck::NoRegistrationRecord))?;
-        if record.c_pc != view.commit.c_pc
-            || record.kiosk_pk != view.response.kiosk_pk
-            || record.voter_id != view.commit.voter_id
-        {
-            return Err(TripError::Activation(ActivationCheck::LedgerMismatch));
-        }
-        ledger
-            .envelopes
-            .reveal_challenge(&view.envelope.challenge)
-            .map_err(|_| TripError::Activation(ActivationCheck::DuplicateChallenge))?;
+        activation_ledger_phase(ledger, &ActivationClaim::of(view))?;
         out.push(ActivatedCredential {
             voter_id: view.commit.voter_id,
             key: key.clone(),
@@ -266,10 +302,66 @@ pub fn activate_batch(
     Ok(out)
 }
 
+/// [`activate_batch`] with the ledger phase behind a
+/// [`crate::boundary::RegistrarBoundary`]: the device-side folded checks
+/// (lines 2–8) run locally — the credential secrets never cross the
+/// boundary — and only the [`ActivationClaim`]s are shipped for the L_R
+/// cross-check and L_E reveal. Falls back to the sequential-faithful
+/// per-credential path on any folded-check failure, reproducing the exact
+/// first error and partial-reveal behaviour of a plain [`activate`] loop.
+pub fn activate_batch_over(
+    boundary: &mut dyn crate::boundary::RegistrarBoundary,
+    credentials: &[&PaperCredential],
+    authority_pk: &EdwardsPoint,
+    printer_registry: &[CompressedPoint],
+    threads: usize,
+) -> Result<Vec<ActivatedCredential>, TripError> {
+    if credentials.is_empty() {
+        return Ok(Vec::new());
+    }
+    match activate_batch_checks(credentials, authority_pk, printer_registry, threads) {
+        Ok((views, keys)) => {
+            let claims: Vec<ActivationClaim> = views.iter().map(ActivationClaim::of).collect();
+            boundary.activation_sweep(&claims)?;
+            Ok(views
+                .iter()
+                .zip(keys)
+                .map(|(view, key)| assemble_activated(view, key))
+                .collect())
+        }
+        Err(_) => {
+            let mut out = Vec::with_capacity(credentials.len());
+            for credential in credentials {
+                let view = credential.activate_view()?;
+                let key = activate_client_checks(&view, authority_pk, printer_registry)?;
+                boundary.activation_sweep(std::slice::from_ref(&ActivationClaim::of(&view)))?;
+                out.push(assemble_activated(&view, key));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Builds the [`ActivatedCredential`] for a view whose checks and ledger
+/// phase both passed.
+fn assemble_activated(view: &ActivateView<'_>, key: SigningKey) -> ActivatedCredential {
+    ActivatedCredential {
+        voter_id: view.commit.voter_id,
+        key,
+        c_pc: view.commit.c_pc,
+        kiosk_pk: view.response.kiosk_pk,
+        issuance_sig: view.response.kiosk_sig,
+        response: view.response.response,
+        challenge: view.envelope.challenge,
+    }
+}
+
 /// The non-mutating folded checks behind [`activate_batch`] (Fig 11
-/// lines 2–8 over the whole batch).
+/// lines 2–8 over the whole batch), device-side only. Public so the
+/// service-layer activation driver can run the same folds before shipping
+/// the ledger-phase claims across its RPC boundary.
 #[allow(clippy::type_complexity)]
-fn activate_batch_checks<'a>(
+pub fn activate_batch_checks<'a>(
     credentials: &[&'a PaperCredential],
     authority_pk: &EdwardsPoint,
     printer_registry: &[CompressedPoint],
@@ -284,12 +376,15 @@ fn activate_batch_checks<'a>(
     let secrets: Vec<Scalar> = views.iter().map(|v| v.response.credential_sk).collect();
     let keys: Vec<SigningKey> = par_map(&secrets, threads, |sk| SigningKey::from_scalar(*sk));
 
-    // Lines 3–5 folded: every signature in the batch in one sweep.
+    // Lines 3–5 folded: every signature in the batch in one committed
+    // sweep. The sweep's weight derivation binds every key, message and
+    // signature it checks — the three messages per credential already
+    // bind voter id, c_pc, the Σ-commitment halves, c_pk, H(e ‖ r) and
+    // H(e), i.e. every term of the transcript fold below too, so
+    // continuing the sweep's DRBG into that fold keeps the
+    // everything-committed rule intact.
     let mut vk_cache = vg_crypto::schnorr::VerifyingKeyCache::new();
-    let mut sig_keys = Vec::with_capacity(views.len() * 3);
-    let mut sig_msgs = Vec::with_capacity(views.len() * 3);
-    let mut weight_label = Vec::new();
-    weight_label.extend_from_slice(b"trip-activate-sweep-v1");
+    let mut sweep = SignatureSweep::new(b"trip-activate-sweep-v1");
     for (view, key) in views.iter().zip(keys.iter()) {
         if !printer_registry.contains(&view.envelope.printer_pk) {
             return Err(TripError::Activation(ActivationCheck::EnvelopeSignature));
@@ -300,45 +395,28 @@ fn activate_batch_checks<'a>(
         let printer_vk = vk_cache
             .get(&view.envelope.printer_pk)
             .map_err(|_| TripError::Activation(ActivationCheck::EnvelopeSignature))?;
-        sig_keys.push((kiosk_vk, view.commit.kiosk_sig));
-        sig_msgs.push(commit_message(
-            view.commit.voter_id,
-            &view.commit.c_pc,
-            &view.commit.commit,
-        ));
-        sig_keys.push((kiosk_vk, view.response.kiosk_sig));
-        sig_msgs.push(response_message(
-            &key.public_key_compressed(),
-            &view.envelope.challenge,
-            &view.response.response,
-        ));
-        sig_keys.push((printer_vk, view.envelope.signature));
-        sig_msgs.push(EnvelopeCommitment::message(&challenge_hash(
-            &view.envelope.challenge,
-        )));
-        weight_label.extend_from_slice(&view.response.kiosk_pk.0);
-        weight_label.extend_from_slice(&view.envelope.printer_pk.0);
-        weight_label.extend_from_slice(&view.commit.kiosk_sig.to_bytes());
-        weight_label.extend_from_slice(&view.response.kiosk_sig.to_bytes());
-        weight_label.extend_from_slice(&view.envelope.signature.to_bytes());
+        sweep.push(
+            kiosk_vk,
+            commit_message(view.commit.voter_id, &view.commit.c_pc, &view.commit.commit),
+            view.commit.kiosk_sig,
+        );
+        sweep.push(
+            kiosk_vk,
+            response_message(
+                &key.public_key_compressed(),
+                &view.envelope.challenge,
+                &view.response.response,
+            ),
+            view.response.kiosk_sig,
+        );
+        sweep.push(
+            printer_vk,
+            EnvelopeCommitment::message(&challenge_hash(&view.envelope.challenge)),
+            view.envelope.signature,
+        );
     }
-    // The weight derivation must commit to *every* statement and proof
-    // the folds check — signatures and keys (above) plus the three
-    // messages per credential, which already bind voter id, c_pc, the
-    // Σ-commitment halves, c_pk, H(e ‖ r) and H(e), i.e. every term of
-    // both the signature sweep and the transcript fold below. An
-    // uncommitted component would let a forger grind it against known
-    // weights.
-    for msg in &sig_msgs {
-        weight_label.extend_from_slice(msg);
-    }
-    let items: Vec<(VerifyingKey, &[u8], Signature)> = sig_keys
-        .iter()
-        .zip(sig_msgs.iter())
-        .map(|(&(vk, sig), msg)| (vk, msg.as_slice(), sig))
-        .collect();
-    let mut rng = HmacDrbg::new(&sha256(&weight_label));
-    batch_verify_par(&items, threads, &mut rng)
+    let mut rng = sweep
+        .verify(threads)
         .map_err(|_| TripError::Activation(ActivationCheck::CommitSignature))?;
 
     // Lines 6–8 folded: both transcript equations of every credential in

@@ -50,6 +50,7 @@ use std::marker::PhantomData;
 
 use vg_crypto::drbg::Rng;
 use vg_ledger::{Ledger, LedgerBackend, VoterId};
+use vg_service::Transport;
 use vg_trip::fleet::{FleetConfig, KioskFleet};
 use vg_trip::protocol::{activate_all, register_voter, RegistrationOutcome};
 use vg_trip::setup::{TripConfig, TripSystem};
@@ -133,6 +134,7 @@ pub struct ElectionBuilder {
     mixers: usize,
     threads: usize,
     fakes: FakesPolicy,
+    transport: Transport,
 }
 
 impl Default for ElectionBuilder {
@@ -151,6 +153,7 @@ impl ElectionBuilder {
             mixers: vg_shuffle::MixCascade::DEFAULT_MIXERS,
             threads: 1,
             fakes: FakesPolicy::default(),
+            transport: Transport::InProcess,
         }
     }
 
@@ -197,6 +200,17 @@ impl ElectionBuilder {
         self
     }
 
+    /// Which transport registration runs over:
+    /// [`Transport::InProcess`] (zero-copy, the default) or
+    /// [`Transport::Tcp`] (the registrar services behind a framed
+    /// loopback socket). Both produce bit-identical ledgers and
+    /// credentials for the same seed — the service layer's equivalence
+    /// contract.
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Replaces the whole TRIP deployment configuration (keeps any
     /// voters/backend already set on it).
     pub fn trip_config(mut self, config: TripConfig) -> Self {
@@ -206,14 +220,8 @@ impl ElectionBuilder {
 
     /// Runs TRIP setup (Fig 7) and opens the registration phase.
     pub fn build(self, rng: &mut dyn Rng) -> Election<Registration> {
-        Election {
-            trip: TripSystem::setup(self.trip_config, rng),
-            vote_config: VoteConfig::new(self.options),
-            mixers: self.mixers,
-            threads: self.threads,
-            fakes: self.fakes,
-            _phase: PhantomData,
-        }
+        let trip = TripSystem::setup(self.trip_config.clone(), rng);
+        self.build_with_system(trip)
     }
 
     /// Like [`ElectionBuilder::build`], but wraps an existing TRIP system
@@ -225,6 +233,7 @@ impl ElectionBuilder {
             mixers: self.mixers,
             threads: self.threads,
             fakes: self.fakes,
+            transport: self.transport,
             _phase: PhantomData,
         }
     }
@@ -245,6 +254,8 @@ pub struct Election<P: ElectionPhase = Registration> {
     pub threads: usize,
     /// Fake-credential policy for batch registration.
     pub fakes: FakesPolicy,
+    /// Transport the registration services run over.
+    pub transport: Transport,
     _phase: PhantomData<P>,
 }
 
@@ -261,6 +272,7 @@ impl<P: ElectionPhase> Election<P> {
             mixers: self.mixers,
             threads: self.threads,
             fakes: self.fakes,
+            transport: self.transport,
             _phase: PhantomData,
         }
     }
@@ -287,32 +299,36 @@ impl Election<Registration> {
     /// Registers a voter (one real credential plus `n_fakes` fakes) and
     /// activates every credential on a fresh device.
     ///
-    /// Routed through the kiosk-fleet engine: the session's expensive
-    /// material comes from a precomputed ceremony pool and every check is
-    /// batched, so a loop of this call and one [`Election::register_batch`]
-    /// differ only in amortization, never in outcome shape.
+    /// Routed through the kiosk-fleet engine over the session's
+    /// [`Transport`]: the session's expensive material comes from a
+    /// precomputed ceremony pool and every check is batched, so a loop of
+    /// this call and one [`Election::register_batch`] differ only in
+    /// amortization, never in outcome shape.
     pub fn register_and_activate(
         &mut self,
         voter: VoterId,
         n_fakes: usize,
         rng: &mut dyn Rng,
     ) -> Result<(RegistrationOutcome, Vsd), VotegralError> {
-        let fleet = self.fleet(rng);
-        let mut sessions = fleet.register_and_activate(&mut self.trip, &[(voter, n_fakes)])?;
-        Ok(sessions.pop().expect("one session planned"))
+        let mut session = None;
+        self.register_and_activate_each(&[(voter, n_fakes)], rng, |outcome, vsd| {
+            session = Some((outcome, vsd));
+        })?;
+        Ok(session.expect("one session planned"))
     }
 
     /// Registers and activates a batch of voters, applying the builder's
     /// fakes policy. Results come back in input order.
     ///
-    /// The batch is one [`KioskFleet`] run: per-session material is
-    /// precomputed pool-batch-wise on worker threads ahead of each
-    /// ceremony window, sessions fan out across the deployment's kiosks
-    /// (session `i` on kiosk `i mod |K|`), and envelope commitments,
-    /// check-out records and activation checks all go through batched
-    /// random-linear-combination admission. If a voter appears twice,
-    /// only the last registration's credentials activate
-    /// (re-registration semantics, §3.2).
+    /// The batch is one [`KioskFleet`] run over the session's
+    /// [`Transport`]: per-session material is precomputed pool-batch-wise
+    /// on worker threads ahead of each ceremony window, sessions fan out
+    /// across the deployment's kiosks (session `i` on kiosk `i mod |K|`),
+    /// and envelope commitments, check-out records and activation checks
+    /// all go through batched random-linear-combination admission —
+    /// asynchronously coalesced by the service layer's ingestion queue.
+    /// If a voter appears twice, only the last registration's credentials
+    /// activate (re-registration semantics, §3.2).
     pub fn register_batch(
         &mut self,
         voters: &[VoterId],
@@ -322,8 +338,28 @@ impl Election<Registration> {
             .iter()
             .map(|&voter| (voter, self.fakes.fakes_for(voter)))
             .collect();
+        let mut sessions = Vec::with_capacity(plan.len());
+        self.register_and_activate_each(&plan, rng, |outcome, vsd| {
+            sessions.push((outcome, vsd));
+        })?;
+        Ok(sessions)
+    }
+
+    /// Streaming registration + activation: each session's
+    /// `(outcome, device)` pair goes to `sink` as its pool window
+    /// completes, so peak memory stays O(pool batch) — the entry point
+    /// for million-voter registration days. Registration and activation
+    /// are interleaved per window through the service layer's
+    /// asynchronous ledger ingestion.
+    pub fn register_and_activate_each(
+        &mut self,
+        plan: &[(VoterId, usize)],
+        rng: &mut dyn Rng,
+        sink: impl FnMut(RegistrationOutcome, Vsd),
+    ) -> Result<(), VotegralError> {
         let fleet = self.fleet(rng);
-        Ok(fleet.register_and_activate(&mut self.trip, &plan)?)
+        vg_service::register_and_activate_day(&fleet, &mut self.trip, plan, self.transport, sink)?;
+        Ok(())
     }
 
     /// Closes registration and opens the voting phase.

@@ -8,6 +8,9 @@
 //! - [`crypto`]: the cryptographic substrate (edwards25519, SHA-2, Schnorr,
 //!   ElGamal, Chaum–Pedersen IZKPs, DKG, Pedersen commitments, PETs);
 //! - [`ledger`]: the tamper-evident public bulletin board (L_R, L_E, L_V);
+//! - [`service`]: the transport-agnostic registrar service layer (typed
+//!   RPC boundaries for officials, printers, ledger ingestion and
+//!   activation, over in-process or TCP transports);
 //! - [`shuffle`]: the Bayer–Groth verifiable shuffle and mix cascade;
 //! - [`trip`]: the TRIP registration protocol — the paper's contribution;
 //! - [`votegral`]: ballot casting and the verifiable linear-time tally;
@@ -61,6 +64,7 @@ pub use vg_baselines as baselines;
 pub use vg_crypto as crypto;
 pub use vg_hardware as hardware;
 pub use vg_ledger as ledger;
+pub use vg_service as service;
 pub use vg_shuffle as shuffle;
 pub use vg_sim as sim;
 pub use vg_trip as trip;
