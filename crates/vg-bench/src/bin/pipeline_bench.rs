@@ -1,0 +1,251 @@
+//! Pipelined registration day vs the barrier-synchronous engine.
+//!
+//! Runs the same seeded register-and-activate day (the full
+//! `register_and_activate` path: precompute, ceremonies, admission,
+//! activation) several ways and compares end-to-end sessions/sec,
+//! **with precompute included in every timed run** (cold pools; the
+//! pipelined runs hide precompute behind ceremonies via the background
+//! refiller rather than excluding it):
+//!
+//! - **barrier**: `register_and_activate_day` over the in-process
+//!   service transport — synchronous pool refills at window boundaries,
+//!   one flush + activation barrier per window, one connection (the
+//!   PR-4 engine, and the bit-identical baseline);
+//! - **pipe-s1**: the pipelined engine with a single station —
+//!   background refiller + server-side ingest worker + lagged
+//!   activation, no extra parallelism (isolates the coalescing and
+//!   overlap wins);
+//! - **pipe**: the pipelined engine at the configured station count
+//!   (stations drive disjoint kiosk chunks concurrently);
+//! - **pipe-tcp**: the same multi-station day with every station on its
+//!   own framed loopback TCP connection.
+//!
+//! All rows produce bit-identical ledgers (pinned by
+//! `tests/pipeline.rs`); the guarded headline is `pipe / barrier` at the
+//! acceptance grid point — a dimensionless ratio that catches pipeline
+//! regressions without tracking absolute host speed.
+//!
+//! Run with:
+//! `cargo run --release -p vg-bench --bin pipeline_bench --
+//!  [--quick] [--voters N --kiosks K] [--stations S] [--threads N]
+//!  [--pool N] [--lag N] [--low-water N] [--json path]`
+
+use std::time::Instant;
+
+use vg_bench::{arg_flag, arg_str, arg_usize, print_table, BenchReport};
+use vg_crypto::HmacDrbg;
+use vg_service::{
+    pipelined_register_and_activate_day, register_and_activate_day, DayStats, IngestMode,
+    PipelineConfig, Transport,
+};
+use vg_sim::population::{FakeCredentialDist, RegistrationPlan};
+use vg_trip::fleet::{FleetConfig, KioskFleet};
+use vg_trip::setup::{TripConfig, TripSystem};
+
+fn config(n_voters: u64, n_kiosks: usize) -> TripConfig {
+    TripConfig {
+        n_voters,
+        n_kiosks,
+        // Per-session envelopes are printed by the day itself; the
+        // setup-time booth supply would only distort the measurement.
+        envelopes_per_voter: 0,
+        ..TripConfig::default()
+    }
+}
+
+/// One timed end-to-end day (cold pool: precompute inside the timer).
+/// Returns (sessions/sec, day stats).
+fn run_day(
+    plan: &RegistrationPlan,
+    kiosks: usize,
+    fleet_config: FleetConfig,
+    pipeline: Option<(PipelineConfig, Transport)>,
+) -> (f64, DayStats) {
+    let n = plan.len();
+    let mut rng = HmacDrbg::from_u64(0x71FE);
+    let mut system = TripSystem::setup(config(n as u64, kiosks), &mut rng);
+    let fleet = KioskFleet::new(fleet_config);
+    let mut done = 0usize;
+    let t0 = Instant::now();
+    let stats = match pipeline {
+        None => register_and_activate_day(
+            &fleet,
+            &mut system,
+            plan.sessions(),
+            Transport::InProcess,
+            |_, _| done += 1,
+        )
+        .expect("barrier day runs"),
+        Some((pipeline, transport)) => pipelined_register_and_activate_day(
+            &fleet,
+            &mut system,
+            plan.sessions(),
+            transport,
+            pipeline,
+            |_, _| done += 1,
+        )
+        .expect("pipelined day runs"),
+    };
+    let rate = n as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(done, n);
+    (rate, stats)
+}
+
+fn coalesce_ratio(s: &DayStats) -> f64 {
+    let batches = s.ingest.env_batches + s.ingest.reg_batches;
+    let sweeps = (s.ingest.env_sweeps + s.ingest.reg_sweeps).max(1);
+    batches as f64 / sweeps as f64
+}
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let voters = arg_usize("--voters", 1_000);
+    let kiosks = arg_usize("--kiosks", 4);
+    let stations = arg_usize("--stations", 2);
+    let threads = arg_usize("--threads", 1);
+    let pool = arg_usize("--pool", 64);
+    let _ = quick; // the acceptance grid point IS the quick grid point
+                   // Default lag: one activation barrier per station for the whole day
+                   // (maximum fold amortization at O(day/stations) peak memory).
+    let windows_per_station = voters.div_ceil(stations.max(1)).div_ceil(pool.max(1));
+    let lag = arg_usize("--lag", windows_per_station.max(1));
+    let low_water = arg_usize("--low-water", 2 * pool);
+    let json_path = arg_str("--json");
+
+    let plan = {
+        let mut rng = HmacDrbg::from_u64(0xD_C);
+        RegistrationPlan::sample(voters as u64, &FakeCredentialDist::default(), &mut rng)
+    };
+    let fleet_config = FleetConfig {
+        pool_batch: pool,
+        threads,
+        seed: [0x71u8; 32],
+    };
+    let pipeline = |stations: usize| PipelineConfig {
+        stations,
+        low_water,
+        ingest: IngestMode::Background,
+        activation_lag: lag,
+    };
+
+    println!(
+        "Pipelined registration day, {voters} voters x {kiosks} kiosks, \
+         {stations} station(s), {threads} thread(s), pool {pool}, lag {lag}:"
+    );
+    println!("barrier = synchronous refills + per-window flush barriers (one connection),");
+    println!("pipe    = background refiller + ingest worker + lagged activation.");
+    println!("Rates are end-to-end register+activate sessions/sec, precompute included.\n");
+
+    let mut report = BenchReport::new("pipeline");
+    report
+        .meta("voters", voters)
+        .meta("kiosks", kiosks)
+        .meta("stations", stations)
+        .meta("threads", threads)
+        .meta("pool_batch", pool)
+        .meta("activation_lag", lag)
+        .meta("low_water", low_water);
+
+    let (barrier, _) = run_day(&plan, kiosks, fleet_config, None);
+    let (pipe_s1, s1_stats) = run_day(
+        &plan,
+        kiosks,
+        fleet_config,
+        Some((pipeline(1), Transport::InProcess)),
+    );
+    let (pipe, pipe_stats) = run_day(
+        &plan,
+        kiosks,
+        fleet_config,
+        Some((pipeline(stations), Transport::InProcess)),
+    );
+    let (pipe_tcp, tcp_stats) = run_day(
+        &plan,
+        kiosks,
+        fleet_config,
+        Some((pipeline(stations), Transport::Tcp)),
+    );
+
+    let speedup = pipe / barrier;
+    let rows = vec![
+        vec![
+            "barrier (1 conn)".into(),
+            format!("{barrier:.0}"),
+            "1.00x".into(),
+            "-".into(),
+            "-".into(),
+        ],
+        vec![
+            "pipe (1 station)".into(),
+            format!("{pipe_s1:.0}"),
+            format!("{:.2}x", pipe_s1 / barrier),
+            format!("{:.1}", coalesce_ratio(&s1_stats)),
+            format!("{:.0}%", busy_pct(&s1_stats)),
+        ],
+        vec![
+            format!("pipe ({stations} stations)"),
+            format!("{pipe:.0}"),
+            format!("{speedup:.2}x"),
+            format!("{:.1}", coalesce_ratio(&pipe_stats)),
+            format!("{:.0}%", busy_pct(&pipe_stats)),
+        ],
+        vec![
+            format!("pipe-tcp ({stations} stations)"),
+            format!("{pipe_tcp:.0}"),
+            format!("{:.2}x", pipe_tcp / barrier),
+            format!("{:.1}", coalesce_ratio(&tcp_stats)),
+            format!("{:.0}%", busy_pct(&tcp_stats)),
+        ],
+    ];
+    print_table(
+        &[
+            "engine",
+            "e2e sessions/s",
+            "vs barrier",
+            "coalesce ratio",
+            "worker busy",
+        ],
+        &rows,
+    );
+
+    report.metric("barrier_e2e_per_sec", barrier);
+    report.metric("pipe_s1_e2e_per_sec", pipe_s1);
+    report.metric("pipe_e2e_per_sec", pipe);
+    report.metric("pipe_tcp_e2e_per_sec", pipe_tcp);
+    report.metric("pipe_s1_speedup", pipe_s1 / barrier);
+    report.metric("pipe_tcp_speedup", pipe_tcp / barrier);
+    report.metric("pipe_coalesce_ratio", coalesce_ratio(&pipe_stats));
+    report.metric(
+        "pipe_worker_busy_us",
+        pipe_stats.ingest.worker_busy_us as f64,
+    );
+    report.metric(
+        "pipe_worker_idle_us",
+        pipe_stats.ingest.worker_idle_us as f64,
+    );
+    report.metric("headline_pipeline_speedup", speedup);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    report.metric("host_cores", cores as f64);
+    println!(
+        "\npipelined speedup over the barrier engine: {speedup:.2}x on {cores} core(s) {}",
+        if speedup >= 1.3 {
+            "(>= 1.3x target met)"
+        } else if cores <= 1 {
+            "(single core: only fold amortization can show; the refiller/worker \
+             overlap needs a second core)"
+        } else {
+            "(below 1.3x target)"
+        }
+    );
+
+    if let Some(path) = json_path {
+        report.write(&path).expect("write bench json");
+        println!("telemetry written to {path}");
+    }
+}
+
+fn busy_pct(s: &DayStats) -> f64 {
+    let busy = s.ingest.worker_busy_us as f64;
+    let idle = s.ingest.worker_idle_us as f64;
+    100.0 * busy / (busy + idle).max(1.0)
+}

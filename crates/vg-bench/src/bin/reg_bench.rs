@@ -85,6 +85,11 @@ fn bench_sequential(plan: &RegistrationPlan, cap: usize) -> (f64, f64) {
 struct FleetRates {
     cold: f64,
     warm: Option<f64>,
+    /// Warm rate with tiny (32-session) windows: many more coordinator
+    /// windows per day. With the persistent lane crew this should sit
+    /// near the big-window rate — the per-window thread-spawn tax the
+    /// crew removed would show up here as a gap.
+    warm_small: Option<f64>,
     precompute: Option<f64>,
 }
 
@@ -117,27 +122,42 @@ fn bench_fleet(plan: &RegistrationPlan, kiosks: usize, threads: usize, pool: usi
         return FleetRates {
             cold,
             warm: None,
+            warm_small: None,
             precompute: None,
         };
     }
 
     // Warm: pool fully derived up front (booth idle time), then the
     // ceremony + admission + activation drain timed on its own.
-    let mut rng = seed_rng();
-    let mut system = TripSystem::setup(config(n as u64, kiosks), &mut rng);
-    let fleet = KioskFleet::new(fleet_config);
-    let mut pool = fleet.prepare_pool(&system, plan.sessions());
-    let t0 = Instant::now();
-    pool.warm(&system.printers[0]).expect("pool warms");
-    let precompute = n as f64 / t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    let sessions = fleet
-        .register_and_activate_with_pool(&mut system, plan.sessions(), &mut pool)
-        .expect("warm fleet registers");
-    let warm = sessions.len() as f64 / t0.elapsed().as_secs_f64();
+    let warm_run = |pool_batch: usize| -> (f64, f64) {
+        let mut rng = seed_rng();
+        let mut system = TripSystem::setup(config(n as u64, kiosks), &mut rng);
+        let fleet = KioskFleet::new(FleetConfig {
+            pool_batch,
+            ..fleet_config
+        });
+        let mut pool = fleet.prepare_pool(&system, plan.sessions());
+        let t0 = Instant::now();
+        pool.warm(&system.printers[0]).expect("pool warms");
+        let precompute = n as f64 / t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let sessions = fleet
+            .register_and_activate_with_pool(&mut system, plan.sessions(), &mut pool)
+            .expect("warm fleet registers");
+        (
+            sessions.len() as f64 / t0.elapsed().as_secs_f64(),
+            precompute,
+        )
+    };
+    let (warm, precompute) = warm_run(pool);
+    // The windowing-tax probe: same warm day through 32-session windows
+    // (per-window coordinator costs ×(pool/32)); the persistent lane
+    // crew keeps this close to the big-window rate.
+    let warm_small = (pool > 32).then(|| warm_run(32).0);
     FleetRates {
         cold,
         warm: Some(warm),
+        warm_small,
         precompute: Some(precompute),
     }
 }
@@ -234,6 +254,13 @@ fn main() {
         report.metric(&format!("{prefix}_fleet_cold_reg_per_sec"), fleet.cold);
         if let Some(w) = fleet.warm {
             report.metric(&format!("{prefix}_fleet_warm_e2e_per_sec"), w);
+        }
+        if let (Some(w), Some(ws)) = (fleet.warm, fleet.warm_small) {
+            report.metric(&format!("{prefix}_fleet_warm_small_window_per_sec"), ws);
+            // ~1.0 = per-window coordinator overhead (thread spawns,
+            // barriers) is amortized away; >1 quantifies the residual
+            // tax of running 32-session windows.
+            report.metric(&format!("{prefix}_windowing_tax"), w / ws);
         }
         if let Some(s) = speedup {
             report.metric(&format!("{prefix}_warm_speedup"), s);

@@ -28,7 +28,7 @@ use std::time::Instant;
 
 use vg_bench::{arg_flag, arg_str, arg_usize, print_table, BenchReport};
 use vg_crypto::HmacDrbg;
-use vg_service::{register_and_activate_day, register_day, Transport};
+use vg_service::{register_and_activate_day, register_day, DayStats, Transport};
 use vg_sim::population::{FakeCredentialDist, RegistrationPlan};
 use vg_trip::fleet::{FleetConfig, KioskFleet};
 use vg_trip::setup::{TripConfig, TripSystem};
@@ -44,26 +44,28 @@ fn config(n_voters: u64, n_kiosks: usize) -> TripConfig {
     }
 }
 
-/// One timed registration day. Returns sessions/sec.
+/// One timed registration day. Returns sessions/sec plus (for service
+/// transports) the day's ingest-coalescing telemetry.
 fn run_day(
     plan: &RegistrationPlan,
     kiosks: usize,
     fleet_config: FleetConfig,
     transport: Option<Transport>,
     activate: bool,
-) -> f64 {
+) -> (f64, DayStats) {
     let n = plan.len();
     let mut rng = HmacDrbg::from_u64(0x5E41);
     let mut system = TripSystem::setup(config(n as u64, kiosks), &mut rng);
     let fleet = KioskFleet::new(fleet_config);
     let mut done = 0usize;
     let t0 = Instant::now();
-    match (transport, activate) {
+    let stats = match (transport, activate) {
         (None, false) => {
             let mut pool = fleet.prepare_pool(&system, plan.sessions());
             fleet
                 .register_each_with_pool(&mut system, plan.sessions(), &mut pool, |_| done += 1)
                 .expect("local fleet registers");
+            DayStats::default()
         }
         (None, true) => {
             let mut pool = fleet.prepare_pool(&system, plan.sessions());
@@ -75,18 +77,17 @@ fn run_day(
                     |_, _| done += 1,
                 )
                 .expect("local fleet registers+activates");
+            DayStats::default()
         }
-        (Some(t), false) => {
-            register_day(&fleet, &mut system, plan.sessions(), t, |_| done += 1)
-                .expect("service day registers");
-        }
+        (Some(t), false) => register_day(&fleet, &mut system, plan.sessions(), t, |_| done += 1)
+            .expect("service day registers"),
         (Some(t), true) => {
             register_and_activate_day(&fleet, &mut system, plan.sessions(), t, |_, _| done += 1)
-                .expect("service day registers+activates");
+                .expect("service day registers+activates")
         }
-    }
+    };
     assert_eq!(done, n);
-    n as f64 / t0.elapsed().as_secs_f64()
+    (n as f64 / t0.elapsed().as_secs_f64(), stats)
 }
 
 fn main() {
@@ -143,15 +144,15 @@ fn main() {
             threads,
             seed: [0x5Eu8; 32],
         };
-        let local = run_day(&plan, kiosks, fleet_config, None, activate);
-        let inproc = run_day(
+        let (local, _) = run_day(&plan, kiosks, fleet_config, None, activate);
+        let (inproc, inproc_stats) = run_day(
             &plan,
             kiosks,
             fleet_config,
             Some(Transport::InProcess),
             activate,
         );
-        let tcp = run_day(&plan, kiosks, fleet_config, Some(Transport::Tcp), activate);
+        let (tcp, _) = run_day(&plan, kiosks, fleet_config, Some(Transport::Tcp), activate);
         let tcp_ratio = tcp / inproc;
         let async_gain = inproc / local;
         // Per-ceremony cost of the socket + codec, in microseconds.
@@ -177,6 +178,25 @@ fn main() {
         );
         report.metric(&format!("{prefix}_tcp_over_inproc"), tcp_ratio);
         report.metric(&format!("{prefix}_async_ingest_gain"), async_gain);
+        // Ingest coalescing telemetry (in-process run): how many window
+        // submissions each RLC admission sweep absorbed, per ledger. The
+        // trajectory table tracks this ratio across commits.
+        let ingest = inproc_stats.ingest;
+        report.metric(&format!("{prefix}_env_batches"), ingest.env_batches as f64);
+        report.metric(&format!("{prefix}_env_sweeps"), ingest.env_sweeps as f64);
+        report.metric(&format!("{prefix}_reg_batches"), ingest.reg_batches as f64);
+        report.metric(&format!("{prefix}_reg_sweeps"), ingest.reg_sweeps as f64);
+        let ratio = (ingest.env_batches + ingest.reg_batches) as f64
+            / (ingest.env_sweeps + ingest.reg_sweeps).max(1) as f64;
+        report.metric(&format!("{prefix}_coalesce_ratio"), ratio);
+        report.metric(
+            &format!("{prefix}_worker_busy_us"),
+            ingest.worker_busy_us as f64,
+        );
+        report.metric(
+            &format!("{prefix}_worker_idle_us"),
+            ingest.worker_idle_us as f64,
+        );
     }
     print_table(
         &[

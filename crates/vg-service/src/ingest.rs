@@ -23,10 +23,44 @@ use std::ops::Range;
 
 use vg_ledger::LedgerError;
 
+/// Why a submission was not queued.
+///
+/// The queue's capacity bound is a **backpressure contract**, not a silent
+/// drop: a submission that would push the pending-record count past the
+/// cap is refused with [`IngestError::Backpressure`], and the submitter
+/// (or the host owning the queue) must flush before retrying. The
+/// `RegistrarHost` and the pipelined ingest worker both handle this by
+/// flushing and retrying — i.e. the RPC caller blocks for one admission
+/// sweep instead of the server buffering without bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The queue is at capacity; flush before resubmitting.
+    Backpressure {
+        /// Records already pending.
+        pending: usize,
+        /// The configured ceiling.
+        capacity: usize,
+    },
+}
+
+impl core::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IngestError::Backpressure { pending, capacity } => write!(
+                f,
+                "ingest backpressure: {pending} records pending of {capacity} capacity"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
 /// A FIFO of pending record batches awaiting one coalesced admission.
 pub struct IngestQueue<R> {
     pending: Vec<(u64, Vec<R>)>,
     next_ticket: u64,
+    capacity: usize,
     /// Count of individually-admitted batches (telemetry).
     flushed_batches: u64,
     /// Count of flush calls that did real work (telemetry: the coalescing
@@ -41,27 +75,55 @@ impl<R> Default for IngestQueue<R> {
 }
 
 impl<R> IngestQueue<R> {
-    /// An empty queue.
+    /// An unbounded queue (capacity `usize::MAX`).
     pub fn new() -> Self {
+        Self::with_capacity(usize::MAX)
+    }
+
+    /// A queue refusing submissions once `capacity` records are pending
+    /// (see [`IngestError::Backpressure`]). An empty queue always accepts
+    /// one submission of any size, so a single oversized batch cannot
+    /// livelock its submitter.
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
             pending: Vec::new(),
             next_ticket: 0,
+            capacity: capacity.max(1),
             flushed_batches: 0,
             sweeps: 0,
         }
+    }
+
+    /// The configured pending-record ceiling.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
 impl<R: Clone> IngestQueue<R> {
     /// Queues a batch, returning its ticket. Tickets resolve in order at
-    /// the next [`IngestQueue::flush`].
-    pub fn submit(&mut self, records: Vec<R>) -> u64 {
+    /// the next [`IngestQueue::flush`]. A non-empty queue refuses batches
+    /// that would exceed the capacity, handing the untouched batch back
+    /// alongside the typed [`IngestError::Backpressure`] so the submitter
+    /// can flush and resubmit without cloning.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&mut self, records: Vec<R>) -> Result<u64, (IngestError, Vec<R>)> {
+        let pending = self.pending_records();
+        if !self.pending.is_empty() && pending + records.len() > self.capacity {
+            return Err((
+                IngestError::Backpressure {
+                    pending,
+                    capacity: self.capacity,
+                },
+                records,
+            ));
+        }
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         if !records.is_empty() {
             self.pending.push((ticket, records));
         }
-        ticket
+        Ok(ticket)
     }
 
     /// Records queued but not yet admitted.
@@ -122,9 +184,9 @@ mod tests {
     #[test]
     fn flush_coalesces_in_order() {
         let mut q: IngestQueue<u32> = IngestQueue::new();
-        assert_eq!(q.submit(vec![1, 2]), 0);
-        assert_eq!(q.submit(vec![]), 1);
-        assert_eq!(q.submit(vec![3]), 2);
+        assert_eq!(q.submit(vec![1, 2]), Ok(0));
+        assert_eq!(q.submit(vec![]), Ok(1));
+        assert_eq!(q.submit(vec![3]), Ok(2));
         assert_eq!(q.pending_records(), 3);
         let mut seen = Vec::new();
         q.flush(|records| {
@@ -140,11 +202,53 @@ mod tests {
     }
 
     #[test]
+    fn capped_queue_applies_backpressure_then_recovers() {
+        let mut q: IngestQueue<u32> = IngestQueue::with_capacity(3);
+        q.submit(vec![1, 2]).expect("under cap");
+        // Third record still fits exactly; the fourth must be refused
+        // with the typed error, not dropped or buffered past the cap.
+        q.submit(vec![3]).expect("at cap");
+        let (err, refused) = q.submit(vec![4]).expect_err("over cap");
+        assert_eq!(
+            err,
+            IngestError::Backpressure {
+                pending: 3,
+                capacity: 3,
+            }
+        );
+        // The refused batch comes back untouched for the retry.
+        assert_eq!(refused, vec![4]);
+        // The refused submission consumed no ticket and left the queue
+        // intact.
+        assert_eq!(q.pending_records(), 3);
+        let mut seen = Vec::new();
+        q.flush(|records| {
+            let start = seen.len();
+            seen.extend(records);
+            Ok(start..seen.len())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![1, 2, 3]);
+        // After the flush the submitter's retry succeeds.
+        q.submit(vec![4]).expect("accepted after flush");
+        assert_eq!(q.pending_records(), 1);
+    }
+
+    #[test]
+    fn empty_capped_queue_accepts_oversized_batch() {
+        // One batch larger than the cap must not livelock: an empty queue
+        // always accepts it, and the cap only defers *further* batches.
+        let mut q: IngestQueue<u32> = IngestQueue::with_capacity(2);
+        q.submit(vec![1, 2, 3, 4]).expect("oversized but empty");
+        assert!(q.submit(vec![5]).is_err());
+    }
+
+    #[test]
     fn failed_coalesce_falls_back_per_submission() {
         let mut q: IngestQueue<u32> = IngestQueue::new();
-        q.submit(vec![1]);
-        q.submit(vec![13]); // poison
-        q.submit(vec![3]);
+        q.submit(vec![1]).unwrap();
+        q.submit(vec![13]).unwrap(); // poison
+        q.submit(vec![3]).unwrap();
         let mut admitted = Vec::new();
         let err = q.flush(|records| {
             if records.contains(&13) {

@@ -40,19 +40,24 @@
 pub mod error;
 pub mod ingest;
 pub mod messages;
+pub mod pipeline;
 pub mod registrar;
 pub mod traits;
 pub mod transport;
 pub mod wire;
 
 pub use error::ServiceError;
-pub use ingest::IngestQueue;
+pub use ingest::{IngestError, IngestQueue};
+pub use pipeline::{
+    pipelined_register_and_activate_day, pipelined_register_and_activate_day_with_fault,
+    pipelined_register_day, IngestHandle, IngestMode, IngestProgress, PipelineConfig, StationFault,
+};
 pub use registrar::RegistrarHost;
 pub use traits::{
     ActivationService, LedgerIngestService, PrintService, RegistrarEndpoint, RegistrarService,
 };
 pub use transport::{
-    ledger_heads_over, register_and_activate_day, register_day, serve_connection, ServiceBoundary,
-    TcpClient, Transport,
+    ledger_heads_over, register_and_activate_day, register_day, serve_connection, DayStats,
+    ServiceBoundary, TcpClient, Transport,
 };
 pub use wire::Wire;

@@ -332,6 +332,44 @@ wire_struct! {
     ActivationSweepRequest { claims: Vec<ActivationClaim> }
 }
 
+wire_struct! {
+    /// Session-tagged envelope commitments from one polling station:
+    /// each group pairs a *global* session index with that session's
+    /// commitments. The registrar's ingest worker restores global queue
+    /// order across stations before admission, so multi-connection days
+    /// stay bit-identical to the sequential reference.
+    SeqEnvelopeSubmitRequest { groups: Vec<(u64, Vec<EnvelopeCommitment>)> }
+}
+
+wire_struct! {
+    /// Session-tagged check-out tickets (same ordering contract as
+    /// [`SeqEnvelopeSubmitRequest`]; one ticket per session).
+    SeqCheckOutRequest { groups: Vec<(u64, Vec<(CheckOutQr, WireCoupon)>)> }
+}
+
+wire_struct! {
+    /// Prefix barrier: resolve once every session with global index below
+    /// `sessions` is admitted on both ledgers.
+    SyncThroughRequest { sessions: u64 }
+}
+
+wire_struct! {
+    /// Ingest coalescing and worker-utilization telemetry: batches
+    /// admitted and sweeps run per ledger (the coalescing ratio is
+    /// `batches / sweeps`), plus the ingest worker's cumulative busy and
+    /// idle time in microseconds (zero on a barrier-mode host with no
+    /// worker thread).
+    #[derive(Clone, Copy, Default, PartialEq, Eq)]
+    IngestStatsReply {
+        env_batches: u64,
+        env_sweeps: u64,
+        reg_batches: u64,
+        reg_sweeps: u64,
+        worker_busy_us: u64,
+        worker_idle_us: u64
+    }
+}
+
 /// A client request, tagged for dispatch.
 #[derive(Debug)]
 pub enum Request {
@@ -351,6 +389,14 @@ pub enum Request {
     ActivationSweep(ActivationSweepRequest),
     /// Ends the connection; the server loop exits cleanly.
     Shutdown,
+    /// [`crate::traits::LedgerIngestService::submit_envelope_groups`].
+    SubmitEnvelopesSeq(SeqEnvelopeSubmitRequest),
+    /// [`crate::traits::RegistrarService::check_out_groups`].
+    CheckOutBatchSeq(SeqCheckOutRequest),
+    /// [`crate::traits::LedgerIngestService::sync_through`].
+    SyncThrough(SyncThroughRequest),
+    /// [`crate::traits::LedgerIngestService::ingest_stats`].
+    IngestStats,
 }
 
 /// A server response. Tag values mirror [`Request`] (15 is the error
@@ -373,6 +419,14 @@ pub enum Response {
     ActivationSweep,
     /// Shutdown acknowledged.
     Shutdown,
+    /// Sequenced envelope submission queued.
+    SubmitEnvelopesSeq(IngestReceipt),
+    /// Sequenced check-out batch accepted.
+    CheckOutBatchSeq(CheckOutBatchResponse),
+    /// The prefix is admitted.
+    SyncThrough,
+    /// Current ingest telemetry.
+    IngestStats(IngestStatsReply),
     /// The request failed.
     Err(crate::error::ServiceError),
 }
@@ -389,6 +443,10 @@ impl Request {
             Request::LedgerHeads => (5, Vec::new()),
             Request::ActivationSweep(m) => (6, m.to_bytes()),
             Request::Shutdown => (7, Vec::new()),
+            Request::SubmitEnvelopesSeq(m) => (8, m.to_bytes()),
+            Request::CheckOutBatchSeq(m) => (9, m.to_bytes()),
+            Request::SyncThrough(m) => (10, m.to_bytes()),
+            Request::IngestStats => (11, Vec::new()),
         };
         crate::wire::seal(tag, &body)
     }
@@ -405,6 +463,10 @@ impl Request {
             5 => Request::LedgerHeads,
             6 => Request::ActivationSweep(ActivationSweepRequest::decode(&mut r)?),
             7 => Request::Shutdown,
+            8 => Request::SubmitEnvelopesSeq(SeqEnvelopeSubmitRequest::decode(&mut r)?),
+            9 => Request::CheckOutBatchSeq(SeqCheckOutRequest::decode(&mut r)?),
+            10 => Request::SyncThrough(SyncThroughRequest::decode(&mut r)?),
+            11 => Request::IngestStats,
             _ => return Err(CryptoError::Malformed("unknown request tag")),
         };
         r.finish()?;
@@ -424,6 +486,10 @@ impl Response {
             Response::LedgerHeads(m) => (5, m.to_bytes()),
             Response::ActivationSweep => (6, Vec::new()),
             Response::Shutdown => (7, Vec::new()),
+            Response::SubmitEnvelopesSeq(m) => (8, m.to_bytes()),
+            Response::CheckOutBatchSeq(m) => (9, m.to_bytes()),
+            Response::SyncThrough => (10, Vec::new()),
+            Response::IngestStats(m) => (11, m.to_bytes()),
             Response::Err(e) => {
                 let mut body = Vec::new();
                 crate::error::encode_error(&mut body, e);
@@ -445,6 +511,10 @@ impl Response {
             5 => Response::LedgerHeads(LedgerHeads::decode(&mut r)?),
             6 => Response::ActivationSweep,
             7 => Response::Shutdown,
+            8 => Response::SubmitEnvelopesSeq(IngestReceipt::decode(&mut r)?),
+            9 => Response::CheckOutBatchSeq(CheckOutBatchResponse::decode(&mut r)?),
+            10 => Response::SyncThrough,
+            11 => Response::IngestStats(IngestStatsReply::decode(&mut r)?),
             15 => Response::Err(crate::error::decode_error(&mut r)?),
             _ => return Err(CryptoError::Malformed("unknown response tag")),
         };

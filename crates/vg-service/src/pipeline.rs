@@ -1,0 +1,1457 @@
+//! The pipelined registration-day engine: background pool refillers, a
+//! server-side ingest worker, and a multi-connection registrar.
+//!
+//! The barrier-synchronous day ([`crate::register_and_activate_day`])
+//! executes its three stages lock-step: precompute refills the pool at
+//! window boundaries, ledger admission flushes on the caller's thread at
+//! every activation barrier, and the TCP server accepts exactly one
+//! kiosk-coordinator connection. This module overlaps all three:
+//!
+//! - **Refillers** ([`vg_trip::pool::PoolFeed`]): each polling station
+//!   runs a dedicated thread owning a `PrintService` client that keeps
+//!   the station's ceremony pool above a low-water mark, hiding
+//!   precompute behind ceremony latency mid-day, not just at warm start.
+//! - **Ingest worker**: one server-side thread owns the ledgers. Stations
+//!   submit session-tagged record groups and continue immediately; the
+//!   worker restores *global* session order across stations (a reorder
+//!   buffer per ledger), coalesces whatever is in flight into single
+//!   RLC-folded admission sweeps, and resolves prefix barriers
+//!   ([`Request::SyncThrough`](crate::messages::Request)) as admission
+//!   advances. Submissions come with real completion handles
+//!   ([`IngestHandle`]) that can be polled or awaited.
+//! - **Multi-connection registrar**: the TCP acceptor serves N
+//!   kiosk-coordinator connections (one per polling station, plus each
+//!   station's refiller client), with the ingest worker as the single
+//!   serialization point for ledger state.
+//!
+//! # Bit-identity
+//!
+//! Every pipeline configuration — station count, low-water mark, ingest
+//! mode, activation lag, transport — produces ledgers and credentials
+//! bit-identical to the sequential seeded reference: session materials
+//! are pure functions of `(seed, global index, voter)`, kiosk assignment
+//! stays `index mod |K|` (stations own disjoint kiosk chunks), and the
+//! worker admits records in global session order no matter which station
+//! finished first. Pipelining changes *when* work happens, never *what*
+//! lands on the ledger — pinned by `tests/pipeline.rs`.
+//!
+//! # Failover
+//!
+//! If a station's connection dies mid-window, the coordinator re-runs its
+//! undelivered sessions on a fresh recovery connection. Re-derived
+//! sessions are byte-identical (determinism again), and the worker's
+//! reorder buffer drops duplicate session groups, so a partially
+//! submitted window heals without double admission.
+
+use std::collections::{BTreeMap, HashSet};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use vg_crypto::par::par_map;
+use vg_crypto::schnorr::NonceCoupon;
+use vg_crypto::CompressedPoint;
+use vg_ledger::{EnvelopeCommitment, Ledger, RegistrationRecord, VoterId};
+use vg_trip::boundary::{IngestTicket, RegistrarBoundary};
+use vg_trip::fleet::{
+    last_occurrence_of, partition_stations, ActivationContext, FeedSource, KioskFleet, PoolSource,
+};
+use vg_trip::kiosk::{Kiosk, StolenCredential};
+use vg_trip::materials::{CheckInTicket, CheckOutQr, Envelope};
+use vg_trip::official::Official;
+use vg_trip::pool::PoolFeed;
+use vg_trip::printer::EnvelopePrinter;
+use vg_trip::protocol::RegistrationOutcome;
+use vg_trip::setup::TripSystem;
+use vg_trip::vsd::{activation_ledger_phase, ActivationClaim, Vsd};
+use vg_trip::{PrintJob, TripError};
+
+use crate::error::ServiceError;
+use crate::ingest::IngestQueue;
+use crate::messages::{
+    ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
+    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, IngestStatsReply, LedgerHeads,
+    PrintRequest, PrintResponse, Request, Response, SeqCheckOutRequest, SeqEnvelopeSubmitRequest,
+};
+use crate::registrar::MAX_PENDING_RECORDS;
+use crate::traits::{ActivationService, LedgerIngestService, PrintService, RegistrarService};
+use crate::transport::{DayStats, ServiceBoundary, TcpClient, Transport};
+use crate::wire::{read_frame, write_frame};
+
+/// When the ingest worker runs admission sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// Flush only at barriers (sync/heads/activation) — the coalescing
+    /// behavior of the single-connection host, behind a worker thread.
+    #[default]
+    Barrier,
+    /// Additionally flush whenever the command channel goes idle, so
+    /// admission sweeps overlap the next window's ceremonies.
+    Background,
+}
+
+/// Tuning for a pipelined registration day.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Polling-station connections (clamped to `1..=|K|`; kiosks split
+    /// into contiguous chunks, sessions follow their kiosk).
+    pub stations: usize,
+    /// Background-refiller low-water mark in sessions; `0` disables the
+    /// refiller thread (stations refill synchronously at window
+    /// boundaries).
+    pub low_water: usize,
+    /// When the ingest worker sweeps.
+    pub ingest: IngestMode,
+    /// Activate groups of this many windows behind one prefix barrier
+    /// (`1` = a barrier per window, the lock-step reference). Larger lags
+    /// amortize barrier and verification-fold fixed costs; peak memory
+    /// grows to O(lag × pool batch).
+    pub activation_lag: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            stations: 1,
+            low_water: 0,
+            ingest: IngestMode::Barrier,
+            activation_lag: 1,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Whether any knob departs from the lock-step defaults.
+    pub fn is_pipelined(&self) -> bool {
+        self.stations > 1
+            || self.low_water > 0
+            || self.ingest == IngestMode::Background
+            || self.activation_lag > 1
+    }
+}
+
+/// A chaos hook for failover tests: station `station`'s boundary starts
+/// failing every call after `after_ops` successful ones, simulating a
+/// polling-station connection dying mid-window. Honest deployments pass
+/// `None`.
+#[derive(Clone, Copy, Debug)]
+pub struct StationFault {
+    /// Which station loses its connection.
+    pub station: usize,
+    /// Boundary calls that succeed before the connection "dies".
+    pub after_ops: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Completion handles
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ProgressState {
+    /// Sessions `[0, admitted_through)` are admitted on both ledgers.
+    admitted_through: u64,
+    /// Sticky first admission failure.
+    failed: Option<ServiceError>,
+    /// The worker exited; nothing further will resolve.
+    finished: bool,
+}
+
+/// Shared admission progress the ingest worker publishes after every
+/// sweep; [`IngestHandle`]s resolve against it.
+#[derive(Clone, Default)]
+pub struct IngestProgress {
+    shared: Arc<(Mutex<ProgressState>, Condvar)>,
+}
+
+impl IngestProgress {
+    /// Fresh progress at session zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn update(&self, admitted_through: u64, failed: Option<&ServiceError>) {
+        let (lock, cv) = &*self.shared;
+        let mut st = lock.lock().expect("progress lock");
+        st.admitted_through = st.admitted_through.max(admitted_through);
+        if st.failed.is_none() {
+            st.failed = failed.cloned();
+        }
+        cv.notify_all();
+    }
+
+    fn finish(&self) {
+        let (lock, cv) = &*self.shared;
+        lock.lock().expect("progress lock").finished = true;
+        cv.notify_all();
+    }
+
+    /// A handle that resolves once every session below `through` is
+    /// admitted.
+    pub fn handle(&self, through: u64) -> IngestHandle {
+        IngestHandle {
+            through,
+            progress: self.clone(),
+        }
+    }
+}
+
+/// A real completion handle for an asynchronous ledger submission: where
+/// the barrier-mode host hands out opaque tickets that only resolve at
+/// the next sync, a pipelined submission can be polled or awaited while
+/// the worker drives admission in the background.
+pub struct IngestHandle {
+    through: u64,
+    progress: IngestProgress,
+}
+
+impl IngestHandle {
+    /// Non-blocking check: `None` while admission is still pending,
+    /// `Some(Ok)` once the covering prefix is admitted, `Some(Err)` on a
+    /// sticky admission failure (or a worker that exited first).
+    pub fn poll(&self) -> Option<Result<(), ServiceError>> {
+        let (lock, _) = &*self.progress.shared;
+        let st = lock.lock().expect("progress lock");
+        if let Some(e) = &st.failed {
+            return Some(Err(e.clone()));
+        }
+        if st.admitted_through >= self.through {
+            return Some(Ok(()));
+        }
+        if st.finished {
+            return Some(Err(ServiceError::Transport(
+                "ingest worker exited before admission".into(),
+            )));
+        }
+        None
+    }
+
+    /// Blocks until the submission resolves.
+    pub fn wait(&self) -> Result<(), ServiceError> {
+        let (lock, cv) = &*self.progress.shared;
+        let mut st = lock.lock().expect("progress lock");
+        loop {
+            if let Some(e) = &st.failed {
+                return Err(e.clone());
+            }
+            if st.admitted_through >= self.through {
+                return Ok(());
+            }
+            if st.finished {
+                return Err(ServiceError::Transport(
+                    "ingest worker exited before admission".into(),
+                ));
+            }
+            st = cv.wait(st).expect("progress lock");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The ingest worker
+// ---------------------------------------------------------------------------
+
+/// Minimum pending records before a channel-idle gap triggers a
+/// background admission sweep (barriers always flush everything).
+/// Smaller idle sweeps would fragment the RLC folds the coalescing win
+/// comes from.
+const MIN_IDLE_SWEEP: usize = 512;
+
+enum Cmd {
+    CheckIn(VoterId, Sender<Result<CheckInTicket, ServiceError>>),
+    SubmitEnvelopes(
+        Vec<(u64, Vec<EnvelopeCommitment>)>,
+        Sender<Result<u64, ServiceError>>,
+    ),
+    SubmitRecords(
+        Vec<(u64, Vec<RegistrationRecord>)>,
+        Sender<Result<u64, ServiceError>>,
+    ),
+    SyncThrough(u64, Sender<Result<(), ServiceError>>),
+    SyncAll(Sender<Result<(), ServiceError>>),
+    Activate(Vec<ActivationClaim>, Sender<Result<(), ServiceError>>),
+    Heads(Sender<Result<LedgerHeads, ServiceError>>),
+    Stats(Sender<IngestStatsReply>),
+    /// Fail every parked barrier so blocked stations unwind (day abort).
+    Abort,
+}
+
+/// One ledger's reorder-buffer + coalescing-queue lane.
+struct Lane<R> {
+    /// Session groups waiting for earlier sessions to arrive.
+    reorder: BTreeMap<u64, Vec<R>>,
+    /// Next session index to release into the queue.
+    next_expected: u64,
+    queue: IngestQueue<R>,
+    /// Sessions `[0, flushed_through)` are admitted on this ledger.
+    flushed_through: u64,
+}
+
+impl<R: Clone> Lane<R> {
+    fn new() -> Self {
+        Self {
+            reorder: BTreeMap::new(),
+            next_expected: 0,
+            queue: IngestQueue::with_capacity(MAX_PENDING_RECORDS),
+            flushed_through: 0,
+        }
+    }
+
+    /// Sessions `[0, ..)` admitted on this ledger: everything released is
+    /// either still pending in the queue or already flushed, so an empty
+    /// queue means the whole released prefix is on the ledger (this also
+    /// covers sessions whose record group was empty and never enqueued).
+    fn admitted_through(&self) -> u64 {
+        if self.queue.pending_records() == 0 {
+            self.next_expected
+        } else {
+            self.flushed_through
+        }
+    }
+
+    /// Buffers session-tagged groups, dropping duplicates (recovery
+    /// re-submissions are byte-identical, so first-wins is sound), then
+    /// releases the in-order prefix into the coalescing queue. `post` is
+    /// only used when the queue applies backpressure mid-release.
+    fn absorb(
+        &mut self,
+        groups: Vec<(u64, Vec<R>)>,
+        post: &mut dyn FnMut(Vec<R>) -> Result<std::ops::Range<usize>, vg_ledger::LedgerError>,
+    ) -> Result<(), ServiceError> {
+        for (session, records) in groups {
+            if session < self.next_expected || self.reorder.contains_key(&session) {
+                continue; // duplicate (failover re-submission)
+            }
+            self.reorder.insert(session, records);
+        }
+        let released_before = self.next_expected;
+        let mut batch = Vec::new();
+        while let Some(records) = self.reorder.remove(&self.next_expected) {
+            batch.extend(records);
+            self.next_expected += 1;
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        match self.queue.submit(batch) {
+            Ok(_) => Ok(()),
+            Err((_, refused)) => {
+                // Backpressure: sweep what's pending (sessions
+                // [flushed_through, released_before)), then retry.
+                self.queue.flush(&mut *post)?;
+                self.flushed_through = released_before;
+                self.queue
+                    .submit(refused)
+                    .map(|_| ())
+                    .map_err(|_| ServiceError::Transport("ingest queue refused after flush".into()))
+            }
+        }
+    }
+}
+
+struct IngestWorker<'a> {
+    ledger: &'a mut Ledger,
+    official: &'a Official,
+    threads: usize,
+    mode: IngestMode,
+    env: Lane<EnvelopeCommitment>,
+    reg: Lane<RegistrationRecord>,
+    parked: Vec<(u64, Sender<Result<(), ServiceError>>)>,
+    failed: Option<ServiceError>,
+    next_ticket: u64,
+    progress: IngestProgress,
+    busy: Duration,
+    idle: Duration,
+}
+
+impl<'a> IngestWorker<'a> {
+    fn admitted_through(&self) -> u64 {
+        self.env.admitted_through().min(self.reg.admitted_through())
+    }
+
+    /// Pending records across both queues.
+    fn pending_records(&self) -> usize {
+        self.env.queue.pending_records() + self.reg.queue.pending_records()
+    }
+
+    /// One coalesced admission sweep per ledger over everything released.
+    fn flush_all(&mut self) {
+        if self.failed.is_some() {
+            return;
+        }
+        let ledger = &mut *self.ledger;
+        let threads = self.threads;
+        let env_target = self.env.next_expected;
+        match self
+            .env
+            .queue
+            .flush(|c| ledger.envelopes.commit_batch(c, threads))
+        {
+            Ok(()) => self.env.flushed_through = env_target,
+            Err(e) => self.failed = Some(e.into()),
+        }
+        if self.failed.is_none() {
+            let reg_target = self.reg.next_expected;
+            match self
+                .reg
+                .queue
+                .flush(|r| ledger.registration.post_batch(r, threads))
+            {
+                Ok(()) => self.reg.flushed_through = reg_target,
+                Err(e) => self.failed = Some(e.into()),
+            }
+        }
+        self.progress
+            .update(self.admitted_through(), self.failed.as_ref());
+    }
+
+    /// Resolves parked prefix barriers: flushes when a parked barrier's
+    /// prefix is fully released but not yet admitted, then answers
+    /// whatever the sweep satisfied. Sticky failures answer everything.
+    fn service_parked(&mut self) {
+        if self.parked.is_empty() {
+            return;
+        }
+        if self.failed.is_none() {
+            let releasable = self.env.next_expected.min(self.reg.next_expected);
+            let admitted = self.admitted_through();
+            if self
+                .parked
+                .iter()
+                .any(|(needed, _)| *needed > admitted && *needed <= releasable)
+            {
+                self.flush_all();
+            }
+        }
+        if let Some(e) = self.failed.clone() {
+            for (_, reply) in self.parked.drain(..) {
+                let _ = reply.send(Err(e.clone()));
+            }
+            return;
+        }
+        let admitted = self.admitted_through();
+        self.parked.retain(|(needed, reply)| {
+            if *needed <= admitted {
+                let _ = reply.send(Ok(()));
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn stats(&self) -> IngestStatsReply {
+        let (env_batches, env_sweeps) = self.env.queue.stats();
+        let (reg_batches, reg_sweeps) = self.reg.queue.stats();
+        IngestStatsReply {
+            env_batches,
+            env_sweeps,
+            reg_batches,
+            reg_sweeps,
+            worker_busy_us: self.busy.as_micros() as u64,
+            worker_idle_us: self.idle.as_micros() as u64,
+        }
+    }
+
+    fn handle(&mut self, cmd: Cmd) {
+        match cmd {
+            Cmd::CheckIn(voter, reply) => {
+                let out = self
+                    .official
+                    .check_in(self.ledger, voter)
+                    .map_err(ServiceError::Trip);
+                let _ = reply.send(out);
+            }
+            Cmd::SubmitEnvelopes(groups, reply) => {
+                let out = if let Some(e) = self.failed.clone() {
+                    Err(e)
+                } else {
+                    let ledger = &mut *self.ledger;
+                    let threads = self.threads;
+                    self.env
+                        .absorb(groups, &mut |c| ledger.envelopes.commit_batch(c, threads))
+                        .map(|()| {
+                            let t = self.next_ticket;
+                            self.next_ticket += 1;
+                            t
+                        })
+                };
+                if let Err(e) = &out {
+                    self.failed.get_or_insert(e.clone());
+                }
+                let _ = reply.send(out);
+            }
+            Cmd::SubmitRecords(groups, reply) => {
+                let out = if let Some(e) = self.failed.clone() {
+                    Err(e)
+                } else {
+                    let ledger = &mut *self.ledger;
+                    let threads = self.threads;
+                    self.reg
+                        .absorb(groups, &mut |r| ledger.registration.post_batch(r, threads))
+                        .map(|()| {
+                            let t = self.next_ticket;
+                            self.next_ticket += 1;
+                            t
+                        })
+                };
+                if let Err(e) = &out {
+                    self.failed.get_or_insert(e.clone());
+                }
+                let _ = reply.send(out);
+            }
+            Cmd::SyncThrough(sessions, reply) => {
+                if self.admitted_through() >= sessions && self.failed.is_none() {
+                    let _ = reply.send(Ok(()));
+                } else {
+                    self.parked.push((sessions, reply));
+                }
+            }
+            Cmd::SyncAll(reply) => {
+                self.flush_all();
+                let out = if let Some(e) = self.failed.clone() {
+                    Err(e)
+                } else if !self.env.reorder.is_empty() || !self.reg.reorder.is_empty() {
+                    Err(ServiceError::Transport(format!(
+                        "sessions lost: admission stalled at {} (gap in submissions)",
+                        self.admitted_through()
+                    )))
+                } else {
+                    Ok(())
+                };
+                let _ = reply.send(out);
+            }
+            Cmd::Activate(claims, reply) => {
+                self.flush_all();
+                let out = if let Some(e) = self.failed.clone() {
+                    Err(e)
+                } else {
+                    let mut out = Ok(());
+                    for claim in &claims {
+                        if let Err(e) = activation_ledger_phase(self.ledger, claim) {
+                            out = Err(ServiceError::Trip(e));
+                            break;
+                        }
+                    }
+                    out
+                };
+                let _ = reply.send(out);
+            }
+            Cmd::Heads(reply) => {
+                self.flush_all();
+                let out = if let Some(e) = self.failed.clone() {
+                    Err(e)
+                } else {
+                    Ok(LedgerHeads {
+                        registration: self.ledger.registration.tree_head(),
+                        envelopes: self.ledger.envelopes.tree_head(),
+                    })
+                };
+                let _ = reply.send(out);
+            }
+            Cmd::Stats(reply) => {
+                let _ = reply.send(self.stats());
+            }
+            Cmd::Abort => {
+                self.failed
+                    .get_or_insert(ServiceError::Transport("registration day aborted".into()));
+                self.progress
+                    .update(self.admitted_through(), self.failed.as_ref());
+            }
+        }
+    }
+
+    /// The worker loop: drain every immediately-available command first
+    /// (so bursts coalesce), then — in [`IngestMode::Background`] — use
+    /// idle gaps for admission sweeps that overlap the stations' next
+    /// ceremonies, and only then block.
+    fn run(mut self, rx: Receiver<Cmd>) {
+        loop {
+            let cmd = match rx.try_recv() {
+                Ok(cmd) => cmd,
+                Err(TryRecvError::Empty) => {
+                    // Background sweeps wait for a worthwhile batch:
+                    // sweeping every stray submission would fragment the
+                    // RLC folds (and their Pippenger batches) that the
+                    // coalescing win comes from. Anything smaller rides
+                    // the next barrier.
+                    if self.mode == IngestMode::Background
+                        && self.pending_records() >= MIN_IDLE_SWEEP
+                        && self.failed.is_none()
+                    {
+                        let t = Instant::now();
+                        self.flush_all();
+                        self.service_parked();
+                        self.busy += t.elapsed();
+                        continue;
+                    }
+                    let t = Instant::now();
+                    match rx.recv() {
+                        Ok(cmd) => {
+                            self.idle += t.elapsed();
+                            cmd
+                        }
+                        Err(_) => break,
+                    }
+                }
+                Err(TryRecvError::Disconnected) => break,
+            };
+            let t = Instant::now();
+            self.handle(cmd);
+            self.service_parked();
+            // Publish progress even when nothing flushed: absorbing an
+            // empty record group can advance the admitted prefix on its
+            // own, and handles block on this.
+            self.progress
+                .update(self.admitted_through(), self.failed.as_ref());
+            self.busy += t.elapsed();
+        }
+        // Day over: final sweep, then fail anything still parked (a
+        // parked barrier at this point means its prefix never arrived).
+        self.flush_all();
+        self.service_parked();
+        for (_, reply) in self.parked.drain(..) {
+            let _ = reply.send(Err(ServiceError::Transport(
+                "registration day ended with submissions missing".into(),
+            )));
+        }
+        self.progress.finish();
+    }
+}
+
+/// Client half of the worker channel (cheap to clone; one per connection
+/// handler / in-process endpoint).
+#[derive(Clone)]
+struct WorkerClient {
+    tx: Sender<Cmd>,
+    progress: IngestProgress,
+}
+
+impl WorkerClient {
+    fn call<T>(
+        &self,
+        build: impl FnOnce(Sender<Result<T, ServiceError>>) -> Cmd,
+    ) -> Result<T, ServiceError> {
+        let (tx, rx) = mpsc::channel();
+        self.tx
+            .send(build(tx))
+            .map_err(|_| ServiceError::Transport("ingest worker gone".into()))?;
+        rx.recv()
+            .map_err(|_| ServiceError::Transport("ingest worker gone".into()))?
+    }
+
+    fn submit_envelopes(
+        &self,
+        groups: Vec<(u64, Vec<EnvelopeCommitment>)>,
+    ) -> Result<(u64, IngestHandle), ServiceError> {
+        let through = groups.last().map_or(0, |(s, _)| s + 1);
+        let ticket = self.call(|reply| Cmd::SubmitEnvelopes(groups, reply))?;
+        Ok((ticket, self.progress.handle(through)))
+    }
+
+    fn submit_records(
+        &self,
+        groups: Vec<(u64, Vec<RegistrationRecord>)>,
+    ) -> Result<(u64, IngestHandle), ServiceError> {
+        let through = groups.last().map_or(0, |(s, _)| s + 1);
+        let ticket = self.call(|reply| Cmd::SubmitRecords(groups, reply))?;
+        Ok((ticket, self.progress.handle(through)))
+    }
+
+    fn stats(&self) -> Result<IngestStatsReply, ServiceError> {
+        let (tx, rx) = mpsc::channel();
+        self.tx
+            .send(Cmd::Stats(tx))
+            .map_err(|_| ServiceError::Transport("ingest worker gone".into()))?;
+        rx.recv()
+            .map_err(|_| ServiceError::Transport("ingest worker gone".into()))
+    }
+
+    fn abort(&self) {
+        let _ = self.tx.send(Cmd::Abort);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registrar-side shared services (no ledger state)
+// ---------------------------------------------------------------------------
+
+/// The ledger-free registrar services every connection handler can run on
+/// its own thread: printing and desk-side check-out verification. Only
+/// the resulting records funnel into the worker.
+#[derive(Clone, Copy)]
+struct HostCore<'a> {
+    official: &'a Official,
+    printer: &'a EnvelopePrinter,
+    kiosk_registry: &'a [CompressedPoint],
+    threads: usize,
+}
+
+impl HostCore<'_> {
+    fn print(&self, jobs: &[PrintJob]) -> Vec<(Envelope, EnvelopeCommitment)> {
+        par_map(jobs, self.threads, |job| {
+            self.printer.print_detached(job.challenge, job.symbol)
+        })
+    }
+
+    /// Fig 10 lines 2–5 for a station's window: verify the whole window
+    /// in one committed RLC sweep on the *caller's* thread (stations
+    /// verify concurrently), countersign, and regroup by session.
+    fn verify_and_countersign(
+        &self,
+        groups: Vec<(u64, Vec<(CheckOutQr, NonceCoupon)>)>,
+    ) -> Result<Vec<(u64, Vec<RegistrationRecord>)>, ServiceError> {
+        let counts: Vec<(u64, usize)> = groups.iter().map(|(s, c)| (*s, c.len())).collect();
+        let flat: Vec<(CheckOutQr, NonceCoupon)> =
+            groups.into_iter().flat_map(|(_, c)| c).collect();
+        self.official
+            .verify_checkouts(&flat, self.kiosk_registry, self.threads)?;
+        let mut records = self.official.countersign_checkouts(flat).into_iter();
+        Ok(counts
+            .into_iter()
+            .map(|(session, n)| (session, records.by_ref().take(n).collect()))
+            .collect())
+    }
+}
+
+/// The in-process pipelined endpoint: ledger-free services run inline on
+/// the station's thread; everything touching ledger state crosses the
+/// worker channel. Serves the same four service traits as
+/// [`crate::RegistrarHost`], so the fleet drives it through the ordinary
+/// [`ServiceBoundary`].
+struct PipelinedEndpoint<'a> {
+    core: HostCore<'a>,
+    worker: WorkerClient,
+}
+
+impl RegistrarService for PipelinedEndpoint<'_> {
+    fn check_in(&mut self, req: CheckInRequest) -> Result<CheckInResponse, ServiceError> {
+        self.worker
+            .call(|reply| Cmd::CheckIn(req.voter, reply))
+            .map(|ticket| CheckInResponse { ticket })
+    }
+
+    fn check_out_batch(
+        &mut self,
+        _req: CheckOutBatchRequest,
+    ) -> Result<CheckOutBatchResponse, ServiceError> {
+        Err(ServiceError::Transport(
+            "pipelined registrar requires session-tagged submissions".into(),
+        ))
+    }
+
+    fn check_out_groups(
+        &mut self,
+        req: SeqCheckOutRequest,
+    ) -> Result<CheckOutBatchResponse, ServiceError> {
+        let groups = req
+            .groups
+            .into_iter()
+            .map(|(s, checkouts)| {
+                (
+                    s,
+                    checkouts
+                        .into_iter()
+                        .map(|(qr, coupon)| (qr, coupon.into()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let records = self.core.verify_and_countersign(groups)?;
+        let (ticket, _handle) = self.worker.submit_records(records)?;
+        Ok(CheckOutBatchResponse { ticket })
+    }
+}
+
+impl PrintService for PipelinedEndpoint<'_> {
+    fn print_envelopes(&mut self, req: PrintRequest) -> Result<PrintResponse, ServiceError> {
+        Ok(PrintResponse {
+            envelopes: self.core.print(&req.jobs),
+        })
+    }
+}
+
+impl LedgerIngestService for PipelinedEndpoint<'_> {
+    fn submit_envelopes(
+        &mut self,
+        _req: EnvelopeSubmitRequest,
+    ) -> Result<IngestReceipt, ServiceError> {
+        Err(ServiceError::Transport(
+            "pipelined registrar requires session-tagged submissions".into(),
+        ))
+    }
+
+    fn submit_envelope_groups(
+        &mut self,
+        req: SeqEnvelopeSubmitRequest,
+    ) -> Result<IngestReceipt, ServiceError> {
+        let (ticket, _handle) = self.worker.submit_envelopes(req.groups)?;
+        Ok(IngestReceipt { ticket })
+    }
+
+    fn sync(&mut self) -> Result<(), ServiceError> {
+        self.worker.call(Cmd::SyncAll)
+    }
+
+    fn sync_through(&mut self, sessions: u64) -> Result<(), ServiceError> {
+        self.worker.call(|reply| Cmd::SyncThrough(sessions, reply))
+    }
+
+    fn ledger_heads(&mut self) -> Result<LedgerHeads, ServiceError> {
+        self.worker.call(Cmd::Heads)
+    }
+
+    fn ingest_stats(&mut self) -> Result<IngestStatsReply, ServiceError> {
+        self.worker.stats()
+    }
+}
+
+impl ActivationService for PipelinedEndpoint<'_> {
+    fn activation_sweep(&mut self, req: ActivationSweepRequest) -> Result<(), ServiceError> {
+        self.worker.call(|reply| Cmd::Activate(req.claims, reply))
+    }
+}
+
+/// Serves one station (or refiller) connection of the multi-connection
+/// registrar: ledger-free requests run on this handler thread, stateful
+/// ones cross the worker channel. One bad frame answers with a typed
+/// error; EOF (the client vanished) just ends the handler — the
+/// coordinator's failover owns the consequences.
+fn serve_station_conn(
+    stream: TcpStream,
+    core: HostCore<'_>,
+    worker: WorkerClient,
+) -> Result<(), ServiceError> {
+    stream.set_nodelay(true)?;
+    let mut endpoint = PipelinedEndpoint { core, worker };
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        let frame = read_frame(&mut reader)?;
+        let (response, done) = match Request::from_wire(&frame) {
+            Ok(req) => crate::transport::dispatch(&mut endpoint, req, false),
+            Err(e) => (
+                Response::Err(ServiceError::Transport(format!("bad request: {e}"))),
+                false,
+            ),
+        };
+        write_frame(&mut writer, &response.to_wire())?;
+        if done {
+            return Ok(());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client-side station runner
+// ---------------------------------------------------------------------------
+
+/// Wraps a boundary so every call past `remaining` fails as if the
+/// station's connection dropped (the chaos hook behind [`StationFault`]).
+struct FaultingBoundary<'a> {
+    inner: Box<dyn RegistrarBoundary + 'a>,
+    remaining: usize,
+}
+
+impl FaultingBoundary<'_> {
+    fn tick(&mut self) -> Result<(), TripError> {
+        if self.remaining == 0 {
+            return Err(TripError::Boundary(
+                "station connection lost (injected fault)".into(),
+            ));
+        }
+        self.remaining -= 1;
+        Ok(())
+    }
+}
+
+impl RegistrarBoundary for FaultingBoundary<'_> {
+    fn check_in(&mut self, voter: VoterId) -> Result<CheckInTicket, TripError> {
+        self.tick()?;
+        self.inner.check_in(voter)
+    }
+
+    fn print_envelopes(
+        &mut self,
+        jobs: &[PrintJob],
+    ) -> Result<Vec<(Envelope, EnvelopeCommitment)>, TripError> {
+        self.tick()?;
+        self.inner.print_envelopes(jobs)
+    }
+
+    fn submit_envelopes(
+        &mut self,
+        commitments: Vec<EnvelopeCommitment>,
+    ) -> Result<IngestTicket, TripError> {
+        self.tick()?;
+        self.inner.submit_envelopes(commitments)
+    }
+
+    fn submit_checkouts(
+        &mut self,
+        checkouts: Vec<(CheckOutQr, NonceCoupon)>,
+    ) -> Result<IngestTicket, TripError> {
+        self.tick()?;
+        self.inner.submit_checkouts(checkouts)
+    }
+
+    fn submit_envelope_groups(
+        &mut self,
+        groups: Vec<(u64, Vec<EnvelopeCommitment>)>,
+    ) -> Result<IngestTicket, TripError> {
+        self.tick()?;
+        self.inner.submit_envelope_groups(groups)
+    }
+
+    fn submit_checkout_groups(
+        &mut self,
+        groups: Vec<(u64, Vec<(CheckOutQr, NonceCoupon)>)>,
+    ) -> Result<IngestTicket, TripError> {
+        self.tick()?;
+        self.inner.submit_checkout_groups(groups)
+    }
+
+    fn sync(&mut self) -> Result<(), TripError> {
+        self.tick()?;
+        self.inner.sync()
+    }
+
+    fn sync_through(&mut self, sessions: u64) -> Result<(), TripError> {
+        self.tick()?;
+        self.inner.sync_through(sessions)
+    }
+
+    fn activation_sweep(&mut self, claims: &[ActivationClaim]) -> Result<(), TripError> {
+        self.tick()?;
+        self.inner.activation_sweep(claims)
+    }
+
+    fn registration_head(&mut self) -> Result<vg_ledger::TreeHead, TripError> {
+        self.tick()?;
+        self.inner.registration_head()
+    }
+
+    fn envelope_head(&mut self) -> Result<vg_ledger::TreeHead, TripError> {
+        self.tick()?;
+        self.inner.envelope_head()
+    }
+}
+
+/// One delivered session, boxed: outcomes are large (credentials,
+/// receipts, traces) and `Done` is tiny.
+type SessionDelivery = Box<(RegistrationOutcome, Option<Vsd>, Option<StolenCredential>)>;
+
+enum StationMsg {
+    Outcome(usize, SessionDelivery),
+    Done(usize, Result<(), TripError>),
+}
+
+/// How a station (or its refiller) reaches the registrar.
+#[derive(Clone, Copy)]
+enum Link<'a> {
+    InProcess(HostCore<'a>),
+    Tcp(std::net::SocketAddr),
+}
+
+struct StationJob<'a> {
+    fleet: &'a KioskFleet,
+    kiosks: &'a [Kiosk],
+    sessions: Vec<(usize, VoterId, usize)>,
+    plans: Vec<(usize, vg_trip::pool::SessionPlan)>,
+    authority_pk: vg_crypto::EdwardsPoint,
+    activation: Option<&'a ActivationContext<'a>>,
+    pipeline: PipelineConfig,
+    fault_after: Option<usize>,
+}
+
+/// One station's whole day: connect, optionally spawn the refiller on its
+/// own connection, and drive the generalized fleet engine.
+fn run_station(
+    mut job: StationJob<'_>,
+    link: Link<'_>,
+    worker: &WorkerClient,
+    tx: &Sender<StationMsg>,
+) -> Result<(), TripError> {
+    let mut boundary: Box<dyn RegistrarBoundary + '_> = match link {
+        Link::InProcess(core) => Box::new(ServiceBoundary::new(PipelinedEndpoint {
+            core,
+            worker: worker.clone(),
+        })),
+        Link::Tcp(addr) => Box::new(ServiceBoundary::new(
+            TcpClient::connect(addr).map_err(|e| TripError::Boundary(e.to_string()))?,
+        )),
+    };
+    if let Some(after_ops) = job.fault_after {
+        boundary = Box::new(FaultingBoundary {
+            inner: boundary,
+            remaining: after_ops,
+        });
+    }
+    let activation = job
+        .activation
+        .map(|ctx| (ctx, job.pipeline.activation_lag.max(1)));
+    let mut sink = |idx: usize,
+                    outcome: RegistrationOutcome,
+                    vsd: Option<Vsd>,
+                    stolen: Option<StolenCredential>| {
+        let _ = tx.send(StationMsg::Outcome(idx, Box::new((outcome, vsd, stolen))));
+    };
+    // The indexed plan is only needed by the pool; move it rather than
+    // cloning megabytes of SessionPlans per station (and per recovery).
+    let plans = std::mem::take(&mut job.plans);
+    if job.pipeline.low_water > 0 {
+        let mut pool = job.fleet.prepare_pool_indexed(job.authority_pk, plans);
+        let feed = PoolFeed::new(job.pipeline.low_water);
+        let threads = job.fleet.config().threads;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // The refiller owns its own print client: a second
+                // connection for TCP days, direct printer calls locally.
+                let result = match link {
+                    Link::InProcess(core) => feed.run_refiller(&mut pool, &mut |jobs| {
+                        Ok(par_map(jobs, threads, |j| {
+                            core.printer.print_detached(j.challenge, j.symbol)
+                        }))
+                    }),
+                    Link::Tcp(addr) => match TcpClient::connect(addr) {
+                        Ok(mut client) => feed.run_refiller(&mut pool, &mut |jobs| {
+                            client
+                                .print_envelopes(PrintRequest {
+                                    jobs: jobs.to_vec(),
+                                })
+                                .map(|r| r.envelopes)
+                                .map_err(ServiceError::into_trip)
+                        }),
+                        Err(e) => Err(TripError::Boundary(e.to_string())),
+                    },
+                };
+                // A refiller failure reaches the consumer through the
+                // feed; nothing further to do here.
+                let _ = result;
+            });
+            let run = job.fleet.run_station_over(
+                job.kiosks,
+                &mut *boundary,
+                &job.sessions,
+                &mut FeedSource { feed: &feed },
+                activation,
+                &mut sink,
+            );
+            feed.close();
+            run
+        })
+    } else {
+        let mut pool = job.fleet.prepare_pool_indexed(job.authority_pk, plans);
+        job.fleet.run_station_over(
+            job.kiosks,
+            &mut *boundary,
+            &job.sessions,
+            &mut PoolSource { pool: &mut pool },
+            activation,
+            &mut sink,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The whole pipelined day
+// ---------------------------------------------------------------------------
+
+/// [`register_day`](crate::register_day) on the pipelined engine:
+/// background refillers, the server-side ingest worker, and one
+/// connection per polling station. Outcomes stream to `sink` in global
+/// queue order; ledgers are bit-identical to the sequential reference for
+/// any [`PipelineConfig`].
+pub fn pipelined_register_day(
+    fleet: &KioskFleet,
+    system: &mut TripSystem,
+    plan: &[(VoterId, usize)],
+    transport: Transport,
+    pipeline: PipelineConfig,
+    mut sink: impl FnMut(RegistrationOutcome),
+) -> Result<DayStats, TripError> {
+    run_pipelined_day(
+        fleet,
+        system,
+        plan,
+        transport,
+        pipeline,
+        false,
+        None,
+        &mut |_, outcome, _| sink(outcome),
+    )
+}
+
+/// [`register_and_activate_day`](crate::register_and_activate_day) on the
+/// pipelined engine (see [`pipelined_register_day`]); activation runs in
+/// groups of [`PipelineConfig::activation_lag`] windows behind shared
+/// prefix barriers.
+pub fn pipelined_register_and_activate_day(
+    fleet: &KioskFleet,
+    system: &mut TripSystem,
+    plan: &[(VoterId, usize)],
+    transport: Transport,
+    pipeline: PipelineConfig,
+    sink: impl FnMut(RegistrationOutcome, Vsd),
+) -> Result<DayStats, TripError> {
+    pipelined_register_and_activate_day_with_fault(
+        fleet, system, plan, transport, pipeline, None, sink,
+    )
+}
+
+/// [`pipelined_register_and_activate_day`] with an optional injected
+/// station fault: the faulted station's connection dies mid-day and the
+/// coordinator re-runs its undelivered sessions on a fresh recovery
+/// connection — the failover path the adversarial tests exercise.
+pub fn pipelined_register_and_activate_day_with_fault(
+    fleet: &KioskFleet,
+    system: &mut TripSystem,
+    plan: &[(VoterId, usize)],
+    transport: Transport,
+    pipeline: PipelineConfig,
+    fault: Option<StationFault>,
+    mut sink: impl FnMut(RegistrationOutcome, Vsd),
+) -> Result<DayStats, TripError> {
+    run_pipelined_day(
+        fleet,
+        system,
+        plan,
+        transport,
+        pipeline,
+        true,
+        fault,
+        &mut |_, outcome, vsd| sink(outcome, vsd.unwrap_or_default()),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pipelined_day(
+    fleet: &KioskFleet,
+    system: &mut TripSystem,
+    plan: &[(VoterId, usize)],
+    transport: Transport,
+    pipeline: PipelineConfig,
+    activate: bool,
+    fault: Option<StationFault>,
+    sink: &mut dyn FnMut(usize, RegistrationOutcome, Option<Vsd>),
+) -> Result<DayStats, TripError> {
+    let authority_pk = system.authority.public_key;
+    let printer_registry = system.printer_registry.clone();
+    let last_occurrence = last_occurrence_of(plan);
+    let total_sessions = plan.len();
+    let TripSystem {
+        officials,
+        printers,
+        ledger,
+        kiosks,
+        kiosk_registry,
+        adversary_loot,
+        ..
+    } = system;
+    let official = &officials[0];
+    let core = HostCore {
+        official,
+        printer: &printers[0],
+        kiosk_registry,
+        threads: fleet.config().threads,
+    };
+    let ctx = ActivationContext {
+        authority_pk: &authority_pk,
+        printer_registry: &printer_registry,
+        last_occurrence: &last_occurrence,
+    };
+    let station_plans = partition_stations(plan, kiosks, pipeline.stations);
+
+    // The worker channel + progress exist before any thread.
+    let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+    let progress = IngestProgress::new();
+    let worker_client = WorkerClient {
+        tx: cmd_tx,
+        progress: progress.clone(),
+    };
+
+    // TCP: bind before the scope so stations can connect immediately.
+    let listener = match transport {
+        Transport::InProcess => None,
+        Transport::Tcp => Some(
+            TcpListener::bind(("127.0.0.1", 0))
+                .map_err(|e| TripError::Boundary(format!("bind: {e}")))?,
+        ),
+    };
+    let addr = listener
+        .as_ref()
+        .map(|l| l.local_addr())
+        .transpose()
+        .map_err(|e| TripError::Boundary(format!("local_addr: {e}")))?;
+    let accepting = AtomicBool::new(true);
+
+    let worker = IngestWorker {
+        ledger,
+        official,
+        threads: core.threads,
+        mode: pipeline.ingest,
+        env: Lane::new(),
+        reg: Lane::new(),
+        parked: Vec::new(),
+        failed: None,
+        next_ticket: 0,
+        progress,
+        busy: Duration::ZERO,
+        idle: Duration::ZERO,
+    };
+
+    std::thread::scope(|scope| -> Result<DayStats, TripError> {
+        scope.spawn(move || worker.run(cmd_rx));
+
+        // Acceptor: serve every incoming connection (stations, refiller
+        // clients, recovery, and finally the wake-up connection that
+        // carries the stop flag) on its own handler thread.
+        if let Some(listener) = &listener {
+            let handler_client = worker_client.clone();
+            let accepting = &accepting;
+            scope.spawn(move || {
+                while let Ok((stream, _)) = listener.accept() {
+                    let worker = handler_client.clone();
+                    scope.spawn(move || {
+                        let _ = serve_station_conn(stream, core, worker);
+                    });
+                    if !accepting.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+            });
+        }
+
+        let link = match addr {
+            Some(addr) => Link::Tcp(addr),
+            None => Link::InProcess(core),
+        };
+
+        let (msg_tx, msg_rx) = mpsc::channel::<StationMsg>();
+        let mut spawned = 0usize;
+        for sp in &station_plans {
+            let job = StationJob {
+                fleet,
+                kiosks,
+                sessions: sp.sessions.clone(),
+                plans: sp.plans.clone(),
+                authority_pk,
+                activation: activate.then_some(&ctx),
+                pipeline,
+                fault_after: fault
+                    .filter(|f| f.station == sp.station)
+                    .map(|f| f.after_ops),
+            };
+            let tx = msg_tx.clone();
+            let worker = worker_client.clone();
+            let station_id = sp.station;
+            scope.spawn(move || {
+                let result = run_station(job, link, &worker, &tx);
+                let _ = tx.send(StationMsg::Done(station_id, result));
+            });
+            spawned += 1;
+        }
+
+        // Coordinator: release outcomes in global session order, push
+        // adversary loot in that same order, and re-run a dead station's
+        // undelivered sessions on a fresh recovery connection. Runs as an
+        // immediately-invoked closure so EVERY exit path — including the
+        // error returns — falls through to the acceptor wake-up below;
+        // returning early from the scope with the acceptor still parked
+        // in accept() would deadlock the scope join.
+        let coordinate = || -> Result<DayStats, TripError> {
+            let mut next_emit = 0usize;
+            let mut buffered: BTreeMap<usize, SessionDelivery> = BTreeMap::new();
+            let mut done = 0usize;
+            let mut recovered: HashSet<usize> = HashSet::new();
+            let mut first_error: Option<TripError> = None;
+            while done < spawned {
+                let Ok(msg) = msg_rx.recv() else { break };
+                match msg {
+                    StationMsg::Outcome(idx, delivery) => {
+                        buffered.entry(idx).or_insert(delivery);
+                        while let Some(delivery) = buffered.remove(&next_emit) {
+                            let (outcome, vsd, stolen) = *delivery;
+                            if let Some(looted) = stolen {
+                                adversary_loot.push(looted);
+                            }
+                            sink(next_emit, outcome, vsd);
+                            next_emit += 1;
+                        }
+                    }
+                    StationMsg::Done(_, Ok(())) => done += 1,
+                    StationMsg::Done(station, Err(e)) => {
+                        done += 1;
+                        let recoverable = station < station_plans.len()
+                            && recovered.insert(station)
+                            && first_error.is_none();
+                        if recoverable {
+                            // Undelivered = not yet emitted and not buffered.
+                            let sp = &station_plans[station];
+                            let remaining: Vec<usize> = sp
+                                .sessions
+                                .iter()
+                                .map(|&(idx, _, _)| idx)
+                                .filter(|idx| *idx >= next_emit && !buffered.contains_key(idx))
+                                .collect();
+                            if remaining.is_empty() {
+                                continue;
+                            }
+                            let keep: HashSet<usize> = remaining.iter().copied().collect();
+                            let job = StationJob {
+                                fleet,
+                                kiosks,
+                                sessions: sp
+                                    .sessions
+                                    .iter()
+                                    .filter(|(idx, _, _)| keep.contains(idx))
+                                    .copied()
+                                    .collect(),
+                                plans: sp
+                                    .plans
+                                    .iter()
+                                    .filter(|(idx, _)| keep.contains(idx))
+                                    .copied()
+                                    .collect(),
+                                authority_pk,
+                                activation: activate.then_some(&ctx),
+                                pipeline,
+                                fault_after: None,
+                            };
+                            let tx = msg_tx.clone();
+                            let worker = worker_client.clone();
+                            let recovery_id = station_plans.len() + station;
+                            scope.spawn(move || {
+                                let result = run_station(job, link, &worker, &tx);
+                                let _ = tx.send(StationMsg::Done(recovery_id, result));
+                            });
+                            spawned += 1;
+                        } else {
+                            // Unrecoverable: remember the first error and
+                            // fail every parked barrier so blocked stations
+                            // unwind instead of deadlocking the scope join.
+                            first_error.get_or_insert(e);
+                            worker_client.abort();
+                        }
+                    }
+                }
+            }
+            drop(msg_tx);
+
+            if let Some(e) = first_error {
+                return Err(e);
+            }
+            if next_emit != total_sessions {
+                return Err(TripError::Boundary(format!(
+                    "day ended with {next_emit}/{total_sessions} sessions delivered"
+                )));
+            }
+
+            // Final barrier + telemetry straight over the worker channel.
+            worker_client
+                .call(Cmd::SyncAll)
+                .map_err(ServiceError::into_trip)?;
+            let ingest = worker_client
+                .stats()
+                .map_err(|e| TripError::Boundary(e.to_string()))?;
+            Ok(DayStats { ingest })
+        };
+        let result = coordinate();
+
+        // Wake the acceptor so it observes the stop flag and exits — on
+        // success AND failure alike (see the coordinator comment).
+        accepting.store(false, Ordering::SeqCst);
+        if let Some(addr) = addr {
+            drop(TcpStream::connect(addr));
+        }
+        drop(worker_client);
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_crypto::{HmacDrbg, Rng};
+    use vg_trip::setup::TripConfig;
+
+    /// A worker over a real ledger: handles resolve by poll/wait while
+    /// the reorder buffer restores cross-station submission order.
+    #[test]
+    fn ingest_handles_resolve_in_global_order() {
+        let mut rng = HmacDrbg::from_u64(9);
+        let mut system = TripSystem::setup(TripConfig::with_voters(2), &mut rng);
+        let printer = EnvelopePrinter::new(&mut rng);
+        let TripSystem {
+            officials, ledger, ..
+        } = &mut system;
+        let commitment = |i: u64| {
+            let mut r = HmacDrbg::from_u64(i);
+            printer
+                .print_detached(r.scalar(), vg_trip::materials::Symbol::Star)
+                .1
+        };
+
+        let (cmd_tx, cmd_rx) = mpsc::channel();
+        let progress = IngestProgress::new();
+        let client = WorkerClient {
+            tx: cmd_tx,
+            progress: progress.clone(),
+        };
+        std::thread::scope(|scope| {
+            let worker = IngestWorker {
+                ledger,
+                official: &officials[0],
+                threads: 1,
+                mode: IngestMode::Background,
+                env: Lane::new(),
+                reg: Lane::new(),
+                parked: Vec::new(),
+                failed: None,
+                next_ticket: 0,
+                progress,
+                busy: Duration::ZERO,
+                idle: Duration::ZERO,
+            };
+            scope.spawn(move || worker.run(cmd_rx));
+
+            // Session 1 arrives before session 0: its handle must stay
+            // pending (the registration lane gates admitted_through too,
+            // so we drive both lanes).
+            let (_, h1) = client
+                .submit_envelopes(vec![(1, vec![commitment(1)])])
+                .unwrap();
+            assert!(h1.poll().is_none(), "gap: session 0 missing");
+            let (_, h0) = client
+                .submit_envelopes(vec![(0, vec![commitment(0)])])
+                .unwrap();
+            // Registration lane: both sessions' records are required
+            // before the global prefix counts as admitted. An empty
+            // record group per session keeps the lane's bookkeeping
+            // moving without real check-out material.
+            client
+                .submit_records(vec![(0, vec![]), (1, vec![])])
+                .unwrap();
+            // Two pending commitments sit below the idle-sweep floor, so
+            // drive the sweep with a prefix barrier — exactly what a
+            // station's activation group does.
+            client
+                .call(|reply| Cmd::SyncThrough(2, reply))
+                .expect("prefix barrier");
+            h0.wait().expect("prefix admitted");
+            h1.wait().expect("prefix admitted");
+            assert_eq!(h1.poll(), Some(Ok(())));
+            // Duplicate (failover-style) resubmission is dropped, not
+            // double-admitted.
+            let (_, dup) = client
+                .submit_envelopes(vec![(0, vec![commitment(0)])])
+                .unwrap();
+            dup.wait().expect("already admitted");
+            let stats = client.stats().unwrap();
+            assert!(stats.env_batches > 0);
+            drop(client);
+        });
+        assert!(system.ledger.envelopes.committed_count() >= 2);
+    }
+}

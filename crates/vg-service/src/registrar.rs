@@ -18,11 +18,11 @@ use vg_trip::printer::EnvelopePrinter;
 use vg_trip::vsd::activation_ledger_phase;
 
 use crate::error::ServiceError;
-use crate::ingest::IngestQueue;
+use crate::ingest::{IngestError, IngestQueue};
 use crate::messages::{
     ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
-    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, LedgerHeads, PrintRequest,
-    PrintResponse,
+    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, IngestStatsReply, LedgerHeads,
+    PrintRequest, PrintResponse,
 };
 use crate::traits::{ActivationService, LedgerIngestService, PrintService, RegistrarService};
 
@@ -45,10 +45,13 @@ pub struct RegistrarHost<'a> {
 /// Per-queue ceiling on deferred records. Coalescing submissions into one
 /// folded admission sweep is the throughput win, but an unbounded queue
 /// would buffer a whole million-voter day (plus the flush-time clone)
-/// server-side and delay admission errors to end-of-day; past this many
-/// pending records the host flushes eagerly, keeping memory and error
-/// latency O(cap) while still coalescing many small windows.
-const MAX_PENDING_RECORDS: usize = 16_384;
+/// server-side and delay admission errors to end-of-day. The queues
+/// enforce this as a typed backpressure contract
+/// ([`IngestError::Backpressure`]); the host responds by flushing and
+/// resubmitting — the RPC caller blocks for one admission sweep — keeping
+/// memory and error latency O(cap) while still coalescing many small
+/// windows.
+pub const MAX_PENDING_RECORDS: usize = 16_384;
 
 impl<'a> RegistrarHost<'a> {
     /// Wraps the registrar state. `threads` bounds the worker fan-out of
@@ -66,8 +69,8 @@ impl<'a> RegistrarHost<'a> {
             ledger,
             kiosk_registry,
             threads: threads.max(1),
-            env_queue: IngestQueue::new(),
-            reg_queue: IngestQueue::new(),
+            env_queue: IngestQueue::with_capacity(MAX_PENDING_RECORDS),
+            reg_queue: IngestQueue::with_capacity(MAX_PENDING_RECORDS),
             next_ticket: 0,
         }
     }
@@ -82,7 +85,7 @@ impl<'a> RegistrarHost<'a> {
     /// `(envelopes, registrations)`. The coalescing ratio
     /// `batches / sweeps` is the async-ingestion win `service_bench`
     /// reports.
-    pub fn ingest_stats(&self) -> ((u64, u64), (u64, u64)) {
+    pub fn queue_stats(&self) -> ((u64, u64), (u64, u64)) {
         (self.env_queue.stats(), self.reg_queue.stats())
     }
 
@@ -117,14 +120,22 @@ impl RegistrarService for RegistrarHost<'_> {
         self.official
             .verify_checkouts(&checkouts, self.kiosk_registry, self.threads)?;
         let records = self.official.countersign_checkouts(checkouts);
-        self.reg_queue.submit(records);
-        let ticket = self.ticket();
-        if self.reg_queue.pending_records() >= MAX_PENDING_RECORDS {
+        let records = match self.reg_queue.submit(records) {
+            Ok(_) => None,
+            // Backpressure: flush on the submitter's behalf, then retry
+            // (an empty queue always accepts).
+            Err((IngestError::Backpressure { .. }, refused)) => Some(refused),
+        };
+        if let Some(refused) = records {
             let ledger = &mut *self.ledger;
             let threads = self.threads;
             self.reg_queue
                 .flush(|records| ledger.registration.post_batch(records, threads))?;
+            self.reg_queue
+                .submit(refused)
+                .map_err(|_| ServiceError::Transport("ingest queue refused after flush".into()))?;
         }
+        let ticket = self.ticket();
         Ok(CheckOutBatchResponse { ticket })
     }
 }
@@ -143,14 +154,20 @@ impl LedgerIngestService for RegistrarHost<'_> {
         &mut self,
         req: EnvelopeSubmitRequest,
     ) -> Result<IngestReceipt, ServiceError> {
-        self.env_queue.submit(req.commitments);
-        let ticket = self.ticket();
-        if self.env_queue.pending_records() >= MAX_PENDING_RECORDS {
+        let commitments = match self.env_queue.submit(req.commitments) {
+            Ok(_) => None,
+            Err((IngestError::Backpressure { .. }, refused)) => Some(refused),
+        };
+        if let Some(refused) = commitments {
             let ledger = &mut *self.ledger;
             let threads = self.threads;
             self.env_queue
                 .flush(|commitments| ledger.envelopes.commit_batch(commitments, threads))?;
+            self.env_queue
+                .submit(refused)
+                .map_err(|_| ServiceError::Transport("ingest queue refused after flush".into()))?;
         }
+        let ticket = self.ticket();
         Ok(IngestReceipt { ticket })
     }
 
@@ -163,6 +180,19 @@ impl LedgerIngestService for RegistrarHost<'_> {
         Ok(LedgerHeads {
             registration: self.ledger.registration.tree_head(),
             envelopes: self.ledger.envelopes.tree_head(),
+        })
+    }
+
+    fn ingest_stats(&mut self) -> Result<IngestStatsReply, ServiceError> {
+        let (env, reg) = self.queue_stats();
+        Ok(IngestStatsReply {
+            env_batches: env.0,
+            env_sweeps: env.1,
+            reg_batches: reg.0,
+            reg_sweeps: reg.1,
+            // No worker thread on the barrier host.
+            worker_busy_us: 0,
+            worker_idle_us: 0,
         })
     }
 }

@@ -16,8 +16,8 @@
 use crate::error::ServiceError;
 use crate::messages::{
     ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
-    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, LedgerHeads, PrintRequest,
-    PrintResponse,
+    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, IngestStatsReply, LedgerHeads,
+    PrintRequest, PrintResponse, SeqCheckOutRequest, SeqEnvelopeSubmitRequest,
 };
 
 /// The registration officials' desk service.
@@ -44,6 +44,20 @@ pub trait RegistrarService {
         &mut self,
         req: CheckOutBatchRequest,
     ) -> Result<CheckOutBatchResponse, ServiceError>;
+
+    /// Session-tagged batched check-out from one polling station. A
+    /// single-connection host may flatten to
+    /// [`RegistrarService::check_out_batch`] (the default — submissions
+    /// arrive pre-ordered there); a multi-station registrar uses the
+    /// global indices to restore queue order before admission.
+    fn check_out_groups(
+        &mut self,
+        req: SeqCheckOutRequest,
+    ) -> Result<CheckOutBatchResponse, ServiceError> {
+        self.check_out_batch(CheckOutBatchRequest {
+            checkouts: req.groups.into_iter().flat_map(|(_, c)| c).collect(),
+        })
+    }
 }
 
 /// The bulletin board's asynchronous admission front-end.
@@ -72,6 +86,34 @@ pub trait LedgerIngestService {
 
     /// Signed tree heads of L_R and L_E (implies a sync).
     fn ledger_heads(&mut self) -> Result<LedgerHeads, ServiceError>;
+
+    /// Session-tagged envelope submission from one polling station
+    /// (ordering contract as [`RegistrarService::check_out_groups`];
+    /// default flattens for single-connection hosts).
+    fn submit_envelope_groups(
+        &mut self,
+        req: SeqEnvelopeSubmitRequest,
+    ) -> Result<IngestReceipt, ServiceError> {
+        self.submit_envelopes(crate::messages::EnvelopeSubmitRequest {
+            commitments: req.groups.into_iter().flat_map(|(_, g)| g).collect(),
+        })
+    }
+
+    /// Prefix barrier: returns once every session with global index below
+    /// `sessions` is admitted on both ledgers. On a single-connection
+    /// host the whole queue is the prefix, so the default full
+    /// [`LedgerIngestService::sync`] is equivalent.
+    fn sync_through(&mut self, sessions: u64) -> Result<(), ServiceError> {
+        let _ = sessions;
+        self.sync()
+    }
+
+    /// Coalescing and worker-utilization telemetry (see
+    /// [`IngestStatsReply`]); hosts without an ingest worker report zero
+    /// busy/idle time.
+    fn ingest_stats(&mut self) -> Result<IngestStatsReply, ServiceError> {
+        Ok(IngestStatsReply::default())
+    }
 }
 
 /// The envelope print service.

@@ -28,8 +28,9 @@ use vg_trip::{PrintJob, TripError};
 use crate::error::ServiceError;
 use crate::messages::{
     ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
-    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, LedgerHeads, PrintRequest,
-    PrintResponse, Request, Response,
+    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, IngestStatsReply, LedgerHeads,
+    PrintRequest, PrintResponse, Request, Response, SeqCheckOutRequest, SeqEnvelopeSubmitRequest,
+    SyncThroughRequest,
 };
 use crate::registrar::RegistrarHost;
 use crate::traits::{
@@ -108,6 +109,44 @@ impl<E: RegistrarEndpoint> RegistrarBoundary for ServiceBoundary<E> {
 
     fn sync(&mut self) -> Result<(), TripError> {
         self.endpoint.sync().map_err(ServiceError::into_trip)
+    }
+
+    fn submit_envelope_groups(
+        &mut self,
+        groups: Vec<(u64, Vec<EnvelopeCommitment>)>,
+    ) -> Result<IngestTicket, TripError> {
+        self.endpoint
+            .submit_envelope_groups(SeqEnvelopeSubmitRequest { groups })
+            .map(|r| IngestTicket(r.ticket))
+            .map_err(ServiceError::into_trip)
+    }
+
+    fn submit_checkout_groups(
+        &mut self,
+        groups: Vec<(u64, Vec<(CheckOutQr, NonceCoupon)>)>,
+    ) -> Result<IngestTicket, TripError> {
+        let groups = groups
+            .into_iter()
+            .map(|(idx, checkouts)| {
+                (
+                    idx,
+                    checkouts
+                        .into_iter()
+                        .map(|(qr, coupon)| (qr, coupon.into()))
+                        .collect(),
+                )
+            })
+            .collect();
+        self.endpoint
+            .check_out_groups(SeqCheckOutRequest { groups })
+            .map(|r| IngestTicket(r.ticket))
+            .map_err(ServiceError::into_trip)
+    }
+
+    fn sync_through(&mut self, sessions: u64) -> Result<(), TripError> {
+        self.endpoint
+            .sync_through(sessions)
+            .map_err(ServiceError::into_trip)
     }
 
     fn activation_sweep(&mut self, claims: &[ActivationClaim]) -> Result<(), TripError> {
@@ -195,6 +234,13 @@ impl RegistrarService for TcpClient {
     ) -> Result<CheckOutBatchResponse, ServiceError> {
         tcp_call!(self, Request::CheckOutBatch(req), CheckOutBatch)
     }
+
+    fn check_out_groups(
+        &mut self,
+        req: SeqCheckOutRequest,
+    ) -> Result<CheckOutBatchResponse, ServiceError> {
+        tcp_call!(self, Request::CheckOutBatchSeq(req), CheckOutBatchSeq)
+    }
 }
 
 impl PrintService for TcpClient {
@@ -218,6 +264,26 @@ impl LedgerIngestService for TcpClient {
     fn ledger_heads(&mut self) -> Result<LedgerHeads, ServiceError> {
         tcp_call!(self, Request::LedgerHeads, LedgerHeads)
     }
+
+    fn submit_envelope_groups(
+        &mut self,
+        req: SeqEnvelopeSubmitRequest,
+    ) -> Result<IngestReceipt, ServiceError> {
+        tcp_call!(self, Request::SubmitEnvelopesSeq(req), SubmitEnvelopesSeq)
+    }
+
+    fn sync_through(&mut self, sessions: u64) -> Result<(), ServiceError> {
+        tcp_call!(
+            self,
+            Request::SyncThrough(SyncThroughRequest { sessions }),
+            SyncThrough,
+            unit
+        )
+    }
+
+    fn ingest_stats(&mut self) -> Result<IngestStatsReply, ServiceError> {
+        tcp_call!(self, Request::IngestStats, IngestStats)
+    }
 }
 
 impl ActivationService for TcpClient {
@@ -226,7 +292,16 @@ impl ActivationService for TcpClient {
     }
 }
 
-fn dispatch(host: &mut RegistrarHost<'_>, req: Request) -> (Response, bool) {
+/// Maps one request onto any endpoint bundle. `sync_on_shutdown` makes
+/// `Shutdown` imply a full ingest flush — right for the single-connection
+/// server (the connection *is* the day), wrong for one station of a
+/// multi-connection day (other stations are still submitting; the
+/// coordinator owns the final barrier).
+pub(crate) fn dispatch<E: crate::traits::RegistrarEndpoint>(
+    host: &mut E,
+    req: Request,
+    sync_on_shutdown: bool,
+) -> (Response, bool) {
     match req {
         Request::CheckIn(m) => (
             host.check_in(m)
@@ -270,12 +345,42 @@ fn dispatch(host: &mut RegistrarHost<'_>, req: Request) -> (Response, bool) {
                 .unwrap_or_else(Response::Err),
             false,
         ),
+        Request::SubmitEnvelopesSeq(m) => (
+            host.submit_envelope_groups(m)
+                .map(Response::SubmitEnvelopesSeq)
+                .unwrap_or_else(Response::Err),
+            false,
+        ),
+        Request::CheckOutBatchSeq(m) => (
+            host.check_out_groups(m)
+                .map(Response::CheckOutBatchSeq)
+                .unwrap_or_else(Response::Err),
+            false,
+        ),
+        Request::SyncThrough(m) => (
+            host.sync_through(m.sessions)
+                .map(|()| Response::SyncThrough)
+                .unwrap_or_else(Response::Err),
+            false,
+        ),
+        Request::IngestStats => (
+            LedgerIngestService::ingest_stats(host)
+                .map(Response::IngestStats)
+                .unwrap_or_else(Response::Err),
+            false,
+        ),
         // Flush before acknowledging so the ledger is complete when the
-        // server loop returns.
-        Request::Shutdown => match host.sync() {
-            Ok(()) => (Response::Shutdown, true),
-            Err(e) => (Response::Err(e), true),
-        },
+        // server loop returns (single-connection mode only).
+        Request::Shutdown => {
+            if sync_on_shutdown {
+                match host.sync() {
+                    Ok(()) => (Response::Shutdown, true),
+                    Err(e) => (Response::Err(e), true),
+                }
+            } else {
+                (Response::Shutdown, true)
+            }
+        }
     }
 }
 
@@ -292,7 +397,7 @@ pub fn serve_connection(
     loop {
         let frame = read_frame(&mut reader)?;
         let (response, done) = match Request::from_wire(&frame) {
-            Ok(req) => dispatch(host, req),
+            Ok(req) => dispatch(host, req, true),
             Err(e) => (
                 Response::Err(ServiceError::Transport(format!("bad request: {e}"))),
                 false,
@@ -303,6 +408,14 @@ pub fn serve_connection(
             return Ok(());
         }
     }
+}
+
+/// End-of-day service-layer telemetry, returned by every day runner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DayStats {
+    /// Ingest coalescing counters and (for pipelined days) worker
+    /// busy/idle time.
+    pub ingest: IngestStatsReply,
 }
 
 /// Runs `client_run` against the registrar parts of `system` served over
@@ -318,7 +431,7 @@ fn with_boundary<R>(
         &[vg_trip::kiosk::Kiosk],
         &mut Vec<vg_trip::kiosk::StolenCredential>,
     ) -> Result<R, TripError>,
-) -> Result<R, TripError> {
+) -> Result<(R, DayStats), TripError> {
     let TripSystem {
         officials,
         printers,
@@ -334,7 +447,12 @@ fn with_boundary<R>(
         Transport::InProcess => {
             let host = RegistrarHost::new(official, printer, ledger, kiosk_registry, threads);
             let mut boundary = ServiceBoundary::new(host);
-            client_run(&mut boundary, kiosks, adversary_loot)
+            let out = client_run(&mut boundary, kiosks, adversary_loot)?;
+            let ingest = boundary
+                .endpoint
+                .ingest_stats()
+                .map_err(|e| TripError::Boundary(e.to_string()))?;
+            Ok((out, DayStats { ingest }))
         }
         Transport::Tcp => {
             let listener = TcpListener::bind(("127.0.0.1", 0))
@@ -356,15 +474,24 @@ fn with_boundary<R>(
                         RegistrarHost::new(official, printer, ledger, kiosk_registry, threads);
                     serve_connection(stream, &mut host)
                 });
-                let run = |client: TcpClient| -> Result<R, TripError> {
+                let run = |client: TcpClient| -> Result<(R, DayStats), TripError> {
                     let mut boundary = ServiceBoundary::new(client);
                     let out = client_run(&mut boundary, kiosks, adversary_loot);
+                    let ingest = match &out {
+                        Ok(_) => boundary.endpoint.ingest_stats().ok(),
+                        Err(_) => None,
+                    };
                     // Always attempt shutdown so the server thread exits
                     // even when the client run failed.
                     let down = boundary.endpoint.shutdown();
                     let out = out?;
                     down.map_err(|e| TripError::Boundary(e.to_string()))?;
-                    Ok(out)
+                    Ok((
+                        out,
+                        DayStats {
+                            ingest: ingest.unwrap_or_default(),
+                        },
+                    ))
                 };
                 let result = run(client);
                 match server.join() {
@@ -382,18 +509,20 @@ fn with_boundary<R>(
 /// Runs a whole fleet registration day over `transport`, streaming
 /// outcomes to `sink` in queue order. Bit-identical ledgers and outcomes
 /// across transports for any `(seed, queue, kiosks, pool, threads)`.
+/// Returns the day's service-layer telemetry.
 pub fn register_day(
     fleet: &KioskFleet,
     system: &mut TripSystem,
     plan: &[(VoterId, usize)],
     transport: Transport,
     mut sink: impl FnMut(RegistrationOutcome),
-) -> Result<(), TripError> {
+) -> Result<DayStats, TripError> {
     let mut pool = fleet.prepare_pool(system, plan);
     let threads = fleet.config().threads;
     with_boundary(system, transport, threads, move |boundary, kiosks, loot| {
         fleet.register_each_over(kiosks, boundary, plan, &mut pool, loot, &mut sink)
     })
+    .map(|((), stats)| stats)
 }
 
 /// [`register_day`] plus per-window credential activation on fresh
@@ -404,7 +533,7 @@ pub fn register_and_activate_day(
     plan: &[(VoterId, usize)],
     transport: Transport,
     mut sink: impl FnMut(RegistrationOutcome, Vsd),
-) -> Result<(), TripError> {
+) -> Result<DayStats, TripError> {
     let mut pool = fleet.prepare_pool(system, plan);
     let threads = fleet.config().threads;
     let authority_pk = system.authority.public_key;
@@ -421,6 +550,7 @@ pub fn register_and_activate_day(
             &mut sink,
         )
     })
+    .map(|((), stats)| stats)
 }
 
 /// Fetches both registrar ledger heads over `transport` (sanity hook for
@@ -433,4 +563,5 @@ pub fn ledger_heads_over(
     with_boundary(system, transport, threads, |boundary, _, _| {
         Ok((boundary.registration_head()?, boundary.envelope_head()?))
     })
+    .map(|(heads, _)| heads)
 }

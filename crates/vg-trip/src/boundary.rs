@@ -89,6 +89,42 @@ pub trait RegistrarBoundary {
     /// all prior submissions.
     fn sync(&mut self) -> Result<(), TripError>;
 
+    /// [`RegistrarBoundary::submit_envelopes`] with per-session tagging:
+    /// `groups` pairs each global session index with that session's
+    /// commitments, in session order. A single-connection boundary admits
+    /// them exactly as the flattened submission (the default); a
+    /// multi-station registrar uses the indices to restore global queue
+    /// order across stations before admission, so the ledgers stay
+    /// bit-identical to the sequential reference no matter which station
+    /// finished first.
+    fn submit_envelope_groups(
+        &mut self,
+        groups: Vec<(u64, Vec<EnvelopeCommitment>)>,
+    ) -> Result<IngestTicket, TripError> {
+        self.submit_envelopes(groups.into_iter().flat_map(|(_, g)| g).collect())
+    }
+
+    /// [`RegistrarBoundary::submit_checkouts`] with per-session tagging;
+    /// same ordering contract as
+    /// [`RegistrarBoundary::submit_envelope_groups`].
+    fn submit_checkout_groups(
+        &mut self,
+        groups: Vec<(u64, Vec<(CheckOutQr, NonceCoupon)>)>,
+    ) -> Result<IngestTicket, TripError> {
+        self.submit_checkouts(groups.into_iter().flat_map(|(_, g)| g).collect())
+    }
+
+    /// Prefix barrier: returns once every session with global index below
+    /// `sessions` is admitted on both ledgers. On a single-connection
+    /// boundary all own submissions are the whole prefix, so the default
+    /// full [`RegistrarBoundary::sync`] is equivalent; a multi-station
+    /// registrar may need to wait for *other* stations' earlier sessions
+    /// to arrive before this station's activation cross-checks can run.
+    fn sync_through(&mut self, sessions: u64) -> Result<(), TripError> {
+        let _ = sessions;
+        self.sync()
+    }
+
     /// The activation ledger phase (Fig 11 lines 9–11) for a batch of
     /// claims, in order: L_R cross-check and L_E challenge reveal per
     /// claim, stopping at the first failure exactly as a sequential loop

@@ -22,7 +22,7 @@
 //! equivalence is enforced by `tests/fleet.rs` at the workspace root.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::mpsc;
 
 use vg_crypto::schnorr::NonceCoupon;
 use vg_crypto::EdwardsPoint;
@@ -33,12 +33,248 @@ use crate::ceremony::SessionMaterials;
 use crate::error::TripError;
 use crate::kiosk::{Kiosk, KioskBehavior, KioskEvent, StolenCredential};
 use crate::materials::{CheckInTicket, CheckOutQr, PaperCredential};
-use crate::pool::{CeremonyPool, SessionPlan};
+use crate::pool::{CeremonyPool, PoolFeed, SessionPlan};
 use crate::protocol::RegistrationOutcome;
 use crate::setup::TripSystem;
 use crate::vsd::{activate_batch_over, Vsd};
 use vg_crypto::CompressedPoint;
 use vg_ledger::VoterId;
+
+/// Where a station's ceremony windows come from: either a caller-managed
+/// [`CeremonyPool`] refilled synchronously at window boundaries
+/// ([`PoolSource`], the barrier-era behavior), or a [`PoolFeed`] kept warm
+/// by a background refiller thread ([`FeedSource`]), so the coordinator
+/// never waits for precompute mid-day.
+pub trait MaterialsSource {
+    /// The next up-to-`max` ready sessions in derivation order; empty
+    /// means the plan is exhausted. `boundary` is available for
+    /// synchronous print fulfilment (unused by fed sources).
+    fn next_window(
+        &mut self,
+        max: usize,
+        boundary: &mut dyn RegistrarBoundary,
+    ) -> Result<Vec<SessionMaterials>, TripError>;
+}
+
+/// The synchronous source: refills the pool through the boundary's print
+/// service whenever it runs dry — precompute serializes with ceremonies,
+/// exactly the pre-pipeline behavior.
+pub struct PoolSource<'a> {
+    /// The pool to drain (and refill on demand).
+    pub pool: &'a mut CeremonyPool,
+}
+
+impl MaterialsSource for PoolSource<'_> {
+    fn next_window(
+        &mut self,
+        max: usize,
+        boundary: &mut dyn RegistrarBoundary,
+    ) -> Result<Vec<SessionMaterials>, TripError> {
+        if self.pool.prepared() == 0
+            && self
+                .pool
+                .refill_via(&mut |jobs| boundary.print_envelopes(jobs))?
+                == 0
+        {
+            return Ok(Vec::new());
+        }
+        let take = self.pool.prepared().min(max.max(1));
+        Ok((0..take)
+            .map(|_| self.pool.take_ready().expect("prepared sessions"))
+            .collect())
+    }
+}
+
+/// The pipelined source: pops whatever the background refiller has ready,
+/// blocking only when the feed is truly empty.
+pub struct FeedSource<'a> {
+    /// The buffer the refiller thread keeps above its low-water mark.
+    pub feed: &'a PoolFeed,
+}
+
+impl MaterialsSource for FeedSource<'_> {
+    fn next_window(
+        &mut self,
+        max: usize,
+        _boundary: &mut dyn RegistrarBoundary,
+    ) -> Result<Vec<SessionMaterials>, TripError> {
+        self.feed.take_window(max)
+    }
+}
+
+/// One polling station's share of a registration day: the subsequence of
+/// the global check-in queue served by its kiosk chunk.
+///
+/// Stations partition the kiosks into contiguous chunks and a session
+/// follows its kiosk (session `i` is served by kiosk `i mod |K|`, as
+/// always), so concurrent stations never contend for a booth and every
+/// credential still carries the same kiosk signature as in the sequential
+/// reference.
+pub struct StationPlan {
+    /// Station number (0-based).
+    pub station: usize,
+    /// `(global session index, voter, fakes)` in queue order.
+    pub sessions: Vec<(usize, VoterId, usize)>,
+    /// The matching indexed pool plan (malicious flags resolved per
+    /// serving kiosk).
+    pub plans: Vec<(usize, SessionPlan)>,
+}
+
+/// Splits a day's plan across `stations` polling stations (clamped to
+/// `1..=|K|`). Kiosk `k` belongs to station `⌊k·S/|K|⌋`-ish contiguous
+/// chunks; sessions follow their kiosks.
+pub fn partition_stations(
+    plan: &[(VoterId, usize)],
+    kiosks: &[Kiosk],
+    stations: usize,
+) -> Vec<StationPlan> {
+    let k = kiosks.len().max(1);
+    let s = stations.clamp(1, k);
+    let mut owner = vec![0usize; k];
+    for (j, slot) in (0..s).flat_map(|j| ((j * k) / s..((j + 1) * k) / s).map(move |ki| (j, ki))) {
+        owner[slot] = j;
+    }
+    let mut out: Vec<StationPlan> = (0..s)
+        .map(|station| StationPlan {
+            station,
+            sessions: Vec::new(),
+            plans: Vec::new(),
+        })
+        .collect();
+    for (i, &(voter, n_fakes)) in plan.iter().enumerate() {
+        let ki = i % k;
+        let st = owner[ki];
+        out[st].sessions.push((i, voter, n_fakes));
+        out[st].plans.push((
+            i,
+            SessionPlan {
+                voter,
+                n_fakes,
+                malicious: kiosks[ki].behavior() == KioskBehavior::StealsRealCredential,
+            },
+        ));
+    }
+    out
+}
+
+/// Everything the activation half of a station run needs besides the
+/// boundary: the authority key, the printer registry, and the *global*
+/// last-occurrence map (re-registration semantics, §3.2 — computed over
+/// the whole day's plan, not one station's slice).
+pub struct ActivationContext<'a> {
+    /// The authority's collective ElGamal key.
+    pub authority_pk: &'a EdwardsPoint,
+    /// Authorized printer public keys.
+    pub printer_registry: &'a [CompressedPoint],
+    /// Voter → global index of their last planned session.
+    pub last_occurrence: &'a HashMap<VoterId, usize>,
+}
+
+/// Accumulates ceremony windows and activates them `lag` windows at a
+/// time: one `sync_through` prefix barrier, one folded device-side check
+/// batch and one activation sweep cover the whole group, so barrier and
+/// fold fixed costs amortize across windows (the single-core half of the
+/// pipelined speedup). `lag = 1` reproduces the per-window barrier
+/// behavior exactly.
+struct ActivationDriver<'a> {
+    ctx: &'a ActivationContext<'a>,
+    threads: usize,
+    lag: usize,
+    pending: Vec<(usize, RegistrationOutcome, Option<StolenCredential>)>,
+    windows: usize,
+}
+
+/// Per-session results a station run hands back, in global session order:
+/// the outcome, the device (when activation ran; superseded sessions get
+/// an empty one), and any credential a compromised kiosk stole.
+pub type StationSink<'a> =
+    dyn FnMut(usize, RegistrationOutcome, Option<Vsd>, Option<StolenCredential>) + 'a;
+
+/// One session's ceremony result, tagged with its global index.
+type SessionResult = (usize, Result<CeremonyOutput, TripError>);
+
+impl<'a> ActivationDriver<'a> {
+    fn new(ctx: &'a ActivationContext<'a>, threads: usize, lag: usize) -> Self {
+        Self {
+            ctx,
+            threads,
+            lag: lag.max(1),
+            pending: Vec::new(),
+            windows: 0,
+        }
+    }
+
+    fn push_window(
+        &mut self,
+        boundary: &mut dyn RegistrarBoundary,
+        window: Vec<(usize, RegistrationOutcome, Option<StolenCredential>)>,
+        sink: &mut StationSink<'_>,
+    ) -> Result<(), TripError> {
+        self.pending.extend(window);
+        self.windows += 1;
+        if self.windows >= self.lag {
+            self.flush(boundary, sink)?;
+        }
+        Ok(())
+    }
+
+    fn flush(
+        &mut self,
+        boundary: &mut dyn RegistrarBoundary,
+        sink: &mut StationSink<'_>,
+    ) -> Result<(), TripError> {
+        self.windows = 0;
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        // The group's records must be admitted (across *all* stations up
+        // to our highest session) before activation cross-checks them.
+        let max_idx = self.pending.last().expect("non-empty").0;
+        boundary.sync_through(max_idx as u64 + 1)?;
+        let mut batch = std::mem::take(&mut self.pending);
+        for (_, outcome, _) in &mut batch {
+            outcome.believed_real.lift_to_activate();
+            for fake in &mut outcome.fakes {
+                fake.lift_to_activate();
+            }
+        }
+        // A session superseded later in the global queue is skipped at
+        // activation: its credentials no longer match the eventual active
+        // L_R record (§3.2).
+        let active: Vec<bool> = batch
+            .iter()
+            .map(|(idx, outcome, _)| {
+                let voter = outcome.believed_real.receipt.checkout_qr.voter_id;
+                self.ctx.last_occurrence[&voter] == *idx
+            })
+            .collect();
+        let credential_refs: Vec<&PaperCredential> = batch
+            .iter()
+            .zip(active.iter())
+            .filter(|(_, &is_active)| is_active)
+            .flat_map(|((_, o, _), _)| std::iter::once(&o.believed_real).chain(o.fakes.iter()))
+            .collect();
+        let activated = activate_batch_over(
+            boundary,
+            &credential_refs,
+            self.ctx.authority_pk,
+            self.ctx.printer_registry,
+            self.threads,
+        )?;
+        let mut activated = activated.into_iter();
+        for ((idx, outcome, stolen), is_active) in batch.into_iter().zip(active) {
+            let mut vsd = Vsd::new();
+            if is_active {
+                for _ in 0..=outcome.fakes.len() {
+                    vsd.credentials
+                        .push(activated.next().expect("one activation per credential"));
+                }
+            }
+            sink(idx, outcome, Some(vsd), stolen);
+        }
+        Ok(())
+    }
+}
 
 /// Fleet tuning knobs. The seed fixes every credential, envelope and
 /// signature of the run; batch and thread counts only change scheduling.
@@ -274,12 +510,25 @@ impl KioskFleet {
         loot: &mut Vec<StolenCredential>,
         mut sink: impl FnMut(RegistrationOutcome),
     ) -> Result<(), TripError> {
-        self.run_windows(kiosks, boundary, plan, pool, loot, |_, outcomes| {
-            for outcome in outcomes {
+        let sessions: Vec<(usize, VoterId, usize)> = plan
+            .iter()
+            .enumerate()
+            .map(|(i, &(voter, fakes))| (i, voter, fakes))
+            .collect();
+        let mut source = PoolSource { pool };
+        self.run_station_over(
+            kiosks,
+            boundary,
+            &sessions,
+            &mut source,
+            None,
+            &mut |_idx, outcome, _vsd, stolen| {
+                if let Some(looted) = stolen {
+                    loot.push(looted);
+                }
                 sink(outcome);
-            }
-            Ok(())
-        })
+            },
+        )
     }
 
     /// [`KioskFleet::register`] followed by batched activation of every
@@ -371,196 +620,262 @@ impl KioskFleet {
         loot: &mut Vec<StolenCredential>,
         mut sink: impl FnMut(RegistrationOutcome, Vsd),
     ) -> Result<(), TripError> {
-        // A session superseded within this same queue (the voter
-        // re-registers later on) is skipped at activation: its credentials
-        // no longer match the (eventual) active L_R record, exactly as if
-        // the voter had re-registered before ever activating (§3.2). The
-        // plan is known upfront, so "last occurrence" is decidable per
-        // window without waiting for the whole queue.
-        let mut last_occurrence: HashMap<VoterId, usize> = HashMap::new();
-        for (i, &(voter, _)) in plan.iter().enumerate() {
-            last_occurrence.insert(voter, i);
-        }
-        let threads = self.config.threads.max(1);
-        let mut cursor = 0usize;
-        self.run_windows(kiosks, boundary, plan, pool, loot, |boundary, outcomes| {
-            // The window's records must be admitted before its activations
-            // cross-check them (a no-op locally; a flush barrier over an
-            // asynchronous ingestion queue).
-            boundary.sync()?;
-            let start = cursor;
-            cursor += outcomes.len();
-            let mut outcomes = outcomes;
-            for outcome in &mut outcomes {
-                outcome.believed_real.lift_to_activate();
-                for fake in &mut outcome.fakes {
-                    fake.lift_to_activate();
-                }
-            }
-            let active: Vec<bool> = (0..outcomes.len())
-                .map(|i| last_occurrence[&plan[start + i].0] == start + i)
-                .collect();
-            let credential_refs: Vec<&PaperCredential> = outcomes
-                .iter()
-                .zip(active.iter())
-                .filter(|(_, &active)| active)
-                .flat_map(|(o, _)| std::iter::once(&o.believed_real).chain(o.fakes.iter()))
-                .collect();
-            let activated = activate_batch_over(
-                boundary,
-                &credential_refs,
-                authority_pk,
-                printer_registry,
-                threads,
-            )?;
-            let mut activated = activated.into_iter();
-            for (outcome, active) in outcomes.into_iter().zip(active) {
-                let mut vsd = Vsd::new();
-                if active {
-                    for _ in 0..=outcome.fakes.len() {
-                        vsd.credentials
-                            .push(activated.next().expect("one activation per credential"));
-                    }
-                }
-                sink(outcome, vsd);
-            }
-            Ok(())
-        })
-    }
-
-    /// Drives the whole queue window by window: refill the pool (printing
-    /// via the boundary), run the window's ceremonies on the kiosks, hand
-    /// the coordinator's ledger submissions to the boundary, collect
-    /// adversary loot, and pass each completed window to `window_sink` in
-    /// queue order. Ends with a [`RegistrarBoundary::sync`] barrier so
-    /// every submission is admitted before this returns.
-    fn run_windows(
-        &self,
-        kiosks: &[Kiosk],
-        boundary: &mut dyn RegistrarBoundary,
-        plan: &[(VoterId, usize)],
-        pool: &mut CeremonyPool,
-        loot: &mut Vec<StolenCredential>,
-        mut window_sink: impl FnMut(
-            &mut dyn RegistrarBoundary,
-            Vec<RegistrationOutcome>,
-        ) -> Result<(), TripError>,
-    ) -> Result<(), TripError> {
-        // Check-in for the whole queue (Fig 8; MAC-only, sequential).
-        let tickets: Vec<CheckInTicket> = plan
+        let last_occurrence = last_occurrence_of(plan);
+        let ctx = ActivationContext {
+            authority_pk,
+            printer_registry,
+            last_occurrence: &last_occurrence,
+        };
+        let sessions: Vec<(usize, VoterId, usize)> = plan
             .iter()
-            .map(|&(voter, _)| boundary.check_in(voter))
-            .collect::<Result<_, _>>()?;
-        loop {
-            if pool.prepared() == 0
-                && pool.refill_via(&mut |jobs| boundary.print_envelopes(jobs))? == 0
-            {
-                break;
-            }
-            // Drain at most one pool batch per window so a fully warmed
-            // pool still flows through bounded coordinator batches.
-            let take = pool.prepared().min(self.config.pool_batch.max(1));
-            let window: Vec<SessionMaterials> = (0..take)
-                .map(|_| pool.take_ready().expect("prepared sessions"))
-                .collect();
-            let results = self.process_window(kiosks, boundary, &tickets, window)?;
-            let mut outcomes = Vec::with_capacity(results.len());
-            for (outcome, stolen) in results {
+            .enumerate()
+            .map(|(i, &(voter, fakes))| (i, voter, fakes))
+            .collect();
+        let mut source = PoolSource { pool };
+        self.run_station_over(
+            kiosks,
+            boundary,
+            &sessions,
+            &mut source,
+            // lag 1: activate every window behind its own barrier — the
+            // barrier-synchronous reference the pipelined engine must
+            // equal bit-identically (and the baseline it is benched
+            // against).
+            Some((&ctx, 1)),
+            &mut |_idx, outcome, vsd, stolen| {
                 if let Some(looted) = stolen {
                     loot.push(looted);
                 }
-                outcomes.push(outcome);
-            }
-            window_sink(&mut *boundary, outcomes)?;
-        }
-        boundary.sync()
+                sink(outcome, vsd.unwrap_or_default());
+            },
+        )
     }
 
-    fn process_window(
+    /// Builds an indexed [`CeremonyPool`] for one station's share of the
+    /// day (see [`partition_stations`]), under this fleet's tuning.
+    pub fn prepare_pool_indexed(
+        &self,
+        authority_pk: EdwardsPoint,
+        plans: Vec<(usize, SessionPlan)>,
+    ) -> CeremonyPool {
+        CeremonyPool::new_indexed(
+            self.config.seed,
+            authority_pk,
+            plans,
+            self.config.pool_batch,
+            self.config.threads,
+        )
+    }
+
+    /// The generalized station engine every fleet entry point drives:
+    /// checks in `sessions` (a station's — or the whole day's — slice of
+    /// the global queue), runs their ceremonies window by window on a
+    /// **persistent lane crew** (worker threads spawned once and fed over
+    /// channels, not re-spawned per window), submits each window's ledger
+    /// records session-tagged through the boundary, and — when an
+    /// [`ActivationContext`] is given — activates groups of `lag` windows
+    /// behind one prefix barrier each.
+    ///
+    /// Windows are software-pipelined at depth 2: while the crew runs
+    /// window `w+1`'s ceremonies, the coordinator drives window `w`'s
+    /// ledger phase, so booth latency hides submission/activation latency
+    /// even within one station. Results reach `sink` strictly in session
+    /// order; ledger submission order per ledger is fixed by session
+    /// index, which is what keeps any scheduling bit-identical to the
+    /// sequential reference.
+    ///
+    /// `source` must yield exactly the materials for `sessions`, in
+    /// order.
+    pub fn run_station_over(
         &self,
         kiosks: &[Kiosk],
         boundary: &mut dyn RegistrarBoundary,
-        tickets: &[CheckInTicket],
-        window: Vec<SessionMaterials>,
-    ) -> Result<Vec<(RegistrationOutcome, Option<StolenCredential>)>, TripError> {
+        sessions: &[(usize, VoterId, usize)],
+        source: &mut dyn MaterialsSource,
+        activation: Option<(&ActivationContext<'_>, usize)>,
+        sink: &mut StationSink<'_>,
+    ) -> Result<(), TripError> {
         let n_kiosks = kiosks.len().max(1);
         let threads = self.config.threads.max(1);
+        let window_cap = self.config.pool_batch.max(1);
 
-        // One lane per kiosk, queue order within a lane; lanes spread
-        // round-robin over the worker threads.
-        let mut lanes: Vec<Vec<SessionMaterials>> = (0..n_kiosks).map(|_| Vec::new()).collect();
-        for materials in window {
-            lanes[materials.session_index % n_kiosks].push(materials);
+        // Check-in for the station's whole queue (Fig 8; MAC-only).
+        let mut tickets: HashMap<usize, CheckInTicket> = HashMap::with_capacity(sessions.len());
+        for &(idx, voter, _) in sessions {
+            tickets.insert(idx, boundary.check_in(voter)?);
         }
-        let worker_count = threads.min(n_kiosks);
-        let mut worker_lanes: Vec<Vec<(usize, Vec<SessionMaterials>)>> =
-            (0..worker_count).map(|_| Vec::new()).collect();
-        for (k, lane) in lanes.into_iter().enumerate() {
-            if !lane.is_empty() {
-                worker_lanes[k % worker_count].push((k, lane));
-            }
-        }
+        let max_session = sessions.iter().map(|&(idx, _, _)| idx).max();
+        let mut driver = activation.map(|(ctx, lag)| ActivationDriver::new(ctx, threads, lag));
 
-        let results: Mutex<Vec<(usize, Result<CeremonyOutput, TripError>)>> =
-            Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
-            for assigned in worker_lanes {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    for (k, lane) in assigned {
-                        let kiosk = &kiosks[k];
-                        for materials in lane {
-                            let idx = materials.session_index;
-                            local.push((idx, run_session(kiosk, &tickets[idx], materials)));
+        std::thread::scope(|scope| -> Result<(), TripError> {
+            // The persistent crew: one thread per worker slot for the
+            // whole run. Lanes (kiosks) are pinned to crew members, so a
+            // kiosk's sessions always execute on the same thread, in
+            // order — the journal-order guarantee survives pipelining.
+            let worker_count = threads.min(n_kiosks);
+            let (result_tx, result_rx) = mpsc::channel::<(u64, Vec<SessionResult>)>();
+            let mut crew = Vec::with_capacity(worker_count);
+            for _ in 0..worker_count {
+                let (job_tx, job_rx) =
+                    mpsc::channel::<(u64, Vec<(usize, Vec<SessionMaterials>)>)>();
+                crew.push(job_tx);
+                let result_tx = result_tx.clone();
+                let tickets = &tickets;
+                scope.spawn(move || {
+                    while let Ok((window_id, lanes)) = job_rx.recv() {
+                        let mut local = Vec::new();
+                        for (k, lane) in lanes {
+                            let kiosk = &kiosks[k];
+                            for materials in lane {
+                                let idx = materials.session_index;
+                                local.push((idx, run_session(kiosk, &tickets[&idx], materials)));
+                            }
+                        }
+                        if result_tx.send((window_id, local)).is_err() {
+                            return;
                         }
                     }
-                    results.lock().expect("fleet results lock").extend(local);
                 });
             }
-        });
-        let mut results = results.into_inner().expect("fleet results lock");
-        results.sort_by_key(|(idx, _)| *idx);
+            drop(result_tx);
 
-        // Propagate the earliest failure in queue order (deterministic
-        // regardless of which worker hit it first).
-        let mut window_outputs = Vec::with_capacity(results.len());
-        for (_, result) in results {
-            window_outputs.push(result?);
+            let dispatch =
+                |window: Vec<SessionMaterials>, window_id: u64| -> Result<usize, TripError> {
+                    let mut lanes: Vec<Vec<SessionMaterials>> =
+                        (0..n_kiosks).map(|_| Vec::new()).collect();
+                    for materials in window {
+                        lanes[materials.session_index % n_kiosks].push(materials);
+                    }
+                    let mut per_worker: Vec<Vec<(usize, Vec<SessionMaterials>)>> =
+                        (0..worker_count).map(|_| Vec::new()).collect();
+                    for (k, lane) in lanes.into_iter().enumerate() {
+                        if !lane.is_empty() {
+                            per_worker[k % worker_count].push((k, lane));
+                        }
+                    }
+                    let mut jobs = 0;
+                    for (worker, assigned) in per_worker.into_iter().enumerate() {
+                        if !assigned.is_empty() {
+                            crew[worker]
+                                .send((window_id, assigned))
+                                .map_err(|_| TripError::Boundary("ceremony crew died".into()))?;
+                            jobs += 1;
+                        }
+                    }
+                    Ok(jobs)
+                };
+
+            // Result batches of different windows may interleave on the
+            // shared channel (crew members run ahead); stash strays.
+            let mut stash: HashMap<u64, Vec<Vec<SessionResult>>> = HashMap::new();
+            let mut collect =
+                |window_id: u64, expected: usize| -> Result<Vec<SessionResult>, TripError> {
+                    let mut got = stash.remove(&window_id).unwrap_or_default();
+                    while got.len() < expected {
+                        let (id, batch) = result_rx
+                            .recv()
+                            .map_err(|_| TripError::Boundary("ceremony crew died".into()))?;
+                        if id == window_id {
+                            got.push(batch);
+                        } else {
+                            stash.entry(id).or_default().push(batch);
+                        }
+                    }
+                    let mut all: Vec<_> = got.into_iter().flatten().collect();
+                    all.sort_by_key(|(idx, _)| *idx);
+                    Ok(all)
+                };
+
+            // Depth-2 window pipeline: dispatch w+1, then finish w.
+            let mut window_id: u64 = 0;
+            let mut in_flight: Option<(u64, usize)> = None;
+            loop {
+                let window = source.next_window(window_cap, &mut *boundary)?;
+                if window.is_empty() {
+                    if let Some((id, expected)) = in_flight.take() {
+                        let outputs = collect(id, expected)?;
+                        ledger_phase(&mut *boundary, outputs, &mut driver, sink)?;
+                    }
+                    break;
+                }
+                let expected = dispatch(window, window_id)?;
+                let previous = in_flight.replace((window_id, expected));
+                window_id += 1;
+                if let Some((id, expected)) = previous {
+                    let outputs = collect(id, expected)?;
+                    ledger_phase(&mut *boundary, outputs, &mut driver, sink)?;
+                }
+            }
+            Ok(())
+        })?;
+
+        // Trailing activation group, then the station's prefix barrier.
+        if let Some(driver) = driver.as_mut() {
+            driver.flush(boundary, sink)?;
         }
+        boundary.sync_through(max_session.map_or(0, |m| m as u64 + 1))
+    }
+}
 
-        // Coordinator ledger phase, queue order throughout.
-        let mut commitments = Vec::new();
-        let mut checkouts = Vec::with_capacity(window_outputs.len());
-        let mut finals = Vec::with_capacity(window_outputs.len());
-        for output in window_outputs {
-            let CeremonyOutput {
+/// Voter → global index of their last planned session, over the whole
+/// day's plan.
+pub fn last_occurrence_of(plan: &[(VoterId, usize)]) -> HashMap<VoterId, usize> {
+    let mut last = HashMap::new();
+    for (i, &(voter, _)) in plan.iter().enumerate() {
+        last.insert(voter, i);
+    }
+    last
+}
+
+/// One window's coordinator ledger phase: propagate the earliest ceremony
+/// failure in session order, submit the window's envelope commitments and
+/// check-out records session-tagged, then either hand the outcomes to the
+/// activation driver or straight to the sink.
+fn ledger_phase(
+    boundary: &mut dyn RegistrarBoundary,
+    outputs: Vec<(usize, Result<CeremonyOutput, TripError>)>,
+    driver: &mut Option<ActivationDriver<'_>>,
+    sink: &mut StationSink<'_>,
+) -> Result<(), TripError> {
+    let mut window_outputs = Vec::with_capacity(outputs.len());
+    for (idx, result) in outputs {
+        window_outputs.push((idx, result?));
+    }
+    let mut env_groups = Vec::with_capacity(window_outputs.len());
+    let mut checkout_groups = Vec::with_capacity(window_outputs.len());
+    let mut finals = Vec::with_capacity(window_outputs.len());
+    for (idx, output) in window_outputs {
+        let CeremonyOutput {
+            believed_real,
+            fakes,
+            events,
+            checkout,
+            commitments,
+            official_coupon,
+            stolen,
+        } = output;
+        env_groups.push((idx as u64, commitments));
+        checkout_groups.push((idx as u64, vec![(checkout, official_coupon)]));
+        finals.push((
+            idx,
+            RegistrationOutcome {
                 believed_real,
                 fakes,
                 events,
-                checkout,
-                commitments: batch,
-                official_coupon,
-                stolen,
-            } = output;
-            commitments.extend(batch);
-            checkouts.push((checkout, official_coupon));
-            finals.push((believed_real, fakes, events, stolen));
+            },
+            stolen,
+        ));
+    }
+    boundary.submit_envelope_groups(env_groups)?;
+    boundary.submit_checkout_groups(checkout_groups)?;
+    match driver {
+        Some(driver) => driver.push_window(boundary, finals, sink),
+        None => {
+            for (idx, outcome, stolen) in finals {
+                sink(idx, outcome, None, stolen);
+            }
+            Ok(())
         }
-        boundary.submit_envelopes(commitments)?;
-        boundary.submit_checkouts(checkouts)?;
-        Ok(finals
-            .into_iter()
-            .map(|(believed_real, fakes, events, stolen)| {
-                (
-                    RegistrationOutcome {
-                        believed_real,
-                        fakes,
-                        events,
-                    },
-                    stolen,
-                )
-            })
-            .collect())
     }
 }
 

@@ -55,7 +55,12 @@ pub type PrintFulfil<'a> = dyn FnMut(&[crate::ceremony::PrintJob]) -> Result<Vec
 pub struct CeremonyPool {
     seed: [u8; 32],
     authority_pk: EdwardsPoint,
-    plan: Vec<SessionPlan>,
+    /// `(global session index, plan)` pairs, in derivation order. For a
+    /// whole-queue pool the indices are simply `0..n`; a polling-station
+    /// pool derives its station's (interleaved) subsequence of the global
+    /// queue, and the indices keep every bundle a pure function of
+    /// `(seed, global index, voter)` — the replay contract.
+    plan: Vec<(usize, SessionPlan)>,
     ready: VecDeque<SessionMaterials>,
     next: usize,
     batch: usize,
@@ -73,6 +78,26 @@ impl CeremonyPool {
         batch: usize,
         threads: usize,
     ) -> Self {
+        Self::new_indexed(
+            seed,
+            authority_pk,
+            plan.into_iter().enumerate().collect(),
+            batch,
+            threads,
+        )
+    }
+
+    /// [`CeremonyPool::new`] over an explicit `(global session index,
+    /// plan)` list — the pool a polling station builds for its share of
+    /// the day's queue. Indices must be strictly increasing.
+    pub fn new_indexed(
+        seed: [u8; 32],
+        authority_pk: EdwardsPoint,
+        plan: Vec<(usize, SessionPlan)>,
+        batch: usize,
+        threads: usize,
+    ) -> Self {
+        debug_assert!(plan.windows(2).all(|w| w[0].0 < w[1].0));
         Self {
             seed,
             authority_pk,
@@ -120,7 +145,7 @@ impl CeremonyPool {
         if self.next == end {
             return Ok(0);
         }
-        let jobs: Vec<(usize, SessionPlan)> = (self.next..end).map(|i| (i, self.plan[i])).collect();
+        let jobs: Vec<(usize, SessionPlan)> = self.plan[self.next..end].to_vec();
         let seed = &self.seed;
         let authority_pk = &self.authority_pk;
         let unprinted = par_map(&jobs, self.threads, |&(index, plan)| {
@@ -242,6 +267,130 @@ impl CeremonyPool {
     }
 }
 
+/// A bounded buffer between a background pool-refiller thread and the
+/// ceremony consumer — the "booth never waits for precompute" half of the
+/// pipelined registration day.
+///
+/// The refiller ([`PoolFeed::run_refiller`]) owns a [`CeremonyPool`] and a
+/// print fulfilment hook (typically a `PrintService` client on its own
+/// connection) and derives the next refill batch whenever the buffer sinks
+/// to the low-water mark, so precompute overlaps ceremony latency all day
+/// instead of only at warm start. The consumer pops ready sessions in
+/// strict derivation order ([`PoolFeed::take_window`]); because every
+/// bundle is a pure function of `(seed, global index, voter)`, buffering
+/// changes *when* material exists, never *what* it is.
+pub struct PoolFeed {
+    state: std::sync::Mutex<FeedState>,
+    /// Signalled when sessions become takeable (or the feed ends).
+    takeable: std::sync::Condvar,
+    /// Signalled when the buffer drains to the low-water mark (or the
+    /// consumer goes away).
+    refill: std::sync::Condvar,
+    low_water: usize,
+}
+
+struct FeedState {
+    ready: VecDeque<SessionMaterials>,
+    /// The refiller exhausted its plan (or failed) and will push no more.
+    done: bool,
+    /// The consumer is gone; the refiller should stop deriving.
+    closed: bool,
+    error: Option<TripError>,
+}
+
+impl PoolFeed {
+    /// A feed whose refiller tops the buffer up whenever fewer than
+    /// `low_water` sessions are ready.
+    pub fn new(low_water: usize) -> Self {
+        Self {
+            state: std::sync::Mutex::new(FeedState {
+                ready: VecDeque::new(),
+                done: false,
+                closed: false,
+                error: None,
+            }),
+            takeable: std::sync::Condvar::new(),
+            refill: std::sync::Condvar::new(),
+            low_water: low_water.max(1),
+        }
+    }
+
+    /// Sessions currently buffered (telemetry).
+    pub fn prepared(&self) -> usize {
+        self.state.lock().expect("feed lock").ready.len()
+    }
+
+    /// The refiller body: derives `pool` batch by batch (printing through
+    /// `print`), keeping the buffer above the low-water mark, until the
+    /// plan is exhausted, the consumer closes the feed, or a refill fails
+    /// (the error is handed to the consumer). Run this on a dedicated
+    /// thread; it blocks while the buffer is full enough.
+    pub fn run_refiller(
+        &self,
+        pool: &mut CeremonyPool,
+        print: &mut PrintFulfil<'_>,
+    ) -> Result<(), TripError> {
+        loop {
+            {
+                let mut st = self.state.lock().expect("feed lock");
+                while st.ready.len() > self.low_water && !st.closed {
+                    st = self.refill.wait(st).expect("feed lock");
+                }
+                if st.closed || pool.pending() == 0 {
+                    st.done = true;
+                    self.takeable.notify_all();
+                    return Ok(());
+                }
+            }
+            // Derive (and print) outside the lock: this is the expensive
+            // work the feed exists to overlap with ceremonies.
+            match pool.refill_via(print) {
+                Ok(_) => {
+                    let mut st = self.state.lock().expect("feed lock");
+                    while let Some(m) = pool.take_ready() {
+                        st.ready.push_back(m);
+                    }
+                    self.takeable.notify_all();
+                }
+                Err(e) => {
+                    let mut st = self.state.lock().expect("feed lock");
+                    st.error = Some(e.clone());
+                    st.done = true;
+                    self.takeable.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Takes up to `max` ready sessions in derivation order, blocking
+    /// until at least one is ready or the plan is exhausted. `Ok(vec![])`
+    /// means the feed is drained; a refiller failure surfaces here.
+    pub fn take_window(&self, max: usize) -> Result<Vec<SessionMaterials>, TripError> {
+        let mut st = self.state.lock().expect("feed lock");
+        while st.ready.is_empty() && !st.done {
+            st = self.takeable.wait(st).expect("feed lock");
+        }
+        if let Some(e) = st.error.clone() {
+            return Err(e);
+        }
+        let take = st.ready.len().min(max.max(1));
+        let window = st.ready.drain(..take).collect();
+        self.refill.notify_all();
+        Ok(window)
+    }
+
+    /// Tells the refiller to stop (consumer side; idempotent). Call on
+    /// every consumer exit path so the refiller thread never outlives the
+    /// day.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("feed lock");
+        st.closed = true;
+        self.refill.notify_all();
+        self.takeable.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +454,80 @@ mod tests {
             tags
         };
         assert_eq!(drain(1), drain(4));
+    }
+
+    #[test]
+    fn indexed_pool_derives_global_indices() {
+        let (apk, printer) = fixtures();
+        // A station owning the odd half of a 6-session queue.
+        let sub: Vec<(usize, SessionPlan)> = plan(6)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 1)
+            .collect();
+        let mut whole = CeremonyPool::new([4u8; 32], apk, plan(6), 8, 1);
+        let mut station = CeremonyPool::new_indexed([4u8; 32], apk, sub, 8, 1);
+        whole.warm(&printer).unwrap();
+        station.warm(&printer).unwrap();
+        let whole: Vec<SessionMaterials> = std::iter::from_fn(|| whole.take_ready()).collect();
+        while let Some(m) = station.take_ready() {
+            // Bit-identical to the whole-queue derivation at the same
+            // global index.
+            let reference = &whole[m.session_index];
+            assert_eq!(m.session_index % 2, 1);
+            assert_eq!(m.voter_id, reference.voter_id);
+            assert_eq!(m.real.c_pc, reference.real.c_pc);
+            assert_eq!(m.envelopes, reference.envelopes);
+        }
+    }
+
+    #[test]
+    fn feed_refiller_streams_the_whole_plan_in_order() {
+        let (apk, printer) = fixtures();
+        let mut pool = CeremonyPool::new([6u8; 32], apk, plan(9), 2, 1);
+        let feed = PoolFeed::new(3);
+        let taken = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                feed.run_refiller(&mut pool, &mut |jobs| {
+                    Ok(jobs
+                        .iter()
+                        .map(|job| printer.print_detached(job.challenge, job.symbol))
+                        .collect())
+                })
+                .expect("refiller runs");
+            });
+            let mut taken = Vec::new();
+            loop {
+                let window = feed.take_window(4).expect("take");
+                if window.is_empty() {
+                    break;
+                }
+                taken.extend(window.into_iter().map(|m| m.session_index));
+            }
+            feed.close();
+            taken
+        });
+        assert_eq!(taken, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn feed_close_stops_the_refiller_early() {
+        let (apk, printer) = fixtures();
+        let mut pool = CeremonyPool::new([6u8; 32], apk, plan(64), 2, 1);
+        let feed = PoolFeed::new(1);
+        std::thread::scope(|scope| {
+            let refiller = scope.spawn(|| {
+                feed.run_refiller(&mut pool, &mut |jobs| {
+                    Ok(jobs
+                        .iter()
+                        .map(|job| printer.print_detached(job.challenge, job.symbol))
+                        .collect())
+                })
+            });
+            let _ = feed.take_window(2).expect("take");
+            feed.close();
+            refiller.join().expect("joins").expect("stops cleanly");
+        });
     }
 
     #[test]

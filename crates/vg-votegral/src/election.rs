@@ -50,7 +50,7 @@ use std::marker::PhantomData;
 
 use vg_crypto::drbg::Rng;
 use vg_ledger::{Ledger, LedgerBackend, VoterId};
-use vg_service::Transport;
+use vg_service::{IngestMode, PipelineConfig, Transport};
 use vg_trip::fleet::{FleetConfig, KioskFleet};
 use vg_trip::protocol::{activate_all, register_voter, RegistrationOutcome};
 use vg_trip::setup::{TripConfig, TripSystem};
@@ -135,6 +135,7 @@ pub struct ElectionBuilder {
     threads: usize,
     fakes: FakesPolicy,
     transport: Transport,
+    pipeline: PipelineConfig,
 }
 
 impl Default for ElectionBuilder {
@@ -154,6 +155,7 @@ impl ElectionBuilder {
             threads: 1,
             fakes: FakesPolicy::default(),
             transport: Transport::InProcess,
+            pipeline: PipelineConfig::default(),
         }
     }
 
@@ -211,6 +213,46 @@ impl ElectionBuilder {
         self
     }
 
+    /// Number of polling-station connections registration runs over
+    /// (clamped to the kiosk count). More than one routes registration
+    /// through the pipelined engine: stations drive disjoint kiosk
+    /// chunks concurrently and the registrar's ingest worker restores
+    /// global queue order, so the ledgers stay bit-identical to a
+    /// single-station run.
+    pub fn stations(mut self, n: usize) -> Self {
+        self.pipeline.stations = n.max(1);
+        self
+    }
+
+    /// Background-refiller low-water mark, in sessions. Non-zero gives
+    /// every station a dedicated refiller thread (owning its own print
+    /// client) that keeps ceremony material precomputed ahead of the
+    /// booths all day; `0` (the default) refills synchronously at window
+    /// boundaries.
+    pub fn low_water(mut self, sessions: usize) -> Self {
+        self.pipeline.low_water = sessions;
+        self
+    }
+
+    /// When the registrar's ingest worker runs admission sweeps:
+    /// [`IngestMode::Barrier`] (only at sync barriers — the default) or
+    /// [`IngestMode::Background`] (also in channel-idle gaps, overlapping
+    /// sweeps with the next window's ceremonies). Selecting `Background`
+    /// routes registration through the pipelined engine.
+    pub fn ingest(mut self, mode: IngestMode) -> Self {
+        self.pipeline.ingest = mode;
+        self
+    }
+
+    /// Activate groups of this many pool windows behind one shared
+    /// prefix barrier (default 1 = a barrier every window). Larger lags
+    /// amortize barrier and verification-fold fixed costs at the price
+    /// of O(lag × pool batch) peak memory.
+    pub fn activation_lag(mut self, windows: usize) -> Self {
+        self.pipeline.activation_lag = windows.max(1);
+        self
+    }
+
     /// Replaces the whole TRIP deployment configuration (keeps any
     /// voters/backend already set on it).
     pub fn trip_config(mut self, config: TripConfig) -> Self {
@@ -234,6 +276,7 @@ impl ElectionBuilder {
             threads: self.threads,
             fakes: self.fakes,
             transport: self.transport,
+            pipeline: self.pipeline,
             _phase: PhantomData,
         }
     }
@@ -256,6 +299,10 @@ pub struct Election<P: ElectionPhase = Registration> {
     pub fakes: FakesPolicy,
     /// Transport the registration services run over.
     pub transport: Transport,
+    /// Pipelined-registration tuning (stations, refiller low-water mark,
+    /// ingest mode, activation lag). Lock-step defaults keep the
+    /// barrier-synchronous engine.
+    pub pipeline: PipelineConfig,
     _phase: PhantomData<P>,
 }
 
@@ -273,6 +320,7 @@ impl<P: ElectionPhase> Election<P> {
             threads: self.threads,
             fakes: self.fakes,
             transport: self.transport,
+            pipeline: self.pipeline,
             _phase: PhantomData,
         }
     }
@@ -358,7 +406,24 @@ impl Election<Registration> {
         sink: impl FnMut(RegistrationOutcome, Vsd),
     ) -> Result<(), VotegralError> {
         let fleet = self.fleet(rng);
-        vg_service::register_and_activate_day(&fleet, &mut self.trip, plan, self.transport, sink)?;
+        if self.pipeline.is_pipelined() {
+            vg_service::pipelined_register_and_activate_day(
+                &fleet,
+                &mut self.trip,
+                plan,
+                self.transport,
+                self.pipeline,
+                sink,
+            )?;
+        } else {
+            vg_service::register_and_activate_day(
+                &fleet,
+                &mut self.trip,
+                plan,
+                self.transport,
+                sink,
+            )?;
+        }
         Ok(())
     }
 
@@ -636,6 +701,40 @@ mod tests {
         let transcript = tallying.tally(&mut rng).unwrap();
         assert_eq!(transcript.result.counts, vec![0, 6]);
         tallying.verify(&transcript).expect("verifies");
+    }
+
+    #[test]
+    fn pipelined_registration_matches_lockstep() {
+        // The pipelined engine (stations + refiller + background ingest +
+        // lagged activation) is invisible in the ledgers and devices.
+        let run = |pipelined: bool| {
+            let mut rng = HmacDrbg::from_u64(77);
+            let mut builder = ElectionBuilder::new()
+                .voters(5)
+                .options(2)
+                .kiosks(4)
+                .threads(2)
+                .fakes(FakesPolicy::Cycling(2));
+            if pipelined {
+                builder = builder
+                    .stations(2)
+                    .low_water(4)
+                    .ingest(IngestMode::Background)
+                    .activation_lag(3);
+            }
+            let mut election = builder.build(&mut rng);
+            let voters: Vec<VoterId> = (1..=5).map(VoterId).collect();
+            let sessions = election.register_batch(&voters, &mut rng).unwrap();
+            (
+                election.ledger().registration.tree_head().root,
+                election.ledger().envelopes.tree_head().root,
+                sessions
+                    .iter()
+                    .map(|(_, vsd)| vsd.credentials.len())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

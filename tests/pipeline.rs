@@ -1,0 +1,309 @@
+//! Workspace properties of the pipelined registration-day engine: for
+//! ANY pipeline configuration — station count, background-refiller
+//! low-water mark, ingest mode, activation lag, transport — a pipelined
+//! day produces ledgers and credentials bit-identical to the sequential
+//! seeded reference, and a station whose connection dies mid-window is
+//! healed by failover without perturbing that identity.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use votegral::crypto::HmacDrbg;
+use votegral::ledger::VoterId;
+use votegral::service::{
+    pipelined_register_and_activate_day, pipelined_register_and_activate_day_with_fault,
+    pipelined_register_day, register_and_activate_day, IngestMode, PipelineConfig, StationFault,
+    Transport,
+};
+use votegral::trip::fleet::{FleetConfig, KioskFleet};
+use votegral::trip::protocol::{register_voter_seeded, RegistrationOutcome};
+use votegral::trip::setup::{TripConfig, TripSystem};
+
+fn trip_config(n_voters: u64, n_kiosks: usize) -> TripConfig {
+    TripConfig {
+        n_voters,
+        n_kiosks,
+        ..TripConfig::default()
+    }
+}
+
+/// Ledger heads plus per-credential identifying bytes, in queue order.
+fn fingerprint(
+    system: &TripSystem,
+    outcomes: &[RegistrationOutcome],
+) -> (Vec<u8>, Vec<u8>, usize, Vec<Vec<u8>>) {
+    let creds = outcomes
+        .iter()
+        .flat_map(|o| o.all_credentials())
+        .map(|c| {
+            let mut bytes = c.receipt.commit_qr.kiosk_sig.to_bytes().to_vec();
+            bytes.extend_from_slice(&c.receipt.checkout_qr.kiosk_sig.to_bytes());
+            bytes.extend_from_slice(&c.receipt.response_qr.credential_sk.to_bytes());
+            bytes.extend_from_slice(&c.envelope.challenge.to_bytes());
+            bytes
+        })
+        .collect();
+    (
+        system.ledger.registration.tree_head().root.to_vec(),
+        system.ledger.envelopes.tree_head().root.to_vec(),
+        system.ledger.registration.active_count(),
+        creds,
+    )
+}
+
+fn sequential_reference(
+    seed64: u64,
+    seed: &[u8; 32],
+    n_kiosks: usize,
+    queue: &[(VoterId, usize)],
+) -> (Vec<u8>, Vec<u8>, usize, Vec<Vec<u8>>) {
+    let mut rng = HmacDrbg::from_u64(seed64 ^ 0x91E);
+    let mut system = TripSystem::setup(trip_config(queue.len() as u64, n_kiosks), &mut rng);
+    let mut outcomes = Vec::new();
+    for (i, &(voter, fakes)) in queue.iter().enumerate() {
+        outcomes.push(register_voter_seeded(&mut system, voter, fakes, seed, i).unwrap());
+    }
+    fingerprint(&system, &outcomes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance criterion: pipelined registration days equal the
+    /// sequential seeded reference bit-for-bit across (kiosks × pool
+    /// batch × low-water mark × station count × ingest mode × threads ×
+    /// seed), on both transports.
+    #[test]
+    fn pipelined_day_equals_sequential_reference(
+        seed64 in any::<u64>(),
+        n_kiosks in 2usize..5,
+        pool_batch in 1usize..5,
+        threads in 1usize..3,
+        stations in 1usize..4,
+        low_water in 0usize..7,
+        background in any::<bool>(),
+        fake_counts in proptest::collection::vec(0usize..3, 5),
+    ) {
+        let n_voters = fake_counts.len() as u64;
+        let queue: Vec<(VoterId, usize)> = fake_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (VoterId(i as u64 + 1), f))
+            .collect();
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&seed64.to_le_bytes());
+        let fleet = KioskFleet::new(FleetConfig { pool_batch, threads, seed });
+        let pipeline = PipelineConfig {
+            stations,
+            low_water,
+            ingest: if background { IngestMode::Background } else { IngestMode::Barrier },
+            activation_lag: 1 + (seed64 % 3) as usize,
+        };
+        let reference = sequential_reference(seed64, &seed, n_kiosks, &queue);
+
+        for transport in [Transport::InProcess, Transport::Tcp] {
+            let mut rng = HmacDrbg::from_u64(seed64 ^ 0x91E);
+            let mut system = TripSystem::setup(trip_config(n_voters, n_kiosks), &mut rng);
+            let mut outcomes = Vec::new();
+            pipelined_register_day(&fleet, &mut system, &queue, transport, pipeline, |o| {
+                outcomes.push(o)
+            })
+            .expect("pipelined day runs");
+            prop_assert_eq!(
+                &fingerprint(&system, &outcomes),
+                &reference,
+                "transport {:?} pipeline {:?}",
+                transport,
+                pipeline
+            );
+        }
+    }
+
+    /// Pipelined register-and-activate (lagged activation, background
+    /// sweeps, multiple stations) matches the barrier-synchronous
+    /// engine: same activated credential secrets in queue order, same
+    /// reveal counts, same heads.
+    #[test]
+    fn pipelined_activation_day_matches_barrier_engine(
+        seed64 in any::<u64>(),
+        threads in 1usize..3,
+        stations in 1usize..3,
+        activation_lag in 1usize..4,
+        fake_counts in proptest::collection::vec(0usize..2, 4),
+    ) {
+        let n_voters = fake_counts.len() as u64;
+        let queue: Vec<(VoterId, usize)> = fake_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (VoterId(i as u64 + 1), f))
+            .collect();
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&seed64.to_le_bytes());
+        // pool_batch 2 forces several windows for a 4-voter queue, so
+        // lag grouping and prefix barriers actually engage.
+        let fleet = KioskFleet::new(FleetConfig { pool_batch: 2, threads, seed });
+
+        let barrier = {
+            let mut rng = HmacDrbg::from_u64(seed64 ^ 0xAC8);
+            let mut system = TripSystem::setup(trip_config(n_voters, 2), &mut rng);
+            let mut secrets = Vec::new();
+            register_and_activate_day(&fleet, &mut system, &queue, Transport::InProcess, |_, vsd| {
+                secrets.extend(vsd.credentials.iter().map(|c| c.key.secret()));
+            })
+            .expect("barrier day runs");
+            (
+                secrets,
+                system.ledger.envelopes.revealed_count(),
+                system.ledger.registration.tree_head().root,
+                system.ledger.envelopes.tree_head().root,
+            )
+        };
+
+        let pipeline = PipelineConfig {
+            stations,
+            low_water: 3,
+            ingest: IngestMode::Background,
+            activation_lag,
+        };
+        for transport in [Transport::InProcess, Transport::Tcp] {
+            let mut rng = HmacDrbg::from_u64(seed64 ^ 0xAC8);
+            let mut system = TripSystem::setup(trip_config(n_voters, 2), &mut rng);
+            let mut secrets = Vec::new();
+            pipelined_register_and_activate_day(
+                &fleet,
+                &mut system,
+                &queue,
+                transport,
+                pipeline,
+                |_, vsd| secrets.extend(vsd.credentials.iter().map(|c| c.key.secret())),
+            )
+            .expect("pipelined day runs");
+            let got = (
+                secrets,
+                system.ledger.envelopes.revealed_count(),
+                system.ledger.registration.tree_head().root,
+                system.ledger.envelopes.tree_head().root,
+            );
+            prop_assert_eq!(&got, &barrier, "transport {:?}", transport);
+        }
+    }
+}
+
+/// A station's connection dies mid-window (at several different points
+/// in its day) and the coordinator's failover completes the day on a
+/// fresh recovery connection — outcomes, loot order, devices and ledgers
+/// all exactly as if nothing had failed.
+#[test]
+fn station_death_mid_window_heals_on_survivors() {
+    let seed = [0x5Du8; 32];
+    let queue: Vec<(VoterId, usize)> = (1..=6).map(|v| (VoterId(v), (v % 2) as usize)).collect();
+    let fleet = KioskFleet::new(FleetConfig {
+        pool_batch: 2,
+        threads: 2,
+        seed,
+    });
+    let pipeline = PipelineConfig {
+        stations: 2,
+        low_water: 2,
+        ingest: IngestMode::Background,
+        activation_lag: 1,
+    };
+
+    // The healthy pipelined day is the reference.
+    let run = |fault: Option<StationFault>, transport: Transport| {
+        let mut rng = HmacDrbg::from_u64(0xFA11);
+        let mut system = TripSystem::setup(trip_config(6, 4), &mut rng);
+        let mut devices = Vec::new();
+        let mut outcomes = Vec::new();
+        pipelined_register_and_activate_day_with_fault(
+            &fleet,
+            &mut system,
+            &queue,
+            transport,
+            pipeline,
+            fault,
+            |outcome, vsd| {
+                devices.push(vsd.credentials.len());
+                outcomes.push(outcome);
+            },
+        )
+        .expect("day completes despite the dead station");
+        let fp = fingerprint(&system, &outcomes);
+        (fp, devices, system.ledger.envelopes.revealed_count())
+    };
+    let reference = run(None, Transport::InProcess);
+    // Everyone got their devices in the healthy run.
+    assert_eq!(reference.1, vec![2, 1, 2, 1, 2, 1]);
+
+    // Kill station 1 after a handful of boundary ops — sweeping the
+    // fault point across check-in, submission and barrier calls — on
+    // both transports.
+    for after_ops in [0, 2, 4, 5, 6] {
+        for transport in [Transport::InProcess, Transport::Tcp] {
+            let fault = Some(StationFault {
+                station: 1,
+                after_ops,
+            });
+            assert_eq!(
+                run(fault, transport),
+                reference,
+                "fault after {after_ops} ops over {transport:?}"
+            );
+        }
+    }
+}
+
+/// An unrecoverable error — an ineligible voter fails the station's
+/// check-in AND its one recovery re-run — must surface as the typed
+/// error on both transports. Over TCP this also pins the shutdown path:
+/// the acceptor must be woken on the error exit too, or the day would
+/// deadlock in the scope join instead of returning.
+#[test]
+fn unrecoverable_error_returns_typed_instead_of_hanging() {
+    for transport in [Transport::InProcess, Transport::Tcp] {
+        let mut rng = HmacDrbg::from_u64(404);
+        let mut system = TripSystem::setup(trip_config(2, 2), &mut rng);
+        let fleet = KioskFleet::new(FleetConfig::seeded([1u8; 32]));
+        let pipeline = PipelineConfig {
+            stations: 2,
+            low_water: 2,
+            ingest: IngestMode::Background,
+            activation_lag: 1,
+        };
+        // Voter 99 is not on the roster; their station fails at check-in
+        // deterministically, and so does the recovery connection.
+        let out = pipelined_register_and_activate_day(
+            &fleet,
+            &mut system,
+            &[(VoterId(1), 0), (VoterId(99), 0)],
+            transport,
+            pipeline,
+            |_, _| {},
+        );
+        assert_eq!(
+            out,
+            Err(votegral::trip::TripError::NotEligible),
+            "{transport:?}"
+        );
+    }
+}
+
+/// The station partition itself: disjoint, exhaustive, kiosk-aligned.
+#[test]
+fn station_partition_is_disjoint_and_kiosk_aligned() {
+    let mut rng = HmacDrbg::from_u64(3);
+    let system = TripSystem::setup(trip_config(10, 5), &mut rng);
+    let plan: Vec<(VoterId, usize)> = (1..=10).map(|v| (VoterId(v), 1)).collect();
+    for stations in [1, 2, 3, 5, 9] {
+        let parts = votegral::trip::fleet::partition_stations(&plan, &system.kiosks, stations);
+        assert_eq!(parts.len(), stations.min(5));
+        let mut seen = HashSet::new();
+        for part in &parts {
+            for &(idx, voter, _) in &part.sessions {
+                assert!(seen.insert(idx), "session {idx} assigned twice");
+                assert_eq!(voter, plan[idx].0);
+            }
+        }
+        assert_eq!(seen.len(), plan.len(), "stations cover the whole plan");
+    }
+}

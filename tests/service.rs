@@ -11,8 +11,9 @@ use votegral::crypto::{HmacDrbg, Rng};
 use votegral::ledger::{challenge_hash, VoterId};
 use votegral::service::messages::{
     ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
-    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, LedgerHeads, PrintRequest,
-    PrintResponse, Request, Response, WireCoupon,
+    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, IngestStatsReply, LedgerHeads,
+    PrintRequest, PrintResponse, Request, Response, SeqCheckOutRequest, SeqEnvelopeSubmitRequest,
+    SyncThroughRequest, WireCoupon,
 };
 use votegral::service::{register_and_activate_day, register_day, ServiceError, Transport};
 use votegral::trip::fleet::{FleetConfig, KioskFleet};
@@ -92,6 +93,25 @@ fn sample_messages(seed: u64) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
         })
         .to_wire(),
         Request::Shutdown.to_wire(),
+        Request::SubmitEnvelopesSeq(SeqEnvelopeSubmitRequest {
+            groups: vec![
+                (2, vec![commitment.clone()]),
+                (3, vec![commitment.clone(), commitment.clone()]),
+            ],
+        })
+        .to_wire(),
+        Request::CheckOutBatchSeq(SeqCheckOutRequest {
+            groups: vec![(
+                5,
+                vec![(qr.clone(), NonceCoupon::generate(&mut rng).into())],
+            )],
+        })
+        .to_wire(),
+        Request::SyncThrough(SyncThroughRequest {
+            sessions: rng.below(1 << 30),
+        })
+        .to_wire(),
+        Request::IngestStats.to_wire(),
     ];
     let responses = vec![
         Response::CheckIn(CheckInResponse { ticket }).to_wire(),
@@ -109,6 +129,18 @@ fn sample_messages(seed: u64) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
         .to_wire(),
         Response::ActivationSweep.to_wire(),
         Response::Shutdown.to_wire(),
+        Response::SubmitEnvelopesSeq(IngestReceipt { ticket: 11 }).to_wire(),
+        Response::CheckOutBatchSeq(CheckOutBatchResponse { ticket: 12 }).to_wire(),
+        Response::SyncThrough.to_wire(),
+        Response::IngestStats(IngestStatsReply {
+            env_batches: 8,
+            env_sweeps: 2,
+            reg_batches: 8,
+            reg_sweeps: 2,
+            worker_busy_us: 1_000,
+            worker_idle_us: 9_000,
+        })
+        .to_wire(),
         Response::Err(ServiceError::Trip(votegral::trip::TripError::NotEligible)).to_wire(),
     ];
     (requests, responses)
