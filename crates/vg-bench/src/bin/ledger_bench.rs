@@ -9,6 +9,13 @@
 //! covers the whole batch. On a single core the win is head-signing
 //! amortization; on a multi-core host parallel leaf hashing adds on top.
 //!
+//! The durable modes run the same batch ingest against the WAL-backed
+//! [`vg_ledger::DurableStore`] in a temporary directory, ending with the
+//! `persist()` commit barrier (group fsync + signed-head append). The
+//! fsync-off variant isolates the encode/checksum/write cost; the
+//! fsync-on variant adds the real disk barrier — their ratio to the
+//! volatile batch path is the `durability_tax`.
+//!
 //! Run with:
 //! `cargo run --release -p vg-bench --bin ledger_bench -- [--records 10000] [--threads N] [--shards 8] [--json path]`
 
@@ -18,7 +25,7 @@ use vg_bench::{arg_str, arg_usize, print_table, BenchReport};
 use vg_crypto::par::default_threads;
 use vg_crypto::schnorr::SigningKey;
 use vg_crypto::{HmacDrbg, Rng};
-use vg_ledger::{LedgerBackend, Record, TamperEvidentLog};
+use vg_ledger::{DurableRecord, LedgerBackend, Record, TamperEvidentLog, WalError};
 
 /// A ballot-sized synthetic record (≈ the payload of a 3-option ballot).
 struct BenchRecord {
@@ -37,6 +44,23 @@ impl Record for BenchRecord {
 
     fn shard_key(&self) -> Vec<u8> {
         self.key.to_vec()
+    }
+}
+
+impl DurableRecord for BenchRecord {
+    fn decode_canonical(bytes: &[u8]) -> Result<Self, WalError> {
+        let rest = bytes
+            .strip_prefix(b"bench-record-v1".as_slice())
+            .ok_or(WalError::Corrupt("bench record tag mismatch"))?;
+        if rest.len() < 32 {
+            return Err(WalError::Corrupt("bench record too short"));
+        }
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&rest[..32]);
+        Ok(BenchRecord {
+            key,
+            payload: rest[32..].to_vec(),
+        })
     }
 }
 
@@ -79,6 +103,57 @@ fn bench_batch(records: Vec<BenchRecord>, backend: LedgerBackend, threads: usize
     n as f64 / t0.elapsed().as_secs_f64()
 }
 
+/// Working directory for the durable benches. Prefers a RAM-backed
+/// tmpfs (`/dev/shm`) so the guarded headline measures the WAL software
+/// path — encode, checksum, buffered writes, syscall count — rather
+/// than disk weather: real-disk throughput on shared runners swings far
+/// more run-to-run than any software regression we want to catch.
+/// Override with `VG_BENCH_DIR` to benchmark a real device.
+fn durable_bench_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("VG_BENCH_DIR") {
+        return dir.into();
+    }
+    let shm = std::path::Path::new("/dev/shm");
+    if shm.is_dir() {
+        return shm.to_path_buf();
+    }
+    std::env::temp_dir()
+}
+
+/// Run a bench closure `iters` times and keep the peak rate. Disk and
+/// scheduler interference only ever slow a run down, so the max is the
+/// stable estimator for a regression guard.
+fn best_of(iters: usize, mut bench: impl FnMut() -> f64) -> f64 {
+    (0..iters.max(1)).map(|_| bench()).fold(0.0, f64::max)
+}
+
+/// Batch ingest through the WAL: append_batch + the `persist()` commit
+/// barrier (segment writes, optional group fsync, signed-head append).
+fn bench_durable(records: Vec<BenchRecord>, threads: usize, fsync: bool) -> f64 {
+    let dir = durable_bench_dir().join(format!(
+        "vg-ledger-bench-{}-{}",
+        std::process::id(),
+        if fsync { "fsync" } else { "nofsync" }
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut log = TamperEvidentLog::with_backend(
+        operator(),
+        LedgerBackend::Durable {
+            dir: dir.clone(),
+            fsync,
+        },
+    );
+    let n = records.len();
+    let t0 = Instant::now();
+    log.append_batch(records, threads);
+    log.persist();
+    std::hint::black_box(log.tree_head());
+    let rate = n as f64 / t0.elapsed().as_secs_f64();
+    drop(log);
+    let _ = std::fs::remove_dir_all(&dir);
+    rate
+}
+
 fn main() {
     let n = arg_usize("--records", 10_000).max(1);
     let threads = arg_usize("--threads", default_threads());
@@ -89,13 +164,32 @@ fn main() {
     println!("(per-record mode publishes a signed head after every append;");
     println!(" batch modes hash leaves in parallel and publish one head per batch)\n");
 
-    let per_record = bench_per_record(make_records(n, &mut rng));
-    let batch_flat = bench_batch(make_records(n, &mut rng), LedgerBackend::InMemory, threads);
-    let batch_sharded = bench_batch(
-        make_records(n, &mut rng),
-        LedgerBackend::sharded(shards),
-        threads,
-    );
+    let per_record = best_of(3, || bench_per_record(make_records(n, &mut rng)));
+    let batch_flat = best_of(3, || {
+        bench_batch(make_records(n, &mut rng), LedgerBackend::InMemory, threads)
+    });
+    let batch_sharded = best_of(3, || {
+        bench_batch(
+            make_records(n, &mut rng),
+            LedgerBackend::sharded(shards),
+            threads,
+        )
+    });
+    let durable_nofsync = best_of(3, || {
+        bench_durable(make_records(n, &mut rng), threads, false)
+    });
+    let durable_fsync = best_of(3, || {
+        bench_durable(make_records(n, &mut rng), threads, true)
+    });
+    // How much of the volatile batch rate the full-durability path keeps
+    // (e.g. 3.0 = fsync-at-flush ingest is 3x slower than in-memory).
+    let durability_tax = batch_flat / durable_fsync;
+    // Guarded headline: fraction of the volatile batch rate the WAL path
+    // (fsync off) retains. Both sides are batch-mode and measured
+    // back-to-back, so the ratio cancels host speed and stays stable
+    // run-to-run — unlike anything divided by the per-record baseline,
+    // whose 20k head signings are far more sensitive to CPU steal.
+    let durable_retention = durable_nofsync / batch_flat;
 
     let rows: Vec<Vec<String>> = vec![
         vec![
@@ -113,6 +207,16 @@ fn main() {
             format!("{batch_sharded:.0}"),
             format!("{:.2}x", batch_sharded / per_record),
         ],
+        vec![
+            "append_batch (durable, no fsync)".into(),
+            format!("{durable_nofsync:.0}"),
+            format!("{:.2}x", durable_nofsync / per_record),
+        ],
+        vec![
+            "append_batch (durable, fsync)".into(),
+            format!("{durable_fsync:.0}"),
+            format!("{:.2}x", durable_fsync / per_record),
+        ],
     ];
     print_table(&["mode", "ballots/sec", "speedup"], &rows);
 
@@ -125,6 +229,13 @@ fn main() {
             "(below 2x target)"
         }
     );
+    println!(
+        "durability tax (in-memory batch rate / durable-fsync batch rate): {durability_tax:.2}x"
+    );
+    println!(
+        "durable WAL retention (durable-nofsync rate / in-memory batch rate): {:.0}%",
+        durable_retention * 100.0
+    );
 
     if let Some(path) = arg_str("--json") {
         let mut report = BenchReport::new("ledger");
@@ -136,8 +247,13 @@ fn main() {
             .metric("per_record_per_sec", per_record)
             .metric("batch_inmemory_per_sec", batch_flat)
             .metric("batch_sharded_per_sec", batch_sharded)
+            .metric("durable_nofsync_per_sec", durable_nofsync)
+            .metric("durable_fsync_per_sec", durable_fsync)
+            .metric("durability_tax", durability_tax)
             .metric("headline_batch_inmemory_speedup", batch_flat / per_record)
-            .metric("headline_batch_sharded_speedup", speedup);
+            .metric("headline_batch_sharded_speedup", speedup)
+            .metric("durable_batch_speedup", durable_nofsync / per_record)
+            .metric("headline_durable_retention", durable_retention);
         report.write(&path).expect("write bench json");
         println!("telemetry written to {path}");
     }

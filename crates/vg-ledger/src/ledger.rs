@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use crate::durable::{DurabilityStats, RevealWal};
 use crate::log::{Record, TamperEvidentLog, TreeHead};
 use crate::store::LedgerBackend;
 use vg_crypto::edwards::CompressedPoint;
@@ -162,11 +163,19 @@ pub struct RegistrationLedger {
 impl RegistrationLedger {
     fn new(operator: SigningKey, roster: Vec<VoterId>, backend: LedgerBackend) -> Self {
         let roster_set = roster.iter().map(|v| (*v, ())).collect();
+        let log: TamperEvidentLog<RegistrationRecord> =
+            TamperEvidentLog::with_backend(operator, backend);
+        // A durable backend may have replayed history: rebuild the
+        // supersede map exactly as the original posting order built it.
+        let mut active = HashMap::new();
+        for (idx, record) in log.records().iter().enumerate() {
+            active.insert(record.voter_id, idx);
+        }
         Self {
-            log: TamperEvidentLog::with_backend(operator, backend),
+            log,
             roster,
             roster_set,
-            active: HashMap::new(),
+            active,
         }
     }
 
@@ -306,6 +315,17 @@ impl RegistrationLedger {
     pub fn backend(&self) -> LedgerBackend {
         self.log.backend()
     }
+
+    /// Commit barrier (no-op on volatile backends): see
+    /// [`TamperEvidentLog::persist`].
+    pub fn persist(&mut self) {
+        self.log.persist();
+    }
+
+    /// Durability counters for this sub-ledger.
+    pub fn durability_stats(&self) -> DurabilityStats {
+        self.log.durability_stats()
+    }
 }
 
 /// An envelope commitment (Setup, Fig 7 line 5): (P_pk, H(e), σ_p).
@@ -352,14 +372,35 @@ pub struct EnvelopeLedger {
     by_hash: HashMap<[u8; 32], usize>,
     /// Challenges revealed at activation, keyed by H(e).
     revealed: HashMap<[u8; 32], Scalar>,
+    /// Write-ahead persistence for `revealed` on a durable backend (the
+    /// reveal map is keyed state *next to* the Merkle log, so it needs
+    /// its own WAL). `None` on volatile backends.
+    reveal_wal: Option<RevealWal>,
 }
 
 impl EnvelopeLedger {
     fn new(operator: SigningKey, backend: LedgerBackend) -> Self {
+        // On a durable backend, reload the persisted reveal map before
+        // the day re-runs; corruption is fail-stop like the segment WAL.
+        let (reveal_wal, persisted) = match &backend {
+            LedgerBackend::Durable { dir, fsync } => {
+                let (wal, revealed) = RevealWal::open(dir, *fsync)
+                    .unwrap_or_else(|e| panic!("reveal wal open failed at {}: {e}", dir.display()));
+                (Some(wal), revealed)
+            }
+            _ => (None, Vec::new()),
+        };
+        let log: TamperEvidentLog<EnvelopeCommitment> =
+            TamperEvidentLog::with_backend(operator, backend);
+        let mut by_hash = HashMap::new();
+        for (idx, c) in log.records().iter().enumerate() {
+            by_hash.insert(c.challenge_hash, idx);
+        }
         Self {
-            log: TamperEvidentLog::with_backend(operator, backend),
-            by_hash: HashMap::new(),
-            revealed: HashMap::new(),
+            log,
+            by_hash,
+            revealed: persisted.into_iter().collect(),
+            reveal_wal,
         }
     }
 
@@ -424,13 +465,28 @@ impl EnvelopeLedger {
 
     /// Reveals a challenge at activation (Fig 11 line 11):
     /// `e ∉ L_E[H(e)]; L_E[H(e)] ← e`.
+    ///
+    /// On a reopened durable ledger, re-revealing the persisted reveals
+    /// *in their original order* (what a deterministic re-run of the day
+    /// does) is an idempotent no-op; any other repeat still trips the
+    /// duplicate-envelope detector of Appendix F.3.5.
     pub fn reveal_challenge(&mut self, e: &Scalar) -> Result<(), LedgerError> {
         let h = challenge_hash(e);
         if !self.by_hash.contains_key(&h) {
             return Err(LedgerError::UnknownEnvelope);
         }
         if self.revealed.contains_key(&h) {
+            if let Some(wal) = &mut self.reveal_wal {
+                if wal.matches_replay(&h) {
+                    return Ok(());
+                }
+            }
             return Err(LedgerError::DuplicateChallenge);
+        }
+        if let Some(wal) = &mut self.reveal_wal {
+            // Event before state: the WAL frame lands (fail-stop) before
+            // the in-memory map accepts the reveal.
+            wal.append(&h, e);
         }
         self.revealed.insert(h, *e);
         Ok(())
@@ -451,6 +507,24 @@ impl EnvelopeLedger {
     /// Signed tree head for auditors.
     pub fn tree_head(&self) -> TreeHead {
         self.log.tree_head()
+    }
+
+    /// Commit barrier: persists the commitment log and group-fsyncs the
+    /// reveal WAL. No-op on volatile backends.
+    pub fn persist(&mut self) {
+        self.log.persist();
+        if let Some(wal) = &mut self.reveal_wal {
+            wal.sync();
+        }
+    }
+
+    /// Durability counters (commitment log + reveal WAL).
+    pub fn durability_stats(&self) -> DurabilityStats {
+        let mut stats = self.log.durability_stats();
+        if let Some(wal) = &self.reveal_wal {
+            stats = stats.merge(&wal.stats());
+        }
+        stats
     }
 }
 
@@ -563,6 +637,17 @@ impl BallotLedger {
     pub fn tree_head(&self) -> TreeHead {
         self.log.tree_head()
     }
+
+    /// Commit barrier (no-op on volatile backends): see
+    /// [`TamperEvidentLog::persist`].
+    pub fn persist(&mut self) {
+        self.log.persist();
+    }
+
+    /// Durability counters for this sub-ledger.
+    pub fn durability_stats(&self) -> DurabilityStats {
+        self.log.durability_stats()
+    }
 }
 
 /// The complete public bulletin board.
@@ -583,18 +668,46 @@ impl Ledger {
     }
 
     /// Creates the ledger on the chosen storage backend. All three
-    /// sub-ledgers share the backend choice.
+    /// sub-ledgers share the backend choice; on a durable backend each
+    /// sub-ledger gets its own subdirectory and reopening an existing
+    /// directory replays the persisted history (operator keys are drawn
+    /// from `rng` in creation order, so a seeded reopen regenerates the
+    /// same signing identities).
     pub fn with_backend(roster: Vec<VoterId>, backend: LedgerBackend, rng: &mut dyn Rng) -> Self {
         Self {
-            registration: RegistrationLedger::new(SigningKey::generate(rng), roster, backend),
-            envelopes: EnvelopeLedger::new(SigningKey::generate(rng), backend),
-            ballots: BallotLedger::new(SigningKey::generate(rng), backend),
+            registration: RegistrationLedger::new(
+                SigningKey::generate(rng),
+                roster,
+                backend.for_subledger("registration"),
+            ),
+            envelopes: EnvelopeLedger::new(
+                SigningKey::generate(rng),
+                backend.for_subledger("envelopes"),
+            ),
+            ballots: BallotLedger::new(SigningKey::generate(rng), backend.for_subledger("ballots")),
         }
     }
 
     /// The storage backend this ledger runs on.
     pub fn backend(&self) -> LedgerBackend {
         self.registration.backend()
+    }
+
+    /// Commit barrier across all three sub-ledgers (no-op on volatile
+    /// backends): everything admitted so far is made durable and the
+    /// signed heads are persisted.
+    pub fn persist(&mut self) {
+        self.registration.persist();
+        self.envelopes.persist();
+        self.ballots.persist();
+    }
+
+    /// Aggregated durability counters across the sub-ledgers.
+    pub fn durability_stats(&self) -> DurabilityStats {
+        self.registration
+            .durability_stats()
+            .merge(&self.envelopes.durability_stats())
+            .merge(&self.ballots.durability_stats())
     }
 }
 

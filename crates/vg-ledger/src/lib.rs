@@ -11,17 +11,26 @@
 //!   and the key-hash partitioned [`store::ShardedStore`] with a rolled-up
 //!   head — behind the [`store::LedgerStore`] trait, plus backend-tagged
 //!   proof objects;
+//! - [`durable`]: the crash-recoverable WAL backend
+//!   ([`durable::DurableStore`]) — append-only checksummed segment files
+//!   written event-before-state, persisted signed heads, snapshot+replay
+//!   reopen with torn-tail repair, and the replay cursor that makes a
+//!   deterministic re-run of a killed day resume bit-identically;
 //! - [`log`]: typed tamper-evident logs with operator-signed tree heads
 //!   and a parallel batch-append fast path;
 //! - [`ledger`]: the three Votegral sub-ledgers with their domain rules
 //!   (registration supersede semantics, envelope duplicate-challenge
 //!   detection, ballot admission checks) and batch posting.
 
+pub mod durable;
 pub mod ledger;
 pub mod log;
 pub mod merkle;
 pub mod store;
 
+pub use durable::{
+    simulate_crash, CrashReport, DurabilityStats, DurableRecord, DurableStore, WalError,
+};
 pub use ledger::{
     challenge_hash, BallotLedger, BallotRecord, EnvelopeCommitment, EnvelopeLedger, Ledger,
     LedgerError, RegistrationLedger, RegistrationRecord, VoterId,

@@ -16,18 +16,20 @@
 //!
 //! Proof objects ([`InclusionProof`], [`ConsistencyProof`]) carry enough
 //! backend-specific context to verify against a signed
-//! [`TreeHead`](crate::TreeHead) without access to the store, so auditors
+//! [`TreeHead`] without access to the store, so auditors
 //! stay backend-agnostic.
 
 use std::ops::Range;
+use std::path::PathBuf;
 
-use crate::log::Record;
+use crate::durable::{DurabilityStats, DurableRecord, DurableStore};
+use crate::log::{Record, TreeHead};
 use crate::merkle::{self, Hash, MerkleLog};
 use vg_crypto::par::par_map;
 use vg_crypto::sha2::Sha256;
 
 /// Backend selection for ledger construction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum LedgerBackend {
     /// One flat Merkle log (the seed's original layout).
     #[default]
@@ -37,6 +39,20 @@ pub enum LedgerBackend {
     Sharded {
         /// Number of partitions.
         shards: usize,
+    },
+    /// Crash-recoverable WAL-backed flat log rooted at `dir`
+    /// ([`crate::durable::DurableStore`]): same commitment structure and
+    /// roots as [`LedgerBackend::InMemory`], persisted event-before-state
+    /// with group fsync at commit barriers when `fsync` is set.
+    Durable {
+        /// Directory holding the segment files, persisted heads and
+        /// snapshot (one subdirectory per sub-ledger at the
+        /// [`crate::Ledger`] level).
+        dir: PathBuf,
+        /// Whether commit barriers issue `fsync` (durability against
+        /// machine crashes; without it the log still survives process
+        /// kills).
+        fsync: bool,
     },
 }
 
@@ -48,15 +64,43 @@ impl LedgerBackend {
         }
     }
 
-    /// Instantiates an empty store of this backend. The trait object is
-    /// `Send + Sync` so a whole [`crate::Ledger`] can move behind a
-    /// service boundary (the registrar server thread owns it).
-    pub fn make_store<T: Record + Send + Sync + 'static>(
+    /// A durable backend rooted at `dir` with fsync at commit barriers.
+    pub fn durable(dir: impl Into<PathBuf>) -> Self {
+        LedgerBackend::Durable {
+            dir: dir.into(),
+            fsync: true,
+        }
+    }
+
+    /// The backend a named sub-ledger should run on: durable directories
+    /// get a per-sub-ledger subdirectory, the other backends are shared
+    /// configuration.
+    pub fn for_subledger(&self, name: &str) -> LedgerBackend {
+        match self {
+            LedgerBackend::Durable { dir, fsync } => LedgerBackend::Durable {
+                dir: dir.join(name),
+                fsync: *fsync,
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Instantiates a store of this backend — empty for the in-memory
+    /// backends, replayed from disk for [`LedgerBackend::Durable`]. The
+    /// trait object is `Send + Sync` so a whole [`crate::Ledger`] can
+    /// move behind a service boundary (the registrar server thread owns
+    /// it). Fail-stop on an unreadable or corrupt durable directory.
+    pub fn make_store<T: DurableRecord + Send + Sync + 'static>(
         &self,
     ) -> Box<dyn LedgerStore<T> + Send + Sync> {
-        match *self {
+        match self {
             LedgerBackend::InMemory => Box::new(InMemoryStore::new()),
-            LedgerBackend::Sharded { shards } => Box::new(ShardedStore::new(shards)),
+            LedgerBackend::Sharded { shards } => Box::new(ShardedStore::new(*shards)),
+            LedgerBackend::Durable { dir, fsync } => {
+                Box::new(DurableStore::open(dir.clone(), *fsync).unwrap_or_else(|e| {
+                    panic!("durable ledger open failed at {}: {e}", dir.display())
+                }))
+            }
         }
     }
 }
@@ -97,6 +141,24 @@ pub trait LedgerStore<T: Record> {
 
     /// Which backend this store is.
     fn backend(&self) -> LedgerBackend;
+
+    /// Whether appends are persisted to stable storage (true only for
+    /// [`crate::durable::DurableStore`]). Lets callers skip the head
+    /// computation a [`persist`](LedgerStore::persist) barrier needs.
+    fn is_durable(&self) -> bool {
+        false
+    }
+
+    /// Commit barrier: make everything appended so far durable (group
+    /// fsync) and persist the signed head. A no-op on volatile backends.
+    fn persist(&mut self, head: &TreeHead) {
+        let _ = head;
+    }
+
+    /// Durability counters (all zero on volatile backends).
+    fn durability_stats(&self) -> DurabilityStats {
+        DurabilityStats::default()
+    }
 }
 
 /// Domain-separated rollup root over per-shard `(size, root)` heads.
@@ -487,6 +549,7 @@ impl<T: Record + Sync> LedgerStore<T> for ShardedStore<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::durable::WalError;
 
     struct Note(u64);
 
@@ -499,6 +562,27 @@ mod tests {
             // Spread by value so different notes land on different shards.
             self.0.to_le_bytes().to_vec()
         }
+    }
+
+    impl DurableRecord for Note {
+        fn decode_canonical(bytes: &[u8]) -> Result<Self, WalError> {
+            let arr: [u8; 8] = bytes
+                .try_into()
+                .map_err(|_| WalError::Corrupt("bad note length"))?;
+            Ok(Note(u64::from_le_bytes(arr)))
+        }
+    }
+
+    fn durable_backend(tag: &str) -> LedgerBackend {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "vg-store-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        LedgerBackend::Durable { dir, fsync: false }
     }
 
     fn notes(n: u64) -> Vec<Note> {
@@ -521,15 +605,21 @@ mod tests {
 
     #[test]
     fn batch_equals_sequential_per_backend() {
-        for backend in [LedgerBackend::InMemory, LedgerBackend::sharded(3)] {
-            let mut one: Box<dyn LedgerStore<Note> + Send + Sync> = backend.make_store();
-            let mut many: Box<dyn LedgerStore<Note> + Send + Sync> = backend.make_store();
+        // The two durable stores must not share a directory (a shared
+        // directory would replay rather than build independently).
+        for (a, b) in [
+            (LedgerBackend::InMemory, LedgerBackend::InMemory),
+            (LedgerBackend::sharded(3), LedgerBackend::sharded(3)),
+            (durable_backend("one"), durable_backend("many")),
+        ] {
+            let mut one: Box<dyn LedgerStore<Note> + Send + Sync> = a.make_store();
+            let mut many: Box<dyn LedgerStore<Note> + Send + Sync> = b.make_store();
             for r in notes(25) {
                 one.append(r);
             }
             let range = many.append_batch(notes(25), 4);
             assert_eq!(range, 0..25);
-            assert_eq!(one.root(), many.root(), "{backend:?}");
+            assert_eq!(one.root(), many.root(), "{a:?}");
         }
     }
 
@@ -591,7 +681,11 @@ mod tests {
 
     #[test]
     fn empty_append_batch_is_a_noop() {
-        for backend in [LedgerBackend::InMemory, LedgerBackend::sharded(4)] {
+        for backend in [
+            LedgerBackend::InMemory,
+            LedgerBackend::sharded(4),
+            durable_backend("empty-batch"),
+        ] {
             let mut store: Box<dyn LedgerStore<Note> + Send + Sync> = backend.make_store();
             store.append_batch(notes(7), 2);
             let root_before = store.root();

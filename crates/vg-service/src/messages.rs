@@ -358,7 +358,9 @@ wire_struct! {
     /// admitted and sweeps run per ledger (the coalescing ratio is
     /// `batches / sweeps`), plus the ingest worker's cumulative busy and
     /// idle time in microseconds (zero on a barrier-mode host with no
-    /// worker thread).
+    /// worker thread), and the durability counters from the WAL backend
+    /// (records appended and group fsyncs issued; zero on the volatile
+    /// backends).
     #[derive(Clone, Copy, Default, PartialEq, Eq)]
     IngestStatsReply {
         env_batches: u64,
@@ -366,7 +368,9 @@ wire_struct! {
         reg_batches: u64,
         reg_sweeps: u64,
         worker_busy_us: u64,
-        worker_idle_us: u64
+        worker_idle_us: u64,
+        wal_records: u64,
+        wal_fsyncs: u64
     }
 }
 

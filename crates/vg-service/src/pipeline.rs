@@ -81,6 +81,14 @@ use crate::transport::{DayStats, ServiceBoundary, TcpClient, Transport};
 use crate::wire::{read_frame, write_frame};
 
 /// When the ingest worker runs admission sweeps.
+///
+/// Either mode ends every sweep at the same commit point: records are
+/// admitted to the in-memory Merkle state only after they are appended
+/// (and, with fsync on, group-synced) to the durable WAL, and each sweep
+/// closes by persisting a signed tree head covering everything admitted.
+/// The modes differ only in *when* sweeps run, never in what a completed
+/// sweep guarantees — so crash recovery replays to the same heads under
+/// both.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum IngestMode {
     /// Flush only at barriers (sync/heads/activation) — the coalescing
@@ -142,6 +150,13 @@ pub struct StationFault {
     pub station: usize,
     /// Boundary calls that succeed before the connection "dies".
     pub after_ops: usize,
+    /// If set, the *recovery* connection replaying the dead station's
+    /// undelivered sessions also dies after this many successful calls —
+    /// the kill-during-failover case. The day then aborts with a typed
+    /// error; on a durable backend everything admitted before the kill
+    /// is already persisted, so a reopened system replays it and dedups
+    /// the re-submitted sessions against that persisted prefix.
+    pub recovery_after_ops: Option<usize>,
 }
 
 // ---------------------------------------------------------------------------
@@ -228,6 +243,22 @@ impl IngestHandle {
     }
 
     /// Blocks until the submission resolves.
+    ///
+    /// # Commit-point contract
+    ///
+    /// When `wait` returns `Ok(())`, every session up to and including
+    /// the one this handle covers has been *admitted*: its envelope
+    /// commitments and registration records passed the RLC admission
+    /// sweep and were appended to the ledgers, and — on a durable
+    /// backend — the sweep that admitted them ended with a `persist()`
+    /// commit barrier (WAL group-fsync, then a signed tree head
+    /// covering them). A crash after `Ok(())` therefore cannot lose the
+    /// session: reopening the store replays it back under the same
+    /// head. This holds identically under [`IngestMode::Barrier`] and
+    /// [`IngestMode::Background`]; the modes only change when sweeps
+    /// happen, not what an `Ok(())` means. On `Err`, nothing past the
+    /// last successful sweep is guaranteed — but everything *before*
+    /// the sticky failure was still persisted by its own sweep.
     pub fn wait(&self) -> Result<(), ServiceError> {
         let (lock, cv) = &*self.progress.shared;
         let mut st = lock.lock().expect("progress lock");
@@ -350,6 +381,12 @@ impl<R: Clone> Lane<R> {
     }
 }
 
+/// The single-threaded admission engine behind the pipelined host. It
+/// owns the ledgers for the day; every mutation funnels through
+/// [`IngestWorker::flush_all`], whose final `persist()` is the one and
+/// only durable commit point — no code path publishes progress, answers
+/// a barrier, or returns ledger heads for state that has not already
+/// been fsynced under a signed head.
 struct IngestWorker<'a> {
     ledger: &'a mut Ledger,
     official: &'a Official,
@@ -375,7 +412,11 @@ impl<'a> IngestWorker<'a> {
         self.env.queue.pending_records() + self.reg.queue.pending_records()
     }
 
-    /// One coalesced admission sweep per ledger over everything released.
+    /// One coalesced admission sweep per ledger over everything
+    /// released, ending at the durable commit point: RLC admission →
+    /// segment append → group fsync → signed-head publish. Progress is
+    /// published (and handles resolve) only after `persist()` returns,
+    /// so an admitted session is always a persisted session.
     fn flush_all(&mut self) {
         if self.failed.is_some() {
             return;
@@ -402,6 +443,10 @@ impl<'a> IngestWorker<'a> {
                 Err(e) => self.failed = Some(e.into()),
             }
         }
+        // Commit barrier: everything this sweep admitted reaches stable
+        // storage (WAL fsync + signed head) before any handle observes
+        // it as admitted. A no-op on volatile backends.
+        self.ledger.persist();
         self.progress
             .update(self.admitted_through(), self.failed.as_ref());
     }
@@ -444,6 +489,7 @@ impl<'a> IngestWorker<'a> {
     fn stats(&self) -> IngestStatsReply {
         let (env_batches, env_sweeps) = self.env.queue.stats();
         let (reg_batches, reg_sweeps) = self.reg.queue.stats();
+        let durability = self.ledger.durability_stats();
         IngestStatsReply {
             env_batches,
             env_sweeps,
@@ -451,6 +497,8 @@ impl<'a> IngestWorker<'a> {
             reg_sweeps,
             worker_busy_us: self.busy.as_micros() as u64,
             worker_idle_us: self.idle.as_micros() as u64,
+            wal_records: durability.wal_records,
+            wal_fsyncs: durability.wal_fsyncs,
         }
     }
 
@@ -534,6 +582,9 @@ impl<'a> IngestWorker<'a> {
                             break;
                         }
                     }
+                    // Activation appended reveal-WAL entries; sync them
+                    // before acknowledging the claims.
+                    self.ledger.persist();
                     out
                 };
                 let _ = reply.send(out);
@@ -1317,7 +1368,14 @@ fn run_pipelined_day(
                                 authority_pk,
                                 activation: activate.then_some(&ctx),
                                 pipeline,
-                                fault_after: None,
+                                // Kill-during-failover chaos hook: the
+                                // recovery connection itself can be
+                                // faulted. A dead recovery is
+                                // unrecoverable (the station is already
+                                // in `recovered`), so the day aborts.
+                                fault_after: fault
+                                    .filter(|f| f.station == station)
+                                    .and_then(|f| f.recovery_after_ops),
                             };
                             let tx = msg_tx.clone();
                             let worker = worker_client.clone();

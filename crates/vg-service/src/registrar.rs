@@ -96,6 +96,9 @@ impl<'a> RegistrarHost<'a> {
             .flush(|commitments| ledger.envelopes.commit_batch(commitments, threads))?;
         self.reg_queue
             .flush(|records| ledger.registration.post_batch(records, threads))?;
+        // Commit barrier on a durable backend: group-fsync the WAL and
+        // persist signed heads before reporting the flush complete.
+        self.ledger.persist();
         Ok(())
     }
 }
@@ -185,6 +188,7 @@ impl LedgerIngestService for RegistrarHost<'_> {
 
     fn ingest_stats(&mut self) -> Result<IngestStatsReply, ServiceError> {
         let (env, reg) = self.queue_stats();
+        let durability = self.ledger.durability_stats();
         Ok(IngestStatsReply {
             env_batches: env.0,
             env_sweeps: env.1,
@@ -193,6 +197,8 @@ impl LedgerIngestService for RegistrarHost<'_> {
             // No worker thread on the barrier host.
             worker_busy_us: 0,
             worker_idle_us: 0,
+            wal_records: durability.wal_records,
+            wal_fsyncs: durability.wal_fsyncs,
         })
     }
 }
@@ -205,6 +211,9 @@ impl ActivationService for RegistrarHost<'_> {
         for claim in &req.claims {
             activation_ledger_phase(self.ledger, claim).map_err(ServiceError::Trip)?;
         }
+        // Activation appended reveal-WAL entries; sync them before
+        // acknowledging the sweep.
+        self.ledger.persist();
         Ok(())
     }
 }

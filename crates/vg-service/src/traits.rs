@@ -73,6 +73,23 @@ pub trait RegistrarService {
 /// it can withhold or reorder *pending* submissions (detectable by the
 /// submitting registrar at `sync`) but cannot rewrite admitted history
 /// without breaking the Merkle consistency proofs.
+///
+/// # Commit-point contract
+///
+/// On a durable ledger backend every barrier in this trait is also a
+/// *durability* barrier. When [`LedgerIngestService::sync`],
+/// [`LedgerIngestService::sync_through`] or
+/// [`LedgerIngestService::ledger_heads`] returns `Ok`, everything the
+/// barrier covers has been appended to the write-ahead log,
+/// group-fsynced (when fsync is enabled), and covered by a persisted
+/// signed tree head — in that order, records strictly before the head
+/// that commits them. A crash after the barrier returns loses nothing
+/// it covered: reopening the store replays the WAL back to the same
+/// heads, bit-identically. Receipts from
+/// [`LedgerIngestService::submit_envelopes`] alone promise ordering,
+/// not durability; durability attaches at the next barrier (or, on the
+/// pipelined host, when the covering `IngestHandle` resolves — its
+/// `wait` documents the same contract per ingest mode).
 pub trait LedgerIngestService {
     /// Queues a window's envelope commitments for L_E admission.
     fn submit_envelopes(

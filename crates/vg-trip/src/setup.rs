@@ -111,7 +111,7 @@ impl TripSystem {
     ) -> Self {
         // Electoral roll V = {1 … n} and empty sub-ledgers.
         let roster: Vec<VoterId> = (1..=config.n_voters).map(VoterId).collect();
-        let mut ledger = Ledger::with_backend(roster, config.backend, rng);
+        let mut ledger = Ledger::with_backend(roster, config.backend.clone(), rng);
 
         // DKG for the authority's collective key (Fig 7 line 2).
         let authority = Authority::dkg(config.n_authority, config.threshold, rng);

@@ -190,6 +190,16 @@ impl ElectionBuilder {
         self
     }
 
+    /// Durable crash-recoverable ledger storage rooted at `dir`
+    /// (fsync-at-flush on). Shorthand for
+    /// `backend(LedgerBackend::durable(dir))`; reopening an election on
+    /// the same directory with the same setup seed replays the
+    /// persisted WAL back to the exact pre-crash ledger heads.
+    pub fn storage(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.trip_config.backend = LedgerBackend::durable(dir);
+        self
+    }
+
     /// Worker threads for batch registration/casting fast paths.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
@@ -310,6 +320,15 @@ impl<P: ElectionPhase> Election<P> {
     /// The public bulletin board.
     pub fn ledger(&self) -> &Ledger {
         &self.trip.ledger
+    }
+
+    /// Durable commit barrier: drains buffered WAL appends on all three
+    /// ledgers, group-fsyncs them (when the backend enables fsync) and
+    /// persists the current signed tree heads. A no-op on volatile
+    /// backends. After this returns, a crash-and-reopen on the same
+    /// storage directory replays to exactly the heads current now.
+    pub fn persist_ledgers(&mut self) {
+        self.trip.ledger.persist();
     }
 
     fn into_phase<Q: ElectionPhase>(self) -> Election<Q> {

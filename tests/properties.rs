@@ -2,12 +2,28 @@
 //! configurations, decoder totality on adversarial bytes, determinism,
 //! and backend equivalence.
 
+use std::path::PathBuf;
+
 use proptest::prelude::*;
+use votegral::crypto::schnorr::SigningKey;
 use votegral::crypto::{CompressedPoint, HmacDrbg, Scalar};
-use votegral::ledger::{LedgerBackend, VoterId};
+use votegral::ledger::{BallotRecord, LedgerBackend, TamperEvidentLog, VoterId};
 use votegral::shuffle::VerifyMode;
 use votegral::trip::vsd::ActivatedCredential;
 use votegral::votegral::{Ballot, ElectionBuilder};
+
+/// A fresh scratch directory for durable-backend cases.
+fn wal_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vg-props-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
 
 /// Shared honest mix-cascade fixtures for the batch-verification soak:
 /// proving is the expensive part, so each `(n, mixers)` combination is
@@ -191,9 +207,12 @@ proptest! {
         prop_assert_eq!(verified, transcript.result);
     }
 
-    /// The sharded and in-memory backends are interchangeable: the same
-    /// seeded election produces identical counts and transcript verdicts
-    /// on both, and `cast_batch` on either matches sequential `cast`.
+    /// The sharded, in-memory and durable backends are interchangeable:
+    /// the same seeded election produces identical counts and transcript
+    /// verdicts on all three, `cast_batch` matches sequential `cast`,
+    /// and — because the WAL backend hashes the same flat Merkle tree —
+    /// the durable ledger heads are bit-identical to in-memory, not
+    /// merely equivalent.
     #[test]
     fn backends_and_batching_equivalent(
         seed in any::<u64>(),
@@ -232,14 +251,104 @@ proptest! {
         let (head_mem_seq, result_mem_seq) = run(LedgerBackend::InMemory, false);
         let (head_mem_batch, result_mem_batch) = run(LedgerBackend::InMemory, true);
         let (head_sh_batch, result_sh_batch) = run(LedgerBackend::sharded(shards), true);
+        let dir = wal_dir("equiv");
+        let (head_dur_batch, result_dur_batch) = run(
+            LedgerBackend::Durable { dir: dir.clone(), fsync: false },
+            true,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
         // cast_batch ≡ sequential cast: bit-identical ledger heads.
         prop_assert_eq!(head_mem_seq, head_mem_batch);
         prop_assert_eq!(&result_mem_seq, &result_mem_batch);
-        // Backends commit differently but count identically.
+        // The WAL commits the same flat tree: bit-identical heads too.
+        prop_assert_eq!(head_mem_seq, head_dur_batch);
+        prop_assert_eq!(&result_mem_seq, &result_dur_batch);
+        // The sharded backend commits differently but counts identically.
         prop_assert_eq!(&result_mem_seq.counts, &result_sh_batch.counts);
         prop_assert_eq!(result_mem_seq.counted, result_sh_batch.counted);
         prop_assert_eq!(result_mem_seq.unmatched, result_sh_batch.unmatched);
         let _ = head_sh_batch;
+    }
+
+    /// Durable-log edge cases at the workspace surface, tempdir-backed:
+    /// batch and sequential appends land on bit-identical signed heads
+    /// (matching the in-memory reference), an empty `append_batch` is an
+    /// indexless no-op even through the persist barrier, inclusion at
+    /// the exact head-boundary index verifies (and one past it does
+    /// not), and the whole state survives a reopen.
+    #[test]
+    fn durable_log_edge_cases(
+        seed in any::<u64>(),
+        n in 1usize..24,
+    ) {
+        let records = |count: usize| -> Vec<BallotRecord> {
+            let mut rng = HmacDrbg::from_u64(seed);
+            let key = SigningKey::generate(&mut rng);
+            (0..count)
+                .map(|i| {
+                    let mut payload = vec![0u8; 24 + (i % 7)];
+                    votegral::crypto::drbg::Rng::fill_bytes(&mut rng, &mut payload);
+                    let signature = key.sign(&BallotRecord::message(&payload));
+                    BallotRecord {
+                        credential_pk: CompressedPoint(votegral::crypto::drbg::Rng::bytes32(&mut rng)),
+                        payload,
+                        signature,
+                    }
+                })
+                .collect()
+        };
+        let operator = || SigningKey::generate(&mut HmacDrbg::from_u64(seed ^ 0x0D));
+
+        let mut reference = TamperEvidentLog::with_backend(operator(), LedgerBackend::InMemory);
+        for r in records(n) {
+            reference.append(r);
+        }
+
+        let seq_dir = wal_dir("edge-seq");
+        let batch_dir = wal_dir("edge-batch");
+        let mut seq = TamperEvidentLog::with_backend(
+            operator(),
+            LedgerBackend::Durable { dir: seq_dir.clone(), fsync: false },
+        );
+        for r in records(n) {
+            seq.append(r);
+        }
+        let mut batch = TamperEvidentLog::with_backend(
+            operator(),
+            LedgerBackend::Durable { dir: batch_dir.clone(), fsync: false },
+        );
+        let range = batch.append_batch(records(n), 2);
+        prop_assert_eq!(range, 0..n);
+        prop_assert_eq!(seq.tree_head().root, batch.tree_head().root);
+        prop_assert_eq!(reference.tree_head().root, batch.tree_head().root);
+
+        // Empty batch at the head boundary: no indices, no new head.
+        batch.persist();
+        let heads_before = batch.durability_stats().heads_persisted;
+        let range = batch.append_batch(Vec::new(), 4);
+        prop_assert_eq!(range, n..n);
+        batch.persist();
+        prop_assert_eq!(batch.durability_stats().heads_persisted, heads_before);
+
+        // Inclusion at the exact head boundary index, and one past it.
+        let head = batch.tree_head();
+        let last = records(n).pop().expect("n >= 1");
+        let proof = batch.prove_inclusion(n - 1);
+        prop_assert!(TamperEvidentLog::verify_inclusion(&head, &last, n - 1, &proof));
+        prop_assert!(!TamperEvidentLog::verify_inclusion(&head, &last, n, &proof));
+
+        // Reopen: same records, same root, same boundary behaviour.
+        drop(batch);
+        let reopened = TamperEvidentLog::<BallotRecord>::with_backend(
+            operator(),
+            LedgerBackend::Durable { dir: batch_dir.clone(), fsync: false },
+        );
+        prop_assert_eq!(reopened.len(), n);
+        prop_assert_eq!(reopened.tree_head().root, head.root);
+        head.verify(&reopened.operator_key()).expect("head verifies");
+
+        let _ = std::fs::remove_dir_all(&seq_dir);
+        let _ = std::fs::remove_dir_all(&batch_dir);
     }
 }
 

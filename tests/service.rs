@@ -139,6 +139,8 @@ fn sample_messages(seed: u64) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
             reg_sweeps: 2,
             worker_busy_us: 1_000,
             worker_idle_us: 9_000,
+            wal_records: 16,
+            wal_fsyncs: 2,
         })
         .to_wire(),
         Response::Err(ServiceError::Trip(votegral::trip::TripError::NotEligible)).to_wire(),
