@@ -15,20 +15,25 @@
 //!   background refiller + server-side ingest worker + lagged
 //!   activation, no extra parallelism (isolates the coalescing and
 //!   overlap wins);
-//! - **pipe**: the pipelined engine at the configured station count
-//!   (stations drive disjoint kiosk chunks concurrently);
-//! - **pipe-tcp**: the same multi-station day with every station on its
-//!   own framed loopback TCP connection.
+//! - **pipe-w1**: the pipelined engine at the configured station count
+//!   but a SINGLE ingest worker — every station's admission sweeps
+//!   serialize on one reorder buffer (the pre-sharding registrar);
+//! - **pipe**: the pipelined engine at the configured station count and
+//!   the configured shard worker count (stations drive disjoint kiosk
+//!   chunks concurrently; verification shards across workers);
+//! - **pipe-tcp**: the same multi-station sharded day with every
+//!   station on its own framed loopback TCP connection.
 //!
 //! All rows produce bit-identical ledgers (pinned by
-//! `tests/pipeline.rs`); the guarded headline is `pipe / barrier` at the
-//! acceptance grid point — a dimensionless ratio that catches pipeline
+//! `tests/pipeline.rs`); the guarded headlines are `pipe / barrier`
+//! (pipeline speedup) and `pipe / pipe-w1` (shard scaling) at the
+//! acceptance grid point — dimensionless ratios that catch pipeline
 //! regressions without tracking absolute host speed.
 //!
 //! Run with:
 //! `cargo run --release -p vg-bench --bin pipeline_bench --
-//!  [--quick] [--voters N --kiosks K] [--stations S] [--threads N]
-//!  [--pool N] [--lag N] [--low-water N] [--json path]`
+//!  [--quick] [--voters N --kiosks K] [--stations S] [--workers W]
+//!  [--threads N] [--pool N] [--lag N] [--low-water N] [--json path]`
 
 use std::time::Instant;
 
@@ -102,6 +107,9 @@ fn main() {
     let voters = arg_usize("--voters", 1_000);
     let kiosks = arg_usize("--kiosks", 4);
     let stations = arg_usize("--stations", 2);
+    // Shard workers cap at the station count inside the engine; default
+    // to the full fan-out so the headline measures sharded vs serial.
+    let workers = arg_usize("--workers", stations);
     let threads = arg_usize("--threads", 1);
     let pool = arg_usize("--pool", 64);
     let _ = quick; // the acceptance grid point IS the quick grid point
@@ -121,8 +129,9 @@ fn main() {
         threads,
         seed: [0x71u8; 32],
     };
-    let pipeline = |stations: usize| PipelineConfig {
+    let pipeline = |stations: usize, workers: usize| PipelineConfig {
         stations,
+        workers,
         low_water,
         ingest: IngestMode::Background,
         activation_lag: lag,
@@ -130,10 +139,12 @@ fn main() {
 
     println!(
         "Pipelined registration day, {voters} voters x {kiosks} kiosks, \
-         {stations} station(s), {threads} thread(s), pool {pool}, lag {lag}:"
+         {stations} station(s), {workers} ingest worker(s), {threads} thread(s), \
+         pool {pool}, lag {lag}:"
     );
     println!("barrier = synchronous refills + per-window flush barriers (one connection),");
-    println!("pipe    = background refiller + ingest worker + lagged activation.");
+    println!("pipe-w1 = pipelined stations serialized on a single ingest worker,");
+    println!("pipe    = background refiller + sharded ingest workers + lagged activation.");
     println!("Rates are end-to-end register+activate sessions/sec, precompute included.\n");
 
     let mut report = BenchReport::new("pipeline");
@@ -141,6 +152,7 @@ fn main() {
         .meta("voters", voters)
         .meta("kiosks", kiosks)
         .meta("stations", stations)
+        .meta("workers", workers)
         .meta("threads", threads)
         .meta("pool_batch", pool)
         .meta("activation_lag", lag)
@@ -151,22 +163,29 @@ fn main() {
         &plan,
         kiosks,
         fleet_config,
-        Some((pipeline(1), Transport::InProcess)),
+        Some((pipeline(1, 1), Transport::InProcess)),
+    );
+    let (pipe_w1, w1_stats) = run_day(
+        &plan,
+        kiosks,
+        fleet_config,
+        Some((pipeline(stations, 1), Transport::InProcess)),
     );
     let (pipe, pipe_stats) = run_day(
         &plan,
         kiosks,
         fleet_config,
-        Some((pipeline(stations), Transport::InProcess)),
+        Some((pipeline(stations, workers), Transport::InProcess)),
     );
     let (pipe_tcp, tcp_stats) = run_day(
         &plan,
         kiosks,
         fleet_config,
-        Some((pipeline(stations), Transport::Tcp)),
+        Some((pipeline(stations, workers), Transport::Tcp)),
     );
 
     let speedup = pipe / barrier;
+    let shard_scaling = pipe / pipe_w1;
     let rows = vec![
         vec![
             "barrier (1 conn)".into(),
@@ -183,14 +202,21 @@ fn main() {
             format!("{:.0}%", busy_pct(&s1_stats)),
         ],
         vec![
-            format!("pipe ({stations} stations)"),
+            format!("pipe-w1 ({stations} stations)"),
+            format!("{pipe_w1:.0}"),
+            format!("{:.2}x", pipe_w1 / barrier),
+            format!("{:.1}", coalesce_ratio(&w1_stats)),
+            format!("{:.0}%", busy_pct(&w1_stats)),
+        ],
+        vec![
+            format!("pipe ({stations} st x {} wk)", pipe_stats.workers),
             format!("{pipe:.0}"),
             format!("{speedup:.2}x"),
             format!("{:.1}", coalesce_ratio(&pipe_stats)),
             format!("{:.0}%", busy_pct(&pipe_stats)),
         ],
         vec![
-            format!("pipe-tcp ({stations} stations)"),
+            format!("pipe-tcp ({stations} st x {} wk)", tcp_stats.workers),
             format!("{pipe_tcp:.0}"),
             format!("{:.2}x", pipe_tcp / barrier),
             format!("{:.1}", coalesce_ratio(&tcp_stats)),
@@ -210,9 +236,11 @@ fn main() {
 
     report.metric("barrier_e2e_per_sec", barrier);
     report.metric("pipe_s1_e2e_per_sec", pipe_s1);
+    report.metric("pipe_w1_e2e_per_sec", pipe_w1);
     report.metric("pipe_e2e_per_sec", pipe);
     report.metric("pipe_tcp_e2e_per_sec", pipe_tcp);
     report.metric("pipe_s1_speedup", pipe_s1 / barrier);
+    report.metric("pipe_w1_speedup", pipe_w1 / barrier);
     report.metric("pipe_tcp_speedup", pipe_tcp / barrier);
     report.metric("pipe_coalesce_ratio", coalesce_ratio(&pipe_stats));
     report.metric(
@@ -224,6 +252,7 @@ fn main() {
         pipe_stats.ingest.worker_idle_us as f64,
     );
     report.metric("headline_pipeline_speedup", speedup);
+    report.metric("headline_shard_scaling", shard_scaling);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     report.metric("host_cores", cores as f64);
     println!(
@@ -235,6 +264,15 @@ fn main() {
              overlap needs a second core)"
         } else {
             "(below 1.3x target)"
+        }
+    );
+    println!(
+        "sharded ingest ({} workers) over single-worker ingest: {shard_scaling:.2}x{}",
+        pipe_stats.workers,
+        if cores <= 1 {
+            " (single core: shards can only time-slice)"
+        } else {
+            ""
         }
     );
 

@@ -242,30 +242,69 @@ impl RegistrationLedger {
                 return Err(LedgerError::NotOnRoster);
             }
         }
+        Self::verify_batch(&records, threads)?;
+        self.post_batch_preverified(records, threads)
+    }
+
+    /// The signature-chain half of [`RegistrationLedger::post_batch`]:
+    /// one committed RLC admission sweep over the batch (2 records and
+    /// up; per-record checks below that), touching no ledger state.
+    ///
+    /// An associated function on purpose — sharded ingest workers run
+    /// these sweeps in parallel on their own shards while a single
+    /// sequencer owns the append (see
+    /// [`RegistrationLedger::post_batch_preverified`]); eligibility is
+    /// *not* checked here because the roster lives with the ledger.
+    pub fn verify_batch(records: &[RegistrationRecord], threads: usize) -> Result<(), LedgerError> {
         if records.len() < 2 {
-            for check in par_map(&records, threads, Self::check_record) {
+            for check in par_map(records, threads, Self::check_record) {
                 check?;
             }
-        } else {
-            let mut vk_cache = vg_crypto::schnorr::VerifyingKeyCache::new();
-            let mut sweep = SignatureSweep::new(b"ledger-reg-admission-v1");
-            for record in &records {
-                sweep.push(
-                    vk_cache.get(&record.kiosk_pk)?,
-                    RegistrationRecord::kiosk_message(record.voter_id, &record.c_pc),
-                    record.kiosk_sig,
-                );
-                sweep.push(
-                    vk_cache.get(&record.official_pk)?,
-                    RegistrationRecord::official_message(
-                        record.voter_id,
-                        &record.c_pc,
-                        &record.kiosk_sig,
-                    ),
-                    record.official_sig,
-                );
+            return Ok(());
+        }
+        let mut vk_cache = vg_crypto::schnorr::VerifyingKeyCache::new();
+        let mut sweep = SignatureSweep::new(b"ledger-reg-admission-v1");
+        for record in records {
+            sweep.push(
+                vk_cache.get(&record.kiosk_pk)?,
+                RegistrationRecord::kiosk_message(record.voter_id, &record.c_pc),
+                record.kiosk_sig,
+            );
+            sweep.push(
+                vk_cache.get(&record.official_pk)?,
+                RegistrationRecord::official_message(
+                    record.voter_id,
+                    &record.c_pc,
+                    &record.kiosk_sig,
+                ),
+                record.official_sig,
+            );
+        }
+        batched_signature_sweep(&sweep, records, threads, Self::check_record)
+    }
+
+    /// The state half of [`RegistrationLedger::post_batch`]: eligibility
+    /// check (the roster is ledger state, so it stays at the commit
+    /// point), append through the backend's batch fast path, and
+    /// supersede semantics in input order.
+    ///
+    /// # Trust contract
+    ///
+    /// The caller **must** have run [`RegistrationLedger::verify_batch`]
+    /// over exactly these records — this entry point re-checks no
+    /// signatures. It exists so the verification cost can be paid on
+    /// sharded worker threads while appends stay globally ordered under
+    /// one owner, yielding the same single signed head as the
+    /// all-in-one path.
+    pub fn post_batch_preverified(
+        &mut self,
+        records: Vec<RegistrationRecord>,
+        threads: usize,
+    ) -> Result<std::ops::Range<usize>, LedgerError> {
+        for record in &records {
+            if !self.is_eligible(record.voter_id) {
+                return Err(LedgerError::NotOnRoster);
             }
-            batched_signature_sweep(&sweep, &records, threads, Self::check_record)?;
         }
         let voters: Vec<VoterId> = records.iter().map(|r| r.voter_id).collect();
         let range = self.log.append_batch(records, threads);
@@ -434,22 +473,50 @@ impl EnvelopeLedger {
         commitments: Vec<EnvelopeCommitment>,
         threads: usize,
     ) -> Result<std::ops::Range<usize>, LedgerError> {
+        Self::verify_batch(&commitments, threads)?;
+        self.commit_batch_preverified(commitments, threads)
+    }
+
+    /// The printer-signature half of [`EnvelopeLedger::commit_batch`]:
+    /// one committed RLC sweep over the batch, touching no ledger state,
+    /// so sharded ingest workers can verify their own shards in parallel
+    /// (see [`RegistrationLedger::verify_batch`] for the split's
+    /// rationale).
+    pub fn verify_batch(
+        commitments: &[EnvelopeCommitment],
+        threads: usize,
+    ) -> Result<(), LedgerError> {
         if commitments.len() < 2 {
-            for check in par_map(&commitments, threads, Self::check_commitment) {
+            for check in par_map(commitments, threads, Self::check_commitment) {
                 check?;
             }
-        } else {
-            let mut vk_cache = vg_crypto::schnorr::VerifyingKeyCache::new();
-            let mut sweep = SignatureSweep::new(b"ledger-env-admission-v1");
-            for c in &commitments {
-                sweep.push(
-                    vk_cache.get(&c.printer_pk)?,
-                    EnvelopeCommitment::message(&c.challenge_hash),
-                    c.signature,
-                );
-            }
-            batched_signature_sweep(&sweep, &commitments, threads, Self::check_commitment)?;
+            return Ok(());
         }
+        let mut vk_cache = vg_crypto::schnorr::VerifyingKeyCache::new();
+        let mut sweep = SignatureSweep::new(b"ledger-env-admission-v1");
+        for c in commitments {
+            sweep.push(
+                vk_cache.get(&c.printer_pk)?,
+                EnvelopeCommitment::message(&c.challenge_hash),
+                c.signature,
+            );
+        }
+        batched_signature_sweep(&sweep, commitments, threads, Self::check_commitment)
+    }
+
+    /// The state half of [`EnvelopeLedger::commit_batch`]: append and
+    /// index, re-checking no signatures.
+    ///
+    /// # Trust contract
+    ///
+    /// The caller **must** have run [`EnvelopeLedger::verify_batch`] over
+    /// exactly these commitments (same rationale as
+    /// [`RegistrationLedger::post_batch_preverified`]).
+    pub fn commit_batch_preverified(
+        &mut self,
+        commitments: Vec<EnvelopeCommitment>,
+        threads: usize,
+    ) -> Result<std::ops::Range<usize>, LedgerError> {
         let hashes: Vec<[u8; 32]> = commitments.iter().map(|c| c.challenge_hash).collect();
         let range = self.log.append_batch(commitments, threads);
         for (h, idx) in hashes.into_iter().zip(range.clone()) {

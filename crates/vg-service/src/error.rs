@@ -8,6 +8,7 @@
 //! cannot be reconstituted from untrusted bytes and decodes to a fixed
 //! placeholder.
 
+use crate::ingest::IngestError;
 use vg_crypto::codec::{put_u32, Reader};
 use vg_crypto::CryptoError;
 use vg_ledger::LedgerError;
@@ -20,6 +21,11 @@ pub enum ServiceError {
     Trip(TripError),
     /// A transport failure: socket, framing, codec or protocol violation.
     Transport(String),
+    /// The ingest queue kept refusing a submission even after bounded
+    /// flush-and-retry: the typed give-up of the backpressure contract.
+    /// Carries the final refusal so callers can see how saturated the
+    /// queue was when the registrar gave up.
+    Ingest(IngestError),
 }
 
 impl core::fmt::Display for ServiceError {
@@ -27,6 +33,7 @@ impl core::fmt::Display for ServiceError {
         match self {
             ServiceError::Trip(e) => write!(f, "service error: {e}"),
             ServiceError::Transport(what) => write!(f, "transport error: {what}"),
+            ServiceError::Ingest(e) => write!(f, "ingest gave up after bounded retries: {e}"),
         }
     }
 }
@@ -64,6 +71,9 @@ impl ServiceError {
         match self {
             ServiceError::Trip(e) => e,
             ServiceError::Transport(what) => TripError::Boundary(what),
+            ServiceError::Ingest(e) => {
+                TripError::Boundary(format!("ingest gave up after bounded retries: {e}"))
+            }
         }
     }
 }
@@ -160,8 +170,12 @@ pub(crate) fn encode_error(buf: &mut Vec<u8>, e: &ServiceError) {
                 (12, a, b, "")
             }
             TripError::Boundary(s) => (13, 0, 0, s.as_str()),
+            TripError::InvalidConfig(s) => (15, 0, 0, s.as_str()),
         },
         ServiceError::Transport(s) => (14, 0, 0, s.as_str()),
+        ServiceError::Ingest(IngestError::Backpressure { pending, capacity }) => {
+            (16, *pending as u32, *capacity as u32, "")
+        }
     };
     put_u32(buf, tag);
     put_u32(buf, sub);
@@ -194,6 +208,11 @@ pub(crate) fn decode_error(r: &mut Reader<'_>) -> Result<ServiceError, CryptoErr
         12 => ServiceError::Trip(TripError::Ledger(ledger_from_code(sub, sub2)?)),
         13 => ServiceError::Trip(TripError::Boundary(text)),
         14 => ServiceError::Transport(text),
+        15 => ServiceError::Trip(TripError::InvalidConfig(text)),
+        16 => ServiceError::Ingest(IngestError::Backpressure {
+            pending: sub as usize,
+            capacity: sub2 as usize,
+        }),
         _ => return Err(CryptoError::Malformed("unknown error tag")),
     })
 }
@@ -214,7 +233,12 @@ mod tests {
                 CryptoError::InvalidPoint,
             ))),
             ServiceError::Trip(TripError::Boundary("lost".into())),
+            ServiceError::Trip(TripError::InvalidConfig("3 stations over 2 kiosks".into())),
             ServiceError::Transport("socket reset".into()),
+            ServiceError::Ingest(IngestError::Backpressure {
+                pending: 16_000,
+                capacity: 16_384,
+            }),
         ];
         for e in cases {
             let mut buf = Vec::new();

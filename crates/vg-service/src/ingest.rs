@@ -23,6 +23,8 @@ use std::ops::Range;
 
 use vg_ledger::LedgerError;
 
+use crate::error::ServiceError;
+
 /// Why a submission was not queued.
 ///
 /// The queue's capacity bound is a **backpressure contract**, not a silent
@@ -177,6 +179,50 @@ impl<R: Clone> IngestQueue<R> {
     }
 }
 
+/// Bound on flush-and-retry attempts before a backpressured submission
+/// gives up with the typed [`ServiceError::Ingest`] error.
+///
+/// A single retry is *not* enough: with concurrent producers (multiple
+/// station connections, multiple ingest workers) another producer can
+/// refill the queue between the flush and the resubmission, refusing the
+/// retry again — and the old single-retry path then reported an opaque
+/// transport error while the batch was dropped on the floor. Eight
+/// attempts means a submitter only gives up after the queue has been
+/// drained and refilled from under it eight times in a row, at which
+/// point the system is genuinely saturated and the typed give-up is the
+/// honest answer.
+pub const BACKPRESSURE_RETRIES: usize = 8;
+
+/// Submits `records`, responding to [`IngestError::Backpressure`] with a
+/// bounded flush-and-retry loop: each refusal runs `flush` (an admission
+/// sweep over everything pending) and resubmits the refused batch.
+///
+/// Returns the submission ticket on success. After
+/// [`BACKPRESSURE_RETRIES`] refusals the *final* refusal is returned as
+/// [`ServiceError::Ingest`] — a typed give-up instead of a silent drop —
+/// and flush errors (admission failures) propagate immediately with their
+/// own typed variants.
+pub fn submit_with_retry<R: Clone>(
+    queue: &mut IngestQueue<R>,
+    mut records: Vec<R>,
+    mut flush: impl FnMut(&mut IngestQueue<R>) -> Result<(), ServiceError>,
+) -> Result<u64, ServiceError> {
+    let mut attempts = 0;
+    loop {
+        match queue.submit(records) {
+            Ok(ticket) => return Ok(ticket),
+            Err((err, refused)) => {
+                attempts += 1;
+                if attempts >= BACKPRESSURE_RETRIES {
+                    return Err(ServiceError::Ingest(err));
+                }
+                records = refused;
+                flush(queue)?;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +314,85 @@ mod tests {
         let mut q: IngestQueue<u32> = IngestQueue::new();
         q.flush(|_| unreachable!("nothing pending")).unwrap();
         assert_eq!(q.stats(), (0, 0));
+    }
+
+    /// Contention pin for the bounded-retry loop: a rival producer
+    /// refills the queue after every flush, so the retry is refused
+    /// again each round. The loop must keep flushing (bounded) and land
+    /// the batch once the rival relents — the old single-retry path gave
+    /// up (and dropped the batch) after one refill.
+    #[test]
+    fn retry_loop_survives_contending_producer() {
+        let mut q: IngestQueue<u32> = IngestQueue::with_capacity(2);
+        q.submit(vec![1, 2]).unwrap();
+        let mut drained = Vec::new();
+        let mut rival_rounds = 3;
+        let ticket = submit_with_retry(&mut q, vec![9], |q| {
+            q.flush(|records| {
+                let start = drained.len();
+                drained.extend(records);
+                Ok(start..drained.len())
+            })
+            .map_err(ServiceError::from)?;
+            // A rival connection refills to the cap before the retry
+            // lands, for the first few rounds.
+            if rival_rounds > 0 {
+                rival_rounds -= 1;
+                q.submit(vec![100 + rival_rounds, 200 + rival_rounds])
+                    .unwrap();
+            }
+            Ok(())
+        })
+        .expect("lands once the rival relents");
+        assert!(ticket > 0);
+        // Nothing was dropped: every rival batch was flushed through and
+        // the contended batch is pending.
+        assert_eq!(drained, vec![1, 2, 102, 202, 101, 201, 100, 200]);
+        assert_eq!(q.pending_records(), 1);
+    }
+
+    /// A rival that never relents: after [`BACKPRESSURE_RETRIES`]
+    /// refusals the submitter gets the typed give-up carrying the final
+    /// refusal, not a panic, a drop, or an untyped transport string.
+    #[test]
+    fn retry_loop_gives_up_typed_under_persistent_contention() {
+        let mut q: IngestQueue<u32> = IngestQueue::with_capacity(2);
+        q.submit(vec![1, 2]).unwrap();
+        let mut flushes = 0;
+        let err = submit_with_retry(&mut q, vec![9, 9], |q| {
+            flushes += 1;
+            q.flush(|_| Ok(0..0)).map_err(ServiceError::from)?;
+            // The rival instantly refills to the cap, every time.
+            q.submit(vec![7, 7]).unwrap();
+            Ok(())
+        })
+        .expect_err("persistent contention must give up");
+        assert_eq!(
+            err,
+            ServiceError::Ingest(IngestError::Backpressure {
+                pending: 2,
+                capacity: 2,
+            })
+        );
+        assert_eq!(flushes, BACKPRESSURE_RETRIES - 1);
+    }
+
+    /// Admission failures inside the flush propagate immediately with
+    /// their own typed variant; the retry loop must not mask them as
+    /// backpressure give-ups.
+    #[test]
+    fn retry_loop_propagates_flush_errors() {
+        let mut q: IngestQueue<u32> = IngestQueue::with_capacity(1);
+        q.submit(vec![13]).unwrap();
+        let err = submit_with_retry(&mut q, vec![9], |q| {
+            q.flush(|_| Err(LedgerError::NotOnRoster))
+                .map_err(ServiceError::from)?;
+            Ok(())
+        })
+        .expect_err("flush failure surfaces");
+        assert!(matches!(
+            err,
+            ServiceError::Trip(vg_trip::TripError::Ledger(LedgerError::NotOnRoster))
+        ));
     }
 }

@@ -58,6 +58,6 @@ pub use traits::{
 };
 pub use transport::{
     ledger_heads_over, register_and_activate_day, register_day, serve_connection, DayStats,
-    ServiceBoundary, TcpClient, Transport,
+    ServiceBoundary, StealRecord, TcpClient, Transport,
 };
 pub use wire::Wire;

@@ -356,11 +356,13 @@ wire_struct! {
 wire_struct! {
     /// Ingest coalescing and worker-utilization telemetry: batches
     /// admitted and sweeps run per ledger (the coalescing ratio is
-    /// `batches / sweeps`), plus the ingest worker's cumulative busy and
-    /// idle time in microseconds (zero on a barrier-mode host with no
-    /// worker thread), and the durability counters from the WAL backend
-    /// (records appended and group fsyncs issued; zero on the volatile
-    /// backends).
+    /// `batches / sweeps`), plus cumulative busy and idle time in
+    /// microseconds summed over every ingest thread — the sharded
+    /// verification workers and the commit sequencer (zero on a
+    /// barrier-mode host with no worker thread) — the number of shard
+    /// workers that served the day (`0` on a barrier host), and the
+    /// durability counters from the WAL backend (records appended and
+    /// group fsyncs issued; zero on the volatile backends).
     #[derive(Clone, Copy, Default, PartialEq, Eq)]
     IngestStatsReply {
         env_batches: u64,
@@ -370,7 +372,8 @@ wire_struct! {
         worker_busy_us: u64,
         worker_idle_us: u64,
         wal_records: u64,
-        wal_fsyncs: u64
+        wal_fsyncs: u64,
+        workers: u64
     }
 }
 

@@ -1,5 +1,6 @@
 //! The pipelined registration-day engine: background pool refillers, a
-//! server-side ingest worker, and a multi-connection registrar.
+//! sharded multi-worker ingest layer, and a multi-connection registrar
+//! with dynamic kiosk work stealing.
 //!
 //! The barrier-synchronous day ([`crate::register_and_activate_day`])
 //! executes its three stages lock-step: precompute refills the pool at
@@ -11,52 +12,70 @@
 //!   runs a dedicated thread owning a `PrintService` client that keeps
 //!   the station's ceremony pool above a low-water mark, hiding
 //!   precompute behind ceremony latency mid-day, not just at warm start.
-//! - **Ingest worker**: one server-side thread owns the ledgers. Stations
-//!   submit session-tagged record groups and continue immediately; the
-//!   worker restores *global* session order across stations (a reorder
-//!   buffer per ledger), coalesces whatever is in flight into single
-//!   RLC-folded admission sweeps, and resolves prefix barriers
-//!   ([`Request::SyncThrough`](crate::messages::Request)) as admission
-//!   advances. Submissions come with real completion handles
+//! - **Sharded ingest**: N shard workers
+//!   ([`PipelineConfig::workers`]) own disjoint station partitions of
+//!   the session stream — shard = original kiosk-chunk owner, so a
+//!   station's submissions always route to one worker. Each worker runs
+//!   its own reorder buffers and the per-shard RLC admission sweeps
+//!   (pure signature-chain verification, no ledger state:
+//!   [`vg_ledger::RegistrationLedger::verify_batch`]), publishing
+//!   verified groups into a shared inbox. One **commit sequencer**
+//!   thread owns the ledgers: it drains the inbox's contiguous global
+//!   prefix, appends through the preverified entry points in exact
+//!   session order, and ends every sweep at the `persist()` commit
+//!   barrier — so N workers saturate cores on verification while the
+//!   day still yields **one signed head per ledger**, bit-identical to
+//!   one worker. Prefix barriers
+//!   ([`Request::SyncThrough`](crate::messages::Request)) resolve as
+//!   admission advances; submissions come with real completion handles
 //!   ([`IngestHandle`]) that can be polled or awaited.
 //! - **Multi-connection registrar**: the TCP acceptor serves N
 //!   kiosk-coordinator connections (one per polling station, plus each
-//!   station's refiller client), with the ingest worker as the single
+//!   station's refiller client), with the commit sequencer as the single
 //!   serialization point for ledger state.
 //!
 //! # Bit-identity
 //!
-//! Every pipeline configuration — station count, low-water mark, ingest
-//! mode, activation lag, transport — produces ledgers and credentials
-//! bit-identical to the sequential seeded reference: session materials
-//! are pure functions of `(seed, global index, voter)`, kiosk assignment
-//! stays `index mod |K|` (stations own disjoint kiosk chunks), and the
-//! worker admits records in global session order no matter which station
-//! finished first. Pipelining changes *when* work happens, never *what*
-//! lands on the ledger — pinned by `tests/pipeline.rs`.
+//! Every pipeline configuration — station count, worker count, low-water
+//! mark, ingest mode, activation lag, transport — produces ledgers and
+//! credentials bit-identical to the sequential seeded reference: session
+//! materials are pure functions of `(seed, global index, voter)`, kiosk
+//! assignment stays `index mod |K|` (stations own disjoint kiosk
+//! chunks), and the sequencer commits records in global session order no
+//! matter which station or worker finished first. Pipelining changes
+//! *when* work happens, never *what* lands on the ledger — pinned by
+//! `tests/pipeline.rs`.
 //!
-//! # Failover
+//! # Failover: work stealing
 //!
-//! If a station's connection dies mid-window, the coordinator re-runs its
-//! undelivered sessions on a fresh recovery connection. Re-derived
-//! sessions are byte-identical (determinism again), and the worker's
-//! reorder buffer drops duplicate session groups, so a partially
+//! If a station's connection dies mid-window, the coordinator partitions
+//! the dead station's undelivered kiosk range into contiguous chunks and
+//! attributes one *steal-runner* connection per chunk to the surviving
+//! stations — parallel recovery instead of one serial replay connection.
+//! The kiosk assignment `i mod |K|` never moves (credentials keep the
+//! same kiosk signatures); only transport ownership does. Re-derived
+//! sessions are byte-identical (determinism again) and shard routing
+//! keys off the *original* owner, so stolen re-submissions land on the
+//! same worker whose reorder buffer drops duplicates — a partially
 //! submitted window heals without double admission.
 
 use std::collections::{BTreeMap, HashSet};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use vg_crypto::par::par_map;
 use vg_crypto::schnorr::NonceCoupon;
 use vg_crypto::CompressedPoint;
-use vg_ledger::{EnvelopeCommitment, Ledger, RegistrationRecord, VoterId};
+use vg_ledger::{
+    EnvelopeCommitment, EnvelopeLedger, Ledger, RegistrationLedger, RegistrationRecord, VoterId,
+};
 use vg_trip::boundary::{IngestTicket, RegistrarBoundary};
 use vg_trip::fleet::{
-    last_occurrence_of, partition_stations, ActivationContext, FeedSource, KioskFleet, PoolSource,
+    kiosk_owners, last_occurrence_of, partition_stations, ActivationContext, FeedSource,
+    KioskFleet, PoolSource,
 };
 use vg_trip::kiosk::{Kiosk, StolenCredential};
 use vg_trip::materials::{CheckInTicket, CheckOutQr, Envelope};
@@ -69,7 +88,6 @@ use vg_trip::vsd::{activation_ledger_phase, ActivationClaim, Vsd};
 use vg_trip::{PrintJob, TripError};
 
 use crate::error::ServiceError;
-use crate::ingest::IngestQueue;
 use crate::messages::{
     ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
     CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, IngestStatsReply, LedgerHeads,
@@ -77,7 +95,7 @@ use crate::messages::{
 };
 use crate::registrar::MAX_PENDING_RECORDS;
 use crate::traits::{ActivationService, LedgerIngestService, PrintService, RegistrarService};
-use crate::transport::{DayStats, ServiceBoundary, TcpClient, Transport};
+use crate::transport::{DayStats, ServiceBoundary, StealRecord, TcpClient, Transport};
 use crate::wire::{read_frame, write_frame};
 
 /// When the ingest worker runs admission sweeps.
@@ -103,20 +121,28 @@ pub enum IngestMode {
 /// Tuning for a pipelined registration day.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PipelineConfig {
-    /// Polling-station connections (clamped to `1..=|K|`; kiosks split
-    /// into contiguous chunks, sessions follow their kiosk).
+    /// Polling-station connections. Must satisfy `1 <= stations <= |K|`
+    /// (kiosks split into contiguous chunks, sessions follow their
+    /// kiosk); anything else is a typed
+    /// [`TripError::InvalidConfig`] — never silently clamped.
     pub stations: usize,
     /// Background-refiller low-water mark in sessions; `0` disables the
     /// refiller thread (stations refill synchronously at window
     /// boundaries).
     pub low_water: usize,
-    /// When the ingest worker sweeps.
+    /// When the ingest layer sweeps.
     pub ingest: IngestMode,
     /// Activate groups of this many windows behind one prefix barrier
     /// (`1` = a barrier per window, the lock-step reference). Larger lags
     /// amortize barrier and verification-fold fixed costs; peak memory
     /// grows to O(lag × pool batch).
     pub activation_lag: usize,
+    /// Shard verification workers for the ingest layer. Shards key off
+    /// the station owning each session's kiosk chunk, so the effective
+    /// count is `min(workers, stations)` — the day reports it in
+    /// [`DayStats::workers`]. `0` and `1` both mean the single-worker
+    /// engine.
+    pub workers: usize,
 }
 
 impl Default for PipelineConfig {
@@ -126,6 +152,7 @@ impl Default for PipelineConfig {
             low_water: 0,
             ingest: IngestMode::Barrier,
             activation_lag: 1,
+            workers: 1,
         }
     }
 }
@@ -137,6 +164,7 @@ impl PipelineConfig {
             || self.low_water > 0
             || self.ingest == IngestMode::Background
             || self.activation_lag > 1
+            || self.workers > 1
     }
 }
 
@@ -163,6 +191,16 @@ pub struct StationFault {
 // Completion handles
 // ---------------------------------------------------------------------------
 
+/// Locks shared pipeline state, recovering from a poisoned mutex. The
+/// states guarded this way (progress counters, the verified inbox) are
+/// internally consistent at every individual store, so a handler thread
+/// that panicked while holding the lock leaves valid — merely possibly
+/// stale — data behind; propagating the poison would instead panic every
+/// waiting station and the day coordinator with it.
+fn lock_recover<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[derive(Default)]
 struct ProgressState {
     /// Sessions `[0, admitted_through)` are admitted on both ledgers.
@@ -188,7 +226,7 @@ impl IngestProgress {
 
     fn update(&self, admitted_through: u64, failed: Option<&ServiceError>) {
         let (lock, cv) = &*self.shared;
-        let mut st = lock.lock().expect("progress lock");
+        let mut st = lock_recover(lock);
         st.admitted_through = st.admitted_through.max(admitted_through);
         if st.failed.is_none() {
             st.failed = failed.cloned();
@@ -198,7 +236,7 @@ impl IngestProgress {
 
     fn finish(&self) {
         let (lock, cv) = &*self.shared;
-        lock.lock().expect("progress lock").finished = true;
+        lock_recover(lock).finished = true;
         cv.notify_all();
     }
 
@@ -227,7 +265,7 @@ impl IngestHandle {
     /// sticky admission failure (or a worker that exited first).
     pub fn poll(&self) -> Option<Result<(), ServiceError>> {
         let (lock, _) = &*self.progress.shared;
-        let st = lock.lock().expect("progress lock");
+        let st = lock_recover(lock);
         if let Some(e) = &st.failed {
             return Some(Err(e.clone()));
         }
@@ -261,7 +299,7 @@ impl IngestHandle {
     /// the sticky failure was still persisted by its own sweep.
     pub fn wait(&self) -> Result<(), ServiceError> {
         let (lock, cv) = &*self.progress.shared;
-        let mut st = lock.lock().expect("progress lock");
+        let mut st = lock_recover(lock);
         loop {
             if let Some(e) = &st.failed {
                 return Err(e.clone());
@@ -274,13 +312,13 @@ impl IngestHandle {
                     "ingest worker exited before admission".into(),
                 ));
             }
-            st = cv.wait(st).expect("progress lock");
+            st = cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// The ingest worker
+// The sharded ingest engine
 // ---------------------------------------------------------------------------
 
 /// Minimum pending records before a channel-idle gap triggers a
@@ -289,16 +327,9 @@ impl IngestHandle {
 /// comes from.
 const MIN_IDLE_SWEEP: usize = 512;
 
+/// Commands for the commit sequencer — the one thread owning the ledgers.
 enum Cmd {
     CheckIn(VoterId, Sender<Result<CheckInTicket, ServiceError>>),
-    SubmitEnvelopes(
-        Vec<(u64, Vec<EnvelopeCommitment>)>,
-        Sender<Result<u64, ServiceError>>,
-    ),
-    SubmitRecords(
-        Vec<(u64, Vec<RegistrationRecord>)>,
-        Sender<Result<u64, ServiceError>>,
-    ),
     SyncThrough(u64, Sender<Result<(), ServiceError>>),
     SyncAll(Sender<Result<(), ServiceError>>),
     Activate(Vec<ActivationClaim>, Sender<Result<(), ServiceError>>),
@@ -306,143 +337,653 @@ enum Cmd {
     Stats(Sender<IngestStatsReply>),
     /// Fail every parked barrier so blocked stations unwind (day abort).
     Abort,
+    /// A shard worker changed the shared inbox (released, verified or
+    /// failed something): commit opportunistically and re-check parked
+    /// barriers. Carries nothing — the inbox is the message.
+    Poke,
+    /// Day teardown, sent exactly once by the coordinator after every
+    /// station is done: the sequencer drops its shard senders so the
+    /// workers drain, exit-sweep into the inbox, and release their own
+    /// sequencer senders in turn. Without this the worker ⇄ sequencer
+    /// channel cycle would keep both sides parked in `recv` forever.
+    Shutdown,
 }
 
-/// One ledger's reorder-buffer + coalescing-queue lane.
-struct Lane<R> {
-    /// Session groups waiting for earlier sessions to arrive.
-    reorder: BTreeMap<u64, Vec<R>>,
-    /// Next session index to release into the queue.
-    next_expected: u64,
-    queue: IngestQueue<R>,
-    /// Sessions `[0, flushed_through)` are admitted on this ledger.
-    flushed_through: u64,
+/// Commands for one shard verification worker.
+enum ShardCmd {
+    /// Session-tagged envelope-commitment groups for sessions this shard
+    /// owns; the reply resolves once the groups are buffered (and any
+    /// overflow sweep ran), mirroring the old submit acknowledgement.
+    Envelopes(
+        Vec<(u64, Vec<EnvelopeCommitment>)>,
+        Sender<Result<(), ServiceError>>,
+    ),
+    /// Session-tagged registration-record groups, same contract.
+    Records(
+        Vec<(u64, Vec<RegistrationRecord>)>,
+        Sender<Result<(), ServiceError>>,
+    ),
+    /// Barrier: verify everything pending now and publish it, then
+    /// report what is still stuck in the reorder buffers (a nonzero
+    /// report at day end means sessions were lost in transit).
+    Flush(Sender<FlushReport>),
 }
 
-impl<R: Clone> Lane<R> {
-    fn new() -> Self {
+/// A shard worker's answer to [`ShardCmd::Flush`].
+struct FlushReport {
+    /// Session groups still waiting for earlier sessions, per lane.
+    env_reorder: usize,
+    reg_reorder: usize,
+}
+
+/// Which shard worker owns a global session index. Ownership keys off
+/// the *original* station owning the session's kiosk (`i mod |K|`, then
+/// the contiguous kiosk chunk map) — never off whichever connection
+/// happens to carry the submission — so work-stealing re-submissions
+/// route to the same worker and dedup in its reorder buffer.
+#[derive(Clone)]
+struct ShardRoute {
+    /// Kiosk index → owning station (from
+    /// [`vg_trip::fleet::kiosk_owners`]).
+    owner: Arc<Vec<usize>>,
+    workers: usize,
+}
+
+impl ShardRoute {
+    fn worker_of(&self, session: u64) -> usize {
+        self.owner[session as usize % self.owner.len()] % self.workers
+    }
+}
+
+/// Per-worker telemetry snapshot, published into the inbox so the
+/// sequencer can answer [`Cmd::Stats`] without stopping the workers.
+#[derive(Clone, Copy, Default)]
+struct WorkerTelemetry {
+    env_batches: u64,
+    env_sweeps: u64,
+    reg_batches: u64,
+    reg_sweeps: u64,
+    busy_us: u64,
+    idle_us: u64,
+}
+
+/// Verified-but-uncommitted state shared between the shard workers and
+/// the commit sequencer: session groups that passed their shard's RLC
+/// sweep wait here for the sequencer to drain them as one contiguous,
+/// globally-ordered prefix.
+struct VerifiedInbox {
+    env: BTreeMap<u64, Vec<EnvelopeCommitment>>,
+    reg: BTreeMap<u64, Vec<RegistrationRecord>>,
+    /// Total records across both maps (commit-threshold bookkeeping).
+    records: usize,
+    /// Per-worker release floors: worker `w` has released every owned
+    /// session below `env_floor[w]` (resp. `reg`). The global released
+    /// prefix is the minimum across workers — what parked barriers can
+    /// force a flush for.
+    env_floor: Vec<u64>,
+    reg_floor: Vec<u64>,
+    /// Earliest verification failure across all workers, by session.
+    failed: Option<(u64, ServiceError)>,
+    stats: Vec<WorkerTelemetry>,
+}
+
+impl VerifiedInbox {
+    fn new(worker_sessions: &[Vec<u64>]) -> Self {
+        let floor: Vec<u64> = worker_sessions
+            .iter()
+            .map(|s| s.first().copied().unwrap_or(u64::MAX))
+            .collect();
         Self {
+            env: BTreeMap::new(),
+            reg: BTreeMap::new(),
+            records: 0,
+            env_floor: floor.clone(),
+            reg_floor: floor,
+            failed: None,
+            stats: vec![WorkerTelemetry::default(); worker_sessions.len()],
+        }
+    }
+
+    /// Record a verification failure, keeping the earliest session.
+    fn fail(&mut self, session: u64, error: ServiceError) {
+        match &self.failed {
+            Some((s, _)) if *s <= session => {}
+            _ => self.failed = Some((session, error)),
+        }
+    }
+}
+
+/// One ledger lane of a shard worker: the reorder buffer over the
+/// worker's *owned* sessions plus the verification backlog.
+struct WorkerLane<R> {
+    /// The worker's owned global session indices, ascending (sparse —
+    /// shards interleave in the global order).
+    sessions: Arc<Vec<u64>>,
+    /// Position in `sessions` of the next owned session to release.
+    pos: usize,
+    /// Session groups waiting for an earlier owned session to arrive.
+    reorder: BTreeMap<u64, Vec<R>>,
+    /// Released, in-order groups awaiting a verification sweep.
+    pending: Vec<(u64, Vec<R>)>,
+    pending_records: usize,
+    batches: u64,
+    sweeps: u64,
+}
+
+impl<R> WorkerLane<R> {
+    fn new(sessions: Arc<Vec<u64>>) -> Self {
+        Self {
+            sessions,
+            pos: 0,
             reorder: BTreeMap::new(),
-            next_expected: 0,
-            queue: IngestQueue::with_capacity(MAX_PENDING_RECORDS),
-            flushed_through: 0,
+            pending: Vec::new(),
+            pending_records: 0,
+            batches: 0,
+            sweeps: 0,
         }
     }
 
-    /// Sessions `[0, ..)` admitted on this ledger: everything released is
-    /// either still pending in the queue or already flushed, so an empty
-    /// queue means the whole released prefix is on the ledger (this also
-    /// covers sessions whose record group was empty and never enqueued).
-    fn admitted_through(&self) -> u64 {
-        if self.queue.pending_records() == 0 {
-            self.next_expected
-        } else {
-            self.flushed_through
-        }
+    /// The next owned session this lane has not yet released
+    /// (`u64::MAX` once exhausted) — the worker's release floor.
+    fn waiting_for(&self) -> u64 {
+        self.sessions.get(self.pos).copied().unwrap_or(u64::MAX)
     }
 
-    /// Buffers session-tagged groups, dropping duplicates (recovery
+    /// Buffers session-tagged groups, dropping duplicates (steal
     /// re-submissions are byte-identical, so first-wins is sound), then
-    /// releases the in-order prefix into the coalescing queue. `post` is
-    /// only used when the queue applies backpressure mid-release.
-    fn absorb(
-        &mut self,
-        groups: Vec<(u64, Vec<R>)>,
-        post: &mut dyn FnMut(Vec<R>) -> Result<std::ops::Range<usize>, vg_ledger::LedgerError>,
-    ) -> Result<(), ServiceError> {
+    /// releases the in-order prefix of *owned* sessions: nonempty groups
+    /// join the verification backlog, empty ones are returned so the
+    /// caller can publish them straight to the inbox (they advance the
+    /// commit prefix but verify nothing).
+    fn absorb(&mut self, groups: Vec<(u64, Vec<R>)>) -> Vec<u64> {
         for (session, records) in groups {
-            if session < self.next_expected || self.reorder.contains_key(&session) {
+            if session < self.waiting_for() || self.reorder.contains_key(&session) {
                 continue; // duplicate (failover re-submission)
             }
             self.reorder.insert(session, records);
         }
-        let released_before = self.next_expected;
-        let mut batch = Vec::new();
-        while let Some(records) = self.reorder.remove(&self.next_expected) {
-            batch.extend(records);
-            self.next_expected += 1;
-        }
-        if batch.is_empty() {
-            return Ok(());
-        }
-        match self.queue.submit(batch) {
-            Ok(_) => Ok(()),
-            Err((_, refused)) => {
-                // Backpressure: sweep what's pending (sessions
-                // [flushed_through, released_before)), then retry.
-                self.queue.flush(&mut *post)?;
-                self.flushed_through = released_before;
-                self.queue
-                    .submit(refused)
-                    .map(|_| ())
-                    .map_err(|_| ServiceError::Transport("ingest queue refused after flush".into()))
+        let mut empties = Vec::new();
+        let mut released_any = false;
+        while self.pos < self.sessions.len() {
+            let next = self.sessions[self.pos];
+            let Some(records) = self.reorder.remove(&next) else {
+                break;
+            };
+            if records.is_empty() {
+                empties.push(next);
+            } else {
+                self.pending_records += records.len();
+                self.pending.push((next, records));
+                released_any = true;
             }
+            self.pos += 1;
         }
+        if released_any {
+            self.batches += 1;
+        }
+        empties
     }
 }
 
-/// The single-threaded admission engine behind the pipelined host. It
-/// owns the ledgers for the day; every mutation funnels through
-/// [`IngestWorker::flush_all`], whose final `persist()` is the one and
-/// only durable commit point — no code path publishes progress, answers
-/// a barrier, or returns ledger heads for state that has not already
-/// been fsynced under a signed head.
-struct IngestWorker<'a> {
+/// One shard verification worker: owns the reorder buffers for its
+/// session partition and runs the per-shard RLC admission sweeps. It
+/// never touches a ledger — verification is pure signature-chain
+/// checking ([`EnvelopeLedger::verify_batch`] /
+/// [`RegistrationLedger::verify_batch`]), which is exactly why N of
+/// these can run concurrently while commits stay single-owner.
+struct ShardWorker {
+    id: usize,
+    threads: usize,
+    mode: IngestMode,
+    env: WorkerLane<EnvelopeCommitment>,
+    reg: WorkerLane<RegistrationRecord>,
+    inbox: Arc<Mutex<VerifiedInbox>>,
+    seq: Sender<Cmd>,
+    /// Sticky local mirror of the shared failure: refuses further
+    /// submissions without taking the inbox lock.
+    failed: Option<ServiceError>,
+    busy: Duration,
+    idle: Duration,
+}
+
+/// A sweep's outcome: the verified-good session groups in submission
+/// order, plus the first verification failure (pinned to its session)
+/// if the sweep hit one.
+type SweepOutcome<R> = (Vec<(u64, Vec<R>)>, Option<(u64, ServiceError)>);
+
+impl ShardWorker {
+    fn telemetry(&self) -> WorkerTelemetry {
+        WorkerTelemetry {
+            env_batches: self.env.batches,
+            env_sweeps: self.env.sweeps,
+            reg_batches: self.reg.batches,
+            reg_sweeps: self.reg.sweeps,
+            busy_us: self.busy.as_micros() as u64,
+            idle_us: self.idle.as_micros() as u64,
+        }
+    }
+
+    /// The per-shard RLC admission sweep for the envelope lane: one
+    /// coalesced fold over everything pending. On a fold failure,
+    /// re-verify per group to attribute the offender: groups before it
+    /// survive, the offender and everything after are dropped with the
+    /// failure pinned to the offending session.
+    fn sweep_env(&mut self) -> SweepOutcome<EnvelopeCommitment> {
+        if self.env.pending.is_empty() {
+            return (Vec::new(), None);
+        }
+        self.env.sweeps += 1;
+        self.env.pending_records = 0;
+        let groups = std::mem::take(&mut self.env.pending);
+        let flat: Vec<EnvelopeCommitment> =
+            groups.iter().flat_map(|(_, g)| g.iter().cloned()).collect();
+        if EnvelopeLedger::verify_batch(&flat, self.threads).is_ok() {
+            return (groups, None);
+        }
+        let mut good = Vec::new();
+        for (session, group) in groups {
+            match EnvelopeLedger::verify_batch(&group, self.threads) {
+                Ok(()) => good.push((session, group)),
+                Err(e) => return (good, Some((session, e.into()))),
+            }
+        }
+        // The coalesced fold failed but no group reproduces it: the
+        // per-group pass is authoritative (an RLC false accept is the
+        // cryptographically negligible direction, not this one).
+        (good, None)
+    }
+
+    /// [`Self::sweep_env`] for the registration lane.
+    fn sweep_reg(&mut self) -> SweepOutcome<RegistrationRecord> {
+        if self.reg.pending.is_empty() {
+            return (Vec::new(), None);
+        }
+        self.reg.sweeps += 1;
+        self.reg.pending_records = 0;
+        let groups = std::mem::take(&mut self.reg.pending);
+        let flat: Vec<RegistrationRecord> =
+            groups.iter().flat_map(|(_, g)| g.iter().cloned()).collect();
+        if RegistrationLedger::verify_batch(&flat, self.threads).is_ok() {
+            return (groups, None);
+        }
+        let mut good = Vec::new();
+        for (session, group) in groups {
+            match RegistrationLedger::verify_batch(&group, self.threads) {
+                Ok(()) => good.push((session, group)),
+                Err(e) => return (good, Some((session, e.into()))),
+            }
+        }
+        (good, None)
+    }
+
+    /// Pushes this worker's new state into the shared inbox under one
+    /// lock — verified groups, released-empty sessions, release floors,
+    /// telemetry and any verification failures — and returns the sticky
+    /// *global* failure (possibly another worker's) if one is set.
+    fn publish(
+        &mut self,
+        env_groups: Vec<(u64, Vec<EnvelopeCommitment>)>,
+        env_empties: Vec<u64>,
+        reg_groups: Vec<(u64, Vec<RegistrationRecord>)>,
+        reg_empties: Vec<u64>,
+        failures: Vec<(u64, ServiceError)>,
+    ) -> Option<ServiceError> {
+        let telemetry = self.telemetry();
+        let mut sh = lock_recover(&self.inbox);
+        for session in env_empties {
+            sh.env.entry(session).or_default();
+        }
+        for (session, group) in env_groups {
+            sh.records += group.len();
+            sh.env.insert(session, group);
+        }
+        for session in reg_empties {
+            sh.reg.entry(session).or_default();
+        }
+        for (session, group) in reg_groups {
+            sh.records += group.len();
+            sh.reg.insert(session, group);
+        }
+        sh.env_floor[self.id] = self.env.waiting_for();
+        sh.reg_floor[self.id] = self.reg.waiting_for();
+        sh.stats[self.id] = telemetry;
+        for (session, error) in failures {
+            sh.fail(session, error);
+        }
+        sh.failed.as_ref().map(|(_, e)| e.clone())
+    }
+
+    /// Sweep both lanes and publish; poke the sequencer if anything
+    /// moved so it can commit and re-check parked barriers.
+    fn sweep_and_publish(&mut self) {
+        let (env_groups, env_fail) = self.sweep_env();
+        let (reg_groups, reg_fail) = self.sweep_reg();
+        let moved = !env_groups.is_empty()
+            || !reg_groups.is_empty()
+            || env_fail.is_some()
+            || reg_fail.is_some();
+        let failures: Vec<_> = env_fail.into_iter().chain(reg_fail).collect();
+        if let Some(e) = self.publish(env_groups, Vec::new(), reg_groups, Vec::new(), failures) {
+            self.failed.get_or_insert(e);
+        }
+        if moved {
+            let _ = self.seq.send(Cmd::Poke);
+        }
+    }
+
+    fn handle(&mut self, cmd: ShardCmd) {
+        match cmd {
+            ShardCmd::Envelopes(groups, reply) => {
+                if let Some(e) = self.failed.clone() {
+                    let _ = reply.send(Err(e));
+                    return;
+                }
+                let empties = self.env.absorb(groups);
+                // Over the cap: sweep inline. Verification needs no
+                // ledger, so unlike the old single worker there is no
+                // flush-and-retry dance — the backlog just drains here,
+                // on the shard's own thread.
+                let (swept, fail) = if self.env.pending_records > MAX_PENDING_RECORDS {
+                    self.sweep_env()
+                } else {
+                    (Vec::new(), None)
+                };
+                let sticky = self.publish(
+                    swept,
+                    empties,
+                    Vec::new(),
+                    Vec::new(),
+                    fail.into_iter().collect(),
+                );
+                let _ = self.seq.send(Cmd::Poke);
+                let out = match sticky {
+                    Some(e) => {
+                        self.failed.get_or_insert(e.clone());
+                        Err(e)
+                    }
+                    None => Ok(()),
+                };
+                let _ = reply.send(out);
+            }
+            ShardCmd::Records(groups, reply) => {
+                if let Some(e) = self.failed.clone() {
+                    let _ = reply.send(Err(e));
+                    return;
+                }
+                let empties = self.reg.absorb(groups);
+                let (swept, fail) = if self.reg.pending_records > MAX_PENDING_RECORDS {
+                    self.sweep_reg()
+                } else {
+                    (Vec::new(), None)
+                };
+                let sticky = self.publish(
+                    Vec::new(),
+                    Vec::new(),
+                    swept,
+                    empties,
+                    fail.into_iter().collect(),
+                );
+                let _ = self.seq.send(Cmd::Poke);
+                let out = match sticky {
+                    Some(e) => {
+                        self.failed.get_or_insert(e.clone());
+                        Err(e)
+                    }
+                    None => Ok(()),
+                };
+                let _ = reply.send(out);
+            }
+            ShardCmd::Flush(ack) => {
+                let (env_groups, env_fail) = self.sweep_env();
+                let (reg_groups, reg_fail) = self.sweep_reg();
+                let failures: Vec<_> = env_fail.into_iter().chain(reg_fail).collect();
+                if let Some(e) =
+                    self.publish(env_groups, Vec::new(), reg_groups, Vec::new(), failures)
+                {
+                    self.failed.get_or_insert(e);
+                }
+                // No poke: the sequencer is blocked on this ack and
+                // commits as soon as every shard reports.
+                let _ = ack.send(FlushReport {
+                    env_reorder: self.env.reorder.len(),
+                    reg_reorder: self.reg.reorder.len(),
+                });
+            }
+        }
+    }
+
+    /// The worker loop: drain immediately-available commands first, use
+    /// [`IngestMode::Background`] idle gaps for verification sweeps that
+    /// overlap the stations' next ceremonies, and only then block.
+    fn run(mut self, rx: Receiver<ShardCmd>) {
+        loop {
+            let cmd = match rx.try_recv() {
+                Ok(cmd) => cmd,
+                Err(TryRecvError::Empty) => {
+                    if self.mode == IngestMode::Background
+                        && self.failed.is_none()
+                        && self.env.pending_records + self.reg.pending_records >= MIN_IDLE_SWEEP
+                    {
+                        let t = Instant::now();
+                        self.sweep_and_publish();
+                        self.busy += t.elapsed();
+                        continue;
+                    }
+                    let t = Instant::now();
+                    match rx.recv() {
+                        Ok(cmd) => {
+                            self.idle += t.elapsed();
+                            cmd
+                        }
+                        Err(_) => break,
+                    }
+                }
+                Err(TryRecvError::Disconnected) => break,
+            };
+            let t = Instant::now();
+            self.handle(cmd);
+            self.busy += t.elapsed();
+        }
+        // The sequencer dropped our channel (day teardown): sweep the
+        // remaining backlog into the inbox so the final commit pass sees
+        // it, then release our sequencer sender by returning.
+        let t = Instant::now();
+        self.sweep_and_publish();
+        self.busy += t.elapsed();
+        let _ = self.seq.send(Cmd::Poke);
+    }
+}
+
+/// The commit sequencer: the one thread owning the ledgers for the day.
+/// It drains the shared inbox's contiguous verified prefix and appends
+/// it in exact global session order through the preverified entry points
+/// — eligibility is checked here, at the commit point — so N shard
+/// workers change *where verification runs*, never what lands on the
+/// ledger or how many signed heads a day produces. Every mutation
+/// funnels through [`Sequencer::flush_all`], whose final `persist()` is
+/// the one durable commit point: no code path publishes progress,
+/// answers a barrier, or returns ledger heads for state that has not
+/// already been fsynced under a signed head.
+struct Sequencer<'a> {
     ledger: &'a mut Ledger,
     official: &'a Official,
     threads: usize,
     mode: IngestMode,
-    env: Lane<EnvelopeCommitment>,
-    reg: Lane<RegistrationRecord>,
+    workers: usize,
+    shard_txs: Vec<Sender<ShardCmd>>,
+    inbox: Arc<Mutex<VerifiedInbox>>,
+    /// Next session to commit per lane; `[0, env_next)` is on the
+    /// envelope ledger (resp. `reg`).
+    env_next: u64,
+    reg_next: u64,
     parked: Vec<(u64, Sender<Result<(), ServiceError>>)>,
     failed: Option<ServiceError>,
-    next_ticket: u64,
+    /// Reorder-buffer occupancy reported by the last flush barrier —
+    /// nonzero at day end means sessions were lost in transit.
+    stalled_reorder: usize,
     progress: IngestProgress,
     busy: Duration,
     idle: Duration,
 }
 
-impl<'a> IngestWorker<'a> {
+impl Sequencer<'_> {
     fn admitted_through(&self) -> u64 {
-        self.env.admitted_through().min(self.reg.admitted_through())
+        self.env_next.min(self.reg_next)
     }
 
-    /// Pending records across both queues.
-    fn pending_records(&self) -> usize {
-        self.env.queue.pending_records() + self.reg.queue.pending_records()
+    fn inbox_records(&self) -> usize {
+        lock_recover(&self.inbox).records
     }
 
-    /// One coalesced admission sweep per ledger over everything
-    /// released, ending at the durable commit point: RLC admission →
-    /// segment append → group fsync → signed-head publish. Progress is
-    /// published (and handles resolve) only after `persist()` returns,
-    /// so an admitted session is always a persisted session.
-    fn flush_all(&mut self) {
+    /// Drains the contiguous verified prefix out of the inbox and
+    /// commits it: coalesced, globally-ordered preverified appends, one
+    /// per ledger, with a per-group fallback to attribute eligibility
+    /// failures (the preverified entry points check eligibility before
+    /// appending anything, so re-running per group never double-appends).
+    /// Returns whether anything was appended; callers follow with the
+    /// `persist()` commit barrier before publishing progress.
+    fn commit_ready(&mut self) -> bool {
         if self.failed.is_some() {
-            return;
+            return false;
         }
-        let ledger = &mut *self.ledger;
-        let threads = self.threads;
-        let env_target = self.env.next_expected;
-        match self
-            .env
-            .queue
-            .flush(|c| ledger.envelopes.commit_batch(c, threads))
-        {
-            Ok(()) => self.env.flushed_through = env_target,
-            Err(e) => self.failed = Some(e.into()),
-        }
-        if self.failed.is_none() {
-            let reg_target = self.reg.next_expected;
-            match self
-                .reg
-                .queue
-                .flush(|r| ledger.registration.post_batch(r, threads))
-            {
-                Ok(()) => self.reg.flushed_through = reg_target,
-                Err(e) => self.failed = Some(e.into()),
+        let (env_groups, reg_groups, verify_failed) = {
+            let mut sh = lock_recover(&self.inbox);
+            let mut env_groups = Vec::new();
+            let mut next = self.env_next;
+            while let Some(group) = sh.env.remove(&next) {
+                sh.records -= group.len();
+                env_groups.push(group);
+                next += 1;
+            }
+            let mut reg_groups = Vec::new();
+            let mut next = self.reg_next;
+            while let Some(group) = sh.reg.remove(&next) {
+                sh.records -= group.len();
+                reg_groups.push(group);
+                next += 1;
+            }
+            (env_groups, reg_groups, sh.failed.clone())
+        };
+        let mut appended = false;
+        if !env_groups.is_empty() {
+            let count = env_groups.len() as u64;
+            let flat: Vec<EnvelopeCommitment> = env_groups.iter().flatten().cloned().collect();
+            if flat.is_empty() {
+                self.env_next += count;
+            } else {
+                match self
+                    .ledger
+                    .envelopes
+                    .commit_batch_preverified(flat, self.threads)
+                {
+                    Ok(_) => {
+                        self.env_next += count;
+                        appended = true;
+                    }
+                    Err(_) => {
+                        // Attribute to the offending session group.
+                        for group in env_groups {
+                            if group.is_empty() {
+                                self.env_next += 1;
+                                continue;
+                            }
+                            match self
+                                .ledger
+                                .envelopes
+                                .commit_batch_preverified(group, self.threads)
+                            {
+                                Ok(_) => {
+                                    self.env_next += 1;
+                                    appended = true;
+                                }
+                                Err(e) => {
+                                    self.failed = Some(e.into());
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
+        if self.failed.is_none() && !reg_groups.is_empty() {
+            let count = reg_groups.len() as u64;
+            let flat: Vec<RegistrationRecord> = reg_groups.iter().flatten().cloned().collect();
+            if flat.is_empty() {
+                self.reg_next += count;
+            } else {
+                match self
+                    .ledger
+                    .registration
+                    .post_batch_preverified(flat, self.threads)
+                {
+                    Ok(_) => {
+                        self.reg_next += count;
+                        appended = true;
+                    }
+                    Err(_) => {
+                        // Eligibility (roster, double registration) is a
+                        // real failure mode: re-run per group to pin it
+                        // to the first offending session and keep the
+                        // committed prefix before it.
+                        for group in reg_groups {
+                            if group.is_empty() {
+                                self.reg_next += 1;
+                                continue;
+                            }
+                            match self
+                                .ledger
+                                .registration
+                                .post_batch_preverified(group, self.threads)
+                            {
+                                Ok(_) => {
+                                    self.reg_next += 1;
+                                    appended = true;
+                                }
+                                Err(e) => {
+                                    self.failed = Some(e.into());
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // A verification failure parked in the inbox becomes sticky only
+        // after the good prefix before it is committed (the workers only
+        // publish verified-good groups below the failing session).
+        if self.failed.is_none() {
+            if let Some((_, e)) = verify_failed {
+                self.failed = Some(e);
+            }
+        }
+        appended
+    }
+
+    /// The full admission barrier: every shard worker sweeps its pending
+    /// backlog *concurrently* (this fan-out is the throughput win of the
+    /// shard layer), then one globally-ordered commit closes at the
+    /// durable commit point — RLC admission → segment append → group
+    /// fsync → signed-head publish. Progress is published (and handles
+    /// resolve) only after `persist()` returns, so an admitted session
+    /// is always a persisted session.
+    fn flush_all(&mut self) {
+        let mut acks = Vec::new();
+        for tx in &self.shard_txs {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            if tx.send(ShardCmd::Flush(ack_tx)).is_ok() {
+                acks.push(ack_rx);
+            }
+        }
+        let mut stalled = 0;
+        for ack in acks {
+            if let Ok(report) = ack.recv() {
+                stalled += report.env_reorder + report.reg_reorder;
+            }
+        }
+        self.stalled_reorder = stalled;
+        self.commit_ready();
         // Commit barrier: everything this sweep admitted reaches stable
         // storage (WAL fsync + signed head) before any handle observes
         // it as admitted. A no-op on volatile backends.
@@ -452,14 +993,20 @@ impl<'a> IngestWorker<'a> {
     }
 
     /// Resolves parked prefix barriers: flushes when a parked barrier's
-    /// prefix is fully released but not yet admitted, then answers
-    /// whatever the sweep satisfied. Sticky failures answer everything.
+    /// prefix is fully released (per the workers' published floors) but
+    /// not yet admitted, then answers whatever the sweep satisfied.
+    /// Sticky failures answer everything.
     fn service_parked(&mut self) {
         if self.parked.is_empty() {
             return;
         }
         if self.failed.is_none() {
-            let releasable = self.env.next_expected.min(self.reg.next_expected);
+            let releasable = {
+                let sh = lock_recover(&self.inbox);
+                let env = sh.env_floor.iter().copied().min().unwrap_or(u64::MAX);
+                let reg = sh.reg_floor.iter().copied().min().unwrap_or(u64::MAX);
+                env.min(reg)
+            };
             let admitted = self.admitted_through();
             if self
                 .parked
@@ -487,19 +1034,28 @@ impl<'a> IngestWorker<'a> {
     }
 
     fn stats(&self) -> IngestStatsReply {
-        let (env_batches, env_sweeps) = self.env.queue.stats();
-        let (reg_batches, reg_sweeps) = self.reg.queue.stats();
         let durability = self.ledger.durability_stats();
-        IngestStatsReply {
-            env_batches,
-            env_sweeps,
-            reg_batches,
-            reg_sweeps,
+        let sh = lock_recover(&self.inbox);
+        let mut reply = IngestStatsReply {
+            env_batches: 0,
+            env_sweeps: 0,
+            reg_batches: 0,
+            reg_sweeps: 0,
             worker_busy_us: self.busy.as_micros() as u64,
             worker_idle_us: self.idle.as_micros() as u64,
             wal_records: durability.wal_records,
             wal_fsyncs: durability.wal_fsyncs,
+            workers: self.workers as u64,
+        };
+        for t in &sh.stats {
+            reply.env_batches += t.env_batches;
+            reply.env_sweeps += t.env_sweeps;
+            reply.reg_batches += t.reg_batches;
+            reply.reg_sweeps += t.reg_sweeps;
+            reply.worker_busy_us += t.busy_us;
+            reply.worker_idle_us += t.idle_us;
         }
+        reply
     }
 
     fn handle(&mut self, cmd: Cmd) {
@@ -511,44 +1067,6 @@ impl<'a> IngestWorker<'a> {
                     .map_err(ServiceError::Trip);
                 let _ = reply.send(out);
             }
-            Cmd::SubmitEnvelopes(groups, reply) => {
-                let out = if let Some(e) = self.failed.clone() {
-                    Err(e)
-                } else {
-                    let ledger = &mut *self.ledger;
-                    let threads = self.threads;
-                    self.env
-                        .absorb(groups, &mut |c| ledger.envelopes.commit_batch(c, threads))
-                        .map(|()| {
-                            let t = self.next_ticket;
-                            self.next_ticket += 1;
-                            t
-                        })
-                };
-                if let Err(e) = &out {
-                    self.failed.get_or_insert(e.clone());
-                }
-                let _ = reply.send(out);
-            }
-            Cmd::SubmitRecords(groups, reply) => {
-                let out = if let Some(e) = self.failed.clone() {
-                    Err(e)
-                } else {
-                    let ledger = &mut *self.ledger;
-                    let threads = self.threads;
-                    self.reg
-                        .absorb(groups, &mut |r| ledger.registration.post_batch(r, threads))
-                        .map(|()| {
-                            let t = self.next_ticket;
-                            self.next_ticket += 1;
-                            t
-                        })
-                };
-                if let Err(e) = &out {
-                    self.failed.get_or_insert(e.clone());
-                }
-                let _ = reply.send(out);
-            }
             Cmd::SyncThrough(sessions, reply) => {
                 if self.admitted_through() >= sessions && self.failed.is_none() {
                     let _ = reply.send(Ok(()));
@@ -558,9 +1076,13 @@ impl<'a> IngestWorker<'a> {
             }
             Cmd::SyncAll(reply) => {
                 self.flush_all();
+                let residual = {
+                    let sh = lock_recover(&self.inbox);
+                    !sh.env.is_empty() || !sh.reg.is_empty()
+                };
                 let out = if let Some(e) = self.failed.clone() {
                     Err(e)
-                } else if !self.env.reorder.is_empty() || !self.reg.reorder.is_empty() {
+                } else if self.stalled_reorder > 0 || residual {
                     Err(ServiceError::Transport(format!(
                         "sessions lost: admission stalled at {} (gap in submissions)",
                         self.admitted_through()
@@ -605,61 +1127,58 @@ impl<'a> IngestWorker<'a> {
                 let _ = reply.send(self.stats());
             }
             Cmd::Abort => {
-                self.failed
-                    .get_or_insert(ServiceError::Transport("registration day aborted".into()));
-                self.progress
-                    .update(self.admitted_through(), self.failed.as_ref());
+                let e = ServiceError::Transport("registration day aborted".into());
+                self.failed.get_or_insert(e.clone());
+                // Mirror into the inbox so the shard workers refuse
+                // further submissions too.
+                lock_recover(&self.inbox).fail(u64::MAX, e);
+            }
+            Cmd::Poke => {
+                // The inbox changed; the shared post-command path below
+                // commits, re-checks parked barriers and publishes.
+            }
+            Cmd::Shutdown => {
+                // Drop the shard senders: the workers' receivers
+                // disconnect, they exit-sweep into the inbox, and their
+                // own sequencer senders drop in turn.
+                self.shard_txs.clear();
             }
         }
     }
 
-    /// The worker loop: drain every immediately-available command first
-    /// (so bursts coalesce), then — in [`IngestMode::Background`] — use
-    /// idle gaps for admission sweeps that overlap the stations' next
-    /// ceremonies, and only then block.
     fn run(mut self, rx: Receiver<Cmd>) {
         loop {
-            let cmd = match rx.try_recv() {
-                Ok(cmd) => cmd,
-                Err(TryRecvError::Empty) => {
-                    // Background sweeps wait for a worthwhile batch:
-                    // sweeping every stray submission would fragment the
-                    // RLC folds (and their Pippenger batches) that the
-                    // coalescing win comes from. Anything smaller rides
-                    // the next barrier.
-                    if self.mode == IngestMode::Background
-                        && self.pending_records() >= MIN_IDLE_SWEEP
-                        && self.failed.is_none()
-                    {
-                        let t = Instant::now();
-                        self.flush_all();
-                        self.service_parked();
-                        self.busy += t.elapsed();
-                        continue;
-                    }
-                    let t = Instant::now();
-                    match rx.recv() {
-                        Ok(cmd) => {
-                            self.idle += t.elapsed();
-                            cmd
-                        }
-                        Err(_) => break,
-                    }
-                }
-                Err(TryRecvError::Disconnected) => break,
-            };
+            let t = Instant::now();
+            let Ok(cmd) = rx.recv() else { break };
+            self.idle += t.elapsed();
             let t = Instant::now();
             self.handle(cmd);
+            // Opportunistic commits: verified records must not pile up
+            // in the inbox unboundedly. Background mode commits as soon
+            // as a worthwhile batch is verified (overlapping the
+            // stations' next ceremonies); Barrier mode only bounds
+            // memory at the queue cap — everything else rides the next
+            // barrier, preserving the coalescing behavior.
+            let cap = match self.mode {
+                IngestMode::Background => MIN_IDLE_SWEEP,
+                IngestMode::Barrier => MAX_PENDING_RECORDS,
+            };
+            if self.failed.is_none() && self.inbox_records() >= cap && self.commit_ready() {
+                self.ledger.persist();
+            }
             self.service_parked();
-            // Publish progress even when nothing flushed: absorbing an
+            // Publish progress even when nothing flushed: releasing an
             // empty record group can advance the admitted prefix on its
             // own, and handles block on this.
             self.progress
                 .update(self.admitted_through(), self.failed.as_ref());
             self.busy += t.elapsed();
         }
-        // Day over: final sweep, then fail anything still parked (a
-        // parked barrier at this point means its prefix never arrived).
+        // Day over: every client and worker sender is gone — the workers
+        // exit-swept their backlogs into the inbox before releasing
+        // their senders — so one final commit pass closes the day, then
+        // fail anything still parked (a parked barrier at this point
+        // means its prefix never arrived).
         self.flush_all();
         self.service_parked();
         for (_, reply) in self.parked.drain(..) {
@@ -671,25 +1190,63 @@ impl<'a> IngestWorker<'a> {
     }
 }
 
-/// Client half of the worker channel (cheap to clone; one per connection
-/// handler / in-process endpoint).
+/// Client half of the sharded engine (cheap to clone; one per connection
+/// handler / in-process endpoint): submissions fan out to the shard
+/// workers owning their sessions, everything stateful goes to the
+/// sequencer.
 #[derive(Clone)]
-struct WorkerClient {
-    tx: Sender<Cmd>,
+struct IngestClient {
+    seq: Sender<Cmd>,
+    shards: Arc<Vec<Sender<ShardCmd>>>,
+    route: ShardRoute,
+    /// One engine-wide ticket sequence, so tickets stay monotonic per
+    /// connection no matter which shard served the submission.
+    tickets: Arc<AtomicU64>,
     progress: IngestProgress,
 }
 
-impl WorkerClient {
+impl IngestClient {
     fn call<T>(
         &self,
         build: impl FnOnce(Sender<Result<T, ServiceError>>) -> Cmd,
     ) -> Result<T, ServiceError> {
         let (tx, rx) = mpsc::channel();
-        self.tx
+        self.seq
             .send(build(tx))
-            .map_err(|_| ServiceError::Transport("ingest worker gone".into()))?;
+            .map_err(|_| ServiceError::Transport("ingest sequencer gone".into()))?;
         rx.recv()
-            .map_err(|_| ServiceError::Transport("ingest worker gone".into()))?
+            .map_err(|_| ServiceError::Transport("ingest sequencer gone".into()))?
+    }
+
+    /// Splits session-tagged groups by owning shard and waits for every
+    /// touched worker's acknowledgement (a station's sessions all live
+    /// in one shard, so the common case is exactly one send).
+    fn fan_out<R>(
+        &self,
+        groups: Vec<(u64, Vec<R>)>,
+        make: impl Fn(Vec<(u64, Vec<R>)>, Sender<Result<(), ServiceError>>) -> ShardCmd,
+    ) -> Result<(), ServiceError> {
+        let mut per_worker: Vec<Vec<(u64, Vec<R>)>> =
+            (0..self.route.workers).map(|_| Vec::new()).collect();
+        for group in groups {
+            per_worker[self.route.worker_of(group.0)].push(group);
+        }
+        let mut acks = Vec::new();
+        for (worker, batch) in per_worker.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            self.shards[worker]
+                .send(make(batch, tx))
+                .map_err(|_| ServiceError::Transport("ingest worker gone".into()))?;
+            acks.push(rx);
+        }
+        for ack in acks {
+            ack.recv()
+                .map_err(|_| ServiceError::Transport("ingest worker gone".into()))??;
+        }
+        Ok(())
     }
 
     fn submit_envelopes(
@@ -697,7 +1254,8 @@ impl WorkerClient {
         groups: Vec<(u64, Vec<EnvelopeCommitment>)>,
     ) -> Result<(u64, IngestHandle), ServiceError> {
         let through = groups.last().map_or(0, |(s, _)| s + 1);
-        let ticket = self.call(|reply| Cmd::SubmitEnvelopes(groups, reply))?;
+        self.fan_out(groups, ShardCmd::Envelopes)?;
+        let ticket = self.tickets.fetch_add(1, Ordering::SeqCst);
         Ok((ticket, self.progress.handle(through)))
     }
 
@@ -706,21 +1264,108 @@ impl WorkerClient {
         groups: Vec<(u64, Vec<RegistrationRecord>)>,
     ) -> Result<(u64, IngestHandle), ServiceError> {
         let through = groups.last().map_or(0, |(s, _)| s + 1);
-        let ticket = self.call(|reply| Cmd::SubmitRecords(groups, reply))?;
+        self.fan_out(groups, ShardCmd::Records)?;
+        let ticket = self.tickets.fetch_add(1, Ordering::SeqCst);
         Ok((ticket, self.progress.handle(through)))
     }
 
     fn stats(&self) -> Result<IngestStatsReply, ServiceError> {
         let (tx, rx) = mpsc::channel();
-        self.tx
+        self.seq
             .send(Cmd::Stats(tx))
-            .map_err(|_| ServiceError::Transport("ingest worker gone".into()))?;
+            .map_err(|_| ServiceError::Transport("ingest sequencer gone".into()))?;
         rx.recv()
-            .map_err(|_| ServiceError::Transport("ingest worker gone".into()))
+            .map_err(|_| ServiceError::Transport("ingest sequencer gone".into()))
     }
 
     fn abort(&self) {
-        let _ = self.tx.send(Cmd::Abort);
+        let _ = self.seq.send(Cmd::Abort);
+    }
+
+    /// Day teardown — must be sent exactly once, by the coordinator,
+    /// after every station connection is gone (see [`Cmd::Shutdown`]).
+    fn shutdown(&self) {
+        let _ = self.seq.send(Cmd::Shutdown);
+    }
+}
+
+/// The wired-but-unspawned sharded engine: [`build_ingest`] constructs
+/// every piece before any thread exists so the caller controls spawning
+/// (the day runner uses scoped threads; tests drive pieces directly).
+struct IngestEngine<'a> {
+    client: IngestClient,
+    sequencer: Sequencer<'a>,
+    seq_rx: Receiver<Cmd>,
+    shards: Vec<(ShardWorker, Receiver<ShardCmd>)>,
+}
+
+/// Wires up the sharded ingest engine: one sequencer owning `ledger`,
+/// one shard worker per entry of `worker_sessions` (each list the
+/// ascending global session indices that worker owns — together a
+/// partition of the day), and a cloneable client routing by `route`.
+fn build_ingest<'a>(
+    ledger: &'a mut Ledger,
+    official: &'a Official,
+    threads: usize,
+    mode: IngestMode,
+    route: ShardRoute,
+    worker_sessions: Vec<Vec<u64>>,
+) -> IngestEngine<'a> {
+    let workers = worker_sessions.len();
+    let (seq_tx, seq_rx) = mpsc::channel();
+    let progress = IngestProgress::new();
+    let inbox = Arc::new(Mutex::new(VerifiedInbox::new(&worker_sessions)));
+    let mut shard_txs = Vec::with_capacity(workers);
+    let mut shards = Vec::with_capacity(workers);
+    for (id, sessions) in worker_sessions.into_iter().enumerate() {
+        let (tx, rx) = mpsc::channel();
+        shard_txs.push(tx);
+        let sessions = Arc::new(sessions);
+        shards.push((
+            ShardWorker {
+                id,
+                threads,
+                mode,
+                env: WorkerLane::new(Arc::clone(&sessions)),
+                reg: WorkerLane::new(sessions),
+                inbox: Arc::clone(&inbox),
+                seq: seq_tx.clone(),
+                failed: None,
+                busy: Duration::ZERO,
+                idle: Duration::ZERO,
+            },
+            rx,
+        ));
+    }
+    let client = IngestClient {
+        seq: seq_tx,
+        shards: Arc::new(shard_txs.clone()),
+        route,
+        tickets: Arc::new(AtomicU64::new(0)),
+        progress: progress.clone(),
+    };
+    let sequencer = Sequencer {
+        ledger,
+        official,
+        threads,
+        mode,
+        workers,
+        shard_txs,
+        inbox,
+        env_next: 0,
+        reg_next: 0,
+        parked: Vec::new(),
+        failed: None,
+        stalled_reorder: 0,
+        progress,
+        busy: Duration::ZERO,
+        idle: Duration::ZERO,
+    };
+    IngestEngine {
+        client,
+        sequencer,
+        seq_rx,
+        shards,
     }
 }
 
@@ -767,18 +1412,18 @@ impl HostCore<'_> {
 }
 
 /// The in-process pipelined endpoint: ledger-free services run inline on
-/// the station's thread; everything touching ledger state crosses the
-/// worker channel. Serves the same four service traits as
-/// [`crate::RegistrarHost`], so the fleet drives it through the ordinary
-/// [`ServiceBoundary`].
+/// the station's thread; submissions fan out to the shard workers and
+/// everything touching ledger state crosses the sequencer channel.
+/// Serves the same four service traits as [`crate::RegistrarHost`], so
+/// the fleet drives it through the ordinary [`ServiceBoundary`].
 struct PipelinedEndpoint<'a> {
     core: HostCore<'a>,
-    worker: WorkerClient,
+    client: IngestClient,
 }
 
 impl RegistrarService for PipelinedEndpoint<'_> {
     fn check_in(&mut self, req: CheckInRequest) -> Result<CheckInResponse, ServiceError> {
-        self.worker
+        self.client
             .call(|reply| Cmd::CheckIn(req.voter, reply))
             .map(|ticket| CheckInResponse { ticket })
     }
@@ -810,7 +1455,7 @@ impl RegistrarService for PipelinedEndpoint<'_> {
             })
             .collect();
         let records = self.core.verify_and_countersign(groups)?;
-        let (ticket, _handle) = self.worker.submit_records(records)?;
+        let (ticket, _handle) = self.client.submit_records(records)?;
         Ok(CheckOutBatchResponse { ticket })
     }
 }
@@ -837,45 +1482,45 @@ impl LedgerIngestService for PipelinedEndpoint<'_> {
         &mut self,
         req: SeqEnvelopeSubmitRequest,
     ) -> Result<IngestReceipt, ServiceError> {
-        let (ticket, _handle) = self.worker.submit_envelopes(req.groups)?;
+        let (ticket, _handle) = self.client.submit_envelopes(req.groups)?;
         Ok(IngestReceipt { ticket })
     }
 
     fn sync(&mut self) -> Result<(), ServiceError> {
-        self.worker.call(Cmd::SyncAll)
+        self.client.call(Cmd::SyncAll)
     }
 
     fn sync_through(&mut self, sessions: u64) -> Result<(), ServiceError> {
-        self.worker.call(|reply| Cmd::SyncThrough(sessions, reply))
+        self.client.call(|reply| Cmd::SyncThrough(sessions, reply))
     }
 
     fn ledger_heads(&mut self) -> Result<LedgerHeads, ServiceError> {
-        self.worker.call(Cmd::Heads)
+        self.client.call(Cmd::Heads)
     }
 
     fn ingest_stats(&mut self) -> Result<IngestStatsReply, ServiceError> {
-        self.worker.stats()
+        self.client.stats()
     }
 }
 
 impl ActivationService for PipelinedEndpoint<'_> {
     fn activation_sweep(&mut self, req: ActivationSweepRequest) -> Result<(), ServiceError> {
-        self.worker.call(|reply| Cmd::Activate(req.claims, reply))
+        self.client.call(|reply| Cmd::Activate(req.claims, reply))
     }
 }
 
-/// Serves one station (or refiller) connection of the multi-connection
-/// registrar: ledger-free requests run on this handler thread, stateful
-/// ones cross the worker channel. One bad frame answers with a typed
-/// error; EOF (the client vanished) just ends the handler — the
-/// coordinator's failover owns the consequences.
+/// Serves one station (or refiller, or steal-runner) connection of the
+/// multi-connection registrar: ledger-free requests run on this handler
+/// thread, stateful ones cross the engine channels. One bad frame
+/// answers with a typed error; EOF (the client vanished) just ends the
+/// handler — the coordinator's failover owns the consequences.
 fn serve_station_conn(
     stream: TcpStream,
     core: HostCore<'_>,
-    worker: WorkerClient,
+    client: IngestClient,
 ) -> Result<(), ServiceError> {
     stream.set_nodelay(true)?;
-    let mut endpoint = PipelinedEndpoint { core, worker };
+    let mut endpoint = PipelinedEndpoint { core, client };
     let mut reader = std::io::BufReader::new(stream.try_clone()?);
     let mut writer = std::io::BufWriter::new(stream);
     loop {
@@ -1021,13 +1666,13 @@ struct StationJob<'a> {
 fn run_station(
     mut job: StationJob<'_>,
     link: Link<'_>,
-    worker: &WorkerClient,
+    client: &IngestClient,
     tx: &Sender<StationMsg>,
 ) -> Result<(), TripError> {
     let mut boundary: Box<dyn RegistrarBoundary + '_> = match link {
         Link::InProcess(core) => Box::new(ServiceBoundary::new(PipelinedEndpoint {
             core,
-            worker: worker.clone(),
+            client: client.clone(),
         })),
         Link::Tcp(addr) => Box::new(ServiceBoundary::new(
             TcpClient::connect(addr).map_err(|e| TripError::Boundary(e.to_string()))?,
@@ -1212,15 +1857,36 @@ fn run_pipelined_day(
         printer_registry: &printer_registry,
         last_occurrence: &last_occurrence,
     };
-    let station_plans = partition_stations(plan, kiosks, pipeline.stations);
+    let station_plans = partition_stations(plan, kiosks, pipeline.stations)?;
 
-    // The worker channel + progress exist before any thread.
-    let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
-    let progress = IngestProgress::new();
-    let worker_client = WorkerClient {
-        tx: cmd_tx,
-        progress: progress.clone(),
+    // Shard ownership: one worker per station partition, folded down to
+    // the effective worker count. Routing keys off the *original* kiosk
+    // owner so steal re-submissions land on the same shard.
+    let workers = pipeline.workers.max(1).min(station_plans.len());
+    let route = ShardRoute {
+        owner: Arc::new(kiosk_owners(kiosks.len(), station_plans.len())),
+        workers,
     };
+    let mut worker_sessions: Vec<Vec<u64>> = vec![Vec::new(); workers];
+    for session in 0..total_sessions as u64 {
+        worker_sessions[route.worker_of(session)].push(session);
+    }
+
+    // The whole engine — sequencer, shard workers, client — is wired
+    // before any thread spawns.
+    let IngestEngine {
+        client,
+        sequencer,
+        seq_rx,
+        shards,
+    } = build_ingest(
+        ledger,
+        official,
+        core.threads,
+        pipeline.ingest,
+        route,
+        worker_sessions,
+    );
 
     // TCP: bind before the scope so stations can connect immediately.
     let listener = match transport {
@@ -1237,35 +1903,23 @@ fn run_pipelined_day(
         .map_err(|e| TripError::Boundary(format!("local_addr: {e}")))?;
     let accepting = AtomicBool::new(true);
 
-    let worker = IngestWorker {
-        ledger,
-        official,
-        threads: core.threads,
-        mode: pipeline.ingest,
-        env: Lane::new(),
-        reg: Lane::new(),
-        parked: Vec::new(),
-        failed: None,
-        next_ticket: 0,
-        progress,
-        busy: Duration::ZERO,
-        idle: Duration::ZERO,
-    };
-
     std::thread::scope(|scope| -> Result<DayStats, TripError> {
-        scope.spawn(move || worker.run(cmd_rx));
+        scope.spawn(move || sequencer.run(seq_rx));
+        for (worker, rx) in shards {
+            scope.spawn(move || worker.run(rx));
+        }
 
         // Acceptor: serve every incoming connection (stations, refiller
-        // clients, recovery, and finally the wake-up connection that
-        // carries the stop flag) on its own handler thread.
+        // clients, steal runners, and finally the wake-up connection
+        // that carries the stop flag) on its own handler thread.
         if let Some(listener) = &listener {
-            let handler_client = worker_client.clone();
+            let handler_client = client.clone();
             let accepting = &accepting;
             scope.spawn(move || {
                 while let Ok((stream, _)) = listener.accept() {
-                    let worker = handler_client.clone();
+                    let client = handler_client.clone();
                     scope.spawn(move || {
-                        let _ = serve_station_conn(stream, core, worker);
+                        let _ = serve_station_conn(stream, core, client);
                     });
                     if !accepting.load(Ordering::SeqCst) {
                         break;
@@ -1295,18 +1949,18 @@ fn run_pipelined_day(
                     .map(|f| f.after_ops),
             };
             let tx = msg_tx.clone();
-            let worker = worker_client.clone();
+            let client = client.clone();
             let station_id = sp.station;
             scope.spawn(move || {
-                let result = run_station(job, link, &worker, &tx);
+                let result = run_station(job, link, &client, &tx);
                 let _ = tx.send(StationMsg::Done(station_id, result));
             });
             spawned += 1;
         }
 
         // Coordinator: release outcomes in global session order, push
-        // adversary loot in that same order, and re-run a dead station's
-        // undelivered sessions on a fresh recovery connection. Runs as an
+        // adversary loot in that same order, and steal a dead station's
+        // undelivered kiosk range onto the survivors. Runs as an
         // immediately-invoked closure so EVERY exit path — including the
         // error returns — falls through to the acceptor wake-up below;
         // returning early from the scope with the acceptor still parked
@@ -1316,6 +1970,9 @@ fn run_pipelined_day(
             let mut buffered: BTreeMap<usize, SessionDelivery> = BTreeMap::new();
             let mut done = 0usize;
             let mut recovered: HashSet<usize> = HashSet::new();
+            let mut alive = vec![true; station_plans.len()];
+            let mut steals: Vec<StealRecord> = Vec::new();
+            let mut steal_seq = 0usize;
             let mut first_error: Option<TripError> = None;
             while done < spawned {
                 let Ok(msg) = msg_rx.recv() else { break };
@@ -1332,14 +1989,18 @@ fn run_pipelined_day(
                         }
                     }
                     StationMsg::Done(_, Ok(())) => done += 1,
-                    StationMsg::Done(station, Err(e)) => {
+                    StationMsg::Done(id, Err(e)) => {
                         done += 1;
-                        let recoverable = station < station_plans.len()
-                            && recovered.insert(station)
+                        // Only an *original* station's first death is
+                        // stolen; a dead steal runner (id past the
+                        // station range) aborts the day.
+                        let station_death = id < station_plans.len()
+                            && recovered.insert(id)
                             && first_error.is_none();
-                        if recoverable {
+                        if station_death {
+                            alive[id] = false;
                             // Undelivered = not yet emitted and not buffered.
-                            let sp = &station_plans[station];
+                            let sp = &station_plans[id];
                             let remaining: Vec<usize> = sp
                                 .sessions
                                 .iter()
@@ -1349,48 +2010,92 @@ fn run_pipelined_day(
                             if remaining.is_empty() {
                                 continue;
                             }
-                            let keep: HashSet<usize> = remaining.iter().copied().collect();
-                            let job = StationJob {
-                                fleet,
-                                kiosks,
-                                sessions: sp
-                                    .sessions
+                            // Dynamic work stealing: split the dead
+                            // station's undelivered kiosk range into
+                            // contiguous chunks — one steal-runner
+                            // connection per chunk, attributed
+                            // round-robin to the surviving stations —
+                            // so recovery re-derivation runs in
+                            // parallel instead of on one serial replay
+                            // connection. The kiosk assignment itself
+                            // never moves; shard routing (keyed off the
+                            // original owner) dedups the re-submissions.
+                            let k = kiosks.len();
+                            let mut stolen_kiosks: Vec<usize> =
+                                remaining.iter().map(|idx| idx % k).collect();
+                            stolen_kiosks.sort_unstable();
+                            stolen_kiosks.dedup();
+                            let survivors: Vec<usize> =
+                                (0..station_plans.len()).filter(|s| alive[*s]).collect();
+                            // No survivors: one chunk, replayed by the
+                            // victim itself (the pre-stealing behavior).
+                            let chunks = survivors.len().clamp(1, stolen_kiosks.len());
+                            for c in 0..chunks {
+                                let lo = c * stolen_kiosks.len() / chunks;
+                                let hi = (c + 1) * stolen_kiosks.len() / chunks;
+                                let owned: HashSet<usize> =
+                                    stolen_kiosks[lo..hi].iter().copied().collect();
+                                let keep: HashSet<usize> = remaining
                                     .iter()
-                                    .filter(|(idx, _, _)| keep.contains(idx))
                                     .copied()
-                                    .collect(),
-                                plans: sp
-                                    .plans
-                                    .iter()
-                                    .filter(|(idx, _)| keep.contains(idx))
+                                    .filter(|idx| owned.contains(&(idx % k)))
+                                    .collect();
+                                if keep.is_empty() {
+                                    continue;
+                                }
+                                let thief = survivors
+                                    .get(c % survivors.len().max(1))
                                     .copied()
-                                    .collect(),
-                                authority_pk,
-                                activation: activate.then_some(&ctx),
-                                pipeline,
-                                // Kill-during-failover chaos hook: the
-                                // recovery connection itself can be
-                                // faulted. A dead recovery is
-                                // unrecoverable (the station is already
-                                // in `recovered`), so the day aborts.
-                                fault_after: fault
-                                    .filter(|f| f.station == station)
-                                    .and_then(|f| f.recovery_after_ops),
-                            };
-                            let tx = msg_tx.clone();
-                            let worker = worker_client.clone();
-                            let recovery_id = station_plans.len() + station;
-                            scope.spawn(move || {
-                                let result = run_station(job, link, &worker, &tx);
-                                let _ = tx.send(StationMsg::Done(recovery_id, result));
-                            });
-                            spawned += 1;
+                                    .unwrap_or(id);
+                                steals.push(StealRecord {
+                                    victim: id,
+                                    thief,
+                                    sessions: keep.len(),
+                                });
+                                let job = StationJob {
+                                    fleet,
+                                    kiosks,
+                                    sessions: sp
+                                        .sessions
+                                        .iter()
+                                        .filter(|(idx, _, _)| keep.contains(idx))
+                                        .copied()
+                                        .collect(),
+                                    plans: sp
+                                        .plans
+                                        .iter()
+                                        .filter(|(idx, _)| keep.contains(idx))
+                                        .copied()
+                                        .collect(),
+                                    authority_pk,
+                                    activation: activate.then_some(&ctx),
+                                    pipeline,
+                                    // Kill-during-failover chaos hook:
+                                    // each steal runner can itself be
+                                    // faulted. A dead runner is
+                                    // unrecoverable (the victim is
+                                    // already in `recovered`), so the
+                                    // day aborts.
+                                    fault_after: fault
+                                        .filter(|f| f.station == id)
+                                        .and_then(|f| f.recovery_after_ops),
+                                };
+                                let tx = msg_tx.clone();
+                                let client = client.clone();
+                                let runner_id = station_plans.len() + steal_seq;
+                                steal_seq += 1;
+                                scope.spawn(move || {
+                                    let result = run_station(job, link, &client, &tx);
+                                    let _ = tx.send(StationMsg::Done(runner_id, result));
+                                });
+                                spawned += 1;
+                            }
                         } else {
                             // Unrecoverable: remember the first error and
                             // fail every parked barrier so blocked stations
                             // unwind instead of deadlocking the scope join.
                             first_error.get_or_insert(e);
-                            worker_client.abort();
+                            client.abort();
                         }
                     }
                 }
@@ -1406,14 +2111,16 @@ fn run_pipelined_day(
                 )));
             }
 
-            // Final barrier + telemetry straight over the worker channel.
-            worker_client
-                .call(Cmd::SyncAll)
-                .map_err(ServiceError::into_trip)?;
-            let ingest = worker_client
+            // Final barrier + telemetry straight over the engine channel.
+            client.call(Cmd::SyncAll).map_err(ServiceError::into_trip)?;
+            let ingest = client
                 .stats()
                 .map_err(|e| TripError::Boundary(e.to_string()))?;
-            Ok(DayStats { ingest })
+            Ok(DayStats {
+                ingest,
+                workers,
+                steals,
+            })
         };
         let result = coordinate();
 
@@ -1423,7 +2130,13 @@ fn run_pipelined_day(
         if let Some(addr) = addr {
             drop(TcpStream::connect(addr));
         }
-        drop(worker_client);
+        // Teardown handshake: the sequencer drops its shard senders so
+        // the workers drain and exit; dropping the coordinator's client
+        // (the handlers' clones go with their connections) then lets the
+        // sequencer itself exit. Both must happen on every exit path or
+        // the scope join deadlocks.
+        client.shutdown();
+        drop(client);
         result
     })
 }
@@ -1434,8 +2147,10 @@ mod tests {
     use vg_crypto::{HmacDrbg, Rng};
     use vg_trip::setup::TripConfig;
 
-    /// A worker over a real ledger: handles resolve by poll/wait while
-    /// the reorder buffer restores cross-station submission order.
+    /// The sharded engine over a real ledger: two shard workers own the
+    /// even/odd session interleave, handles resolve by poll/wait while
+    /// the per-worker reorder buffers restore cross-station submission
+    /// order, and the sequencer still commits one global prefix.
     #[test]
     fn ingest_handles_resolve_in_global_order() {
         let mut rng = HmacDrbg::from_u64(9);
@@ -1451,28 +2166,31 @@ mod tests {
                 .1
         };
 
-        let (cmd_tx, cmd_rx) = mpsc::channel();
-        let progress = IngestProgress::new();
-        let client = WorkerClient {
-            tx: cmd_tx,
-            progress: progress.clone(),
+        // Two kiosks owned by two stations, folded onto two workers:
+        // worker 0 owns session 0, worker 1 owns session 1.
+        let route = ShardRoute {
+            owner: Arc::new(kiosk_owners(2, 2)),
+            workers: 2,
         };
+        let engine = build_ingest(
+            ledger,
+            &officials[0],
+            1,
+            IngestMode::Background,
+            route,
+            vec![vec![0], vec![1]],
+        );
+        let IngestEngine {
+            client,
+            sequencer,
+            seq_rx,
+            shards,
+        } = engine;
         std::thread::scope(|scope| {
-            let worker = IngestWorker {
-                ledger,
-                official: &officials[0],
-                threads: 1,
-                mode: IngestMode::Background,
-                env: Lane::new(),
-                reg: Lane::new(),
-                parked: Vec::new(),
-                failed: None,
-                next_ticket: 0,
-                progress,
-                busy: Duration::ZERO,
-                idle: Duration::ZERO,
-            };
-            scope.spawn(move || worker.run(cmd_rx));
+            scope.spawn(move || sequencer.run(seq_rx));
+            for (worker, rx) in shards {
+                scope.spawn(move || worker.run(rx));
+            }
 
             // Session 1 arrives before session 0: its handle must stay
             // pending (the registration lane gates admitted_through too,
@@ -1486,7 +2204,7 @@ mod tests {
                 .unwrap();
             // Registration lane: both sessions' records are required
             // before the global prefix counts as admitted. An empty
-            // record group per session keeps the lane's bookkeeping
+            // record group per session keeps the lanes' bookkeeping
             // moving without real check-out material.
             client
                 .submit_records(vec![(0, vec![]), (1, vec![])])
@@ -1508,6 +2226,11 @@ mod tests {
             dup.wait().expect("already admitted");
             let stats = client.stats().unwrap();
             assert!(stats.env_batches > 0);
+            assert_eq!(stats.workers, 2);
+            // Teardown handshake (see `Cmd::Shutdown`): the sequencer
+            // releases the workers, then the last client drop releases
+            // the sequencer.
+            client.shutdown();
             drop(client);
         });
         assert!(system.ledger.envelopes.committed_count() >= 2);

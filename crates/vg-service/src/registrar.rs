@@ -18,7 +18,7 @@ use vg_trip::printer::EnvelopePrinter;
 use vg_trip::vsd::activation_ledger_phase;
 
 use crate::error::ServiceError;
-use crate::ingest::{IngestError, IngestQueue};
+use crate::ingest::{submit_with_retry, IngestQueue};
 use crate::messages::{
     ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
     CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, IngestStatsReply, LedgerHeads,
@@ -47,7 +47,7 @@ pub struct RegistrarHost<'a> {
 /// would buffer a whole million-voter day (plus the flush-time clone)
 /// server-side and delay admission errors to end-of-day. The queues
 /// enforce this as a typed backpressure contract
-/// ([`IngestError::Backpressure`]); the host responds by flushing and
+/// ([`crate::ingest::IngestError::Backpressure`]); the host responds by flushing and
 /// resubmitting — the RPC caller blocks for one admission sweep — keeping
 /// memory and error latency O(cap) while still coalescing many small
 /// windows.
@@ -123,21 +123,15 @@ impl RegistrarService for RegistrarHost<'_> {
         self.official
             .verify_checkouts(&checkouts, self.kiosk_registry, self.threads)?;
         let records = self.official.countersign_checkouts(checkouts);
-        let records = match self.reg_queue.submit(records) {
-            Ok(_) => None,
-            // Backpressure: flush on the submitter's behalf, then retry
-            // (an empty queue always accepts).
-            Err((IngestError::Backpressure { .. }, refused)) => Some(refused),
-        };
-        if let Some(refused) = records {
-            let ledger = &mut *self.ledger;
-            let threads = self.threads;
-            self.reg_queue
-                .flush(|records| ledger.registration.post_batch(records, threads))?;
-            self.reg_queue
-                .submit(refused)
-                .map_err(|_| ServiceError::Transport("ingest queue refused after flush".into()))?;
-        }
+        // Backpressure: flush on the submitter's behalf and retry, with a
+        // bounded loop and a typed give-up (concurrent producers can
+        // refill the queue between the flush and the retry).
+        let ledger = &mut *self.ledger;
+        let threads = self.threads;
+        submit_with_retry(&mut self.reg_queue, records, |q| {
+            q.flush(|records| ledger.registration.post_batch(records, threads))?;
+            Ok(())
+        })?;
         let ticket = self.ticket();
         Ok(CheckOutBatchResponse { ticket })
     }
@@ -157,19 +151,12 @@ impl LedgerIngestService for RegistrarHost<'_> {
         &mut self,
         req: EnvelopeSubmitRequest,
     ) -> Result<IngestReceipt, ServiceError> {
-        let commitments = match self.env_queue.submit(req.commitments) {
-            Ok(_) => None,
-            Err((IngestError::Backpressure { .. }, refused)) => Some(refused),
-        };
-        if let Some(refused) = commitments {
-            let ledger = &mut *self.ledger;
-            let threads = self.threads;
-            self.env_queue
-                .flush(|commitments| ledger.envelopes.commit_batch(commitments, threads))?;
-            self.env_queue
-                .submit(refused)
-                .map_err(|_| ServiceError::Transport("ingest queue refused after flush".into()))?;
-        }
+        let ledger = &mut *self.ledger;
+        let threads = self.threads;
+        submit_with_retry(&mut self.env_queue, req.commitments, |q| {
+            q.flush(|commitments| ledger.envelopes.commit_batch(commitments, threads))?;
+            Ok(())
+        })?;
         let ticket = self.ticket();
         Ok(IngestReceipt { ticket })
     }
@@ -199,6 +186,7 @@ impl LedgerIngestService for RegistrarHost<'_> {
             worker_idle_us: 0,
             wal_records: durability.wal_records,
             wal_fsyncs: durability.wal_fsyncs,
+            workers: 0,
         })
     }
 }

@@ -410,12 +410,32 @@ pub fn serve_connection(
     }
 }
 
+/// One stolen kiosk-range chunk: when a polling station dies mid-day,
+/// each surviving station that absorbs a contiguous chunk of the dead
+/// station's kiosk range logs one of these (the kiosk assignment `i mod
+/// |K|` never moves — only transport ownership does).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StealRecord {
+    /// The dead station whose kiosk range was stolen.
+    pub victim: usize,
+    /// The surviving station the chunk was attributed to.
+    pub thief: usize,
+    /// Undelivered sessions the chunk re-ran.
+    pub sessions: usize,
+}
+
 /// End-of-day service-layer telemetry, returned by every day runner.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DayStats {
     /// Ingest coalescing counters and (for pipelined days) worker
     /// busy/idle time.
     pub ingest: IngestStatsReply,
+    /// Effective ingest worker count (`1` on barrier and single-worker
+    /// days; pipelined days run `min(workers, stations)` shards).
+    pub workers: usize,
+    /// Work-stealing log: one entry per chunk of a dead station's kiosk
+    /// range absorbed by a survivor. Empty on healthy days.
+    pub steals: Vec<StealRecord>,
 }
 
 /// Runs `client_run` against the registrar parts of `system` served over
@@ -452,7 +472,14 @@ fn with_boundary<R>(
                 .endpoint
                 .ingest_stats()
                 .map_err(|e| TripError::Boundary(e.to_string()))?;
-            Ok((out, DayStats { ingest }))
+            Ok((
+                out,
+                DayStats {
+                    ingest,
+                    workers: 1,
+                    steals: Vec::new(),
+                },
+            ))
         }
         Transport::Tcp => {
             let listener = TcpListener::bind(("127.0.0.1", 0))
@@ -490,6 +517,8 @@ fn with_boundary<R>(
                         out,
                         DayStats {
                             ingest: ingest.unwrap_or_default(),
+                            workers: 1,
+                            steals: Vec::new(),
                         },
                     ))
                 };

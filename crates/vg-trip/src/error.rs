@@ -44,6 +44,11 @@ pub enum TripError {
     /// service. Domain errors keep their typed variants across the wire;
     /// this variant is strictly for the transport itself misbehaving.
     Boundary(String),
+    /// A day-plan configuration is inconsistent (e.g. more polling
+    /// stations than kiosks). Raised instead of silently clamping, so a
+    /// misconfigured `ElectionBuilder` surfaces the mistake rather than
+    /// quietly running a different topology than requested.
+    InvalidConfig(String),
 }
 
 /// The individual activation-time checks of Fig 11, named so that failures
@@ -90,6 +95,7 @@ impl core::fmt::Display for TripError {
             TripError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
             TripError::Ledger(e) => write!(f, "ledger failure: {e}"),
             TripError::Boundary(what) => write!(f, "registrar boundary failure: {what}"),
+            TripError::InvalidConfig(what) => write!(f, "invalid day configuration: {what}"),
         }
     }
 }

@@ -120,20 +120,49 @@ pub struct StationPlan {
     pub plans: Vec<(usize, SessionPlan)>,
 }
 
-/// Splits a day's plan across `stations` polling stations (clamped to
-/// `1..=|K|`). Kiosk `k` belongs to station `⌊k·S/|K|⌋`-ish contiguous
-/// chunks; sessions follow their kiosks.
-pub fn partition_stations(
-    plan: &[(VoterId, usize)],
-    kiosks: &[Kiosk],
-    stations: usize,
-) -> Vec<StationPlan> {
-    let k = kiosks.len().max(1);
-    let s = stations.clamp(1, k);
+/// The static kiosk → owning-station map: `stations` contiguous,
+/// balanced chunks over `kiosks` kiosks. This is the session-routing
+/// ground truth for the whole day — shard ownership in the pipelined
+/// registrar keys off the *original* owner even after a steal moves
+/// transport ownership of a dead station's kiosk range, so re-submitted
+/// sessions land on the same ingest worker and dedup for free.
+///
+/// Requires `1 ≤ stations ≤ kiosks` (callers validate; see
+/// [`partition_stations`]).
+pub fn kiosk_owners(kiosks: usize, stations: usize) -> Vec<usize> {
+    let (k, s) = (kiosks, stations);
     let mut owner = vec![0usize; k];
     for (j, slot) in (0..s).flat_map(|j| ((j * k) / s..((j + 1) * k) / s).map(move |ki| (j, ki))) {
         owner[slot] = j;
     }
+    owner
+}
+
+/// Splits a day's plan across `stations` polling stations. Kiosk `k`
+/// belongs to station `⌊k·S/|K|⌋`-ish contiguous chunks; sessions follow
+/// their kiosks.
+///
+/// # Invariant
+///
+/// `1 ≤ stations ≤ |K|`: every station must own at least one kiosk, so a
+/// day can never run more stations than kiosks. Violations return
+/// [`TripError::InvalidConfig`] instead of silently clamping — an
+/// `ElectionBuilder` asking for 16 stations over 8 kiosks previously ran
+/// 8 stations without telling anyone, which made capacity planning (and
+/// the station-death steal math) quietly wrong.
+pub fn partition_stations(
+    plan: &[(VoterId, usize)],
+    kiosks: &[Kiosk],
+    stations: usize,
+) -> Result<Vec<StationPlan>, TripError> {
+    let k = kiosks.len();
+    if stations == 0 || stations > k {
+        return Err(TripError::InvalidConfig(format!(
+            "{stations} stations over {k} kiosks (need 1 <= stations <= kiosks)"
+        )));
+    }
+    let s = stations;
+    let owner = kiosk_owners(k, s);
     let mut out: Vec<StationPlan> = (0..s)
         .map(|station| StationPlan {
             station,
@@ -154,7 +183,7 @@ pub fn partition_stations(
             },
         ));
     }
-    out
+    Ok(out)
 }
 
 /// Everything the activation half of a station run needs besides the

@@ -223,14 +223,29 @@ impl ElectionBuilder {
         self
     }
 
-    /// Number of polling-station connections registration runs over
-    /// (clamped to the kiosk count). More than one routes registration
+    /// Number of polling-station connections registration runs over.
+    /// Must not exceed the deployment's kiosk count: the day returns a
+    /// typed [`vg_trip::TripError::InvalidConfig`] rather than silently
+    /// clamping (kiosks split into contiguous chunks, so `1 <= stations
+    /// <= |K|` is a hard invariant). More than one routes registration
     /// through the pipelined engine: stations drive disjoint kiosk
-    /// chunks concurrently and the registrar's ingest worker restores
+    /// chunks concurrently and the registrar's ingest layer restores
     /// global queue order, so the ledgers stay bit-identical to a
     /// single-station run.
     pub fn stations(mut self, n: usize) -> Self {
         self.pipeline.stations = n.max(1);
+        self
+    }
+
+    /// Shard verification workers for the registrar's ingest layer.
+    /// Each worker owns the sessions of a station partition (shards key
+    /// off kiosk-chunk ownership) and runs that shard's RLC admission
+    /// sweeps concurrently, while a single commit sequencer keeps
+    /// appends globally ordered under one signed head per ledger — the
+    /// effective count is `min(workers, stations)`. More than one
+    /// routes registration through the pipelined engine.
+    pub fn ingest_workers(mut self, n: usize) -> Self {
+        self.pipeline.workers = n.max(1);
         self
     }
 
@@ -737,6 +752,7 @@ mod tests {
             if pipelined {
                 builder = builder
                     .stations(2)
+                    .ingest_workers(2)
                     .low_water(4)
                     .ingest(IngestMode::Background)
                     .activation_lag(3);

@@ -72,8 +72,8 @@ proptest! {
 
     /// The acceptance criterion: pipelined registration days equal the
     /// sequential seeded reference bit-for-bit across (kiosks × pool
-    /// batch × low-water mark × station count × ingest mode × threads ×
-    /// seed), on both transports.
+    /// batch × low-water mark × station count × ingest worker count ×
+    /// ingest mode × threads × seed), on both transports.
     #[test]
     fn pipelined_day_equals_sequential_reference(
         seed64 in any::<u64>(),
@@ -81,6 +81,7 @@ proptest! {
         pool_batch in 1usize..5,
         threads in 1usize..3,
         stations in 1usize..4,
+        workers in 1usize..4,
         low_water in 0usize..7,
         background in any::<bool>(),
         fake_counts in proptest::collection::vec(0usize..3, 5),
@@ -94,8 +95,10 @@ proptest! {
         let mut seed = [0u8; 32];
         seed[..8].copy_from_slice(&seed64.to_le_bytes());
         let fleet = KioskFleet::new(FleetConfig { pool_batch, threads, seed });
+        let stations = stations.min(n_kiosks);
         let pipeline = PipelineConfig {
             stations,
+            workers,
             low_water,
             ingest: if background { IngestMode::Background } else { IngestMode::Barrier },
             activation_lag: 1 + (seed64 % 3) as usize,
@@ -129,6 +132,7 @@ proptest! {
         seed64 in any::<u64>(),
         threads in 1usize..3,
         stations in 1usize..3,
+        workers in 1usize..3,
         activation_lag in 1usize..4,
         fake_counts in proptest::collection::vec(0usize..2, 4),
     ) {
@@ -162,6 +166,7 @@ proptest! {
 
         let pipeline = PipelineConfig {
             stations,
+            workers,
             low_water: 3,
             ingest: IngestMode::Background,
             activation_lag,
@@ -205,6 +210,7 @@ fn station_death_mid_window_heals_on_survivors() {
     });
     let pipeline = PipelineConfig {
         stations: 2,
+        workers: 2,
         low_water: 2,
         ingest: IngestMode::Background,
         activation_lag: 1,
@@ -268,6 +274,7 @@ fn unrecoverable_error_returns_typed_instead_of_hanging() {
         let fleet = KioskFleet::new(FleetConfig::seeded([1u8; 32]));
         let pipeline = PipelineConfig {
             stations: 2,
+            workers: 2,
             low_water: 2,
             ingest: IngestMode::Background,
             activation_lag: 1,
@@ -348,6 +355,7 @@ fn durable_day_killed_mid_day_replays_to_identical_heads() {
     ] {
         let pipeline = PipelineConfig {
             stations: 2,
+            workers: 2,
             low_water: 2,
             ingest,
             activation_lag: 1,
@@ -415,6 +423,7 @@ fn kill_during_failover_reopens_to_the_healthy_reference() {
     });
     let pipeline = PipelineConfig {
         stations: 2,
+        workers: 2,
         low_water: 2,
         ingest: IngestMode::Background,
         activation_lag: 1,
@@ -485,15 +494,18 @@ fn kill_during_failover_reopens_to_the_healthy_reference() {
     }
 }
 
-/// The station partition itself: disjoint, exhaustive, kiosk-aligned.
+/// The station partition itself: disjoint, exhaustive, kiosk-aligned —
+/// and over-subscription (`stations > |K|`, or zero stations) is a typed
+/// configuration error rather than a silent clamp.
 #[test]
 fn station_partition_is_disjoint_and_kiosk_aligned() {
     let mut rng = HmacDrbg::from_u64(3);
     let system = TripSystem::setup(trip_config(10, 5), &mut rng);
     let plan: Vec<(VoterId, usize)> = (1..=10).map(|v| (VoterId(v), 1)).collect();
-    for stations in [1, 2, 3, 5, 9] {
-        let parts = votegral::trip::fleet::partition_stations(&plan, &system.kiosks, stations);
-        assert_eq!(parts.len(), stations.min(5));
+    for stations in [1, 2, 3, 5] {
+        let parts = votegral::trip::fleet::partition_stations(&plan, &system.kiosks, stations)
+            .expect("1 <= stations <= kiosks is a valid partition");
+        assert_eq!(parts.len(), stations);
         let mut seen = HashSet::new();
         for part in &parts {
             for &(idx, voter, _) in &part.sessions {
@@ -502,5 +514,191 @@ fn station_partition_is_disjoint_and_kiosk_aligned() {
             }
         }
         assert_eq!(seen.len(), plan.len(), "stations cover the whole plan");
+    }
+    for stations in [0, 9] {
+        let out = votegral::trip::fleet::partition_stations(&plan, &system.kiosks, stations);
+        assert!(
+            matches!(out, Err(votegral::trip::TripError::InvalidConfig(_))),
+            "{stations} stations over 5 kiosks must be a typed config error"
+        );
+    }
+}
+
+/// The work-stealing acceptance criterion: a ≥3-station day in which one
+/// station dies mid-window finishes by *partitioning* the dead station's
+/// kiosk range across the survivors — at least two distinct thieves each
+/// absorb a contiguous chunk — and the healed day stays bit-identical to
+/// the healthy pipelined reference. One recovery connection no longer
+/// serializes the whole re-run.
+#[test]
+fn station_death_steals_kiosk_chunks_across_survivors() {
+    let seed = [0x5Eu8; 32];
+    // 9 voters over 6 kiosks, 3 stations: station 1 owns kiosks {2,3}
+    // and therefore sessions {2,3,8}.
+    let queue: Vec<(VoterId, usize)> = (1..=9).map(|v| (VoterId(v), (v % 2) as usize)).collect();
+    let fleet = KioskFleet::new(FleetConfig {
+        pool_batch: 2,
+        threads: 2,
+        seed,
+    });
+    let pipeline = PipelineConfig {
+        stations: 3,
+        workers: 2,
+        low_water: 2,
+        ingest: IngestMode::Background,
+        activation_lag: 1,
+    };
+
+    let run = |fault: Option<StationFault>, transport: Transport| {
+        let mut rng = HmacDrbg::from_u64(0x57EA);
+        let mut system = TripSystem::setup(trip_config(9, 6), &mut rng);
+        let mut devices = Vec::new();
+        let mut outcomes = Vec::new();
+        let stats = pipelined_register_and_activate_day_with_fault(
+            &fleet,
+            &mut system,
+            &queue,
+            transport,
+            pipeline,
+            fault,
+            |outcome, vsd| {
+                devices.push(vsd.credentials.len());
+                outcomes.push(outcome);
+            },
+        )
+        .expect("day completes despite the dead station");
+        (fingerprint(&system, &outcomes), devices, stats)
+    };
+    let (reference, ref_devices, healthy_stats) = run(None, Transport::InProcess);
+    assert!(
+        healthy_stats.steals.is_empty(),
+        "healthy day steals nothing"
+    );
+
+    for after_ops in [0, 2, 4] {
+        for transport in [Transport::InProcess, Transport::Tcp] {
+            let fault = Some(StationFault {
+                station: 1,
+                after_ops,
+                recovery_after_ops: None,
+            });
+            let (fp, devices, stats) = run(fault, transport);
+            assert_eq!(
+                (&fp, &devices),
+                (&reference, &ref_devices),
+                "steal-healed day diverged after {after_ops} ops over {transport:?}"
+            );
+            // Dynamic partition: every chunk names the dead station as
+            // victim, and the chunks were spread across ≥2 survivors.
+            assert!(
+                !stats.steals.is_empty(),
+                "a dead station's range must be stolen ({after_ops} ops, {transport:?})"
+            );
+            assert!(stats.steals.iter().all(|s| s.victim == 1));
+            let thieves: HashSet<usize> = stats.steals.iter().map(|s| s.thief).collect();
+            if after_ops == 0 {
+                // Nothing delivered: both stolen kiosks {2,3} (sessions
+                // {2,8} and {3}) must land on distinct survivors.
+                assert_eq!(
+                    thieves,
+                    HashSet::from([0, 2]),
+                    "kiosk chunks must spread across both survivors, got {:?}",
+                    stats.steals
+                );
+            }
+            assert!(thieves.iter().all(|&t| t != 1), "the victim cannot steal");
+        }
+    }
+}
+
+/// Kill-then-steal chaos on the durable backend: a 3-station durable day
+/// loses station 1 mid-window and the *steal chunks* die too, aborting
+/// the day with a partial prefix fsynced under a signed head. Reopening
+/// the directory and running the day cleanly must dedup every re-run
+/// session against the persisted prefix — byte-identical ingest dedup is
+/// exactly what makes chunked stealing safe to retry — and land on the
+/// healthy reference.
+#[test]
+fn durable_kill_then_steal_replays_to_identical_heads() {
+    let seed = [0x5Eu8; 32];
+    let queue: Vec<(VoterId, usize)> = (1..=9).map(|v| (VoterId(v), (v % 2) as usize)).collect();
+    let fleet = KioskFleet::new(FleetConfig {
+        pool_batch: 2,
+        threads: 2,
+        seed,
+    });
+    let pipeline = PipelineConfig {
+        stations: 3,
+        workers: 3,
+        low_water: 2,
+        ingest: IngestMode::Background,
+        activation_lag: 1,
+    };
+
+    let run = |dir: Option<&Path>, fault: Option<StationFault>, transport: Transport| {
+        let mut rng = HmacDrbg::from_u64(0x57EA);
+        let config = match dir {
+            Some(dir) => durable_config(9, 6, dir, true),
+            None => trip_config(9, 6),
+        };
+        let mut system = TripSystem::setup(config, &mut rng);
+        let mut devices = Vec::new();
+        let mut outcomes = Vec::new();
+        let stats = pipelined_register_and_activate_day_with_fault(
+            &fleet,
+            &mut system,
+            &queue,
+            transport,
+            pipeline,
+            fault,
+            |outcome, vsd| {
+                devices.push(vsd.credentials.len());
+                outcomes.push(outcome);
+            },
+        )?;
+        Ok::<_, votegral::trip::TripError>((fingerprint(&system, &outcomes), devices, stats))
+    };
+    let (reference, ref_devices, _) =
+        run(None, None, Transport::InProcess).expect("healthy reference day");
+
+    for transport in [Transport::InProcess, Transport::Tcp] {
+        // Sanity: steal-healing on the durable backend alone already
+        // reproduces the reference.
+        let healed_dir = wal_dir(&format!("steal-heal-{transport:?}"));
+        let fault = Some(StationFault {
+            station: 1,
+            after_ops: 2,
+            recovery_after_ops: None,
+        });
+        let (fp, devices, stats) =
+            run(Some(&healed_dir), fault, transport).expect("steal-healed durable day");
+        assert_eq!((&fp, &devices), (&reference, &ref_devices), "{transport:?}");
+        assert!(!stats.steals.is_empty(), "the dead station must be stolen");
+        let _ = std::fs::remove_dir_all(&healed_dir);
+
+        // Chaos: the steal chunks die too; the aborted day leaves a
+        // persisted prefix, and a clean reopen replays to the reference.
+        for chunk_after_ops in [0usize, 3] {
+            let dir = wal_dir(&format!("kill-steal-{transport:?}-{chunk_after_ops}"));
+            let fault = Some(StationFault {
+                station: 1,
+                after_ops: 2,
+                recovery_after_ops: Some(chunk_after_ops),
+            });
+            let aborted = run(Some(&dir), fault, transport);
+            assert!(
+                aborted.is_err(),
+                "dead steal chunks must abort the day ({transport:?})"
+            );
+            let (fp, devices, stats) =
+                run(Some(&dir), None, transport).expect("reopened day completes");
+            assert_eq!(
+                (&fp, &devices),
+                (&reference, &ref_devices),
+                "steal chunks killed after {chunk_after_ops} ops over {transport:?}"
+            );
+            assert!(stats.ingest.wal_fsyncs > 0, "fsync-at-flush must engage");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 }

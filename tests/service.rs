@@ -141,6 +141,7 @@ fn sample_messages(seed: u64) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
             worker_idle_us: 9_000,
             wal_records: 16,
             wal_fsyncs: 2,
+            workers: 4,
         })
         .to_wire(),
         Response::Err(ServiceError::Trip(votegral::trip::TripError::NotEligible)).to_wire(),
