@@ -41,7 +41,7 @@ use vg_bench::{arg_flag, arg_str, arg_usize, print_table, BenchReport};
 use vg_crypto::HmacDrbg;
 use vg_service::{
     pipelined_register_and_activate_day, register_and_activate_day, DayStats, IngestMode,
-    PipelineConfig, Transport,
+    PipelineConfig, TransportPlan,
 };
 use vg_sim::population::{FakeCredentialDist, RegistrationPlan};
 use vg_trip::fleet::{FleetConfig, KioskFleet};
@@ -64,7 +64,7 @@ fn run_day(
     plan: &RegistrationPlan,
     kiosks: usize,
     fleet_config: FleetConfig,
-    pipeline: Option<(PipelineConfig, Transport)>,
+    pipeline: Option<(PipelineConfig, TransportPlan)>,
 ) -> (f64, DayStats) {
     let n = plan.len();
     let mut rng = HmacDrbg::from_u64(0x71FE);
@@ -77,7 +77,7 @@ fn run_day(
             &fleet,
             &mut system,
             plan.sessions(),
-            Transport::InProcess,
+            TransportPlan::IN_PROCESS,
             |_, _| done += 1,
         )
         .expect("barrier day runs"),
@@ -118,6 +118,15 @@ fn main() {
     let windows_per_station = voters.div_ceil(stations.max(1)).div_ceil(pool.max(1));
     let lag = arg_usize("--lag", windows_per_station.max(1));
     let low_water = arg_usize("--low-water", 2 * pool);
+    // --secure runs the TCP row over the mutually-authenticated
+    // encrypted channel (the deployment configuration); the in-process
+    // rows stay direct so the headlines keep their meaning.
+    let secure = arg_flag("--secure");
+    let tcp_plan = if secure {
+        TransportPlan::SECURE_TCP
+    } else {
+        TransportPlan::TCP
+    };
     let json_path = arg_str("--json");
 
     let plan = {
@@ -156,32 +165,33 @@ fn main() {
         .meta("threads", threads)
         .meta("pool_batch", pool)
         .meta("activation_lag", lag)
-        .meta("low_water", low_water);
+        .meta("low_water", low_water)
+        .meta("secure", secure);
 
     let (barrier, _) = run_day(&plan, kiosks, fleet_config, None);
     let (pipe_s1, s1_stats) = run_day(
         &plan,
         kiosks,
         fleet_config,
-        Some((pipeline(1, 1), Transport::InProcess)),
+        Some((pipeline(1, 1), TransportPlan::IN_PROCESS)),
     );
     let (pipe_w1, w1_stats) = run_day(
         &plan,
         kiosks,
         fleet_config,
-        Some((pipeline(stations, 1), Transport::InProcess)),
+        Some((pipeline(stations, 1), TransportPlan::IN_PROCESS)),
     );
     let (pipe, pipe_stats) = run_day(
         &plan,
         kiosks,
         fleet_config,
-        Some((pipeline(stations, workers), Transport::InProcess)),
+        Some((pipeline(stations, workers), TransportPlan::IN_PROCESS)),
     );
     let (pipe_tcp, tcp_stats) = run_day(
         &plan,
         kiosks,
         fleet_config,
-        Some((pipeline(stations, workers), Transport::Tcp)),
+        Some((pipeline(stations, workers), tcp_plan)),
     );
 
     let speedup = pipe / barrier;

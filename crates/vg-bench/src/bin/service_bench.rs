@@ -19,16 +19,28 @@
 //! a dimensionless ratio that catches codec or transport regressions
 //! without tracking absolute host speed.
 //!
+//! A second section measures **gateway connection scaling**: the same
+//! pipelined day over the multiplexed station gateway at increasing
+//! station-connection counts (`--connections`, default `1,64`). The
+//! gateway serves every connection on a small bounded reactor pool, so
+//! the guarded headline — the per-ceremony TCP tax at the highest
+//! connection count over the tax at one connection — should stay flat
+//! as connections grow. `--secure` runs every TCP leg over the
+//! mutually-authenticated encrypted channel.
+//!
 //! Run with:
 //! `cargo run --release -p vg-bench --bin service_bench --
 //!  [--quick] [--voters N --kiosks K] [--threads N] [--pool N]
-//!  [--activate] [--json path]`
+//!  [--activate] [--secure] [--connections A,B,..] [--json path]`
 
 use std::time::Instant;
 
 use vg_bench::{arg_flag, arg_str, arg_usize, print_table, BenchReport};
 use vg_crypto::HmacDrbg;
-use vg_service::{register_and_activate_day, register_day, DayStats, Transport};
+use vg_service::{
+    pipelined_register_day, register_and_activate_day, register_day, DayStats, IngestMode,
+    PipelineConfig, TransportPlan,
+};
 use vg_sim::population::{FakeCredentialDist, RegistrationPlan};
 use vg_trip::fleet::{FleetConfig, KioskFleet};
 use vg_trip::setup::{TripConfig, TripSystem};
@@ -50,7 +62,7 @@ fn run_day(
     plan: &RegistrationPlan,
     kiosks: usize,
     fleet_config: FleetConfig,
-    transport: Option<Transport>,
+    transport: Option<TransportPlan>,
     activate: bool,
 ) -> (f64, DayStats) {
     let n = plan.len();
@@ -95,6 +107,22 @@ fn main() {
     let pool = arg_usize("--pool", 256);
     let quick = arg_flag("--quick");
     let activate = arg_flag("--activate");
+    // --secure puts every TCP leg behind the mutually-authenticated
+    // encrypted channel; in-process legs stay direct so the ratios keep
+    // isolating the socket + codec (+ seal) tax.
+    let secure = arg_flag("--secure");
+    let tcp_plan = if secure {
+        TransportPlan::SECURE_TCP
+    } else {
+        TransportPlan::TCP
+    };
+    let connections: Vec<usize> = arg_str("--connections")
+        .map(|list| {
+            list.split(',')
+                .map(|c| c.trim().parse().expect("--connections N,N,..."))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 64]);
     let json_path = arg_str("--json");
 
     let cases: Vec<(usize, usize)> = if let Some(v) = arg_str("--voters") {
@@ -123,6 +151,15 @@ fn main() {
         .meta("threads", threads)
         .meta("pool_batch", pool)
         .meta("activate", activate)
+        .meta("secure", secure)
+        .meta(
+            "connections",
+            connections
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
         .meta(
             "grid",
             cases
@@ -149,10 +186,10 @@ fn main() {
             &plan,
             kiosks,
             fleet_config,
-            Some(Transport::InProcess),
+            Some(TransportPlan::IN_PROCESS),
             activate,
         );
-        let (tcp, _) = run_day(&plan, kiosks, fleet_config, Some(Transport::Tcp), activate);
+        let (tcp, _) = run_day(&plan, kiosks, fleet_config, Some(tcp_plan), activate);
         let tcp_ratio = tcp / inproc;
         let async_gain = inproc / local;
         // Per-ceremony cost of the socket + codec, in microseconds.
@@ -220,8 +257,97 @@ fn main() {
         );
     }
 
+    // Gateway connection scaling: one kiosk-sized station connection
+    // per count, every connection multiplexed onto the gateway's bounded
+    // reactor pool. The tax is per-ceremony time over the in-process
+    // pipelined day at the same station count, so station parallelism
+    // cancels and only the transport remains.
+    let (n, _) = cases[0];
+    let gw_plan = {
+        let mut rng = HmacDrbg::from_u64(0xD_C);
+        RegistrationPlan::sample(n as u64, &FakeCredentialDist::default(), &mut rng)
+    };
+    let fleet_config = FleetConfig {
+        pool_batch: pool,
+        threads,
+        seed: [0x5Eu8; 32],
+    };
+    println!("\nGateway connection scaling ({n} voters, tax vs in-process at the same fan-out):");
+    let mut gw_rows = Vec::new();
+    let mut taxes: Vec<(usize, f64)> = Vec::new();
+    for &conns in &connections {
+        let inproc = run_gateway_day(&gw_plan, fleet_config, TransportPlan::IN_PROCESS, conns);
+        let tcp = run_gateway_day(&gw_plan, fleet_config, tcp_plan, conns);
+        // Per-ceremony cost of the gateway transport, in microseconds
+        // (floored: a negative tax is measurement noise).
+        let tax = ((1.0 / tcp - 1.0 / inproc) * 1e6).max(1.0);
+        gw_rows.push(vec![
+            conns.to_string(),
+            format!("{inproc:.0}"),
+            format!("{tcp:.0}"),
+            format!("{tax:.1}"),
+        ]);
+        report.metric(&format!("gateway_c{conns}_inproc_per_sec"), inproc);
+        report.metric(&format!("gateway_c{conns}_tcp_per_sec"), tcp);
+        report.metric(&format!("gateway_c{conns}_tax_us_per_ceremony"), tax);
+        taxes.push((conns, tax));
+    }
+    print_table(
+        &[
+            "connections",
+            "inproc/s",
+            "gateway-tcp/s",
+            "tax us/ceremony",
+        ],
+        &gw_rows,
+    );
+    if taxes.len() >= 2 {
+        let (lo_c, lo_tax) = taxes[0];
+        let (hi_c, hi_tax) = *taxes.last().expect("at least two counts");
+        let scaling = hi_tax / lo_tax;
+        report.metric("headline_gateway_scaling", scaling);
+        println!(
+            "\nper-ceremony gateway tax at {hi_c} connections over {lo_c}: {scaling:.3} \
+             (~1.0 = the reactor pool absorbs the fan-out; growth flags \
+             per-connection costs creeping back in)"
+        );
+    }
+
     if let Some(path) = json_path {
         report.write(&path).expect("write bench json");
         println!("telemetry written to {path}");
     }
+}
+
+/// One timed pipelined registration day over the multiplexed gateway at
+/// `stations` connections (one kiosk per station so the fan-out is
+/// exactly the connection count).
+fn run_gateway_day(
+    plan: &RegistrationPlan,
+    fleet_config: FleetConfig,
+    transport: TransportPlan,
+    stations: usize,
+) -> f64 {
+    let n = plan.len();
+    let mut rng = HmacDrbg::from_u64(0x5E41);
+    let mut system = TripSystem::setup(config(n as u64, stations), &mut rng);
+    let fleet = KioskFleet::new(fleet_config);
+    let pipeline = PipelineConfig {
+        stations,
+        ingest: IngestMode::Background,
+        ..PipelineConfig::default()
+    };
+    let mut done = 0usize;
+    let t0 = Instant::now();
+    pipelined_register_day(
+        &fleet,
+        &mut system,
+        plan.sessions(),
+        transport,
+        pipeline,
+        |_| done += 1,
+    )
+    .expect("gateway day registers");
+    assert_eq!(done, n);
+    n as f64 / t0.elapsed().as_secs_f64()
 }

@@ -32,6 +32,7 @@
 
 pub mod batch;
 pub mod bigint;
+pub mod channel;
 pub mod chaum_pedersen;
 pub mod codec;
 pub mod dkg;
@@ -50,6 +51,9 @@ pub mod shamir;
 pub mod transcript;
 
 pub use batch::BatchVerifier;
+pub use channel::{
+    derive_channel_keys, transcript_hash, ChannelKeys, DirectionKeys, EphemeralKey, FrameSealer,
+};
 pub use drbg::{HmacDrbg, OsRng, Rng};
 pub use edwards::{basemul, multiscalar_mul, multiscalar_mul_par, CompressedPoint, EdwardsPoint};
 pub use scalar::Scalar;

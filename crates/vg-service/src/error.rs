@@ -26,6 +26,17 @@ pub enum ServiceError {
     /// Carries the final refusal so callers can see how saturated the
     /// queue was when the registrar gave up.
     Ingest(IngestError),
+    /// A secure-channel peer completed the handshake cryptography but is
+    /// not enrolled (unknown station key, or the registrar's static key
+    /// did not match the enrolled one). Typed separately from
+    /// [`ServiceError::HandshakeFailed`] so operators can distinguish
+    /// "wrong key material" from "broken/absent handshake".
+    AuthFailed(String),
+    /// The secure-channel handshake itself failed: malformed, truncated,
+    /// replayed or bit-flipped handshake frames, a bad signature or
+    /// confirmation MAC, or a plaintext/secure policy mismatch between
+    /// the two endpoints.
+    HandshakeFailed(String),
 }
 
 impl core::fmt::Display for ServiceError {
@@ -34,6 +45,8 @@ impl core::fmt::Display for ServiceError {
             ServiceError::Trip(e) => write!(f, "service error: {e}"),
             ServiceError::Transport(what) => write!(f, "transport error: {what}"),
             ServiceError::Ingest(e) => write!(f, "ingest gave up after bounded retries: {e}"),
+            ServiceError::AuthFailed(who) => write!(f, "channel authentication failed: {who}"),
+            ServiceError::HandshakeFailed(why) => write!(f, "channel handshake failed: {why}"),
         }
     }
 }
@@ -73,6 +86,12 @@ impl ServiceError {
             ServiceError::Transport(what) => TripError::Boundary(what),
             ServiceError::Ingest(e) => {
                 TripError::Boundary(format!("ingest gave up after bounded retries: {e}"))
+            }
+            ServiceError::AuthFailed(who) => {
+                TripError::Boundary(format!("channel authentication failed: {who}"))
+            }
+            ServiceError::HandshakeFailed(why) => {
+                TripError::Boundary(format!("channel handshake failed: {why}"))
             }
         }
     }
@@ -176,6 +195,8 @@ pub(crate) fn encode_error(buf: &mut Vec<u8>, e: &ServiceError) {
         ServiceError::Ingest(IngestError::Backpressure { pending, capacity }) => {
             (16, *pending as u32, *capacity as u32, "")
         }
+        ServiceError::AuthFailed(s) => (17, 0, 0, s.as_str()),
+        ServiceError::HandshakeFailed(s) => (18, 0, 0, s.as_str()),
     };
     put_u32(buf, tag);
     put_u32(buf, sub);
@@ -213,6 +234,8 @@ pub(crate) fn decode_error(r: &mut Reader<'_>) -> Result<ServiceError, CryptoErr
             pending: sub as usize,
             capacity: sub2 as usize,
         }),
+        17 => ServiceError::AuthFailed(text),
+        18 => ServiceError::HandshakeFailed(text),
         _ => return Err(CryptoError::Malformed("unknown error tag")),
     })
 }
@@ -239,6 +262,8 @@ mod tests {
                 pending: 16_000,
                 capacity: 16_384,
             }),
+            ServiceError::AuthFailed("station key not enrolled".into()),
+            ServiceError::HandshakeFailed("confirmation mac mismatch".into()),
         ];
         for e in cases {
             let mut buf = Vec::new();

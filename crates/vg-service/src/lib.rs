@@ -24,9 +24,16 @@
 //!   submissions coalesce into single RLC-folded admission sweeps;
 //! - [`registrar`]: the host serving all four services over deployment
 //!   state;
-//! - [`transport`]: [`Transport::InProcess`] (zero-copy) and
-//!   [`Transport::Tcp`] (framed loopback socket), the fleet-facing
-//!   [`ServiceBoundary`] adapter, and whole-registration-day runners.
+//! - [`channel`]: the pluggable transport API — [`FramedChannel`] /
+//!   [`Connector`] / [`Listener`] traits, TCP and in-process pipe
+//!   channels, and the mutual-auth encrypted [`channel::SecureChannel`]
+//!   that wraps any of them by [`ChannelPolicy`];
+//! - [`transport`]: the [`TransportPlan`] value (link × security), the
+//!   fleet-facing [`ServiceBoundary`] adapter, channel serving, and
+//!   whole-registration-day runners (plus the deprecated [`Transport`]
+//!   enum shim);
+//! - [`gateway`]: the non-blocking multiplexed acceptor that serves every
+//!   pipelined-day connection on a bounded reactor pool.
 //!
 //! # Equivalence contract
 //!
@@ -37,7 +44,9 @@
 //! cross-transport proptests; `vg-bench`'s `service_bench` measures what
 //! the framing and the asynchronous ingestion cost per ceremony.
 
+pub mod channel;
 pub mod error;
+pub mod gateway;
 pub mod ingest;
 pub mod messages;
 pub mod pipeline;
@@ -46,6 +55,10 @@ pub mod traits;
 pub mod transport;
 pub mod wire;
 
+pub use channel::{
+    pipe_pair, ChannelPolicy, Connector, FramedChannel, Listener, PipeChannel, SecureConfig,
+    TcpChannel, TcpChannelListener, TcpConnector,
+};
 pub use error::ServiceError;
 pub use ingest::{IngestError, IngestQueue};
 pub use pipeline::{
@@ -56,8 +69,11 @@ pub use registrar::RegistrarHost;
 pub use traits::{
     ActivationService, LedgerIngestService, PrintService, RegistrarEndpoint, RegistrarService,
 };
+#[allow(deprecated)]
+pub use transport::Transport;
 pub use transport::{
-    ledger_heads_over, register_and_activate_day, register_day, serve_connection, DayStats,
-    ServiceBoundary, StealRecord, TcpClient, Transport,
+    ledger_heads_over, register_and_activate_day, register_day, serve_channel, serve_connection,
+    ChannelClient, ChannelSecurity, DayStats, LinkKind, ServiceBoundary, StealRecord,
+    TransportPlan,
 };
 pub use wire::Wire;

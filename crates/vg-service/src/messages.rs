@@ -529,3 +529,169 @@ impl Response {
         Ok(resp)
     }
 }
+
+// ---------------------------------------------------------------------
+// Secure-channel handshake frames.
+// ---------------------------------------------------------------------
+
+/// Client hello of the SIGMA-style secure-channel handshake: the
+/// initiator's fresh ephemeral Diffie–Hellman point, sent in the clear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandshakeInit {
+    /// The client's ephemeral public point.
+    pub eph: CompressedPoint,
+}
+
+/// Server half of the handshake: its own ephemeral point plus the static
+/// identity, a signature over the transcript hash, and a key-confirmation
+/// MAC binding the identity to the derived session keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandshakeReply {
+    /// The server's ephemeral public point.
+    pub eph: CompressedPoint,
+    /// The server's enrolled static (signing) key.
+    pub static_pk: CompressedPoint,
+    /// Schnorr signature over the transcript hash under `static_pk`.
+    pub sig: Signature,
+    /// `HMAC(auth_key, "server" ‖ static_pk)`.
+    pub confirm: [u8; 32],
+}
+
+/// Client finisher: its static identity, transcript signature and
+/// key-confirmation MAC. The server checks enrolment *before* the
+/// signature so an unknown key surfaces as `AuthFailed`, not
+/// `HandshakeFailed`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandshakeFin {
+    /// The client's enrolled static (signing) key.
+    pub static_pk: CompressedPoint,
+    /// Schnorr signature over the transcript hash under `static_pk`.
+    pub sig: Signature,
+    /// `HMAC(auth_key, "client" ‖ static_pk)`.
+    pub confirm: [u8; 32],
+}
+
+/// One encrypted record on an established channel: the sealed bytes
+/// (`ciphertext ‖ 32-byte tag`) of an inner `Request`/`Response` wire
+/// message, sequenced by the channel's implicit frame counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedRecord {
+    /// `FrameSealer::seal` output for the inner wire message.
+    pub sealed: Vec<u8>,
+}
+
+impl Wire for HandshakeInit {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.eph.encode(buf);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Ok(Self {
+            eph: CompressedPoint::decode(r)?,
+        })
+    }
+}
+
+impl Wire for HandshakeReply {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.eph.encode(buf);
+        self.static_pk.encode(buf);
+        self.sig.encode(buf);
+        buf.extend_from_slice(&self.confirm);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Ok(Self {
+            eph: CompressedPoint::decode(r)?,
+            static_pk: CompressedPoint::decode(r)?,
+            sig: Signature::decode(r)?,
+            confirm: r.bytes32()?,
+        })
+    }
+}
+
+impl Wire for HandshakeFin {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.static_pk.encode(buf);
+        self.sig.encode(buf);
+        buf.extend_from_slice(&self.confirm);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        Ok(Self {
+            static_pk: CompressedPoint::decode(r)?,
+            sig: Signature::decode(r)?,
+            confirm: r.bytes32()?,
+        })
+    }
+}
+
+impl Wire for SealedRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        vg_crypto::codec::put_len(buf, self.sealed.len());
+        buf.extend_from_slice(&self.sealed);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        let n = r.len_prefix()?;
+        Ok(Self {
+            sealed: r.take(n)?.to_vec(),
+        })
+    }
+}
+
+/// The secure-channel frames. They share the `VGRS` envelope with
+/// [`Request`]/[`Response`] but use a disjoint tag range (`0x48xx`), so a
+/// plaintext peer that receives one fails with a typed "unknown tag"
+/// instead of misinterpreting key material as a request — the
+/// plaintext-vs-secure mismatch detection builds on this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeFrame {
+    /// Client hello.
+    Init(HandshakeInit),
+    /// Server authentication + key share.
+    Reply(HandshakeReply),
+    /// Client authentication.
+    Fin(HandshakeFin),
+    /// Encrypted application record.
+    Record(SealedRecord),
+}
+
+/// First tag of the secure-channel range.
+pub(crate) const HS_TAG_BASE: u16 = 0x4801;
+/// Last tag of the secure-channel range.
+pub(crate) const HS_TAG_LAST: u16 = 0x4810;
+
+impl HandshakeFrame {
+    /// Encodes as a sealed wire message.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let (tag, body) = match self {
+            HandshakeFrame::Init(m) => (0x4801u16, m.to_bytes()),
+            HandshakeFrame::Reply(m) => (0x4802, m.to_bytes()),
+            HandshakeFrame::Fin(m) => (0x4803, m.to_bytes()),
+            HandshakeFrame::Record(m) => (0x4810, m.to_bytes()),
+        };
+        crate::wire::seal(tag, &body)
+    }
+
+    /// Decodes a sealed wire message.
+    pub fn from_wire(msg: &[u8]) -> Result<Self, CryptoError> {
+        let (tag, mut r) = crate::wire::unseal(msg)?;
+        let frame = match tag {
+            0x4801 => HandshakeFrame::Init(HandshakeInit::decode(&mut r)?),
+            0x4802 => HandshakeFrame::Reply(HandshakeReply::decode(&mut r)?),
+            0x4803 => HandshakeFrame::Fin(HandshakeFin::decode(&mut r)?),
+            0x4810 => HandshakeFrame::Record(SealedRecord::decode(&mut r)?),
+            _ => return Err(CryptoError::Malformed("unknown handshake tag")),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// Whether a raw wire message carries a secure-channel tag (without
+    /// decoding the body) — how a plaintext endpoint recognises a
+    /// mismatched secure peer.
+    pub fn is_channel_frame(msg: &[u8]) -> bool {
+        matches!(crate::wire::unseal(msg), Ok((tag, _)) if (HS_TAG_BASE..=HS_TAG_LAST).contains(&tag))
+    }
+}

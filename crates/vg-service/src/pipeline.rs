@@ -59,7 +59,7 @@
 //! same worker whose reorder buffer drops duplicates — a partially
 //! submitted window heals without double admission.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
@@ -87,7 +87,11 @@ use vg_trip::setup::TripSystem;
 use vg_trip::vsd::{activation_ledger_phase, ActivationClaim, Vsd};
 use vg_trip::{PrintJob, TripError};
 
+use crate::channel::{Connector, TcpConnector};
 use crate::error::ServiceError;
+use crate::gateway::{
+    acceptor_loop, reactor_loop, Dispatched, GatewayDispatch, GatewayIntake, PipeHub,
+};
 use crate::messages::{
     ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
     CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, IngestStatsReply, LedgerHeads,
@@ -95,8 +99,10 @@ use crate::messages::{
 };
 use crate::registrar::MAX_PENDING_RECORDS;
 use crate::traits::{ActivationService, LedgerIngestService, PrintService, RegistrarService};
-use crate::transport::{DayStats, ServiceBoundary, StealRecord, TcpClient, Transport};
-use crate::wire::{read_frame, write_frame};
+use crate::transport::{
+    client_policy, server_policy, ChannelClient, ChannelSecurity, DayStats, LinkKind,
+    ServiceBoundary, StealRecord, TransportPlan,
+};
 
 /// When the ingest worker runs admission sweeps.
 ///
@@ -178,14 +184,30 @@ pub struct StationFault {
     pub station: usize,
     /// Boundary calls that succeed before the connection "dies".
     pub after_ops: usize,
-    /// If set, the *recovery* connection replaying the dead station's
-    /// undelivered sessions also dies after this many successful calls —
-    /// the kill-during-failover case. The day then aborts with a typed
-    /// error; on a durable backend everything admitted before the kill
-    /// is already persisted, so a reopened system replays it and dedups
-    /// the re-submitted sessions against that persisted prefix.
+    /// If set, *recovery* (steal-runner) connections replaying the dead
+    /// station's undelivered sessions also die after this many successful
+    /// calls — the kill-during-failover case. How many runner
+    /// generations die is bounded by [`StationFault::recovery_deaths`];
+    /// once the bounded re-steal depth is exhausted the day aborts with a
+    /// typed error. On a durable backend everything admitted before the
+    /// kill is already persisted, so a reopened system replays it and
+    /// dedups the re-submitted sessions against that persisted prefix.
     pub recovery_after_ops: Option<usize>,
+    /// How many steal runners (in spawn order) the
+    /// [`recovery_after_ops`](StationFault::recovery_after_ops) fault is
+    /// injected into before subsequent runners run healthy. `usize::MAX`
+    /// kills every generation, exhausting the bounded re-steal depth and
+    /// aborting the day; a small count exercises the re-steal path that
+    /// heals. Ignored when `recovery_after_ops` is `None`.
+    pub recovery_deaths: usize,
 }
+
+/// How many times a failed steal chunk may be re-partitioned onto the
+/// surviving stations before the day gives up with the runner's typed
+/// error. Depth 0 is the initial steal off a dead station; each retry
+/// re-steals only what is still undelivered, so bounded depth bounds
+/// total replay work at roughly `depth × remaining`.
+const MAX_RESTEAL_DEPTH: usize = 2;
 
 // ---------------------------------------------------------------------------
 // Completion handles
@@ -1218,6 +1240,20 @@ impl IngestClient {
             .map_err(|_| ServiceError::Transport("ingest sequencer gone".into()))?
     }
 
+    /// Sends one sequencer command and hands back the reply receiver
+    /// without blocking (the gateway reactor polls it as a pending
+    /// response instead of parking a thread on it).
+    fn call_async<T: Send>(
+        &self,
+        build: impl FnOnce(Sender<Result<T, ServiceError>>) -> Cmd,
+    ) -> Result<Receiver<Result<T, ServiceError>>, ServiceError> {
+        let (tx, rx) = mpsc::channel();
+        self.seq
+            .send(build(tx))
+            .map_err(|_| ServiceError::Transport("ingest sequencer gone".into()))?;
+        Ok(rx)
+    }
+
     /// Splits session-tagged groups by owning shard and waits for every
     /// touched worker's acknowledgement (a station's sessions all live
     /// in one shard, so the common case is exactly one send).
@@ -1226,6 +1262,21 @@ impl IngestClient {
         groups: Vec<(u64, Vec<R>)>,
         make: impl Fn(Vec<(u64, Vec<R>)>, Sender<Result<(), ServiceError>>) -> ShardCmd,
     ) -> Result<(), ServiceError> {
+        for ack in self.fan_out_async(groups, make)? {
+            ack.recv()
+                .map_err(|_| ServiceError::Transport("ingest worker gone".into()))??;
+        }
+        Ok(())
+    }
+
+    /// The non-blocking half of [`IngestClient::fan_out`]: splits groups
+    /// by owning shard, sends, and hands back one acknowledgement
+    /// receiver per touched worker.
+    fn fan_out_async<R>(
+        &self,
+        groups: Vec<(u64, Vec<R>)>,
+        make: impl Fn(Vec<(u64, Vec<R>)>, Sender<Result<(), ServiceError>>) -> ShardCmd,
+    ) -> Result<Vec<Receiver<Result<(), ServiceError>>>, ServiceError> {
         let mut per_worker: Vec<Vec<(u64, Vec<R>)>> =
             (0..self.route.workers).map(|_| Vec::new()).collect();
         for group in groups {
@@ -1242,11 +1293,7 @@ impl IngestClient {
                 .map_err(|_| ServiceError::Transport("ingest worker gone".into()))?;
             acks.push(rx);
         }
-        for ack in acks {
-            ack.recv()
-                .map_err(|_| ServiceError::Transport("ingest worker gone".into()))??;
-        }
-        Ok(())
+        Ok(acks)
     }
 
     fn submit_envelopes(
@@ -1509,36 +1556,6 @@ impl ActivationService for PipelinedEndpoint<'_> {
     }
 }
 
-/// Serves one station (or refiller, or steal-runner) connection of the
-/// multi-connection registrar: ledger-free requests run on this handler
-/// thread, stateful ones cross the engine channels. One bad frame
-/// answers with a typed error; EOF (the client vanished) just ends the
-/// handler — the coordinator's failover owns the consequences.
-fn serve_station_conn(
-    stream: TcpStream,
-    core: HostCore<'_>,
-    client: IngestClient,
-) -> Result<(), ServiceError> {
-    stream.set_nodelay(true)?;
-    let mut endpoint = PipelinedEndpoint { core, client };
-    let mut reader = std::io::BufReader::new(stream.try_clone()?);
-    let mut writer = std::io::BufWriter::new(stream);
-    loop {
-        let frame = read_frame(&mut reader)?;
-        let (response, done) = match Request::from_wire(&frame) {
-            Ok(req) => crate::transport::dispatch(&mut endpoint, req, false),
-            Err(e) => (
-                Response::Err(ServiceError::Transport(format!("bad request: {e}"))),
-                false,
-            ),
-        };
-        write_frame(&mut writer, &response.to_wire())?;
-        if done {
-            return Ok(());
-        }
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Client-side station runner
 // ---------------------------------------------------------------------------
@@ -1546,7 +1563,7 @@ fn serve_station_conn(
 /// Wraps a boundary so every call past `remaining` fails as if the
 /// station's connection dropped (the chaos hook behind [`StationFault`]).
 struct FaultingBoundary<'a> {
-    inner: Box<dyn RegistrarBoundary + 'a>,
+    inner: &'a mut dyn RegistrarBoundary,
     remaining: usize,
 }
 
@@ -1643,11 +1660,13 @@ enum StationMsg {
     Done(usize, Result<(), TripError>),
 }
 
-/// How a station (or its refiller) reaches the registrar.
+/// How a station (or its refiller, or a steal lane) reaches the
+/// registrar: direct in-process dispatch, or a pluggable [`Connector`]
+/// that dials (and, per policy, secures) a gateway-served channel.
 #[derive(Clone, Copy)]
 enum Link<'a> {
     InProcess(HostCore<'a>),
-    Tcp(std::net::SocketAddr),
+    Gateway(&'a dyn Connector),
 }
 
 struct StationJob<'a> {
@@ -1661,29 +1680,54 @@ struct StationJob<'a> {
     fault_after: Option<usize>,
 }
 
-/// One station's whole day: connect, optionally spawn the refiller on its
-/// own connection, and drive the generalized fleet engine.
-fn run_station(
-    mut job: StationJob<'_>,
-    link: Link<'_>,
+/// Opens a station-side boundary over `link`: the in-process pipelined
+/// endpoint, or a freshly dialed (and policy-secured) channel.
+fn station_boundary<'a>(
+    link: Link<'a>,
     client: &IngestClient,
-    tx: &Sender<StationMsg>,
-) -> Result<(), TripError> {
-    let mut boundary: Box<dyn RegistrarBoundary + '_> = match link {
+) -> Result<Box<dyn RegistrarBoundary + 'a>, TripError> {
+    Ok(match link {
         Link::InProcess(core) => Box::new(ServiceBoundary::new(PipelinedEndpoint {
             core,
             client: client.clone(),
         })),
-        Link::Tcp(addr) => Box::new(ServiceBoundary::new(
-            TcpClient::connect(addr).map_err(|e| TripError::Boundary(e.to_string()))?,
+        Link::Gateway(conn) => Box::new(ServiceBoundary::new(
+            ChannelClient::connect(conn).map_err(|e| TripError::Boundary(e.to_string()))?,
         )),
+    })
+}
+
+/// One station's whole day: connect, optionally spawn the refiller on its
+/// own connection, and drive the generalized fleet engine.
+fn run_station(
+    job: StationJob<'_>,
+    link: Link<'_>,
+    client: &IngestClient,
+    tx: &Sender<StationMsg>,
+) -> Result<(), TripError> {
+    let mut boundary = station_boundary(link, client)?;
+    drive_station(job, link, &mut *boundary, tx)
+}
+
+/// Drives one station job over an already-open boundary (stations open
+/// their own; steal lanes amortize one across every chunk they absorb).
+fn drive_station(
+    mut job: StationJob<'_>,
+    link: Link<'_>,
+    boundary: &mut dyn RegistrarBoundary,
+    tx: &Sender<StationMsg>,
+) -> Result<(), TripError> {
+    let mut faulting;
+    let boundary: &mut dyn RegistrarBoundary = match job.fault_after {
+        Some(after_ops) => {
+            faulting = FaultingBoundary {
+                inner: boundary,
+                remaining: after_ops,
+            };
+            &mut faulting
+        }
+        None => boundary,
     };
-    if let Some(after_ops) = job.fault_after {
-        boundary = Box::new(FaultingBoundary {
-            inner: boundary,
-            remaining: after_ops,
-        });
-    }
     let activation = job
         .activation
         .map(|ctx| (ctx, job.pipeline.activation_lag.max(1)));
@@ -1710,7 +1754,7 @@ fn run_station(
                             core.printer.print_detached(j.challenge, j.symbol)
                         }))
                     }),
-                    Link::Tcp(addr) => match TcpClient::connect(addr) {
+                    Link::Gateway(conn) => match ChannelClient::connect(conn) {
                         Ok(mut client) => feed.run_refiller(&mut pool, &mut |jobs| {
                             client
                                 .print_envelopes(PrintRequest {
@@ -1750,6 +1794,218 @@ fn run_station(
     }
 }
 
+/// One stolen chunk queued onto a surviving station's steal lane.
+struct StealJob<'a> {
+    /// Coordinator-assigned runner id (`stations + steal_seq`), the key
+    /// for per-chunk failure attribution and bounded re-steal.
+    runner_id: usize,
+    job: StationJob<'a>,
+}
+
+/// Coordinator bookkeeping for one in-flight steal chunk: enough to
+/// re-partition its sessions onto the remaining survivors if the chunk's
+/// runner dies too, up to [`MAX_RESTEAL_DEPTH`] retries deep.
+struct StealMeta {
+    /// The original dead station (attribution in [`StealRecord`]s).
+    victim: usize,
+    /// Retry depth of this chunk (0 = stolen from the victim itself).
+    depth: usize,
+    /// Global session indices the chunk was responsible for.
+    sessions: Vec<usize>,
+    /// The steal lane carrying the chunk, or `None` for a dedicated
+    /// one-shot runner (spawned when every candidate lane was busy).
+    lane: Option<usize>,
+}
+
+/// A surviving station's steal lane: ONE extra connection per thief,
+/// amortized across every chunk (and re-stolen chunk) attributed to it,
+/// instead of one connection per chunk. Jobs run sequentially; a failed
+/// job bounces back to the coordinator as a `Done(runner_id, Err)` and
+/// the lane reconnects before the next job (an injected fault only
+/// poisons the per-job wrapper, but a real transport failure would not
+/// survive reuse). Exits when the coordinator drops the job sender.
+///
+/// A lane is only ever handed a job while it is IDLE. Steal chunks park
+/// on the sequencer's global-session-order prefix barriers, so a chunk
+/// queued behind a parked chunk whose barrier needs the queued chunk's
+/// sessions would deadlock the day; the coordinator therefore falls
+/// back to a dedicated one-shot runner whenever every candidate lane
+/// still has a chunk in flight.
+fn run_steal_lane<'a>(
+    jobs: Receiver<StealJob<'a>>,
+    link: Link<'a>,
+    client: &IngestClient,
+    tx: &Sender<StationMsg>,
+) {
+    let mut boundary: Option<Box<dyn RegistrarBoundary + 'a>> = None;
+    while let Ok(StealJob { runner_id, job }) = jobs.recv() {
+        let result = (|| -> Result<(), TripError> {
+            if boundary.is_none() {
+                boundary = Some(station_boundary(link, client)?);
+            }
+            let open = boundary.as_mut().expect("just opened");
+            drive_station(job, link, &mut **open, tx)
+        })();
+        if result.is_err() {
+            boundary = None;
+        }
+        let _ = tx.send(StationMsg::Done(runner_id, result));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The gateway dispatch
+// ---------------------------------------------------------------------------
+
+/// The pipelined engine behind the multiplexed gateway: ledger-free
+/// requests (printing, check-out verification) run inline on the reactor,
+/// everything stateful is forwarded to the sequencer / shard workers and
+/// *parked* — the reactor polls the reply channel instead of blocking, so
+/// one station's barrier never stalls another station's connection.
+struct PipelineDispatch<'a> {
+    core: HostCore<'a>,
+    client: IngestClient,
+}
+
+/// Parks a unit-reply sequencer command as a pending gateway response.
+fn park_unit(rx: Receiver<Result<(), ServiceError>>, ok: Response) -> Dispatched {
+    let mut ok = Some(ok);
+    park(rx, move |()| ok.take().expect("pending resolves once"))
+}
+
+/// Parks a typed-reply sequencer command as a pending gateway response.
+fn park<T: Send + 'static>(
+    rx: Receiver<Result<T, ServiceError>>,
+    mut wrap: impl FnMut(T) -> Response + Send + 'static,
+) -> Dispatched {
+    Dispatched::Pending(Box::new(move || match rx.try_recv() {
+        Ok(Ok(v)) => Some(wrap(v)),
+        Ok(Err(e)) => Some(Response::Err(e)),
+        Err(TryRecvError::Empty) => None,
+        Err(TryRecvError::Disconnected) => Some(Response::Err(ServiceError::Transport(
+            "ingest sequencer gone".into(),
+        ))),
+    }))
+}
+
+impl PipelineDispatch<'_> {
+    /// Fans session-tagged groups out to the shard workers and parks on
+    /// the workers' acknowledgements; the submission ticket is allocated
+    /// when the last ack lands, mirroring the blocking path's ordering.
+    fn park_fan_out<R>(
+        &self,
+        groups: Vec<(u64, Vec<R>)>,
+        make: impl Fn(Vec<(u64, Vec<R>)>, Sender<Result<(), ServiceError>>) -> ShardCmd,
+        done: impl Fn(u64) -> Response + Send + 'static,
+    ) -> Dispatched {
+        let mut acks = match self.client.fan_out_async(groups, make) {
+            Ok(acks) => acks,
+            Err(e) => return Dispatched::Now(Response::Err(e)),
+        };
+        let tickets = Arc::clone(&self.client.tickets);
+        Dispatched::Pending(Box::new(move || {
+            while let Some(rx) = acks.last() {
+                match rx.try_recv() {
+                    Ok(Ok(())) => {
+                        acks.pop();
+                    }
+                    Ok(Err(e)) => return Some(Response::Err(e)),
+                    Err(TryRecvError::Empty) => return None,
+                    Err(TryRecvError::Disconnected) => {
+                        return Some(Response::Err(ServiceError::Transport(
+                            "ingest worker gone".into(),
+                        )))
+                    }
+                }
+            }
+            Some(done(tickets.fetch_add(1, Ordering::SeqCst)))
+        }))
+    }
+}
+
+impl GatewayDispatch for PipelineDispatch<'_> {
+    fn dispatch(&mut self, req: Request) -> Dispatched {
+        match req {
+            Request::CheckIn(m) => match self.client.call_async(|r| Cmd::CheckIn(m.voter, r)) {
+                Ok(rx) => park(rx, |ticket| Response::CheckIn(CheckInResponse { ticket })),
+                Err(e) => Dispatched::Now(Response::Err(e)),
+            },
+            Request::Print(m) => Dispatched::Now(Response::Print(PrintResponse {
+                envelopes: self.core.print(&m.jobs),
+            })),
+            Request::SubmitEnvelopes(_) | Request::CheckOutBatch(_) => {
+                Dispatched::Now(Response::Err(ServiceError::Transport(
+                    "pipelined registrar requires session-tagged submissions".into(),
+                )))
+            }
+            Request::SubmitEnvelopesSeq(m) => {
+                self.park_fan_out(m.groups, ShardCmd::Envelopes, |ticket| {
+                    Response::SubmitEnvelopesSeq(IngestReceipt { ticket })
+                })
+            }
+            Request::CheckOutBatchSeq(m) => {
+                let groups = m
+                    .groups
+                    .into_iter()
+                    .map(|(s, checkouts)| {
+                        (
+                            s,
+                            checkouts
+                                .into_iter()
+                                .map(|(qr, coupon)| (qr, coupon.into()))
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                match self.core.verify_and_countersign(groups) {
+                    Ok(records) => self.park_fan_out(records, ShardCmd::Records, |ticket| {
+                        Response::CheckOutBatchSeq(CheckOutBatchResponse { ticket })
+                    }),
+                    Err(e) => Dispatched::Now(Response::Err(e)),
+                }
+            }
+            Request::Sync => match self.client.call_async(Cmd::SyncAll) {
+                Ok(rx) => park_unit(rx, Response::Sync),
+                Err(e) => Dispatched::Now(Response::Err(e)),
+            },
+            Request::SyncThrough(m) => {
+                match self.client.call_async(|r| Cmd::SyncThrough(m.sessions, r)) {
+                    Ok(rx) => park_unit(rx, Response::SyncThrough),
+                    Err(e) => Dispatched::Now(Response::Err(e)),
+                }
+            }
+            Request::LedgerHeads => match self.client.call_async(Cmd::Heads) {
+                Ok(rx) => park(rx, Response::LedgerHeads),
+                Err(e) => Dispatched::Now(Response::Err(e)),
+            },
+            Request::IngestStats => {
+                let (tx, rx) = mpsc::channel();
+                if self.client.seq.send(Cmd::Stats(tx)).is_err() {
+                    return Dispatched::Now(Response::Err(ServiceError::Transport(
+                        "ingest sequencer gone".into(),
+                    )));
+                }
+                Dispatched::Pending(Box::new(move || match rx.try_recv() {
+                    Ok(stats) => Some(Response::IngestStats(stats)),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => Some(Response::Err(
+                        ServiceError::Transport("ingest sequencer gone".into()),
+                    )),
+                }))
+            }
+            Request::ActivationSweep(m) => {
+                match self.client.call_async(|r| Cmd::Activate(m.claims, r)) {
+                    Ok(rx) => park_unit(rx, Response::ActivationSweep),
+                    Err(e) => Dispatched::Now(Response::Err(e)),
+                }
+            }
+            // No ingest flush: the coordinator owns the day's final
+            // barrier (matching the old multi-connection semantics).
+            Request::Shutdown => Dispatched::CloseAfter(Response::Shutdown),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The whole pipelined day
 // ---------------------------------------------------------------------------
@@ -1763,7 +2019,7 @@ pub fn pipelined_register_day(
     fleet: &KioskFleet,
     system: &mut TripSystem,
     plan: &[(VoterId, usize)],
-    transport: Transport,
+    transport: impl Into<TransportPlan>,
     pipeline: PipelineConfig,
     mut sink: impl FnMut(RegistrationOutcome),
 ) -> Result<DayStats, TripError> {
@@ -1771,7 +2027,7 @@ pub fn pipelined_register_day(
         fleet,
         system,
         plan,
-        transport,
+        transport.into(),
         pipeline,
         false,
         None,
@@ -1787,7 +2043,7 @@ pub fn pipelined_register_and_activate_day(
     fleet: &KioskFleet,
     system: &mut TripSystem,
     plan: &[(VoterId, usize)],
-    transport: Transport,
+    transport: impl Into<TransportPlan>,
     pipeline: PipelineConfig,
     sink: impl FnMut(RegistrationOutcome, Vsd),
 ) -> Result<DayStats, TripError> {
@@ -1804,7 +2060,7 @@ pub fn pipelined_register_and_activate_day_with_fault(
     fleet: &KioskFleet,
     system: &mut TripSystem,
     plan: &[(VoterId, usize)],
-    transport: Transport,
+    transport: impl Into<TransportPlan>,
     pipeline: PipelineConfig,
     fault: Option<StationFault>,
     mut sink: impl FnMut(RegistrationOutcome, Vsd),
@@ -1813,7 +2069,7 @@ pub fn pipelined_register_and_activate_day_with_fault(
         fleet,
         system,
         plan,
-        transport,
+        transport.into(),
         pipeline,
         true,
         fault,
@@ -1826,7 +2082,7 @@ fn run_pipelined_day(
     fleet: &KioskFleet,
     system: &mut TripSystem,
     plan: &[(VoterId, usize)],
-    transport: Transport,
+    transport: TransportPlan,
     pipeline: PipelineConfig,
     activate: bool,
     fault: Option<StationFault>,
@@ -1843,6 +2099,7 @@ fn run_pipelined_day(
         kiosks,
         kiosk_registry,
         adversary_loot,
+        transport_keys,
         ..
     } = system;
     let official = &officials[0];
@@ -1889,9 +2146,9 @@ fn run_pipelined_day(
     );
 
     // TCP: bind before the scope so stations can connect immediately.
-    let listener = match transport {
-        Transport::InProcess => None,
-        Transport::Tcp => Some(
+    let listener = match transport.link {
+        LinkKind::InProcess => None,
+        LinkKind::Tcp => Some(
             TcpListener::bind(("127.0.0.1", 0))
                 .map_err(|e| TripError::Boundary(format!("bind: {e}")))?,
         ),
@@ -1901,7 +2158,43 @@ fn run_pipelined_day(
         .map(|l| l.local_addr())
         .transpose()
         .map_err(|e| TripError::Boundary(format!("local_addr: {e}")))?;
-    let accepting = AtomicBool::new(true);
+    // One flag tears the whole gateway down: the acceptor stops
+    // admitting and the reactors exit once their connections drain.
+    let accepting = Arc::new(AtomicBool::new(true));
+
+    // The gateway serves every remote-ish day: real TCP links, and
+    // in-process links that the policy secures (the handshake needs the
+    // frame-level server). Only the plaintext in-process day bypasses it
+    // and dispatches straight into the engine — that is the bit-identity
+    // reference and the zero-overhead perf path.
+    let use_gateway =
+        transport.link == LinkKind::Tcp || transport.security == ChannelSecurity::Secure;
+
+    // Reactor pool: bounded by the deployment, not the connection count.
+    const MAX_REACTORS: usize = 4;
+    let mut reactor_rxs = Vec::new();
+    let mut intake = None;
+    if use_gateway {
+        let n = station_plans.len().clamp(1, MAX_REACTORS);
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| mpsc::channel()).unzip();
+        reactor_rxs = rxs;
+        intake = Some(GatewayIntake::new(txs));
+    }
+    // One pluggable connector per station, carrying that station's
+    // enrolled channel identity; its refiller and steal lanes dial the
+    // same connector (they act on the station's behalf).
+    let connectors: Option<Vec<Box<dyn Connector>>> = intake.as_ref().map(|intake| {
+        station_plans
+            .iter()
+            .map(|sp| -> Box<dyn Connector> {
+                let policy = client_policy(transport_keys, transport.security, sp.station);
+                match addr {
+                    Some(addr) => Box::new(TcpConnector { addr, policy }),
+                    None => Box::new(PipeHub::new(intake.clone(), policy)),
+                }
+            })
+            .collect()
+    });
 
     std::thread::scope(|scope| -> Result<DayStats, TripError> {
         scope.spawn(move || sequencer.run(seq_rx));
@@ -1909,27 +2202,30 @@ fn run_pipelined_day(
             scope.spawn(move || worker.run(rx));
         }
 
-        // Acceptor: serve every incoming connection (stations, refiller
-        // clients, steal runners, and finally the wake-up connection
-        // that carries the stop flag) on its own handler thread.
-        if let Some(listener) = &listener {
-            let handler_client = client.clone();
-            let accepting = &accepting;
-            scope.spawn(move || {
-                while let Ok((stream, _)) = listener.accept() {
-                    let client = handler_client.clone();
-                    scope.spawn(move || {
-                        let _ = serve_station_conn(stream, core, client);
-                    });
-                    if !accepting.load(Ordering::SeqCst) {
-                        break;
-                    }
-                }
-            });
+        // The multiplexed gateway: a bounded reactor pool serves every
+        // connection — stations, refillers, steal lanes — and the
+        // acceptor (TCP days only; in-process dials inject straight into
+        // the intake) only hands sockets over.
+        if use_gateway {
+            let server_pol = server_policy(transport_keys, transport.security);
+            for rx in reactor_rxs.drain(..) {
+                let policy = server_pol.clone();
+                let dispatch = PipelineDispatch {
+                    core,
+                    client: client.clone(),
+                };
+                let open = Arc::clone(&accepting);
+                scope.spawn(move || reactor_loop(rx, policy, dispatch, open));
+            }
+        }
+        if let Some(listener) = listener {
+            let open = Arc::clone(&accepting);
+            let intake = intake.clone().expect("TCP days run the gateway");
+            scope.spawn(move || acceptor_loop(listener, open, intake));
         }
 
-        let link = match addr {
-            Some(addr) => Link::Tcp(addr),
+        let station_link = |station: usize| match &connectors {
+            Some(conns) => Link::Gateway(conns[station].as_ref()),
             None => Link::InProcess(core),
         };
 
@@ -1951,6 +2247,7 @@ fn run_pipelined_day(
             let tx = msg_tx.clone();
             let client = client.clone();
             let station_id = sp.station;
+            let link = station_link(sp.station);
             scope.spawn(move || {
                 let result = run_station(job, link, &client, &tx);
                 let _ = tx.send(StationMsg::Done(station_id, result));
@@ -1974,6 +2271,20 @@ fn run_pipelined_day(
             let mut steals: Vec<StealRecord> = Vec::new();
             let mut steal_seq = 0usize;
             let mut first_error: Option<TripError> = None;
+            // Per-thief steal lanes: ONE extra connection per surviving
+            // station, shared by every chunk (and re-stolen chunk) that
+            // thief absorbs. Declared inside the coordinator so every
+            // return path drops the job senders and the lanes unwind
+            // before the scope joins.
+            let mut steal_lanes: HashMap<usize, Sender<StealJob>> = HashMap::new();
+            // In-flight chunks per lane. A lane only accepts a job at
+            // load 0 (see `run_steal_lane` on why queueing can deadlock).
+            let mut lane_load: HashMap<usize, usize> = HashMap::new();
+            let mut steal_meta: HashMap<usize, StealMeta> = HashMap::new();
+            // Chaos budget: how many recovery runners the injected fault
+            // may still kill (so bounded re-steal is testable without
+            // the fault killing every retry forever).
+            let mut recovery_deaths_left = fault.map_or(0, |f| f.recovery_deaths);
             while done < spawned {
                 let Ok(msg) = msg_rx.recv() else { break };
                 match msg {
@@ -1988,114 +2299,196 @@ fn run_pipelined_day(
                             next_emit += 1;
                         }
                     }
-                    StationMsg::Done(_, Ok(())) => done += 1,
+                    StationMsg::Done(id, Ok(())) => {
+                        done += 1;
+                        // Retire a finished steal chunk's lane slot.
+                        if let Some(t) = steal_meta.remove(&id).and_then(|m| m.lane) {
+                            lane_load.entry(t).and_modify(|n| *n = n.saturating_sub(1));
+                        }
+                    }
                     StationMsg::Done(id, Err(e)) => {
                         done += 1;
-                        // Only an *original* station's first death is
-                        // stolen; a dead steal runner (id past the
-                        // station range) aborts the day.
-                        let station_death = id < station_plans.len()
-                            && recovered.insert(id)
-                            && first_error.is_none();
-                        if station_death {
-                            alive[id] = false;
-                            // Undelivered = not yet emitted and not buffered.
-                            let sp = &station_plans[id];
-                            let remaining: Vec<usize> = sp
-                                .sessions
-                                .iter()
-                                .map(|&(idx, _, _)| idx)
-                                .filter(|idx| *idx >= next_emit && !buffered.contains_key(idx))
-                                .collect();
-                            if remaining.is_empty() {
-                                continue;
-                            }
-                            // Dynamic work stealing: split the dead
-                            // station's undelivered kiosk range into
-                            // contiguous chunks — one steal-runner
-                            // connection per chunk, attributed
-                            // round-robin to the surviving stations —
-                            // so recovery re-derivation runs in
-                            // parallel instead of on one serial replay
-                            // connection. The kiosk assignment itself
-                            // never moves; shard routing (keyed off the
-                            // original owner) dedups the re-submissions.
-                            let k = kiosks.len();
-                            let mut stolen_kiosks: Vec<usize> =
-                                remaining.iter().map(|idx| idx % k).collect();
-                            stolen_kiosks.sort_unstable();
-                            stolen_kiosks.dedup();
-                            let survivors: Vec<usize> =
-                                (0..station_plans.len()).filter(|s| alive[*s]).collect();
-                            // No survivors: one chunk, replayed by the
-                            // victim itself (the pre-stealing behavior).
-                            let chunks = survivors.len().clamp(1, stolen_kiosks.len());
-                            for c in 0..chunks {
-                                let lo = c * stolen_kiosks.len() / chunks;
-                                let hi = (c + 1) * stolen_kiosks.len() / chunks;
-                                let owned: HashSet<usize> =
-                                    stolen_kiosks[lo..hi].iter().copied().collect();
-                                let keep: HashSet<usize> = remaining
-                                    .iter()
-                                    .copied()
-                                    .filter(|idx| owned.contains(&(idx % k)))
-                                    .collect();
-                                if keep.is_empty() {
-                                    continue;
-                                }
-                                let thief = survivors
-                                    .get(c % survivors.len().max(1))
-                                    .copied()
-                                    .unwrap_or(id);
-                                steals.push(StealRecord {
-                                    victim: id,
-                                    thief,
-                                    sessions: keep.len(),
-                                });
-                                let job = StationJob {
-                                    fleet,
-                                    kiosks,
-                                    sessions: sp
+                        let meta = steal_meta.remove(&id);
+                        if let Some(t) = meta.as_ref().and_then(|m| m.lane) {
+                            lane_load.entry(t).and_modify(|n| *n = n.saturating_sub(1));
+                        }
+                        // Attribute the death: an *original* station's
+                        // first death is stolen; a dead steal chunk is
+                        // re-stolen onto the remaining survivors up to
+                        // MAX_RESTEAL_DEPTH retries deep; anything else
+                        // aborts the day.
+                        let resteal: Option<(usize, usize, Vec<usize>)> =
+                            if id < station_plans.len()
+                                && recovered.insert(id)
+                                && first_error.is_none()
+                            {
+                                alive[id] = false;
+                                Some((
+                                    id,
+                                    0,
+                                    station_plans[id]
                                         .sessions
                                         .iter()
-                                        .filter(|(idx, _, _)| keep.contains(idx))
-                                        .copied()
+                                        .map(|&(idx, _, _)| idx)
                                         .collect(),
-                                    plans: sp
-                                        .plans
-                                        .iter()
-                                        .filter(|(idx, _)| keep.contains(idx))
-                                        .copied()
-                                        .collect(),
-                                    authority_pk,
-                                    activation: activate.then_some(&ctx),
-                                    pipeline,
-                                    // Kill-during-failover chaos hook:
-                                    // each steal runner can itself be
-                                    // faulted. A dead runner is
-                                    // unrecoverable (the victim is
-                                    // already in `recovered`), so the
-                                    // day aborts.
-                                    fault_after: fault
-                                        .filter(|f| f.station == id)
-                                        .and_then(|f| f.recovery_after_ops),
-                                };
-                                let tx = msg_tx.clone();
-                                let client = client.clone();
-                                let runner_id = station_plans.len() + steal_seq;
-                                steal_seq += 1;
-                                scope.spawn(move || {
-                                    let result = run_station(job, link, &client, &tx);
-                                    let _ = tx.send(StationMsg::Done(runner_id, result));
-                                });
-                                spawned += 1;
-                            }
-                        } else {
+                                ))
+                            } else if let Some(meta) = meta {
+                                (first_error.is_none() && meta.depth < MAX_RESTEAL_DEPTH)
+                                    .then_some((meta.victim, meta.depth + 1, meta.sessions))
+                            } else {
+                                None
+                            };
+                        let Some((victim, depth, candidates)) = resteal else {
                             // Unrecoverable: remember the first error and
                             // fail every parked barrier so blocked stations
                             // unwind instead of deadlocking the scope join.
                             first_error.get_or_insert(e);
                             client.abort();
+                            continue;
+                        };
+                        // Undelivered = not yet emitted and not buffered.
+                        let remaining: Vec<usize> = candidates
+                            .into_iter()
+                            .filter(|idx| *idx >= next_emit && !buffered.contains_key(idx))
+                            .collect();
+                        if remaining.is_empty() {
+                            continue;
+                        }
+                        // Dynamic work stealing: split the undelivered
+                        // kiosk range into contiguous chunks attributed
+                        // round-robin to the surviving stations, so
+                        // recovery re-derivation runs in parallel
+                        // instead of on one serial replay connection.
+                        // Each chunk rides its thief's steal *lane* —
+                        // one amortized connection per thief, not one
+                        // per chunk — unless every lane is busy, in
+                        // which case it gets a dedicated runner (see
+                        // `run_steal_lane`). The kiosk assignment never
+                        // moves; shard routing (keyed off the original
+                        // owner) dedups the re-submissions.
+                        let sp = &station_plans[victim];
+                        let k = kiosks.len();
+                        let mut stolen_kiosks: Vec<usize> =
+                            remaining.iter().map(|idx| idx % k).collect();
+                        stolen_kiosks.sort_unstable();
+                        stolen_kiosks.dedup();
+                        let survivors: Vec<usize> =
+                            (0..station_plans.len()).filter(|s| alive[*s]).collect();
+                        // No survivors: one chunk, replayed by the
+                        // victim itself (the pre-stealing behavior).
+                        let chunks = survivors.len().clamp(1, stolen_kiosks.len());
+                        for c in 0..chunks {
+                            let lo = c * stolen_kiosks.len() / chunks;
+                            let hi = (c + 1) * stolen_kiosks.len() / chunks;
+                            let owned: HashSet<usize> =
+                                stolen_kiosks[lo..hi].iter().copied().collect();
+                            let keep: HashSet<usize> = remaining
+                                .iter()
+                                .copied()
+                                .filter(|idx| owned.contains(&(idx % k)))
+                                .collect();
+                            if keep.is_empty() {
+                                continue;
+                            }
+                            // Prefer riding an IDLE survivor lane (one
+                            // amortized connection per thief); when every
+                            // candidate lane has a chunk in flight, fall
+                            // back to a dedicated one-shot runner so
+                            // session-ordered chunks never serialize
+                            // behind each other (prefix-barrier deadlock).
+                            let preferred = survivors
+                                .get(c % survivors.len().max(1))
+                                .copied()
+                                .unwrap_or(victim);
+                            let lane_thief = (0..survivors.len())
+                                .map(|o| survivors[(c + o) % survivors.len()])
+                                .find(|t| lane_load.get(t).is_none_or(|n| *n == 0));
+                            let thief = lane_thief.unwrap_or(preferred);
+                            steals.push(StealRecord {
+                                victim,
+                                thief,
+                                sessions: keep.len(),
+                                depth,
+                            });
+                            let sessions: Vec<(usize, VoterId, usize)> = sp
+                                .sessions
+                                .iter()
+                                .filter(|(idx, _, _)| keep.contains(idx))
+                                .copied()
+                                .collect();
+                            let session_idxs: Vec<usize> =
+                                sessions.iter().map(|&(idx, _, _)| idx).collect();
+                            // Steal chunks draw their materials from a
+                            // pre-built pool instead of spinning up a
+                            // refiller connection per chunk (same
+                            // seeded plans → same bytes either way).
+                            let mut chunk_pipeline = pipeline;
+                            chunk_pipeline.low_water = 0;
+                            // Kill-during-failover chaos hook: the
+                            // fault may kill up to `recovery_deaths`
+                            // recovery runners before the retries are
+                            // allowed to succeed.
+                            let fault_after = match fault {
+                                Some(f) if f.station == victim && recovery_deaths_left > 0 => {
+                                    f.recovery_after_ops.inspect(|_| recovery_deaths_left -= 1)
+                                }
+                                _ => None,
+                            };
+                            let job = StationJob {
+                                fleet,
+                                kiosks,
+                                sessions,
+                                plans: sp
+                                    .plans
+                                    .iter()
+                                    .filter(|(idx, _)| keep.contains(idx))
+                                    .copied()
+                                    .collect(),
+                                authority_pk,
+                                activation: activate.then_some(&ctx),
+                                pipeline: chunk_pipeline,
+                                fault_after,
+                            };
+                            let runner_id = station_plans.len() + steal_seq;
+                            steal_seq += 1;
+                            steal_meta.insert(
+                                runner_id,
+                                StealMeta {
+                                    victim,
+                                    depth,
+                                    sessions: session_idxs,
+                                    lane: lane_thief,
+                                },
+                            );
+                            match lane_thief {
+                                Some(t) => {
+                                    *lane_load.entry(t).or_insert(0) += 1;
+                                    let lane = steal_lanes.entry(t).or_insert_with(|| {
+                                        let (job_tx, job_rx) = mpsc::channel::<StealJob>();
+                                        let tx = msg_tx.clone();
+                                        let client = client.clone();
+                                        let link = station_link(t);
+                                        scope.spawn(move || {
+                                            run_steal_lane(job_rx, link, &client, &tx)
+                                        });
+                                        job_tx
+                                    });
+                                    // The lane cannot be gone while we
+                                    // hold its sender; a send failure is
+                                    // unreachable.
+                                    let _ = lane.send(StealJob { runner_id, job });
+                                }
+                                None => {
+                                    let tx = msg_tx.clone();
+                                    let client = client.clone();
+                                    let link = station_link(thief);
+                                    scope.spawn(move || {
+                                        let result = run_station(job, link, &client, &tx);
+                                        let _ = tx.send(StationMsg::Done(runner_id, result));
+                                    });
+                                }
+                            }
+                            spawned += 1;
                         }
                     }
                 }
@@ -2124,15 +2517,17 @@ fn run_pipelined_day(
         };
         let result = coordinate();
 
-        // Wake the acceptor so it observes the stop flag and exits — on
-        // success AND failure alike (see the coordinator comment).
+        // Tear the gateway down — on success AND failure alike (see the
+        // coordinator comment): clear the flag so the reactors exit once
+        // their connections drain, and wake the acceptor (parked in
+        // accept()) with a throwaway connection so it observes the flag.
         accepting.store(false, Ordering::SeqCst);
         if let Some(addr) = addr {
             drop(TcpStream::connect(addr));
         }
         // Teardown handshake: the sequencer drops its shard senders so
         // the workers drain and exit; dropping the coordinator's client
-        // (the handlers' clones go with their connections) then lets the
+        // (the reactors' clones go with their threads) then lets the
         // sequencer itself exit. Both must happen on every exit path or
         // the scope join deadlocks.
         client.shutdown();

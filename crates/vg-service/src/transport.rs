@@ -1,19 +1,28 @@
-//! The transports: in-process dispatch and a framed TCP socket, behind
-//! one [`Transport`] knob, plus the fleet-facing [`ServiceBoundary`]
-//! adapter and whole-registration-day runners.
+//! Transport plans, the fleet-facing [`ServiceBoundary`] adapter, channel
+//! serving, and whole-registration-day runners.
 //!
-//! Both transports serve the *same* [`RegistrarHost`] logic, so a fleet
-//! run is bit-identical across them (pinned by the workspace's
-//! cross-transport equivalence proptests):
+//! Endpoints are pluggable *channel values* (see [`crate::channel`]): a
+//! day runner takes a [`TransportPlan`] — a link kind × security policy
+//! pair — and wires the fleet to the registrar through whichever
+//! [`Connector`]/[`Listener`](crate::channel::Listener) implements it.
+//! All plans serve the *same*
+//! [`RegistrarHost`] logic, so a fleet run is bit-identical across them
+//! (pinned by the workspace's cross-transport equivalence proptests):
 //!
-//! - [`Transport::InProcess`]: the endpoint **is** the host — direct
-//!   method calls, zero copies, no serialization. Today's behavior.
-//! - [`Transport::Tcp`]: a loopback socket with length-prefixed frames;
-//!   the host runs a worker-thread server loop, the fleet drives a
-//!   [`TcpClient`]. Every request round-trips the full versioned codec.
+//! - `InProcess × Plaintext`: the endpoint **is** the host — direct
+//!   method calls, zero copies, no serialization. The reference.
+//! - `InProcess × Secure`: the full handshake + encrypted records over an
+//!   in-process pipe, exercising the identical protocol state machines
+//!   without a socket.
+//! - `Tcp × {Plaintext, Secure}`: length-prefixed frames over a loopback
+//!   socket; every request round-trips the full versioned codec (and,
+//!   when secure, the sealed-record layer).
+//!
+//! The old closed [`Transport`] enum remains as a deprecated shim that
+//! maps onto [`TransportPlan`].
 
-use std::io::{BufReader, BufWriter};
 use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 
 use vg_crypto::schnorr::NonceCoupon;
 use vg_ledger::{EnvelopeCommitment, TreeHead, VoterId};
@@ -21,38 +30,163 @@ use vg_trip::boundary::{IngestTicket, RegistrarBoundary};
 use vg_trip::fleet::KioskFleet;
 use vg_trip::materials::{CheckInTicket, CheckOutQr, Envelope};
 use vg_trip::protocol::RegistrationOutcome;
-use vg_trip::setup::TripSystem;
+use vg_trip::setup::{TransportKeyring, TripSystem};
 use vg_trip::vsd::{ActivationClaim, Vsd};
 use vg_trip::{PrintJob, TripError};
 
+use crate::channel::{
+    pipe_pair, ChannelPolicy, Connector, FramedChannel, SecureConfig, TcpChannel,
+};
 use crate::error::ServiceError;
 use crate::messages::{
     ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
-    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, IngestStatsReply, LedgerHeads,
-    PrintRequest, PrintResponse, Request, Response, SeqCheckOutRequest, SeqEnvelopeSubmitRequest,
-    SyncThroughRequest,
+    CheckOutBatchResponse, EnvelopeSubmitRequest, HandshakeFrame, IngestReceipt, IngestStatsReply,
+    LedgerHeads, PrintRequest, PrintResponse, Request, Response, SeqCheckOutRequest,
+    SeqEnvelopeSubmitRequest, SyncThroughRequest,
 };
 use crate::registrar::RegistrarHost;
 use crate::traits::{
     ActivationService, LedgerIngestService, PrintService, RegistrarEndpoint, RegistrarService,
 };
-use crate::wire::{read_frame, write_frame};
 
-/// Which transport a registration day runs over.
+/// Which link a registration day runs over.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LinkKind {
+    /// Same-process endpoints (direct dispatch, or pipes when secured).
+    #[default]
+    InProcess,
+    /// Length-prefixed frames over a loopback TCP socket.
+    Tcp,
+}
+
+/// Whether the day's channels run the mutual-auth encrypted handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ChannelSecurity {
+    /// Bare frames (the reference configuration).
+    #[default]
+    Plaintext,
+    /// SIGMA-style handshake + per-direction encrypt-then-MAC sealing,
+    /// keyed by the deployment's enrolled
+    /// [`TransportKeyring`].
+    Secure,
+}
+
+/// A value describing how a registration day's endpoints are wired:
+/// link kind × channel security. Replaces the closed [`Transport`] enum —
+/// plans compose, and new links/policies slot in without touching every
+/// call site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TransportPlan {
+    /// The link layer.
+    pub link: LinkKind,
+    /// The channel-security policy.
+    pub security: ChannelSecurity,
+}
+
+impl TransportPlan {
+    /// Direct in-process dispatch (zero-copy; the reference).
+    pub const IN_PROCESS: Self = Self {
+        link: LinkKind::InProcess,
+        security: ChannelSecurity::Plaintext,
+    };
+    /// Plaintext loopback TCP.
+    pub const TCP: Self = Self {
+        link: LinkKind::Tcp,
+        security: ChannelSecurity::Plaintext,
+    };
+    /// Authenticated + encrypted loopback TCP.
+    pub const SECURE_TCP: Self = Self {
+        link: LinkKind::Tcp,
+        security: ChannelSecurity::Secure,
+    };
+    /// Authenticated + encrypted in-process pipes.
+    pub const SECURE_IN_PROCESS: Self = Self {
+        link: LinkKind::InProcess,
+        security: ChannelSecurity::Secure,
+    };
+
+    /// This plan with the secure channel policy switched on.
+    pub fn secured(self) -> Self {
+        Self {
+            security: ChannelSecurity::Secure,
+            ..self
+        }
+    }
+
+    /// Whether channels run the handshake + encryption.
+    pub fn is_secure(&self) -> bool {
+        self.security == ChannelSecurity::Secure
+    }
+}
+
+impl From<LinkKind> for TransportPlan {
+    fn from(link: LinkKind) -> Self {
+        Self {
+            link,
+            security: ChannelSecurity::Plaintext,
+        }
+    }
+}
+
+/// Which transport a registration day runs over (legacy shim).
+#[deprecated(
+    since = "0.9.0",
+    note = "use `TransportPlan` (e.g. `TransportPlan::TCP`); transports are pluggable channel values now"
+)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Transport {
     /// Direct in-process dispatch (zero-copy; the reference).
-    #[default]
     InProcess,
     /// Length-prefixed frames over a loopback TCP socket, served by a
     /// worker thread.
     Tcp,
 }
 
+#[allow(deprecated)]
+impl From<Transport> for TransportPlan {
+    fn from(t: Transport) -> Self {
+        match t {
+            Transport::InProcess => TransportPlan::IN_PROCESS,
+            Transport::Tcp => TransportPlan::TCP,
+        }
+    }
+}
+
+/// Builds the client-side channel policy for `station` from the
+/// deployment keyring (station keys round-robin over the keyring slots;
+/// refillers and steal lanes reuse their station's identity).
+pub(crate) fn client_policy(
+    keys: &TransportKeyring,
+    security: ChannelSecurity,
+    station: usize,
+) -> ChannelPolicy {
+    match security {
+        ChannelSecurity::Plaintext => ChannelPolicy::Plaintext,
+        ChannelSecurity::Secure => ChannelPolicy::Secure(SecureConfig {
+            local: keys.station(station).clone(),
+            registrar: keys.registrar_pk,
+            enrolled: Arc::new(Vec::new()),
+        }),
+    }
+}
+
+/// Builds the registrar-side channel policy from the deployment keyring.
+pub(crate) fn server_policy(keys: &TransportKeyring, security: ChannelSecurity) -> ChannelPolicy {
+    match security {
+        ChannelSecurity::Plaintext => ChannelPolicy::Plaintext,
+        ChannelSecurity::Secure => ChannelPolicy::Secure(SecureConfig {
+            local: keys.registrar.clone(),
+            registrar: keys.registrar_pk,
+            enrolled: Arc::new(keys.station_registry.clone()),
+        }),
+    }
+}
+
 /// Adapts any [`RegistrarEndpoint`] into the fleet's
 /// [`RegistrarBoundary`], mapping message types at the seam.
 pub struct ServiceBoundary<E> {
-    /// The underlying endpoint (a [`RegistrarHost`] or a [`TcpClient`]).
+    /// The underlying endpoint (a [`RegistrarHost`] or a
+    /// [`ChannelClient`]).
     pub endpoint: E,
 }
 
@@ -172,27 +306,33 @@ impl<E: RegistrarEndpoint> RegistrarBoundary for ServiceBoundary<E> {
     }
 }
 
-/// A client for all four services over one framed TCP connection.
-pub struct TcpClient {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+/// A client for all four services over any established [`FramedChannel`]
+/// (plaintext TCP, secure TCP, in-process pipes — the client neither
+/// knows nor cares).
+pub struct ChannelClient {
+    chan: Box<dyn FramedChannel>,
 }
 
-impl TcpClient {
-    /// Connects to a serving [`RegistrarHost`].
-    pub fn connect(addr: std::net::SocketAddr) -> Result<Self, ServiceError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self {
-            reader,
-            writer: BufWriter::new(stream),
-        })
+impl ChannelClient {
+    /// Wraps an already-established channel.
+    pub fn over(chan: Box<dyn FramedChannel>) -> Self {
+        Self { chan }
+    }
+
+    /// Dials through a [`Connector`] (which runs any configured
+    /// handshake before returning).
+    pub fn connect(connector: &dyn Connector) -> Result<Self, ServiceError> {
+        Ok(Self::over(connector.connect()?))
+    }
+
+    /// Dials a plaintext TCP channel (legacy convenience).
+    pub fn tcp(addr: std::net::SocketAddr) -> Result<Self, ServiceError> {
+        Ok(Self::over(Box::new(TcpChannel::connect(addr)?)))
     }
 
     fn call(&mut self, req: &Request) -> Result<Response, ServiceError> {
-        write_frame(&mut self.writer, &req.to_wire())?;
-        let frame = read_frame(&mut self.reader)?;
+        self.chan.send_frame(&req.to_wire())?;
+        let frame = self.chan.recv_frame()?;
         Response::from_wire(&frame).map_err(ServiceError::codec)
     }
 
@@ -206,7 +346,23 @@ impl TcpClient {
     }
 }
 
-macro_rules! tcp_call {
+/// A client over one framed TCP connection (legacy shim).
+#[deprecated(
+    since = "0.9.0",
+    note = "use `ChannelClient` over a `Connector` (e.g. `TcpConnector`)"
+)]
+pub struct TcpClient;
+
+#[allow(deprecated)]
+impl TcpClient {
+    /// Connects a plaintext [`ChannelClient`] to a serving
+    /// [`RegistrarHost`].
+    pub fn connect(addr: std::net::SocketAddr) -> Result<ChannelClient, ServiceError> {
+        ChannelClient::tcp(addr)
+    }
+}
+
+macro_rules! chan_call {
     ($self:ident, $req:expr, $variant:ident) => {
         match $self.call(&$req)? {
             Response::$variant(m) => Ok(m),
@@ -223,57 +379,57 @@ macro_rules! tcp_call {
     };
 }
 
-impl RegistrarService for TcpClient {
+impl RegistrarService for ChannelClient {
     fn check_in(&mut self, req: CheckInRequest) -> Result<CheckInResponse, ServiceError> {
-        tcp_call!(self, Request::CheckIn(req), CheckIn)
+        chan_call!(self, Request::CheckIn(req), CheckIn)
     }
 
     fn check_out_batch(
         &mut self,
         req: CheckOutBatchRequest,
     ) -> Result<CheckOutBatchResponse, ServiceError> {
-        tcp_call!(self, Request::CheckOutBatch(req), CheckOutBatch)
+        chan_call!(self, Request::CheckOutBatch(req), CheckOutBatch)
     }
 
     fn check_out_groups(
         &mut self,
         req: SeqCheckOutRequest,
     ) -> Result<CheckOutBatchResponse, ServiceError> {
-        tcp_call!(self, Request::CheckOutBatchSeq(req), CheckOutBatchSeq)
+        chan_call!(self, Request::CheckOutBatchSeq(req), CheckOutBatchSeq)
     }
 }
 
-impl PrintService for TcpClient {
+impl PrintService for ChannelClient {
     fn print_envelopes(&mut self, req: PrintRequest) -> Result<PrintResponse, ServiceError> {
-        tcp_call!(self, Request::Print(req), Print)
+        chan_call!(self, Request::Print(req), Print)
     }
 }
 
-impl LedgerIngestService for TcpClient {
+impl LedgerIngestService for ChannelClient {
     fn submit_envelopes(
         &mut self,
         req: EnvelopeSubmitRequest,
     ) -> Result<IngestReceipt, ServiceError> {
-        tcp_call!(self, Request::SubmitEnvelopes(req), SubmitEnvelopes)
+        chan_call!(self, Request::SubmitEnvelopes(req), SubmitEnvelopes)
     }
 
     fn sync(&mut self) -> Result<(), ServiceError> {
-        tcp_call!(self, Request::Sync, Sync, unit)
+        chan_call!(self, Request::Sync, Sync, unit)
     }
 
     fn ledger_heads(&mut self) -> Result<LedgerHeads, ServiceError> {
-        tcp_call!(self, Request::LedgerHeads, LedgerHeads)
+        chan_call!(self, Request::LedgerHeads, LedgerHeads)
     }
 
     fn submit_envelope_groups(
         &mut self,
         req: SeqEnvelopeSubmitRequest,
     ) -> Result<IngestReceipt, ServiceError> {
-        tcp_call!(self, Request::SubmitEnvelopesSeq(req), SubmitEnvelopesSeq)
+        chan_call!(self, Request::SubmitEnvelopesSeq(req), SubmitEnvelopesSeq)
     }
 
     fn sync_through(&mut self, sessions: u64) -> Result<(), ServiceError> {
-        tcp_call!(
+        chan_call!(
             self,
             Request::SyncThrough(SyncThroughRequest { sessions }),
             SyncThrough,
@@ -282,13 +438,13 @@ impl LedgerIngestService for TcpClient {
     }
 
     fn ingest_stats(&mut self) -> Result<IngestStatsReply, ServiceError> {
-        tcp_call!(self, Request::IngestStats, IngestStats)
+        chan_call!(self, Request::IngestStats, IngestStats)
     }
 }
 
-impl ActivationService for TcpClient {
+impl ActivationService for ChannelClient {
     fn activation_sweep(&mut self, req: ActivationSweepRequest) -> Result<(), ServiceError> {
-        tcp_call!(self, Request::ActivationSweep(req), ActivationSweep, unit)
+        chan_call!(self, Request::ActivationSweep(req), ActivationSweep, unit)
     }
 }
 
@@ -384,30 +540,47 @@ pub(crate) fn dispatch<E: crate::traits::RegistrarEndpoint>(
     }
 }
 
-/// Serves one client connection until a `Shutdown` request or a transport
-/// failure. Malformed requests are answered with a typed error and the
-/// connection continues (one bad frame must not take the registrar down).
-pub fn serve_connection(
-    stream: TcpStream,
+/// Serves one established channel until a `Shutdown` request or a
+/// transport failure. Malformed requests are answered with a typed error
+/// and the connection continues (one bad frame must not take the
+/// registrar down) — except a secure-channel frame on a plaintext
+/// channel, which is a policy mismatch: the peer gets a typed
+/// [`ServiceError::HandshakeFailed`] and the connection closes.
+pub fn serve_channel(
+    chan: &mut dyn FramedChannel,
     host: &mut RegistrarHost<'_>,
 ) -> Result<(), ServiceError> {
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
     loop {
-        let frame = read_frame(&mut reader)?;
+        let frame = chan.recv_frame()?;
         let (response, done) = match Request::from_wire(&frame) {
             Ok(req) => dispatch(host, req, true),
+            Err(_) if HandshakeFrame::is_channel_frame(&frame) => {
+                let e = ServiceError::HandshakeFailed(
+                    "plaintext registrar received a secure-channel frame".into(),
+                );
+                chan.send_frame(&Response::Err(e.clone()).to_wire())?;
+                return Err(e);
+            }
             Err(e) => (
                 Response::Err(ServiceError::Transport(format!("bad request: {e}"))),
                 false,
             ),
         };
-        write_frame(&mut writer, &response.to_wire())?;
+        chan.send_frame(&response.to_wire())?;
         if done {
             return Ok(());
         }
     }
+}
+
+/// Serves one client TCP connection (plaintext). Legacy wrapper over
+/// [`serve_channel`].
+pub fn serve_connection(
+    stream: TcpStream,
+    host: &mut RegistrarHost<'_>,
+) -> Result<(), ServiceError> {
+    let mut chan = TcpChannel::from_stream(stream)?;
+    serve_channel(&mut chan, host)
 }
 
 /// One stolen kiosk-range chunk: when a polling station dies mid-day,
@@ -422,6 +595,9 @@ pub struct StealRecord {
     pub thief: usize,
     /// Undelivered sessions the chunk re-ran.
     pub sessions: usize,
+    /// Retry depth of this chunk: `0` for a first steal off the dead
+    /// station, `n` for a chunk re-stolen after `n` steal-runner deaths.
+    pub depth: usize,
 }
 
 /// End-of-day service-layer telemetry, returned by every day runner.
@@ -434,17 +610,18 @@ pub struct DayStats {
     /// days; pipelined days run `min(workers, stations)` shards).
     pub workers: usize,
     /// Work-stealing log: one entry per chunk of a dead station's kiosk
-    /// range absorbed by a survivor. Empty on healthy days.
+    /// range absorbed by a survivor, retry chains included. Empty on
+    /// healthy days.
     pub steals: Vec<StealRecord>,
 }
 
-/// Runs `client_run` against the registrar parts of `system` served over
-/// `transport`, while the kiosks (and adversary-loot bookkeeping) stay on
-/// the caller's side of the boundary. This is the borrow seam: the
-/// registrar state moves behind the boundary for the duration of the run.
+/// Runs `client_run` against the registrar parts of `system` served per
+/// `plan`, while the kiosks (and adversary-loot bookkeeping) stay on the
+/// caller's side of the boundary. This is the borrow seam: the registrar
+/// state moves behind the boundary for the duration of the run.
 fn with_boundary<R>(
     system: &mut TripSystem,
-    transport: Transport,
+    plan: TransportPlan,
     threads: usize,
     client_run: impl FnOnce(
         &mut dyn RegistrarBoundary,
@@ -459,98 +636,126 @@ fn with_boundary<R>(
         kiosks,
         kiosk_registry,
         adversary_loot,
+        transport_keys,
         ..
     } = system;
     let official = &officials[0];
     let printer = &printers[0];
-    match transport {
-        Transport::InProcess => {
-            let host = RegistrarHost::new(official, printer, ledger, kiosk_registry, threads);
-            let mut boundary = ServiceBoundary::new(host);
-            let out = client_run(&mut boundary, kiosks, adversary_loot)?;
-            let ingest = boundary
-                .endpoint
-                .ingest_stats()
-                .map_err(|e| TripError::Boundary(e.to_string()))?;
-            Ok((
-                out,
-                DayStats {
-                    ingest,
-                    workers: 1,
-                    steals: Vec::new(),
-                },
-            ))
+    if plan == TransportPlan::IN_PROCESS {
+        // Zero-copy reference path: the endpoint is the host.
+        let host = RegistrarHost::new(official, printer, ledger, kiosk_registry, threads);
+        let mut boundary = ServiceBoundary::new(host);
+        let out = client_run(&mut boundary, kiosks, adversary_loot)?;
+        let ingest = boundary
+            .endpoint
+            .ingest_stats()
+            .map_err(|e| TripError::Boundary(e.to_string()))?;
+        return Ok((
+            out,
+            DayStats {
+                ingest,
+                workers: 1,
+                steals: Vec::new(),
+            },
+        ));
+    }
+    let client_pol = client_policy(transport_keys, plan.security, 0);
+    let server_pol = server_policy(transport_keys, plan.security);
+    // Build the two raw channel halves per link kind. For TCP the raw
+    // connect happens BEFORE the server thread spawns: the bound
+    // listener's backlog holds the connection, and a failed connect
+    // returns here with no accept() ever blocking — otherwise a connect
+    // failure would leave the server thread parked in accept() and the
+    // scope join would hang the whole registration day. (Handshakes run
+    // *after* the spawn; they cannot deadlock because both sides are then
+    // live.)
+    type LazyServerChannel =
+        Box<dyn FnOnce() -> Result<Box<dyn FramedChannel>, ServiceError> + Send>;
+    let (client_raw, server_accept): (Box<dyn FramedChannel>, LazyServerChannel) = match plan.link {
+        LinkKind::InProcess => {
+            let (client_half, server_half) = pipe_pair();
+            (
+                Box::new(client_half),
+                Box::new(move || Ok(Box::new(server_half) as Box<dyn FramedChannel>)),
+            )
         }
-        Transport::Tcp => {
+        LinkKind::Tcp => {
             let listener = TcpListener::bind(("127.0.0.1", 0))
                 .map_err(|e| TripError::Boundary(format!("bind: {e}")))?;
             let addr = listener
                 .local_addr()
                 .map_err(|e| TripError::Boundary(format!("local_addr: {e}")))?;
-            // Connect BEFORE spawning the server: the bound listener's
-            // backlog holds the connection, and a failed connect returns
-            // here with no accept() ever blocking — otherwise a connect
-            // failure would leave the server thread parked in accept()
-            // and the scope join would hang the whole registration day.
-            let client =
-                TcpClient::connect(addr).map_err(|e| TripError::Boundary(e.to_string()))?;
-            std::thread::scope(|scope| {
-                let server = scope.spawn(move || -> Result<(), ServiceError> {
+            let chan = TcpChannel::connect(addr).map_err(|e| TripError::Boundary(e.to_string()))?;
+            (
+                Box::new(chan),
+                Box::new(move || {
                     let (stream, _) = listener.accept()?;
-                    let mut host =
-                        RegistrarHost::new(official, printer, ledger, kiosk_registry, threads);
-                    serve_connection(stream, &mut host)
-                });
-                let run = |client: TcpClient| -> Result<(R, DayStats), TripError> {
-                    let mut boundary = ServiceBoundary::new(client);
-                    let out = client_run(&mut boundary, kiosks, adversary_loot);
-                    let ingest = match &out {
-                        Ok(_) => boundary.endpoint.ingest_stats().ok(),
-                        Err(_) => None,
-                    };
-                    // Always attempt shutdown so the server thread exits
-                    // even when the client run failed.
-                    let down = boundary.endpoint.shutdown();
-                    let out = out?;
-                    down.map_err(|e| TripError::Boundary(e.to_string()))?;
-                    Ok((
-                        out,
-                        DayStats {
-                            ingest: ingest.unwrap_or_default(),
-                            workers: 1,
-                            steals: Vec::new(),
-                        },
-                    ))
-                };
-                let result = run(client);
-                match server.join() {
-                    Ok(Ok(())) => result,
-                    Ok(Err(server_err)) => {
-                        result.and(Err(TripError::Boundary(server_err.to_string())))
-                    }
-                    Err(_) => result.and(Err(TripError::Boundary("server panicked".into()))),
-                }
-            })
+                    Ok(Box::new(TcpChannel::from_stream(stream)?) as Box<dyn FramedChannel>)
+                }),
+            )
         }
-    }
+    };
+    std::thread::scope(|scope| {
+        let server = scope.spawn(move || -> Result<(), ServiceError> {
+            let raw = server_accept()?;
+            let mut chan = server_pol.establish_server(raw)?;
+            let mut host = RegistrarHost::new(official, printer, ledger, kiosk_registry, threads);
+            serve_channel(chan.as_mut(), &mut host)
+        });
+        let run = |raw: Box<dyn FramedChannel>| -> Result<(R, DayStats), TripError> {
+            let chan = client_pol
+                .establish_client(raw)
+                .map_err(|e| TripError::Boundary(e.to_string()))?;
+            let mut boundary = ServiceBoundary::new(ChannelClient::over(chan));
+            let out = client_run(&mut boundary, kiosks, adversary_loot);
+            let ingest = match &out {
+                Ok(_) => boundary.endpoint.ingest_stats().ok(),
+                Err(_) => None,
+            };
+            // Always attempt shutdown so the server thread exits even
+            // when the client run failed.
+            let down = boundary.endpoint.shutdown();
+            let out = out?;
+            down.map_err(|e| TripError::Boundary(e.to_string()))?;
+            Ok((
+                out,
+                DayStats {
+                    ingest: ingest.unwrap_or_default(),
+                    workers: 1,
+                    steals: Vec::new(),
+                },
+            ))
+        };
+        let result = run(client_raw);
+        match server.join() {
+            Ok(Ok(())) => result,
+            Ok(Err(server_err)) => result.and(Err(TripError::Boundary(server_err.to_string()))),
+            Err(_) => result.and(Err(TripError::Boundary("server panicked".into()))),
+        }
+    })
 }
 
 /// Runs a whole fleet registration day over `transport`, streaming
 /// outcomes to `sink` in queue order. Bit-identical ledgers and outcomes
-/// across transports for any `(seed, queue, kiosks, pool, threads)`.
+/// across transport plans for any `(seed, queue, kiosks, pool, threads)`.
 /// Returns the day's service-layer telemetry.
 pub fn register_day(
     fleet: &KioskFleet,
     system: &mut TripSystem,
     plan: &[(VoterId, usize)],
-    transport: Transport,
+    transport: impl Into<TransportPlan>,
     mut sink: impl FnMut(RegistrationOutcome),
 ) -> Result<DayStats, TripError> {
     let mut pool = fleet.prepare_pool(system, plan);
     let threads = fleet.config().threads;
-    with_boundary(system, transport, threads, move |boundary, kiosks, loot| {
-        fleet.register_each_over(kiosks, boundary, plan, &mut pool, loot, &mut sink)
-    })
+    with_boundary(
+        system,
+        transport.into(),
+        threads,
+        move |boundary, kiosks, loot| {
+            fleet.register_each_over(kiosks, boundary, plan, &mut pool, loot, &mut sink)
+        },
+    )
     .map(|((), stats)| stats)
 }
 
@@ -560,25 +765,30 @@ pub fn register_and_activate_day(
     fleet: &KioskFleet,
     system: &mut TripSystem,
     plan: &[(VoterId, usize)],
-    transport: Transport,
+    transport: impl Into<TransportPlan>,
     mut sink: impl FnMut(RegistrationOutcome, Vsd),
 ) -> Result<DayStats, TripError> {
     let mut pool = fleet.prepare_pool(system, plan);
     let threads = fleet.config().threads;
     let authority_pk = system.authority.public_key;
     let printer_registry = system.printer_registry.clone();
-    with_boundary(system, transport, threads, move |boundary, kiosks, loot| {
-        fleet.register_and_activate_each_over(
-            kiosks,
-            boundary,
-            plan,
-            &mut pool,
-            &authority_pk,
-            &printer_registry,
-            loot,
-            &mut sink,
-        )
-    })
+    with_boundary(
+        system,
+        transport.into(),
+        threads,
+        move |boundary, kiosks, loot| {
+            fleet.register_and_activate_each_over(
+                kiosks,
+                boundary,
+                plan,
+                &mut pool,
+                &authority_pk,
+                &printer_registry,
+                loot,
+                &mut sink,
+            )
+        },
+    )
     .map(|((), stats)| stats)
 }
 
@@ -586,10 +796,10 @@ pub fn register_and_activate_day(
 /// examples and benches; implies a full ingest flush).
 pub fn ledger_heads_over(
     system: &mut TripSystem,
-    transport: Transport,
+    transport: impl Into<TransportPlan>,
     threads: usize,
 ) -> Result<(TreeHead, TreeHead), TripError> {
-    with_boundary(system, transport, threads, |boundary, _, _| {
+    with_boundary(system, transport.into(), threads, |boundary, _, _| {
         Ok((boundary.registration_head()?, boundary.envelope_head()?))
     })
     .map(|(heads, _)| heads)

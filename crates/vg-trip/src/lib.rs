@@ -66,7 +66,7 @@ pub use protocol::{
     activate_all, register_voter, register_voter_seeded, register_with_delegation,
     DelegationOutcome, RegistrationOutcome,
 };
-pub use setup::{TripConfig, TripSystem};
+pub use setup::{TransportKeyring, TripConfig, TripSystem};
 pub use vsd::{
     activate_batch, activate_batch_over, activation_ledger_phase, ActivatedCredential,
     ActivationClaim, Vsd,

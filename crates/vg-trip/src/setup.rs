@@ -9,6 +9,7 @@
 
 use vg_crypto::dkg::Authority;
 use vg_crypto::drbg::Rng;
+use vg_crypto::schnorr::SigningKey;
 use vg_crypto::CompressedPoint;
 use vg_ledger::{Ledger, LedgerBackend, VoterId};
 
@@ -71,6 +72,49 @@ impl TripConfig {
     }
 }
 
+/// Static transport keys for the secure service channels, enrolled at
+/// setup exactly like officials' and kiosks' signing keys (Fig 7 keygen).
+///
+/// TRIP's deployment (§6) has polling stations stream coupon-bearing
+/// check-out submissions to the registrar over a real network; the
+/// secure-channel handshake authenticates both ends with these keys. One
+/// key per kiosk-sized station slot: station `i` of a fleet uses key
+/// `i mod n_kiosks`, and its refiller / steal-lane connections reuse the
+/// same identity (they act on the station's behalf).
+pub struct TransportKeyring {
+    /// The registrar gateway's static key.
+    pub registrar: SigningKey,
+    /// The registrar's public enrolment (what stations pin).
+    pub registrar_pk: CompressedPoint,
+    /// Per-station static keys.
+    pub stations: Vec<SigningKey>,
+    /// Public station enrolments (what the registrar admits).
+    pub station_registry: Vec<CompressedPoint>,
+}
+
+impl TransportKeyring {
+    /// Generates a keyring with one station slot per kiosk.
+    pub fn generate(n_stations: usize, rng: &mut dyn Rng) -> Self {
+        let registrar = SigningKey::generate(rng);
+        let registrar_pk = registrar.public_key_compressed();
+        let stations: Vec<SigningKey> = (0..n_stations.max(1))
+            .map(|_| SigningKey::generate(rng))
+            .collect();
+        let station_registry = stations.iter().map(|k| k.public_key_compressed()).collect();
+        Self {
+            registrar,
+            registrar_pk,
+            stations,
+            station_registry,
+        }
+    }
+
+    /// The station key for fleet station `i` (round-robin over slots).
+    pub fn station(&self, i: usize) -> &SigningKey {
+        &self.stations[i % self.stations.len()]
+    }
+}
+
 /// A fully initialized TRIP registration system.
 pub struct TripSystem {
     /// The configuration used at setup.
@@ -94,6 +138,8 @@ pub struct TripSystem {
     /// Credentials stolen by compromised kiosks (experiment bookkeeping;
     /// empty when all kiosks are honest).
     pub adversary_loot: Vec<StolenCredential>,
+    /// Static keys for the secure service channels.
+    pub transport_keys: TransportKeyring,
 }
 
 impl TripSystem {
@@ -146,6 +192,9 @@ impl TripSystem {
 
         let kiosk_registry = kiosks.iter().map(|k| k.public_key()).collect();
         let printer_registry = printers.iter().map(|p| p.public_key()).collect();
+        // Drawn after every protocol key so the seeded materials streams
+        // of pre-keyring days are unchanged.
+        let transport_keys = TransportKeyring::generate(config.n_kiosks, rng);
         Self {
             config,
             authority,
@@ -157,6 +206,7 @@ impl TripSystem {
             kiosk_registry,
             printer_registry,
             adversary_loot: Vec::new(),
+            transport_keys,
         }
     }
 

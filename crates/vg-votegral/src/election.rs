@@ -50,7 +50,7 @@ use std::marker::PhantomData;
 
 use vg_crypto::drbg::Rng;
 use vg_ledger::{Ledger, LedgerBackend, VoterId};
-use vg_service::{IngestMode, PipelineConfig, Transport};
+use vg_service::{ChannelSecurity, IngestMode, PipelineConfig, TransportPlan};
 use vg_trip::fleet::{FleetConfig, KioskFleet};
 use vg_trip::protocol::{activate_all, register_voter, RegistrationOutcome};
 use vg_trip::setup::{TripConfig, TripSystem};
@@ -134,7 +134,7 @@ pub struct ElectionBuilder {
     mixers: usize,
     threads: usize,
     fakes: FakesPolicy,
-    transport: Transport,
+    transport: TransportPlan,
     pipeline: PipelineConfig,
 }
 
@@ -154,7 +154,7 @@ impl ElectionBuilder {
             mixers: vg_shuffle::MixCascade::DEFAULT_MIXERS,
             threads: 1,
             fakes: FakesPolicy::default(),
-            transport: Transport::InProcess,
+            transport: TransportPlan::IN_PROCESS,
             pipeline: PipelineConfig::default(),
         }
     }
@@ -212,14 +212,31 @@ impl ElectionBuilder {
         self
     }
 
-    /// Which transport registration runs over:
-    /// [`Transport::InProcess`] (zero-copy, the default) or
-    /// [`Transport::Tcp`] (the registrar services behind a framed
-    /// loopback socket). Both produce bit-identical ledgers and
-    /// credentials for the same seed — the service layer's equivalence
-    /// contract.
-    pub fn transport(mut self, transport: Transport) -> Self {
-        self.transport = transport;
+    /// Which transport registration runs over: a [`TransportPlan`]
+    /// combining the link ([`vg_service::LinkKind::InProcess`], the
+    /// zero-copy default, or [`vg_service::LinkKind::Tcp`], the
+    /// registrar services behind a framed loopback socket) with the
+    /// channel security policy. Every plan produces bit-identical
+    /// ledgers and credentials for the same seed — the service layer's
+    /// equivalence contract. Accepts the deprecated
+    /// [`vg_service::Transport`] enum for source compatibility.
+    pub fn transport(mut self, transport: impl Into<TransportPlan>) -> Self {
+        self.transport = transport.into();
+        self
+    }
+
+    /// Runs the registration channels under the mutually-authenticated
+    /// encrypted handshake (station keys are enrolled at setup alongside
+    /// the officials' signing keys). Composes with any link:
+    /// `.transport(TransportPlan::TCP).secure(true)` is the deployment
+    /// shape, secure in-process runs the same handshake without a
+    /// socket. Ledgers and credentials stay bit-identical either way.
+    pub fn secure(mut self, on: bool) -> Self {
+        self.transport.security = if on {
+            ChannelSecurity::Secure
+        } else {
+            ChannelSecurity::Plaintext
+        };
         self
     }
 
@@ -322,8 +339,9 @@ pub struct Election<P: ElectionPhase = Registration> {
     pub threads: usize,
     /// Fake-credential policy for batch registration.
     pub fakes: FakesPolicy,
-    /// Transport the registration services run over.
-    pub transport: Transport,
+    /// Transport plan (link + channel security) the registration
+    /// services run over.
+    pub transport: TransportPlan,
     /// Pipelined-registration tuning (stations, refiller low-water mark,
     /// ingest mode, activation lag). Lock-step defaults keep the
     /// barrier-synchronous engine.
@@ -382,7 +400,7 @@ impl Election<Registration> {
     /// activates every credential on a fresh device.
     ///
     /// Routed through the kiosk-fleet engine over the session's
-    /// [`Transport`]: the session's expensive material comes from a
+    /// [`TransportPlan`]: the session's expensive material comes from a
     /// precomputed ceremony pool and every check is batched, so a loop of
     /// this call and one [`Election::register_batch`] differ only in
     /// amortization, never in outcome shape.
@@ -403,7 +421,7 @@ impl Election<Registration> {
     /// fakes policy. Results come back in input order.
     ///
     /// The batch is one [`KioskFleet`] run over the session's
-    /// [`Transport`]: per-session material is precomputed pool-batch-wise
+    /// [`TransportPlan`]: per-session material is precomputed pool-batch-wise
     /// on worker threads ahead of each ceremony window, sessions fan out
     /// across the deployment's kiosks (session `i` on kiosk `i mod |K|`),
     /// and envelope commitments, check-out records and activation checks

@@ -1,14 +1,15 @@
 //! A full registration day — check-in, in-booth ceremonies, check-out,
-//! activation — run twice from the same seed: once in-process, once with
-//! the registrar services behind a TCP loopback socket. The resulting
-//! signed ledger tree heads are **bit-identical**, which is the service
-//! layer's equivalence contract.
+//! activation — run three times from the same seed: in-process, over a
+//! plaintext TCP loopback socket, and over TCP secured by the mutually
+//! authenticated encrypted channel. The resulting signed ledger tree
+//! heads are **bit-identical**, which is the service layer's
+//! equivalence contract.
 //!
 //! Run with: `cargo run --example service_day --release`
 
 use votegral::crypto::HmacDrbg;
 use votegral::ledger::VoterId;
-use votegral::service::{register_and_activate_day, Transport};
+use votegral::service::{register_and_activate_day, TransportPlan};
 use votegral::trip::fleet::{FleetConfig, KioskFleet};
 use votegral::trip::setup::{TripConfig, TripSystem};
 
@@ -30,7 +31,11 @@ fn main() {
     println!("24 voters, 3 kiosks, pool windows of 8, 2 worker threads.\n");
 
     let mut heads = Vec::new();
-    for transport in [Transport::InProcess, Transport::Tcp] {
+    for transport in [
+        TransportPlan::IN_PROCESS,
+        TransportPlan::TCP,
+        TransportPlan::SECURE_TCP,
+    ] {
         // Identical deterministic setup for both runs.
         let mut rng = HmacDrbg::from_u64(7);
         let mut system = TripSystem::setup(config.clone(), &mut rng);
@@ -59,8 +64,13 @@ fn main() {
         heads[0], heads[1],
         "TCP and in-process ledgers must be bit-identical"
     );
-    println!("\nBoth transports produced bit-identical signed ledger heads.");
-    println!("The registrar can move off-box without changing a single ledger byte.");
+    assert_eq!(
+        heads[0], heads[2],
+        "secure-channel ledgers must be bit-identical too"
+    );
+    println!("\nAll three transports produced bit-identical signed ledger heads.");
+    println!("The registrar can move off-box — and under encryption — without");
+    println!("changing a single ledger byte.");
 }
 
 fn hex(bytes: &[u8]) -> String {

@@ -14,7 +14,7 @@ use votegral::ledger::{simulate_crash, LedgerBackend, VoterId};
 use votegral::service::{
     pipelined_register_and_activate_day, pipelined_register_and_activate_day_with_fault,
     pipelined_register_day, register_and_activate_day, IngestMode, PipelineConfig, StationFault,
-    Transport,
+    TransportPlan,
 };
 use votegral::trip::fleet::{FleetConfig, KioskFleet};
 use votegral::trip::protocol::{register_voter_seeded, RegistrationOutcome};
@@ -73,7 +73,9 @@ proptest! {
     /// The acceptance criterion: pipelined registration days equal the
     /// sequential seeded reference bit-for-bit across (kiosks × pool
     /// batch × low-water mark × station count × ingest worker count ×
-    /// ingest mode × threads × seed), on both transports.
+    /// ingest mode × threads × seed), on every transport — including
+    /// the authenticated-encryption secure channel, whose ephemeral
+    /// handshake randomness must never leak into ledger bytes.
     #[test]
     fn pipelined_day_equals_sequential_reference(
         seed64 in any::<u64>(),
@@ -105,7 +107,11 @@ proptest! {
         };
         let reference = sequential_reference(seed64, &seed, n_kiosks, &queue);
 
-        for transport in [Transport::InProcess, Transport::Tcp] {
+        for transport in [
+            TransportPlan::IN_PROCESS,
+            TransportPlan::TCP,
+            TransportPlan::SECURE_TCP,
+        ] {
             let mut rng = HmacDrbg::from_u64(seed64 ^ 0x91E);
             let mut system = TripSystem::setup(trip_config(n_voters, n_kiosks), &mut rng);
             let mut outcomes = Vec::new();
@@ -152,7 +158,7 @@ proptest! {
             let mut rng = HmacDrbg::from_u64(seed64 ^ 0xAC8);
             let mut system = TripSystem::setup(trip_config(n_voters, 2), &mut rng);
             let mut secrets = Vec::new();
-            register_and_activate_day(&fleet, &mut system, &queue, Transport::InProcess, |_, vsd| {
+            register_and_activate_day(&fleet, &mut system, &queue, TransportPlan::IN_PROCESS, |_, vsd| {
                 secrets.extend(vsd.credentials.iter().map(|c| c.key.secret()));
             })
             .expect("barrier day runs");
@@ -171,7 +177,11 @@ proptest! {
             ingest: IngestMode::Background,
             activation_lag,
         };
-        for transport in [Transport::InProcess, Transport::Tcp] {
+        for transport in [
+            TransportPlan::IN_PROCESS,
+            TransportPlan::SECURE_IN_PROCESS,
+            TransportPlan::TCP,
+        ] {
             let mut rng = HmacDrbg::from_u64(seed64 ^ 0xAC8);
             let mut system = TripSystem::setup(trip_config(n_voters, 2), &mut rng);
             let mut secrets = Vec::new();
@@ -217,7 +227,7 @@ fn station_death_mid_window_heals_on_survivors() {
     };
 
     // The healthy pipelined day is the reference.
-    let run = |fault: Option<StationFault>, transport: Transport| {
+    let run = |fault: Option<StationFault>, transport: TransportPlan| {
         let mut rng = HmacDrbg::from_u64(0xFA11);
         let mut system = TripSystem::setup(trip_config(6, 4), &mut rng);
         let mut devices = Vec::new();
@@ -238,7 +248,7 @@ fn station_death_mid_window_heals_on_survivors() {
         let fp = fingerprint(&system, &outcomes);
         (fp, devices, system.ledger.envelopes.revealed_count())
     };
-    let reference = run(None, Transport::InProcess);
+    let reference = run(None, TransportPlan::IN_PROCESS);
     // Everyone got their devices in the healthy run.
     assert_eq!(reference.1, vec![2, 1, 2, 1, 2, 1]);
 
@@ -246,11 +256,12 @@ fn station_death_mid_window_heals_on_survivors() {
     // fault point across check-in, submission and barrier calls — on
     // both transports.
     for after_ops in [0, 2, 4, 5, 6] {
-        for transport in [Transport::InProcess, Transport::Tcp] {
+        for transport in [TransportPlan::IN_PROCESS, TransportPlan::TCP] {
             let fault = Some(StationFault {
                 station: 1,
                 after_ops,
                 recovery_after_ops: None,
+                recovery_deaths: 0,
             });
             assert_eq!(
                 run(fault, transport),
@@ -268,7 +279,11 @@ fn station_death_mid_window_heals_on_survivors() {
 /// deadlock in the scope join instead of returning.
 #[test]
 fn unrecoverable_error_returns_typed_instead_of_hanging() {
-    for transport in [Transport::InProcess, Transport::Tcp] {
+    for transport in [
+        TransportPlan::IN_PROCESS,
+        TransportPlan::TCP,
+        TransportPlan::SECURE_TCP,
+    ] {
         let mut rng = HmacDrbg::from_u64(404);
         let mut system = TripSystem::setup(trip_config(2, 2), &mut rng);
         let fleet = KioskFleet::new(FleetConfig::seeded([1u8; 32]));
@@ -328,8 +343,8 @@ fn durable_config(n_voters: u64, n_kiosks: usize, dir: &Path, fsync: bool) -> Tr
 /// torn final frame — and every crash state, reopened with the same
 /// setup seed and driven through the same deterministic day, replays to
 /// signed tree heads and credential bytes bit-identical to the
-/// uncrashed sequential seeded reference. Swept over both transports
-/// and both ingest modes.
+/// uncrashed sequential seeded reference. Swept over the transports
+/// (including the secure gateway) and both ingest modes.
 ///
 /// SIGKILL-equivalence: the durable store writes each file append-only
 /// from a single thread, so any kill leaves a per-file byte prefix —
@@ -348,10 +363,11 @@ fn durable_day_killed_mid_day_replays_to_identical_heads() {
     let reference = sequential_reference(seed64, &seed, 4, &queue);
 
     for (ingest, transport) in [
-        (IngestMode::Barrier, Transport::InProcess),
-        (IngestMode::Barrier, Transport::Tcp),
-        (IngestMode::Background, Transport::InProcess),
-        (IngestMode::Background, Transport::Tcp),
+        (IngestMode::Barrier, TransportPlan::IN_PROCESS),
+        (IngestMode::Barrier, TransportPlan::TCP),
+        (IngestMode::Background, TransportPlan::IN_PROCESS),
+        (IngestMode::Background, TransportPlan::TCP),
+        (IngestMode::Background, TransportPlan::SECURE_TCP),
     ] {
         let pipeline = PipelineConfig {
             stations: 2,
@@ -429,7 +445,7 @@ fn kill_during_failover_reopens_to_the_healthy_reference() {
         activation_lag: 1,
     };
 
-    let run = |dir: Option<&Path>, fault: Option<StationFault>, transport: Transport| {
+    let run = |dir: Option<&Path>, fault: Option<StationFault>, transport: TransportPlan| {
         let mut rng = HmacDrbg::from_u64(0xFA11);
         let config = match dir {
             Some(dir) => durable_config(6, 4, dir, true),
@@ -459,20 +475,24 @@ fn kill_during_failover_reopens_to_the_healthy_reference() {
         ))
     };
     let (reference, ref_devices, ref_revealed, _) =
-        run(None, None, Transport::InProcess).expect("healthy reference day");
+        run(None, None, TransportPlan::IN_PROCESS).expect("healthy reference day");
     assert_eq!(ref_devices, vec![2, 1, 2, 1, 2, 1]);
 
-    for transport in [Transport::InProcess, Transport::Tcp] {
+    for transport in [TransportPlan::IN_PROCESS, TransportPlan::TCP] {
         for recovery_after_ops in [0usize, 3] {
             let dir = wal_dir(&format!("failover-{transport:?}-{recovery_after_ops}"));
             // First attempt: station 1 dies after 2 boundary ops, and
             // the recovery connection dies too — unrecoverable, the day
             // aborts mid-flight with whatever was admitted so far
             // persisted.
+            // `recovery_deaths: usize::MAX` keeps killing every re-steal
+            // generation, so the bounded depth is exhausted and the day
+            // genuinely aborts.
             let fault = Some(StationFault {
                 station: 1,
                 after_ops: 2,
                 recovery_after_ops: Some(recovery_after_ops),
+                recovery_deaths: usize::MAX,
             });
             let aborted = run(Some(&dir), fault, transport);
             assert!(
@@ -549,7 +569,7 @@ fn station_death_steals_kiosk_chunks_across_survivors() {
         activation_lag: 1,
     };
 
-    let run = |fault: Option<StationFault>, transport: Transport| {
+    let run = |fault: Option<StationFault>, transport: TransportPlan| {
         let mut rng = HmacDrbg::from_u64(0x57EA);
         let mut system = TripSystem::setup(trip_config(9, 6), &mut rng);
         let mut devices = Vec::new();
@@ -569,18 +589,23 @@ fn station_death_steals_kiosk_chunks_across_survivors() {
         .expect("day completes despite the dead station");
         (fingerprint(&system, &outcomes), devices, stats)
     };
-    let (reference, ref_devices, healthy_stats) = run(None, Transport::InProcess);
+    let (reference, ref_devices, healthy_stats) = run(None, TransportPlan::IN_PROCESS);
     assert!(
         healthy_stats.steals.is_empty(),
         "healthy day steals nothing"
     );
 
     for after_ops in [0, 2, 4] {
-        for transport in [Transport::InProcess, Transport::Tcp] {
+        for transport in [
+            TransportPlan::IN_PROCESS,
+            TransportPlan::TCP,
+            TransportPlan::SECURE_TCP,
+        ] {
             let fault = Some(StationFault {
                 station: 1,
                 after_ops,
                 recovery_after_ops: None,
+                recovery_deaths: 0,
             });
             let (fp, devices, stats) = run(fault, transport);
             assert_eq!(
@@ -635,7 +660,7 @@ fn durable_kill_then_steal_replays_to_identical_heads() {
         activation_lag: 1,
     };
 
-    let run = |dir: Option<&Path>, fault: Option<StationFault>, transport: Transport| {
+    let run = |dir: Option<&Path>, fault: Option<StationFault>, transport: TransportPlan| {
         let mut rng = HmacDrbg::from_u64(0x57EA);
         let config = match dir {
             Some(dir) => durable_config(9, 6, dir, true),
@@ -659,9 +684,9 @@ fn durable_kill_then_steal_replays_to_identical_heads() {
         Ok::<_, votegral::trip::TripError>((fingerprint(&system, &outcomes), devices, stats))
     };
     let (reference, ref_devices, _) =
-        run(None, None, Transport::InProcess).expect("healthy reference day");
+        run(None, None, TransportPlan::IN_PROCESS).expect("healthy reference day");
 
-    for transport in [Transport::InProcess, Transport::Tcp] {
+    for transport in [TransportPlan::IN_PROCESS, TransportPlan::TCP] {
         // Sanity: steal-healing on the durable backend alone already
         // reproduces the reference.
         let healed_dir = wal_dir(&format!("steal-heal-{transport:?}"));
@@ -669,6 +694,7 @@ fn durable_kill_then_steal_replays_to_identical_heads() {
             station: 1,
             after_ops: 2,
             recovery_after_ops: None,
+            recovery_deaths: 0,
         });
         let (fp, devices, stats) =
             run(Some(&healed_dir), fault, transport).expect("steal-healed durable day");
@@ -684,6 +710,7 @@ fn durable_kill_then_steal_replays_to_identical_heads() {
                 station: 1,
                 after_ops: 2,
                 recovery_after_ops: Some(chunk_after_ops),
+                recovery_deaths: usize::MAX,
             });
             let aborted = run(Some(&dir), fault, transport);
             assert!(
@@ -700,5 +727,105 @@ fn durable_kill_then_steal_replays_to_identical_heads() {
             assert!(stats.ingest.wal_fsyncs > 0, "fsync-at-flush must engage");
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+}
+
+/// Bounded re-steal: when a *stolen chunk's* runner dies too, the chunk
+/// is re-stolen onto the remaining survivors — recorded with an
+/// incremented [`StealRecord::depth`] — and the day still lands on the
+/// healthy reference bit-for-bit. The retry budget is bounded: a fault
+/// that kills every re-steal generation must exhaust the depth and
+/// abort with a typed error instead of retrying forever.
+///
+/// Swept over the in-process engine and the secure multiplexed gateway,
+/// so re-stolen chunks also ride the per-thief steal lanes over
+/// authenticated encrypted connections.
+#[test]
+fn dead_steal_chunks_are_restolen_with_bounded_depth() {
+    let seed = [0x5Eu8; 32];
+    // Same geometry as the steal test: 9 voters over 6 kiosks and 3
+    // stations, so station 1 owns kiosks {2,3} = sessions {2,3,8} and
+    // its death splits into two chunks across survivors {0,2}.
+    let queue: Vec<(VoterId, usize)> = (1..=9).map(|v| (VoterId(v), (v % 2) as usize)).collect();
+    let fleet = KioskFleet::new(FleetConfig {
+        pool_batch: 2,
+        threads: 2,
+        seed,
+    });
+    let pipeline = PipelineConfig {
+        stations: 3,
+        workers: 2,
+        low_water: 2,
+        ingest: IngestMode::Background,
+        activation_lag: 1,
+    };
+
+    let run = |fault: Option<StationFault>, transport: TransportPlan| {
+        let mut rng = HmacDrbg::from_u64(0x57EA);
+        let mut system = TripSystem::setup(trip_config(9, 6), &mut rng);
+        let mut devices = Vec::new();
+        let mut outcomes = Vec::new();
+        let stats = pipelined_register_and_activate_day_with_fault(
+            &fleet,
+            &mut system,
+            &queue,
+            transport,
+            pipeline,
+            fault,
+            |outcome, vsd| {
+                devices.push(vsd.credentials.len());
+                outcomes.push(outcome);
+            },
+        )?;
+        Ok::<_, votegral::trip::TripError>((fingerprint(&system, &outcomes), devices, stats))
+    };
+    let (reference, ref_devices, _) =
+        run(None, TransportPlan::IN_PROCESS).expect("healthy reference day");
+
+    for transport in [TransportPlan::IN_PROCESS, TransportPlan::SECURE_TCP] {
+        // One recovery death: the first stolen chunk dies immediately
+        // and is re-stolen exactly one level deep; the day heals.
+        let fault = |recovery_deaths| {
+            Some(StationFault {
+                station: 1,
+                after_ops: 0,
+                recovery_after_ops: Some(0),
+                recovery_deaths,
+            })
+        };
+        let (fp, devices, stats) =
+            run(fault(1), transport).expect("one dead chunk must re-steal and heal");
+        assert_eq!((&fp, &devices), (&reference, &ref_devices), "{transport:?}");
+        let max_depth = stats.steals.iter().map(|s| s.depth).max();
+        assert_eq!(
+            max_depth,
+            Some(1),
+            "the dead chunk must reappear as a depth-1 re-steal, got {:?}",
+            stats.steals
+        );
+        assert!(
+            stats.steals.iter().any(|s| s.depth == 0),
+            "first-generation steal records must survive in the stats"
+        );
+
+        // Three recovery deaths: both first-generation chunks die and
+        // one depth-1 re-steal dies too, driving a chunk to the maximum
+        // depth — and the day STILL heals to the reference.
+        let (fp, devices, stats) =
+            run(fault(3), transport).expect("re-steals within the depth budget must heal");
+        assert_eq!((&fp, &devices), (&reference, &ref_devices), "{transport:?}");
+        assert_eq!(
+            stats.steals.iter().map(|s| s.depth).max(),
+            Some(2),
+            "three chunk deaths must drive one chunk to depth 2, got {:?}",
+            stats.steals
+        );
+
+        // An unbounded killer exhausts the depth budget: the day aborts
+        // with a typed error instead of re-stealing forever.
+        assert!(
+            run(fault(usize::MAX), transport).is_err(),
+            "killing every re-steal generation must abort the day ({transport:?})"
+        );
     }
 }

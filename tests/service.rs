@@ -5,17 +5,26 @@
 //! in-process run and to the sequential seeded reference, for any
 //! `(kiosks, pool batch, threads, seed, queue shape)`.
 
+use std::net::TcpListener;
+use std::sync::Arc;
+
 use proptest::prelude::*;
+use votegral::crypto::channel::{DirectionKeys, EphemeralKey, FrameSealer};
 use votegral::crypto::schnorr::{NonceCoupon, SigningKey};
 use votegral::crypto::{HmacDrbg, Rng};
 use votegral::ledger::{challenge_hash, VoterId};
 use votegral::service::messages::{
     ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
-    CheckOutBatchResponse, EnvelopeSubmitRequest, IngestReceipt, IngestStatsReply, LedgerHeads,
-    PrintRequest, PrintResponse, Request, Response, SeqCheckOutRequest, SeqEnvelopeSubmitRequest,
+    CheckOutBatchResponse, EnvelopeSubmitRequest, HandshakeFin, HandshakeFrame, HandshakeInit,
+    HandshakeReply, IngestReceipt, IngestStatsReply, LedgerHeads, PrintRequest, PrintResponse,
+    Request, Response, SealedRecord, SeqCheckOutRequest, SeqEnvelopeSubmitRequest,
     SyncThroughRequest, WireCoupon,
 };
-use votegral::service::{register_and_activate_day, register_day, ServiceError, Transport};
+use votegral::service::{
+    pipe_pair, register_and_activate_day, register_day, serve_channel, ChannelPolicy, Connector,
+    FramedChannel, LinkKind, Listener, RegistrarHost, SecureConfig, ServiceError,
+    TcpChannelListener, TcpConnector, TransportPlan,
+};
 use votegral::trip::fleet::{FleetConfig, KioskFleet};
 use votegral::trip::materials::{CheckInTicket, CheckOutQr, Symbol};
 use votegral::trip::printer::EnvelopePrinter;
@@ -145,8 +154,48 @@ fn sample_messages(seed: u64) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
         })
         .to_wire(),
         Response::Err(ServiceError::Trip(votegral::trip::TripError::NotEligible)).to_wire(),
+        Response::Err(ServiceError::AuthFailed(
+            "station transport key is not enrolled".into(),
+        ))
+        .to_wire(),
+        Response::Err(ServiceError::HandshakeFailed(
+            "client transcript signature invalid".into(),
+        ))
+        .to_wire(),
     ];
     (requests, responses)
+}
+
+/// Builds one plausible instance of every secure-channel handshake frame.
+fn sample_handshake_frames(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = HmacDrbg::from_u64(seed);
+    let key = SigningKey::generate(&mut rng);
+    let client_eph = EphemeralKey::generate(&mut rng);
+    let server_eph = EphemeralKey::generate(&mut rng);
+    let sig = key.sign(b"transcript");
+    let confirm = rng.bytes32();
+    let mut sealed = vec![0u8; 48];
+    rng.fill_bytes(&mut sealed);
+    vec![
+        HandshakeFrame::Init(HandshakeInit {
+            eph: client_eph.public,
+        })
+        .to_wire(),
+        HandshakeFrame::Reply(HandshakeReply {
+            eph: server_eph.public,
+            static_pk: key.public_key_compressed(),
+            sig,
+            confirm,
+        })
+        .to_wire(),
+        HandshakeFrame::Fin(HandshakeFin {
+            static_pk: key.public_key_compressed(),
+            sig,
+            confirm,
+        })
+        .to_wire(),
+        HandshakeFrame::Record(SealedRecord { sealed }).to_wire(),
+    ]
 }
 
 /// Ledger heads plus per-credential identifying bytes of a run, in queue
@@ -228,10 +277,46 @@ proptest! {
         prop_assert!(Response::from_wire(&noise).is_err());
     }
 
-    /// The acceptance criterion: a registration day over the TCP/loopback
-    /// transport produces ledgers and credentials bit-identical to the
-    /// in-process run and to the sequential seeded reference, for any
-    /// fleet shape.
+    /// Every secure-channel handshake frame (`Init`/`Reply`/`Fin`/
+    /// `Record`) round-trips the versioned codec exactly, and the
+    /// handshake tag range is disjoint from the request/response range —
+    /// the disjointness is what lets a plaintext endpoint *detect* a
+    /// secure peer (and vice versa) instead of misparsing it.
+    #[test]
+    fn handshake_frames_roundtrip_and_are_disjoint(seed in any::<u64>()) {
+        for bytes in &sample_handshake_frames(seed) {
+            let decoded = HandshakeFrame::from_wire(bytes).expect("handshake frame decodes");
+            prop_assert_eq!(&decoded.to_wire(), bytes);
+            prop_assert!(HandshakeFrame::is_channel_frame(bytes));
+            prop_assert!(Request::from_wire(bytes).is_err());
+            prop_assert!(Response::from_wire(bytes).is_err());
+        }
+        let (requests, responses) = sample_messages(seed);
+        for bytes in requests.iter().chain(&responses) {
+            prop_assert!(!HandshakeFrame::is_channel_frame(bytes));
+            prop_assert!(HandshakeFrame::from_wire(bytes).is_err());
+        }
+    }
+
+    /// Truncating a handshake frame anywhere is rejected — a mangled
+    /// handshake can never decode into a shorter valid one.
+    #[test]
+    fn truncated_handshake_frames_rejected(seed in any::<u64>()) {
+        for bytes in &sample_handshake_frames(seed) {
+            for cut in 0..bytes.len() {
+                prop_assert!(HandshakeFrame::from_wire(&bytes[..cut]).is_err(), "cut {cut}");
+            }
+            let mut bad = bytes.clone();
+            bad.push(0);
+            prop_assert!(HandshakeFrame::from_wire(&bad).is_err());
+        }
+    }
+
+    /// The acceptance criterion: a registration day over every transport
+    /// plan — plaintext or authenticated-encrypted, loopback TCP or
+    /// in-process pipes — produces ledgers and credentials bit-identical
+    /// to the in-process run and to the sequential seeded reference, for
+    /// any fleet shape.
     #[test]
     fn tcp_day_equals_inprocess_and_sequential(
         seed64 in any::<u64>(),
@@ -262,7 +347,12 @@ proptest! {
         }
         let reference = run_fingerprint(&seq_system, &seq_outcomes);
 
-        for transport in [Transport::InProcess, Transport::Tcp] {
+        for transport in [
+            TransportPlan::IN_PROCESS,
+            TransportPlan::TCP,
+            TransportPlan::SECURE_TCP,
+            TransportPlan::SECURE_IN_PROCESS,
+        ] {
             let mut rng = HmacDrbg::from_u64(seed64 ^ 0x5EC);
             let mut system = TripSystem::setup(trip_config(n_voters, n_kiosks), &mut rng);
             let mut outcomes = Vec::new();
@@ -297,7 +387,7 @@ proptest! {
         // flush barriers) for a 3-voter queue.
         let fleet = KioskFleet::new(FleetConfig { pool_batch: 2, threads, seed });
 
-        let run = |transport: Transport| {
+        let run = |transport: TransportPlan| {
             let mut rng = HmacDrbg::from_u64(seed64 ^ 0xAC7);
             let mut system = TripSystem::setup(trip_config(n_voters, 2), &mut rng);
             let mut secrets = Vec::new();
@@ -311,16 +401,19 @@ proptest! {
                 system.ledger.registration.tree_head().root,
             )
         };
-        prop_assert_eq!(run(Transport::InProcess), run(Transport::Tcp));
+        let reference = run(TransportPlan::IN_PROCESS);
+        prop_assert_eq!(&run(TransportPlan::TCP), &reference);
+        prop_assert_eq!(&run(TransportPlan::SECURE_TCP), &reference);
     }
 }
 
 /// The whole phase-typed election lifecycle — register, vote, tally,
-/// verify — over the TCP transport, with heads equal to the in-process
-/// run of the same seed.
+/// verify — over the TCP transport (plaintext and secure), with heads
+/// equal to the in-process run of the same seed. The `secure` knob run
+/// also exercises the `From<LinkKind>` plan conversion.
 #[test]
 fn election_lifecycle_over_tcp_bit_identical() {
-    let run = |transport: Transport| {
+    let run = |transport: TransportPlan, secure: bool| {
         let mut rng = HmacDrbg::from_u64(404);
         let mut election = ElectionBuilder::new()
             .voters(4)
@@ -328,6 +421,7 @@ fn election_lifecycle_over_tcp_bit_identical() {
             .kiosks(2)
             .threads(2)
             .transport(transport)
+            .secure(secure)
             .build(&mut rng);
         let voters: Vec<VoterId> = (1..=4).map(VoterId).collect();
         let sessions = election
@@ -346,14 +440,18 @@ fn election_lifecycle_over_tcp_bit_identical() {
         tallying.verify(&transcript).expect("verifies");
         (reg_head, env_head, transcript.result)
     };
-    assert_eq!(run(Transport::InProcess), run(Transport::Tcp));
+    let reference = run(TransportPlan::IN_PROCESS, false);
+    assert_eq!(run(TransportPlan::TCP, false), reference);
+    // The deployment posture: plain TCP link + the `secure` builder knob
+    // (equivalent to `.transport(TransportPlan::SECURE_TCP)`).
+    assert_eq!(run(LinkKind::Tcp.into(), true), reference);
 }
 
 /// A malicious kiosk hiding in the fleet is caught identically over TCP:
 /// the loot, traces and ledger state cross the boundary unchanged.
 #[test]
 fn malicious_kiosk_detected_over_tcp() {
-    let run = |transport: Transport| {
+    let run = |transport: TransportPlan| {
         let mut rng = HmacDrbg::from_u64(77);
         let mut system = TripSystem::setup_with_behavior(
             trip_config(3, 2),
@@ -373,8 +471,15 @@ fn malicious_kiosk_detected_over_tcp() {
         let looted: Vec<u64> = system.adversary_loot.iter().map(|s| s.voter_id.0).collect();
         (honest_traces, looted)
     };
-    let (traces, looted) = run(Transport::Tcp);
-    assert_eq!(run(Transport::InProcess), (traces.clone(), looted.clone()));
+    let (traces, looted) = run(TransportPlan::TCP);
+    assert_eq!(
+        run(TransportPlan::IN_PROCESS),
+        (traces.clone(), looted.clone())
+    );
+    assert_eq!(
+        run(TransportPlan::SECURE_TCP),
+        (traces.clone(), looted.clone())
+    );
     // Every session was served by a stealing kiosk: dishonest traces,
     // but the forged credentials still activate (Fig 11 cannot tell).
     assert!(traces.iter().all(|&(honest, creds)| !honest && creds == 2));
@@ -382,10 +487,11 @@ fn malicious_kiosk_detected_over_tcp() {
 }
 
 /// Typed domain errors survive the socket: an ineligible voter's
-/// check-in fails with the same `TripError` over TCP as locally.
+/// check-in fails with the same `TripError` over plaintext AND secure
+/// TCP as locally — the sealed-record layer carries errors unchanged.
 #[test]
 fn typed_errors_cross_the_wire() {
-    let run = |transport: Transport| {
+    let run = |transport: TransportPlan| {
         let mut rng = HmacDrbg::from_u64(31);
         let mut system = TripSystem::setup(trip_config(2, 1), &mut rng);
         let fleet = KioskFleet::new(FleetConfig::seeded([3u8; 32]));
@@ -398,8 +504,117 @@ fn typed_errors_cross_the_wire() {
             |_| {},
         )
     };
-    let local = run(Transport::InProcess);
-    let remote = run(Transport::Tcp);
+    let local = run(TransportPlan::IN_PROCESS);
+    let remote = run(TransportPlan::TCP);
+    let secure = run(TransportPlan::SECURE_TCP);
     assert_eq!(local, Err(votegral::trip::TripError::NotEligible));
     assert_eq!(remote, Err(votegral::trip::TripError::NotEligible));
+    assert_eq!(secure, Err(votegral::trip::TripError::NotEligible));
+}
+
+/// A rogue station whose transport key is NOT in the deployment's
+/// enrolled registry is rejected by the secure registrar with a typed
+/// [`ServiceError::AuthFailed`] — observed on *both* sides of the real
+/// TCP socket, never as a hang or a bare EOF.
+#[test]
+fn unenrolled_station_rejected_over_real_tcp() {
+    let mut rng = HmacDrbg::from_u64(66);
+    let system = TripSystem::setup(trip_config(1, 2), &mut rng);
+    let keys = &system.transport_keys;
+    let server_cfg = SecureConfig {
+        local: keys.registrar.clone(),
+        registrar: keys.registrar_pk,
+        enrolled: Arc::new(keys.station_registry.clone()),
+    };
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || {
+        TcpChannelListener::new(listener, ChannelPolicy::Secure(server_cfg)).accept()
+    });
+    let rogue = SigningKey::generate(&mut rng);
+    let connector = TcpConnector {
+        addr,
+        policy: ChannelPolicy::Secure(SecureConfig {
+            local: rogue,
+            registrar: keys.registrar_pk,
+            enrolled: Arc::new(Vec::new()),
+        }),
+    };
+    let client = connector.connect();
+    assert!(
+        matches!(server.join().unwrap(), Err(ServiceError::AuthFailed(_))),
+        "the registrar must reject the unenrolled station key"
+    );
+    // The client's handshake completes optimistically when `Fin` is
+    // sent; the typed rejection arrives on first use of the channel.
+    let mut client = client.expect("client side establishes optimistically");
+    assert!(matches!(
+        client.recv_frame(),
+        Err(ServiceError::AuthFailed(_))
+    ));
+}
+
+/// Policy mismatch at the serving layer: a secure station dialing a
+/// plaintext-served registrar sends a handshake `Init`, which the
+/// registrar detects from the disjoint tag range and answers with a
+/// typed [`ServiceError::HandshakeFailed`] before closing — the secure
+/// peer sees the typed error, not a hang.
+#[test]
+fn secure_station_against_plaintext_registrar_fails_typed() {
+    let mut rng = HmacDrbg::from_u64(55);
+    let mut system = TripSystem::setup(trip_config(1, 1), &mut rng);
+    let (mut client, mut server) = pipe_pair();
+    let eph = EphemeralKey::generate(&mut rng);
+    client
+        .send_frame(&HandshakeFrame::Init(HandshakeInit { eph: eph.public }).to_wire())
+        .expect("send init");
+    let TripSystem {
+        officials,
+        printers,
+        ledger,
+        kiosk_registry,
+        ..
+    } = &mut system;
+    let mut host = RegistrarHost::new(&officials[0], &printers[0], ledger, kiosk_registry, 1);
+    let out = serve_channel(&mut server, &mut host);
+    assert!(matches!(out, Err(ServiceError::HandshakeFailed(_))));
+    let frame = client.recv_frame().expect("typed rejection frame");
+    assert!(matches!(
+        Response::from_wire(&frame),
+        Ok(Response::Err(ServiceError::HandshakeFailed(_)))
+    ));
+}
+
+/// The sealed-record layer under adversarial delivery: replaying,
+/// reordering, truncating or bit-flipping an encrypted record is
+/// rejected typed (MAC or implicit sequence-number failure), never
+/// delivered as plaintext.
+#[test]
+fn sealed_records_reject_replay_reorder_and_tampering() {
+    let keys = DirectionKeys {
+        enc: [7u8; 32],
+        mac: [9u8; 32],
+    };
+    let mut tx = FrameSealer::new(keys.clone());
+    let first = tx.seal(b"first frame");
+    let second = tx.seal(b"second frame");
+
+    // Honest delivery opens in order.
+    let mut rx = FrameSealer::new(keys.clone());
+    assert_eq!(rx.open(&first).unwrap(), b"first frame");
+    // Replay of an already-opened record fails (sequence moved on).
+    assert!(rx.open(&first).is_err(), "replay must be rejected");
+    assert_eq!(rx.open(&second).unwrap(), b"second frame");
+
+    // Reorder: delivering the second record first fails.
+    let mut rx = FrameSealer::new(keys.clone());
+    assert!(rx.open(&second).is_err(), "reorder must be rejected");
+
+    // Truncation and bit-flips break the MAC.
+    let mut rx = FrameSealer::new(keys.clone());
+    assert!(rx.open(&first[..first.len() - 1]).is_err());
+    let mut rx = FrameSealer::new(keys);
+    let mut flipped = first.clone();
+    flipped[0] ^= 1;
+    assert!(rx.open(&flipped).is_err(), "bit-flip must be rejected");
 }
