@@ -15,6 +15,12 @@
 //! who wins each phase, where the quadratic blow-up bites — is what these
 //! reproduce. Absolute numbers differ from the paper (Civitas originally
 //! used large-modulus groups, which is part of its reported gap; §7.3).
+//!
+//! This crate forbids `unsafe` code (`#![forbid(unsafe_code)]`): the
+//! whole workspace is safe Rust, locked in by the `vg-lint` analyzer's
+//! `forbid-unsafe` rule.
+
+#![forbid(unsafe_code)]
 
 pub mod civitas;
 pub mod swisspost;

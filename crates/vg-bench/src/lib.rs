@@ -5,6 +5,12 @@
 //! `EXPERIMENTS.md` for paper-vs-measured records), plus the shared
 //! machine-readable telemetry layer ([`json`]) behind every bench bin's
 //! `--json <path>` flag and the CI perf guard.
+//!
+//! This crate forbids `unsafe` code (`#![forbid(unsafe_code)]`): the
+//! whole workspace is safe Rust, locked in by the `vg-lint` analyzer's
+//! `forbid-unsafe` rule.
+
+#![forbid(unsafe_code)]
 
 pub mod json;
 

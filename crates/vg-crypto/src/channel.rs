@@ -22,9 +22,11 @@
 //!   cannot even choose which counter a forgery is checked against.
 //!
 //! Like the rest of the crate this is a faithful research substrate, not
-//! a hardened TLS replacement: operations are variable-time and the
+//! a hardened TLS replacement: group operations are variable-time and the
 //! cipher is a from-scratch PRF-counter construction chosen because the
-//! crate deliberately has no dependencies outside `std`.
+//! crate deliberately has no dependencies outside `std`. MAC-tag
+//! comparisons, however, are constant-time throughout (via
+//! [`crate::hmac::hmac_verify`] / [`crate::ct::ct_eq`]).
 
 use crate::drbg::Rng;
 use crate::edwards::{CompressedPoint, EdwardsPoint};
@@ -44,6 +46,13 @@ pub struct EphemeralKey {
     sk: Scalar,
     /// The compressed public point `x·B`, sent in the clear.
     pub public: CompressedPoint,
+}
+
+impl core::fmt::Debug for EphemeralKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print the ephemeral secret scalar.
+        write!(f, "EphemeralKey(public={:?}, sk=<redacted>)", self.public)
+    }
 }
 
 impl EphemeralKey {
@@ -83,6 +92,12 @@ pub struct DirectionKeys {
     pub mac: [u8; 32],
 }
 
+impl core::fmt::Debug for DirectionKeys {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "DirectionKeys(<enc/mac keys redacted>)")
+    }
+}
+
 /// The full key block derived from one handshake.
 #[derive(Clone)]
 pub struct ChannelKeys {
@@ -93,6 +108,12 @@ pub struct ChannelKeys {
     /// Key-confirmation MAC key: each side tags its static identity under
     /// this key, binding "who signed" to "who holds the session keys".
     pub auth: [u8; 32],
+}
+
+impl core::fmt::Debug for ChannelKeys {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ChannelKeys(<session keys redacted>)")
+    }
 }
 
 /// Hash of the public handshake transcript (both ephemeral points).
@@ -150,6 +171,13 @@ pub struct FrameSealer {
     seq: u64,
 }
 
+impl core::fmt::Debug for FrameSealer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The sequence number is public protocol state; the keys are not.
+        write!(f, "FrameSealer(seq={}, keys=<redacted>)", self.seq)
+    }
+}
+
 impl FrameSealer {
     /// Wraps direction keys with the sequence counter at zero.
     pub fn new(keys: DirectionKeys) -> Self {
@@ -201,7 +229,9 @@ impl FrameSealer {
         }
         let (ct, tag) = sealed.split_at(sealed.len() - 32);
         let seq = self.seq;
-        let tag: &[u8; 32] = tag.try_into().expect("split_at(len-32)");
+        let tag: &[u8; 32] = tag
+            .try_into()
+            .map_err(|_| CryptoError::Malformed("sealed frame tag length"))?;
         if !hmac_verify(&self.keys.mac, &tag_input(seq, ct), tag) {
             return Err(CryptoError::BadMac);
         }

@@ -1,0 +1,70 @@
+//! Constant-time byte comparison.
+//!
+//! Every MAC-tag, key-confirmation and secret-byte comparison in the
+//! workspace must route through [`ct_eq`] / [`ct_eq32`]: a short-circuiting
+//! `==` on secret-derived bytes leaks the length of the matching prefix
+//! through timing, which an attacker can use to forge a tag byte by byte.
+//! The `vg-lint` `ct-compare` rule enforces this mechanically — `==` / `!=`
+//! on identifiers that look like tags, MACs or key material fails the
+//! workspace lint unless the comparison goes through this module.
+//!
+//! The comparison accumulates the XOR difference of every byte pair and
+//! only inspects the accumulator once, after the full length has been
+//! processed. [`core::hint::black_box`] denies the optimizer the
+//! data-dependent early exit it might otherwise reintroduce. Operand
+//! *lengths* are treated as public (tag and key lengths are fixed by the
+//! protocol), so a length mismatch may return early.
+
+/// Constant-time equality of two byte slices.
+///
+/// Returns `false` immediately on a length mismatch (lengths are public);
+/// otherwise examines every byte regardless of where the first difference
+/// occurs.
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    core::hint::black_box(diff) == 0
+}
+
+/// Constant-time equality of two 32-byte arrays (the tag/key size used
+/// throughout the workspace).
+#[must_use]
+pub fn ct_eq32(a: &[u8; 32], b: &[u8; 32]) -> bool {
+    ct_eq(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices_compare_equal() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq32(&[7u8; 32], &[7u8; 32]));
+    }
+
+    #[test]
+    fn any_single_byte_difference_detected() {
+        let base = [0x5au8; 32];
+        for i in 0..32 {
+            for bit in 0..8 {
+                let mut other = base;
+                other[i] ^= 1 << bit;
+                assert!(!ct_eq32(&base, &other), "difference at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_unequal() {
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(!ct_eq(b"abc", b""));
+    }
+}

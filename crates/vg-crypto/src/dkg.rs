@@ -34,6 +34,17 @@ pub struct AuthorityMember {
     pub vk: EdwardsPoint,
 }
 
+impl core::fmt::Debug for AuthorityMember {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print the threshold secret share.
+        write!(
+            f,
+            "AuthorityMember(index={}, vk={:?}, share=<redacted>)",
+            self.index, self.vk
+        )
+    }
+}
+
 /// A dealing broadcast by one DKG participant: Feldman commitments to the
 /// coefficients of its secret polynomial.
 #[derive(Clone, Debug)]

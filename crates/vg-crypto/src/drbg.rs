@@ -84,6 +84,17 @@ pub struct HmacDrbg {
     reseed_counter: u64,
 }
 
+impl core::fmt::Debug for HmacDrbg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // K and V determine every future output; never print them.
+        write!(
+            f,
+            "HmacDrbg(reseed_counter={}, state=<redacted>)",
+            self.reseed_counter
+        )
+    }
+}
+
 impl HmacDrbg {
     /// Instantiates the DRBG from seed material (entropy ‖ nonce ‖
     /// personalization, concatenated by the caller).
@@ -143,6 +154,12 @@ impl Rng for HmacDrbg {
 /// HMAC-DRBG reseeded per instantiation.
 pub struct OsRng {
     inner: HmacDrbg,
+}
+
+impl core::fmt::Debug for OsRng {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "OsRng(state=<redacted>)")
+    }
 }
 
 impl OsRng {

@@ -22,6 +22,13 @@ pub struct ElGamalKeyPair {
     pub pk: EdwardsPoint,
 }
 
+impl core::fmt::Debug for ElGamalKeyPair {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print the decryption scalar.
+        write!(f, "ElGamalKeyPair(pk={:?}, sk=<redacted>)", self.pk)
+    }
+}
+
 impl ElGamalKeyPair {
     /// Generates a fresh key pair (`EG.KGen`).
     pub fn generate(rng: &mut dyn Rng) -> Self {

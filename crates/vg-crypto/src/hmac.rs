@@ -16,6 +16,13 @@ pub struct HmacSha256 {
     outer: Sha256,
 }
 
+impl core::fmt::Debug for HmacSha256 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The hash states are key-derived; never print them.
+        write!(f, "HmacSha256(<key state redacted>)")
+    }
+}
+
 impl HmacSha256 {
     /// Creates an HMAC instance keyed with `key` (any length).
     pub fn new(key: &[u8]) -> Self {
@@ -60,10 +67,16 @@ pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
     h.finalize()
 }
 
-/// Verifies an HMAC tag. Comparison is not constant-time (research artifact;
-/// see `DESIGN.md` §7).
+/// Verifies an HMAC tag.
+///
+/// The comparison is constant-time ([`crate::ct::ct_eq32`]): every byte of
+/// the recomputed tag is examined regardless of where the first mismatch
+/// occurs, so verification timing reveals nothing about how close a forgery
+/// came. Every MAC check in the workspace (check-in tickets, sealed-record
+/// frames, handshake key confirmation) routes through this function or
+/// through `ct_eq` directly — enforced by the `vg-lint` `ct-compare` rule.
 pub fn hmac_verify(key: &[u8], msg: &[u8], tag: &[u8; 32]) -> bool {
-    hmac_sha256(key, msg) == *tag
+    crate::ct::ct_eq32(&hmac_sha256(key, msg), tag)
 }
 
 #[cfg(test)]

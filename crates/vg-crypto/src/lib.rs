@@ -26,15 +26,23 @@
 //!
 //! # Security caveat
 //!
-//! Operations are variable-time and unaudited: this is a faithful research
-//! reproduction of the paper's cryptographic path, not a hardened
-//! production signer.
+//! Group and field operations are variable-time and unaudited: this is a
+//! faithful research reproduction of the paper's cryptographic path, not
+//! a hardened production signer. MAC-tag and key-byte *comparisons*,
+//! however, are constant-time throughout (see [`ct`]) — the `vg-lint`
+//! workspace analyzer enforces that discipline mechanically.
+//!
+//! The crate forbids `unsafe` code (`#![forbid(unsafe_code)]`): every
+//! primitive is safe Rust, and the lint keeps it that way.
+
+#![forbid(unsafe_code)]
 
 pub mod batch;
 pub mod bigint;
 pub mod channel;
 pub mod chaum_pedersen;
 pub mod codec;
+pub mod ct;
 pub mod dkg;
 pub mod drbg;
 pub mod edwards;
@@ -48,15 +56,18 @@ pub mod scalar;
 pub mod schnorr;
 pub mod sha2;
 pub mod shamir;
+pub mod sync;
 pub mod transcript;
 
 pub use batch::BatchVerifier;
 pub use channel::{
     derive_channel_keys, transcript_hash, ChannelKeys, DirectionKeys, EphemeralKey, FrameSealer,
 };
+pub use ct::{ct_eq, ct_eq32};
 pub use drbg::{HmacDrbg, OsRng, Rng};
 pub use edwards::{basemul, multiscalar_mul, multiscalar_mul_par, CompressedPoint, EdwardsPoint};
 pub use scalar::Scalar;
+pub use sync::lock_recover;
 pub use transcript::Transcript;
 
 /// Errors surfaced by the cryptographic layer.

@@ -31,7 +31,7 @@ pub struct SigningKey {
 impl core::fmt::Debug for SigningKey {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         // Never print the secret scalar.
-        write!(f, "SigningKey(pk={:?})", self.pk.compress())
+        write!(f, "SigningKey(pk={:?}, sk=<redacted>)", self.pk_compressed)
     }
 }
 
@@ -158,7 +158,7 @@ pub struct NonceCoupon {
 impl core::fmt::Debug for NonceCoupon {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         // Never print the nonce scalar.
-        write!(f, "NonceCoupon(r={:?})", self.r)
+        write!(f, "NonceCoupon(r={:?}, k=<redacted>)", self.r)
     }
 }
 

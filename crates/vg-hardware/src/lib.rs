@@ -15,6 +15,12 @@
 //! - [`peripherals`]: printer/scanner simulation that really encodes and
 //!   decodes every payload while charging modelled mechanical latencies;
 //! - [`metrics`]: the (phase × component) wall/CPU accounting of Fig 4.
+//!
+//! This crate forbids `unsafe` code (`#![forbid(unsafe_code)]`): the
+//! whole workspace is safe Rust, locked in by the `vg-lint` analyzer's
+//! `forbid-unsafe` rule.
+
+#![forbid(unsafe_code)]
 
 pub mod device;
 pub mod gf256;

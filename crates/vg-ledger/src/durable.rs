@@ -734,6 +734,7 @@ impl RevealWal {
 // ---------------------------------------------------------------------------
 
 fn expect_tag(r: &mut Reader<'_>, tag: &[u8]) -> Result<(), WalError> {
+    // vg-lint: allow(ct-compare) WAL record tags are public format markers, not secrets
     if r.take(tag.len())? != tag {
         return Err(WalError::Corrupt("wrong record tag"));
     }

@@ -21,6 +21,12 @@
 //! - [`ledger`]: the three Votegral sub-ledgers with their domain rules
 //!   (registration supersede semantics, envelope duplicate-challenge
 //!   detection, ballot admission checks) and batch posting.
+//!
+//! This crate forbids `unsafe` code (`#![forbid(unsafe_code)]`): the
+//! whole workspace is safe Rust, locked in by the `vg-lint` analyzer's
+//! `forbid-unsafe` rule.
+
+#![forbid(unsafe_code)]
 
 pub mod durable;
 pub mod ledger;

@@ -1,0 +1,362 @@
+//! A line-preserving Rust source scanner.
+//!
+//! The workspace ships no AST crates (the CI container is offline, so
+//! `syn` is unavailable); every rule instead works on a *masked* view of
+//! the source where comment and literal contents are blanked out but the
+//! line/column structure is intact. That is enough for the invariants
+//! vg-lint checks — none of them require full expression parsing — and
+//! keeps the analyzer dependency-free.
+//!
+//! The scanner produces:
+//!
+//! - `masked`: the source with string/char/comment *contents* replaced by
+//!   spaces (delimiters too), so naive substring scans can't be fooled by
+//!   `"a == b"` inside a literal or a commented-out `unwrap()`.
+//! - `directives`: every `// vg-lint: allow(<rule>) <justification>`
+//!   comment, with its line number.
+//! - `test_lines`: which lines sit inside a `#[cfg(test)] mod … { … }`
+//!   span (rules skip those).
+
+/// One parsed `vg-lint: allow(...)` comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+    /// Justification text after the closing paren (may be empty — the
+    /// engine reports empty justifications as violations).
+    pub justification: String,
+    /// Set by the engine when a violation consumed this directive;
+    /// directives that suppress nothing are themselves violations.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// A scanned source file.
+pub struct Scanned {
+    /// Masked source, split into lines (no trailing newlines).
+    pub masked_lines: Vec<String>,
+    /// `vg-lint:` allowlist directives found in comments.
+    pub directives: Vec<Directive>,
+    /// `test_lines[i]` is true when 1-based line `i+1` is inside a
+    /// `#[cfg(test)]` module.
+    pub test_lines: Vec<bool>,
+}
+
+impl Scanned {
+    /// Whether 1-based `line` is inside a `#[cfg(test)]` module.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The masked source joined back into one string (newline separated),
+    /// for scans that must see across line breaks (e.g. a `.lock()`
+    /// receiver split from its `.unwrap()`).
+    pub fn masked_joined(&self) -> String {
+        self.masked_lines.join("\n")
+    }
+}
+
+/// Scans `src`, masking literals and comments and collecting directives.
+pub fn scan(src: &str) -> Scanned {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut masked = String::with_capacity(src.len());
+    let mut comments: Vec<(usize, String)> = Vec::new(); // (1-based line, text)
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes a masked (blank) copy of a consumed span, preserving
+    // newlines so line/column structure survives.
+    fn blank(out: &mut String, span: &[char], line: &mut usize) {
+        for &c in span {
+            if c == '\n' {
+                out.push('\n');
+                *line += 1;
+            } else {
+                out.push(' ');
+            }
+        }
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. doc comments): capture text, mask.
+                let start = i;
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                comments.push((line, text));
+                blank(&mut masked, &bytes[start..i], &mut line);
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                // Block comment, nestable.
+                let start = i;
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut masked, &bytes[start..i], &mut line);
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                blank(&mut masked, &bytes[start..i.min(bytes.len())], &mut line);
+            }
+            'r' | 'b' if is_raw_string_start(&bytes, i) => {
+                let start = i;
+                // Skip the r/b/br prefix.
+                while i < bytes.len() && (bytes[i] == 'r' || bytes[i] == 'b') {
+                    i += 1;
+                }
+                if bytes.get(i) == Some(&'"') {
+                    // b"..." — plain escaped string.
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                } else {
+                    // r#"..."# with any number of #.
+                    let mut hashes = 0usize;
+                    while bytes.get(i) == Some(&'#') {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    i += 1; // the opening quote
+                    'outer: while i < bytes.len() {
+                        if bytes[i] == '"' {
+                            let mut j = i + 1;
+                            let mut seen = 0usize;
+                            while seen < hashes && bytes.get(j) == Some(&'#') {
+                                seen += 1;
+                                j += 1;
+                            }
+                            if seen == hashes {
+                                i = j;
+                                break 'outer;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+                blank(&mut masked, &bytes[start..i.min(bytes.len())], &mut line);
+            }
+            '\'' => {
+                // Char literal vs lifetime. A char literal closes within a
+                // few characters; a lifetime is `'ident` with no closing
+                // quote.
+                if bytes.get(i + 1) == Some(&'\\') {
+                    let start = i;
+                    i += 2; // quote + backslash
+                    while i < bytes.len() && bytes[i] != '\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(bytes.len());
+                    blank(&mut masked, &bytes[start..i], &mut line);
+                } else if bytes.get(i + 2) == Some(&'\'') {
+                    let start = i;
+                    i += 3;
+                    blank(&mut masked, &bytes[start..i], &mut line);
+                } else {
+                    // Lifetime: keep the tick (harmless), move on.
+                    masked.push('\'');
+                    i += 1;
+                }
+            }
+            '\n' => {
+                masked.push('\n');
+                line += 1;
+                i += 1;
+            }
+            _ => {
+                masked.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    let masked_lines: Vec<String> = masked.lines().map(|l| l.to_string()).collect();
+    let test_lines = mark_test_lines(&masked_lines);
+    let directives = parse_directives(&comments);
+    Scanned {
+        masked_lines,
+        directives,
+        test_lines,
+    }
+}
+
+/// Whether position `i` starts a raw/byte string prefix (`r"`, `r#"`,
+/// `b"`, `br"`, `br#"`) rather than an ordinary identifier.
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // Must not be the tail of a longer identifier (`chair"..."` is not a
+    // raw string).
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    while j < bytes.len() && (bytes[j] == 'r' || bytes[j] == 'b') && j - i < 2 {
+        j += 1;
+    }
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"') && j > i
+}
+
+/// Parses `vg-lint: allow(<rule>) <justification>` comments.
+fn parse_directives(comments: &[(usize, String)]) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for (line, text) in comments {
+        let Some(pos) = text.find("vg-lint:") else {
+            continue;
+        };
+        let rest = text[pos + "vg-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let justification = rest[close + 1..].trim().to_string();
+        out.push(Directive {
+            line: *line,
+            rule,
+            justification,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    out
+}
+
+/// Marks lines inside `#[cfg(test)] mod … { … }` spans.
+fn mark_test_lines(masked_lines: &[String]) -> Vec<bool> {
+    let mut test = vec![false; masked_lines.len()];
+    let mut li = 0usize;
+    while li < masked_lines.len() {
+        let line = masked_lines[li].replace(' ', "");
+        if !line.contains("#[cfg(test)]") {
+            li += 1;
+            continue;
+        }
+        // Find the brace that opens the annotated item (usually
+        // `mod tests {` a line or two below) and blank through its close.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut lj = li;
+        'span: while lj < masked_lines.len() {
+            for c in masked_lines[lj].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+                if opened && depth == 0 {
+                    test[lj] = true;
+                    li = lj + 1;
+                    break 'span;
+                }
+            }
+            test[lj] = true;
+            lj += 1;
+            if lj == masked_lines.len() {
+                li = lj;
+            }
+        }
+        if !opened {
+            // `#[cfg(test)]` with no following brace (e.g. `mod t;`):
+            // only the attribute line is marked.
+            li += 1;
+        }
+    }
+    test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_strings_and_comments() {
+        let s = scan("let x = \"a == b\"; // trailing == note\nlet y = 1;\n");
+        assert!(!s.masked_lines[0].contains("=="), "{}", s.masked_lines[0]);
+        assert!(s.masked_lines[1].contains("let y = 1;"));
+    }
+
+    #[test]
+    fn masks_raw_and_byte_strings_and_chars() {
+        let s = scan("let a = r#\"unwrap()\"#; let b = b\"lock()\"; let c = '\\n'; let d: &'static str = \"x\";");
+        let m = &s.masked_lines[0];
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("lock"));
+        assert!(m.contains("&'static str"));
+    }
+
+    #[test]
+    fn collects_directives() {
+        let s = scan(
+            "x();\n// vg-lint: allow(ct-compare) public tag\ny();\n// vg-lint: allow(panic-path)\n",
+        );
+        assert_eq!(s.directives.len(), 2);
+        assert_eq!(s.directives[0].rule, "ct-compare");
+        assert_eq!(s.directives[0].justification, "public tag");
+        assert_eq!(s.directives[0].line, 2);
+        assert_eq!(s.directives[1].rule, "panic-path");
+        assert!(s.directives[1].justification.is_empty());
+    }
+
+    #[test]
+    fn marks_cfg_test_modules() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(2));
+        assert!(s.is_test_line(4));
+        assert!(s.is_test_line(5));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn nested_braces_inside_test_mod() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { if x { y() } }\n}\nfn live() {}\n";
+        let s = scan(src);
+        assert!(s.is_test_line(3));
+        assert!(!s.is_test_line(5));
+    }
+}

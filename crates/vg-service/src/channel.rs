@@ -40,7 +40,7 @@ use vg_crypto::channel::{
     confirmation_tag, derive_channel_keys, transcript_hash, ChannelKeys, EphemeralKey, FrameSealer,
 };
 use vg_crypto::schnorr::{SigningKey, VerifyingKey};
-use vg_crypto::{CompressedPoint, OsRng};
+use vg_crypto::{ct_eq32, CompressedPoint, OsRng};
 
 use crate::error::ServiceError;
 use crate::messages::{
@@ -189,6 +189,18 @@ pub struct SecureConfig {
     pub enrolled: Arc<Vec<CompressedPoint>>,
 }
 
+impl core::fmt::Debug for SecureConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // `local` is a static signing key; print only public material.
+        write!(
+            f,
+            "SecureConfig(registrar={:?}, enrolled={}, local=<redacted>)",
+            self.registrar,
+            self.enrolled.len()
+        )
+    }
+}
+
 /// Whether (and how) channels on an endpoint are secured.
 // One policy value exists per endpoint for a whole day; boxing the
 // config would churn every construction/match site to save bytes on a
@@ -288,7 +300,10 @@ fn client_handshake(
         .map_err(|e| ServiceError::HandshakeFailed(format!("server static key invalid: {e}")))?;
     vk.verify(&sig_msg(SERVER_SIG_DOMAIN, &th), &reply.sig)
         .map_err(|_| ServiceError::HandshakeFailed("server transcript signature invalid".into()))?;
-    if confirmation_tag(&keys.auth, b"server", &reply.static_pk) != reply.confirm {
+    if !ct_eq32(
+        &confirmation_tag(&keys.auth, b"server", &reply.static_pk),
+        &reply.confirm,
+    ) {
         return Err(ServiceError::HandshakeFailed(
             "server key-confirmation mac mismatch".into(),
         ));
@@ -314,6 +329,14 @@ pub(crate) struct ServerHello {
     pub(crate) keys: ChannelKeys,
     /// Transcript hash both signatures cover.
     pub(crate) th: [u8; 32],
+}
+
+impl core::fmt::Debug for ServerHello {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The derived session keys stay off logs; the transcript hash and
+        // reply frame are public wire material.
+        write!(f, "ServerHello(th={:02x?}, keys=<redacted>)", self.th)
+    }
 }
 
 /// Processes a client `Init`: derives keys and builds the server's reply.
@@ -355,7 +378,10 @@ pub(crate) fn finish_server_handshake(
         .map_err(|e| ServiceError::HandshakeFailed(format!("client static key invalid: {e}")))?;
     vk.verify(&sig_msg(CLIENT_SIG_DOMAIN, &hello.th), &fin.sig)
         .map_err(|_| ServiceError::HandshakeFailed("client transcript signature invalid".into()))?;
-    if confirmation_tag(&hello.keys.auth, b"client", &fin.static_pk) != fin.confirm {
+    if !ct_eq32(
+        &confirmation_tag(&hello.keys.auth, b"client", &fin.static_pk),
+        &fin.confirm,
+    ) {
         return Err(ServiceError::HandshakeFailed(
             "client key-confirmation mac mismatch".into(),
         ));

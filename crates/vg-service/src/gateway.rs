@@ -189,19 +189,17 @@ impl GatewayIo {
 impl TcpIo {
     /// Extracts one complete frame from the read buffer, if present.
     fn extract_frame(&mut self) -> Result<Option<Vec<u8>>, ServiceError> {
-        if self.rbuf.len() < 4 {
+        let Some(header) = self.rbuf.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len =
-            u32::from_le_bytes([self.rbuf[0], self.rbuf[1], self.rbuf[2], self.rbuf[3]]) as usize;
+        };
+        let len = u32::from_le_bytes(*header) as usize;
         if len > MAX_FRAME {
             return Err(ServiceError::Transport("oversized frame".into()));
         }
         if self.rbuf.len() < 4 + len {
             return Ok(None);
         }
-        let frame = self.rbuf[4..4 + len].to_vec();
-        self.rbuf.drain(..4 + len);
+        let frame = self.rbuf.drain(..4 + len).skip(4).collect();
         Ok(Some(frame))
     }
 }
@@ -431,7 +429,13 @@ impl GatewayConn {
             },
             ConnState::AwaitInit => {
                 let ChannelPolicy::Secure(cfg) = policy else {
-                    unreachable!("AwaitInit only under a secure policy")
+                    // Connections only enter AwaitInit under a secure
+                    // policy; a mismatch means reactor state corruption,
+                    // answered typed rather than by tearing the thread down.
+                    self.reject(ServiceError::HandshakeFailed(
+                        "channel policy changed mid-handshake".into(),
+                    ));
+                    return;
                 };
                 match HandshakeFrame::from_wire(&frame) {
                     Ok(HandshakeFrame::Init(init)) => match server_hello(&init, cfg) {
@@ -452,7 +456,10 @@ impl GatewayConn {
             }
             ConnState::AwaitFin(hello) => {
                 let ChannelPolicy::Secure(cfg) = policy else {
-                    unreachable!("AwaitFin only under a secure policy")
+                    self.reject(ServiceError::HandshakeFailed(
+                        "channel policy changed mid-handshake".into(),
+                    ));
+                    return;
                 };
                 match HandshakeFrame::from_wire(&frame) {
                     Ok(HandshakeFrame::Fin(fin)) => {
@@ -622,7 +629,7 @@ mod tests {
                 Request::LedgerHeads => {
                     let polls = self.polls_left.clone();
                     Dispatched::Pending(Box::new(move || {
-                        let mut left = polls.lock().unwrap();
+                        let mut left = vg_crypto::sync::lock_recover(&polls);
                         if *left == 0 {
                             Some(Response::SyncThrough)
                         } else {

@@ -150,12 +150,13 @@ impl<R: Clone> IngestQueue<R> {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let pending = std::mem::take(&mut self.pending);
+        let mut pending = std::mem::take(&mut self.pending);
         self.sweeps += 1;
         if pending.len() == 1 {
-            let (_, records) = pending.into_iter().next().expect("one pending batch");
-            post(records)?;
-            self.flushed_batches += 1;
+            if let Some((_, records)) = pending.pop() {
+                post(records)?;
+                self.flushed_batches += 1;
+            }
             return Ok(());
         }
         let coalesced: Vec<R> = pending

@@ -43,6 +43,12 @@
 //! batch, threads)`. The workspace's `tests/service.rs` pins this with
 //! cross-transport proptests; `vg-bench`'s `service_bench` measures what
 //! the framing and the asynchronous ingestion cost per ceremony.
+//!
+//! This crate forbids `unsafe` code (`#![forbid(unsafe_code)]`): the
+//! whole workspace is safe Rust, locked in by the `vg-lint` analyzer's
+//! `forbid-unsafe` rule.
+
+#![forbid(unsafe_code)]
 
 pub mod channel;
 pub mod error;

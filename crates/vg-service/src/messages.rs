@@ -83,6 +83,7 @@ impl Wire for Symbol {
         let tag = r.u8()?;
         Symbol::ALL
             .into_iter()
+            // vg-lint: allow(ct-compare) symbol tags are public wire discriminants, not secrets
             .find(|s| s.tag() == tag)
             .ok_or(CryptoError::Malformed("unknown symbol tag"))
     }
@@ -662,6 +663,18 @@ pub(crate) const HS_TAG_BASE: u16 = 0x4801;
 /// Last tag of the secure-channel range.
 pub(crate) const HS_TAG_LAST: u16 = 0x4810;
 
+/// Every request tag on the wire, in variant declaration order. The
+/// `vg-lint` `wire-tags` rule cross-checks this registry against the
+/// `to_wire`/`from_wire` match arms in this file, and the
+/// `tag_registries_match_encoded_frames` test checks it at runtime.
+pub const REQUEST_TAGS: [u16; 12] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+/// Every response tag, in variant declaration order (15 is the error
+/// response).
+pub const RESPONSE_TAGS: [u16; 13] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 15];
+/// Every secure-channel handshake tag, all inside
+/// [`HS_TAG_BASE`]`..=`[`HS_TAG_LAST`].
+pub const HANDSHAKE_TAGS: [u16; 4] = [0x4801, 0x4802, 0x4803, 0x4810];
+
 impl HandshakeFrame {
     /// Encodes as a sealed wire message.
     pub fn to_wire(&self) -> Vec<u8> {
@@ -693,5 +706,71 @@ impl HandshakeFrame {
     /// mismatched secure peer.
     pub fn is_channel_frame(msg: &[u8]) -> bool {
         matches!(crate::wire::unseal(msg), Ok((tag, _)) if (HS_TAG_BASE..=HS_TAG_LAST).contains(&tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire_tag(msg: &[u8]) -> u16 {
+        let (tag, _) = crate::wire::unseal(msg).expect("sealed frame");
+        tag
+    }
+
+    #[test]
+    fn tag_registries_match_encoded_frames() {
+        // Payload-free variants encode to exactly the registry entry at
+        // their declaration position.
+        assert_eq!(wire_tag(&Request::Sync.to_wire()), REQUEST_TAGS[4]);
+        assert_eq!(wire_tag(&Request::LedgerHeads.to_wire()), REQUEST_TAGS[5]);
+        assert_eq!(wire_tag(&Request::Shutdown.to_wire()), REQUEST_TAGS[7]);
+        assert_eq!(wire_tag(&Request::IngestStats.to_wire()), REQUEST_TAGS[11]);
+        assert_eq!(wire_tag(&Response::Sync.to_wire()), RESPONSE_TAGS[4]);
+        assert_eq!(
+            wire_tag(&Response::ActivationSweep.to_wire()),
+            RESPONSE_TAGS[6]
+        );
+        assert_eq!(wire_tag(&Response::Shutdown.to_wire()), RESPONSE_TAGS[7]);
+        assert_eq!(
+            wire_tag(&Response::SyncThrough.to_wire()),
+            RESPONSE_TAGS[10]
+        );
+        let err = Response::Err(crate::error::ServiceError::Transport("x".into()));
+        assert_eq!(wire_tag(&err.to_wire()), RESPONSE_TAGS[12]);
+    }
+
+    #[test]
+    fn tag_registries_are_collision_free_and_disjoint() {
+        for tags in [&REQUEST_TAGS[..], &RESPONSE_TAGS[..], &HANDSHAKE_TAGS[..]] {
+            let mut seen = std::collections::BTreeSet::new();
+            assert!(
+                tags.iter().all(|t| seen.insert(*t)),
+                "duplicate tag in registry {tags:?}"
+            );
+        }
+        for hs in HANDSHAKE_TAGS {
+            assert!((HS_TAG_BASE..=HS_TAG_LAST).contains(&hs));
+            assert!(!REQUEST_TAGS.contains(&hs));
+            assert!(!RESPONSE_TAGS.contains(&hs));
+        }
+        // Request/response tags never wander into the secure range, so
+        // `is_channel_frame` can never misclassify a plaintext message.
+        for t in REQUEST_TAGS.iter().chain(RESPONSE_TAGS.iter()) {
+            assert!(!(HS_TAG_BASE..=HS_TAG_LAST).contains(t));
+        }
+    }
+
+    #[test]
+    fn unknown_tags_decode_to_typed_errors() {
+        let stray = crate::wire::seal(0x2222, &[]);
+        assert!(Request::from_wire(&stray).is_err());
+        assert!(Response::from_wire(&stray).is_err());
+        assert!(HandshakeFrame::from_wire(&stray).is_err());
+        assert!(!HandshakeFrame::is_channel_frame(&stray));
+        assert!(HandshakeFrame::is_channel_frame(&crate::wire::seal(
+            HS_TAG_BASE,
+            &[]
+        )));
     }
 }

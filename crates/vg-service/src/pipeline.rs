@@ -63,7 +63,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use vg_crypto::par::par_map;
@@ -213,15 +213,11 @@ const MAX_RESTEAL_DEPTH: usize = 2;
 // Completion handles
 // ---------------------------------------------------------------------------
 
-/// Locks shared pipeline state, recovering from a poisoned mutex. The
-/// states guarded this way (progress counters, the verified inbox) are
-/// internally consistent at every individual store, so a handler thread
-/// that panicked while holding the lock leaves valid — merely possibly
-/// stale — data behind; propagating the poison would instead panic every
-/// waiting station and the day coordinator with it.
-fn lock_recover<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    lock.lock().unwrap_or_else(PoisonError::into_inner)
-}
+// Shared pipeline state (progress counters, the verified inbox) is
+// internally consistent at every individual store, so locks recover from
+// poisoning via `vg_crypto::sync::lock_recover` rather than panicking
+// every waiting station and the day coordinator with it.
+use vg_crypto::sync::lock_recover;
 
 #[derive(Default)]
 struct ProgressState {
@@ -334,7 +330,7 @@ impl IngestHandle {
                     "ingest worker exited before admission".into(),
                 ));
             }
-            st = cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            st = vg_crypto::sync::wait_recover(cv, st);
         }
     }
 }
@@ -1840,10 +1836,10 @@ fn run_steal_lane<'a>(
     let mut boundary: Option<Box<dyn RegistrarBoundary + 'a>> = None;
     while let Ok(StealJob { runner_id, job }) = jobs.recv() {
         let result = (|| -> Result<(), TripError> {
-            if boundary.is_none() {
-                boundary = Some(station_boundary(link, client)?);
-            }
-            let open = boundary.as_mut().expect("just opened");
+            let open = match &mut boundary {
+                Some(open) => open,
+                None => boundary.insert(station_boundary(link, client)?),
+            };
             drive_station(job, link, &mut **open, tx)
         })();
         if result.is_err() {
@@ -1870,7 +1866,16 @@ struct PipelineDispatch<'a> {
 /// Parks a unit-reply sequencer command as a pending gateway response.
 fn park_unit(rx: Receiver<Result<(), ServiceError>>, ok: Response) -> Dispatched {
     let mut ok = Some(ok);
-    park(rx, move |()| ok.take().expect("pending resolves once"))
+    park(rx, move |()| {
+        // The reactor clears `pending` on the first `Some`, so the
+        // closure resolves at most once; a second call is a reactor bug
+        // answered typed rather than by killing the thread.
+        ok.take().unwrap_or_else(|| {
+            Response::Err(ServiceError::Transport(
+                "pending response polled after resolution".into(),
+            ))
+        })
+    })
 }
 
 /// Parks a typed-reply sequencer command as a pending gateway response.
@@ -2102,10 +2107,14 @@ fn run_pipelined_day(
         transport_keys,
         ..
     } = system;
-    let official = &officials[0];
+    let (Some(official), Some(printer)) = (officials.first(), printers.first()) else {
+        return Err(TripError::InvalidConfig(
+            "a registration day needs at least one official and one printer".into(),
+        ));
+    };
     let core = HostCore {
         official,
-        printer: &printers[0],
+        printer,
         kiosk_registry,
         threads: fleet.config().threads,
     };
@@ -2220,7 +2229,11 @@ fn run_pipelined_day(
         }
         if let Some(listener) = listener {
             let open = Arc::clone(&accepting);
-            let intake = intake.clone().expect("TCP days run the gateway");
+            let Some(intake) = intake.clone() else {
+                return Err(TripError::InvalidConfig(
+                    "TCP listener configured without a gateway intake".into(),
+                ));
+            };
             scope.spawn(move || acceptor_loop(listener, open, intake));
         }
 

@@ -639,8 +639,11 @@ fn with_boundary<R>(
         transport_keys,
         ..
     } = system;
-    let official = &officials[0];
-    let printer = &printers[0];
+    let (Some(official), Some(printer)) = (officials.first(), printers.first()) else {
+        return Err(TripError::InvalidConfig(
+            "a registration day needs at least one official and one printer".into(),
+        ));
+    };
     if plan == TransportPlan::IN_PROCESS {
         // Zero-copy reference path: the endpoint is the host.
         let host = RegistrarHost::new(official, printer, ledger, kiosk_registry, threads);

@@ -11,6 +11,12 @@
 //! - [`shuffle`]: the combined shuffle argument;
 //! - [`mixnet`]: a cascade of independent mixers \[37\] with a publicly
 //!   verifiable transcript (four mixers in the paper's evaluation).
+//!
+//! This crate forbids `unsafe` code (`#![forbid(unsafe_code)]`): the
+//! whole workspace is safe Rust, locked in by the `vg-lint` analyzer's
+//! `forbid-unsafe` rule.
+
+#![forbid(unsafe_code)]
 
 pub mod batch;
 pub mod mixnet;

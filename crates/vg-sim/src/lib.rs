@@ -13,6 +13,12 @@
 //! - [`bench_adapter`]: TRIP-Core/Votegral as a
 //!   [`vg_baselines::BenchSystem`];
 //! - [`fig4`], [`fig5`]: the runners regenerating the evaluation figures.
+//!
+//! This crate forbids `unsafe` code (`#![forbid(unsafe_code)]`): the
+//! whole workspace is safe Rust, locked in by the `vg-lint` analyzer's
+//! `forbid-unsafe` rule.
+
+#![forbid(unsafe_code)]
 
 pub mod bench_adapter;
 pub mod coercion;

@@ -59,6 +59,24 @@ impl RealPrecursor {
     }
 }
 
+impl core::fmt::Debug for RealPrecursor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Credential scalar, ElGamal secret and ZK nonces stay off logs.
+        write!(
+            f,
+            "RealPrecursor(symbol={:?}, secrets=<redacted>)",
+            self.symbol
+        )
+    }
+}
+
+impl core::fmt::Debug for FakePrecursor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The forged credential's scalar and forge nonce stay off logs.
+        write!(f, "FakePrecursor(secrets=<redacted>)")
+    }
+}
+
 /// Precomputed state for forging one *fake* credential (Fig 9b): the fake
 /// key pair and the challenge-independent halves of the forged commitment.
 pub struct FakePrecursor {
@@ -93,6 +111,20 @@ pub struct SessionMaterials {
     pub(crate) commitments: Vec<EnvelopeCommitment>,
     /// Coupon for the official's check-out countersignature σ_o.
     pub(crate) official_coupon: NonceCoupon,
+}
+
+impl core::fmt::Debug for SessionMaterials {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The precursors inside carry credential secrets; identify the
+        // bundle by its public coordinates only.
+        write!(
+            f,
+            "SessionMaterials(session_index={}, voter_id={:?}, fakes={}, secrets=<redacted>)",
+            self.session_index,
+            self.voter_id,
+            self.fakes.len()
+        )
+    }
 }
 
 /// A pending envelope print: the challenge and symbol one envelope of a

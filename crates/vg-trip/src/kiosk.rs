@@ -43,6 +43,7 @@ use vg_crypto::chaum_pedersen::{forge_transcript, DlEqStatement, Prover};
 use vg_crypto::drbg::Rng;
 use vg_crypto::elgamal::Ciphertext;
 use vg_crypto::schnorr::{NonceCoupon, SigningKey};
+use vg_crypto::sync::lock_recover;
 use vg_crypto::{CompressedPoint, EdwardsPoint, Scalar};
 use vg_ledger::{RegistrationRecord, VoterId};
 
@@ -175,7 +176,7 @@ impl Kiosk {
 
     /// A snapshot of the sealed session traces recorded on this kiosk.
     pub fn journal(&self) -> Vec<SessionTrace> {
-        self.journal.lock().expect("kiosk journal lock").clone()
+        lock_recover(&self.journal).clone()
     }
 
     /// The kiosk's public key (appears on receipts and the ledger).
@@ -613,14 +614,10 @@ impl KioskSession<'_> {
     /// other threads can never interleave with it) and returned to the
     /// caller.
     pub fn finish(self) -> Vec<KioskEvent> {
-        self.kiosk
-            .journal
-            .lock()
-            .expect("kiosk journal lock")
-            .push(SessionTrace {
-                voter_id: self.voter_id,
-                events: self.events.clone(),
-            });
+        lock_recover(&self.kiosk.journal).push(SessionTrace {
+            voter_id: self.voter_id,
+            events: self.events.clone(),
+        });
         self.events
     }
 

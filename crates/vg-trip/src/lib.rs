@@ -36,6 +36,12 @@
 //! let vsd = protocol::activate_all(&mut system, &mut outcome, &mut rng).unwrap();
 //! assert_eq!(vsd.credentials.len(), 2); // one real + one fake
 //! ```
+//!
+//! This crate forbids `unsafe` code (`#![forbid(unsafe_code)]`): the
+//! whole workspace is safe Rust, locked in by the `vg-lint` analyzer's
+//! `forbid-unsafe` rule.
+
+#![forbid(unsafe_code)]
 
 pub mod boundary;
 pub mod ceremony;

@@ -23,6 +23,7 @@
 use std::collections::VecDeque;
 
 use vg_crypto::par::par_map;
+use vg_crypto::sync::{lock_recover, wait_recover};
 use vg_crypto::{multiscalar_mul_par, EdwardsPoint, HmacDrbg, Scalar};
 use vg_ledger::VoterId;
 
@@ -317,7 +318,7 @@ impl PoolFeed {
 
     /// Sessions currently buffered (telemetry).
     pub fn prepared(&self) -> usize {
-        self.state.lock().expect("feed lock").ready.len()
+        lock_recover(&self.state).ready.len()
     }
 
     /// The refiller body: derives `pool` batch by batch (printing through
@@ -332,9 +333,9 @@ impl PoolFeed {
     ) -> Result<(), TripError> {
         loop {
             {
-                let mut st = self.state.lock().expect("feed lock");
+                let mut st = lock_recover(&self.state);
                 while st.ready.len() > self.low_water && !st.closed {
-                    st = self.refill.wait(st).expect("feed lock");
+                    st = wait_recover(&self.refill, st);
                 }
                 if st.closed || pool.pending() == 0 {
                     st.done = true;
@@ -346,14 +347,14 @@ impl PoolFeed {
             // work the feed exists to overlap with ceremonies.
             match pool.refill_via(print) {
                 Ok(_) => {
-                    let mut st = self.state.lock().expect("feed lock");
+                    let mut st = lock_recover(&self.state);
                     while let Some(m) = pool.take_ready() {
                         st.ready.push_back(m);
                     }
                     self.takeable.notify_all();
                 }
                 Err(e) => {
-                    let mut st = self.state.lock().expect("feed lock");
+                    let mut st = lock_recover(&self.state);
                     st.error = Some(e.clone());
                     st.done = true;
                     self.takeable.notify_all();
@@ -367,9 +368,9 @@ impl PoolFeed {
     /// until at least one is ready or the plan is exhausted. `Ok(vec![])`
     /// means the feed is drained; a refiller failure surfaces here.
     pub fn take_window(&self, max: usize) -> Result<Vec<SessionMaterials>, TripError> {
-        let mut st = self.state.lock().expect("feed lock");
+        let mut st = lock_recover(&self.state);
         while st.ready.is_empty() && !st.done {
-            st = self.takeable.wait(st).expect("feed lock");
+            st = wait_recover(&self.takeable, st);
         }
         if let Some(e) = st.error.clone() {
             return Err(e);
@@ -384,7 +385,7 @@ impl PoolFeed {
     /// every consumer exit path so the refiller thread never outlives the
     /// day.
     pub fn close(&self) {
-        let mut st = self.state.lock().expect("feed lock");
+        let mut st = lock_recover(&self.state);
         st.closed = true;
         self.refill.notify_all();
         self.takeable.notify_all();

@@ -92,6 +92,18 @@ pub struct TransportKeyring {
     pub station_registry: Vec<CompressedPoint>,
 }
 
+impl core::fmt::Debug for TransportKeyring {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The static signing keys stay off logs; enrolments are public.
+        write!(
+            f,
+            "TransportKeyring(registrar_pk={:?}, stations={}, keys=<redacted>)",
+            self.registrar_pk,
+            self.stations.len()
+        )
+    }
+}
+
 impl TransportKeyring {
     /// Generates a keyring with one station slot per kiosk.
     pub fn generate(n_stations: usize, rng: &mut dyn Rng) -> Self {

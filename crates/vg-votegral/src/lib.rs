@@ -11,6 +11,12 @@
 //! **linear-time filtering**: ballots are matched to registrations by
 //! comparing blinded deterministic tags in a hash map, instead of quadratic
 //! pairwise plaintext-equivalence tests (§7.4).
+//!
+//! This crate forbids `unsafe` code (`#![forbid(unsafe_code)]`): the
+//! whole workspace is safe Rust, locked in by the `vg-lint` analyzer's
+//! `forbid-unsafe` rule.
+
+#![forbid(unsafe_code)]
 
 pub mod ballot;
 pub mod codec;

@@ -59,6 +59,12 @@
 //! assert_eq!(transcript.result.counts, vec![0, 1]);
 //! tallying.verify(&transcript).unwrap();
 //! ```
+//!
+//! This crate forbids `unsafe` code (`#![forbid(unsafe_code)]`): the
+//! whole workspace is safe Rust, locked in by the `vg-lint` analyzer's
+//! `forbid-unsafe` rule.
+
+#![forbid(unsafe_code)]
 
 pub use vg_baselines as baselines;
 pub use vg_crypto as crypto;
