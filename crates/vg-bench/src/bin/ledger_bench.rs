@@ -146,7 +146,7 @@ fn bench_durable(records: Vec<BenchRecord>, threads: usize, fsync: bool) -> f64 
     let n = records.len();
     let t0 = Instant::now();
     log.append_batch(records, threads);
-    log.persist();
+    log.persist().expect("persist");
     std::hint::black_box(log.tree_head());
     let rate = n as f64 / t0.elapsed().as_secs_f64();
     drop(log);

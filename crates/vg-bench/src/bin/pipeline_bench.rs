@@ -30,18 +30,27 @@
 //! acceptance grid point — dimensionless ratios that catch pipeline
 //! regressions without tracking absolute host speed.
 //!
+//! `--fault-rate P` (permille) adds a **pipe-chaos** row: the same TCP
+//! day under a seeded `FaultPlan` injecting network faults (delays,
+//! drops, torn writes, stalls) at P‰ per channel operation — measuring
+//! degraded-mode sessions/sec while reconnect, reaping and stall-steal
+//! heal the day to the same bit-identical ledgers. The headlines stay
+//! fault-free; the chaos row gets its own `degraded_*` metrics.
+//!
 //! Run with:
 //! `cargo run --release -p vg-bench --bin pipeline_bench --
 //!  [--quick] [--voters N --kiosks K] [--stations S] [--workers W]
-//!  [--threads N] [--pool N] [--lag N] [--low-water N] [--json path]`
+//!  [--threads N] [--pool N] [--lag N] [--low-water N]
+//!  [--fault-rate P] [--json path]`
 
 use std::time::Instant;
 
 use vg_bench::{arg_flag, arg_str, arg_usize, print_table, BenchReport};
 use vg_crypto::HmacDrbg;
 use vg_service::{
-    pipelined_register_and_activate_day, register_and_activate_day, DayStats, IngestMode,
-    PipelineConfig, TransportPlan,
+    pipelined_register_and_activate_day, pipelined_register_and_activate_day_chaos,
+    register_and_activate_day, ChaosOptions, DayStats, FaultPlan, IngestMode, PipelineConfig,
+    TransportPlan,
 };
 use vg_sim::population::{FakeCredentialDist, RegistrationPlan};
 use vg_trip::fleet::{FleetConfig, KioskFleet};
@@ -96,6 +105,46 @@ fn run_day(
     (rate, stats)
 }
 
+/// One timed degraded-mode day under a seeded fault plan. Returns
+/// `None` (with the typed error printed) if the chaos rate overwhelmed
+/// the bounded re-steal budget — a legitimate graceful-degradation
+/// outcome, just not a measurable rate.
+fn run_chaos_day(
+    plan: &RegistrationPlan,
+    kiosks: usize,
+    fleet_config: FleetConfig,
+    pipeline: PipelineConfig,
+    transport: TransportPlan,
+    chaos: ChaosOptions,
+) -> Option<(f64, DayStats)> {
+    let n = plan.len();
+    let mut rng = HmacDrbg::from_u64(0x71FE);
+    let mut system = TripSystem::setup(config(n as u64, kiosks), &mut rng);
+    let fleet = KioskFleet::new(fleet_config);
+    let mut done = 0usize;
+    let t0 = Instant::now();
+    let result = pipelined_register_and_activate_day_chaos(
+        &fleet,
+        &mut system,
+        plan.sessions(),
+        transport,
+        pipeline,
+        chaos,
+        |_, _| done += 1,
+    );
+    match result {
+        Ok(stats) => {
+            let rate = n as f64 / t0.elapsed().as_secs_f64();
+            assert_eq!(done, n);
+            Some((rate, stats))
+        }
+        Err(e) => {
+            println!("chaos day degraded past healing (typed abort): {e:?}");
+            None
+        }
+    }
+}
+
 fn coalesce_ratio(s: &DayStats) -> f64 {
     let batches = s.ingest.env_batches + s.ingest.reg_batches;
     let sweeps = (s.ingest.env_sweeps + s.ingest.reg_sweeps).max(1);
@@ -122,6 +171,9 @@ fn main() {
     // encrypted channel (the deployment configuration); the in-process
     // rows stay direct so the headlines keep their meaning.
     let secure = arg_flag("--secure");
+    // Per-operation network fault rate in permille for the chaos row
+    // (0 disables the row; the headline rows are always fault-free).
+    let fault_rate = arg_usize("--fault-rate", 0);
     let tcp_plan = if secure {
         TransportPlan::SECURE_TCP
     } else {
@@ -166,7 +218,8 @@ fn main() {
         .meta("pool_batch", pool)
         .meta("activation_lag", lag)
         .meta("low_water", low_water)
-        .meta("secure", secure);
+        .meta("secure", secure)
+        .meta("fault_rate_permille", fault_rate);
 
     let (barrier, _) = run_day(&plan, kiosks, fleet_config, None);
     let (pipe_s1, s1_stats) = run_day(
@@ -194,9 +247,33 @@ fn main() {
         Some((pipeline(stations, workers), tcp_plan)),
     );
 
+    let chaos_row = (fault_rate > 0)
+        .then(|| {
+            run_chaos_day(
+                &plan,
+                kiosks,
+                fleet_config,
+                pipeline(stations, workers),
+                tcp_plan,
+                ChaosOptions {
+                    plan: Some(FaultPlan {
+                        seed: 0xFA17,
+                        net_rate_permille: fault_rate.min(1000) as u16,
+                        stalls: true,
+                        // Corruption needs the MAC-protected channel to
+                        // surface typed; plaintext would diverge silently.
+                        corrupt: secure,
+                        disk: None,
+                    }),
+                    ..ChaosOptions::default()
+                },
+            )
+        })
+        .flatten();
+
     let speedup = pipe / barrier;
     let shard_scaling = pipe / pipe_w1;
-    let rows = vec![
+    let mut rows = vec![
         vec![
             "barrier (1 conn)".into(),
             format!("{barrier:.0}"),
@@ -233,6 +310,15 @@ fn main() {
             format!("{:.0}%", busy_pct(&tcp_stats)),
         ],
     ];
+    if let Some((degraded, chaos_stats)) = &chaos_row {
+        rows.push(vec![
+            format!("pipe-chaos ({fault_rate}permille)"),
+            format!("{degraded:.0}"),
+            format!("{:.2}x", degraded / barrier),
+            format!("{:.1}", coalesce_ratio(chaos_stats)),
+            format!("{:.0}%", busy_pct(chaos_stats)),
+        ]);
+    }
     print_table(
         &[
             "engine",
@@ -261,6 +347,25 @@ fn main() {
         "pipe_worker_idle_us",
         pipe_stats.ingest.worker_idle_us as f64,
     );
+    if let Some((degraded, chaos_stats)) = &chaos_row {
+        report.metric("degraded_e2e_per_sec", *degraded);
+        report.metric("degraded_vs_healthy", degraded / pipe_tcp);
+        report.metric("degraded_timeouts", chaos_stats.timeouts as f64);
+        report.metric("degraded_reconnects", chaos_stats.reconnects as f64);
+        report.metric("degraded_reaped", chaos_stats.reaped as f64);
+        report.metric("degraded_stall_steals", chaos_stats.stall_steals as f64);
+        report.metric("degraded_steal_chunks", chaos_stats.steals.len() as f64);
+        println!(
+            "degraded mode at {fault_rate} permille: {degraded:.0} sessions/s \
+             ({:.0}% of the healthy TCP rate), {} timeout(s), {} reconnect \
+             attempt(s), {} reaped conn(s), {} steal chunk(s)",
+            100.0 * degraded / pipe_tcp,
+            chaos_stats.timeouts,
+            chaos_stats.reconnects,
+            chaos_stats.reaped,
+            chaos_stats.steals.len(),
+        );
+    }
     report.metric("headline_pipeline_speedup", speedup);
     report.metric("headline_shard_scaling", shard_scaling);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());

@@ -65,12 +65,15 @@ const HEADS_FILE: &str = "heads.log";
 const SNAPSHOT_FILE: &str = "snapshot.bin";
 const REVEALS_FILE: &str = "reveals.log";
 
-/// Errors raised opening or replaying a durable log directory.
+/// Errors raised opening, replaying, or writing a durable log directory.
 ///
-/// Append-path IO errors are deliberately *not* represented here: once a
-/// store has accepted a directory, a failed WAL write is a fail-stop
-/// panic (a bulletin board that keeps publishing heads it cannot persist
-/// would silently void its durability contract).
+/// Append-path IO errors surface *typed*, not as panics: a failed WAL
+/// write poisons the store ([`WalError::Poisoned`]) so no head covering
+/// the unpersisted bytes can ever be published — the next
+/// [`LedgerStore::persist`] barrier returns the error and the caller
+/// aborts the day cleanly instead of the process dying mid-request. A
+/// restart then reopens the directory and replays the clean prefix the
+/// disk actually holds.
 #[derive(Debug)]
 pub enum WalError {
     /// Filesystem error.
@@ -80,6 +83,10 @@ pub enum WalError {
     /// A complete, checksummed frame whose payload fails canonical
     /// decoding — the log was written by something other than this codec.
     Codec(CryptoError),
+    /// An earlier append or barrier already failed; the store refuses
+    /// every further persist until the process restarts and replays the
+    /// on-disk prefix. Carries the original failure's description.
+    Poisoned(String),
 }
 
 impl core::fmt::Display for WalError {
@@ -88,6 +95,7 @@ impl core::fmt::Display for WalError {
             WalError::Io(e) => write!(f, "wal io error: {e}"),
             WalError::Corrupt(m) => write!(f, "wal corrupt: {m}"),
             WalError::Codec(e) => write!(f, "wal record decode failed: {e}"),
+            WalError::Poisoned(m) => write!(f, "wal poisoned by earlier failure: {m}"),
         }
     }
 }
@@ -131,6 +139,9 @@ pub struct DurabilityStats {
     pub replayed: u64,
     /// Signed tree heads persisted to `heads.log`.
     pub heads_persisted: u64,
+    /// WAL write or fsync failures observed (each one poisons its store;
+    /// nonzero means the day ran degraded and aborted typed).
+    pub wal_failures: u64,
 }
 
 impl DurabilityStats {
@@ -142,7 +153,114 @@ impl DurabilityStats {
             segments: self.segments + other.segments,
             replayed: self.replayed + other.replayed,
             heads_persisted: self.heads_persisted + other.heads_persisted,
+            wal_failures: self.wal_failures + other.wal_failures,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultFs: deterministic write-layer fault injection
+// ---------------------------------------------------------------------------
+
+/// One injected filesystem fault, keyed by deterministic operation
+/// counters — never wall clocks or OS entropy (this file is inside
+/// vg-lint's `nondeterminism` scope, and the chaos tests rely on a seed
+/// reproducing the exact same failure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsFault {
+    /// The `nth` segment write (0-based) fails with an injected IO error
+    /// before any byte lands.
+    FailWrite {
+        /// 0-based write index at which the fault fires.
+        nth: u64,
+    },
+    /// The `nth` segment write persists only the first `keep` bytes of
+    /// the frame, then fails — a torn write the torn-tail repair path
+    /// must truncate away on reopen.
+    ShortWrite {
+        /// 0-based write index at which the fault fires.
+        nth: u64,
+        /// Bytes of the frame that reach the file before the failure.
+        keep: usize,
+    },
+    /// Every segment write from the `nth` on fails with `ENOSPC`.
+    DiskFull {
+        /// 0-based write index from which the disk reports full.
+        nth: u64,
+    },
+    /// The `nth` fsync (group sync at a commit barrier or segment roll)
+    /// fails with an injected IO error.
+    FailFsync {
+        /// 0-based fsync index at which the fault fires.
+        nth: u64,
+    },
+}
+
+/// What [`FaultFs`] decided for one write.
+enum FsWriteDecision {
+    Proceed,
+    Short(usize),
+    Fail(std::io::Error),
+}
+
+/// A deterministic write-layer fault schedule installed on a
+/// [`DurableStore`] (via [`crate::ledger::Ledger::install_fault_fs`] or
+/// [`LedgerStore::install_fault_fs`]). Decisions depend only on the
+/// schedule and the store's own write/fsync counters, so a given seed
+/// replays the identical failure on every run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultFs {
+    faults: Vec<FsFault>,
+    writes: u64,
+    fsyncs: u64,
+}
+
+impl FaultFs {
+    /// Builds a schedule from a set of faults.
+    pub fn new(faults: Vec<FsFault>) -> Self {
+        Self {
+            faults,
+            writes: 0,
+            fsyncs: 0,
+        }
+    }
+
+    fn on_write(&mut self) -> FsWriteDecision {
+        let n = self.writes;
+        self.writes += 1;
+        for f in &self.faults {
+            match *f {
+                FsFault::FailWrite { nth } if nth == n => {
+                    return FsWriteDecision::Fail(std::io::Error::other(
+                        "injected WAL write failure",
+                    ));
+                }
+                FsFault::ShortWrite { nth, keep } if nth == n => {
+                    return FsWriteDecision::Short(keep);
+                }
+                FsFault::DiskFull { nth } if n >= nth => {
+                    return FsWriteDecision::Fail(std::io::Error::new(
+                        std::io::ErrorKind::StorageFull,
+                        "injected ENOSPC",
+                    ));
+                }
+                _ => {}
+            }
+        }
+        FsWriteDecision::Proceed
+    }
+
+    fn on_fsync(&mut self) -> Result<(), std::io::Error> {
+        let n = self.fsyncs;
+        self.fsyncs += 1;
+        for f in &self.faults {
+            if let FsFault::FailFsync { nth } = *f {
+                if nth == n {
+                    return Err(std::io::Error::other("injected fsync failure"));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -155,17 +273,20 @@ fn frame_checksum(payload: &[u8]) -> [u8; 8] {
     h.update(b"vg-wal-frame-v1");
     h.update(payload);
     let digest = h.finalize();
-    let mut out = [0u8; 8];
-    out.copy_from_slice(&digest[..8]);
-    out
+    std::array::from_fn(|i| digest[i])
 }
 
-pub(crate) fn append_frame<W: Write>(file: &mut W, payload: &[u8]) -> std::io::Result<()> {
+/// The complete on-disk encoding of one frame.
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(FRAME_HEADER + payload.len());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(&frame_checksum(payload));
     buf.extend_from_slice(payload);
-    file.write_all(&buf)
+    buf
+}
+
+pub(crate) fn append_frame<W: Write>(file: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    file.write_all(&frame_bytes(payload))
 }
 
 enum FrameRead<'a> {
@@ -184,7 +305,10 @@ fn read_frame(buf: &[u8], pos: usize) -> FrameRead<'_> {
     if pos + FRAME_HEADER > buf.len() {
         return FrameRead::Torn;
     }
-    let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+    let len = match buf[pos..pos + 4].try_into() {
+        Ok(b) => u32::from_le_bytes(b) as usize,
+        Err(_) => return FrameRead::Torn,
+    };
     if len > MAX_FRAME || pos + FRAME_HEADER + len > buf.len() {
         return FrameRead::Torn;
     }
@@ -277,6 +401,8 @@ struct SegmentWriter {
     bytes: u64,
     dirty: bool,
     fsync: bool,
+    /// Injected write-layer fault schedule (chaos tests only).
+    fault: Option<FaultFs>,
 }
 
 impl SegmentWriter {
@@ -292,7 +418,15 @@ impl SegmentWriter {
             bytes,
             dirty: false,
             fsync,
+            fault: None,
         })
+    }
+
+    fn injected_fsync(&mut self) -> Result<(), WalError> {
+        if let Some(f) = self.fault.as_mut() {
+            f.on_fsync().map_err(WalError::Io)?;
+        }
+        Ok(())
     }
 
     fn append(&mut self, payload: &[u8]) -> Result<u64, WalError> {
@@ -302,6 +436,7 @@ impl SegmentWriter {
             // roll itself is not a durability gap) and start the next.
             self.file.flush()?;
             if self.fsync && self.dirty {
+                self.injected_fsync()?;
                 self.file.get_ref().sync_data()?;
                 fsyncs += 1;
             }
@@ -314,7 +449,27 @@ impl SegmentWriter {
             self.bytes = 0;
             self.dirty = false;
         }
-        append_frame(&mut self.file, payload)?;
+        match self
+            .fault
+            .as_mut()
+            .map(|f| f.on_write())
+            .unwrap_or(FsWriteDecision::Proceed)
+        {
+            FsWriteDecision::Proceed => append_frame(&mut self.file, payload)?,
+            FsWriteDecision::Short(keep) => {
+                // A torn write: a prefix of the frame reaches the file,
+                // then the write fails. Flushed through so the torn tail
+                // is really on disk for the reopen path to repair.
+                let full = frame_bytes(payload);
+                let cut = keep.min(full.len());
+                self.file.write_all(full.get(..cut).unwrap_or(&full))?;
+                self.file.flush()?;
+                return Err(WalError::Io(std::io::Error::other(
+                    "injected torn write: frame cut mid-byte",
+                )));
+            }
+            FsWriteDecision::Fail(e) => return Err(WalError::Io(e)),
+        }
         self.bytes += (FRAME_HEADER + payload.len()) as u64;
         self.dirty = true;
         Ok(fsyncs)
@@ -325,6 +480,7 @@ impl SegmentWriter {
     fn sync(&mut self) -> Result<bool, WalError> {
         self.file.flush()?;
         if self.fsync && self.dirty {
+            self.injected_fsync()?;
             self.file.get_ref().sync_data()?;
             self.dirty = false;
             return Ok(true);
@@ -357,6 +513,11 @@ pub struct DurableStore<T> {
     heads: File,
     last_head_size: u64,
     stats: DurabilityStats,
+    /// First WAL write/barrier failure, sticky until restart: while set,
+    /// appends stop touching the disk (the on-disk log stays a clean
+    /// prefix) and every `persist` returns [`WalError::Poisoned`], so no
+    /// published head can ever cover bytes the WAL does not have.
+    failed: Option<String>,
 }
 
 impl<T: DurableRecord> DurableStore<T> {
@@ -474,6 +635,7 @@ impl<T: DurableRecord> DurableStore<T> {
                 replayed: replayed as u64,
                 ..DurabilityStats::default()
             },
+            failed: None,
         })
     }
 
@@ -481,6 +643,11 @@ impl<T: DurableRecord> DurableStore<T> {
     /// prefix (true between open and the first genuinely new append).
     pub fn replaying(&self) -> bool {
         self.matched < self.replayed
+    }
+
+    /// Installs a deterministic write-layer fault schedule (chaos tests).
+    pub fn install_fault_fs(&mut self, fault: FaultFs) {
+        self.writer.fault = Some(fault);
     }
 
     fn absorb(&mut self, record: T, payload: &[u8], leaf: Hash) -> usize {
@@ -498,16 +665,24 @@ impl<T: DurableRecord> DurableStore<T> {
             return self.matched - 1;
         }
         // Event before state: the WAL frame lands before the Merkle
-        // accumulator moves. Fail-stop on IO errors — a bulletin board
-        // must never publish heads it cannot persist.
-        match self.writer.append(payload) {
-            Ok(fsyncs) => self.stats.wal_fsyncs += fsyncs,
-            Err(e) => panic!(
-                "durable ledger append failed (fail-stop) in {}: {e}",
-                self.dir.display()
-            ),
+        // accumulator moves. An IO error poisons the store instead of
+        // panicking: the in-memory tree keeps its indices coherent for
+        // the caller, later appends skip the disk (keeping the on-disk
+        // log a clean prefix), and the next `persist` barrier surfaces
+        // the failure typed — no head covering the lost bytes is ever
+        // published, which is the durability contract.
+        if self.failed.is_none() {
+            match self.writer.append(payload) {
+                Ok(fsyncs) => {
+                    self.stats.wal_fsyncs += fsyncs;
+                    self.stats.wal_records += 1;
+                }
+                Err(e) => {
+                    self.stats.wal_failures += 1;
+                    self.failed = Some(e.to_string());
+                }
+            }
         }
-        self.stats.wal_records += 1;
         let idx = self.merkle.append_leaf(leaf);
         self.leaves.push(leaf);
         self.records.push(record);
@@ -530,9 +705,16 @@ fn decode_head(payload: &[u8]) -> Result<(u64, Hash), WalError> {
     if payload.len() != 40 && payload.len() != 104 {
         return Err(WalError::Corrupt("bad head frame length"));
     }
-    let size = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    let (size_bytes, rest) = payload.split_at(8);
+    let size = match size_bytes.try_into() {
+        Ok(b) => u64::from_le_bytes(b),
+        Err(_) => return Err(WalError::Corrupt("bad head frame length")),
+    };
     let mut root = [0u8; 32];
-    root.copy_from_slice(&payload[8..40]);
+    root.copy_from_slice(
+        rest.get(..32)
+            .ok_or(WalError::Corrupt("bad head frame length"))?,
+    );
     Ok((size, root))
 }
 
@@ -595,7 +777,10 @@ impl<T: DurableRecord + Sync> LedgerStore<T> for DurableStore<T> {
         true
     }
 
-    fn persist(&mut self, head: &TreeHead) {
+    fn persist(&mut self, head: &TreeHead) -> Result<(), WalError> {
+        if let Some(msg) = &self.failed {
+            return Err(WalError::Poisoned(msg.clone()));
+        }
         let result: Result<(), WalError> = (|| {
             // Commit barrier: group-fsync the outstanding appends first,
             // publish the signed head second — the head on disk never
@@ -619,11 +804,17 @@ impl<T: DurableRecord + Sync> LedgerStore<T> for DurableStore<T> {
             Ok(())
         })();
         if let Err(e) = result {
-            panic!(
-                "durable ledger persist failed (fail-stop) in {}: {e}",
-                self.dir.display()
-            );
+            // A failed barrier also poisons: the buffered writer's state
+            // is unknown, so further appends must not touch the disk.
+            self.stats.wal_failures += 1;
+            self.failed = Some(e.to_string());
+            return Err(e);
         }
+        Ok(())
+    }
+
+    fn install_fault_fs(&mut self, fault: FaultFs) {
+        DurableStore::install_fault_fs(self, fault);
     }
 
     fn durability_stats(&self) -> DurabilityStats {
@@ -699,28 +890,32 @@ impl RevealWal {
         false
     }
 
-    /// Appends a newly revealed challenge (event-before-state, fail-stop
-    /// like the segment WAL).
-    pub fn append(&mut self, h: &[u8; 32], e: &Scalar) {
+    /// Appends a newly revealed challenge (event-before-state; a write
+    /// failure surfaces typed so the caller can refuse the reveal).
+    pub fn append(&mut self, h: &[u8; 32], e: &Scalar) -> Result<(), WalError> {
         let mut payload = Vec::with_capacity(64);
         payload.extend_from_slice(h);
         payload.extend_from_slice(&e.to_bytes());
         if let Err(err) = append_frame(&mut self.file, &payload) {
-            panic!("reveal wal append failed (fail-stop): {err}");
+            self.stats.wal_failures += 1;
+            return Err(WalError::Io(err));
         }
         self.dirty = true;
         self.stats.wal_records += 1;
+        Ok(())
     }
 
     /// Group fsync at a commit barrier.
-    pub fn sync(&mut self) {
+    pub fn sync(&mut self) -> Result<(), WalError> {
         if self.fsync && self.dirty {
             if let Err(err) = self.file.sync_data() {
-                panic!("reveal wal fsync failed (fail-stop): {err}");
+                self.stats.wal_failures += 1;
+                return Err(WalError::Io(err));
             }
             self.dirty = false;
             self.stats.wal_fsyncs += 1;
         }
+        Ok(())
     }
 
     /// Durability counters for this WAL.
@@ -867,7 +1062,10 @@ pub fn simulate_crash(src: &Path, dst: &Path, keep_permille: u32) -> Result<Cras
         }
         let take = len.min(remaining) as usize;
         let buf = fs::read(path)?;
-        let out = dst.join(path.file_name().expect("segment file name"));
+        let Some(name) = path.file_name() else {
+            continue;
+        };
+        let out = dst.join(name);
         fs::write(&out, &buf[..take])?;
         kept.push(out);
         remaining -= take as u64;
@@ -1028,7 +1226,7 @@ mod tests {
             let mut store = DurableStore::<Note>::open(&dir, false).expect("open");
             store.append_batch(notes(0..100), 2);
             let head = head_of(&store, &op);
-            store.persist(&head);
+            store.persist(&head).expect("persist");
             store.root()
         };
         let store = DurableStore::<Note>::open(&dir, false).expect("reopen");
@@ -1155,10 +1353,10 @@ mod tests {
             let mut store = DurableStore::<Note>::open(&dir, true).expect("open");
             store.append_batch(notes(0..5), 1);
             let head = head_of(&store, &op);
-            store.persist(&head);
+            store.persist(&head).expect("persist");
             store.append_batch(notes(5..9), 1);
             let head = head_of(&store, &op);
-            store.persist(&head);
+            store.persist(&head).expect("persist");
             let stats = store.durability_stats();
             assert_eq!(stats.heads_persisted, 2);
             assert!(stats.wal_fsyncs >= 2, "fsync mode syncs at barriers");
@@ -1215,7 +1413,7 @@ mod tests {
             let mut store = DurableStore::<Note>::open(&dir, false).expect("open");
             store.append_batch(notes(0..800), 2);
             let head = head_of(&store, &op);
-            store.persist(&head);
+            store.persist(&head).expect("persist");
             store.root()
         };
         let mut any_torn = false;

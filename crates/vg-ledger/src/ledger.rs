@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use crate::durable::{DurabilityStats, RevealWal};
+use crate::durable::{DurabilityStats, FaultFs, RevealWal, WalError};
 use crate::log::{Record, TamperEvidentLog, TreeHead};
 use crate::store::LedgerBackend;
 use vg_crypto::edwards::CompressedPoint;
@@ -43,6 +43,10 @@ pub enum LedgerError {
     DuplicateChallenge,
     /// A signature or proof failed cryptographic verification.
     Crypto(CryptoError),
+    /// Durable storage failed beneath the ledger (a WAL write, fsync, or
+    /// commit barrier): the day degrades to a typed abort instead of a
+    /// panic. Carries the [`crate::durable::WalError`] description.
+    Storage(String),
 }
 
 impl core::fmt::Display for LedgerError {
@@ -52,6 +56,7 @@ impl core::fmt::Display for LedgerError {
             LedgerError::UnknownEnvelope => write!(f, "envelope commitment not found"),
             LedgerError::DuplicateChallenge => write!(f, "challenge already revealed"),
             LedgerError::Crypto(e) => write!(f, "cryptographic check failed: {e}"),
+            LedgerError::Storage(m) => write!(f, "durable storage failed: {m}"),
         }
     }
 }
@@ -61,6 +66,12 @@ impl std::error::Error for LedgerError {}
 impl From<CryptoError> for LedgerError {
     fn from(e: CryptoError) -> Self {
         LedgerError::Crypto(e)
+    }
+}
+
+impl From<WalError> for LedgerError {
+    fn from(e: WalError) -> Self {
+        LedgerError::Storage(e.to_string())
     }
 }
 
@@ -357,8 +368,13 @@ impl RegistrationLedger {
 
     /// Commit barrier (no-op on volatile backends): see
     /// [`TamperEvidentLog::persist`].
-    pub fn persist(&mut self) {
-        self.log.persist();
+    pub fn persist(&mut self) -> Result<(), WalError> {
+        self.log.persist()
+    }
+
+    /// Installs a deterministic write-layer fault schedule (chaos tests).
+    pub fn install_fault_fs(&mut self, fault: FaultFs) {
+        self.log.install_fault_fs(fault);
     }
 
     /// Durability counters for this sub-ledger.
@@ -551,9 +567,10 @@ impl EnvelopeLedger {
             return Err(LedgerError::DuplicateChallenge);
         }
         if let Some(wal) = &mut self.reveal_wal {
-            // Event before state: the WAL frame lands (fail-stop) before
-            // the in-memory map accepts the reveal.
-            wal.append(&h, e);
+            // Event before state: the WAL frame must land before the
+            // in-memory map accepts the reveal; a write failure refuses
+            // the reveal typed instead of panicking.
+            wal.append(&h, e).map_err(LedgerError::from)?;
         }
         self.revealed.insert(h, *e);
         Ok(())
@@ -578,11 +595,18 @@ impl EnvelopeLedger {
 
     /// Commit barrier: persists the commitment log and group-fsyncs the
     /// reveal WAL. No-op on volatile backends.
-    pub fn persist(&mut self) {
-        self.log.persist();
+    pub fn persist(&mut self) -> Result<(), WalError> {
+        self.log.persist()?;
         if let Some(wal) = &mut self.reveal_wal {
-            wal.sync();
+            wal.sync()?;
         }
+        Ok(())
+    }
+
+    /// Installs a deterministic write-layer fault schedule on the
+    /// commitment log (chaos tests; the reveal WAL is not hooked).
+    pub fn install_fault_fs(&mut self, fault: FaultFs) {
+        self.log.install_fault_fs(fault);
     }
 
     /// Durability counters (commitment log + reveal WAL).
@@ -707,8 +731,13 @@ impl BallotLedger {
 
     /// Commit barrier (no-op on volatile backends): see
     /// [`TamperEvidentLog::persist`].
-    pub fn persist(&mut self) {
-        self.log.persist();
+    pub fn persist(&mut self) -> Result<(), WalError> {
+        self.log.persist()
+    }
+
+    /// Installs a deterministic write-layer fault schedule (chaos tests).
+    pub fn install_fault_fs(&mut self, fault: FaultFs) {
+        self.log.install_fault_fs(fault);
     }
 
     /// Durability counters for this sub-ledger.
@@ -762,11 +791,23 @@ impl Ledger {
 
     /// Commit barrier across all three sub-ledgers (no-op on volatile
     /// backends): everything admitted so far is made durable and the
-    /// signed heads are persisted.
-    pub fn persist(&mut self) {
-        self.registration.persist();
-        self.envelopes.persist();
-        self.ballots.persist();
+    /// signed heads are persisted. The first failing sub-ledger aborts
+    /// the barrier typed (its store is poisoned; later barriers keep
+    /// failing until restart).
+    pub fn persist(&mut self) -> Result<(), WalError> {
+        self.registration.persist()?;
+        self.envelopes.persist()?;
+        self.ballots.persist()?;
+        Ok(())
+    }
+
+    /// Installs a deterministic write-layer fault schedule on all three
+    /// sub-ledgers (chaos tests). Each sub-ledger gets its own clone of
+    /// the schedule, so per-store write counters stay deterministic.
+    pub fn install_fault_fs(&mut self, fault: FaultFs) {
+        self.registration.install_fault_fs(fault.clone());
+        self.envelopes.install_fault_fs(fault.clone());
+        self.ballots.install_fault_fs(fault);
     }
 
     /// Aggregated durability counters across the sub-ledgers.

@@ -35,7 +35,8 @@ pub mod merkle;
 pub mod store;
 
 pub use durable::{
-    simulate_crash, CrashReport, DurabilityStats, DurableRecord, DurableStore, WalError,
+    simulate_crash, CrashReport, DurabilityStats, DurableRecord, DurableStore, FaultFs, FsFault,
+    WalError,
 };
 pub use ledger::{
     challenge_hash, BallotLedger, BallotRecord, EnvelopeCommitment, EnvelopeLedger, Ledger,

@@ -8,7 +8,7 @@
 //! signed tree heads are how a deployment distributes that trust, so we
 //! model them explicitly.
 
-use crate::durable::{DurabilityStats, DurableRecord};
+use crate::durable::{DurabilityStats, DurableRecord, FaultFs, WalError};
 use crate::merkle::Hash;
 use crate::store::{ConsistencyProof, InclusionProof, LedgerBackend, LedgerStore};
 use vg_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
@@ -145,12 +145,20 @@ impl<T: Record> TamperEvidentLog<T> {
     /// appends, then persists the current signed tree head (records
     /// always reach stable storage before the head that covers them). A
     /// no-op on the volatile backends — callers can invoke it
-    /// unconditionally at flush points.
-    pub fn persist(&mut self) {
+    /// unconditionally at flush points. An IO failure surfaces typed
+    /// (and poisons the backing store) instead of panicking.
+    pub fn persist(&mut self) -> Result<(), WalError> {
         if self.store.is_durable() {
             let head = self.tree_head();
-            self.store.persist(&head);
+            self.store.persist(&head)?;
         }
+        Ok(())
+    }
+
+    /// Installs a deterministic write-layer fault schedule on a durable
+    /// backend (chaos tests); a no-op on volatile backends.
+    pub fn install_fault_fs(&mut self, fault: FaultFs) {
+        self.store.install_fault_fs(fault);
     }
 
     /// Durability counters (all zero on volatile backends).
@@ -270,7 +278,7 @@ mod tests {
             for i in 0..12 {
                 log.append(Note(format!("n{i}")));
             }
-            log.persist();
+            log.persist().expect("persist");
             assert_eq!(log.durability_stats().heads_persisted, 1);
             log.tree_head()
         };

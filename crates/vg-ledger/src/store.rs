@@ -22,7 +22,7 @@
 use std::ops::Range;
 use std::path::PathBuf;
 
-use crate::durable::{DurabilityStats, DurableRecord, DurableStore};
+use crate::durable::{DurabilityStats, DurableRecord, DurableStore, FaultFs, WalError};
 use crate::log::{Record, TreeHead};
 use crate::merkle::{self, Hash, MerkleLog};
 use vg_crypto::par::par_map;
@@ -151,8 +151,17 @@ pub trait LedgerStore<T: Record> {
 
     /// Commit barrier: make everything appended so far durable (group
     /// fsync) and persist the signed head. A no-op on volatile backends.
-    fn persist(&mut self, head: &TreeHead) {
+    /// On a durable backend an IO failure surfaces typed (and poisons the
+    /// store) instead of panicking — see [`crate::durable::WalError`].
+    fn persist(&mut self, head: &TreeHead) -> Result<(), WalError> {
         let _ = head;
+        Ok(())
+    }
+
+    /// Installs a deterministic write-layer fault schedule (chaos tests);
+    /// a no-op on volatile backends.
+    fn install_fault_fs(&mut self, fault: FaultFs) {
+        let _ = fault;
     }
 
     /// Durability counters (all zero on volatile backends).

@@ -23,6 +23,7 @@
 //! | `lock-unwrap` | no bare `.lock().unwrap()`; acquire via `vg_crypto::sync::lock_recover` |
 //! | `nondeterminism` | no wall clocks or OS entropy in seeded deterministic modules |
 //! | `wire-tags` | protocol tag registries are collision-free, encode==decode, handshake range disjoint |
+//! | `test-scope` | no `#[test]` functions outside `#[cfg(test)]` modules |
 //! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
 //!
 //! ## Allowlisting
@@ -177,6 +178,9 @@ impl Default for Config {
                 "vg-service/src/channel.rs",
                 "vg-service/src/registrar.rs",
                 "vg-service/src/transport.rs",
+                "vg-service/src/fault.rs",
+                "vg-service/src/retry.rs",
+                "vg-ledger/src/durable.rs",
             ]
             .into_iter()
             .map(String::from)
@@ -188,6 +192,12 @@ impl Default for Config {
                 "vg-ledger/src/",
                 "vg-service/src/messages.rs",
                 "vg-service/src/wire.rs",
+                // The fault plane and retry backoff must themselves be
+                // seeded-deterministic: an injected fault schedule or a
+                // jittered backoff that consulted a wall clock or OS
+                // entropy could never replay a failing chaos seed.
+                "vg-service/src/fault.rs",
+                "vg-service/src/retry.rs",
                 "vg-crypto/src/",
             ]
             .into_iter()
@@ -217,6 +227,7 @@ pub fn analyze(files: &[SourceFile], cfg: &Config) -> Vec<Violation> {
         rules::panic_path(f, cfg, &mut raw);
         rules::lock_unwrap(f, cfg, &mut raw);
         rules::nondeterminism(f, cfg, &mut raw);
+        rules::test_scope(f, cfg, &mut raw);
     }
     rules::secret_debug(files, cfg, &mut raw);
     rules::forbid_unsafe(files, cfg, &mut raw);

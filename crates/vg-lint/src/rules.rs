@@ -285,7 +285,7 @@ pub fn ct_compare(file: &SourceFile, cfg: &Config, out: &mut Vec<Violation>) {
 /// Forbids `.unwrap()`, `.expect(..)`, panicking macros, and
 /// integer-literal indexing in the request-serving paths (gateway,
 /// pipeline, ingest, connection handling): a panic there kills a reactor
-/// thread mid-day instead of answering a typed [`ServiceError`].
+/// thread mid-day instead of answering a typed `ServiceError`.
 pub fn panic_path(file: &SourceFile, cfg: &Config, out: &mut Vec<Violation>) {
     if !cfg.server_paths.iter().any(|p| file.path_matches(p)) {
         return;
@@ -472,6 +472,37 @@ pub fn nondeterminism(file: &SourceFile, cfg: &Config, out: &mut Vec<Violation>)
                     ),
                 ));
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: test-scope
+// ---------------------------------------------------------------------
+
+/// Forbids `#[test]` functions outside a `#[cfg(test)]` module,
+/// workspace-wide: a test fn in live scope compiles into the production
+/// binary (dragging its fixtures and any `dev-dependencies` shims along)
+/// and silently escapes `cargo test`'s compilation gate for
+/// test-only code. The scanner's test-span tracking (the same one every
+/// other rule uses to *skip* test code) is what makes this scope-aware:
+/// the attribute alone is not a violation, the attribute in live scope
+/// is.
+pub fn test_scope(file: &SourceFile, _cfg: &Config, out: &mut Vec<Violation>) {
+    for (idx, line) in file.scanned.masked_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.scanned.is_test_line(lineno) {
+            continue;
+        }
+        let t = line.trim_start();
+        if t.starts_with("#[test]") || t.starts_with("#[test ") {
+            out.push(Violation::new(
+                "test-scope",
+                &file.path,
+                lineno,
+                "`#[test]` outside a `#[cfg(test)]` module; move it into                  `#[cfg(test)] mod tests` so test code never compiles into                  the production binary"
+                    .into(),
+            ));
         }
     }
 }

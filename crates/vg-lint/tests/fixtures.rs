@@ -262,6 +262,49 @@ fn nondeterminism_ignores_imports_and_comments() {
 }
 
 // ---------------------------------------------------------------------
+// test-scope
+// ---------------------------------------------------------------------
+
+#[test]
+fn test_scope_fires_on_test_fn_in_live_scope() {
+    let vs = run(&[(
+        "lib.rs",
+        concat!(
+            "fn live() {}
+",
+            "#[test]
+",
+            "fn stray() { assert!(live_check()); }
+",
+        ),
+    )]);
+    assert_eq!(rules_of(&vs), ["test-scope"], "{vs:#?}");
+    assert_eq!(vs[0].line, 2);
+}
+
+#[test]
+fn test_scope_allows_tests_inside_cfg_test_mods() {
+    let vs = run(&[(
+        "lib.rs",
+        concat!(
+            "fn live() {}
+",
+            "#[cfg(test)]
+",
+            "mod tests {
+",
+            "    #[test]
+",
+            "    fn fine() { super::live(); }
+",
+            "}
+",
+        ),
+    )]);
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+// ---------------------------------------------------------------------
 // secret-debug
 // ---------------------------------------------------------------------
 

@@ -35,6 +35,7 @@ use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
+use std::time::Duration;
 
 use vg_crypto::channel::{
     confirmation_tag, derive_channel_keys, transcript_hash, ChannelKeys, EphemeralKey, FrameSealer,
@@ -93,6 +94,49 @@ pub trait Listener: Send {
 // TCP
 // ---------------------------------------------------------------------
 
+/// Read/write deadlines for a TCP channel.
+///
+/// A bare blocking socket hangs forever on a stalled peer; the default
+/// deadlines bound every read and write so a hung peer surfaces as a
+/// typed [`ServiceError::Timeout`] (the retry layer's signal) instead of
+/// a parked thread. Defaults are deliberately generous — an order of
+/// magnitude above any healthy round trip, including full-day flush
+/// barriers — so they only ever fire on genuine stalls; chaos tests
+/// tighten them. After a deadline fires mid-frame the stream position is
+/// unknown, so the channel must be discarded and redialed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadlines {
+    /// Deadline for each blocking read (`None` = wait forever).
+    pub read: Option<Duration>,
+    /// Deadline for each blocking write (`None` = wait forever).
+    pub write: Option<Duration>,
+}
+
+/// Default per-read deadline (see [`Deadlines`]).
+pub const DEFAULT_READ_DEADLINE: Duration = Duration::from_secs(30);
+/// Default per-write deadline (see [`Deadlines`]).
+pub const DEFAULT_WRITE_DEADLINE: Duration = Duration::from_secs(10);
+
+impl Default for Deadlines {
+    fn default() -> Self {
+        Self {
+            read: Some(DEFAULT_READ_DEADLINE),
+            write: Some(DEFAULT_WRITE_DEADLINE),
+        }
+    }
+}
+
+impl Deadlines {
+    /// No deadlines: the legacy block-forever behavior, for callers that
+    /// bound liveness some other way (the non-blocking gateway).
+    pub fn none() -> Self {
+        Self {
+            read: None,
+            write: None,
+        }
+    }
+}
+
 /// Length-prefixed frames over a TCP stream.
 pub struct TcpChannel {
     reader: BufReader<TcpStream>,
@@ -100,14 +144,33 @@ pub struct TcpChannel {
 }
 
 impl TcpChannel {
-    /// Connects to `addr` with `TCP_NODELAY` set.
+    /// Connects to `addr` with `TCP_NODELAY` set and default
+    /// [`Deadlines`].
     pub fn connect(addr: SocketAddr) -> Result<Self, ServiceError> {
-        Self::from_stream(TcpStream::connect(addr)?)
+        Self::connect_with(addr, Deadlines::default())
     }
 
-    /// Wraps an accepted stream.
+    /// Connects to `addr` under explicit deadlines. The read deadline
+    /// also bounds the connect itself, so dialing a dead address cannot
+    /// park a station thread forever either.
+    pub fn connect_with(addr: SocketAddr, deadlines: Deadlines) -> Result<Self, ServiceError> {
+        let stream = match deadlines.read {
+            Some(d) => TcpStream::connect_timeout(&addr, d)?,
+            None => TcpStream::connect(addr)?,
+        };
+        Self::from_stream_with(stream, deadlines)
+    }
+
+    /// Wraps an accepted stream under default [`Deadlines`].
     pub fn from_stream(stream: TcpStream) -> Result<Self, ServiceError> {
+        Self::from_stream_with(stream, Deadlines::default())
+    }
+
+    /// Wraps an accepted stream under explicit deadlines.
+    pub fn from_stream_with(stream: TcpStream, deadlines: Deadlines) -> Result<Self, ServiceError> {
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(deadlines.read)?;
+        stream.set_write_timeout(deadlines.write)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
             reader,
@@ -498,12 +561,17 @@ pub struct TcpConnector {
     pub addr: SocketAddr,
     /// Security policy for every dialed channel.
     pub policy: ChannelPolicy,
+    /// Read/write deadlines for every dialed channel.
+    pub deadlines: Deadlines,
 }
 
 impl Connector for TcpConnector {
     fn connect(&self) -> Result<Box<dyn FramedChannel>, ServiceError> {
         self.policy
-            .establish_client(Box::new(TcpChannel::connect(self.addr)?))
+            .establish_client(Box::new(TcpChannel::connect_with(
+                self.addr,
+                self.deadlines,
+            )?))
     }
 }
 
@@ -512,12 +580,24 @@ impl Connector for TcpConnector {
 pub struct TcpChannelListener {
     listener: TcpListener,
     policy: ChannelPolicy,
+    deadlines: Deadlines,
 }
 
 impl TcpChannelListener {
-    /// Wraps a bound listener.
+    /// Wraps a bound listener (default [`Deadlines`] on every accepted
+    /// channel).
     pub fn new(listener: TcpListener, policy: ChannelPolicy) -> Self {
-        Self { listener, policy }
+        Self {
+            listener,
+            policy,
+            deadlines: Deadlines::default(),
+        }
+    }
+
+    /// Overrides the deadlines applied to accepted channels.
+    pub fn with_deadlines(mut self, deadlines: Deadlines) -> Self {
+        self.deadlines = deadlines;
+        self
     }
 }
 
@@ -525,7 +605,10 @@ impl Listener for TcpChannelListener {
     fn accept(&mut self) -> Result<Box<dyn FramedChannel>, ServiceError> {
         let (stream, _) = self.listener.accept()?;
         self.policy
-            .establish_server(Box::new(TcpChannel::from_stream(stream)?))
+            .establish_server(Box::new(TcpChannel::from_stream_with(
+                stream,
+                self.deadlines,
+            )?))
     }
 }
 

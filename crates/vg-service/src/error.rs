@@ -37,6 +37,12 @@ pub enum ServiceError {
     /// confirmation MAC, or a plaintext/secure policy mismatch between
     /// the two endpoints.
     HandshakeFailed(String),
+    /// A read or write deadline expired before the peer made progress.
+    /// Distinct from [`ServiceError::Transport`] so retry policies can
+    /// tell a stalled-but-alive peer (retryable, reconnect) from a
+    /// protocol violation (fatal). Survives the wire like every other
+    /// variant.
+    Timeout(String),
 }
 
 impl core::fmt::Display for ServiceError {
@@ -47,6 +53,7 @@ impl core::fmt::Display for ServiceError {
             ServiceError::Ingest(e) => write!(f, "ingest gave up after bounded retries: {e}"),
             ServiceError::AuthFailed(who) => write!(f, "channel authentication failed: {who}"),
             ServiceError::HandshakeFailed(why) => write!(f, "channel handshake failed: {why}"),
+            ServiceError::Timeout(what) => write!(f, "deadline expired: {what}"),
         }
     }
 }
@@ -67,7 +74,15 @@ impl From<LedgerError> for ServiceError {
 
 impl From<std::io::Error> for ServiceError {
     fn from(e: std::io::Error) -> Self {
-        ServiceError::Transport(format!("io: {e}"))
+        // A socket deadline expiring surfaces as `WouldBlock` (Unix) or
+        // `TimedOut` (Windows); both mean "the peer stalled", not "the
+        // peer broke protocol", so they map to the retryable variant.
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                ServiceError::Timeout(format!("io: {e}"))
+            }
+            _ => ServiceError::Transport(format!("io: {e}")),
+        }
     }
 }
 
@@ -93,7 +108,16 @@ impl ServiceError {
             ServiceError::HandshakeFailed(why) => {
                 TripError::Boundary(format!("channel handshake failed: {why}"))
             }
+            ServiceError::Timeout(what) => TripError::Boundary(format!("deadline expired: {what}")),
         }
+    }
+
+    /// `true` for failures a retry policy may usefully retry: stalls
+    /// (deadline expiry) and transport-level connection failures. Domain
+    /// errors, auth and handshake failures are deterministic — retrying
+    /// them would yield the same answer.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServiceError::Timeout(_) | ServiceError::Transport(_))
     }
 }
 
@@ -130,15 +154,27 @@ fn ledger_code(e: &LedgerError) -> (u32, u32) {
         LedgerError::UnknownEnvelope => (1, 0),
         LedgerError::DuplicateChallenge => (2, 0),
         LedgerError::Crypto(c) => (3, crypto_code(c)),
+        LedgerError::Storage(_) => (4, 0),
     }
 }
 
-fn ledger_from_code(code: u32, sub: u32) -> Result<LedgerError, CryptoError> {
+/// The free-text payload a ledger error carries (storage failures keep
+/// their diagnostic string across the wire; the coded variants carry
+/// none).
+fn ledger_text(e: &LedgerError) -> &str {
+    match e {
+        LedgerError::Storage(m) => m.as_str(),
+        _ => "",
+    }
+}
+
+fn ledger_from_code(code: u32, sub: u32, text: &str) -> Result<LedgerError, CryptoError> {
     Ok(match code {
         0 => LedgerError::NotOnRoster,
         1 => LedgerError::UnknownEnvelope,
         2 => LedgerError::DuplicateChallenge,
         3 => LedgerError::Crypto(crypto_from_code(sub)?),
+        4 => LedgerError::Storage(text.to_string()),
         _ => return Err(CryptoError::Malformed("unknown ledger error code")),
     })
 }
@@ -186,7 +222,7 @@ pub(crate) fn encode_error(buf: &mut Vec<u8>, e: &ServiceError) {
             TripError::Crypto(c) => (11, crypto_code(c), 0, ""),
             TripError::Ledger(l) => {
                 let (a, b) = ledger_code(l);
-                (12, a, b, "")
+                (12, a, b, ledger_text(l))
             }
             TripError::Boundary(s) => (13, 0, 0, s.as_str()),
             TripError::InvalidConfig(s) => (15, 0, 0, s.as_str()),
@@ -197,6 +233,7 @@ pub(crate) fn encode_error(buf: &mut Vec<u8>, e: &ServiceError) {
         }
         ServiceError::AuthFailed(s) => (17, 0, 0, s.as_str()),
         ServiceError::HandshakeFailed(s) => (18, 0, 0, s.as_str()),
+        ServiceError::Timeout(s) => (19, 0, 0, s.as_str()),
     };
     put_u32(buf, tag);
     put_u32(buf, sub);
@@ -226,7 +263,7 @@ pub(crate) fn decode_error(r: &mut Reader<'_>) -> Result<ServiceError, CryptoErr
         9 => ServiceError::Trip(TripError::WrongPhysicalState),
         10 => ServiceError::Trip(TripError::PoolIntegrity),
         11 => ServiceError::Trip(TripError::Crypto(crypto_from_code(sub)?)),
-        12 => ServiceError::Trip(TripError::Ledger(ledger_from_code(sub, sub2)?)),
+        12 => ServiceError::Trip(TripError::Ledger(ledger_from_code(sub, sub2, &text)?)),
         13 => ServiceError::Trip(TripError::Boundary(text)),
         14 => ServiceError::Transport(text),
         15 => ServiceError::Trip(TripError::InvalidConfig(text)),
@@ -236,6 +273,7 @@ pub(crate) fn decode_error(r: &mut Reader<'_>) -> Result<ServiceError, CryptoErr
         }),
         17 => ServiceError::AuthFailed(text),
         18 => ServiceError::HandshakeFailed(text),
+        19 => ServiceError::Timeout(text),
         _ => return Err(CryptoError::Malformed("unknown error tag")),
     })
 }
@@ -255,6 +293,9 @@ mod tests {
             ServiceError::Trip(TripError::Ledger(LedgerError::Crypto(
                 CryptoError::InvalidPoint,
             ))),
+            ServiceError::Trip(TripError::Ledger(LedgerError::Storage(
+                "wal poisoned by earlier failure: injected ENOSPC".into(),
+            ))),
             ServiceError::Trip(TripError::Boundary("lost".into())),
             ServiceError::Trip(TripError::InvalidConfig("3 stations over 2 kiosks".into())),
             ServiceError::Transport("socket reset".into()),
@@ -264,6 +305,7 @@ mod tests {
             }),
             ServiceError::AuthFailed("station key not enrolled".into()),
             ServiceError::HandshakeFailed("confirmation mac mismatch".into()),
+            ServiceError::Timeout("read deadline after 250ms".into()),
         ];
         for e in cases {
             let mut buf = Vec::new();
@@ -273,6 +315,19 @@ mod tests {
             r.finish().unwrap();
             assert_eq!(back, e);
         }
+    }
+
+    #[test]
+    fn socket_deadline_expiry_maps_to_timeout() {
+        for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+            let e: ServiceError = std::io::Error::new(kind, "read timed out").into();
+            assert!(matches!(e, ServiceError::Timeout(_)), "{kind:?}");
+            assert!(e.is_retryable());
+        }
+        let e: ServiceError =
+            std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer reset").into();
+        assert!(matches!(e, ServiceError::Transport(_)));
+        assert!(!ServiceError::AuthFailed("x".into()).is_retryable());
     }
 
     #[test]

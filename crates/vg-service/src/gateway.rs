@@ -22,10 +22,10 @@
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vg_crypto::channel::FrameSealer;
 
@@ -55,6 +55,16 @@ const IDLE_YIELDS: u32 = 64;
 /// budget is spent, so an idle gateway costs ~nothing on a small
 /// machine.
 const MAX_IDLE_SLEEP: Duration = Duration::from_millis(1);
+
+/// Default reap deadline for half-open and mid-frame-stalled
+/// connections. A connection parked in a handshake state, or holding a
+/// partial frame, that makes no progress for this long is torn down —
+/// it can only be a dead or byzantine peer, and holding it open leaks a
+/// reactor slot forever. Healthy idle connections (established channel,
+/// empty read buffer, no pending response) are **never** reaped: an
+/// idle station waiting out a quiet registration hour is liveness, not
+/// a leak.
+pub(crate) const REAP_AFTER: Duration = Duration::from_secs(2);
 
 // ---------------------------------------------------------------------
 // Non-blocking IO
@@ -139,6 +149,16 @@ impl GatewayIo {
                     Err(ServiceError::Transport("peer closed connection".into()))
                 }
             },
+        }
+    }
+
+    /// `true` when a partial frame sits in the read buffer: bytes
+    /// arrived but the frame never completed. Pipes transfer whole
+    /// frames, so they are never mid-frame.
+    fn mid_frame(&self) -> bool {
+        match self {
+            GatewayIo::Tcp(io) => !io.rbuf.is_empty(),
+            GatewayIo::Pipe(_) => false,
         }
     }
 
@@ -342,6 +362,10 @@ struct GatewayConn {
     pending: Option<Box<dyn FnMut() -> Option<Response> + Send>>,
     /// Close once the write buffer drains.
     closing: bool,
+    /// When this connection entered a reapable condition (half-open
+    /// handshake or mid-frame stall) without progress; cleared by any
+    /// progress. See [`REAP_AFTER`].
+    stalled_since: Option<Instant>,
 }
 
 enum Step {
@@ -352,6 +376,9 @@ enum Step {
     /// Drop the connection (peer gone, or fatal channel violation after
     /// any queued rejection flushes).
     Dead,
+    /// Drop the connection: half-open or mid-frame with no progress past
+    /// the reap deadline (counted separately from organic deaths).
+    Reaped,
 }
 
 impl GatewayConn {
@@ -365,7 +392,17 @@ impl GatewayConn {
             state,
             pending: None,
             closing: false,
+            stalled_since: None,
         }
+    }
+
+    /// `true` when this connection is in a state only a dead or
+    /// byzantine peer would hold for long: a half-open handshake
+    /// (accepted but never finished — the classic half-open flood), or a
+    /// partial frame that stopped growing. Established idle channels are
+    /// not reapable.
+    fn reapable(&self) -> bool {
+        matches!(self.state, ConnState::AwaitInit | ConnState::AwaitFin(_)) || self.io.mid_frame()
     }
 
     /// Sends a response, sealed when the channel is secure.
@@ -500,7 +537,12 @@ impl GatewayConn {
     }
 
     /// One reactor tick over this connection.
-    fn tick(&mut self, policy: &ChannelPolicy, dispatch: &mut impl GatewayDispatch) -> Step {
+    fn tick(
+        &mut self,
+        policy: &ChannelPolicy,
+        dispatch: &mut impl GatewayDispatch,
+        reap_after: Duration,
+    ) -> Step {
         let mut progressed = false;
         // 1. Poll an in-flight parked response.
         if let Some(poll) = &mut self.pending {
@@ -531,8 +573,19 @@ impl GatewayConn {
             Ok(true) if self.closing => Step::Dead,
             Ok(_) => {
                 if progressed {
+                    self.stalled_since = None;
                     Step::Progress
+                } else if self.reapable() {
+                    // 4. Liveness: a half-open or mid-frame connection
+                    // that stays stuck past the deadline is torn down.
+                    let since = *self.stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= reap_after {
+                        Step::Reaped
+                    } else {
+                        Step::Idle
+                    }
                 } else {
+                    self.stalled_since = None;
                     Step::Idle
                 }
             }
@@ -551,6 +604,8 @@ pub(crate) fn reactor_loop(
     policy: ChannelPolicy,
     mut dispatch: impl GatewayDispatch,
     open: Arc<AtomicBool>,
+    reap_after: Duration,
+    reaped: Arc<AtomicU64>,
 ) {
     let mut conns: Vec<GatewayConn> = Vec::new();
     let mut idle_sleep = Duration::from_micros(10);
@@ -575,10 +630,10 @@ pub(crate) fn reactor_loop(
         if conns.is_empty() && (disconnected || !open.load(Ordering::Acquire)) {
             return;
         }
-        // Tick every connection; drop the dead.
+        // Tick every connection; drop the dead, reap the stalled.
         let mut i = 0;
         while i < conns.len() {
-            match conns[i].tick(&policy, &mut dispatch) {
+            match conns[i].tick(&policy, &mut dispatch, reap_after) {
                 Step::Progress => {
                     progressed = true;
                     i += 1;
@@ -586,6 +641,11 @@ pub(crate) fn reactor_loop(
                 Step::Idle => i += 1,
                 Step::Dead => {
                     conns.swap_remove(i);
+                    progressed = true;
+                }
+                Step::Reaped => {
+                    conns.swap_remove(i);
+                    reaped.fetch_add(1, Ordering::Relaxed);
                     progressed = true;
                 }
             }
@@ -644,17 +704,26 @@ mod tests {
         }
     }
 
+    #[allow(clippy::type_complexity)]
     fn spawn_reactor(
         policy: ChannelPolicy,
-    ) -> (GatewayIntake, std::thread::JoinHandle<()>, Arc<Mutex<u32>>) {
+    ) -> (
+        GatewayIntake,
+        std::thread::JoinHandle<()>,
+        Arc<Mutex<u32>>,
+        Arc<AtomicU64>,
+    ) {
         let (tx, rx) = channel();
         let polls = Arc::new(Mutex::new(2));
         let dispatch = TestDispatch {
             polls_left: polls.clone(),
         };
         let open = Arc::new(AtomicBool::new(true));
-        let handle = std::thread::spawn(move || reactor_loop(rx, policy, dispatch, open));
-        (GatewayIntake::new(vec![tx]), handle, polls)
+        let reaped = Arc::new(AtomicU64::new(0));
+        let r = reaped.clone();
+        let handle =
+            std::thread::spawn(move || reactor_loop(rx, policy, dispatch, open, REAP_AFTER, r));
+        (GatewayIntake::new(vec![tx]), handle, polls, reaped)
     }
 
     fn call(chan: &mut dyn FramedChannel, req: &Request) -> Response {
@@ -664,7 +733,7 @@ mod tests {
 
     #[test]
     fn plaintext_pipe_request_response_and_pending() {
-        let (intake, handle, _) = spawn_reactor(ChannelPolicy::Plaintext);
+        let (intake, handle, _, _) = spawn_reactor(ChannelPolicy::Plaintext);
         let (mut client, server_half) = pipe_pair();
         assert!(intake.push(GatewayIo::from_pipe(server_half)));
         assert!(matches!(call(&mut client, &Request::Sync), Response::Sync));
@@ -684,7 +753,7 @@ mod tests {
 
     #[test]
     fn tcp_connection_served_nonblocking() {
-        let (intake, handle, _) = spawn_reactor(ChannelPolicy::Plaintext);
+        let (intake, handle, _, _) = spawn_reactor(ChannelPolicy::Plaintext);
         let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
         let addr = listener.local_addr().unwrap();
         let mut client = crate::channel::TcpChannel::connect(addr).unwrap();
@@ -724,7 +793,7 @@ mod tests {
     #[test]
     fn secure_handshake_and_sealed_requests_over_gateway() {
         let (server_cfg, client_cfg) = secure_cfgs();
-        let (intake, handle, _) = spawn_reactor(ChannelPolicy::Secure(server_cfg));
+        let (intake, handle, _, _) = spawn_reactor(ChannelPolicy::Secure(server_cfg));
         let (client_half, server_half) = pipe_pair();
         assert!(intake.push(GatewayIo::from_pipe(server_half)));
         let mut client = ChannelPolicy::Secure(client_cfg)
@@ -745,7 +814,7 @@ mod tests {
         let (server_cfg, mut client_cfg) = secure_cfgs();
         let mut rng = HmacDrbg::from_u64(100);
         client_cfg.local = SigningKey::generate(&mut rng);
-        let (intake, handle, _) = spawn_reactor(ChannelPolicy::Secure(server_cfg));
+        let (intake, handle, _, _) = spawn_reactor(ChannelPolicy::Secure(server_cfg));
         let (client_half, server_half) = pipe_pair();
         assert!(intake.push(GatewayIo::from_pipe(server_half)));
         let mut client = ChannelPolicy::Secure(client_cfg)
@@ -761,10 +830,78 @@ mod tests {
         handle.join().unwrap();
     }
 
+    fn spawn_reaping_reactor(
+        policy: ChannelPolicy,
+        reap_after: Duration,
+    ) -> (GatewayIntake, std::thread::JoinHandle<()>, Arc<AtomicU64>) {
+        let (tx, rx) = channel();
+        let dispatch = TestDispatch {
+            polls_left: Arc::new(Mutex::new(0)),
+        };
+        let open = Arc::new(AtomicBool::new(true));
+        let reaped = Arc::new(AtomicU64::new(0));
+        let r = reaped.clone();
+        let handle =
+            std::thread::spawn(move || reactor_loop(rx, policy, dispatch, open, reap_after, r));
+        (GatewayIntake::new(vec![tx]), handle, reaped)
+    }
+
+    fn await_reap(reaped: &AtomicU64) -> u64 {
+        let t0 = Instant::now();
+        while reaped.load(Ordering::Relaxed) == 0 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        reaped.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn half_open_handshake_is_reaped() {
+        let (server_cfg, _) = secure_cfgs();
+        let (intake, handle, reaped) =
+            spawn_reaping_reactor(ChannelPolicy::Secure(server_cfg), Duration::from_millis(50));
+        // The client connects and then never speaks: the connection
+        // parks in AwaitInit and must be reaped, not held forever.
+        let (client_half, server_half) = pipe_pair();
+        assert!(intake.push(GatewayIo::from_pipe(server_half)));
+        assert_eq!(await_reap(&reaped), 1);
+        drop(client_half);
+        drop(intake);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn mid_frame_stall_is_reaped_but_healthy_idle_is_not() {
+        let (intake, handle, reaped) =
+            spawn_reaping_reactor(ChannelPolicy::Plaintext, Duration::from_millis(50));
+        // A healthy idle plaintext connection: established, no partial
+        // frame. It must survive many reap deadlines.
+        let (mut idle_client, idle_server) = pipe_pair();
+        assert!(intake.push(GatewayIo::from_pipe(idle_server)));
+        // A TCP peer that sends half a frame header and then stalls.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stalled = TcpStream::connect(addr).unwrap();
+        stalled.set_nodelay(true).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        assert!(intake.push(GatewayIo::from_stream(accepted).unwrap()));
+        (&stalled).write_all(&[7u8, 0]).unwrap(); // half a length prefix
+        assert_eq!(await_reap(&reaped), 1);
+        // The idle connection still serves: it was never reaped.
+        idle_client.send_frame(&Request::Sync.to_wire()).unwrap();
+        assert!(matches!(
+            Response::from_wire(&idle_client.recv_frame().unwrap()),
+            Ok(Response::Sync)
+        ));
+        drop(stalled);
+        drop(idle_client);
+        drop(intake);
+        handle.join().unwrap();
+    }
+
     #[test]
     fn plaintext_client_of_secure_gateway_rejected_typed() {
         let (server_cfg, _) = secure_cfgs();
-        let (intake, handle, _) = spawn_reactor(ChannelPolicy::Secure(server_cfg));
+        let (intake, handle, _, _) = spawn_reactor(ChannelPolicy::Secure(server_cfg));
         let (mut client, server_half) = pipe_pair();
         assert!(intake.push(GatewayIo::from_pipe(server_half)));
         client.send_frame(&Request::Sync.to_wire()).unwrap();
@@ -780,7 +917,7 @@ mod tests {
 
     #[test]
     fn secure_frame_to_plaintext_gateway_rejected_typed() {
-        let (intake, handle, _) = spawn_reactor(ChannelPolicy::Plaintext);
+        let (intake, handle, _, _) = spawn_reactor(ChannelPolicy::Plaintext);
         let (mut client, server_half) = pipe_pair();
         assert!(intake.push(GatewayIo::from_pipe(server_half)));
         let mut rng = HmacDrbg::from_u64(5);

@@ -52,26 +52,31 @@
 
 pub mod channel;
 pub mod error;
+pub mod fault;
 pub mod gateway;
 pub mod ingest;
 pub mod messages;
 pub mod pipeline;
 pub mod registrar;
+pub mod retry;
 pub mod traits;
 pub mod transport;
 pub mod wire;
 
 pub use channel::{
-    pipe_pair, ChannelPolicy, Connector, FramedChannel, Listener, PipeChannel, SecureConfig,
-    TcpChannel, TcpChannelListener, TcpConnector,
+    pipe_pair, ChannelPolicy, Connector, Deadlines, FramedChannel, Listener, PipeChannel,
+    SecureConfig, TcpChannel, TcpChannelListener, TcpConnector,
 };
 pub use error::ServiceError;
+pub use fault::{ChannelFault, FaultPlan, FaultyChannel, FaultyConnector};
 pub use ingest::{IngestError, IngestQueue};
 pub use pipeline::{
-    pipelined_register_and_activate_day, pipelined_register_and_activate_day_with_fault,
-    pipelined_register_day, IngestHandle, IngestMode, IngestProgress, PipelineConfig, StationFault,
+    pipelined_register_and_activate_day, pipelined_register_and_activate_day_chaos,
+    pipelined_register_and_activate_day_with_fault, pipelined_register_day, ChaosOptions,
+    IngestHandle, IngestMode, IngestProgress, PipelineConfig, StationFault, StationHang,
 };
 pub use registrar::RegistrarHost;
+pub use retry::RetryPolicy;
 pub use traits::{
     ActivationService, LedgerIngestService, PrintService, RegistrarEndpoint, RegistrarService,
 };

@@ -363,7 +363,9 @@ wire_struct! {
     /// barrier-mode host with no worker thread) — the number of shard
     /// workers that served the day (`0` on a barrier host), and the
     /// durability counters from the WAL backend (records appended and
-    /// group fsyncs issued; zero on the volatile backends).
+    /// group fsyncs issued; zero on the volatile backends), and the
+    /// count of WAL IO failures absorbed as typed errors (nonzero only
+    /// on days degraded by real or injected disk faults).
     #[derive(Clone, Copy, Default, PartialEq, Eq)]
     IngestStatsReply {
         env_batches: u64,
@@ -374,7 +376,8 @@ wire_struct! {
         worker_idle_us: u64,
         wal_records: u64,
         wal_fsyncs: u64,
-        workers: u64
+        workers: u64,
+        wal_failures: u64
     }
 }
 
@@ -672,7 +675,7 @@ pub const REQUEST_TAGS: [u16; 12] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
 /// response).
 pub const RESPONSE_TAGS: [u16; 13] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 15];
 /// Every secure-channel handshake tag, all inside
-/// [`HS_TAG_BASE`]`..=`[`HS_TAG_LAST`].
+/// `HS_TAG_BASE..=HS_TAG_LAST` (`0x4801..=0x4810`).
 pub const HANDSHAKE_TAGS: [u16; 4] = [0x4801, 0x4802, 0x4803, 0x4810];
 
 impl HandshakeFrame {

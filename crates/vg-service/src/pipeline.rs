@@ -59,10 +59,10 @@
 //! same worker whose reorder buffer drops duplicates — a partially
 //! submitted window heals without double admission.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -70,7 +70,8 @@ use vg_crypto::par::par_map;
 use vg_crypto::schnorr::NonceCoupon;
 use vg_crypto::CompressedPoint;
 use vg_ledger::{
-    EnvelopeCommitment, EnvelopeLedger, Ledger, RegistrationLedger, RegistrationRecord, VoterId,
+    EnvelopeCommitment, EnvelopeLedger, Ledger, LedgerError, RegistrationLedger,
+    RegistrationRecord, VoterId,
 };
 use vg_trip::boundary::{IngestTicket, RegistrarBoundary};
 use vg_trip::fleet::{
@@ -87,10 +88,11 @@ use vg_trip::setup::TripSystem;
 use vg_trip::vsd::{activation_ledger_phase, ActivationClaim, Vsd};
 use vg_trip::{PrintJob, TripError};
 
-use crate::channel::{Connector, TcpConnector};
+use crate::channel::{Connector, Deadlines, TcpConnector};
 use crate::error::ServiceError;
+use crate::fault::{FaultPlan, FaultyConnector};
 use crate::gateway::{
-    acceptor_loop, reactor_loop, Dispatched, GatewayDispatch, GatewayIntake, PipeHub,
+    acceptor_loop, reactor_loop, Dispatched, GatewayDispatch, GatewayIntake, PipeHub, REAP_AFTER,
 };
 use crate::messages::{
     ActivationSweepRequest, CheckInRequest, CheckInResponse, CheckOutBatchRequest,
@@ -98,6 +100,7 @@ use crate::messages::{
     PrintRequest, PrintResponse, Request, Response, SeqCheckOutRequest, SeqEnvelopeSubmitRequest,
 };
 use crate::registrar::MAX_PENDING_RECORDS;
+use crate::retry::RetryPolicy;
 use crate::traits::{ActivationService, LedgerIngestService, PrintService, RegistrarService};
 use crate::transport::{
     client_policy, server_policy, ChannelClient, ChannelSecurity, DayStats, LinkKind,
@@ -208,6 +211,46 @@ pub struct StationFault {
 /// re-steals only what is still undelivered, so bounded depth bounds
 /// total replay work at roughly `depth × remaining`.
 const MAX_RESTEAL_DEPTH: usize = 2;
+
+/// Default coordinator liveness deadline: a station that delivers no
+/// outcome for this long (while still holding undelivered sessions) is
+/// declared *stalled* and its remainder is stolen exactly like a dead
+/// station's. Deliberately generous — healthy stations deliver every few
+/// milliseconds, and a false positive is merely wasteful (the dedup
+/// layer absorbs the double delivery), never incorrect. Chaos tests
+/// tighten it through [`ChaosOptions::stall_timeout`].
+const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Everything the chaos harness can inject into a pipelined day. The
+/// default injects nothing and runs with the production liveness
+/// deadlines.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosOptions {
+    /// Clean connection-death schedule (the original failover hook).
+    pub fault: Option<StationFault>,
+    /// Seeded network/disk fault plan (see [`FaultPlan`]).
+    pub plan: Option<FaultPlan>,
+    /// Override for the coordinator's stall-detection deadline
+    /// (`DEFAULT_STALL_TIMEOUT`, 30 s, when `None`).
+    pub stall_timeout: Option<Duration>,
+    /// Deterministic hang injection: the station stops mid-day WITHOUT
+    /// erroring — the lost-without-dying scenario only the stall
+    /// detector can recover from ([`StationFault`] deaths surface typed
+    /// errors and take the ordinary failover path instead).
+    pub hang: Option<StationHang>,
+}
+
+/// A station that silently stops making progress mid-day (see
+/// [`ChaosOptions::hang`]). The hung thread parks until day teardown —
+/// it never errors, never sends `Done` while the day runs — so healing
+/// it is entirely on the coordinator's liveness deadline.
+#[derive(Clone, Copy, Debug)]
+pub struct StationHang {
+    /// Which original station hangs.
+    pub station: usize,
+    /// Boundary operations the station completes before hanging.
+    pub after_ops: usize,
+}
 
 // ---------------------------------------------------------------------------
 // Completion handles
@@ -849,6 +892,19 @@ impl Sequencer<'_> {
         self.env_next.min(self.reg_next)
     }
 
+    /// The durable commit barrier, with graceful degradation: a WAL IO
+    /// failure (disk full, torn write, failed fsync) becomes the
+    /// sequencer's sticky day-abort error instead of a panic. The store
+    /// itself is poisoned by the failure, so every subsequent barrier
+    /// re-surfaces the same typed error and no head covering lost bytes
+    /// is ever published.
+    fn persist_ledger(&mut self) {
+        if let Err(e) = self.ledger.persist() {
+            self.failed
+                .get_or_insert(ServiceError::from(LedgerError::from(e)));
+        }
+    }
+
     fn inbox_records(&self) -> usize {
         lock_recover(&self.inbox).records
     }
@@ -1005,7 +1061,7 @@ impl Sequencer<'_> {
         // Commit barrier: everything this sweep admitted reaches stable
         // storage (WAL fsync + signed head) before any handle observes
         // it as admitted. A no-op on volatile backends.
-        self.ledger.persist();
+        self.persist_ledger();
         self.progress
             .update(self.admitted_through(), self.failed.as_ref());
     }
@@ -1064,6 +1120,7 @@ impl Sequencer<'_> {
             wal_records: durability.wal_records,
             wal_fsyncs: durability.wal_fsyncs,
             workers: self.workers as u64,
+            wal_failures: durability.wal_failures,
         };
         for t in &sh.stats {
             reply.env_batches += t.env_batches;
@@ -1124,7 +1181,7 @@ impl Sequencer<'_> {
                     }
                     // Activation appended reveal-WAL entries; sync them
                     // before acknowledging the claims.
-                    self.ledger.persist();
+                    self.persist_ledger();
                     out
                 };
                 let _ = reply.send(out);
@@ -1182,7 +1239,7 @@ impl Sequencer<'_> {
                 IngestMode::Barrier => MAX_PENDING_RECORDS,
             };
             if self.failed.is_none() && self.inbox_records() >= cap && self.commit_ready() {
-                self.ledger.persist();
+                self.persist_ledger();
             }
             self.service_parked();
             // Publish progress even when nothing flushed: releasing an
@@ -1561,11 +1618,25 @@ impl ActivationService for PipelinedEndpoint<'_> {
 struct FaultingBoundary<'a> {
     inner: &'a mut dyn RegistrarBoundary,
     remaining: usize,
+    /// `Some` turns the fault into a HANG: once `remaining` hits zero
+    /// the boundary parks until the flag (set at day teardown) releases
+    /// it, modeling a station that stops making progress without the
+    /// courtesy of an error. The release-then-error keeps the thread
+    /// joinable; while the day runs, the station is simply silent.
+    hang_until: Option<Arc<AtomicBool>>,
 }
 
 impl FaultingBoundary<'_> {
     fn tick(&mut self) -> Result<(), TripError> {
         if self.remaining == 0 {
+            if let Some(released) = &self.hang_until {
+                while !released.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                return Err(TripError::Boundary(
+                    "hung station released at day teardown".into(),
+                ));
+            }
             return Err(TripError::Boundary(
                 "station connection lost (injected fault)".into(),
             ));
@@ -1674,6 +1745,47 @@ struct StationJob<'a> {
     activation: Option<&'a ActivationContext<'a>>,
     pipeline: PipelineConfig,
     fault_after: Option<usize>,
+    /// `Some` makes `fault_after` a silent hang instead of a clean death
+    /// (see [`StationHang`]); the flag releases the parked thread at
+    /// day teardown.
+    hang_release: Option<Arc<AtomicBool>>,
+    /// Reconnect policy for every channel this job dials (station
+    /// boundary, refiller, steal-lane reuse). Seeded per runner so a
+    /// fleet that loses the registrar at once backs off desynchronized.
+    retry: RetryPolicy,
+    /// Shared degraded-mode telemetry, surfaced in [`DayStats`].
+    counters: &'a DayCounters,
+}
+
+/// Day-wide degraded-mode counters shared across every station, steal
+/// lane and refiller thread.
+#[derive(Debug, Default)]
+struct DayCounters {
+    /// Deadline expiries observed at station boundaries (connect-time
+    /// `ServiceError::Timeout`s plus in-flight stalls surfacing as
+    /// `deadline expired` boundary failures).
+    timeouts: AtomicU64,
+    /// Retry-layer attempts beyond each operation's first try.
+    reconnects: AtomicU64,
+}
+
+/// Dials (with retry) one gateway channel, counting reconnect attempts
+/// and connect-time deadline expiries into the day's counters.
+fn dial_with_retry(
+    conn: &dyn Connector,
+    retry: RetryPolicy,
+    counters: &DayCounters,
+) -> Result<ChannelClient, ServiceError> {
+    retry.run(|attempt| {
+        if attempt > 0 {
+            counters.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        ChannelClient::connect(conn).inspect_err(|e| {
+            if matches!(e, ServiceError::Timeout(_)) {
+                counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    })
 }
 
 /// Opens a station-side boundary over `link`: the in-process pipelined
@@ -1681,6 +1793,8 @@ struct StationJob<'a> {
 fn station_boundary<'a>(
     link: Link<'a>,
     client: &IngestClient,
+    retry: RetryPolicy,
+    counters: &DayCounters,
 ) -> Result<Box<dyn RegistrarBoundary + 'a>, TripError> {
     Ok(match link {
         Link::InProcess(core) => Box::new(ServiceBoundary::new(PipelinedEndpoint {
@@ -1688,7 +1802,8 @@ fn station_boundary<'a>(
             client: client.clone(),
         })),
         Link::Gateway(conn) => Box::new(ServiceBoundary::new(
-            ChannelClient::connect(conn).map_err(|e| TripError::Boundary(e.to_string()))?,
+            dial_with_retry(conn, retry, counters)
+                .map_err(|e| TripError::Boundary(e.to_string()))?,
         )),
     })
 }
@@ -1701,7 +1816,7 @@ fn run_station(
     client: &IngestClient,
     tx: &Sender<StationMsg>,
 ) -> Result<(), TripError> {
-    let mut boundary = station_boundary(link, client)?;
+    let mut boundary = station_boundary(link, client, job.retry, job.counters)?;
     drive_station(job, link, &mut *boundary, tx)
 }
 
@@ -1714,11 +1829,13 @@ fn drive_station(
     tx: &Sender<StationMsg>,
 ) -> Result<(), TripError> {
     let mut faulting;
+    let hang_release = job.hang_release.take();
     let boundary: &mut dyn RegistrarBoundary = match job.fault_after {
         Some(after_ops) => {
             faulting = FaultingBoundary {
                 inner: boundary,
                 remaining: after_ops,
+                hang_until: hang_release,
             };
             &mut faulting
         }
@@ -1750,7 +1867,7 @@ fn drive_station(
                             core.printer.print_detached(j.challenge, j.symbol)
                         }))
                     }),
-                    Link::Gateway(conn) => match ChannelClient::connect(conn) {
+                    Link::Gateway(conn) => match dial_with_retry(conn, job.retry, job.counters) {
                         Ok(mut client) => feed.run_refiller(&mut pool, &mut |jobs| {
                             client
                                 .print_envelopes(PrintRequest {
@@ -1838,7 +1955,7 @@ fn run_steal_lane<'a>(
         let result = (|| -> Result<(), TripError> {
             let open = match &mut boundary {
                 Some(open) => open,
-                None => boundary.insert(station_boundary(link, client)?),
+                None => boundary.insert(station_boundary(link, client, job.retry, job.counters)?),
             };
             drive_station(job, link, &mut **open, tx)
         })();
@@ -2035,7 +2152,7 @@ pub fn pipelined_register_day(
         transport.into(),
         pipeline,
         false,
-        None,
+        ChaosOptions::default(),
         &mut |_, outcome, _| sink(outcome),
     )
 }
@@ -2068,6 +2185,36 @@ pub fn pipelined_register_and_activate_day_with_fault(
     transport: impl Into<TransportPlan>,
     pipeline: PipelineConfig,
     fault: Option<StationFault>,
+    sink: impl FnMut(RegistrationOutcome, Vsd),
+) -> Result<DayStats, TripError> {
+    pipelined_register_and_activate_day_chaos(
+        fleet,
+        system,
+        plan,
+        transport,
+        pipeline,
+        ChaosOptions {
+            fault,
+            ..ChaosOptions::default()
+        },
+        sink,
+    )
+}
+
+/// [`pipelined_register_and_activate_day`] under a full [`ChaosOptions`]
+/// envelope: clean connection deaths, a seeded [`FaultPlan`] (network
+/// faults on every dialed channel plus disk faults under the WAL), and a
+/// tightened stall-detection deadline. The contract the chaos sweep
+/// asserts: the day either completes with ledgers bit-identical to the
+/// unfaulted sequential reference, or returns a typed [`TripError`] —
+/// never a panic, never a hang.
+pub fn pipelined_register_and_activate_day_chaos(
+    fleet: &KioskFleet,
+    system: &mut TripSystem,
+    plan: &[(VoterId, usize)],
+    transport: impl Into<TransportPlan>,
+    pipeline: PipelineConfig,
+    chaos: ChaosOptions,
     mut sink: impl FnMut(RegistrationOutcome, Vsd),
 ) -> Result<DayStats, TripError> {
     run_pipelined_day(
@@ -2077,7 +2224,7 @@ pub fn pipelined_register_and_activate_day_with_fault(
         transport.into(),
         pipeline,
         true,
-        fault,
+        chaos,
         &mut |_, outcome, vsd| sink(outcome, vsd.unwrap_or_default()),
     )
 }
@@ -2090,9 +2237,11 @@ fn run_pipelined_day(
     transport: TransportPlan,
     pipeline: PipelineConfig,
     activate: bool,
-    fault: Option<StationFault>,
+    chaos: ChaosOptions,
     sink: &mut dyn FnMut(usize, RegistrationOutcome, Option<Vsd>),
 ) -> Result<DayStats, TripError> {
+    let fault = chaos.fault;
+    let stall_timeout = chaos.stall_timeout.unwrap_or(DEFAULT_STALL_TIMEOUT);
     let authority_pk = system.authority.public_key;
     let printer_registry = system.printer_registry.clone();
     let last_occurrence = last_occurrence_of(plan);
@@ -2136,6 +2285,12 @@ fn run_pipelined_day(
     let mut worker_sessions: Vec<Vec<u64>> = vec![Vec::new(); workers];
     for session in 0..total_sessions as u64 {
         worker_sessions[route.worker_of(session)].push(session);
+    }
+
+    // Disk faults go in before the engine is wired so the very first
+    // WAL write is already under the injected schedule.
+    if let Some(ff) = chaos.plan.as_ref().and_then(FaultPlan::fault_fs) {
+        ledger.install_fault_fs(ff);
     }
 
     // The whole engine — sequencer, shard workers, client — is wired
@@ -2197,13 +2352,33 @@ fn run_pipelined_day(
             .iter()
             .map(|sp| -> Box<dyn Connector> {
                 let policy = client_policy(transport_keys, transport.security, sp.station);
-                match addr {
-                    Some(addr) => Box::new(TcpConnector { addr, policy }),
+                let base: Box<dyn Connector> = match addr {
+                    Some(addr) => Box::new(TcpConnector {
+                        addr,
+                        policy,
+                        deadlines: Deadlines::default(),
+                    }),
                     None => Box::new(PipeHub::new(intake.clone(), policy)),
+                };
+                // Network faults wrap the *established* channel, so the
+                // schedule applies uniformly to plaintext and secured
+                // links (injection sits outside the security policy).
+                match &chaos.plan {
+                    Some(fp) if fp.net_rate_permille > 0 => {
+                        Box::new(FaultyConnector::new(base, fp.clone(), sp.station))
+                    }
+                    _ => base,
                 }
             })
             .collect()
     });
+
+    // Day-wide degraded-mode telemetry: boundary counters shared by the
+    // station/lane threads, reap count owned by the gateway reactors.
+    let counters = DayCounters::default();
+    let reaped = Arc::new(AtomicU64::new(0));
+    // Releases injected hangs at teardown so their threads join.
+    let day_over = Arc::new(AtomicBool::new(false));
 
     std::thread::scope(|scope| -> Result<DayStats, TripError> {
         scope.spawn(move || sequencer.run(seq_rx));
@@ -2224,7 +2399,8 @@ fn run_pipelined_day(
                     client: client.clone(),
                 };
                 let open = Arc::clone(&accepting);
-                scope.spawn(move || reactor_loop(rx, policy, dispatch, open));
+                let reaped = Arc::clone(&reaped);
+                scope.spawn(move || reactor_loop(rx, policy, dispatch, open, REAP_AFTER, reaped));
             }
         }
         if let Some(listener) = listener {
@@ -2245,6 +2421,7 @@ fn run_pipelined_day(
         let (msg_tx, msg_rx) = mpsc::channel::<StationMsg>();
         let mut spawned = 0usize;
         for sp in &station_plans {
+            let hang = chaos.hang.filter(|h| h.station == sp.station);
             let job = StationJob {
                 fleet,
                 kiosks,
@@ -2255,7 +2432,11 @@ fn run_pipelined_day(
                 pipeline,
                 fault_after: fault
                     .filter(|f| f.station == sp.station)
-                    .map(|f| f.after_ops),
+                    .map(|f| f.after_ops)
+                    .or(hang.map(|h| h.after_ops)),
+                hang_release: hang.map(|_| Arc::clone(&day_over)),
+                retry: RetryPolicy::reconnect(sp.station as u64),
+                counters: &counters,
             };
             let tx = msg_tx.clone();
             let client = client.clone();
@@ -2298,10 +2479,87 @@ fn run_pipelined_day(
             // may still kill (so bounded re-steal is testable without
             // the fault killing every retry forever).
             let mut recovery_deaths_left = fault.map_or(0, |f| f.recovery_deaths);
+            // Stall-aware liveness. `session_owner` resolves a delivered
+            // session index back to its original station so each outcome
+            // refreshes its station's activity clock; a station with
+            // undelivered sessions and a stale clock is declared
+            // *stalled* — lost without the courtesy of dying — and its
+            // remainder is stolen through the exact same path as a dead
+            // station's, by synthesizing the `Done(id, Err)` it never
+            // sent. If the stalled station later recovers and sends its
+            // REAL `Done`, that message is swallowed (`stalled` set):
+            // the synthetic one already advanced the `done` accounting,
+            // and a late error must not abort a day the steal healed.
+            let session_owner: HashMap<usize, usize> = station_plans
+                .iter()
+                .enumerate()
+                .flat_map(|(s, sp)| sp.sessions.iter().map(move |&(idx, _, _)| (idx, s)))
+                .collect();
+            let mut last_activity: Vec<Instant> = vec![Instant::now(); station_plans.len()];
+            let mut finished: HashSet<usize> = HashSet::new();
+            let mut stalled: HashSet<usize> = HashSet::new();
+            let mut stall_steals = 0u64;
+            let mut synthetic: VecDeque<StationMsg> = VecDeque::new();
+            let stall_poll =
+                (stall_timeout / 4).clamp(Duration::from_millis(10), Duration::from_millis(250));
             while done < spawned {
-                let Ok(msg) = msg_rx.recv() else { break };
+                let (msg, synthesized) = match synthetic.pop_front() {
+                    Some(msg) => (msg, true),
+                    None => match msg_rx.recv_timeout(stall_poll) {
+                        Ok(msg) => (msg, false),
+                        Err(RecvTimeoutError::Disconnected) => break,
+                        Err(RecvTimeoutError::Timeout) => {
+                            // Liveness scan: only stations that are still
+                            // nominally alive, unfinished, hold sessions
+                            // nobody has delivered, and have been silent
+                            // past the deadline. A healthy station parked
+                            // on an activation barrier keeps its clock
+                            // fresh through the other stations' outcomes
+                            // only if it owns none of the missing
+                            // sessions — so a false positive costs a
+                            // redundant (deduped) replay, never
+                            // correctness.
+                            for id in 0..station_plans.len() {
+                                if !alive[id]
+                                    || finished.contains(&id)
+                                    || stalled.contains(&id)
+                                    || last_activity[id].elapsed() < stall_timeout
+                                {
+                                    continue;
+                                }
+                                let undelivered =
+                                    station_plans[id].sessions.iter().any(|&(idx, _, _)| {
+                                        idx >= next_emit && !buffered.contains_key(&idx)
+                                    });
+                                if !undelivered {
+                                    continue;
+                                }
+                                stalled.insert(id);
+                                stall_steals += 1;
+                                synthetic.push_back(StationMsg::Done(
+                                    id,
+                                    Err(TripError::Boundary(format!(
+                                        "station {id} stalled: no outcome within \
+                                         {stall_timeout:?}"
+                                    ))),
+                                ));
+                            }
+                            continue;
+                        }
+                    },
+                };
+                if !synthesized {
+                    if let StationMsg::Done(id, _) = &msg {
+                        if stalled.remove(id) {
+                            continue;
+                        }
+                    }
+                }
                 match msg {
                     StationMsg::Outcome(idx, delivery) => {
+                        if let Some(&owner) = session_owner.get(&idx) {
+                            last_activity[owner] = Instant::now();
+                        }
                         buffered.entry(idx).or_insert(delivery);
                         while let Some(delivery) = buffered.remove(&next_emit) {
                             let (outcome, vsd, stolen) = *delivery;
@@ -2314,6 +2572,9 @@ fn run_pipelined_day(
                     }
                     StationMsg::Done(id, Ok(())) => {
                         done += 1;
+                        if id < station_plans.len() {
+                            finished.insert(id);
+                        }
                         // Retire a finished steal chunk's lane slot.
                         if let Some(t) = steal_meta.remove(&id).and_then(|m| m.lane) {
                             lane_load.entry(t).and_modify(|n| *n = n.saturating_sub(1));
@@ -2321,6 +2582,9 @@ fn run_pipelined_day(
                     }
                     StationMsg::Done(id, Err(e)) => {
                         done += 1;
+                        if matches!(&e, TripError::Boundary(m) if m.contains("deadline expired")) {
+                            counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
                         let meta = steal_meta.remove(&id);
                         if let Some(t) = meta.as_ref().and_then(|m| m.lane) {
                             lane_load.entry(t).and_modify(|n| *n = n.saturating_sub(1));
@@ -2461,6 +2725,11 @@ fn run_pipelined_day(
                                 activation: activate.then_some(&ctx),
                                 pipeline: chunk_pipeline,
                                 fault_after,
+                                hang_release: None,
+                                retry: RetryPolicy::reconnect(
+                                    (station_plans.len() + steal_seq) as u64,
+                                ),
+                                counters: &counters,
                             };
                             let runner_id = station_plans.len() + steal_seq;
                             steal_seq += 1;
@@ -2526,6 +2795,10 @@ fn run_pipelined_day(
                 ingest,
                 workers,
                 steals,
+                timeouts: counters.timeouts.load(Ordering::Relaxed),
+                reconnects: counters.reconnects.load(Ordering::Relaxed),
+                reaped: reaped.load(Ordering::Relaxed),
+                stall_steals,
             })
         };
         let result = coordinate();
@@ -2534,6 +2807,8 @@ fn run_pipelined_day(
         // coordinator comment): clear the flag so the reactors exit once
         // their connections drain, and wake the acceptor (parked in
         // accept()) with a throwaway connection so it observes the flag.
+        // Injected hangs release first so their threads join.
+        day_over.store(true, Ordering::SeqCst);
         accepting.store(false, Ordering::SeqCst);
         if let Some(addr) = addr {
             drop(TcpStream::connect(addr));

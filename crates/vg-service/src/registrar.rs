@@ -97,8 +97,12 @@ impl<'a> RegistrarHost<'a> {
         self.reg_queue
             .flush(|records| ledger.registration.post_batch(records, threads))?;
         // Commit barrier on a durable backend: group-fsync the WAL and
-        // persist signed heads before reporting the flush complete.
-        self.ledger.persist();
+        // persist signed heads before reporting the flush complete. An
+        // IO failure surfaces as a typed storage error instead of a
+        // panic; the store stays poisoned until restart.
+        self.ledger
+            .persist()
+            .map_err(vg_ledger::LedgerError::from)?;
         Ok(())
     }
 }
@@ -187,6 +191,7 @@ impl LedgerIngestService for RegistrarHost<'_> {
             wal_records: durability.wal_records,
             wal_fsyncs: durability.wal_fsyncs,
             workers: 0,
+            wal_failures: durability.wal_failures,
         })
     }
 }
@@ -201,7 +206,9 @@ impl ActivationService for RegistrarHost<'_> {
         }
         // Activation appended reveal-WAL entries; sync them before
         // acknowledging the sweep.
-        self.ledger.persist();
+        self.ledger
+            .persist()
+            .map_err(vg_ledger::LedgerError::from)?;
         Ok(())
     }
 }

@@ -1,0 +1,183 @@
+//! Bounded retry with deterministic exponential backoff.
+//!
+//! # Determinism contract
+//!
+//! A [`RetryPolicy`] never consults a wall clock or an entropy source to
+//! *decide* anything: the backoff for attempt `n` — including its jitter
+//! — is a pure function of `(seed, n)`, drawn from an [`HmacDrbg`]
+//! (vg-lint's nondeterminism rule is enforced on this file). Two runs
+//! with the same seed sleep the same durations in the same order; what
+//! a retried operation *returns* is the only thing that varies. Jitter
+//! still does its real job — desynchronizing a fleet of stations that
+//! all lost the registrar at once — because each station seeds its
+//! policy differently.
+
+use std::time::Duration;
+
+use vg_crypto::{HmacDrbg, Rng};
+
+use crate::error::ServiceError;
+
+/// Bounded exponential backoff with deterministic seeded jitter.
+///
+/// Only failures where retrying can help are retried:
+/// [`ServiceError::is_retryable`] — deadline expiry and transport-level
+/// connection failures. Domain, auth and handshake errors return
+/// immediately (they are deterministic; the retry would fail the same
+/// way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). `1` disables retries.
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base: Duration,
+    /// Upper clamp on any single backoff.
+    pub cap: Duration,
+    /// Seed for the jitter stream (see the module docs).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Default reconnect policy: 4 attempts, 25ms base, 400ms cap.
+    /// Worst-case added latency before giving up ≈ 25 + 50 + 100 ms of
+    /// backoff — long enough to ride out a registrar hiccup, short
+    /// enough that the coordinator's stall detector still fires first
+    /// for a truly lost station.
+    pub fn reconnect(seed: u64) -> Self {
+        Self {
+            attempts: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(400),
+            seed,
+        }
+    }
+
+    /// No retries: fail on the first error (the pre-fault-plane
+    /// behavior, and the right policy inside tests that assert on
+    /// first-failure semantics).
+    pub fn once() -> Self {
+        Self {
+            attempts: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// The backoff before retry `attempt` (0-based: `backoff(0)` is the
+    /// sleep between the first failure and the second try). Exponential
+    /// from `base`, clamped at `cap`, scaled by a deterministic jitter
+    /// factor in `[0.5, 1.0)` drawn from `(seed, attempt)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let mut key = Vec::with_capacity(34);
+        key.extend_from_slice(b"vgrs/retry/jitter-v1");
+        key.extend_from_slice(&self.seed.to_le_bytes());
+        key.extend_from_slice(&attempt.to_le_bytes());
+        let jitter = 0.5 + HmacDrbg::new(&key).unit_f64() / 2.0;
+        exp.mul_f64(jitter)
+    }
+
+    /// Runs `op` under this policy. `op` receives the 0-based attempt
+    /// number; retryable errors back off and retry until the attempt
+    /// budget is spent, then the last error returns. Non-retryable
+    /// errors return immediately.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        let attempts = self.attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                    std::thread::sleep(self.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        let p = RetryPolicy::reconnect(42);
+        for attempt in 0..8 {
+            let d = p.backoff(attempt);
+            assert_eq!(d, p.backoff(attempt), "same (seed, attempt) replays");
+            assert!(d <= p.cap, "clamped at cap");
+            let unjittered = p.base.saturating_mul(1 << attempt.min(6)).min(p.cap);
+            assert!(d >= unjittered / 2, "jitter floor is half the backoff");
+        }
+        assert!(p.backoff(3) > p.backoff(0), "exponential growth");
+        let q = RetryPolicy::reconnect(43);
+        assert_ne!(p.backoff(0), q.backoff(0), "different seeds jitter apart");
+    }
+
+    #[test]
+    fn retries_timeouts_until_budget_then_returns_last_error() {
+        let p = RetryPolicy {
+            attempts: 3,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+            seed: 1,
+        };
+        let mut calls = 0;
+        let out: Result<(), _> = p.run(|_| {
+            calls += 1;
+            Err(ServiceError::Timeout("stalled".into()))
+        });
+        assert_eq!(calls, 3);
+        assert!(matches!(out, Err(ServiceError::Timeout(_))));
+    }
+
+    #[test]
+    fn succeeds_after_transient_transport_failures() {
+        let p = RetryPolicy {
+            attempts: 4,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+            seed: 2,
+        };
+        let out = p.run(|attempt| {
+            if attempt < 2 {
+                Err(ServiceError::Transport("connection refused".into()))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out, Ok(2));
+    }
+
+    #[test]
+    fn non_retryable_errors_return_immediately() {
+        let p = RetryPolicy::reconnect(3);
+        let mut calls = 0;
+        let out: Result<(), _> = p.run(|_| {
+            calls += 1;
+            Err(ServiceError::AuthFailed("not enrolled".into()))
+        });
+        assert_eq!(calls, 1);
+        assert!(matches!(out, Err(ServiceError::AuthFailed(_))));
+    }
+
+    #[test]
+    fn once_policy_never_retries() {
+        let mut calls = 0;
+        let out: Result<(), _> = RetryPolicy::once().run(|_| {
+            calls += 1;
+            Err(ServiceError::Timeout("stalled".into()))
+        });
+        assert_eq!(calls, 1);
+        assert!(out.is_err());
+    }
+}

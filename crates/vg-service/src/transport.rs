@@ -613,6 +613,17 @@ pub struct DayStats {
     /// range absorbed by a survivor, retry chains included. Empty on
     /// healthy days.
     pub steals: Vec<StealRecord>,
+    /// Deadline expiries observed at station boundaries (connect and
+    /// call timeouts, injected stalls included). Zero on healthy days.
+    pub timeouts: u64,
+    /// Reconnect attempts the retry layer made beyond first tries.
+    pub reconnects: u64,
+    /// Half-open or mid-frame-stalled connections the gateway reaped.
+    pub reaped: u64,
+    /// Stations declared lost by the coordinator's *stall* detector (no
+    /// progress within the liveness deadline) rather than by a clean
+    /// connection death; each one triggered the chunked steal path.
+    pub stall_steals: u64,
 }
 
 /// Runs `client_run` against the registrar parts of `system` served per
@@ -659,6 +670,10 @@ fn with_boundary<R>(
                 ingest,
                 workers: 1,
                 steals: Vec::new(),
+                timeouts: 0,
+                reconnects: 0,
+                reaped: 0,
+                stall_steals: 0,
             },
         ));
     }
@@ -726,6 +741,10 @@ fn with_boundary<R>(
                     ingest: ingest.unwrap_or_default(),
                     workers: 1,
                     steals: Vec::new(),
+                    timeouts: 0,
+                    reconnects: 0,
+                    reaped: 0,
+                    stall_steals: 0,
                 },
             ))
         };

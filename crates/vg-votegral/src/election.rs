@@ -358,10 +358,12 @@ impl<P: ElectionPhase> Election<P> {
     /// Durable commit barrier: drains buffered WAL appends on all three
     /// ledgers, group-fsyncs them (when the backend enables fsync) and
     /// persists the current signed tree heads. A no-op on volatile
-    /// backends. After this returns, a crash-and-reopen on the same
-    /// storage directory replays to exactly the heads current now.
-    pub fn persist_ledgers(&mut self) {
-        self.trip.ledger.persist();
+    /// backends. After this returns `Ok`, a crash-and-reopen on the same
+    /// storage directory replays to exactly the heads current now. An IO
+    /// failure surfaces typed (and poisons the store until restart)
+    /// instead of panicking.
+    pub fn persist_ledgers(&mut self) -> Result<(), vg_ledger::WalError> {
+        self.trip.ledger.persist()
     }
 
     fn into_phase<Q: ElectionPhase>(self) -> Election<Q> {

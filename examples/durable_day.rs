@@ -50,7 +50,7 @@ fn run_day(dir: Option<&Path>) -> Election<Tallying> {
     }
     // Mid-day commit barrier: everything registered so far is now
     // fsynced and covered by persisted signed heads.
-    election.persist_ledgers();
+    election.persist_ledgers().expect("persist");
 
     let mut voting = election.open_voting();
     for (i, vsd) in devices.iter().enumerate() {
@@ -60,7 +60,7 @@ fn run_day(dir: Option<&Path>) -> Election<Tallying> {
     }
     let mut election = voting.close();
     // End-of-day barrier: the ballot ledger joins the durable prefix.
-    election.persist_ledgers();
+    election.persist_ledgers().expect("persist");
     election
 }
 

@@ -10,11 +10,13 @@ use std::path::{Path, PathBuf};
 
 use proptest::prelude::*;
 use votegral::crypto::HmacDrbg;
+use votegral::ledger::FsFault;
 use votegral::ledger::{simulate_crash, LedgerBackend, VoterId};
 use votegral::service::{
-    pipelined_register_and_activate_day, pipelined_register_and_activate_day_with_fault,
-    pipelined_register_day, register_and_activate_day, IngestMode, PipelineConfig, StationFault,
-    TransportPlan,
+    pipelined_register_and_activate_day, pipelined_register_and_activate_day_chaos,
+    pipelined_register_and_activate_day_with_fault, pipelined_register_day,
+    register_and_activate_day, ChaosOptions, FaultPlan, IngestMode, PipelineConfig, StationFault,
+    StationHang, TransportPlan,
 };
 use votegral::trip::fleet::{FleetConfig, KioskFleet};
 use votegral::trip::protocol::{register_voter_seeded, RegistrationOutcome};
@@ -827,5 +829,319 @@ fn dead_steal_chunks_are_restolen_with_bounded_depth() {
             run(fault(usize::MAX), transport).is_err(),
             "killing every re-steal generation must abort the day ({transport:?})"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The seeded chaos sweep
+// ---------------------------------------------------------------------
+
+/// Wall-clock budget per chaos cell. A cell that neither completes nor
+/// returns a typed error inside this window counts as a hang — exactly
+/// the failure mode the deadline/reap/stall machinery exists to prevent.
+const CHAOS_WATCHDOG: std::time::Duration = std::time::Duration::from_secs(120);
+
+/// One cell of the chaos grid: a seeded fault plan, the transport and
+/// ingest mode it runs over, and whether the day needs a durable WAL
+/// (disk-fault cells do; network-only cells stay on the volatile
+/// backend).
+#[derive(Clone, Debug)]
+struct ChaosCell {
+    label: String,
+    plan: FaultPlan,
+    transport: TransportPlan,
+    ingest: IngestMode,
+    durable: bool,
+}
+
+/// The chaos acceptance criterion: under ANY seeded `FaultPlan` in the
+/// grid — network faults (delays, drops, torn writes, stalls, and on
+/// the MAC-protected transport, bit corruption) crossed with disk
+/// faults (failed/short WAL writes, ENOSPC, failed fsync) over both
+/// gateway transports and both ingest modes — a pipelined day either
+///
+/// 1. completes with ledger heads and credential bytes bit-identical to
+///    the unfaulted sequential reference (faults healed by reconnect,
+///    reap and steal), or
+/// 2. returns a typed [`TripError`] (graceful degradation),
+///
+/// and in BOTH cases finishes inside a wall-clock watchdog without a
+/// single panic. Every cell is reproducible from its printed plan: the
+/// schedules are pure functions of the seed (see `vg-service::fault`).
+#[test]
+fn chaos_sweep_heals_bit_identically_or_fails_typed() {
+    let seed64 = 0xC4A0u64;
+    let seed = [0x2Eu8; 32];
+    let queue: Vec<(VoterId, usize)> = (1..=6).map(|v| (VoterId(v), (v % 2) as usize)).collect();
+    let reference = sequential_reference(seed64, &seed, 4, &queue);
+
+    let mut cells: Vec<ChaosCell> = Vec::new();
+    // Network grid: rate × stall mix × transport. Corruption rides only
+    // with the secure transport — a plaintext frame has no integrity
+    // check, so a flipped bit would change payload bytes silently
+    // instead of surfacing a fault (see `FaultPlan::corrupt`).
+    for (t_label, transport, corrupt) in [
+        ("tcp", TransportPlan::TCP, false),
+        ("secure", TransportPlan::SECURE_IN_PROCESS, true),
+    ] {
+        // 8 permille ≈ a handful of faults per day: reliably heals
+        // inside the bounded re-steal budget (pinning the heal arm of
+        // the contract); the higher rates push days into typed
+        // degradation (pinning the other arm).
+        for rate in [8u16, 40, 150] {
+            for stalls in [false, true] {
+                let plan_seed = u64::from(rate) << 1 | u64::from(stalls);
+                cells.push(ChaosCell {
+                    label: format!("{t_label}/net{rate}permille/stalls={stalls}"),
+                    plan: FaultPlan {
+                        seed: plan_seed,
+                        net_rate_permille: rate,
+                        stalls,
+                        corrupt,
+                        disk: None,
+                    },
+                    transport,
+                    ingest: if stalls {
+                        IngestMode::Background
+                    } else {
+                        IngestMode::Barrier
+                    },
+                    durable: false,
+                });
+            }
+        }
+    }
+    // Disk grid: the WAL write layer fails partway through the day. The
+    // store's sticky-poison contract turns every one of these into a
+    // typed day abort (or, if the fault lands after the last write, a
+    // clean bit-identical completion) — never a panic.
+    for (d_label, disk) in [
+        ("fail-write", FsFault::FailWrite { nth: 2 }),
+        ("short-write", FsFault::ShortWrite { nth: 1, keep: 3 }),
+        ("disk-full", FsFault::DiskFull { nth: 1 }),
+        ("fail-fsync", FsFault::FailFsync { nth: 0 }),
+    ] {
+        cells.push(ChaosCell {
+            label: format!("tcp/disk/{d_label}"),
+            plan: FaultPlan {
+                seed: 77,
+                net_rate_permille: 0,
+                stalls: false,
+                corrupt: false,
+                disk: Some(disk),
+            },
+            transport: TransportPlan::TCP,
+            ingest: IngestMode::Background,
+            durable: true,
+        });
+    }
+    // Compound chaos: network and disk faults in the same day.
+    cells.push(ChaosCell {
+        label: "secure/net150permille+disk-full".into(),
+        plan: FaultPlan {
+            seed: 303,
+            net_rate_permille: 150,
+            stalls: true,
+            corrupt: true,
+            disk: Some(FsFault::DiskFull { nth: 4 }),
+        },
+        transport: TransportPlan::SECURE_IN_PROCESS,
+        ingest: IngestMode::Background,
+        durable: true,
+    });
+
+    let mut healed = 0usize;
+    let mut degraded = 0usize;
+    for cell in cells {
+        let queue = queue.clone();
+        let label = cell.label.clone();
+        let plan_repro = format!("{:?}", cell.plan);
+        // Each cell runs on its own thread so a hang is a watchdog
+        // FAILURE with the cell's repro plan, not a silently wedged
+        // test binary.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let dir = cell.durable.then(|| wal_dir(&cell.label.replace('/', "-")));
+            let fleet = KioskFleet::new(FleetConfig {
+                pool_batch: 2,
+                threads: 2,
+                seed,
+            });
+            let pipeline = PipelineConfig {
+                stations: 2,
+                workers: 2,
+                low_water: 2,
+                ingest: cell.ingest,
+                activation_lag: 1,
+            };
+            let mut rng = HmacDrbg::from_u64(seed64 ^ 0x91E);
+            let mut system = TripSystem::setup(
+                match &dir {
+                    Some(dir) => durable_config(6, 4, dir, true),
+                    None => trip_config(6, 4),
+                },
+                &mut rng,
+            );
+            let mut outcomes = Vec::new();
+            let chaos = ChaosOptions {
+                fault: None,
+                hang: None,
+                plan: Some(cell.plan.clone()),
+                // Tight enough that an injected stall is detected and
+                // stolen well inside the watchdog; generous enough that
+                // healthy-but-delayed stations are not mass-stolen.
+                stall_timeout: Some(std::time::Duration::from_secs(5)),
+            };
+            let result = pipelined_register_and_activate_day_chaos(
+                &fleet,
+                &mut system,
+                &queue,
+                cell.transport,
+                pipeline,
+                chaos,
+                |outcome, _vsd| outcomes.push(outcome),
+            );
+            let fp = result
+                .as_ref()
+                .ok()
+                .map(|_| fingerprint(&system, &outcomes));
+            if let Some(dir) = dir {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            let _ = tx.send((result.map(|stats| (stats, fp)), cell));
+        });
+        match rx.recv_timeout(CHAOS_WATCHDOG) {
+            Ok((Ok((stats, fp)), cell)) => {
+                assert_eq!(
+                    fp.as_ref(),
+                    Some(&reference),
+                    "[{label}] day completed but diverged from the sequential \
+                     reference; repro plan: {plan_repro}"
+                );
+                if cell.plan.disk.is_some() {
+                    assert_eq!(
+                        stats.ingest.wal_failures, 0,
+                        "[{label}] a day that absorbed WAL failures must not report Ok"
+                    );
+                }
+                healed += 1;
+            }
+            Ok((Err(e), _cell)) => {
+                // Graceful degradation: typed, not a panic. The error
+                // formatting exercises the full typed chain.
+                let _ = format!("{e:?}");
+                degraded += 1;
+            }
+            Err(_) => panic!(
+                "[{label}] chaos cell exceeded the {CHAOS_WATCHDOG:?} watchdog \
+                 (hang); repro plan: {plan_repro}"
+            ),
+        }
+    }
+    // The sweep must actually exercise both contract arms: some cells
+    // heal to bit-identity, and the disk cells degrade typed.
+    assert!(healed > 0, "no chaos cell healed to bit-identity");
+    assert!(degraded > 0, "no chaos cell exercised typed degradation");
+}
+
+/// A quiet `ChaosOptions` (no plan, no fault) is the identity: same
+/// heads as the plain pipelined entry point, and every degraded-mode
+/// counter stays zero.
+#[test]
+fn quiet_chaos_options_are_the_identity() {
+    let seed64 = 0xBEEFu64;
+    let seed = [0x41u8; 32];
+    let queue: Vec<(VoterId, usize)> = (1..=4).map(|v| (VoterId(v), 1)).collect();
+    let reference = sequential_reference(seed64, &seed, 4, &queue);
+    let fleet = KioskFleet::new(FleetConfig {
+        pool_batch: 2,
+        threads: 2,
+        seed,
+    });
+    let pipeline = PipelineConfig {
+        stations: 2,
+        workers: 2,
+        low_water: 2,
+        ingest: IngestMode::Background,
+        activation_lag: 1,
+    };
+    let mut rng = HmacDrbg::from_u64(seed64 ^ 0x91E);
+    let mut system = TripSystem::setup(trip_config(4, 4), &mut rng);
+    let mut outcomes = Vec::new();
+    let stats = pipelined_register_and_activate_day_chaos(
+        &fleet,
+        &mut system,
+        &queue,
+        TransportPlan::TCP,
+        pipeline,
+        ChaosOptions::default(),
+        |outcome, _vsd| outcomes.push(outcome),
+    )
+    .expect("quiet chaos day runs");
+    assert_eq!(fingerprint(&system, &outcomes), reference);
+    assert_eq!(
+        (stats.timeouts, stats.reconnects, stats.stall_steals),
+        (0, 0, 0),
+        "a healthy day reports no degraded-mode events"
+    );
+}
+
+/// The stall detector's flagship scenario: a station goes SILENT
+/// mid-day — no error, no death, just no progress. No failover path
+/// triggers on its own (the connection is healthy-idle, which the
+/// reaper deliberately spares); only the coordinator's liveness
+/// deadline can declare it lost. The day must heal bit-identically via
+/// the chunked steal path, count the loss in `stall_steals`, and join
+/// every thread (the hung one included) without hanging the test.
+#[test]
+fn silently_hung_station_is_stall_detected_and_stolen() {
+    let seed64 = 0x57A11u64;
+    let seed = [0x7Cu8; 32];
+    let queue: Vec<(VoterId, usize)> = (1..=6).map(|v| (VoterId(v), (v % 2) as usize)).collect();
+    let reference = sequential_reference(seed64, &seed, 4, &queue);
+    let fleet = KioskFleet::new(FleetConfig {
+        pool_batch: 2,
+        threads: 2,
+        seed,
+    });
+    let pipeline = PipelineConfig {
+        stations: 2,
+        workers: 2,
+        low_water: 0,
+        ingest: IngestMode::Background,
+        activation_lag: 1,
+    };
+    for transport in [TransportPlan::TCP, TransportPlan::SECURE_IN_PROCESS] {
+        for after_ops in [0usize, 3] {
+            let mut rng = HmacDrbg::from_u64(seed64 ^ 0x91E);
+            let mut system = TripSystem::setup(trip_config(6, 4), &mut rng);
+            let mut outcomes = Vec::new();
+            let stats = pipelined_register_and_activate_day_chaos(
+                &fleet,
+                &mut system,
+                &queue,
+                transport,
+                pipeline,
+                ChaosOptions {
+                    hang: Some(StationHang {
+                        station: 1,
+                        after_ops,
+                    }),
+                    stall_timeout: Some(std::time::Duration::from_millis(400)),
+                    ..ChaosOptions::default()
+                },
+                |outcome, _vsd| outcomes.push(outcome),
+            )
+            .expect("the stall detector must heal a silently hung station");
+            assert_eq!(
+                fingerprint(&system, &outcomes),
+                reference,
+                "{transport:?} hang after {after_ops} ops"
+            );
+            assert!(
+                stats.stall_steals >= 1,
+                "{transport:?}: the loss must be attributed to the stall detector, got {stats:?}"
+            );
+        }
     }
 }

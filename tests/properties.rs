@@ -323,11 +323,11 @@ proptest! {
         prop_assert_eq!(reference.tree_head().root, batch.tree_head().root);
 
         // Empty batch at the head boundary: no indices, no new head.
-        batch.persist();
+        batch.persist().expect("persist");
         let heads_before = batch.durability_stats().heads_persisted;
         let range = batch.append_batch(Vec::new(), 4);
         prop_assert_eq!(range, n..n);
-        batch.persist();
+        batch.persist().expect("persist");
         prop_assert_eq!(batch.durability_stats().heads_persisted, heads_before);
 
         // Inclusion at the exact head boundary index, and one past it.

@@ -22,7 +22,7 @@ use votegral::service::messages::{
 };
 use votegral::service::{
     pipe_pair, register_and_activate_day, register_day, serve_channel, ChannelPolicy, Connector,
-    FramedChannel, LinkKind, Listener, RegistrarHost, SecureConfig, ServiceError,
+    Deadlines, FramedChannel, LinkKind, Listener, RegistrarHost, SecureConfig, ServiceError,
     TcpChannelListener, TcpConnector, TransportPlan,
 };
 use votegral::trip::fleet::{FleetConfig, KioskFleet};
@@ -151,6 +151,7 @@ fn sample_messages(seed: u64) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
             wal_records: 16,
             wal_fsyncs: 2,
             workers: 4,
+            wal_failures: 1,
         })
         .to_wire(),
         Response::Err(ServiceError::Trip(votegral::trip::TripError::NotEligible)).to_wire(),
@@ -539,6 +540,7 @@ fn unenrolled_station_rejected_over_real_tcp() {
             registrar: keys.registrar_pk,
             enrolled: Arc::new(Vec::new()),
         }),
+        deadlines: Deadlines::default(),
     };
     let client = connector.connect();
     assert!(
